@@ -1,0 +1,282 @@
+//! A CherryPick-style sequential searcher (Alipourfard et al., NSDI '17),
+//! included as the related-work extension discussed in Section 6:
+//! Bayesian-optimization search over cloud configurations, "designed to
+//! predict performance in a small set of VM types" — it pays one real run
+//! per probe and carries no cross-workload knowledge.
+//!
+//! The surrogate is a random forest over VM feature vectors (instead of
+//! CherryPick's Gaussian process — same role, simpler machinery), with an
+//! expected-improvement acquisition computed from the per-tree prediction
+//! spread.
+
+use vesta_cloud_sim::{Catalog, Simulator};
+use vesta_ml::forest::{ForestConfig, RandomForest};
+use vesta_ml::Matrix;
+use vesta_workloads::{MemoryWatcher, Workload};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BaselineError;
+
+/// CherryPick-style search configuration.
+#[derive(Debug, Clone)]
+pub struct CherryPickConfig {
+    /// Random probes before the surrogate takes over.
+    pub init_probes: usize,
+    /// Total probe budget (each probe = one cloud run).
+    pub max_probes: usize,
+    /// Surrogate forest parameters.
+    pub forest: ForestConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cluster size.
+    pub nodes: u32,
+}
+
+impl Default for CherryPickConfig {
+    fn default() -> Self {
+        CherryPickConfig {
+            init_probes: 3,
+            max_probes: 12,
+            forest: ForestConfig {
+                n_trees: 40,
+                max_depth: 8,
+                ..Default::default()
+            },
+            seed: 42,
+            nodes: 1,
+        }
+    }
+}
+
+/// Result of a search.
+#[derive(Debug, Clone)]
+pub struct CherryPickOutcome {
+    /// Best VM found.
+    pub best_vm: usize,
+    /// Its observed time.
+    pub best_time_s: f64,
+    /// Probe history `(vm_id, observed_time)` in probe order — the
+    /// progression curves of Fig. 12 read directly from this.
+    pub probes: Vec<(usize, f64)>,
+}
+
+/// The searcher.
+pub struct CherryPick {
+    config: CherryPickConfig,
+}
+
+impl CherryPick {
+    /// New searcher.
+    pub fn new(config: CherryPickConfig) -> Self {
+        CherryPick { config }
+    }
+
+    /// Run the sequential search for one workload.
+    pub fn search(
+        &self,
+        catalog: &Catalog,
+        workload: &Workload,
+    ) -> Result<CherryPickOutcome, BaselineError> {
+        if self.config.init_probes == 0 || self.config.max_probes < self.config.init_probes {
+            return Err(BaselineError::Training(
+                "probe budget must cover the initial random probes".into(),
+            ));
+        }
+        let sim = Simulator::default();
+        let watcher = MemoryWatcher::default();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ workload.id);
+        let mut probes: Vec<(usize, f64)> = Vec::new();
+        let mut probed = vec![false; catalog.len()];
+
+        let probe = |vm_id: usize,
+                     probes: &mut Vec<(usize, f64)>,
+                     probed: &mut Vec<bool>|
+         -> Result<(), BaselineError> {
+            let vm = catalog.get(vm_id).map_err(BaselineError::Sim)?;
+            let demand = watcher.apply(&workload.demand(), vm);
+            let t = sim
+                .run(&demand, vm, self.config.nodes, probes.len() as u64)
+                .map(|r| r.execution_time_s)
+                .unwrap_or(f64::INFINITY); // OOM probes are wasted budget
+            probes.push((vm_id, t));
+            probed[vm_id] = true;
+            Ok(())
+        };
+
+        // Initial random exploration.
+        while probes.len() < self.config.init_probes {
+            let vm_id = rng.gen_range(0..catalog.len());
+            if !probed[vm_id] {
+                probe(vm_id, &mut probes, &mut probed)?;
+            }
+        }
+
+        // Surrogate-guided probes.
+        while probes.len() < self.config.max_probes {
+            let finite: Vec<&(usize, f64)> = probes.iter().filter(|(_, t)| t.is_finite()).collect();
+            if finite.len() < 2 {
+                // Not enough signal for a surrogate yet: keep exploring.
+                let vm_id = rng.gen_range(0..catalog.len());
+                if !probed[vm_id] {
+                    probe(vm_id, &mut probes, &mut probed)?;
+                }
+                continue;
+            }
+            let rows: Vec<Vec<f64>> = finite
+                .iter()
+                .map(|(vm, _)| catalog.get(*vm).expect("probed id valid").feature_vector())
+                .collect();
+            let y: Vec<f64> = finite.iter().map(|(_, t)| t.ln()).collect();
+            let x = Matrix::from_rows(&rows).map_err(BaselineError::Ml)?;
+            let forest =
+                RandomForest::fit(&x, &y, &self.config.forest).map_err(BaselineError::Ml)?;
+            let best_log = y.iter().cloned().fold(f64::INFINITY, f64::min);
+
+            // Expected improvement under a normal approximation of the
+            // per-tree spread.
+            let mut best_candidate: Option<(usize, f64)> = None;
+            for vm in catalog.all() {
+                if probed[vm.id] {
+                    continue;
+                }
+                let preds = forest
+                    .predict_all(&vm.feature_vector())
+                    .map_err(BaselineError::Ml)?;
+                let mu = vesta_ml::stats::mean(&preds);
+                let sigma = vesta_ml::stats::std_dev(&preds).max(1e-6);
+                let z = (best_log - mu) / sigma;
+                let ei = sigma * (z * normal_cdf(z) + normal_pdf(z));
+                if best_candidate.is_none_or(|(_, b)| ei > b) {
+                    best_candidate = Some((vm.id, ei));
+                }
+            }
+            match best_candidate {
+                Some((vm_id, _)) => probe(vm_id, &mut probes, &mut probed)?,
+                None => break, // every VM probed
+            }
+        }
+
+        let (best_vm, best_time_s) = probes
+            .iter()
+            .filter(|(_, t)| t.is_finite())
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .copied()
+            .ok_or_else(|| BaselineError::Training("all probes failed".into()))?;
+        Ok(CherryPickOutcome {
+            best_vm,
+            best_time_s,
+            probes,
+        })
+    }
+}
+
+fn normal_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Abramowitz–Stegun style approximation of the standard normal CDF.
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Numerical-recipes rational approximation, |error| < 1.2e-7.
+    let t = 1.0 / (1.0 + 0.5 * x.abs());
+    let tau = t
+        * (-x * x - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        1.0 - tau
+    } else {
+        tau - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vesta_cloud_sim::Objective;
+    use vesta_workloads::Suite;
+
+    #[test]
+    fn erf_and_cdf_basics() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427007).abs() < 1e-5);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(3.0) > 0.99);
+        assert!(normal_cdf(-3.0) < 0.01);
+    }
+
+    #[test]
+    fn search_finds_competitive_vm_within_budget() {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let w = suite.by_name("Spark-kmeans").unwrap();
+        let cp = CherryPick::new(CherryPickConfig::default());
+        let out = cp.search(&catalog, w).unwrap();
+        assert!(out.probes.len() <= 12);
+        assert!(out.best_time_s.is_finite());
+        let ranking = vesta_core::ground_truth_ranking(&catalog, w, 1, Objective::ExecutionTime);
+        let best = ranking[0].1;
+        let chosen = ranking.iter().find(|(v, _)| *v == out.best_vm).unwrap().1;
+        assert!(
+            chosen <= 3.0 * best,
+            "{}x off after 12 probes",
+            chosen / best
+        );
+    }
+
+    #[test]
+    fn probe_history_is_monotone_in_best_so_far() {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let w = suite.by_name("Hadoop-terasort").unwrap();
+        let cp = CherryPick::new(CherryPickConfig::default());
+        let out = cp.search(&catalog, w).unwrap();
+        let mut best = f64::INFINITY;
+        for (_, t) in &out.probes {
+            best = best.min(*t);
+        }
+        assert_eq!(best, out.best_time_s);
+    }
+
+    #[test]
+    fn rejects_degenerate_budget() {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let w = suite.by_name("Spark-grep").unwrap();
+        let cp = CherryPick::new(CherryPickConfig {
+            init_probes: 0,
+            ..Default::default()
+        });
+        assert!(cp.search(&catalog, w).is_err());
+        let cp = CherryPick::new(CherryPickConfig {
+            init_probes: 5,
+            max_probes: 3,
+            ..Default::default()
+        });
+        assert!(cp.search(&catalog, w).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let w = suite.by_name("Spark-sort").unwrap();
+        let cp = CherryPick::new(CherryPickConfig::default());
+        let a = cp.search(&catalog, w).unwrap();
+        let b = cp.search(&catalog, w).unwrap();
+        assert_eq!(a.best_vm, b.best_vm);
+        assert_eq!(a.probes, b.probes);
+    }
+}

@@ -1,0 +1,63 @@
+//! # vesta-baselines
+//!
+//! The comparison systems of the Vesta evaluation (Table 5), implemented
+//! from scratch on the same simulated EC2 substrate:
+//!
+//! * [`paris`] — PARIS (SoCC '17): random forest over workload fingerprints
+//!   ⊕ VM features, trained from scratch across the full catalog; fragile
+//!   when the training and target frameworks differ (Figs. 2 and 6).
+//! * [`ernest`] — Ernest (NSDI '16): per-workload NNLS performance model
+//!   from scaled-down training runs; cheap to train, accurate on Spark,
+//!   blind to disk/memory capacity (Fig. 6's Hadoop/Hive gap).
+//! * [`cherrypick`] — a CherryPick-style (NSDI '17) sequential black-box
+//!   searcher, included as the related-work extension: it needs no offline
+//!   model but pays one cloud run per probe.
+
+pub mod cherrypick;
+pub mod ernest;
+pub mod paris;
+
+pub use cherrypick::{CherryPick, CherryPickConfig, CherryPickOutcome};
+pub use ernest::{Ernest, ErnestConfig, ErnestSelection};
+pub use paris::{Paris, ParisConfig, ParisSelection};
+
+use std::fmt;
+
+/// Errors produced by the baseline systems.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Training was impossible (empty inputs, degenerate config).
+    Training(String),
+    /// Error from the cloud simulator.
+    Sim(vesta_cloud_sim::SimError),
+    /// Error from the ML substrate.
+    Ml(vesta_ml::MlError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Training(s) => write!(f, "training failed: {s}"),
+            BaselineError::Sim(e) => write!(f, "simulator: {e}"),
+            BaselineError::Ml(e) => write!(f, "ml: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        for e in [
+            BaselineError::Training("x".into()),
+            BaselineError::Sim(vesta_cloud_sim::SimError::NoData("y".into())),
+            BaselineError::Ml(vesta_ml::MlError::InvalidParameter("z".into())),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

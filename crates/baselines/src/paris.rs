@@ -1,0 +1,392 @@
+//! The PARIS baseline (Yadwadkar et al., SoCC '17), as the paper compares
+//! against it (Table 5):
+//!
+//! PARIS trains a Random Forest that maps *(workload fingerprint ⊕ VM-type
+//! features)* → runtime. The fingerprint comes from profiling the workload
+//! on two fixed **reference VM types**; offline training requires profiling
+//! the training workloads across the full VM catalog (the from-scratch
+//! overhead of Figs. 3 and 8). "It assumes that a new-coming workload can
+//! be located to a category in Random Forest perfectly if it is from the
+//! same framework" — the experiments of Figs. 2 and 6 train it on
+//! Hadoop/Hive and test it on Spark, which is exactly where it breaks.
+
+use std::collections::BTreeMap;
+
+use vesta_cloud_sim::{Catalog, MetricsStore, RunKey, SimError, Simulator, VmType, N_METRICS};
+use vesta_ml::forest::{ForestConfig, RandomForest};
+use vesta_ml::Matrix;
+use vesta_workloads::{MemoryWatcher, Workload};
+
+use crate::BaselineError;
+
+/// PARIS configuration.
+#[derive(Debug, Clone)]
+pub struct ParisConfig {
+    /// Names of the two reference VM types used for fingerprinting.
+    pub reference_vms: [String; 2],
+    /// Random-forest hyper-parameters.
+    pub forest: ForestConfig,
+    /// Repetitions per profiling run.
+    pub reps: u64,
+    /// Cluster size.
+    pub nodes: u32,
+}
+
+impl Default for ParisConfig {
+    fn default() -> Self {
+        ParisConfig {
+            // The PARIS paper uses one small and one large box.
+            reference_vms: ["m5.large".to_string(), "m5.4xlarge".to_string()],
+            forest: ForestConfig {
+                n_trees: 60,
+                max_depth: 14,
+                ..Default::default()
+            },
+            reps: 3,
+            nodes: 1,
+        }
+    }
+}
+
+/// A trained PARIS model.
+pub struct Paris {
+    forest: RandomForest,
+    reference_vm_ids: [usize; 2],
+    config: ParisConfig,
+    sim: Simulator,
+    store: MetricsStore,
+    training_runs: usize,
+}
+
+impl Paris {
+    /// Offline training: profile every training workload on every VM type
+    /// (plus the reference VMs for fingerprints) and fit the forest.
+    pub fn train(
+        catalog: &Catalog,
+        workloads: &[&Workload],
+        config: ParisConfig,
+    ) -> Result<Paris, BaselineError> {
+        let all: Vec<usize> = (0..catalog.len()).collect();
+        Paris::train_on_vms(catalog, workloads, &all, config)
+    }
+
+    /// Train on a *subset* of VM types — the knob behind the Fig. 3
+    /// training-overhead-vs-error curve. The two fingerprint reference VMs
+    /// are always added to the subset.
+    pub fn train_on_vms(
+        catalog: &Catalog,
+        workloads: &[&Workload],
+        vm_ids: &[usize],
+        config: ParisConfig,
+    ) -> Result<Paris, BaselineError> {
+        if workloads.is_empty() {
+            return Err(BaselineError::Training("no training workloads".into()));
+        }
+        if vm_ids.is_empty() {
+            return Err(BaselineError::Training("no training VM types".into()));
+        }
+        let ref_a = catalog
+            .by_name(&config.reference_vms[0])
+            .map_err(BaselineError::Sim)?
+            .id;
+        let ref_b = catalog
+            .by_name(&config.reference_vms[1])
+            .map_err(BaselineError::Sim)?
+            .id;
+        let sim = Simulator::default();
+        let store = MetricsStore::new();
+        let sampler = vesta_cloud_sim::Collector::default();
+        let watcher = MemoryWatcher::default();
+
+        // Profiling sweep over the training VM set: the from-scratch
+        // training overhead.
+        let mut train_vms: Vec<usize> = vm_ids.to_vec();
+        for r in [ref_a, ref_b] {
+            if !train_vms.contains(&r) {
+                train_vms.push(r);
+            }
+        }
+        use rayon::prelude::*;
+        let jobs: Vec<(&Workload, &VmType)> = workloads
+            .iter()
+            .flat_map(|w| train_vms.iter().map(move |&id| (*w, catalog.get(id))))
+            .filter_map(|(w, v)| v.ok().map(|v| (w, v)))
+            .collect();
+        let errors: Vec<SimError> = jobs
+            .par_iter()
+            .filter_map(|(w, v)| {
+                profile_into(
+                    &sim,
+                    &sampler,
+                    &watcher,
+                    &store,
+                    w,
+                    v,
+                    config.reps,
+                    config.nodes,
+                )
+                .err()
+            })
+            .collect();
+        if let Some(e) = errors.into_iter().next() {
+            return Err(BaselineError::Sim(e));
+        }
+        let training_runs = store.total_runs();
+
+        // Assemble the design matrix.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut targets: Vec<f64> = Vec::new();
+        for w in workloads {
+            let fp = fingerprint_from_store(&store, w.id, [ref_a, ref_b])?;
+            for &vm_id in &train_vms {
+                let vm = catalog.get(vm_id).map_err(BaselineError::Sim)?;
+                let agg = store
+                    .aggregate(&RunKey {
+                        workload_id: w.id,
+                        vm_id: vm.id,
+                    })
+                    .map_err(BaselineError::Sim)?;
+                let mut features = fp.clone();
+                features.extend(vm.feature_vector());
+                rows.push(features);
+                targets.push(agg.p90_time_s.ln());
+            }
+        }
+        let x = Matrix::from_rows(&rows).map_err(BaselineError::Ml)?;
+        let forest = RandomForest::fit(&x, &targets, &config.forest).map_err(BaselineError::Ml)?;
+        Ok(Paris {
+            forest,
+            reference_vm_ids: [ref_a, ref_b],
+            config,
+            sim,
+            store,
+            training_runs,
+        })
+    }
+
+    /// Training overhead in simulated runs (Fig. 3 / Fig. 8 currency).
+    pub fn training_runs(&self) -> usize {
+        self.training_runs
+    }
+
+    /// Reference VM ids used for fingerprinting.
+    pub fn reference_vms(&self) -> [usize; 2] {
+        self.reference_vm_ids
+    }
+
+    /// Online step 1: fingerprint a new workload by running it on the two
+    /// reference VMs (the only new profiling PARIS pays per workload).
+    pub fn fingerprint(
+        &self,
+        catalog: &Catalog,
+        workload: &Workload,
+    ) -> Result<Vec<f64>, BaselineError> {
+        let sampler = vesta_cloud_sim::Collector::default();
+        let watcher = MemoryWatcher::default();
+        for &vm_id in &self.reference_vm_ids {
+            let vm = catalog.get(vm_id).map_err(BaselineError::Sim)?;
+            profile_into(
+                &self.sim,
+                &sampler,
+                &watcher,
+                &self.store,
+                workload,
+                vm,
+                self.config.reps,
+                self.config.nodes,
+            )
+            .map_err(BaselineError::Sim)?;
+        }
+        fingerprint_from_store(&self.store, workload.id, self.reference_vm_ids)
+    }
+
+    /// Online step 2: predict the runtime of a fingerprinted workload on
+    /// every VM type.
+    pub fn predict_times(
+        &self,
+        catalog: &Catalog,
+        fingerprint: &[f64],
+    ) -> Result<BTreeMap<usize, f64>, BaselineError> {
+        let mut out = BTreeMap::new();
+        for vm in catalog.all() {
+            let mut features = fingerprint.to_vec();
+            features.extend(vm.feature_vector());
+            let log_t = self.forest.predict(&features).map_err(BaselineError::Ml)?;
+            out.insert(vm.id, log_t.exp());
+        }
+        Ok(out)
+    }
+
+    /// Full online selection: fingerprint + predict + argmin.
+    pub fn select(
+        &self,
+        catalog: &Catalog,
+        workload: &Workload,
+    ) -> Result<ParisSelection, BaselineError> {
+        let fp = self.fingerprint(catalog, workload)?;
+        let predicted = self.predict_times(catalog, &fp)?;
+        let best_vm = predicted
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite predictions"))
+            .map(|(&vm, _)| vm)
+            .ok_or_else(|| BaselineError::Training("empty catalog".into()))?;
+        Ok(ParisSelection {
+            best_vm,
+            predicted_times: predicted,
+            reference_vms: self.reference_vm_ids.len(),
+        })
+    }
+}
+
+/// Result of a PARIS online selection.
+#[derive(Debug, Clone)]
+pub struct ParisSelection {
+    /// VM the forest picks.
+    pub best_vm: usize,
+    /// Predicted time per VM.
+    pub predicted_times: BTreeMap<usize, f64>,
+    /// Reference VMs consumed online.
+    pub reference_vms: usize,
+}
+
+/// Profile one (workload, VM) pair into a store.
+#[allow(clippy::too_many_arguments)]
+fn profile_into(
+    sim: &Simulator,
+    sampler: &vesta_cloud_sim::Collector,
+    watcher: &MemoryWatcher,
+    store: &MetricsStore,
+    workload: &Workload,
+    vm: &VmType,
+    reps: u64,
+    nodes: u32,
+) -> Result<(), SimError> {
+    let demand = watcher.apply(&workload.demand(), vm);
+    for rep in 0..reps {
+        let result = sim.run(&demand, vm, nodes, rep)?;
+        let trace = sampler.collect(sim, &demand, vm, nodes, rep)?;
+        let mut metric_means = [0.0; N_METRICS];
+        for (m, out) in metric_means.iter_mut().enumerate() {
+            *out = trace.mean(m);
+        }
+        store.insert(
+            RunKey {
+                workload_id: workload.id,
+                vm_id: vm.id,
+            },
+            vesta_cloud_sim::RunRecord {
+                run_idx: rep,
+                execution_time_s: result.execution_time_s,
+                cost_usd: result.cost_usd,
+                correlations: trace.correlations()?,
+                metric_means,
+            },
+        );
+    }
+    Ok(())
+}
+
+/// Fingerprint = the 20 metric means on each of the two reference VMs,
+/// plus the observed log-runtimes there (42 features).
+fn fingerprint_from_store(
+    store: &MetricsStore,
+    workload_id: u64,
+    reference: [usize; 2],
+) -> Result<Vec<f64>, BaselineError> {
+    let mut fp = Vec::with_capacity(2 * (N_METRICS + 1));
+    for vm_id in reference {
+        let records = store
+            .records(&RunKey { workload_id, vm_id })
+            .map_err(BaselineError::Sim)?;
+        let n = records.len() as f64;
+        let mut means = [0.0; N_METRICS];
+        let mut time = 0.0;
+        for r in &records {
+            for (m, v) in means.iter_mut().zip(&r.metric_means) {
+                *m += v;
+            }
+            time += r.execution_time_s;
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        fp.extend_from_slice(&means);
+        fp.push((time / n).ln());
+    }
+    Ok(fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vesta_workloads::Suite;
+
+    fn trained() -> (Catalog, Suite, Paris) {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(5).collect();
+        let cfg = ParisConfig {
+            reps: 2,
+            ..Default::default()
+        };
+        let paris = Paris::train(&catalog, &sources, cfg).unwrap();
+        (catalog, suite, paris)
+    }
+
+    #[test]
+    fn training_counts_full_sweep() {
+        let (_, _, paris) = trained();
+        assert_eq!(paris.training_runs(), 5 * 120 * 2);
+        assert_eq!(paris.reference_vms().len(), 2);
+    }
+
+    #[test]
+    fn same_framework_predictions_are_sane() {
+        // On a held-out Hadoop workload (same frameworks as training) PARIS
+        // should pick a VM within a reasonable factor of optimal.
+        let (catalog, suite, paris) = trained();
+        let w = suite.by_name("Hadoop-kmeans").unwrap();
+        let sel = paris.select(&catalog, w).unwrap();
+        assert_eq!(sel.predicted_times.len(), 120);
+        assert!(sel
+            .predicted_times
+            .values()
+            .all(|t| t.is_finite() && *t > 0.0));
+        let ranking = vesta_core::ground_truth_ranking(
+            &catalog,
+            w,
+            1,
+            vesta_cloud_sim::Objective::ExecutionTime,
+        );
+        let best = ranking[0].1;
+        let chosen = ranking.iter().find(|(vm, _)| *vm == sel.best_vm).unwrap().1;
+        assert!(
+            chosen <= 2.5 * best,
+            "same-framework pick {}x off",
+            chosen / best
+        );
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let (catalog, suite, paris) = trained();
+        let w = suite.by_name("Spark-count").unwrap();
+        let a = paris.select(&catalog, w).unwrap();
+        let b = paris.select(&catalog, w).unwrap();
+        assert_eq!(a.best_vm, b.best_vm);
+    }
+
+    #[test]
+    fn train_rejects_empty_and_bad_reference() {
+        let catalog = Catalog::aws_ec2();
+        assert!(Paris::train(&catalog, &[], ParisConfig::default()).is_err());
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(2).collect();
+        let cfg = ParisConfig {
+            reference_vms: ["nope.large".into(), "m5.large".into()],
+            reps: 1,
+            ..Default::default()
+        };
+        assert!(Paris::train(&catalog, &sources, cfg).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Behavioural tests of the baseline systems: coverage/accuracy trade-off
+//! for PARIS, framework asymmetry for Ernest, and budget discipline for
+//! the CherryPick searcher.
+
+use vesta_baselines::{CherryPick, CherryPickConfig, Ernest, ErnestConfig, Paris, ParisConfig};
+use vesta_cloud_sim::{Catalog, Objective, Simulator};
+use vesta_core::ground_truth_ranking;
+use vesta_workloads::{MemoryWatcher, Suite, Workload};
+
+fn regret(catalog: &Catalog, w: &Workload, chosen: usize) -> f64 {
+    let ranking = ground_truth_ranking(catalog, w, 1, Objective::ExecutionTime);
+    let best = ranking[0].1;
+    let got = ranking.iter().find(|(vm, _)| *vm == chosen).unwrap().1;
+    100.0 * (got - best) / best
+}
+
+#[test]
+fn paris_accuracy_improves_with_vm_coverage() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    // Train and test within one framework so only coverage varies.
+    let hadoop: Vec<&Workload> = suite
+        .all()
+        .iter()
+        .filter(|w| w.framework == vesta_workloads::Framework::Hadoop)
+        .collect();
+    let (train, test) = hadoop.split_at(8);
+    let cfg = ParisConfig {
+        reps: 2,
+        ..Default::default()
+    };
+    let err_at = |n_vms: usize| -> f64 {
+        let stride = (120 / n_vms).max(1);
+        let vm_ids: Vec<usize> = (0..120).step_by(stride).take(n_vms).collect();
+        let paris = Paris::train_on_vms(&catalog, train, &vm_ids, cfg.clone()).unwrap();
+        let mut errs = Vec::new();
+        for w in test {
+            let sel = paris.select(&catalog, w).unwrap();
+            errs.push(regret(&catalog, w, sel.best_vm));
+        }
+        vesta_ml::stats::mean(&errs)
+    };
+    let sparse = err_at(8);
+    let dense = err_at(120);
+    assert!(
+        dense < sparse,
+        "coverage should help: 8 VMs -> {sparse:.1}%, 120 VMs -> {dense:.1}%"
+    );
+}
+
+#[test]
+fn paris_training_runs_scale_with_coverage() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(3).collect();
+    let cfg = ParisConfig {
+        reps: 1,
+        ..Default::default()
+    };
+    let small = Paris::train_on_vms(
+        &catalog,
+        &sources,
+        &(0..10).collect::<Vec<_>>(),
+        cfg.clone(),
+    )
+    .unwrap();
+    let large =
+        Paris::train_on_vms(&catalog, &sources, &(0..100).collect::<Vec<_>>(), cfg).unwrap();
+    assert!(large.training_runs() > 5 * small.training_runs());
+}
+
+#[test]
+fn ernest_prediction_error_grows_with_extrapolation_distance() {
+    // Ernest trains on m5 sizes; its error should be larger on families
+    // whose non-CPU resources differ most from m5 (i3en), at least for a
+    // disk-sensitive workload.
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sim = Simulator::default();
+    let watcher = MemoryWatcher::default();
+    let w = suite.by_name("Hadoop-terasort").unwrap(); // disk-bound
+    let ernest = Ernest::train(&catalog, w, &ErnestConfig::default()).unwrap();
+    let err_on = |name: &str| -> f64 {
+        let vm = catalog.by_name(name).unwrap();
+        let truth = sim
+            .expected_time(&watcher.apply(&w.demand(), vm), vm, 1)
+            .unwrap();
+        (ernest.predict(vm).unwrap() - truth).abs() / truth
+    };
+    let near = err_on("m5a.2xlarge"); // m5-like disk
+    let far = err_on("i3en.2xlarge"); // 16x the disk bandwidth
+    assert!(
+        far > near,
+        "i3en err {far:.2} should exceed m5a err {near:.2}"
+    );
+}
+
+#[test]
+fn ernest_is_cheap_to_train() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let w = suite.by_name("Spark-count").unwrap();
+    let ernest = Ernest::train(&catalog, w, &ErnestConfig::default()).unwrap();
+    // orders of magnitude below a PARIS sweep
+    assert!(ernest.training_runs() < 30);
+}
+
+#[test]
+fn cherrypick_respects_probe_budget_and_improves_over_random() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let w = suite.by_name("Spark-kmeans").unwrap();
+    // guided search with 12 probes
+    let guided = CherryPick::new(CherryPickConfig {
+        max_probes: 12,
+        ..Default::default()
+    })
+    .search(&catalog, w)
+    .unwrap();
+    assert!(guided.probes.len() <= 12);
+    // pure random baseline: first 12 probes without surrogate (init = max)
+    let random = CherryPick::new(CherryPickConfig {
+        init_probes: 12,
+        max_probes: 12,
+        ..Default::default()
+    })
+    .search(&catalog, w)
+    .unwrap();
+    let rg = regret(&catalog, w, guided.best_vm);
+    let rr = regret(&catalog, w, random.best_vm);
+    assert!(
+        rg <= rr + 10.0,
+        "guided ({rg:.1}%) should be at least comparable to random ({rr:.1}%)"
+    );
+}
+
+#[test]
+fn cherrypick_more_probes_never_hurt() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let w = suite.by_name("Spark-sort").unwrap();
+    let short = CherryPick::new(CherryPickConfig {
+        max_probes: 6,
+        ..Default::default()
+    })
+    .search(&catalog, w)
+    .unwrap();
+    let long = CherryPick::new(CherryPickConfig {
+        max_probes: 20,
+        ..Default::default()
+    })
+    .search(&catalog, w)
+    .unwrap();
+    // same seed ⇒ the long run extends the short run's probe sequence
+    assert_eq!(&long.probes[..3], &short.probes[..3]);
+    assert!(long.best_time_s <= short.best_time_s);
+}
+
+#[test]
+fn all_three_baselines_serve_every_target_workload() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(4).collect();
+    let paris = Paris::train(
+        &catalog,
+        &sources,
+        ParisConfig {
+            reps: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let cp = CherryPick::new(CherryPickConfig {
+        max_probes: 6,
+        ..Default::default()
+    });
+    for w in suite.target() {
+        let ps = paris
+            .select(&catalog, w)
+            .unwrap_or_else(|e| panic!("PARIS {}: {e}", w.name()));
+        assert!(ps.best_vm < 120);
+        let ernest = Ernest::train(&catalog, w, &ErnestConfig::default())
+            .unwrap_or_else(|e| panic!("Ernest {}: {e}", w.name()));
+        assert!(ernest.select(&catalog).unwrap().best_vm < 120);
+        let out = cp
+            .search(&catalog, w)
+            .unwrap_or_else(|e| panic!("CP {}: {e}", w.name()));
+        assert!(out.best_vm < 120);
+    }
+}

@@ -1,0 +1,119 @@
+//! Criterion timing ablations over the design knobs DESIGN.md calls out:
+//! CMF λ and latent dimension, and label-interval width. (The *quality*
+//! ablations — how these knobs change prediction error — live in the
+//! `experiments ablations` subcommand; Criterion measures their cost.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vesta_graph::LabelSpace;
+use vesta_ml::cmf::{solve, CmfConfig, CmfProblem, Mask};
+use vesta_ml::sgd::SgdConfig;
+use vesta_ml::Matrix;
+
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut x = seed.wrapping_add(1);
+    let mut v = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        v.push((x >> 11) as f64 / (1u64 << 53) as f64);
+    }
+    Matrix::from_vec(rows, cols, v).expect("shape fits")
+}
+
+fn cmf_problem_parts(cols: usize) -> (Matrix, Matrix, Matrix, Mask) {
+    let source = deterministic_matrix(13, cols, 1);
+    let vm = deterministic_matrix(120, cols, 2);
+    let target = deterministic_matrix(1, cols, 3);
+    let mut mask = Mask::none(1, cols);
+    for i in (0..cols).step_by(4) {
+        mask.observe(0, i);
+    }
+    (source, vm, target, mask)
+}
+
+fn bench_latent_dim(c: &mut Criterion) {
+    let (source, vm, target, mask) = cmf_problem_parts(200);
+    let mut group = c.benchmark_group("cmf_latent_dim");
+    for &g in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |bench, &g| {
+            let cfg = CmfConfig {
+                latent_dim: g,
+                sgd: SgdConfig {
+                    max_epochs: 20,
+                    tolerance: 0.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            bench.iter(|| {
+                let problem = CmfProblem {
+                    source: black_box(&source),
+                    vm: black_box(&vm),
+                    target: black_box(&target),
+                    target_mask: black_box(&mask),
+                };
+                solve(&problem, &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lambda(c: &mut Criterion) {
+    let (source, vm, target, mask) = cmf_problem_parts(200);
+    let mut group = c.benchmark_group("cmf_lambda");
+    for &lambda in &[0.25f64, 0.5, 0.75] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{lambda}")),
+            &lambda,
+            |bench, &lambda| {
+                let cfg = CmfConfig {
+                    lambda,
+                    sgd: SgdConfig {
+                        max_epochs: 20,
+                        tolerance: 0.0,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                bench.iter(|| {
+                    let problem = CmfProblem {
+                        source: black_box(&source),
+                        vm: black_box(&vm),
+                        target: black_box(&target),
+                        target_mask: black_box(&mask),
+                    };
+                    solve(&problem, &cfg).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_interval_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_interval_width");
+    let correlations: Vec<f64> = (0..10).map(|i| (i as f64 * 0.7).sin()).collect();
+    for &width in &[0.025f64, 0.05, 0.1, 0.2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}")),
+            &width,
+            |bench, &width| {
+                let space = LabelSpace::with_width(10, width).unwrap();
+                bench.iter(|| space.labels_for(black_box(&correlations)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_latent_dim,
+    bench_lambda,
+    bench_interval_width
+);
+criterion_main!(ablations);

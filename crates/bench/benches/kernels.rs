@@ -1,0 +1,172 @@
+//! Criterion micro-benchmarks of the algorithmic kernels behind the
+//! pipeline: Pearson correlation, PCA, K-Means, random forest, NNLS, CMF
+//! and the simulator's run/trace generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vesta_cloud_sim::{Catalog, Collector, Simulator};
+use vesta_ml::cmf::{solve, CmfConfig, CmfProblem, Mask};
+use vesta_ml::forest::{ForestConfig, RandomForest};
+use vesta_ml::kmeans::{KMeans, KMeansConfig};
+use vesta_ml::linear::{ernest_features, nnls};
+use vesta_ml::pca::Pca;
+use vesta_ml::sgd::SgdConfig;
+use vesta_ml::Matrix;
+use vesta_workloads::Suite;
+
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut x = seed.wrapping_add(1);
+    let mut v = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        v.push((x >> 11) as f64 / (1u64 << 53) as f64);
+    }
+    Matrix::from_vec(rows, cols, v).expect("shape fits")
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let a: Vec<f64> = (0..720).map(|i| (i as f64 * 0.37).sin()).collect();
+    let b: Vec<f64> = (0..720).map(|i| (i as f64 * 0.11).cos()).collect();
+    c.bench_function("pearson_720_samples", |bench| {
+        bench.iter(|| vesta_ml::stats::pearson(black_box(&a), black_box(&b)).unwrap())
+    });
+    c.bench_function("p90_of_10_runs", |bench| {
+        let runs: Vec<f64> = (0..10).map(|i| 100.0 + i as f64).collect();
+        bench.iter(|| vesta_ml::stats::p90(black_box(&runs)).unwrap())
+    });
+    c.bench_function("spearman_720_samples", |bench| {
+        bench.iter(|| vesta_ml::stats::spearman(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let data = deterministic_matrix(30, 10, 7); // 30 workloads x 10 correlations
+    c.bench_function("pca_fit_30x10", |bench| {
+        bench.iter(|| Pca::fit(black_box(&data)).unwrap())
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for &k in &[5usize, 9, 13] {
+        let data = deterministic_matrix(120, 40, 3); // 120 VMs x label affinity
+        group.bench_with_input(BenchmarkId::new("fit_120_vms", k), &k, |bench, &k| {
+            let cfg = KMeansConfig {
+                k,
+                n_init: 2,
+                ..Default::default()
+            };
+            bench.iter(|| KMeans::fit(black_box(&data), &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let x = deterministic_matrix(240, 46, 11); // PARIS design: 2 workloads x 120 VMs
+    let y: Vec<f64> = (0..240).map(|i| (i % 17) as f64).collect();
+    let cfg = ForestConfig {
+        n_trees: 20,
+        ..Default::default()
+    };
+    c.bench_function("random_forest_fit_240x46", |bench| {
+        bench.iter(|| RandomForest::fit(black_box(&x), black_box(&y), &cfg).unwrap())
+    });
+    let forest = RandomForest::fit(&x, &y, &cfg).unwrap();
+    let point: Vec<f64> = (0..46).map(|i| i as f64 / 46.0).collect();
+    c.bench_function("random_forest_predict", |bench| {
+        bench.iter(|| forest.predict(black_box(&point)).unwrap())
+    });
+}
+
+fn bench_nnls(c: &mut Criterion) {
+    let rows: Vec<Vec<f64>> = (1..=9)
+        .map(|i| ernest_features(100.0 * i as f64 / 9.0, (i % 3 + 1) as f64 * 4.0))
+        .collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let y: Vec<f64> = (1..=9).map(|i| 50.0 + 3.0 * i as f64).collect();
+    c.bench_function("ernest_nnls_fit", |bench| {
+        bench.iter(|| nnls(black_box(&x), black_box(&y), 20_000).unwrap())
+    });
+}
+
+fn bench_cmf(c: &mut Criterion) {
+    // Paper-scale shapes: U 13x200, V 120x200, U* 1x200 sparse.
+    let source = deterministic_matrix(13, 200, 1);
+    let vm = deterministic_matrix(120, 200, 2);
+    let target = deterministic_matrix(1, 200, 3);
+    let mut mask = Mask::none(1, 200);
+    for i in (0..200).step_by(4) {
+        mask.observe(0, i);
+    }
+    let cfg = CmfConfig {
+        latent_dim: 8,
+        sgd: SgdConfig {
+            max_epochs: 30,
+            tolerance: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    c.bench_function("cmf_30_epochs_paper_scale", |bench| {
+        bench.iter(|| {
+            let problem = CmfProblem {
+                source: black_box(&source),
+                vm: black_box(&vm),
+                target: black_box(&target),
+                target_mask: black_box(&mask),
+            };
+            solve(&problem, &cfg).unwrap()
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sim = Simulator::default();
+    let w = suite.by_name("Spark-kmeans").unwrap();
+    let vm = catalog.by_name("m5.2xlarge").unwrap();
+    let demand = w.demand();
+    c.bench_function("simulator_single_run", |bench| {
+        bench.iter(|| sim.run(black_box(&demand), vm, 1, 0).unwrap())
+    });
+    let collector = Collector::default();
+    c.bench_function("collector_trace_5s_samples", |bench| {
+        bench.iter(|| {
+            collector
+                .collect(&sim, black_box(&demand), vm, 1, 0)
+                .unwrap()
+        })
+    });
+    c.bench_function("des_task_level_run", |bench| {
+        let cfg = vesta_cloud_sim::DesConfig::default();
+        bench.iter(|| vesta_cloud_sim::des_simulate(black_box(&demand), vm, 1, 0, &cfg).unwrap())
+    });
+    c.bench_function("exhaustive_ranking_120_vms", |bench| {
+        bench.iter(|| {
+            vesta_cloud_sim::exhaustive_ranking(
+                &sim,
+                black_box(&demand),
+                catalog.all(),
+                1,
+                vesta_cloud_sim::Objective::ExecutionTime,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_stats,
+    bench_pca,
+    bench_kmeans,
+    bench_forest,
+    bench_nnls,
+    bench_cmf,
+    bench_simulator
+);
+criterion_main!(kernels);

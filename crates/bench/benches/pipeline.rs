@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the end-to-end phases: offline knowledge
+//! training and one full online prediction (Algorithm 1). These are the
+//! latencies a deployment of Vesta would actually observe (modulo the
+//! cloud runs themselves, which the simulator makes free).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vesta_cloud_sim::Catalog;
+use vesta_core::{Vesta, VestaConfig};
+use vesta_workloads::{Suite, Workload};
+
+fn fast_config() -> VestaConfig {
+    VestaConfig {
+        offline_reps: 2,
+        ..VestaConfig::fast()
+    }
+}
+
+fn bench_offline_training(c: &mut Criterion) {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(4).collect();
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    group.bench_function("train_4_sources_x_120_vms", |bench| {
+        bench.iter(|| Vesta::train(catalog.clone(), black_box(&sources), fast_config()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_online_prediction(c: &mut Criterion) {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training();
+    let vesta = Vesta::train(catalog, &sources, fast_config()).unwrap();
+    let target = suite.by_name("Spark-kmeans").unwrap();
+    let mut group = c.benchmark_group("online");
+    group.sample_size(10);
+    group.bench_function("predict_one_spark_target", |bench| {
+        bench.iter(|| vesta.select_best_vm(black_box(target)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let target = suite.by_name("Spark-lr").unwrap();
+    c.bench_function("ground_truth_ranking_120_vms", |bench| {
+        bench.iter(|| {
+            vesta_core::ground_truth_ranking(
+                &catalog,
+                black_box(target),
+                1,
+                vesta_cloud_sim::Objective::ExecutionTime,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    pipeline,
+    bench_offline_training,
+    bench_online_prediction,
+    bench_ground_truth
+);
+criterion_main!(pipeline);

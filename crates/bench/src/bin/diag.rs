@@ -1,0 +1,32 @@
+//! Diagnostic: ground-truth best VM per workload (time and budget
+//! objectives) plus the chosen VM's regret spread — used to validate that
+//! the simulator induces meaningful VM-type diversity.
+
+use vesta_bench::{Context, Fidelity};
+use vesta_cloud_sim::Objective;
+use vesta_core::ground_truth_ranking;
+
+fn main() {
+    let ctx = Context::new(Fidelity::Quick);
+    println!(
+        "{:<20} {:>18} {:>18} {:>8} {:>8}",
+        "workload", "best-time VM", "best-budget VM", "t10/t1", "b10/b1"
+    );
+    for w in ctx.suite.all() {
+        let rt = ground_truth_ranking(&ctx.catalog, w, 1, Objective::ExecutionTime);
+        let rb = ground_truth_ranking(&ctx.catalog, w, 1, Objective::Budget);
+        let tname = &ctx.catalog.get(rt[0].0).unwrap().name;
+        let bname = &ctx.catalog.get(rb[0].0).unwrap().name;
+        // spread: how much worse is the 10th / median choice?
+        let spread_t = rt[9].1 / rt[0].1;
+        let spread_b = rb[9].1 / rb[0].1;
+        println!(
+            "{:<20} {:>18} {:>18} {:>8.2} {:>8.2}",
+            w.name(),
+            tname,
+            bname,
+            spread_t,
+            spread_b
+        );
+    }
+}

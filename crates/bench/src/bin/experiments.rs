@@ -1,0 +1,51 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [all | table1 | table3 | table4 | table5 | fig1 | fig2 | fig3 |
+//!              fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13]...
+//! ```
+//!
+//! Results print as aligned tables and are dumped to `results/<id>.json`.
+
+use std::path::PathBuf;
+use vesta_bench::{run_experiment, Context, Fidelity, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut ids: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    if ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    } else if let Some(pos) = ids.iter().position(|a| a == "all") {
+        // "all" expands in place to the paper artifacts; extension ids
+        // listed alongside it still run.
+        ids.splice(pos..=pos, ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    let fidelity = if quick {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    };
+    let ctx = Context::new(fidelity);
+    let results_dir = PathBuf::from("results");
+    let started = std::time::Instant::now();
+    for id in &ids {
+        match run_experiment(&ctx, id) {
+            Some(report) => report.emit(&results_dir),
+            None => {
+                eprintln!(
+                    "unknown experiment '{id}'. Known: {}",
+                    ALL_EXPERIMENTS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "\n[experiments] {} experiment(s) in {:.1}s (fidelity: {:?}); JSON in {}/",
+        ids.len(),
+        started.elapsed().as_secs_f64(),
+        fidelity,
+        results_dir.display()
+    );
+}

@@ -1,0 +1,137 @@
+//! Shared experiment context: one catalog, one suite, and lazily trained
+//! models reused across the figure/table regenerations so `experiments all`
+//! trains Vesta and PARIS once.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use vesta_baselines::{Ernest, ErnestConfig, Paris, ParisConfig};
+use vesta_cloud_sim::Catalog;
+use vesta_core::{Vesta, VestaConfig};
+use vesta_workloads::{Suite, Workload};
+
+/// Fidelity of the experiment run: `Full` approximates the paper's
+/// repetition counts; `Quick` is for smoke tests and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Paper-like repetitions (10 offline reps, full SGD budget).
+    Full,
+    /// Reduced repetitions for fast runs.
+    Quick,
+}
+
+/// Shared state across experiments.
+pub struct Context {
+    /// The 120-type EC2 catalog.
+    pub catalog: Catalog,
+    /// The 30-workload suite of Table 3.
+    pub suite: Suite,
+    /// Fidelity level.
+    pub fidelity: Fidelity,
+    vesta: Mutex<Option<Arc<Vesta>>>,
+    paris: Mutex<Option<Arc<Paris>>>,
+}
+
+impl Context {
+    /// Fresh context.
+    pub fn new(fidelity: Fidelity) -> Self {
+        Context {
+            catalog: Catalog::aws_ec2(),
+            suite: Suite::paper(),
+            fidelity,
+            vesta: Mutex::new(None),
+            paris: Mutex::new(None),
+        }
+    }
+
+    /// The Vesta config for this fidelity.
+    pub fn vesta_config(&self) -> VestaConfig {
+        match self.fidelity {
+            Fidelity::Full => VestaConfig {
+                offline_reps: 5, // paper uses 10; 5 preserves the P90 story at half the cost
+                ..VestaConfig::default()
+            },
+            Fidelity::Quick => VestaConfig {
+                offline_reps: 2,
+                ..VestaConfig::fast()
+            },
+        }
+    }
+
+    /// PARIS config for this fidelity.
+    pub fn paris_config(&self) -> ParisConfig {
+        match self.fidelity {
+            Fidelity::Full => ParisConfig {
+                reps: 3,
+                ..Default::default()
+            },
+            Fidelity::Quick => ParisConfig {
+                reps: 2,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Ernest config for this fidelity.
+    pub fn ernest_config(&self) -> ErnestConfig {
+        ErnestConfig::default()
+    }
+
+    /// Vesta trained on the 13 source-training workloads (cached).
+    pub fn vesta(&self) -> Arc<Vesta> {
+        let mut guard = self.vesta.lock();
+        if let Some(v) = guard.as_ref() {
+            return Arc::clone(v);
+        }
+        eprintln!("[context] training Vesta offline model (13 source workloads x 120 VM types)…");
+        let sources: Vec<&Workload> = self.suite.source_training();
+        let vesta = Vesta::train(self.catalog.clone(), &sources, self.vesta_config())
+            .expect("offline training on the paper suite succeeds");
+        let arc = Arc::new(vesta);
+        *guard = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// PARIS trained on the 13 source-training workloads (cached).
+    pub fn paris(&self) -> Arc<Paris> {
+        let mut guard = self.paris.lock();
+        if let Some(p) = guard.as_ref() {
+            return Arc::clone(p);
+        }
+        eprintln!("[context] training PARIS on Hadoop/Hive source workloads…");
+        let sources: Vec<&Workload> = self.suite.source_training();
+        let paris = Paris::train(&self.catalog, &sources, self.paris_config())
+            .expect("PARIS training on the paper suite succeeds");
+        let arc = Arc::new(paris);
+        *guard = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// A fresh Ernest model for one workload.
+    pub fn ernest_for(&self, workload: &Workload) -> Ernest {
+        Ernest::train(&self.catalog, workload, &self.ernest_config())
+            .expect("Ernest training succeeds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_and_caches_vesta() {
+        let ctx = Context::new(Fidelity::Quick);
+        let a = ctx.vesta();
+        let b = ctx.vesta();
+        assert!(Arc::ptr_eq(&a, &b), "vesta model should be cached");
+        assert_eq!(ctx.suite.len(), 30);
+        assert_eq!(ctx.catalog.len(), 120);
+    }
+
+    #[test]
+    fn configs_scale_with_fidelity() {
+        let quick = Context::new(Fidelity::Quick);
+        let full = Context::new(Fidelity::Full);
+        assert!(quick.vesta_config().offline_reps < full.vesta_config().offline_reps);
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared evaluation helpers: selection-regret MAPE over repeated
+//! experiment instances, observed ground truth, and the run-progression
+//! traces behind Figs. 12/13.
+
+use vesta_cloud_sim::Objective;
+use vesta_core::ground_truth_ranking;
+use vesta_workloads::Workload;
+
+use crate::context::Context;
+
+/// Ground-truth score of `vm` and of the optimum, under an objective.
+pub fn chosen_vs_best(
+    ctx: &Context,
+    workload: &Workload,
+    chosen_vm: usize,
+    objective: Objective,
+) -> (f64, f64) {
+    let ranking = ground_truth_ranking(&ctx.catalog, workload, 1, objective);
+    let best = ranking.first().map(|(_, s)| *s).unwrap_or(f64::INFINITY);
+    let chosen = ranking
+        .iter()
+        .find(|(vm, _)| *vm == chosen_vm)
+        .map(|(_, s)| *s)
+        .unwrap_or(f64::INFINITY);
+    (chosen, best)
+}
+
+/// The paper's Section 5.2 prediction error: MAPE between the performance
+/// achieved by the predicted VM and the ground-truth best, over one pick.
+pub fn selection_error(ctx: &Context, workload: &Workload, chosen_vm: usize) -> f64 {
+    let (chosen, best) = chosen_vs_best(ctx, workload, chosen_vm, Objective::ExecutionTime);
+    if !best.is_finite() || best <= 0.0 {
+        return f64::INFINITY;
+    }
+    100.0 * (chosen - best) / best
+}
+
+/// Time-prediction MAPE (Eq. 7) of a per-VM predicted-time map against the
+/// noise-free ground truth, averaged over every VM type the map covers.
+/// This is the paper's primary prediction-error metric: a model trained on
+/// another framework is typically *scale-shifted* and scores terribly here
+/// even when its argmin VM happens to be decent.
+pub fn time_prediction_mape(
+    ctx: &Context,
+    workload: &Workload,
+    predicted: &std::collections::BTreeMap<usize, f64>,
+) -> f64 {
+    let ranking = ground_truth_ranking(&ctx.catalog, workload, 1, Objective::ExecutionTime);
+    let truth: std::collections::BTreeMap<usize, f64> = ranking.into_iter().collect();
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (vm, pred) in predicted {
+        if let Some(t) = truth.get(vm) {
+            if t.is_finite() && *t > 0.0 && pred.is_finite() {
+                acc += ((pred - t) / t).abs();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    100.0 * acc / n as f64
+}
+
+/// Summary statistics over repeated error measurements.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ErrorStats {
+    /// Mean error (the MAPE of Eq. 7 over the runs).
+    pub mape: f64,
+    /// Standard deviation across runs.
+    pub std_dev: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+/// Aggregate repeated per-run errors into the paper's bar + whisker stats.
+pub fn error_stats(errors: &[f64]) -> ErrorStats {
+    let finite: Vec<f64> = errors.iter().copied().filter(|e| e.is_finite()).collect();
+    if finite.is_empty() {
+        return ErrorStats {
+            mape: f64::INFINITY,
+            std_dev: 0.0,
+            p10: 0.0,
+            p90: 0.0,
+        };
+    }
+    ErrorStats {
+        mape: vesta_ml::stats::mean(&finite),
+        std_dev: vesta_ml::stats::std_dev(&finite),
+        p10: vesta_ml::stats::percentile(&finite, 10.0).unwrap_or(0.0),
+        p90: vesta_ml::stats::percentile(&finite, 90.0).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fidelity;
+
+    #[test]
+    fn selection_error_zero_for_optimum() {
+        let ctx = Context::new(Fidelity::Quick);
+        let w = ctx.suite.by_name("Spark-grep").unwrap();
+        let ranking = ground_truth_ranking(&ctx.catalog, w, 1, Objective::ExecutionTime);
+        assert!(selection_error(&ctx, w, ranking[0].0).abs() < 1e-9);
+        assert!(selection_error(&ctx, w, ranking.last().unwrap().0) > 0.0);
+    }
+
+    #[test]
+    fn error_stats_aggregate() {
+        let s = error_stats(&[10.0, 20.0, 30.0]);
+        assert!((s.mape - 20.0).abs() < 1e-9);
+        assert!(s.std_dev > 0.0);
+        assert!(s.p10 <= s.p90);
+        let inf = error_stats(&[f64::INFINITY]);
+        assert!(inf.mape.is_infinite());
+    }
+}

@@ -1,0 +1,239 @@
+//! Figures 6-8: effectiveness of Vesta against PARIS and Ernest.
+//!
+//! * Fig. 6 — MAPE of the predicted best VM vs ground truth, per workload
+//!   (target set + testing set), for Vesta / PARIS / Ernest.
+//! * Fig. 7 — predicted execution time of Spark-lr across 10 typical VM
+//!   types, Vesta vs Ernest, as (Predicted/Observed) × 100 %.
+//! * Fig. 8 — training overhead: reference VMs consumed per system.
+
+use vesta_cloud_sim::Objective;
+use vesta_core::ground_truth_ranking;
+use vesta_workloads::Workload;
+
+use crate::context::Context;
+use crate::eval::{error_stats, selection_error};
+use crate::report::{f, pct, ExperimentReport};
+
+/// Fig. 6: prediction error comparison on the target (Spark) and testing
+/// (Hadoop/Hive) sets.
+pub fn fig6(ctx: &Context) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig6",
+        "Prediction error (MAPE) against alternatives on multiple frameworks",
+        &[
+            "Workload",
+            "Set",
+            "Vesta MAPE",
+            "PARIS MAPE",
+            "Ernest MAPE",
+            "Vesta regret",
+            "PARIS regret",
+            "Ernest regret",
+        ],
+    );
+    let vesta = ctx.vesta();
+    let paris = ctx.paris();
+    let mut series = Vec::new();
+    let mut sums = (Vec::new(), Vec::new(), Vec::new()); // spark-set MAPE per system
+
+    let eval_workloads: Vec<(&Workload, &str)> = ctx
+        .suite
+        .target()
+        .into_iter()
+        .map(|w| (w, "target"))
+        .chain(
+            ctx.suite
+                .source_testing()
+                .into_iter()
+                .map(|w| (w, "testing")),
+        )
+        .collect();
+
+    for (w, set) in eval_workloads {
+        // Vesta
+        let p = vesta.select_best_vm(w).expect("vesta prediction");
+        let vesta_mape = crate::eval::time_prediction_mape(ctx, w, &p.predicted_times);
+        let vesta_reg = selection_error(ctx, w, p.best_vm);
+        // PARIS
+        let ps = paris.select(&ctx.catalog, w).expect("paris selection");
+        let paris_mape = crate::eval::time_prediction_mape(ctx, w, &ps.predicted_times);
+        let paris_reg = selection_error(ctx, w, ps.best_vm);
+        // Ernest (trained per workload)
+        let ernest = ctx.ernest_for(w);
+        let es = ernest.select(&ctx.catalog).expect("ernest selection");
+        let ernest_mape = crate::eval::time_prediction_mape(ctx, w, &es.predicted_times);
+        let ernest_reg = selection_error(ctx, w, es.best_vm);
+
+        if set == "target" {
+            sums.0.push(vesta_mape);
+            sums.1.push(paris_mape);
+            sums.2.push(ernest_mape);
+        }
+        report.row(vec![
+            w.name(),
+            set.to_string(),
+            pct(vesta_mape),
+            pct(paris_mape),
+            pct(ernest_mape),
+            pct(vesta_reg),
+            pct(paris_reg),
+            pct(ernest_reg),
+        ]);
+        series.push(serde_json::json!({
+            "workload": w.name(), "set": set,
+            "vesta_mape": vesta_mape, "paris_mape": paris_mape, "ernest_mape": ernest_mape,
+            "vesta_regret": vesta_reg, "paris_regret": paris_reg, "ernest_regret": ernest_reg,
+            "vesta_converged": p.converged,
+        }));
+    }
+    let v = error_stats(&sums.0);
+    let pa = error_stats(&sums.1);
+    let er = error_stats(&sums.2);
+    report.row(vec![
+        "MEAN (target set)".into(),
+        "target".into(),
+        pct(v.mape),
+        pct(pa.mape),
+        pct(er.mape),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    let reduction_vs_paris = if pa.mape > 0.0 {
+        100.0 * (pa.mape - v.mape) / pa.mape
+    } else {
+        0.0
+    };
+    report.series = serde_json::json!({
+        "per_workload": series,
+        "target_mean": {"vesta": v.mape, "paris": pa.mape, "ernest": er.mape},
+        "vesta_vs_paris_reduction_pct": reduction_vs_paris,
+    });
+    report.note(format!(
+        "Paper shape: Vesta reduces overall error by up to 51% vs PARIS on the new framework; \
+         measured reduction on the Spark target set: {}.",
+        pct(reduction_vs_paris)
+    ));
+    report.note(
+        "Expected outliers: Spark-svd++ (≈40% run variance) and Spark-CF (CMF convergence cap).",
+    );
+    report
+}
+
+/// Fig. 7: predicted vs observed execution time of Spark-lr on the 10
+/// typical VM types.
+pub fn fig7(ctx: &Context) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig7",
+        "Predicting Spark-lr execution time on 10 VM types ((Predicted/Observed) x 100%)",
+        &[
+            "VM type",
+            "Observed (s)",
+            "Vesta pred (s)",
+            "Vesta %",
+            "Ernest pred (s)",
+            "Ernest %",
+        ],
+    );
+    let w = ctx.suite.by_name("Spark-lr").expect("Spark-lr exists");
+    let vesta = ctx.vesta();
+    let prediction = vesta.select_best_vm(w).expect("vesta prediction");
+    let ernest = ctx.ernest_for(w);
+    let ranking = ground_truth_ranking(&ctx.catalog, w, 1, Objective::ExecutionTime);
+    let truth: std::collections::BTreeMap<usize, f64> = ranking.into_iter().collect();
+    let mut series = Vec::new();
+    let mut vesta_devs = Vec::new();
+    let mut ernest_devs = Vec::new();
+    for vm in ctx.catalog.typical_ten() {
+        let observed = truth[&vm.id];
+        let vp = prediction
+            .predicted_times
+            .get(&vm.id)
+            .copied()
+            .unwrap_or(f64::NAN);
+        let ep = ernest.predict(vm).expect("ernest predict");
+        let vdev = 100.0 * vp / observed;
+        let edev = 100.0 * ep / observed;
+        vesta_devs.push((vdev - 100.0).abs());
+        ernest_devs.push((edev - 100.0).abs());
+        report.row(vec![
+            vm.name.clone(),
+            f(observed),
+            f(vp),
+            pct(vdev),
+            f(ep),
+            pct(edev),
+        ]);
+        series.push(serde_json::json!({
+            "vm": vm.name, "observed_s": observed, "vesta_s": vp, "ernest_s": ep,
+            "vesta_dev_pct": vdev, "ernest_dev_pct": edev,
+        }));
+    }
+    let vmean = vesta_ml::stats::mean(&vesta_devs);
+    let emean = vesta_ml::stats::mean(&ernest_devs);
+    report.series = serde_json::json!({
+        "per_vm": series,
+        "mean_abs_dev": {"vesta": vmean, "ernest": emean},
+    });
+    report.note(format!(
+        "Paper shape: Vesta performs better or comparable against Ernest on every type \
+         (it trains with large data sets offline). Measured mean |dev - 100%|: Vesta {}, Ernest {}.",
+        pct(vmean),
+        pct(emean)
+    ));
+    report
+}
+
+/// Fig. 8: training overhead (reference VMs) per system for Spark targets.
+pub fn fig8(ctx: &Context) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig8",
+        "Training overhead comparing against PARIS and Ernest (reference VMs per Spark workload)",
+        &["System", "Reference VMs / workload", "Notes"],
+    );
+    let vesta = ctx.vesta();
+    let targets: Vec<&Workload> = ctx.suite.target();
+    let mut vesta_refs = Vec::new();
+    for w in &targets {
+        let p = vesta.select_best_vm(w).expect("vesta prediction");
+        vesta_refs.push(p.reference_vms as f64);
+    }
+    let vesta_mean = vesta_ml::stats::mean(&vesta_refs);
+    let vesta_max = vesta_refs.iter().cloned().fold(0.0f64, f64::max);
+
+    // PARIS from scratch on Spark: to reach its trained accuracy it needs
+    // the full profiling sweep per workload (Table 5: "PARIS is training
+    // Spark workloads from scratch").
+    let paris_refs = ctx.catalog.len() as f64;
+    // Ernest: fractions × training VMs.
+    let ecfg = ctx.ernest_config();
+    let ernest_refs = (ecfg.fractions.len() * ecfg.training_vms.len()) as f64;
+
+    report.row(vec![
+        "Vesta".into(),
+        format!("{vesta_mean:.1} (max {vesta_max:.0})"),
+        "sandbox + 3 random; fallback widens on non-convergence".into(),
+    ]);
+    report.row(vec![
+        "PARIS (from scratch)".into(),
+        format!("{paris_refs:.0}"),
+        "full-catalog profiling sweep per new-framework workload".into(),
+    ]);
+    report.row(vec![
+        "Ernest".into(),
+        format!("{ernest_refs:.0}"),
+        "scaled-down training runs (accurate modeling, Spark only)".into(),
+    ]);
+    let reduction = 100.0 * (paris_refs - vesta_mean) / paris_refs;
+    report.series = serde_json::json!({
+        "vesta_mean": vesta_mean, "vesta_max": vesta_max,
+        "paris": paris_refs, "ernest": ernest_refs,
+        "vesta_vs_paris_reduction_pct": reduction,
+    });
+    report.note(format!(
+        "Paper shape: Vesta reduces up to 85% training overhead vs PARIS (15 vs 100 reference \
+         VMs) and is close to Ernest. Measured reduction: {}.",
+        pct(reduction)
+    ));
+    report
+}

@@ -1,0 +1,229 @@
+//! Figures 12-13: practical implications.
+//!
+//! * Fig. 12 — progression of finding shorter execution time over runs,
+//!   per workload and system.
+//! * Fig. 13 — budget optimization per application.
+
+use vesta_baselines::{CherryPick, CherryPickConfig};
+use vesta_cloud_sim::Objective;
+use vesta_core::ground_truth_ranking;
+use vesta_workloads::Workload;
+
+use crate::context::Context;
+use crate::eval::chosen_vs_best;
+use crate::report::{f, pct, ExperimentReport};
+
+/// The six workloads Fig. 12 traces (the paper shows six Spark apps;
+/// Spark-svd++ is the one where PARIS wins by chance).
+const FIG12_APPS: [&str; 6] = [
+    "Spark-lr",
+    "Spark-kmeans",
+    "Spark-page-rank",
+    "Spark-sort",
+    "Spark-pca",
+    "Spark-svd++",
+];
+
+/// Best-so-far ground-truth time after the n-th reference run, per system.
+fn progression(times: &[f64]) -> Vec<f64> {
+    let mut best = f64::INFINITY;
+    times
+        .iter()
+        .map(|&t| {
+            best = best.min(t);
+            best
+        })
+        .collect()
+}
+
+/// Fig. 12: execution-time optimization progression over runs.
+pub fn fig12(ctx: &Context) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig12",
+        "Execution-time optimization progression (best-so-far seconds after each run)",
+        &[
+            "Workload",
+            "System",
+            "Run 1",
+            "Run 2",
+            "Run 4",
+            "Run 6",
+            "Final pick",
+        ],
+    );
+    let vesta = ctx.vesta();
+    let paris = ctx.paris();
+    let cp = CherryPick::new(CherryPickConfig::default());
+    let mut series = Vec::new();
+    let mut vesta_wins = 0usize;
+    for app in FIG12_APPS {
+        let w = ctx.suite.by_name(app).expect("Fig. 12 app exists");
+        let truth: std::collections::BTreeMap<usize, f64> =
+            ground_truth_ranking(&ctx.catalog, w, 1, Objective::ExecutionTime)
+                .into_iter()
+                .collect();
+        let t_of = |vm: usize| truth.get(&vm).copied().unwrap_or(f64::INFINITY);
+
+        // Vesta: its reference runs in order, then the final predicted pick.
+        let p = vesta.select_best_vm(w).expect("vesta");
+        let mut vesta_times: Vec<f64> = p.observed.iter().map(|(vm, _)| t_of(*vm)).collect();
+        vesta_times.push(t_of(p.best_vm));
+        let vesta_prog = progression(&vesta_times);
+
+        // PARIS: 2 fingerprint runs on its reference VMs, then its pick.
+        let sel = paris.select(&ctx.catalog, w).expect("paris");
+        let mut paris_times: Vec<f64> = paris.reference_vms().iter().map(|&vm| t_of(vm)).collect();
+        paris_times.push(t_of(sel.best_vm));
+        let paris_prog = progression(&paris_times);
+
+        // Ernest: trains on scaled-down inputs (no full-size runs until its
+        // pick), so its progression is flat at the final selection.
+        let ernest = ctx.ernest_for(w);
+        let es = ernest.select(&ctx.catalog).expect("ernest");
+        let ernest_final = t_of(es.best_vm);
+
+        // CherryPick (extension comparator): its probes in order.
+        let out = cp.search(&ctx.catalog, w).expect("cherrypick");
+        let cp_times: Vec<f64> = out.probes.iter().map(|(vm, _)| t_of(*vm)).collect();
+        let cp_prog = progression(&cp_times);
+
+        let sample = |prog: &[f64], run: usize| -> String {
+            prog.get(run.min(prog.len().saturating_sub(1)))
+                .map(|v| f(*v))
+                .unwrap_or_else(|| "-".into())
+        };
+        for (name, prog) in [
+            ("Vesta", &vesta_prog),
+            ("PARIS", &paris_prog),
+            ("CherryPick*", &cp_prog),
+        ] {
+            report.row(vec![
+                w.name(),
+                name.to_string(),
+                sample(prog, 0),
+                sample(prog, 1),
+                sample(prog, 3),
+                sample(prog, 5),
+                f(*prog.last().expect("non-empty progression")),
+            ]);
+        }
+        report.row(vec![
+            w.name(),
+            "Ernest".to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            f(ernest_final),
+        ]);
+        let vf = *vesta_prog.last().expect("non-empty");
+        let pf = *paris_prog.last().expect("non-empty");
+        // "better or at least a comparable result" (Section 5.3): a final
+        // pick within 2% of the best competitor counts as comparable.
+        if vf <= 1.02 * pf.min(ernest_final) {
+            vesta_wins += 1;
+        }
+        series.push(serde_json::json!({
+            "workload": w.name(),
+            "vesta": vesta_prog, "paris": paris_prog, "ernest_final": ernest_final,
+            "cherrypick": cp_prog,
+        }));
+    }
+    report.series = serde_json::json!({
+        "per_workload": series,
+        "vesta_wins": vesta_wins, "apps": FIG12_APPS,
+    });
+    report.note(format!(
+        "Paper shape: Vesta is fastest for 5 of the 6 workloads (Spark-svd++ excepted, where \
+         PARIS finds better configurations by chance). Measured Vesta wins vs PARIS/Ernest: \
+         {vesta_wins}/6. (CherryPick* is this reproduction's extension comparator.)"
+    ));
+    report
+}
+
+/// Fig. 13: budget optimization per application (lower is better).
+pub fn fig13(ctx: &Context) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig13",
+        "Budget optimization against alternatives (USD per run of the picked VM type)",
+        &["Workload", "Best budget", "Vesta", "PARIS", "Ernest"],
+    );
+    let vesta = ctx.vesta();
+    let paris = ctx.paris();
+    let mut series = Vec::new();
+    let mut wins = (0usize, 0usize); // (vesta better-or-equal than paris, than ernest)
+    let eval_workloads: Vec<&Workload> = ctx
+        .suite
+        .target()
+        .into_iter()
+        .chain(ctx.suite.source_testing())
+        .collect();
+    for w in eval_workloads {
+        // Vesta picks for budget: re-rank its predicted times by cost.
+        let p = vesta.select_best_vm(w).expect("vesta");
+        let vesta_pick = p
+            .predicted_times
+            .iter()
+            .map(|(&vm, &t)| {
+                let price = ctx.catalog.get(vm).expect("vm exists").price_per_hour;
+                (vm, price * t / 3600.0)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(vm, _)| vm)
+            .expect("non-empty predictions");
+        // PARIS picks for budget the same way from its predictions.
+        let sel = paris.select(&ctx.catalog, w).expect("paris");
+        let paris_pick = sel
+            .predicted_times
+            .iter()
+            .map(|(&vm, &t)| {
+                let price = ctx.catalog.get(vm).expect("vm exists").price_per_hour;
+                (vm, price * t / 3600.0)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(vm, _)| vm)
+            .expect("non-empty predictions");
+        // Ernest likewise.
+        let ernest = ctx.ernest_for(w);
+        let es = ernest.select(&ctx.catalog).expect("ernest");
+        let ernest_pick = es
+            .predicted_times
+            .iter()
+            .map(|(&vm, &t)| {
+                let price = ctx.catalog.get(vm).expect("vm exists").price_per_hour;
+                (vm, price * t / 3600.0)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(vm, _)| vm)
+            .expect("non-empty predictions");
+
+        let (vb, best) = chosen_vs_best(ctx, w, vesta_pick, Objective::Budget);
+        let (pb, _) = chosen_vs_best(ctx, w, paris_pick, Objective::Budget);
+        let (eb, _) = chosen_vs_best(ctx, w, ernest_pick, Objective::Budget);
+        if vb <= pb {
+            wins.0 += 1;
+        }
+        if vb <= eb {
+            wins.1 += 1;
+        }
+        report.row(vec![w.name(), f(best), f(vb), f(pb), f(eb)]);
+        series.push(serde_json::json!({
+            "workload": w.name(), "best": best, "vesta": vb, "paris": pb, "ernest": eb,
+        }));
+    }
+    let n = series.len();
+    report.series = serde_json::json!({
+        "per_workload": series,
+        "vesta_beats_paris": wins.0, "vesta_beats_ernest": wins.1, "n": n,
+    });
+    report.note(format!(
+        "Paper shape: Vesta better or comparable everywhere; PARIS poor on Spark, Ernest poor \
+         on Hadoop/Hive. Measured: Vesta ≤ PARIS on {}/{} and ≤ Ernest on {}/{} workloads ({}).",
+        wins.0,
+        n,
+        wins.1,
+        n,
+        pct(100.0 * wins.0 as f64 / n as f64)
+    ));
+    report
+}

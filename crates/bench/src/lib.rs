@@ -1,0 +1,76 @@
+//! # vesta-bench
+//!
+//! The experiment harness of the Vesta reproduction: one function per table
+//! and figure of the paper's evaluation, a shared [`context::Context`] that
+//! trains each system once, and uniform [`report::ExperimentReport`] output
+//! (aligned text tables + `results/*.json`).
+//!
+//! Regeneration map (see DESIGN.md §4 for the full index):
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table 1 | [`tables::table1`] |
+//! | Table 3 | [`tables::table3`] |
+//! | Table 4 | [`tables::table4`] |
+//! | Table 5 | [`tables::table5`] |
+//! | Fig. 1  | [`figs_motivation::fig1`] |
+//! | Fig. 2  | [`figs_motivation::fig2`] |
+//! | Fig. 3  | [`figs_motivation::fig3`] |
+//! | Fig. 6  | [`figs_effectiveness::fig6`] |
+//! | Fig. 7  | [`figs_effectiveness::fig7`] |
+//! | Fig. 8  | [`figs_effectiveness::fig8`] |
+//! | Fig. 9  | [`figs_components::fig9`] |
+//! | Fig. 10 | [`figs_components::fig10`] |
+//! | Fig. 11 | [`figs_components::fig11`] |
+//! | Fig. 12 | [`figs_practical::fig12`] |
+//! | Fig. 13 | [`figs_practical::fig13`] |
+//!
+//! (Figs. 4 and 5 are architecture diagrams, not experiments.)
+
+pub mod ablations;
+pub mod context;
+pub mod eval;
+pub mod figs_components;
+pub mod figs_effectiveness;
+pub mod figs_motivation;
+pub mod figs_practical;
+pub mod flink;
+pub mod learning;
+pub mod report;
+pub mod summary;
+pub mod tables;
+
+pub use context::{Context, Fidelity};
+pub use report::ExperimentReport;
+
+/// Every experiment id, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "table1", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13",
+];
+
+/// Run one experiment by id.
+pub fn run_experiment(ctx: &Context, id: &str) -> Option<ExperimentReport> {
+    Some(match id {
+        "table1" => tables::table1(ctx),
+        "table3" => tables::table3(ctx),
+        "table4" => tables::table4(ctx),
+        "table5" => tables::table5(ctx),
+        "fig1" => figs_motivation::fig1(ctx),
+        "fig2" => figs_motivation::fig2(ctx),
+        "fig3" => figs_motivation::fig3(ctx),
+        "fig6" => figs_effectiveness::fig6(ctx),
+        "fig7" => figs_effectiveness::fig7(ctx),
+        "fig8" => figs_effectiveness::fig8(ctx),
+        "fig9" => figs_components::fig9(ctx),
+        "fig10" => figs_components::fig10(ctx),
+        "fig11" => figs_components::fig11(ctx),
+        "fig12" => figs_practical::fig12(ctx),
+        "ablations" => ablations::ablations(ctx),
+        "summary" => summary::summary(ctx),
+        "learning" => learning::learning(ctx),
+        "flink" => flink::flink(ctx),
+        "fig13" => figs_practical::fig13(ctx),
+        _ => return None,
+    })
+}

@@ -1,0 +1,192 @@
+//! Uniform experiment reporting: aligned text tables on stdout (the same
+//! rows/series the paper's figures plot) plus JSON dumps under `results/`.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One regenerated table or figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// Identifier, e.g. `"fig6"` or `"table4"`.
+    pub id: String,
+    /// Human title echoing the paper caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes: what shape the paper reports and what we measured.
+    pub notes: Vec<String>,
+    /// Raw numeric series for downstream plotting.
+    pub series: serde_json::Value,
+}
+
+impl ExperimentReport {
+    /// New empty report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        ExperimentReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            series: serde_json::Value::Null,
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} — {} ===", self.id, self.title);
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate().take(widths.len()) {
+                let _ = write!(line, "{:<width$}  ", c, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured markdown section (table + notes).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+
+    /// Print to stdout and persist the JSON next to the repo
+    /// (`results/<id>.json`). IO failures are reported, not fatal —
+    /// experiments still print.
+    pub fn emit(&self, results_dir: &Path) {
+        print!("{}", self.render());
+        if let Err(e) = std::fs::create_dir_all(results_dir) {
+            eprintln!("warn: cannot create {}: {e}", results_dir.display());
+            return;
+        }
+        let path = results_dir.join(format!("{}.json", self.id));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warn: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warn: cannot serialize {}: {e}", self.id),
+        }
+        let md_path = results_dir.join(format!("{}.md", self.id));
+        if let Err(e) = std::fs::write(&md_path, self.to_markdown()) {
+            eprintln!("warn: cannot write {}: {e}", md_path.display());
+        }
+    }
+}
+
+/// Format a float tersely.
+pub fn f(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = ExperimentReport::new("t", "title", &["a", "long-header", "c"]);
+        r.row(vec!["1".into(), "2".into(), "3".into()]);
+        r.row(vec!["wide-cell".into(), "x".into(), "y".into()]);
+        r.note("a note");
+        let s = r.render();
+        assert!(s.contains("=== t — title ==="));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("note: a note"));
+        // header and rows share alignment: each line starts at column 0
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn emit_writes_json() {
+        let dir = std::env::temp_dir().join("vesta-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = ExperimentReport::new("test1", "t", &["x"]);
+        r.row(vec!["1".into()]);
+        r.series = serde_json::json!({"v": [1, 2, 3]});
+        r.emit(&dir);
+        let written = std::fs::read_to_string(dir.join("test1.json")).unwrap();
+        assert!(written.contains("\"test1\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn markdown_renders_table_and_notes() {
+        let mut r = ExperimentReport::new("m", "title", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.note("hello");
+        let md = r.to_markdown();
+        assert!(md.contains("## m — title"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("> hello"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1234.6), "1235");
+        assert_eq!(f(42.42), "42.4");
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(pct(12.345), "12.3%");
+    }
+}

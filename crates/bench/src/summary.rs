@@ -1,0 +1,123 @@
+//! One-table headline reproduction: reruns the claim-bearing experiments
+//! and prints paper-vs-measured for each headline number of the abstract
+//! and Section 5.
+
+use crate::context::Context;
+use crate::report::{pct, ExperimentReport};
+use crate::{figs_components, figs_effectiveness, figs_practical};
+
+/// Pull a float out of a report's JSON series by pointer path.
+fn series_f64(report: &ExperimentReport, pointer: &str) -> f64 {
+    report
+        .series
+        .pointer(pointer)
+        .and_then(|v| v.as_f64())
+        .unwrap_or(f64::NAN)
+}
+
+/// The headline scorecard.
+pub fn summary(ctx: &Context) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "summary",
+        "Headline reproduction scorecard (paper claim vs measured)",
+        &["Claim", "Paper", "Measured", "Source"],
+    );
+
+    let f6 = figs_effectiveness::fig6(ctx);
+    let reduction = series_f64(&f6, "/vesta_vs_paris_reduction_pct");
+    report.row(vec![
+        "Error reduction vs PARIS on a new framework".into(),
+        "up to 51%".into(),
+        pct(reduction),
+        "fig6".into(),
+    ]);
+    let vesta_mean = series_f64(&f6, "/target_mean/vesta");
+    let ernest_mean = series_f64(&f6, "/target_mean/ernest");
+    report.row(vec![
+        "Vesta vs Ernest mean MAPE (Spark target set)".into(),
+        "Vesta better or comparable".into(),
+        format!("{} vs {}", pct(vesta_mean), pct(ernest_mean)),
+        "fig6".into(),
+    ]);
+
+    let f8 = figs_effectiveness::fig8(ctx);
+    let overhead_reduction = series_f64(&f8, "/vesta_vs_paris_reduction_pct");
+    report.row(vec![
+        "Training-overhead reduction vs PARIS".into(),
+        "85% (15 vs 100 reference VMs)".into(),
+        format!(
+            "{} ({:.0} vs {:.0})",
+            pct(overhead_reduction),
+            series_f64(&f8, "/vesta_mean"),
+            series_f64(&f8, "/paris")
+        ),
+        "fig8".into(),
+    ]);
+
+    let f9 = figs_components::fig9(ctx);
+    let prunable: f64 = f9
+        .series
+        .pointer("/prunable_fraction")
+        .and_then(|v| v.as_array())
+        .map(|arr| {
+            let vals: Vec<f64> = arr
+                .iter()
+                .filter_map(|e| e.pointer("/fraction").and_then(|f| f.as_f64()))
+                .collect();
+            vesta_ml::stats::mean(&vals)
+        })
+        .unwrap_or(f64::NAN);
+    report.row(vec![
+        "Useless correlation data removed by PCA".into(),
+        "49%".into(),
+        pct(100.0 * prunable),
+        "fig9".into(),
+    ]);
+
+    let f10 = figs_components::fig10(ctx);
+    report.row(vec![
+        "Label mass in the centre of the popularity/consistency plane".into(),
+        "~90%".into(),
+        pct(100.0 * series_f64(&f10, "/central_fraction")),
+        "fig10".into(),
+    ]);
+
+    let f11 = figs_components::fig11(ctx);
+    report.row(vec![
+        "Best K-Means k".into(),
+        "9".into(),
+        format!("{}", series_f64(&f11, "/best_k") as i64),
+        "fig11".into(),
+    ]);
+
+    let f12 = figs_practical::fig12(ctx);
+    report.row(vec![
+        "Fastest (or comparable) final pick, 6-workload panel".into(),
+        "5/6 (svd++ excepted)".into(),
+        format!("{}/6", series_f64(&f12, "/vesta_wins") as i64),
+        "fig12".into(),
+    ]);
+
+    let f13 = figs_practical::fig13(ctx);
+    let n = series_f64(&f13, "/n") as i64;
+    report.row(vec![
+        "Budget better or comparable everywhere".into(),
+        "all workloads".into(),
+        format!(
+            "{}/{} vs PARIS, {}/{} vs Ernest",
+            series_f64(&f13, "/vesta_beats_paris") as i64,
+            n,
+            series_f64(&f13, "/vesta_beats_ernest") as i64,
+            n
+        ),
+        "fig13".into(),
+    ]);
+
+    report.series = serde_json::json!({
+        "vesta_vs_paris_reduction_pct": reduction,
+        "overhead_reduction_pct": overhead_reduction,
+        "prunable_fraction": prunable,
+    });
+    report.note("Absolute seconds/dollars are simulator units; the scorecard tracks shapes.");
+    report
+}

@@ -1,0 +1,93 @@
+//! Invariant tests over the experiment harness itself: the cheap
+//! experiments run end-to-end under Quick fidelity and produce the
+//! structure downstream consumers (EXPERIMENTS.md, results/*.json) rely
+//! on. The heavyweight figures are covered by `experiments all` runs.
+
+use vesta_bench::{run_experiment, Context, Fidelity, ALL_EXPERIMENTS};
+
+fn ctx() -> Context {
+    Context::new(Fidelity::Quick)
+}
+
+#[test]
+fn unknown_experiment_is_none() {
+    assert!(run_experiment(&ctx(), "fig99").is_none());
+    assert!(run_experiment(&ctx(), "").is_none());
+}
+
+#[test]
+fn all_experiment_ids_are_known() {
+    // every id in the registry dispatches (we don't run the heavy ones
+    // here, just the cheap structural set below)
+    assert_eq!(ALL_EXPERIMENTS.len(), 15);
+}
+
+#[test]
+fn tables_have_paper_shapes() {
+    let c = ctx();
+    let t3 = run_experiment(&c, "table3").unwrap();
+    assert_eq!(t3.rows.len(), 30);
+    assert_eq!(t3.headers.len(), 6);
+    let t4 = run_experiment(&c, "table4").unwrap();
+    assert_eq!(t4.rows.len(), 20);
+    let t1 = run_experiment(&c, "table1").unwrap();
+    assert_eq!(t1.rows.len(), 10);
+    for r in [&t1, &t3, &t4] {
+        assert!(!r.notes.is_empty(), "{} has no notes", r.id);
+        assert!(!r.to_markdown().is_empty());
+    }
+}
+
+#[test]
+fn fig1_marks_a_blue_area_per_app() {
+    let c = ctx();
+    let r = run_experiment(&c, "fig1").unwrap();
+    // 3 apps x 7 memory rows
+    assert_eq!(r.rows.len(), 21);
+    let starred = r
+        .rows
+        .iter()
+        .flatten()
+        .filter(|cell| cell.ends_with('*'))
+        .count();
+    assert!(starred >= 3, "every app needs a near-best cell");
+    // the series carries one grid per app
+    assert_eq!(r.series.as_array().map(Vec::len), Some(3));
+}
+
+#[test]
+fn fig10_reports_central_mass() {
+    let c = ctx();
+    let r = run_experiment(&c, "fig10").unwrap();
+    let central = r
+        .series
+        .pointer("/central_fraction")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!((0.0..=1.0).contains(&central));
+    assert!(!r.rows.is_empty());
+}
+
+#[test]
+fn fig9_importances_are_distributions() {
+    let c = ctx();
+    let r = run_experiment(&c, "fig9").unwrap();
+    assert_eq!(r.rows.len(), 10);
+    // each framework's importance column sums to ~1
+    for col in 1..=3 {
+        let sum: f64 = r
+            .rows
+            .iter()
+            .map(|row| row[col].parse::<f64>().unwrap())
+            .sum();
+        assert!((sum - 1.0).abs() < 0.02, "column {col} sums to {sum}");
+    }
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let c = ctx();
+    let r = run_experiment(&c, "table4").unwrap();
+    let json = serde_json::to_string(&r).unwrap();
+    assert!(json.contains("\"table4\""));
+}

@@ -1,0 +1,62 @@
+//! Error type for the cloud simulator.
+
+use std::fmt;
+
+/// Errors produced by `vesta-cloud-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Requested a VM type the catalog does not contain.
+    UnknownVmType(String),
+    /// A demand or configuration field is out of its valid range.
+    InvalidDemand(String),
+    /// The simulated run aborted with an out-of-memory condition and the
+    /// caller asked for hard-OOM semantics (Spark executors without a
+    /// memory watcher).
+    OutOfMemory {
+        /// Memory the workload needed per node, in GB.
+        required_gb: f64,
+        /// Usable memory the VM offered, in GB.
+        available_gb: f64,
+    },
+    /// Asked the store for data it does not have.
+    NoData(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownVmType(s) => write!(f, "unknown VM type: {s}"),
+            SimError::InvalidDemand(s) => write!(f, "invalid demand: {s}"),
+            SimError::OutOfMemory {
+                required_gb,
+                available_gb,
+            } => write!(
+                f,
+                "out of memory: needs {required_gb:.1} GB, VM offers {available_gb:.1} GB"
+            ),
+            SimError::NoData(s) => write!(f, "no recorded data: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        for e in [
+            SimError::UnknownVmType("x".into()),
+            SimError::InvalidDemand("y".into()),
+            SimError::OutOfMemory {
+                required_gb: 10.0,
+                available_gb: 4.0,
+            },
+            SimError::NoData("z".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # vesta-cloud-sim
+//!
+//! Simulated Amazon EC2 substrate for the Vesta reproduction. The paper's
+//! evaluation runs 30 big data applications on 120 real EC2 VM types; this
+//! crate replaces the paid cloud with a deterministic-but-noisy model (see
+//! DESIGN.md's substitution table):
+//!
+//! * [`vmtype`] / [`catalog`] — the 120 VM types of Table 4 with realistic
+//!   resource vectors and on-demand prices.
+//! * [`perf`] — the Bulk-Synchronous-Parallel execution-time model
+//!   (compute / disk / network / sync supersteps against a VM's resources),
+//!   plus the exhaustive ground-truth ranking of Section 5.2.
+//! * [`metrics`] — the 20 low-level metrics sampled every 5 s and the
+//!   10 correlation similarities of Table 1.
+//! * [`noise`] — seeded lognormal run-to-run variability (P90 handling).
+//! * [`store`] — the in-memory stand-in for the paper's MySQL store.
+//! * [`des`] — a task-level discrete-event re-implementation of the BSP
+//!   semantics that cross-validates the closed-form model (stragglers and
+//!   wave imbalance emerge instead of being modeled).
+
+pub mod catalog;
+pub mod des;
+pub mod error;
+pub mod metrics;
+pub mod noise;
+pub mod perf;
+pub mod store;
+pub mod vmtype;
+
+pub use catalog::Catalog;
+pub use des::{simulate as des_simulate, DesConfig, DesResult};
+pub use error::SimError;
+pub use metrics::{
+    Collector, CorrelationEstimator, CorrelationVector, MetricsTrace, CORRELATION_NAMES,
+    N_CORRELATIONS, N_METRICS,
+};
+pub use perf::{
+    best_vm, exhaustive_ranking, ExecutionDemand, Objective, PhaseBreakdown, RunResult, SimConfig,
+    Simulator,
+};
+pub use store::{Aggregate, MetricsStore, RunKey, RunRecord};
+pub use vmtype::{FamilySpec, VmCategory, VmSize, VmType};

@@ -1,0 +1,649 @@
+//! Low-level metric collection and correlation analysis.
+//!
+//! Section 3.1: "After each test run, we collect 20 low-level metrics that
+//! can reflect application's resource requirements, execution features, and
+//! other system factors", sampled "in every 5 seconds" (Section 4.1), and
+//! "run a correlation analysis for each low-level metrics pair", yielding
+//! the 10 *correlation similarities* of Table 1.
+//!
+//! The simulator synthesizes the per-5-second time series from the BSP
+//! phase schedule: within every superstep the run moves through compute →
+//! disk → network → sync phases, and each phase lights up a characteristic
+//! subset of the metrics (CPU during compute, disk rates during I/O,
+//! NIC during shuffle, idle+sync tasks during barriers). Because the phase
+//! *durations* come from the workload's demand profile, the pairwise
+//! Pearson correlations over these series recover exactly the demand-driven
+//! structure the paper calls "high-level similarities" — they survive the
+//! framework transform even though raw utilizations do not.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::noise::run_rng;
+use crate::perf::{ExecutionDemand, PhaseBreakdown, Simulator};
+use crate::vmtype::VmType;
+use rand::Rng;
+
+/// Number of low-level metrics collected per sample.
+pub const N_METRICS: usize = 20;
+
+/// Names of the 20 low-level metrics, index-aligned with sample vectors.
+pub const METRIC_NAMES: [&str; N_METRICS] = [
+    "cpu_user",            // 0  CPU user rate [0,1]
+    "cpu_system",          // 1  CPU system rate [0,1]
+    "cpu_idle",            // 2  CPU idle rate [0,1]
+    "ram_usage",           // 3  RAM usage rate [0,1]
+    "buffer_usage",        // 4  buffer usage rate [0,1]
+    "cache_usage",         // 5  page-cache usage rate [0,1]
+    "disk_read_mbps",      // 6  disk read rate
+    "disk_write_mbps",     // 7  disk write rate
+    "net_send_mbps",       // 8  network send rate
+    "net_recv_mbps",       // 9  network receive rate
+    "net_drop_rate",       // 10 network drop rate [0,1]
+    "tasks_compute",       // 11 tasks in computation step
+    "tasks_comm",          // 12 tasks in communication step
+    "tasks_sync",          // 13 tasks in synchronization step
+    "data_to_cycles",      // 14 data size / CPU cycles ratio
+    "data_to_iterations",  // 15 data size / iterations ratio
+    "data_to_parallelism", // 16 data size / parallelism ratio
+    "disk_util",           // 17 disk utilization [0,1]
+    "page_faults",         // 18 page-fault rate
+    "data_rate_mbps",      // 19 application data processing rate
+];
+
+/// One run's metric time series, sampled on a fixed period.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsTrace {
+    /// Seconds between consecutive samples (5 s unless the run is short).
+    pub sample_period_s: f64,
+    /// `samples[t][m]` is metric `m` at sample `t`.
+    pub samples: Vec<[f64; N_METRICS]>,
+}
+
+impl MetricsTrace {
+    /// Series of one metric across the run.
+    pub fn series(&self, metric: usize) -> Vec<f64> {
+        self.samples.iter().map(|s| s[metric]).collect()
+    }
+
+    /// Mean of one metric (average resource utilization, as the paper's
+    /// Data Collector stores).
+    pub fn mean(&self, metric: usize) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s[metric]).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Derived composite series used by the correlation analysis.
+    fn cpu_busy(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s[0] + s[1]).collect()
+    }
+    fn disk_rw(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s[6] + s[7]).collect()
+    }
+    fn net_sr(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s[8] + s[9]).collect()
+    }
+
+    /// Compute the 10 correlation similarities of Table 1 from this trace
+    /// with the paper's Pearson estimator.
+    pub fn correlations(&self) -> Result<CorrelationVector, SimError> {
+        self.correlations_with(CorrelationEstimator::Pearson)
+    }
+
+    /// Compute the correlation similarities with an explicit estimator
+    /// (Spearman is the rank-robust ablation alternative).
+    pub fn correlations_with(
+        &self,
+        estimator: CorrelationEstimator,
+    ) -> Result<CorrelationVector, SimError> {
+        if self.samples.len() < 3 {
+            return Err(SimError::NoData(format!(
+                "trace too short for correlation analysis ({} samples)",
+                self.samples.len()
+            )));
+        }
+        let p = |a: &[f64], b: &[f64]| -> f64 {
+            match estimator {
+                CorrelationEstimator::Pearson => vesta_ml::stats::pearson(a, b).unwrap_or(0.0),
+                CorrelationEstimator::Spearman => vesta_ml::stats::spearman(a, b).unwrap_or(0.0),
+            }
+        };
+        let cpu = self.cpu_busy();
+        let ram = self.series(3);
+        let buffer = self.series(4);
+        let cache = self.series(5);
+        let disk = self.disk_rw();
+        let net = self.net_sr();
+        let t_sync = self.series(13);
+        let t_compute = self.series(11);
+        let d_cycles = self.series(14);
+        let d_iters = self.series(15);
+        let d_par = self.series(16);
+        let data_rate = self.series(19);
+        Ok(CorrelationVector {
+            values: [
+                p(&cpu, &ram),             // cpu-to-memory
+                p(&ram, &disk),            // memory-to-disk
+                p(&disk, &net),            // disk-to-network
+                p(&buffer, &cache),        // buffer-to-cache
+                p(&cpu, &net),             // cpu-to-network
+                p(&d_iters, &d_par),       // iteration-to-parallelism
+                p(&data_rate, &t_compute), // data-to-computation
+                p(&data_rate, &d_cycles),  // data-to-cycle
+                p(&disk, &t_sync),         // disk-to-synchronization
+                p(&net, &t_sync),          // network-to-synchronization
+            ],
+        })
+    }
+}
+
+/// Which correlation statistic turns metric series into knowledge
+/// features. The paper uses Pearson; Spearman is this reproduction's
+/// rank-robust ablation alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CorrelationEstimator {
+    /// Linear (Pearson) correlation — the paper's choice.
+    #[default]
+    Pearson,
+    /// Rank (Spearman) correlation.
+    Spearman,
+}
+
+/// Number of correlation-similarity features (Table 1).
+pub const N_CORRELATIONS: usize = 10;
+
+/// Names of the correlation similarities, index-aligned with
+/// [`CorrelationVector::values`].
+pub const CORRELATION_NAMES: [&str; N_CORRELATIONS] = [
+    "CPU-to-memory",
+    "memory-to-disk",
+    "disk-to-network",
+    "buffer-to-cache",
+    "CPU-to-network",
+    "iteration-to-parallelism",
+    "data-to-computation",
+    "data-to-cycle",
+    "disk-to-synchronization",
+    "network-to-synchronization",
+];
+
+/// The high-level knowledge features of Table 1: 10 Pearson correlations in
+/// `[-1, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationVector {
+    /// Correlation values, index-aligned with [`CORRELATION_NAMES`].
+    pub values: [f64; N_CORRELATIONS],
+}
+
+impl CorrelationVector {
+    /// Borrow as a slice (ML feature input).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Euclidean distance between two correlation vectors (the Fig. 10
+    /// consistency axis uses this metric).
+    pub fn distance(&self, other: &CorrelationVector) -> f64 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Element-wise mean of several vectors; `None` when empty.
+    pub fn mean_of(vectors: &[CorrelationVector]) -> Option<CorrelationVector> {
+        if vectors.is_empty() {
+            return None;
+        }
+        let mut acc = [0.0; N_CORRELATIONS];
+        for v in vectors {
+            for (a, x) in acc.iter_mut().zip(&v.values) {
+                *a += x;
+            }
+        }
+        for a in &mut acc {
+            *a /= vectors.len() as f64;
+        }
+        Some(CorrelationVector { values: acc })
+    }
+}
+
+/// Which BSP phase a wall-clock instant falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Startup,
+    Compute,
+    Disk,
+    Network,
+    Sync,
+}
+
+/// The metrics collector: samples a simulated run every 5 seconds.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    /// Nominal sampling period (the paper's 5 s).
+    pub period_s: f64,
+    /// Cap on stored samples (long runs are sampled coarser, matching a
+    /// collector that aggregates into fixed-size windows).
+    pub max_samples: usize,
+    /// Floor on samples so short runs still yield usable series.
+    pub min_samples: usize,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector {
+            period_s: 5.0,
+            max_samples: 720,
+            min_samples: 40,
+        }
+    }
+}
+
+impl Collector {
+    /// Generate the metric trace for run `run_idx` of `demand` on `vm`.
+    ///
+    /// The trace is deterministic given the simulator seed and run
+    /// coordinates (noise stream 1, independent of the execution-time
+    /// stream 0).
+    pub fn collect(
+        &self,
+        sim: &Simulator,
+        demand: &ExecutionDemand,
+        vm: &VmType,
+        nodes: u32,
+        run_idx: u64,
+    ) -> Result<MetricsTrace, SimError> {
+        let phases = sim.expected_phases(demand, vm, nodes)?;
+        let total = phases.total().max(1e-6);
+        let mut n = (total / self.period_s).ceil() as usize;
+        n = n.clamp(self.min_samples, self.max_samples);
+        let period = total / n as f64;
+
+        let mut rng = run_rng(
+            sim.config().seed,
+            demand.workload_id,
+            vm.id as u64,
+            run_idx,
+            1,
+        );
+        let schedule = PhaseSchedule::new(demand, &phases);
+
+        let usable_gb = vm.memory_gb * sim.config().usable_memory_frac;
+        let pressure = (demand.working_set_gb / nodes as f64) / usable_gb.max(1e-9);
+        let useful_cores = (vm.vcpus as f64 * nodes as f64)
+            .min(demand.parallelism)
+            .max(1.0);
+        let core_util = (useful_cores / (vm.vcpus as f64 * nodes as f64)).min(1.0);
+
+        let per_iter_disk = demand.disk_gb_per_iter
+            + (pressure - 1.0).max(0.0) * usable_gb * demand.spill_penalty / nodes as f64;
+        let disk_rate = if phases.disk_s > 0.0 {
+            (per_iter_disk * demand.iterations as f64 * 1024.0) / phases.disk_s
+        } else {
+            0.0
+        };
+        let net_rate = if phases.network_s > 0.0 {
+            (demand.shuffle_gb_per_iter * demand.iterations as f64 * 8.0 * 1000.0 / 8.0)
+                / phases.network_s
+        } else {
+            0.0
+        };
+        let data_rate_overall = demand.input_gb * 1024.0 / total;
+
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = (i as f64 + 0.5) * period;
+            let phase = schedule.phase_at(t);
+            let jitter = |rng: &mut rand::rngs::StdRng| 1.0 + 0.08 * (rng.gen::<f64>() - 0.5);
+
+            let mut s = [0.0f64; N_METRICS];
+            // Per-phase activity template.
+            let (cpu_u, cpu_s, ram, buf, cache, dsk, net, tc, tm, ts, dr) = match phase {
+                Phase::Startup => (
+                    0.10, 0.12, 0.15, 0.05, 0.10, 0.05, 0.02, 0.05, 0.05, 0.05, 0.05,
+                ),
+                Phase::Compute => (
+                    0.80 * core_util,
+                    0.08,
+                    pressure.min(1.0) * 0.9,
+                    0.15,
+                    0.35,
+                    if pressure > 1.0 { 0.35 } else { 0.05 },
+                    0.05,
+                    1.0,
+                    0.08,
+                    0.05,
+                    1.0,
+                ),
+                Phase::Disk => (
+                    0.15,
+                    0.18,
+                    pressure.min(1.0) * 0.6,
+                    0.75,
+                    0.80,
+                    1.0,
+                    0.06,
+                    0.15,
+                    0.10,
+                    0.08,
+                    0.7,
+                ),
+                Phase::Network => (
+                    0.12,
+                    0.22,
+                    pressure.min(1.0) * 0.5,
+                    0.30,
+                    0.45,
+                    0.08,
+                    1.0,
+                    0.10,
+                    1.0,
+                    0.10,
+                    0.6,
+                ),
+                Phase::Sync => (
+                    0.06,
+                    0.06,
+                    pressure.min(1.0) * 0.4,
+                    0.10,
+                    0.25,
+                    0.03,
+                    0.10,
+                    0.05,
+                    0.12,
+                    1.0,
+                    0.08,
+                ),
+            };
+            s[0] = (cpu_u * jitter(&mut rng)).clamp(0.0, 1.0);
+            s[1] = (cpu_s * jitter(&mut rng)).clamp(0.0, 1.0);
+            s[2] = (1.0 - s[0] - s[1]).max(0.0);
+            s[3] = (ram * jitter(&mut rng)).clamp(0.0, 1.0);
+            s[4] = (buf * jitter(&mut rng)).clamp(0.0, 1.0);
+            s[5] = (cache * jitter(&mut rng)).clamp(0.0, 1.0);
+            let disk_now = dsk * disk_rate.max(2.0);
+            s[6] = 0.45 * disk_now * jitter(&mut rng);
+            s[7] = 0.55 * disk_now * jitter(&mut rng);
+            let net_now = net * net_rate.max(1.0);
+            s[8] = 0.5 * net_now * jitter(&mut rng);
+            s[9] = 0.5 * net_now * jitter(&mut rng);
+            let net_cap_mbps = vm.network_gbps * 1000.0 / 8.0 * nodes as f64;
+            s[10] = ((s[8] + s[9]) / net_cap_mbps - 0.9).max(0.0) * 0.1; // drops near saturation
+            s[11] = tc * demand.parallelism * jitter(&mut rng);
+            s[12] = tm * demand.parallelism * 0.6 * jitter(&mut rng);
+            s[13] = ts * demand.sync_barriers_per_iter * useful_cores * jitter(&mut rng);
+            let cycles_now = (s[0] + s[1]) * useful_cores * vm.cpu_speed;
+            let dr_now = dr * data_rate_overall * jitter(&mut rng);
+            s[14] = dr_now / cycles_now.max(1e-3);
+            s[15] = dr_now / demand.iterations as f64;
+            s[16] = dr_now / demand.parallelism;
+            s[17] = ((s[6] + s[7]) / (vm.disk_mbps * nodes as f64)).min(1.0);
+            s[18] = (pressure - 0.7).max(0.0) * 1000.0 * jitter(&mut rng);
+            s[19] = dr_now;
+            samples.push(s);
+        }
+        Ok(MetricsTrace {
+            sample_period_s: period,
+            samples,
+        })
+    }
+}
+
+/// Maps a wall-clock instant to its BSP phase, repeating the per-iteration
+/// phase block after the startup window.
+struct PhaseSchedule {
+    startup_s: f64,
+    iter_compute: f64,
+    iter_disk: f64,
+    iter_net: f64,
+    iter_sync: f64,
+}
+
+impl PhaseSchedule {
+    fn new(demand: &ExecutionDemand, phases: &PhaseBreakdown) -> Self {
+        let iters = demand.iterations as f64;
+        PhaseSchedule {
+            startup_s: phases.startup_s,
+            iter_compute: phases.compute_s / iters,
+            iter_disk: phases.disk_s / iters,
+            iter_net: phases.network_s / iters,
+            iter_sync: phases.sync_s / iters,
+        }
+    }
+
+    fn iter_len(&self) -> f64 {
+        self.iter_compute + self.iter_disk + self.iter_net + self.iter_sync
+    }
+
+    fn phase_at(&self, t: f64) -> Phase {
+        if t < self.startup_s {
+            return Phase::Startup;
+        }
+        let len = self.iter_len();
+        if len <= 0.0 {
+            return Phase::Compute;
+        }
+        let within = (t - self.startup_s) % len;
+        if within < self.iter_compute {
+            Phase::Compute
+        } else if within < self.iter_compute + self.iter_disk {
+            Phase::Disk
+        } else if within < self.iter_compute + self.iter_disk + self.iter_net {
+            Phase::Network
+        } else {
+            Phase::Sync
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    fn demand() -> ExecutionDemand {
+        ExecutionDemand {
+            workload_id: 7,
+            input_gb: 30.0,
+            compute_units: 6000.0,
+            working_set_gb: 10.0,
+            shuffle_gb_per_iter: 3.0,
+            disk_gb_per_iter: 5.0,
+            iterations: 5,
+            parallelism: 24.0,
+            sync_barriers_per_iter: 2.0,
+            startup_s: 15.0,
+            spill_penalty: 2.0,
+            memory_hard: false,
+            variance_cv: 0.05,
+        }
+    }
+
+    fn trace_for(vm_name: &str) -> MetricsTrace {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let vm = cat.by_name(vm_name).unwrap();
+        Collector::default()
+            .collect(&sim, &demand(), vm, 1, 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn metric_names_cover_20() {
+        assert_eq!(METRIC_NAMES.len(), N_METRICS);
+        let mut names = METRIC_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_METRICS);
+    }
+
+    #[test]
+    fn trace_has_bounded_sample_count() {
+        let t = trace_for("m5.2xlarge");
+        assert!(t.len() >= 40 && t.len() <= 720);
+        assert!(!t.is_empty());
+        assert!(t.sample_period_s > 0.0);
+    }
+
+    #[test]
+    fn cpu_rates_form_a_partition() {
+        let t = trace_for("m5.2xlarge");
+        for s in &t.samples {
+            assert!(s[0] >= 0.0 && s[0] <= 1.0);
+            assert!(s[1] >= 0.0 && s[1] <= 1.0);
+            assert!((s[0] + s[1] + s[2] - 1.0).abs() < 1e-9 || s[0] + s[1] >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_metrics_finite_nonnegative() {
+        let t = trace_for("i3.2xlarge");
+        for s in &t.samples {
+            for (m, &v) in s.iter().enumerate() {
+                assert!(v.is_finite() && v >= 0.0, "{} = {v}", METRIC_NAMES[m]);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_deterministic_per_run() {
+        let a = trace_for("c5.2xlarge");
+        let b = trace_for("c5.2xlarge");
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn correlations_are_bounded() {
+        let t = trace_for("m5.2xlarge");
+        let c = t.correlations().unwrap();
+        for (i, v) in c.values.iter().enumerate() {
+            assert!((-1.0..=1.0).contains(v), "{} = {v}", CORRELATION_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn spearman_estimator_is_bounded_and_differs() {
+        let t = trace_for("m5.2xlarge");
+        let pe = t.correlations().unwrap();
+        let sp = t.correlations_with(CorrelationEstimator::Spearman).unwrap();
+        for v in sp.values {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+        // Rank and linear estimates agree in sign on the strongly
+        // structured pairs but are not numerically identical.
+        assert!(
+            pe.values[3] * sp.values[3] > 0.0,
+            "buffer-to-cache sign flip"
+        );
+        assert!(pe.distance(&sp) > 1e-6);
+    }
+
+    #[test]
+    fn correlations_reject_tiny_trace() {
+        let t = MetricsTrace {
+            sample_period_s: 5.0,
+            samples: vec![[0.0; N_METRICS]; 2],
+        };
+        assert!(t.correlations().is_err());
+    }
+
+    #[test]
+    fn buffer_cache_positively_correlated() {
+        // buffer and cache rise together during disk phases by construction.
+        let t = trace_for("m5.2xlarge");
+        let c = t.correlations().unwrap();
+        assert!(c.values[3] > 0.3, "buffer-to-cache = {}", c.values[3]);
+    }
+
+    #[test]
+    fn similar_demand_similar_correlations_across_vm_types() {
+        // The knowledge claim: correlation vectors are a property of the
+        // workload, far more than of the VM it ran on.
+        let a = trace_for("m5.2xlarge").correlations().unwrap();
+        let b = trace_for("r5.4xlarge").correlations().unwrap();
+        assert!(a.distance(&b) < 1.2, "distance = {}", a.distance(&b));
+    }
+
+    #[test]
+    fn different_demand_different_correlations() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let vm = cat.by_name("m5.2xlarge").unwrap();
+        let col = Collector::default();
+        let base = col
+            .collect(&sim, &demand(), vm, 1, 0)
+            .unwrap()
+            .correlations()
+            .unwrap();
+        let mut shuffle_heavy = demand();
+        shuffle_heavy.workload_id = 99;
+        shuffle_heavy.shuffle_gb_per_iter = 40.0;
+        shuffle_heavy.compute_units = 500.0;
+        shuffle_heavy.iterations = 20;
+        let other = col
+            .collect(&sim, &shuffle_heavy, vm, 1, 0)
+            .unwrap()
+            .correlations()
+            .unwrap();
+        assert!(
+            base.distance(&other) > 0.15,
+            "distance = {}",
+            base.distance(&other)
+        );
+    }
+
+    #[test]
+    fn mean_and_series_align() {
+        let t = trace_for("m5.2xlarge");
+        let s = t.series(0);
+        let m = t.mean(0);
+        let manual = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((m - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_vector_distance_and_mean() {
+        let a = CorrelationVector {
+            values: [0.0; N_CORRELATIONS],
+        };
+        let mut ones = [0.0; N_CORRELATIONS];
+        ones[0] = 3.0;
+        ones[1] = 4.0;
+        let b = CorrelationVector { values: ones };
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        let m = CorrelationVector::mean_of(&[a, b]).unwrap();
+        assert!((m.values[0] - 1.5).abs() < 1e-12);
+        assert!(CorrelationVector::mean_of(&[]).is_none());
+    }
+
+    #[test]
+    fn memory_pressure_shows_in_page_faults() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let col = Collector::default();
+        let mut d = demand();
+        d.working_set_gb = 60.0; // pressure on a 32 GB box
+        let vm = cat.by_name("m5.2xlarge").unwrap();
+        let stressed = col.collect(&sim, &d, vm, 1, 0).unwrap();
+        let relaxed = col.collect(&sim, &demand(), vm, 1, 0).unwrap();
+        assert!(stressed.mean(18) > relaxed.mean(18));
+    }
+}

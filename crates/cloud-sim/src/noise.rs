@@ -1,0 +1,117 @@
+//! Deterministic cloud-performance variability.
+//!
+//! Real EC2 runs vary between repetitions (noisy neighbours, EBS
+//! throttling, JIT warm-up); the paper responds by running every workload
+//! 10 times and keeping a conservative P90 (Section 4.1). The simulator
+//! reproduces that with multiplicative lognormal noise whose seed is a pure
+//! function of `(workload, vm, run index, stream)` — so experiments are
+//! bit-for-bit reproducible, and re-running the "same" run returns the same
+//! sample.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stable 64-bit mix of run coordinates (SplitMix64 finalizer).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a deterministic RNG for one simulated run.
+///
+/// * `base_seed` — the experiment-wide seed,
+/// * `workload_id` / `vm_id` / `run_idx` — run coordinates,
+/// * `stream` — separates independent noise consumers (execution time vs
+///   metric jitter) so adding one never perturbs the other.
+pub fn run_rng(base_seed: u64, workload_id: u64, vm_id: u64, run_idx: u64, stream: u64) -> StdRng {
+    let mut h = base_seed;
+    for part in [workload_id, vm_id, run_idx, stream] {
+        h = mix(h ^ part.wrapping_mul(0x2545F4914F6CDD1D));
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Sample a multiplicative lognormal factor with unit median and the given
+/// coefficient of variation. `cv = 0` returns exactly 1.
+pub fn lognormal_factor(rng: &mut StdRng, cv: f64) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    // For lognormal, cv^2 = exp(sigma^2) - 1  =>  sigma = sqrt(ln(1 + cv^2)).
+    let sigma = (1.0 + cv * cv).ln().sqrt();
+    let z = standard_normal(rng);
+    (sigma * z).exp()
+}
+
+/// Box–Muller standard normal sample.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_coordinates_same_stream() {
+        let mut a = run_rng(1, 2, 3, 4, 0);
+        let mut b = run_rng(1, 2, 3, 4, 0);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_coordinates_diverge() {
+        let a: u64 = run_rng(1, 2, 3, 4, 0).gen();
+        let b: u64 = run_rng(1, 2, 3, 5, 0).gen();
+        let c: u64 = run_rng(1, 2, 3, 4, 1).gen();
+        let d: u64 = run_rng(2, 2, 3, 4, 0).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn zero_cv_is_exactly_one() {
+        let mut rng = run_rng(0, 0, 0, 0, 0);
+        assert_eq!(lognormal_factor(&mut rng, 0.0), 1.0);
+    }
+
+    #[test]
+    fn lognormal_cv_roughly_matches() {
+        let mut rng = run_rng(7, 7, 7, 7, 7);
+        let cv = 0.4; // the paper's Spark-svd++ "close to 40%" variance
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| lognormal_factor(&mut rng, cv))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        let observed_cv = var.sqrt() / mean;
+        assert!((observed_cv - cv).abs() < 0.05, "observed cv {observed_cv}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = run_rng(3, 1, 4, 1, 5);
+        for _ in 0..1000 {
+            assert!(lognormal_factor(&mut rng, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = run_rng(9, 9, 9, 9, 9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,708 @@
+//! The Bulk-Synchronous-Parallel execution-time model.
+//!
+//! The paper's closing observation (Section 7) is that its method covers
+//! "a wide range of existing big data frameworks since they follow a basic
+//! architecture design of *Bulk Synchronous Parallelism*". The simulator
+//! leans on exactly that: a run is `startup + iterations × (compute ‖ …
+//! disk + network + sync)` supersteps, evaluated against a VM type's
+//! resource vector. Framework semantics (Hadoop's disk materialization,
+//! Hive's planning overhead, Spark's memory pressure) are expressed
+//! upstream, in `vesta-workloads`, as transforms on the [`ExecutionDemand`]
+//! handed to this model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::noise::{lognormal_factor, run_rng};
+use crate::vmtype::VmType;
+
+/// Framework-resolved resource demand of one workload run.
+///
+/// All quantities are *totals for the run* unless suffixed `_per_iter`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionDemand {
+    /// Stable identity used for deterministic noise seeding.
+    pub workload_id: u64,
+    /// Input data size in GB (the benchmark "tiny…gigantic" scales).
+    pub input_gb: f64,
+    /// Total CPU work in normalized core-seconds (1 core at speed 1.0).
+    pub compute_units: f64,
+    /// Peak working set in GB that must be memory-resident to avoid spill.
+    pub working_set_gb: f64,
+    /// Data shuffled over the network per iteration, in GB.
+    pub shuffle_gb_per_iter: f64,
+    /// Data read+written to disk per iteration, in GB.
+    pub disk_gb_per_iter: f64,
+    /// BSP supersteps (MapReduce rounds, Spark stages, query operators…).
+    pub iterations: u32,
+    /// Maximum useful parallel tasks; extra cores are wasted.
+    pub parallelism: f64,
+    /// Synchronization barriers per iteration.
+    pub sync_barriers_per_iter: f64,
+    /// Framework/JVM startup cost in seconds.
+    pub startup_s: f64,
+    /// Multiplier on spilled bytes when the working set misses memory
+    /// (sort-spill amplification).
+    pub spill_penalty: f64,
+    /// Hard memory semantics: an executor that overflows badly dies with
+    /// OOM instead of spilling (Spark without a memory watcher).
+    pub memory_hard: bool,
+    /// Run-to-run coefficient of variation (cloud noise on top of the
+    /// simulator's 5% base). Spark-svd++ carries ~0.4 here.
+    pub variance_cv: f64,
+}
+
+impl ExecutionDemand {
+    /// Validate ranges; every numeric field must be finite and non-negative,
+    /// iterations and parallelism at least 1.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fields = [
+            ("input_gb", self.input_gb),
+            ("compute_units", self.compute_units),
+            ("working_set_gb", self.working_set_gb),
+            ("shuffle_gb_per_iter", self.shuffle_gb_per_iter),
+            ("disk_gb_per_iter", self.disk_gb_per_iter),
+            ("sync_barriers_per_iter", self.sync_barriers_per_iter),
+            ("startup_s", self.startup_s),
+            ("spill_penalty", self.spill_penalty),
+            ("variance_cv", self.variance_cv),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v < 0.0 {
+                return Err(SimError::InvalidDemand(format!("{name} = {v}")));
+            }
+        }
+        if self.iterations == 0 {
+            return Err(SimError::InvalidDemand("iterations = 0".into()));
+        }
+        if !self.parallelism.is_finite() || self.parallelism < 1.0 {
+            return Err(SimError::InvalidDemand(format!(
+                "parallelism = {}",
+                self.parallelism
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Per-phase time breakdown of a run (seconds, whole run).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Startup / scheduling cost.
+    pub startup_s: f64,
+    /// CPU-bound compute time.
+    pub compute_s: f64,
+    /// Disk I/O time (including spill amplification).
+    pub disk_s: f64,
+    /// Network shuffle time.
+    pub network_s: f64,
+    /// Barrier synchronization time.
+    pub sync_s: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total wall time.
+    pub fn total(&self) -> f64 {
+        self.startup_s + self.compute_s + self.disk_s + self.network_s + self.sync_s
+    }
+}
+
+/// Outcome of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Wall-clock execution time in seconds (noise applied).
+    pub execution_time_s: f64,
+    /// Noise-free expected time (the model's mean behaviour).
+    pub expected_time_s: f64,
+    /// Phase breakdown of the expected time.
+    pub phases: PhaseBreakdown,
+    /// Budget for the run on this VM type, in USD.
+    pub cost_usd: f64,
+    /// Memory pressure `working_set / usable_memory` (per node).
+    pub memory_pressure: f64,
+    /// Whether the run spilled to disk.
+    pub spilled: bool,
+}
+
+/// Simulation knobs shared by an experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Experiment-wide seed for the deterministic noise streams.
+    pub seed: u64,
+    /// Baseline cloud-variability CV added to every run.
+    pub base_cv: f64,
+    /// Fraction of VM memory usable by the workload (OS / daemons take the
+    /// rest).
+    pub usable_memory_frac: f64,
+    /// Serial (non-parallelizable) fraction of the compute work (Amdahl).
+    pub serial_fraction: f64,
+    /// Seconds of coordination cost per barrier, plus a per-task term.
+    pub sync_base_s: f64,
+    /// Per-parallel-task barrier cost in seconds.
+    pub sync_per_task_s: f64,
+    /// Per-wave scheduling/straggler overhead: when a workload has more
+    /// parallel tasks than cores, tasks run in waves and each extra wave
+    /// adds this fraction of overhead to the compute and disk phases.
+    /// This is what keeps tiny instances from being free lunch on the
+    /// budget objective.
+    pub wave_overhead: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 42,
+            base_cv: 0.05,
+            usable_memory_frac: 0.85,
+            serial_fraction: 0.04,
+            sync_base_s: 0.3,
+            sync_per_task_s: 0.02,
+            wave_overhead: 0.03,
+        }
+    }
+}
+
+/// The simulator: executes [`ExecutionDemand`]s against [`VmType`]s.
+///
+/// ```
+/// use vesta_cloud_sim::{Catalog, ExecutionDemand, Simulator};
+///
+/// let catalog = Catalog::aws_ec2();
+/// let sim = Simulator::default();
+/// let demand = ExecutionDemand {
+///     workload_id: 1, input_gb: 30.0, compute_units: 2000.0,
+///     working_set_gb: 18.0, shuffle_gb_per_iter: 24.0,
+///     disk_gb_per_iter: 90.0, iterations: 2, parallelism: 120.0,
+///     sync_barriers_per_iter: 2.0, startup_s: 37.0, spill_penalty: 1.6,
+///     memory_hard: false, variance_cv: 0.05,
+/// };
+/// let vm = catalog.by_name("i3en.4xlarge").unwrap();
+/// let t = sim.expected_time(&demand, vm, 1).unwrap();
+/// assert!(t > 0.0 && t.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Create a simulator with the given config.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// Borrow the config.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Noise-free expected phase breakdown on a cluster of `nodes` VMs of
+    /// the given type.
+    pub fn expected_phases(
+        &self,
+        demand: &ExecutionDemand,
+        vm: &VmType,
+        nodes: u32,
+    ) -> Result<PhaseBreakdown, SimError> {
+        demand.validate()?;
+        if nodes == 0 {
+            return Err(SimError::InvalidDemand("cluster of 0 nodes".into()));
+        }
+        let nodes_f = nodes as f64;
+        let cfg = &self.config;
+        let iters = demand.iterations as f64;
+
+        // ---- compute -----------------------------------------------------
+        let total_cores = vm.vcpus as f64 * nodes_f;
+        let useful_cores = total_cores.min(demand.parallelism).max(1.0);
+        // A run whose compute phase dominates keeps the CPU pegged, so
+        // burstable families fall back to their sustained speed.
+        let speed_burst = vm.cpu_speed;
+        let speed_sustained = vm.sustained_cpu_speed();
+        // Two-pass: estimate with full speed, then re-derate if compute-heavy.
+        let serial = cfg.serial_fraction;
+        // Tasks beyond the core count run in waves; each extra wave costs
+        // scheduling and straggler overhead.
+        let waves = (demand.parallelism / total_cores).ceil().max(1.0);
+        let wave_factor = 1.0 + cfg.wave_overhead * (waves - 1.0);
+        let compute_at = |speed: f64| {
+            demand.compute_units
+                * ((1.0 - serial) / (useful_cores * speed) + serial / speed)
+                * wave_factor
+        };
+        let mut compute_s = compute_at(speed_burst);
+
+        // ---- memory ------------------------------------------------------
+        let usable_gb = vm.memory_gb * cfg.usable_memory_frac;
+        let ws_per_node = demand.working_set_gb / nodes_f;
+        let memory_pressure = if usable_gb > 0.0 {
+            ws_per_node / usable_gb
+        } else {
+            f64::INFINITY
+        };
+        let mut spill_gb_per_iter = 0.0;
+        let mut gc_factor = 1.0;
+        if memory_pressure > 1.0 {
+            if demand.memory_hard && memory_pressure > 1.5 {
+                return Err(SimError::OutOfMemory {
+                    required_gb: ws_per_node,
+                    available_gb: usable_gb,
+                });
+            }
+            let overflow_gb = (ws_per_node - usable_gb) * nodes_f;
+            spill_gb_per_iter = overflow_gb * demand.spill_penalty;
+            if demand.memory_hard {
+                // Spark under pressure: GC thrash + recomputation of evicted
+                // partitions rather than a clean sort-spill.
+                gc_factor = 1.0 + 1.8 * (memory_pressure - 1.0);
+            }
+        }
+
+        // ---- disk --------------------------------------------------------
+        let disk_gb = (demand.disk_gb_per_iter + spill_gb_per_iter) * iters;
+        let disk_s = disk_gb * 1024.0 / (vm.disk_mbps * nodes_f) * wave_factor;
+
+        // ---- network -----------------------------------------------------
+        // Shuffle crosses the NIC; with one node it is remote-storage traffic.
+        let net_gb = demand.shuffle_gb_per_iter * iters;
+        let net_s = net_gb * 8.0 / (vm.network_gbps * nodes_f);
+
+        // ---- synchronization ----------------------------------------------
+        let barriers = demand.sync_barriers_per_iter * iters;
+        let sync_s = barriers * (cfg.sync_base_s + cfg.sync_per_task_s * useful_cores);
+
+        // ---- burstable derating -------------------------------------------
+        if vm.burstable {
+            let pre_total = compute_s + disk_s + net_s + sync_s + demand.startup_s;
+            if pre_total > 0.0 && compute_s / pre_total > 0.3 {
+                compute_s = compute_at(speed_sustained);
+            }
+        }
+        compute_s *= gc_factor;
+
+        Ok(PhaseBreakdown {
+            startup_s: demand.startup_s,
+            compute_s,
+            disk_s,
+            network_s: net_s,
+            sync_s,
+        })
+    }
+
+    /// Noise-free expected execution time in seconds.
+    pub fn expected_time(
+        &self,
+        demand: &ExecutionDemand,
+        vm: &VmType,
+        nodes: u32,
+    ) -> Result<f64, SimError> {
+        Ok(self.expected_phases(demand, vm, nodes)?.total())
+    }
+
+    /// Execute run number `run_idx` (deterministic noise) on one VM.
+    pub fn run(
+        &self,
+        demand: &ExecutionDemand,
+        vm: &VmType,
+        nodes: u32,
+        run_idx: u64,
+    ) -> Result<RunResult, SimError> {
+        let phases = self.expected_phases(demand, vm, nodes)?;
+        let expected = phases.total();
+        let cv = (self.config.base_cv * self.config.base_cv
+            + demand.variance_cv * demand.variance_cv)
+            .sqrt();
+        let mut rng = run_rng(
+            self.config.seed,
+            demand.workload_id,
+            vm.id as u64,
+            run_idx,
+            0,
+        );
+        let factor = lognormal_factor(&mut rng, cv);
+        let time = expected * factor;
+        let usable_gb = vm.memory_gb * self.config.usable_memory_frac;
+        let ws_per_node = demand.working_set_gb / nodes as f64;
+        let pressure = if usable_gb > 0.0 {
+            ws_per_node / usable_gb
+        } else {
+            f64::INFINITY
+        };
+        Ok(RunResult {
+            execution_time_s: time,
+            expected_time_s: expected,
+            cost_usd: vm.cost_for(time) * nodes as f64,
+            phases,
+            memory_pressure: pressure,
+            spilled: pressure > 1.0,
+        })
+    }
+}
+
+/// What "best" means when ranking VM types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize execution time (Fig. 12).
+    ExecutionTime,
+    /// Minimize budget = price × time (Figs. 1 and 13).
+    Budget,
+    /// Minimize per-superstep latency `(total − startup) / iterations` —
+    /// the metric Section 7 names for latency-sensitive (streaming)
+    /// workloads, where each iteration is a micro-batch.
+    BatchLatency,
+    /// Minimize inverse throughput, seconds per GB of input processed —
+    /// Section 7's throughput variable, expressed as a minimization.
+    TimePerGb,
+}
+
+impl Objective {
+    /// Score one noise-free run under this objective (lower is better).
+    pub fn score(
+        self,
+        phases: &PhaseBreakdown,
+        demand: &ExecutionDemand,
+        vm: &VmType,
+        nodes: u32,
+    ) -> f64 {
+        let total = phases.total();
+        match self {
+            Objective::ExecutionTime => total,
+            Objective::Budget => vm.cost_for(total) * nodes as f64,
+            Objective::BatchLatency => {
+                (total - phases.startup_s).max(0.0) / demand.iterations.max(1) as f64
+            }
+            Objective::TimePerGb => total / demand.input_gb.max(1e-9),
+        }
+    }
+}
+
+/// Brute-force ground truth: evaluate `demand` on every VM type and return
+/// `(vm_id, score)` pairs sorted best-first. OOM-failing types sort last
+/// with infinite score. This is the paper's "ground truth best results by
+/// exhaustively running workloads on 120 VM types".
+pub fn exhaustive_ranking(
+    sim: &Simulator,
+    demand: &ExecutionDemand,
+    vms: &[VmType],
+    nodes: u32,
+    objective: Objective,
+) -> Vec<(usize, f64)> {
+    use rayon::prelude::*;
+    let mut scored: Vec<(usize, f64)> = vms
+        .par_iter()
+        .map(|vm| {
+            let score = match sim.expected_phases(demand, vm, nodes) {
+                Ok(phases) => objective.score(&phases, demand, vm, nodes),
+                Err(_) => f64::INFINITY,
+            };
+            (vm.id, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are not NaN"));
+    scored
+}
+
+/// The single best VM id under the objective (ties broken by id order).
+pub fn best_vm(
+    sim: &Simulator,
+    demand: &ExecutionDemand,
+    vms: &[VmType],
+    nodes: u32,
+    objective: Objective,
+) -> Result<usize, SimError> {
+    exhaustive_ranking(sim, demand, vms, nodes, objective)
+        .first()
+        .filter(|(_, s)| s.is_finite())
+        .map(|(id, _)| *id)
+        .ok_or_else(|| SimError::InvalidDemand("no VM type can run this demand".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    fn demand() -> ExecutionDemand {
+        ExecutionDemand {
+            workload_id: 1,
+            input_gb: 30.0,
+            compute_units: 4000.0,
+            working_set_gb: 12.0,
+            shuffle_gb_per_iter: 2.0,
+            disk_gb_per_iter: 4.0,
+            iterations: 4,
+            parallelism: 32.0,
+            sync_barriers_per_iter: 2.0,
+            startup_s: 20.0,
+            spill_penalty: 2.0,
+            memory_hard: false,
+            variance_cv: 0.05,
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_fields() {
+        let mut d = demand();
+        d.iterations = 0;
+        assert!(d.validate().is_err());
+        let mut d = demand();
+        d.parallelism = 0.5;
+        assert!(d.validate().is_err());
+        let mut d = demand();
+        d.compute_units = -1.0;
+        assert!(d.validate().is_err());
+        let mut d = demand();
+        d.input_gb = f64::NAN;
+        assert!(d.validate().is_err());
+        assert!(demand().validate().is_ok());
+    }
+
+    #[test]
+    fn more_cores_never_slower_compute() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let d = demand();
+        let small = cat.by_name("m5.large").unwrap();
+        let big = cat.by_name("m5.8xlarge").unwrap();
+        let ps = sim.expected_phases(&d, small, 1).unwrap();
+        let pb = sim.expected_phases(&d, big, 1).unwrap();
+        assert!(pb.compute_s <= ps.compute_s);
+    }
+
+    #[test]
+    fn parallelism_caps_useful_cores() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.parallelism = 2.0; // only 2 useful tasks
+        let a = cat.by_name("m5.xlarge").unwrap(); // 4 cores
+        let b = cat.by_name("m5.8xlarge").unwrap(); // 32 cores
+        let ta = sim.expected_phases(&d, a, 1).unwrap().compute_s;
+        let tb = sim.expected_phases(&d, b, 1).unwrap().compute_s;
+        assert!((ta - tb).abs() / ta < 1e-9, "extra cores must not help");
+    }
+
+    #[test]
+    fn memory_pressure_triggers_spill_on_soft_semantics() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.working_set_gb = 100.0; // way above an m5.large's 8 GB
+        let vm = cat.by_name("m5.large").unwrap();
+        let fits = cat.by_name("r5.8xlarge").unwrap();
+        let spill = sim.run(&d, vm, 1, 0).unwrap();
+        let clean = sim.run(&d, fits, 1, 0).unwrap();
+        assert!(spill.spilled);
+        assert!(!clean.spilled);
+        assert!(spill.phases.disk_s > clean.phases.disk_s);
+    }
+
+    #[test]
+    fn hard_memory_semantics_oom() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.memory_hard = true;
+        d.working_set_gb = 100.0;
+        let vm = cat.by_name("m5.large").unwrap();
+        assert!(matches!(
+            sim.expected_phases(&d, vm, 1),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn hard_memory_mild_pressure_pays_gc_not_oom() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let vm = cat.by_name("m5.2xlarge").unwrap(); // 32 GB, ~27 usable
+        let mut soft = demand();
+        soft.working_set_gb = 30.0; // pressure ~1.1
+        let mut hard = soft.clone();
+        hard.memory_hard = true;
+        let ts = sim.expected_phases(&soft, vm, 1).unwrap();
+        let th = sim.expected_phases(&hard, vm, 1).unwrap();
+        assert!(th.compute_s > ts.compute_s, "GC factor should slow compute");
+    }
+
+    #[test]
+    fn network_heavy_prefers_n_families() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.shuffle_gb_per_iter = 50.0;
+        let m5 = cat.by_name("m5.2xlarge").unwrap();
+        let m5n = cat.by_name("m5n.2xlarge").unwrap();
+        let t_plain = sim.expected_time(&d, m5, 1).unwrap();
+        let t_net = sim.expected_time(&d, m5n, 1).unwrap();
+        assert!(t_net < t_plain);
+    }
+
+    #[test]
+    fn disk_heavy_prefers_storage_optimized() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.disk_gb_per_iter = 60.0;
+        let m5 = cat.by_name("m5.2xlarge").unwrap();
+        let i3 = cat.by_name("i3.2xlarge").unwrap();
+        assert!(sim.expected_time(&d, i3, 1).unwrap() < sim.expected_time(&d, m5, 1).unwrap());
+    }
+
+    #[test]
+    fn burstable_derated_when_compute_bound() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.compute_units = 50_000.0; // heavily compute-bound
+        let t3 = cat.by_name("t3.2xlarge").unwrap();
+        let m5 = cat.by_name("m5.2xlarge").unwrap(); // same core count
+        let tt = sim.expected_phases(&d, t3, 1).unwrap().compute_s;
+        let tm = sim.expected_phases(&d, m5, 1).unwrap().compute_s;
+        assert!(
+            tt > 1.5 * tm,
+            "t3 sustained speed should hurt: {tt} vs {tm}"
+        );
+    }
+
+    #[test]
+    fn run_noise_is_deterministic_and_bounded() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let d = demand();
+        let vm = cat.by_name("c5.2xlarge").unwrap();
+        let a = sim.run(&d, vm, 1, 3).unwrap();
+        let b = sim.run(&d, vm, 1, 3).unwrap();
+        assert_eq!(a.execution_time_s, b.execution_time_s);
+        let c = sim.run(&d, vm, 1, 4).unwrap();
+        assert_ne!(a.execution_time_s, c.execution_time_s);
+        // noise around the expectation
+        assert!((a.execution_time_s / a.expected_time_s - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn cost_is_price_times_time() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let d = demand();
+        let vm = cat.by_name("c5.2xlarge").unwrap();
+        let r = sim.run(&d, vm, 1, 0).unwrap();
+        let want = vm.price_per_hour * r.execution_time_s / 3600.0;
+        assert!((r.cost_usd - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_nodes_reduce_time_for_parallel_work() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.parallelism = 256.0;
+        let vm = cat.by_name("m5.2xlarge").unwrap();
+        let one = sim.expected_time(&d, vm, 1).unwrap();
+        let four = sim.expected_time(&d, vm, 4).unwrap();
+        assert!(four < one);
+    }
+
+    #[test]
+    fn exhaustive_ranking_is_sorted_and_complete() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let d = demand();
+        let ranking = exhaustive_ranking(&sim, &d, cat.all(), 1, Objective::ExecutionTime);
+        assert_eq!(ranking.len(), 120);
+        for w in ranking.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn best_vm_objectives_differ() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.compute_units = 20_000.0;
+        let fastest = best_vm(&sim, &d, cat.all(), 1, Objective::ExecutionTime).unwrap();
+        let cheapest = best_vm(&sim, &d, cat.all(), 1, Objective::Budget).unwrap();
+        // The absolute fastest box is rarely the cheapest one.
+        let tf = cat.get(fastest).unwrap();
+        let tc = cat.get(cheapest).unwrap();
+        assert!(tc.price_per_hour <= tf.price_per_hour);
+    }
+
+    #[test]
+    fn batch_latency_excludes_startup() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.startup_s = 1000.0; // enormous startup
+        d.iterations = 10;
+        let vm = cat.by_name("m5.2xlarge").unwrap();
+        let phases = sim.expected_phases(&d, vm, 1).unwrap();
+        let latency = Objective::BatchLatency.score(&phases, &d, vm, 1);
+        let time = Objective::ExecutionTime.score(&phases, &d, vm, 1);
+        // Startup dominates total time but not per-batch latency.
+        assert!(latency < time / 10.0);
+        assert!((latency - (phases.total() - 1000.0) / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_per_gb_normalizes_by_input() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let d = demand();
+        let vm = cat.by_name("m5.2xlarge").unwrap();
+        let phases = sim.expected_phases(&d, vm, 1).unwrap();
+        let per_gb = Objective::TimePerGb.score(&phases, &d, vm, 1);
+        assert!((per_gb - phases.total() / d.input_gb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_objective_reorders_startup_heavy_rankings() {
+        // Two demands identical except startup: under ExecutionTime the
+        // cheap-startup one wins on any VM; under BatchLatency they tie.
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let vm = cat.by_name("c5.2xlarge").unwrap();
+        let mut slow_start = demand();
+        slow_start.startup_s = 500.0;
+        let fast_start = demand();
+        let ps = sim.expected_phases(&slow_start, vm, 1).unwrap();
+        let pf = sim.expected_phases(&fast_start, vm, 1).unwrap();
+        assert!(
+            Objective::ExecutionTime.score(&ps, &slow_start, vm, 1)
+                > Objective::ExecutionTime.score(&pf, &fast_start, vm, 1)
+        );
+        let ls = Objective::BatchLatency.score(&ps, &slow_start, vm, 1);
+        let lf = Objective::BatchLatency.score(&pf, &fast_start, vm, 1);
+        assert!((ls - lf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_ranking_supports_all_objectives() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let d = demand();
+        for obj in [
+            Objective::ExecutionTime,
+            Objective::Budget,
+            Objective::BatchLatency,
+            Objective::TimePerGb,
+        ] {
+            let r = exhaustive_ranking(&sim, &d, cat.all(), 1, obj);
+            assert_eq!(r.len(), 120);
+            for w in r.windows(2) {
+                assert!(w[0].1 <= w[1].1, "{obj:?} not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn oom_everywhere_yields_error() {
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let mut d = demand();
+        d.memory_hard = true;
+        d.working_set_gb = 1e7; // no VM holds 10 PB
+        assert!(best_vm(&sim, &d, cat.all(), 1, Objective::ExecutionTime).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! In-memory metrics store — the simulator's stand-in for the MySQL
+//! database of Section 4.1 ("All data is stored in the MySQL database").
+//!
+//! Keyed by `(workload, vm type)`; each key accumulates repeated runs so the
+//! P90 conservative estimate over the paper's 10 repetitions can be queried.
+//! Thread-safe behind a `parking_lot::RwLock` so the rayon-parallel
+//! profiling sweep can insert concurrently.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::error::SimError;
+use crate::metrics::CorrelationVector;
+
+/// A recorded run of one workload on one VM type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Run repetition index.
+    pub run_idx: u64,
+    /// Measured execution time, seconds.
+    pub execution_time_s: f64,
+    /// Measured cost, USD.
+    pub cost_usd: f64,
+    /// Correlation similarities extracted from the run's metric trace.
+    pub correlations: CorrelationVector,
+    /// Mean utilization of each of the 20 low-level metrics.
+    pub metric_means: [f64; crate::metrics::N_METRICS],
+}
+
+/// Key identifying a profiled (workload, VM) pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RunKey {
+    /// Workload identity (stable id from the workload suite).
+    pub workload_id: u64,
+    /// Catalog id of the VM type.
+    pub vm_id: usize,
+}
+
+/// Aggregate view over the repetitions of one (workload, VM) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Number of recorded repetitions.
+    pub runs: usize,
+    /// P90 of execution time (the paper's conservative estimate).
+    pub p90_time_s: f64,
+    /// Mean execution time.
+    pub mean_time_s: f64,
+    /// P90 of cost.
+    pub p90_cost_usd: f64,
+    /// Mean correlation vector across repetitions.
+    pub correlations: CorrelationVector,
+}
+
+/// Thread-safe store of run records.
+#[derive(Debug, Default)]
+pub struct MetricsStore {
+    inner: RwLock<HashMap<RunKey, Vec<RunRecord>>>,
+}
+
+impl MetricsStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one run record.
+    pub fn insert(&self, key: RunKey, record: RunRecord) {
+        self.inner.write().entry(key).or_default().push(record);
+    }
+
+    /// Number of distinct (workload, VM) keys.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Total recorded runs across all keys (a proxy for profiling cost —
+    /// the training-overhead axis of Figs. 3 and 8 counts these).
+    pub fn total_runs(&self) -> usize {
+        self.inner.read().values().map(Vec::len).sum()
+    }
+
+    /// Raw records for a key.
+    pub fn records(&self, key: &RunKey) -> Result<Vec<RunRecord>, SimError> {
+        self.inner
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| SimError::NoData(format!("{key:?}")))
+    }
+
+    /// P90/mean aggregate for a key.
+    pub fn aggregate(&self, key: &RunKey) -> Result<Aggregate, SimError> {
+        let records = self.records(key)?;
+        let times: Vec<f64> = records.iter().map(|r| r.execution_time_s).collect();
+        let costs: Vec<f64> = records.iter().map(|r| r.cost_usd).collect();
+        let cors: Vec<CorrelationVector> = records.iter().map(|r| r.correlations).collect();
+        Ok(Aggregate {
+            runs: records.len(),
+            p90_time_s: vesta_ml::stats::p90(&times)
+                .map_err(|e| SimError::NoData(e.to_string()))?,
+            mean_time_s: vesta_ml::stats::mean(&times),
+            p90_cost_usd: vesta_ml::stats::p90(&costs)
+                .map_err(|e| SimError::NoData(e.to_string()))?,
+            correlations: CorrelationVector::mean_of(&cors)
+                .ok_or_else(|| SimError::NoData("no correlation vectors".into()))?,
+        })
+    }
+
+    /// All VM ids profiled for a workload.
+    pub fn vms_for_workload(&self, workload_id: u64) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .inner
+            .read()
+            .keys()
+            .filter(|k| k.workload_id == workload_id)
+            .map(|k| k.vm_id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Rebuild a store from a [`MetricsStore::snapshot`] dump — the load
+    /// half of knowledge persistence.
+    pub fn from_snapshot(entries: Vec<(RunKey, Vec<RunRecord>)>) -> Self {
+        let store = MetricsStore::new();
+        {
+            let mut inner = store.inner.write();
+            for (key, records) in entries {
+                inner.insert(key, records);
+            }
+        }
+        store
+    }
+
+    /// Snapshot every key (for serde export / experiment dumps).
+    pub fn snapshot(&self) -> Vec<(RunKey, Vec<RunRecord>)> {
+        let mut v: Vec<(RunKey, Vec<RunRecord>)> = self
+            .inner
+            .read()
+            .iter()
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect();
+        v.sort_by_key(|(k, _)| (k.workload_id, k.vm_id));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CorrelationVector, N_CORRELATIONS, N_METRICS};
+
+    fn record(run_idx: u64, time: f64) -> RunRecord {
+        RunRecord {
+            run_idx,
+            execution_time_s: time,
+            cost_usd: time / 100.0,
+            correlations: CorrelationVector {
+                values: [0.5; N_CORRELATIONS],
+            },
+            metric_means: [0.0; N_METRICS],
+        }
+    }
+
+    fn key(w: u64, v: usize) -> RunKey {
+        RunKey {
+            workload_id: w,
+            vm_id: v,
+        }
+    }
+
+    #[test]
+    fn insert_and_aggregate() {
+        let store = MetricsStore::new();
+        for (i, t) in [100.0, 110.0, 90.0, 105.0, 95.0].iter().enumerate() {
+            store.insert(key(1, 2), record(i as u64, *t));
+        }
+        let agg = store.aggregate(&key(1, 2)).unwrap();
+        assert_eq!(agg.runs, 5);
+        assert!((agg.mean_time_s - 100.0).abs() < 1e-9);
+        assert!(agg.p90_time_s > agg.mean_time_s); // conservative
+        assert!((agg.correlations.values[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        let store = MetricsStore::new();
+        assert!(store.aggregate(&key(9, 9)).is_err());
+        assert!(store.records(&key(9, 9)).is_err());
+    }
+
+    #[test]
+    fn counts_and_snapshot() {
+        let store = MetricsStore::new();
+        store.insert(key(1, 1), record(0, 10.0));
+        store.insert(key(1, 1), record(1, 11.0));
+        store.insert(key(1, 2), record(0, 20.0));
+        store.insert(key(2, 1), record(0, 30.0));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.total_runs(), 4);
+        assert!(!store.is_empty());
+        assert_eq!(store.vms_for_workload(1), vec![1, 2]);
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].0, key(1, 1));
+    }
+
+    #[test]
+    fn concurrent_inserts_are_all_kept() {
+        use rayon::prelude::*;
+        let store = MetricsStore::new();
+        (0..100u64).into_par_iter().for_each(|i| {
+            store.insert(key(i % 4, (i % 7) as usize), record(i, i as f64 + 1.0));
+        });
+        assert_eq!(store.total_runs(), 100);
+    }
+}

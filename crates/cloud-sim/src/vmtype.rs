@@ -1,0 +1,353 @@
+//! VM type identities and resource specifications.
+//!
+//! Mirrors the Amazon EC2 hierarchy the paper relies on (Section 5.1):
+//! *VM Category* → *VM Family* → *VM type*. A [`VmType`] carries the
+//! resource vector the selector reasons about — vCPUs, memory, disk
+//! bandwidth, network bandwidth — plus the hourly price used for the budget
+//! experiments (Figs. 1 and 13).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Top-level EC2 category (Table 4, column 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmCategory {
+    /// Balanced CPU:memory (T*, M*).
+    GeneralPurpose,
+    /// High CPU:memory ratio (C*).
+    ComputeOptimized,
+    /// High memory:CPU ratio (R*, X1, z1d).
+    MemoryOptimized,
+    /// GPU instances (G*).
+    AcceleratedComputing,
+    /// NVMe-heavy instances (I3, I3en).
+    StorageOptimized,
+}
+
+impl fmt::Display for VmCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VmCategory::GeneralPurpose => "General Purpose",
+            VmCategory::ComputeOptimized => "Compute Optimized",
+            VmCategory::MemoryOptimized => "Memory Optimized",
+            VmCategory::AcceleratedComputing => "Accelerated Computing",
+            VmCategory::StorageOptimized => "Storage Optimized",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Instance size within a family. EC2 sizes scale resources roughly
+/// linearly: `large` = 2 vCPUs, `xlarge` = 4, doubling upward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VmSize {
+    Micro,
+    Small,
+    Medium,
+    Large,
+    XLarge,
+    X2Large,
+    X4Large,
+    X8Large,
+    X12Large,
+    X16Large,
+}
+
+impl VmSize {
+    /// Multiplier relative to `large` (2 vCPUs).
+    pub fn scale(self) -> f64 {
+        match self {
+            VmSize::Micro => 0.25,
+            VmSize::Small => 0.5,
+            VmSize::Medium => 1.0, // T-family medium has 2 vCPUs like large
+            VmSize::Large => 1.0,
+            VmSize::XLarge => 2.0,
+            VmSize::X2Large => 4.0,
+            VmSize::X4Large => 8.0,
+            VmSize::X8Large => 16.0,
+            VmSize::X12Large => 24.0,
+            VmSize::X16Large => 32.0,
+        }
+    }
+
+    /// EC2 suffix string.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            VmSize::Micro => "micro",
+            VmSize::Small => "small",
+            VmSize::Medium => "medium",
+            VmSize::Large => "large",
+            VmSize::XLarge => "xlarge",
+            VmSize::X2Large => "2xlarge",
+            VmSize::X4Large => "4xlarge",
+            VmSize::X8Large => "8xlarge",
+            VmSize::X12Large => "12xlarge",
+            VmSize::X16Large => "16xlarge",
+        }
+    }
+}
+
+impl fmt::Display for VmSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Family-level traits shared by every size of a family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilySpec {
+    /// Family name as EC2 spells it (e.g. "m5", "c5n").
+    pub name: &'static str,
+    /// Category this family belongs to.
+    pub category: VmCategory,
+    /// Memory per vCPU in GB.
+    pub mem_per_vcpu_gb: f64,
+    /// Relative single-core speed (M5 ≡ 1.0; C-families and z1d are
+    /// faster, burstable T-families slower when sustained).
+    pub cpu_speed: f64,
+    /// Disk bandwidth in MB/s for a `large` instance (scales with size).
+    pub disk_mbps_large: f64,
+    /// Network bandwidth in Gbit/s for a `large` instance (scales with
+    /// size, capped at the family's `network_cap_gbps`).
+    pub network_gbps_large: f64,
+    /// Upper bound on network bandwidth for the family.
+    pub network_cap_gbps: f64,
+    /// On-demand price per vCPU-hour in USD (approximate us-east-1
+    /// on-demand pricing; see DESIGN.md for the substitution note).
+    pub price_per_vcpu_hour: f64,
+    /// Burstable CPU (T-families): sustained throughput is derated.
+    pub burstable: bool,
+    /// Carries a GPU the big-data workloads cannot use (priced in, wasted).
+    pub has_gpu: bool,
+    /// Local NVMe storage (I3/I3en/C5d/z1d): very high disk bandwidth.
+    pub local_nvme: bool,
+}
+
+/// One concrete VM type (e.g. `m5.2xlarge`) with resolved resources.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmType {
+    /// Stable index in the catalog (0-based).
+    pub id: usize,
+    /// Full EC2-style name, e.g. `"c5.4xlarge"`.
+    pub name: String,
+    /// Family name, e.g. `"c5"`.
+    pub family: String,
+    /// Category of the family.
+    pub category: VmCategory,
+    /// Size step.
+    pub size: VmSize,
+    /// Virtual CPUs.
+    pub vcpus: u32,
+    /// Memory in GB.
+    pub memory_gb: f64,
+    /// Disk bandwidth in MB/s.
+    pub disk_mbps: f64,
+    /// Network bandwidth in Gbit/s.
+    pub network_gbps: f64,
+    /// Relative single-core speed.
+    pub cpu_speed: f64,
+    /// On-demand price in USD per hour.
+    pub price_per_hour: f64,
+    /// Burstable CPU semantics.
+    pub burstable: bool,
+    /// GPU present (priced, unused by these workloads).
+    pub has_gpu: bool,
+    /// Local NVMe storage.
+    pub local_nvme: bool,
+}
+
+impl VmType {
+    /// Construct a concrete type from a family spec and a size.
+    pub fn from_family(id: usize, spec: &FamilySpec, size: VmSize) -> VmType {
+        let scale = size.scale();
+        // T-family sizing is irregular: micro..medium all have 2 vCPUs but
+        // scale memory. Model that with a vCPU floor of 2 for burstables.
+        let raw_vcpus = (2.0 * scale).round().max(1.0);
+        let vcpus = if spec.burstable {
+            raw_vcpus.max(2.0)
+        } else {
+            raw_vcpus
+        } as u32;
+        let memory_gb = spec.mem_per_vcpu_gb * 2.0 * scale;
+        let disk_mbps = spec.disk_mbps_large * scale.max(0.5);
+        let network_gbps = (spec.network_gbps_large * scale.max(0.5)).min(spec.network_cap_gbps);
+        // Price follows nominal resource scale, not the burstable vCPU floor;
+        // GPU families pay a fixed accelerator premium per size step.
+        let mut price = spec.price_per_vcpu_hour * 2.0 * scale;
+        if spec.has_gpu {
+            price += 0.35 * scale; // accelerator surcharge
+        }
+        VmType {
+            id,
+            name: format!("{}.{}", spec.name, size.suffix()),
+            family: spec.name.to_string(),
+            category: spec.category,
+            size,
+            vcpus,
+            memory_gb,
+            disk_mbps,
+            network_gbps,
+            cpu_speed: spec.cpu_speed,
+            price_per_hour: price,
+            burstable: spec.burstable,
+            has_gpu: spec.has_gpu,
+            local_nvme: spec.local_nvme,
+        }
+    }
+
+    /// Memory-to-CPU ratio in GB per vCPU; the "8G8U / 16G16U" shorthand of
+    /// Fig. 1 is about this ratio.
+    pub fn mem_per_vcpu(&self) -> f64 {
+        self.memory_gb / self.vcpus as f64
+    }
+
+    /// Sustained CPU speed: burstable families are derated when a workload
+    /// keeps the CPU busy for longer than their credit budget allows.
+    pub fn sustained_cpu_speed(&self) -> f64 {
+        if self.burstable {
+            self.cpu_speed * 0.55
+        } else {
+            self.cpu_speed
+        }
+    }
+
+    /// Resource vector used as K-Means / fingerprint features:
+    /// `[vcpus, memory_gb, disk_mbps, network_gbps, cpu_speed, price]`,
+    /// log-scaled where spans are multiplicative.
+    pub fn feature_vector(&self) -> Vec<f64> {
+        vec![
+            (self.vcpus as f64).ln(),
+            self.memory_gb.ln(),
+            self.disk_mbps.ln(),
+            self.network_gbps.ln(),
+            self.cpu_speed,
+            self.price_per_hour.ln(),
+        ]
+    }
+
+    /// Cost of running for `seconds` on this type, in USD.
+    pub fn cost_for(&self, seconds: f64) -> f64 {
+        self.price_per_hour * seconds / 3600.0
+    }
+}
+
+impl fmt::Display for VmType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} vCPU, {:.0} GB, {:.0} MB/s disk, {:.1} Gbps, ${:.3}/h)",
+            self.name,
+            self.vcpus,
+            self.memory_gb,
+            self.disk_mbps,
+            self.network_gbps,
+            self.price_per_hour
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m5_spec() -> FamilySpec {
+        FamilySpec {
+            name: "m5",
+            category: VmCategory::GeneralPurpose,
+            mem_per_vcpu_gb: 4.0,
+            cpu_speed: 1.0,
+            disk_mbps_large: 60.0,
+            network_gbps_large: 0.75,
+            network_cap_gbps: 10.0,
+            price_per_vcpu_hour: 0.048,
+            burstable: false,
+            has_gpu: false,
+            local_nvme: false,
+        }
+    }
+
+    #[test]
+    fn size_scale_doubles_up() {
+        assert_eq!(VmSize::Large.scale(), 1.0);
+        assert_eq!(VmSize::XLarge.scale(), 2.0);
+        assert_eq!(VmSize::X8Large.scale(), 16.0);
+        assert!(VmSize::Micro.scale() < VmSize::Small.scale());
+    }
+
+    #[test]
+    fn from_family_scales_resources() {
+        let spec = m5_spec();
+        let large = VmType::from_family(0, &spec, VmSize::Large);
+        let x4 = VmType::from_family(1, &spec, VmSize::X4Large);
+        assert_eq!(large.vcpus, 2);
+        assert_eq!(x4.vcpus, 16);
+        assert!((large.memory_gb - 8.0).abs() < 1e-9);
+        assert!((x4.memory_gb - 64.0).abs() < 1e-9);
+        assert!((x4.price_per_hour / large.price_per_hour - 8.0).abs() < 1e-9);
+        assert_eq!(large.name, "m5.large");
+        assert_eq!(x4.name, "m5.4xlarge");
+    }
+
+    #[test]
+    fn network_is_capped() {
+        let mut spec = m5_spec();
+        spec.network_cap_gbps = 10.0;
+        let huge = VmType::from_family(0, &spec, VmSize::X16Large);
+        assert!(huge.network_gbps <= 10.0);
+    }
+
+    #[test]
+    fn burstable_has_vcpu_floor_and_derating() {
+        let spec = FamilySpec {
+            name: "t3",
+            burstable: true,
+            ..m5_spec()
+        };
+        let small = VmType::from_family(0, &spec, VmSize::Small);
+        assert_eq!(small.vcpus, 2);
+        assert!(small.sustained_cpu_speed() < small.cpu_speed);
+        let non_burst = VmType::from_family(1, &m5_spec(), VmSize::Large);
+        assert_eq!(non_burst.sustained_cpu_speed(), non_burst.cpu_speed);
+    }
+
+    #[test]
+    fn gpu_surcharge_applies() {
+        let gpu = FamilySpec {
+            name: "g4",
+            has_gpu: true,
+            ..m5_spec()
+        };
+        let with = VmType::from_family(0, &gpu, VmSize::XLarge);
+        let without = VmType::from_family(1, &m5_spec(), VmSize::XLarge);
+        assert!(with.price_per_hour > without.price_per_hour);
+    }
+
+    #[test]
+    fn mem_per_vcpu_ratio() {
+        let vm = VmType::from_family(0, &m5_spec(), VmSize::X2Large);
+        assert!((vm.mem_per_vcpu() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_vector_is_finite_and_sized() {
+        let vm = VmType::from_family(0, &m5_spec(), VmSize::Large);
+        let f = vm.feature_vector();
+        assert_eq!(f.len(), 6);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cost_is_linear_in_time() {
+        let vm = VmType::from_family(0, &m5_spec(), VmSize::Large);
+        let one_hour = vm.cost_for(3600.0);
+        assert!((one_hour - vm.price_per_hour).abs() < 1e-12);
+        assert!((vm.cost_for(1800.0) - one_hour / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let vm = VmType::from_family(0, &m5_spec(), VmSize::Large);
+        assert!(vm.to_string().contains("m5.large"));
+        assert_eq!(VmCategory::GeneralPurpose.to_string(), "General Purpose");
+    }
+}

@@ -1,0 +1,246 @@
+//! Property and sweep tests of the cloud simulator: resource
+//! monotonicities the BSP model must respect, catalog-wide invariants, and
+//! noise-distribution sanity over every (workload-shaped demand, VM) pair.
+
+use vesta_cloud_sim::{
+    exhaustive_ranking, Catalog, Collector, ExecutionDemand, Objective, SimConfig, Simulator,
+    VmType,
+};
+
+fn demand(seed: u64) -> ExecutionDemand {
+    // Vary the demand deterministically from the seed across realistic
+    // ranges.
+    let f = |k: u64, lo: f64, hi: f64| {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(k);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+        x ^= x >> 33;
+        lo + (x % 10_000) as f64 / 10_000.0 * (hi - lo)
+    };
+    ExecutionDemand {
+        workload_id: seed,
+        input_gb: f(1, 0.5, 40.0),
+        compute_units: f(2, 100.0, 20_000.0),
+        working_set_gb: f(3, 0.5, 60.0),
+        shuffle_gb_per_iter: f(4, 0.1, 20.0),
+        disk_gb_per_iter: f(5, 0.1, 40.0),
+        iterations: 1 + (seed % 12) as u32,
+        parallelism: f(6, 2.0, 200.0),
+        sync_barriers_per_iter: f(7, 0.5, 5.0),
+        startup_s: f(8, 5.0, 60.0),
+        spill_penalty: f(9, 1.0, 3.0),
+        memory_hard: false,
+        variance_cv: 0.05,
+    }
+}
+
+/// A custom VM we can mutate one resource at a time.
+fn base_vm(id: usize) -> VmType {
+    VmType {
+        id,
+        name: format!("probe-{id}"),
+        family: "probe".into(),
+        category: vesta_cloud_sim::VmCategory::GeneralPurpose,
+        size: vesta_cloud_sim::VmSize::X2Large,
+        vcpus: 8,
+        memory_gb: 32.0,
+        disk_mbps: 200.0,
+        network_gbps: 2.0,
+        cpu_speed: 1.0,
+        price_per_hour: 0.4,
+        burstable: false,
+        has_gpu: false,
+        local_nvme: false,
+    }
+}
+
+#[test]
+fn more_of_any_resource_never_hurts() {
+    let sim = Simulator::default();
+    for seed in 0..40u64 {
+        let d = demand(seed);
+        let base = base_vm(0);
+        let t0 = sim.expected_time(&d, &base, 1).unwrap();
+        // double each resource independently
+        let mut cpu = base.clone();
+        cpu.vcpus *= 2;
+        let mut mem = base.clone();
+        mem.memory_gb *= 2.0;
+        let mut disk = base.clone();
+        disk.disk_mbps *= 2.0;
+        let mut net = base.clone();
+        net.network_gbps *= 2.0;
+        let mut speed = base.clone();
+        speed.cpu_speed *= 1.5;
+        for (label, vm) in [
+            ("cpu", cpu),
+            ("mem", mem),
+            ("disk", disk),
+            ("net", net),
+            ("speed", speed),
+        ] {
+            let t = sim.expected_time(&d, &vm, 1).unwrap();
+            // CPU widening can add barrier cost for sync-heavy demands;
+            // everything else must be monotone, CPU nearly so.
+            let slack = if label == "cpu" { 1.10 } else { 1.0 + 1e-9 };
+            assert!(
+                t <= t0 * slack,
+                "seed {seed}: doubling {label} slowed {t0:.1} -> {t:.1}"
+            );
+        }
+    }
+}
+
+#[test]
+fn expected_time_scales_down_with_input() {
+    let sim = Simulator::default();
+    let cat = Catalog::aws_ec2();
+    let vm = cat.by_name("m5.2xlarge").unwrap();
+    for seed in 0..20u64 {
+        let big = demand(seed);
+        let mut small = big.clone();
+        small.input_gb *= 0.5;
+        small.compute_units *= 0.5;
+        small.working_set_gb *= 0.5;
+        small.shuffle_gb_per_iter *= 0.5;
+        small.disk_gb_per_iter *= 0.5;
+        let tb = sim.expected_time(&big, vm, 1).unwrap();
+        let ts = sim.expected_time(&small, vm, 1).unwrap();
+        assert!(
+            ts <= tb,
+            "seed {seed}: half input slower ({ts:.1} vs {tb:.1})"
+        );
+    }
+}
+
+#[test]
+fn noise_p90_exceeds_median_like_real_clouds() {
+    let sim = Simulator::default();
+    let cat = Catalog::aws_ec2();
+    let vm = cat.by_name("c5.2xlarge").unwrap();
+    let d = demand(7);
+    let times: Vec<f64> = (0..50)
+        .map(|rep| sim.run(&d, vm, 1, rep).unwrap().execution_time_s)
+        .collect();
+    let p90 = vesta_ml::stats::p90(&times).unwrap();
+    let p50 = vesta_ml::stats::percentile(&times, 50.0).unwrap();
+    let expected = sim.expected_time(&d, vm, 1).unwrap();
+    assert!(p90 > p50);
+    // lognormal noise around the expectation: median within 10%
+    assert!(
+        (p50 / expected - 1.0).abs() < 0.10,
+        "median drift {}",
+        p50 / expected
+    );
+}
+
+#[test]
+fn seeds_shift_noise_but_not_expectation() {
+    let cat = Catalog::aws_ec2();
+    let vm = cat.by_name("r5.2xlarge").unwrap();
+    let d = demand(11);
+    let sim_a = Simulator::new(SimConfig {
+        seed: 1,
+        ..Default::default()
+    });
+    let sim_b = Simulator::new(SimConfig {
+        seed: 2,
+        ..Default::default()
+    });
+    assert_eq!(
+        sim_a.expected_time(&d, vm, 1).unwrap(),
+        sim_b.expected_time(&d, vm, 1).unwrap()
+    );
+    assert_ne!(
+        sim_a.run(&d, vm, 1, 0).unwrap().execution_time_s,
+        sim_b.run(&d, vm, 1, 0).unwrap().execution_time_s
+    );
+}
+
+#[test]
+fn catalog_family_invariants_hold_for_all_120() {
+    let cat = Catalog::aws_ec2();
+    for family in cat.families() {
+        let vms = cat.family(family);
+        // same category and per-vCPU memory within a family
+        for pair in vms.windows(2) {
+            assert_eq!(pair[0].category, pair[1].category, "{family}");
+            // bigger size => at least as many vCPUs, memory, disk
+            assert!(pair[1].vcpus >= pair[0].vcpus);
+            assert!(pair[1].memory_gb >= pair[0].memory_gb);
+            assert!(pair[1].disk_mbps >= pair[0].disk_mbps);
+            // T-family medium and large share the 2-vCPU scale step, so
+            // non-strict monotonicity is the invariant.
+            assert!(pair[1].price_per_hour >= pair[0].price_per_hour);
+        }
+    }
+}
+
+#[test]
+fn all_objectives_rank_every_vm_for_many_demands() {
+    let cat = Catalog::aws_ec2();
+    let sim = Simulator::default();
+    for seed in 0..10u64 {
+        let d = demand(seed);
+        for obj in [
+            Objective::ExecutionTime,
+            Objective::Budget,
+            Objective::BatchLatency,
+            Objective::TimePerGb,
+        ] {
+            let r = exhaustive_ranking(&sim, &d, cat.all(), 1, obj);
+            assert_eq!(r.len(), 120);
+            assert!(r[0].1.is_finite(), "seed {seed} {obj:?}: no feasible VM");
+        }
+    }
+}
+
+#[test]
+fn collector_traces_are_valid_for_demand_sweep() {
+    let cat = Catalog::aws_ec2();
+    let sim = Simulator::default();
+    let collector = Collector::default();
+    for seed in 0..15u64 {
+        let d = demand(seed);
+        for vm_name in ["t3.medium", "c5.4xlarge", "i3en.12xlarge"] {
+            let vm = cat.by_name(vm_name).unwrap();
+            let trace = collector.collect(&sim, &d, vm, 1, 0).unwrap();
+            assert!(trace.len() >= 40);
+            let cors = trace.correlations().unwrap();
+            for v in cors.values {
+                assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+    }
+}
+
+#[test]
+fn two_nodes_never_slower_than_one_for_parallel_demands() {
+    let cat = Catalog::aws_ec2();
+    let sim = Simulator::default();
+    for seed in 0..20u64 {
+        let mut d = demand(seed);
+        d.parallelism = d.parallelism.max(64.0);
+        let vm = cat.by_name("m5.xlarge").unwrap();
+        let one = sim.expected_time(&d, vm, 1).unwrap();
+        let two = sim.expected_time(&d, vm, 2).unwrap();
+        // two nodes double every resource; barrier cost can grow slightly
+        assert!(
+            two <= one * 1.05,
+            "seed {seed}: 2 nodes {two:.1} vs 1 node {one:.1}"
+        );
+    }
+}
+
+#[test]
+fn budget_ranking_penalizes_gpu_for_cpu_workloads() {
+    let cat = Catalog::aws_ec2();
+    let sim = Simulator::default();
+    let d = demand(3);
+    let ranking = exhaustive_ranking(&sim, &d, cat.all(), 1, Objective::Budget);
+    // no GPU instance in the 10 cheapest choices for CPU-only work
+    for (vm_id, _) in ranking.iter().take(10) {
+        let vm = cat.get(*vm_id).unwrap();
+        assert!(!vm.has_gpu, "{} is a GPU box in the budget top-10", vm.name);
+    }
+}

@@ -1,0 +1,204 @@
+//! The Correlation Analyzer of Section 4.1: aggregates each workload's
+//! correlation similarities, measures their importance with PCA (Fig. 9),
+//! prunes irrelevant features, and derives the ground-truth VM rankings the
+//! offline knowledge is built from.
+
+use std::collections::BTreeMap;
+
+use vesta_cloud_sim::{CorrelationVector, MetricsStore, RunKey, N_CORRELATIONS};
+use vesta_graph::LabelSpace;
+use vesta_ml::pca::Pca;
+use vesta_ml::Matrix;
+
+use crate::config::VestaConfig;
+use crate::VestaError;
+
+/// Output of the offline correlation analysis.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Analysis {
+    /// PCA-filtered label space over the 10 correlation features.
+    pub label_space: LabelSpace,
+    /// PCA importance index per correlation feature (Fig. 9).
+    pub importance: Vec<f64>,
+    /// Features that survived the importance filter.
+    pub selected_features: Vec<usize>,
+    /// Mean correlation vector per workload (averaged over profiled VMs
+    /// and repetitions).
+    pub workload_correlations: BTreeMap<u64, CorrelationVector>,
+    /// Ground-truth VM ranking per workload: `(vm_id, p90_time_s)` sorted
+    /// fastest-first, from the exhaustive profiling data.
+    pub workload_rankings: BTreeMap<u64, Vec<(usize, f64)>>,
+}
+
+impl Analysis {
+    /// Fraction of correlation data the PCA filter discarded (the paper
+    /// reports ~49 %).
+    pub fn pruned_fraction(&self) -> f64 {
+        1.0 - self.selected_features.len() as f64 / N_CORRELATIONS as f64
+    }
+}
+
+/// The analyzer itself: pure functions over a profiled [`MetricsStore`].
+pub struct CorrelationAnalyzer<'a> {
+    store: &'a MetricsStore,
+}
+
+impl<'a> CorrelationAnalyzer<'a> {
+    /// Analyzer over a store.
+    pub fn new(store: &'a MetricsStore) -> Self {
+        CorrelationAnalyzer { store }
+    }
+
+    /// Mean correlation vector of one workload across its profiled VMs.
+    pub fn workload_correlation(&self, workload_id: u64) -> Result<CorrelationVector, VestaError> {
+        let vms = self.store.vms_for_workload(workload_id);
+        if vms.is_empty() {
+            return Err(VestaError::NoKnowledge(format!(
+                "workload {workload_id} has no profiled runs"
+            )));
+        }
+        let mut vectors = Vec::with_capacity(vms.len());
+        for vm_id in vms {
+            let agg = self
+                .store
+                .aggregate(&RunKey { workload_id, vm_id })
+                .map_err(VestaError::Sim)?;
+            vectors.push(agg.correlations);
+        }
+        CorrelationVector::mean_of(&vectors)
+            .ok_or_else(|| VestaError::NoKnowledge("empty correlation set".into()))
+    }
+
+    /// Ground-truth VM ranking of one workload from its profiled P90 times,
+    /// fastest first — the "exhaustive search solution" of Section 4.1.
+    pub fn workload_ranking(&self, workload_id: u64) -> Result<Vec<(usize, f64)>, VestaError> {
+        let vms = self.store.vms_for_workload(workload_id);
+        if vms.is_empty() {
+            return Err(VestaError::NoKnowledge(format!(
+                "workload {workload_id} has no profiled runs"
+            )));
+        }
+        let mut ranking = Vec::with_capacity(vms.len());
+        for vm_id in vms {
+            let agg = self
+                .store
+                .aggregate(&RunKey { workload_id, vm_id })
+                .map_err(VestaError::Sim)?;
+            ranking.push((vm_id, agg.p90_time_s));
+        }
+        ranking.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        Ok(ranking)
+    }
+
+    /// Run the full analysis over `workload_ids` with the paper's pipeline:
+    /// mean correlations → PCA importance → feature pruning → label space.
+    pub fn analyze(
+        &self,
+        workload_ids: &[u64],
+        config: &VestaConfig,
+    ) -> Result<Analysis, VestaError> {
+        if workload_ids.len() < 2 {
+            return Err(VestaError::NoKnowledge(
+                "PCA importance needs at least 2 workloads".into(),
+            ));
+        }
+        let mut workload_correlations = BTreeMap::new();
+        let mut workload_rankings = BTreeMap::new();
+        let mut rows = Vec::with_capacity(workload_ids.len());
+        for &id in workload_ids {
+            let cv = self.workload_correlation(id)?;
+            rows.push(cv.as_slice().to_vec());
+            workload_correlations.insert(id, cv);
+            workload_rankings.insert(id, self.workload_ranking(id)?);
+        }
+        let data = Matrix::from_rows(&rows).map_err(VestaError::Ml)?;
+        let pca = Pca::fit(&data).map_err(VestaError::Ml)?;
+        let importance = pca.feature_importance();
+        // Keep features whose importance beats `factor / n_features` —
+        // i.e. at least `factor` times the uniform share.
+        let threshold = config.pca_importance_factor / N_CORRELATIONS as f64;
+        let mut selected_features: Vec<usize> = importance
+            .iter()
+            .enumerate()
+            .filter(|(_, &imp)| imp >= threshold)
+            .map(|(i, _)| i)
+            .collect();
+        if selected_features.is_empty() {
+            // Degenerate data (e.g. identical workloads): keep everything
+            // rather than produce an unusable label space.
+            selected_features = (0..N_CORRELATIONS).collect();
+        }
+        let label_space = LabelSpace::with_width(N_CORRELATIONS, config.interval_width)
+            .map_err(VestaError::Graph)?
+            .with_selected(selected_features.clone());
+        Ok(Analysis {
+            label_space,
+            importance,
+            selected_features,
+            workload_correlations,
+            workload_rankings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::DataCollector;
+    use vesta_cloud_sim::{Catalog, Simulator};
+    use vesta_workloads::{Suite, Workload};
+
+    fn profiled_collector() -> (DataCollector, Vec<u64>) {
+        let cat = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let dc = DataCollector::new(Simulator::default(), 1);
+        let ws: Vec<&Workload> = suite.source_training().into_iter().take(5).collect();
+        let vms: Vec<&vesta_cloud_sim::VmType> = cat.all().iter().step_by(10).collect(); // 12 spread-out VMs
+        let failures = dc.profile_matrix(&ws, &vms, 2);
+        assert!(failures.is_empty());
+        (dc, ws.iter().map(|w| w.id).collect())
+    }
+
+    #[test]
+    fn correlation_and_ranking_require_data() {
+        let store = MetricsStore::new();
+        let an = CorrelationAnalyzer::new(&store);
+        assert!(an.workload_correlation(1).is_err());
+        assert!(an.workload_ranking(1).is_err());
+    }
+
+    #[test]
+    fn ranking_is_sorted_fastest_first() {
+        let (dc, ids) = profiled_collector();
+        let an = CorrelationAnalyzer::new(dc.store());
+        let r = an.workload_ranking(ids[0]).unwrap();
+        assert_eq!(r.len(), 12);
+        for w in r.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn analyze_produces_filtered_label_space() {
+        let (dc, ids) = profiled_collector();
+        let an = CorrelationAnalyzer::new(dc.store());
+        let analysis = an.analyze(&ids, &VestaConfig::fast()).unwrap();
+        assert_eq!(analysis.importance.len(), N_CORRELATIONS);
+        assert!(!analysis.selected_features.is_empty());
+        assert!(analysis.selected_features.len() <= N_CORRELATIONS);
+        let total: f64 = analysis.importance.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "importance sums to {total}");
+        // pruning is reported consistently
+        let frac = analysis.pruned_fraction();
+        assert!((0.0..1.0).contains(&frac));
+        assert_eq!(analysis.workload_correlations.len(), ids.len());
+        assert_eq!(analysis.workload_rankings.len(), ids.len());
+    }
+
+    #[test]
+    fn analyze_needs_two_workloads() {
+        let (dc, ids) = profiled_collector();
+        let an = CorrelationAnalyzer::new(dc.store());
+        assert!(an.analyze(&ids[..1], &VestaConfig::fast()).is_err());
+    }
+}

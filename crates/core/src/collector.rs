@@ -1,0 +1,165 @@
+//! The Data Collector of Section 4.1: runs workloads on VM types, samples
+//! the 20 low-level metrics every 5 seconds, repeats each run (the paper's
+//! 10×, keeping a conservative P90) and stores everything in the
+//! [`MetricsStore`] (the MySQL substitute).
+
+use rayon::prelude::*;
+use vesta_cloud_sim::{
+    Collector, CorrelationEstimator, MetricsStore, RunKey, RunRecord, SimError, Simulator, VmType,
+};
+use vesta_workloads::{MemoryWatcher, Workload};
+
+/// Wraps the simulator, the metric sampler and the store into the paper's
+/// Data Collector component.
+pub struct DataCollector {
+    sim: Simulator,
+    sampler: Collector,
+    store: MetricsStore,
+    watcher: MemoryWatcher,
+    nodes: u32,
+    estimator: CorrelationEstimator,
+}
+
+impl DataCollector {
+    /// New collector over a simulator.
+    pub fn new(sim: Simulator, nodes: u32) -> Self {
+        DataCollector::with_store(sim, nodes, MetricsStore::new())
+    }
+
+    /// Collector over a pre-populated store (knowledge-snapshot restore).
+    pub fn with_store(sim: Simulator, nodes: u32, store: MetricsStore) -> Self {
+        DataCollector {
+            sim,
+            sampler: Collector::default(),
+            store,
+            watcher: MemoryWatcher::default(),
+            nodes,
+            estimator: CorrelationEstimator::Pearson,
+        }
+    }
+
+    /// Override the correlation estimator (ablation knob).
+    pub fn with_estimator(mut self, estimator: CorrelationEstimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Borrow the simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Borrow the store.
+    pub fn store(&self) -> &MetricsStore {
+        &self.store
+    }
+
+    /// Total simulated runs so far — the training-overhead currency of
+    /// Figs. 3 and 8.
+    pub fn runs_consumed(&self) -> usize {
+        self.store.total_runs()
+    }
+
+    /// Profile `workload` on `vm` for `reps` repetitions, recording each
+    /// run. Spark demands pass through the Mesos-style memory watcher first
+    /// (Section 5.1), so hard OOMs become wave-splitting instead of errors.
+    pub fn profile(&self, workload: &Workload, vm: &VmType, reps: u64) -> Result<(), SimError> {
+        let raw = workload.demand();
+        let demand = self.watcher.apply(&raw, vm);
+        for rep in 0..reps {
+            let result = self.sim.run(&demand, vm, self.nodes, rep)?;
+            let trace = self
+                .sampler
+                .collect(&self.sim, &demand, vm, self.nodes, rep)?;
+            let correlations = trace.correlations_with(self.estimator)?;
+            let mut metric_means = [0.0; vesta_cloud_sim::N_METRICS];
+            for (m, out) in metric_means.iter_mut().enumerate() {
+                *out = trace.mean(m);
+            }
+            self.store.insert(
+                RunKey {
+                    workload_id: workload.id,
+                    vm_id: vm.id,
+                },
+                RunRecord {
+                    run_idx: rep,
+                    execution_time_s: result.execution_time_s,
+                    cost_usd: result.cost_usd,
+                    correlations,
+                    metric_means,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Profile a set of workloads across a set of VM types in parallel
+    /// (the offline "large-scale evaluation" of Section 3.1). Pairs that
+    /// fail are skipped and reported back.
+    pub fn profile_matrix(
+        &self,
+        workloads: &[&Workload],
+        vms: &[&VmType],
+        reps: u64,
+    ) -> Vec<(u64, usize, SimError)> {
+        let pairs: Vec<(&Workload, &VmType)> = workloads
+            .iter()
+            .flat_map(|w| vms.iter().map(move |v| (*w, *v)))
+            .collect();
+        pairs
+            .par_iter()
+            .filter_map(|(w, v)| self.profile(w, v, reps).err().map(|e| (w.id, v.id, e)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vesta_cloud_sim::Catalog;
+    use vesta_workloads::Suite;
+
+    #[test]
+    fn profile_records_expected_run_counts() {
+        let cat = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let dc = DataCollector::new(Simulator::default(), 1);
+        let w = suite.by_id(1).unwrap();
+        let vm = cat.by_name("m5.2xlarge").unwrap();
+        dc.profile(w, vm, 4).unwrap();
+        assert_eq!(dc.runs_consumed(), 4);
+        let agg = dc
+            .store()
+            .aggregate(&RunKey {
+                workload_id: 1,
+                vm_id: vm.id,
+            })
+            .unwrap();
+        assert_eq!(agg.runs, 4);
+        assert!(agg.p90_time_s > 0.0);
+    }
+
+    #[test]
+    fn profile_matrix_covers_cross_product() {
+        let cat = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let dc = DataCollector::new(Simulator::default(), 1);
+        let ws: Vec<&Workload> = suite.source_training().into_iter().take(3).collect();
+        let vms: Vec<&VmType> = cat.all().iter().take(5).collect();
+        let failures = dc.profile_matrix(&ws, &vms, 2);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(dc.runs_consumed(), 3 * 5 * 2);
+    }
+
+    #[test]
+    fn spark_on_tiny_vm_survives_via_watcher() {
+        let cat = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let dc = DataCollector::new(Simulator::default(), 1);
+        // Spark-pca has a working set far above a t3.micro's 1 GB.
+        let w = suite.by_name("Spark-pca").unwrap();
+        let vm = cat.by_name("t3.micro").unwrap();
+        dc.profile(w, vm, 1).unwrap();
+        assert_eq!(dc.runs_consumed(), 1);
+    }
+}

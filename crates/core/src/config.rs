@@ -1,0 +1,205 @@
+//! Configuration of the Vesta pipeline: every hyper-parameter the paper
+//! names, with the paper's published values as defaults.
+
+use serde::{Deserialize, Serialize};
+use vesta_cloud_sim::CorrelationEstimator;
+use vesta_ml::cmf::CmfConfig;
+use vesta_ml::kmeans::KMeansConfig;
+use vesta_ml::sgd::SgdConfig;
+
+use crate::VestaError;
+
+/// Hyper-parameters of the offline + online pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VestaConfig {
+    /// Eq. 6 trade-off λ; the paper sets 0.75 "according to our best
+    /// practice" (Section 5.3).
+    pub lambda: f64,
+    /// K-Means cluster count; tuned to 9 in Fig. 11.
+    pub k: usize,
+    /// Correlation interval width for labels; 0.05 per Section 5.3.
+    pub interval_width: f64,
+    /// PCA importance threshold: correlation features below it are pruned
+    /// ("reduce 49% useless data", Fig. 9). Expressed as a fraction of the
+    /// uniform importance `1 / n_features`.
+    pub pca_importance_factor: f64,
+    /// CMF latent dimensionality `g`.
+    pub latent_dim: usize,
+    /// Random VM types sampled online besides the sandbox (the paper's 3).
+    pub online_random_vms: usize,
+    /// Repetitions per offline profiling run (the paper uses 10; smaller
+    /// values trade fidelity for speed in tests).
+    pub offline_reps: u64,
+    /// Repetitions per online reference run.
+    pub online_reps: u64,
+    /// Cluster size (number of VMs) used for every run; the paper selects
+    /// VM *types* with the cluster size held fixed.
+    pub nodes: u32,
+    /// Smoothing between a VM's own label affinity and its K-Means
+    /// cluster's mean affinity when building `G^(LT)` (the "classification
+    /// knowledge": 0 = pure per-VM evidence, 1 = pure cluster mean).
+    pub cluster_smoothing: f64,
+    /// How many top-ranked VMs of a source workload earn label→VM
+    /// evidence.
+    pub top_vms_per_workload: usize,
+    /// SGD schedule for the CMF solve; `max_epochs` doubles as the online
+    /// "converge limitation" that stops Spark-CF-like pathologies.
+    pub sgd: SgdConfig,
+    /// Correlation statistic used to turn metric traces into knowledge
+    /// features (the paper uses Pearson; Spearman is the rank-robust
+    /// ablation). Defaults to Pearson when absent (older snapshots).
+    #[serde(default)]
+    pub correlation_estimator: CorrelationEstimator,
+    /// Experiment-wide seed.
+    pub seed: u64,
+}
+
+impl Default for VestaConfig {
+    fn default() -> Self {
+        VestaConfig {
+            lambda: 0.75,
+            k: 9,
+            interval_width: 0.05,
+            pca_importance_factor: 0.5,
+            latent_dim: 8,
+            online_random_vms: 3,
+            offline_reps: 10,
+            online_reps: 3,
+            nodes: 1,
+            cluster_smoothing: 0.35,
+            top_vms_per_workload: 10,
+            sgd: SgdConfig {
+                max_epochs: 800,
+                learning_rate: 0.015,
+                decay: 0.998,
+                tolerance: 1e-7,
+                l2_reg: 0.02,
+            },
+            correlation_estimator: CorrelationEstimator::Pearson,
+            seed: 42,
+        }
+    }
+}
+
+impl VestaConfig {
+    /// A cheaper profile for unit tests and examples: fewer repetitions and
+    /// SGD epochs, same structure.
+    pub fn fast() -> Self {
+        VestaConfig {
+            offline_reps: 3,
+            online_reps: 2,
+            sgd: SgdConfig {
+                max_epochs: 250,
+                learning_rate: 0.02,
+                decay: 0.997,
+                tolerance: 1e-6,
+                l2_reg: 0.02,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), VestaError> {
+        if !(0.0..=1.0).contains(&self.lambda) {
+            return Err(VestaError::Config(format!("lambda = {}", self.lambda)));
+        }
+        if self.k == 0 {
+            return Err(VestaError::Config("k = 0".into()));
+        }
+        if !(self.interval_width > 0.0 && self.interval_width <= 2.0) {
+            return Err(VestaError::Config(format!(
+                "interval_width = {}",
+                self.interval_width
+            )));
+        }
+        if self.latent_dim == 0 {
+            return Err(VestaError::Config("latent_dim = 0".into()));
+        }
+        if self.offline_reps == 0 || self.online_reps == 0 {
+            return Err(VestaError::Config("repetitions must be >= 1".into()));
+        }
+        if self.nodes == 0 {
+            return Err(VestaError::Config("nodes = 0".into()));
+        }
+        if !(0.0..=1.0).contains(&self.cluster_smoothing) {
+            return Err(VestaError::Config(format!(
+                "cluster_smoothing = {}",
+                self.cluster_smoothing
+            )));
+        }
+        if self.top_vms_per_workload == 0 {
+            return Err(VestaError::Config("top_vms_per_workload = 0".into()));
+        }
+        Ok(())
+    }
+
+    /// K-Means config derived from this Vesta config.
+    pub fn kmeans(&self) -> KMeansConfig {
+        KMeansConfig {
+            k: self.k,
+            seed: self.seed,
+            ..KMeansConfig::default()
+        }
+    }
+
+    /// CMF config derived from this Vesta config.
+    pub fn cmf(&self) -> CmfConfig {
+        CmfConfig {
+            latent_dim: self.latent_dim,
+            lambda: self.lambda,
+            sgd: self.sgd.clone(),
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = VestaConfig::default();
+        assert!((c.lambda - 0.75).abs() < 1e-12);
+        assert_eq!(c.k, 9);
+        assert!((c.interval_width - 0.05).abs() < 1e-12);
+        assert_eq!(c.online_random_vms, 3);
+        assert_eq!(c.offline_reps, 10);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fast_profile_is_valid_and_cheaper() {
+        let fast = VestaConfig::fast();
+        assert!(fast.validate().is_ok());
+        assert!(fast.offline_reps < VestaConfig::default().offline_reps);
+        assert!(fast.sgd.max_epochs < VestaConfig::default().sgd.max_epochs);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        for mutate in [
+            |c: &mut VestaConfig| c.lambda = 1.5,
+            |c: &mut VestaConfig| c.k = 0,
+            |c: &mut VestaConfig| c.interval_width = 0.0,
+            |c: &mut VestaConfig| c.latent_dim = 0,
+            |c: &mut VestaConfig| c.offline_reps = 0,
+            |c: &mut VestaConfig| c.nodes = 0,
+            |c: &mut VestaConfig| c.cluster_smoothing = -0.1,
+            |c: &mut VestaConfig| c.top_vms_per_workload = 0,
+        ] {
+            let mut c = VestaConfig::default();
+            mutate(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn derived_configs_inherit_values() {
+        let c = VestaConfig::default();
+        assert_eq!(c.kmeans().k, 9);
+        assert!((c.cmf().lambda - 0.75).abs() < 1e-12);
+        assert_eq!(c.cmf().latent_dim, c.latent_dim);
+    }
+}

@@ -1,0 +1,260 @@
+//! Prediction explainability: turn a [`Prediction`] into a structured,
+//! human-readable account of *why* Vesta chose that VM type — which
+//! correlation labels the workload conforms to, which source workloads the
+//! knowledge transferred from, how the reference runs calibrated the
+//! curve, and who the runner-ups were. Operators don't deploy a selector
+//! they cannot interrogate.
+
+use serde::{Deserialize, Serialize};
+use vesta_cloud_sim::{Catalog, CORRELATION_NAMES};
+use vesta_workloads::{Suite, Workload};
+
+use crate::offline::OfflineModel;
+use crate::online::Prediction;
+use crate::VestaError;
+
+/// One line of label evidence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelEvidence {
+    /// Human description, e.g. `"CPU-to-memory in [0.80, 0.85)"`.
+    pub label: String,
+    /// Source workloads sharing this label.
+    pub shared_with: Vec<String>,
+    /// Top VM types the knowledge associates with this label.
+    pub top_vms: Vec<String>,
+}
+
+/// One transfer-source line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceEvidence {
+    /// Source workload name.
+    pub workload: String,
+    /// CMF affinity (higher = closer in latent space).
+    pub affinity: f64,
+}
+
+/// A runner-up choice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunnerUp {
+    /// VM type name.
+    pub vm: String,
+    /// Predicted execution time, seconds.
+    pub predicted_time_s: f64,
+}
+
+/// The full explanation of a prediction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Target workload name.
+    pub workload: String,
+    /// Chosen VM type name.
+    pub chosen_vm: String,
+    /// Predicted time of the chosen VM.
+    pub predicted_time_s: f64,
+    /// Label evidence (the knowledge path).
+    pub labels: Vec<LabelEvidence>,
+    /// Transfer sources, strongest first.
+    pub sources: Vec<SourceEvidence>,
+    /// Reference runs that calibrated the curve.
+    pub reference_runs: Vec<(String, f64)>,
+    /// Next-best alternatives by predicted time.
+    pub runner_ups: Vec<RunnerUp>,
+    /// Convergence and fallback status.
+    pub converged: bool,
+    /// Whether the from-scratch fallback widened exploration.
+    pub trained_from_scratch: bool,
+    /// Fraction of the label row directly observed (vs CMF-completed).
+    pub observed_density: f64,
+}
+
+/// Build an [`Explanation`] for a prediction.
+pub fn explain(
+    model: &OfflineModel,
+    catalog: &Catalog,
+    suite: &Suite,
+    workload: &Workload,
+    prediction: &Prediction,
+) -> Result<Explanation, VestaError> {
+    let vm_name = |id: usize| -> Result<String, VestaError> {
+        Ok(catalog.get(id).map_err(VestaError::Sim)?.name.clone())
+    };
+    let workload_name = |id: u64| -> String {
+        suite
+            .by_id(id)
+            .map(|w| w.name())
+            .unwrap_or_else(|| format!("workload#{id}"))
+    };
+
+    // Label evidence: for each completed label, which sources share it and
+    // which VMs the knowledge layer ranks for it.
+    let space = &model.analysis.label_space;
+    let mut labels = Vec::with_capacity(prediction.target_labels.len());
+    for &label in &prediction.target_labels {
+        let shared_with: Vec<String> = model
+            .graph
+            .source_layer
+            .lefts_of(label)
+            .into_iter()
+            .map(|(wid, _)| workload_name(wid))
+            .collect();
+        let mut vms: Vec<(u64, f64)> = model.graph.vm_layer.lefts_of(label);
+        vms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        let top_vms = vms
+            .into_iter()
+            .take(3)
+            .map(|(vm, _)| vm_name(vm as usize))
+            .collect::<Result<Vec<_>, _>>()?;
+        labels.push(LabelEvidence {
+            label: space.describe(label, &CORRELATION_NAMES),
+            shared_with,
+            top_vms,
+        });
+    }
+
+    let sources = prediction
+        .source_affinities
+        .iter()
+        .take(5)
+        .map(|(wid, aff)| SourceEvidence {
+            workload: workload_name(*wid),
+            affinity: *aff,
+        })
+        .collect();
+
+    let reference_runs = prediction
+        .observed
+        .iter()
+        .map(|(vm, t)| Ok((vm_name(*vm)?, *t)))
+        .collect::<Result<Vec<_>, VestaError>>()?;
+
+    let mut by_time: Vec<(usize, f64)> = prediction
+        .predicted_times
+        .iter()
+        .map(|(&vm, &t)| (vm, t))
+        .collect();
+    by_time.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+    let runner_ups = by_time
+        .iter()
+        .filter(|(vm, _)| *vm != prediction.best_vm)
+        .take(4)
+        .map(|(vm, t)| {
+            Ok(RunnerUp {
+                vm: vm_name(*vm)?,
+                predicted_time_s: *t,
+            })
+        })
+        .collect::<Result<Vec<_>, VestaError>>()?;
+
+    Ok(Explanation {
+        workload: workload.name(),
+        chosen_vm: vm_name(prediction.best_vm)?,
+        predicted_time_s: prediction.best_predicted_time(),
+        labels,
+        sources,
+        reference_runs,
+        runner_ups,
+        converged: prediction.converged,
+        trained_from_scratch: prediction.trained_from_scratch,
+        observed_density: prediction.observed_density,
+    })
+}
+
+impl Explanation {
+    /// Render as a readable multi-line report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "why {} -> {}", self.workload, self.chosen_vm);
+        let _ = writeln!(
+            out,
+            "  predicted time {:.0}s | CMF converged: {} | fallback: {} | labels observed: {:.0}%",
+            self.predicted_time_s,
+            self.converged,
+            self.trained_from_scratch,
+            100.0 * self.observed_density
+        );
+        let _ = writeln!(out, "  reference runs:");
+        for (vm, t) in &self.reference_runs {
+            let _ = writeln!(out, "    {vm:<18} {t:>8.0}s");
+        }
+        let _ = writeln!(out, "  transfer sources (CMF affinity):");
+        for s in &self.sources {
+            let _ = writeln!(out, "    {:<22} {:+.3}", s.workload, s.affinity);
+        }
+        let _ = writeln!(out, "  label evidence:");
+        for l in &self.labels {
+            let _ = writeln!(
+                out,
+                "    {} — shared with [{}], knowledge favours [{}]",
+                l.label,
+                l.shared_with.join(", "),
+                l.top_vms.join(", ")
+            );
+        }
+        let _ = writeln!(out, "  runner-ups by predicted time:");
+        for r in &self.runner_ups {
+            let _ = writeln!(out, "    {:<18} {:>8.0}s", r.vm, r.predicted_time_s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VestaConfig;
+    use crate::vesta::Vesta;
+
+    #[test]
+    fn explanation_is_complete_and_renders() {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+        let cfg = VestaConfig {
+            offline_reps: 2,
+            ..VestaConfig::fast()
+        };
+        let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
+        let w = suite.by_name("Spark-kmeans").unwrap();
+        let p = vesta.select_best_vm(w).unwrap();
+        let e = explain(&vesta.offline, &vesta.catalog, &suite, w, &p).unwrap();
+        assert_eq!(e.workload, "Spark-kmeans");
+        assert!(!e.chosen_vm.is_empty());
+        assert!(!e.labels.is_empty());
+        assert!(!e.sources.is_empty());
+        assert_eq!(e.reference_runs.len(), p.reference_vms);
+        assert!(e.runner_ups.len() <= 4);
+        let text = e.render();
+        assert!(text.contains("Spark-kmeans"));
+        assert!(text.contains("transfer sources"));
+        assert!(text.contains("label evidence"));
+        // serde round-trip (the CLI ships this as JSON too)
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Explanation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.chosen_vm, e.chosen_vm);
+    }
+
+    #[test]
+    fn label_evidence_references_real_sources() {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+        let cfg = VestaConfig {
+            offline_reps: 2,
+            ..VestaConfig::fast()
+        };
+        let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
+        let w = suite.by_name("Spark-count").unwrap();
+        let p = vesta.select_best_vm(w).unwrap();
+        let e = explain(&vesta.offline, &vesta.catalog, &suite, w, &p).unwrap();
+        let source_names: Vec<String> = sources.iter().map(|s| s.name()).collect();
+        for l in &e.labels {
+            for shared in &l.shared_with {
+                assert!(
+                    source_names.contains(shared),
+                    "{shared} is not a trained source"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! # vesta-core
+//!
+//! The primary contribution of the reproduced paper: **Vesta**, a
+//! transfer-learning system that selects the best (or near-best) VM type
+//! for big data applications *across frameworks* (ICPP '21).
+//!
+//! Pipeline (Fig. 5 / Algorithm 1):
+//!
+//! * [`collector`] — the Data Collector: runs source workloads on the
+//!   simulated EC2 catalog, samples 20 low-level metrics every 5 s,
+//!   repeats runs and stores P90-able records.
+//! * [`analyzer`] — the Correlation Analyzer: per-workload correlation
+//!   similarities, PCA importance (Fig. 9), feature pruning, ground-truth
+//!   VM rankings.
+//! * [`offline`] — offline profiling: builds the two-layer bipartite graph
+//!   (workload-label + label-VM) with K-Means VM grouping (k = 9) and the
+//!   `U`/`V` matrices.
+//! * [`online`] — online predicting: sandbox + 3 random reference VMs,
+//!   sparse `U*` row, CMF completion (λ = 0.75) with the convergence cap,
+//!   two-hop candidate scoring, calibrated time-curve transfer, and the
+//!   from-scratch fallback.
+//! * [`vesta`] — the façade plus ground-truth/selection-error helpers used
+//!   by the evaluation harness.
+//! * [`config`] — every hyper-parameter with the paper's values.
+
+pub mod analyzer;
+pub mod cluster;
+pub mod collector;
+pub mod config;
+pub mod explain;
+pub mod offline;
+pub mod online;
+pub mod snapshot;
+pub mod vesta;
+
+pub use analyzer::{Analysis, CorrelationAnalyzer};
+pub use cluster::{
+    ground_truth_cluster_ranking, ClusterChoice, ClusterPrediction, ClusterSizer,
+    ClusterSizerConfig,
+};
+pub use collector::DataCollector;
+pub use config::VestaConfig;
+pub use explain::{explain, Explanation};
+pub use offline::OfflineModel;
+pub use online::{OnlinePredictor, Prediction};
+pub use snapshot::{KnowledgeSnapshot, SNAPSHOT_VERSION};
+pub use vesta::{ground_truth_ranking, ground_truth_score, selection_error_pct, Vesta};
+
+use std::fmt;
+
+/// Errors produced by the Vesta pipeline.
+#[derive(Debug)]
+pub enum VestaError {
+    /// Invalid configuration value.
+    Config(String),
+    /// The pipeline needs knowledge (profiled runs) it does not have.
+    NoKnowledge(String),
+    /// Error from the cloud simulator.
+    Sim(vesta_cloud_sim::SimError),
+    /// Error from the ML substrate.
+    Ml(vesta_ml::MlError),
+    /// Error from the bipartite-graph substrate.
+    Graph(vesta_graph::GraphError),
+}
+
+impl fmt::Display for VestaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VestaError::Config(s) => write!(f, "invalid configuration: {s}"),
+            VestaError::NoKnowledge(s) => write!(f, "missing knowledge: {s}"),
+            VestaError::Sim(e) => write!(f, "simulator: {e}"),
+            VestaError::Ml(e) => write!(f, "ml: {e}"),
+            VestaError::Graph(e) => write!(f, "graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VestaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_covers_variants() {
+        let es: Vec<VestaError> = vec![
+            VestaError::Config("a".into()),
+            VestaError::NoKnowledge("b".into()),
+            VestaError::Sim(vesta_cloud_sim::SimError::NoData("c".into())),
+            VestaError::Ml(vesta_ml::MlError::InvalidParameter("d".into())),
+            VestaError::Graph(vesta_graph::GraphError::Shape("e".into())),
+        ];
+        for e in es {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

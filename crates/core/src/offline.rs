@@ -1,0 +1,269 @@
+//! Offline profiling phase (Section 4.1 + Algorithm 1 lines 1-5): run the
+//! source workloads, abstract the correlation knowledge, group VM types
+//! with K-Means, and assemble the two-layer bipartite graph plus the `U`
+//! and `V` matrices the online CMF solve reuses.
+
+use std::collections::BTreeMap;
+
+use vesta_cloud_sim::{Catalog, RunKey, Simulator};
+use vesta_graph::TwoLayerGraph;
+use vesta_ml::kmeans::KMeans;
+use vesta_ml::Matrix;
+use vesta_workloads::Workload;
+
+use crate::analyzer::{Analysis, CorrelationAnalyzer};
+use crate::collector::DataCollector;
+use crate::config::VestaConfig;
+use crate::VestaError;
+
+/// The trained offline model: Vesta's reusable knowledge.
+pub struct OfflineModel {
+    /// Configuration it was trained with.
+    pub config: VestaConfig,
+    /// Collector holding every profiled run (the MySQL stand-in).
+    pub collector: DataCollector,
+    /// Correlation analysis output (PCA importance, label space,
+    /// per-workload correlations and ground-truth rankings).
+    pub analysis: Analysis,
+    /// The two-layer bipartite graph (source layer + VM layer filled).
+    pub graph: TwoLayerGraph,
+    /// K-Means grouping of VM types by label affinity (k = 9).
+    pub kmeans: KMeans,
+    /// Cluster index per VM id.
+    pub vm_clusters: Vec<usize>,
+    /// Source workload ids in matrix row order.
+    pub source_order: Vec<u64>,
+    /// `U = X Lᵀ`: source workload-label matrix.
+    pub u: Matrix,
+    /// `V = T Lᵀ`: VM-label matrix.
+    pub v: Matrix,
+    /// Simulated runs consumed by offline training (overhead bookkeeping).
+    pub offline_runs: usize,
+}
+
+impl OfflineModel {
+    /// Train the offline model on `source_workloads` profiled across every
+    /// VM type in `catalog`.
+    pub fn build(
+        catalog: &Catalog,
+        source_workloads: &[&Workload],
+        config: VestaConfig,
+    ) -> Result<OfflineModel, VestaError> {
+        config.validate()?;
+        if source_workloads.is_empty() {
+            return Err(VestaError::NoKnowledge("no source workloads".into()));
+        }
+        // ---- Algorithm 1 line 1: run source workloads, collect metrics --
+        let sim = Simulator::new(vesta_cloud_sim::SimConfig {
+            seed: config.seed,
+            ..Default::default()
+        });
+        let collector =
+            DataCollector::new(sim, config.nodes).with_estimator(config.correlation_estimator);
+        let vm_refs: Vec<&vesta_cloud_sim::VmType> = catalog.all().iter().collect();
+        let failures = collector.profile_matrix(source_workloads, &vm_refs, config.offline_reps);
+        if !failures.is_empty() {
+            // Source workloads are Hadoop/Hive (soft memory) and should
+            // never fail; surface the first failure loudly.
+            let (w, v, e) = &failures[0];
+            return Err(VestaError::NoKnowledge(format!(
+                "offline profiling failed for workload {w} on VM {v}: {e}"
+            )));
+        }
+        let offline_runs = collector.runs_consumed();
+
+        // ---- Algorithm 1 line 3: correlation analysis + PCA filter ------
+        let source_order: Vec<u64> = source_workloads.iter().map(|w| w.id).collect();
+        let analysis =
+            CorrelationAnalyzer::new(collector.store()).analyze(&source_order, &config)?;
+
+        // ---- Eq. 3: source workload-label layer --------------------------
+        let mut graph = TwoLayerGraph::new(analysis.label_space.clone());
+        for (&wid, cv) in &analysis.workload_correlations {
+            let labels = analysis
+                .label_space
+                .labels_for(cv.as_slice())
+                .map_err(VestaError::Graph)?;
+            for l in labels {
+                graph.source_layer.set_edge(wid, l, 1.0);
+            }
+        }
+
+        // ---- label→VM affinity evidence ----------------------------------
+        // A workload's top-ranked VM types earn weight on every label the
+        // workload conforms to; rank discounts the weight.
+        let n_labels = analysis.label_space.n_labels();
+        let n_vms = catalog.len();
+        let mut affinity = Matrix::zeros(n_vms, n_labels);
+        for (&wid, ranking) in &analysis.workload_rankings {
+            let labels = graph.source_layer.labels_of(wid);
+            for (rank, (vm_id, _)) in ranking.iter().take(config.top_vms_per_workload).enumerate() {
+                let w = 1.0 / (rank as f64 + 1.0);
+                for (label, _) in &labels {
+                    let col = analysis.label_space.label_id(*label);
+                    affinity[(*vm_id, col)] += w;
+                }
+            }
+        }
+
+        // ---- Algorithm 1 line 4: K-Means groups VM types -----------------
+        // Cluster on L2-normalized affinity rows so the grouping reflects
+        // *which labels* a VM serves, not how often it was seen.
+        let norm_affinity = affinity.row_normalize_l2();
+        let kmeans = KMeans::fit(&norm_affinity, &config.kmeans()).map_err(VestaError::Ml)?;
+        let vm_clusters = kmeans.assignments.clone();
+
+        // ---- label→VM layer with cluster smoothing ------------------------
+        // Each VM's edge weight blends its own evidence with its cluster's
+        // mean evidence — the "classification knowledge" that generalizes
+        // to VMs never observed as best for a label.
+        let mut cluster_sums = Matrix::zeros(config.k, n_labels);
+        let mut cluster_counts = vec![0usize; config.k];
+        for vm in 0..n_vms {
+            let c = vm_clusters[vm];
+            cluster_counts[c] += 1;
+            for l in 0..n_labels {
+                cluster_sums[(c, l)] += norm_affinity[(vm, l)];
+            }
+        }
+        let s = config.cluster_smoothing;
+        for vm in 0..n_vms {
+            let c = vm_clusters[vm];
+            let count = cluster_counts[c].max(1) as f64;
+            for l in 0..n_labels {
+                let own = norm_affinity[(vm, l)];
+                let cluster_mean = cluster_sums[(c, l)] / count;
+                let w = (1.0 - s) * own + s * cluster_mean;
+                if w > 1e-9 {
+                    graph
+                        .vm_layer
+                        .set_edge(vm as u64, analysis.label_space.label_from_id(l), w);
+                }
+            }
+        }
+
+        // ---- Algorithm 1 line 5: matrices for the CMF solve ---------------
+        let u = graph
+            .source_layer
+            .to_matrix(&source_order, &analysis.label_space);
+        let vm_order: Vec<u64> = (0..n_vms as u64).collect();
+        let v = graph.vm_layer.to_matrix(&vm_order, &analysis.label_space);
+
+        Ok(OfflineModel {
+            config,
+            collector,
+            analysis,
+            graph,
+            kmeans,
+            vm_clusters,
+            source_order,
+            u,
+            v,
+            offline_runs,
+        })
+    }
+
+    /// Profiled P90 execution time of a source workload on a VM.
+    pub fn source_time(&self, workload_id: u64, vm_id: usize) -> Result<f64, VestaError> {
+        Ok(self
+            .collector
+            .store()
+            .aggregate(&RunKey { workload_id, vm_id })
+            .map_err(VestaError::Sim)?
+            .p90_time_s)
+    }
+
+    /// Full profiled time curve of a source workload over all VMs.
+    pub fn source_times(&self, workload_id: u64) -> Result<BTreeMap<usize, f64>, VestaError> {
+        let vms = self.collector.store().vms_for_workload(workload_id);
+        if vms.is_empty() {
+            return Err(VestaError::NoKnowledge(format!(
+                "workload {workload_id} not profiled"
+            )));
+        }
+        let mut out = BTreeMap::new();
+        for vm in vms {
+            out.insert(vm, self.source_time(workload_id, vm)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of VM clusters.
+    pub fn k(&self) -> usize {
+        self.kmeans.k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vesta_workloads::Suite;
+
+    fn small_model() -> OfflineModel {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+        let mut cfg = VestaConfig::fast();
+        cfg.offline_reps = 2;
+        OfflineModel::build(&catalog, &sources, cfg).unwrap()
+    }
+
+    #[test]
+    fn build_assembles_all_artifacts() {
+        let m = small_model();
+        assert_eq!(m.source_order.len(), 6);
+        assert_eq!(m.u.rows(), 6);
+        assert_eq!(m.v.rows(), 120);
+        assert_eq!(m.u.cols(), m.v.cols());
+        assert_eq!(m.vm_clusters.len(), 120);
+        assert_eq!(m.k(), 9);
+        assert!(m.offline_runs >= 6 * 120 * 2);
+        // every source workload got labeled
+        for &wid in &m.source_order {
+            assert!(!m.graph.source_layer.labels_of(wid).is_empty());
+        }
+        // the VM layer carries knowledge
+        assert!(m.graph.vm_layer.n_edges() > 0);
+    }
+
+    #[test]
+    fn source_times_are_queryable() {
+        let m = small_model();
+        let times = m.source_times(m.source_order[0]).unwrap();
+        assert_eq!(times.len(), 120);
+        assert!(times.values().all(|&t| t > 0.0));
+        assert!(m.source_times(999).is_err());
+    }
+
+    #[test]
+    fn two_hop_scores_exist_for_source_workloads() {
+        let m = small_model();
+        let scores = m.graph.vm_scores(m.source_order[0], false);
+        assert!(!scores.is_empty());
+        // best two-hop VM should be a reasonable performer for the workload
+        let best_hop = scores
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(&vm, _)| vm as usize)
+            .unwrap();
+        let ranking = &m.analysis.workload_rankings[&m.source_order[0]];
+        let pos = ranking.iter().position(|(vm, _)| *vm == best_hop).unwrap();
+        assert!(pos < 60, "two-hop best VM ranked {pos} of 120");
+    }
+
+    #[test]
+    fn build_rejects_empty_sources() {
+        let catalog = Catalog::aws_ec2();
+        assert!(OfflineModel::build(&catalog, &[], VestaConfig::fast()).is_err());
+    }
+
+    #[test]
+    fn build_rejects_invalid_config() {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(2).collect();
+        let mut cfg = VestaConfig::fast();
+        cfg.lambda = 2.0;
+        assert!(OfflineModel::build(&catalog, &sources, cfg).is_err());
+    }
+}

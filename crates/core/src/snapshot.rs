@@ -1,0 +1,216 @@
+//! Knowledge persistence: export a trained offline model to JSON and
+//! restore it later — the deployment story behind the paper's "reusing
+//! knowledge". Offline profiling is the expensive phase (hundreds of cloud
+//! hours in the paper); a team runs it once, checks the snapshot into an
+//! artifact store, and every future online prediction loads it in
+//! milliseconds.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+use vesta_cloud_sim::{Catalog, MetricsStore, RunKey, RunRecord, SimConfig, Simulator};
+use vesta_graph::TwoLayerGraph;
+use vesta_ml::kmeans::KMeans;
+use vesta_ml::Matrix;
+
+use crate::analyzer::Analysis;
+use crate::collector::DataCollector;
+use crate::config::VestaConfig;
+use crate::offline::OfflineModel;
+use crate::vesta::Vesta;
+use crate::VestaError;
+
+/// Schema version of the snapshot format.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Everything needed to reconstruct a trained [`OfflineModel`].
+#[derive(Serialize, Deserialize)]
+pub struct KnowledgeSnapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Training configuration.
+    pub config: VestaConfig,
+    /// Correlation analysis output.
+    pub analysis: Analysis,
+    /// The two-layer bipartite graph.
+    pub graph: TwoLayerGraph,
+    /// K-Means VM grouping.
+    pub kmeans: KMeans,
+    /// Cluster per VM id.
+    pub vm_clusters: Vec<usize>,
+    /// Source workload ids in matrix row order.
+    pub source_order: Vec<u64>,
+    /// `U` matrix.
+    pub u: Matrix,
+    /// `V` matrix.
+    pub v: Matrix,
+    /// Offline run counter.
+    pub offline_runs: usize,
+    /// The profiled run records (the MySQL dump).
+    pub store: Vec<(RunKey, Vec<RunRecord>)>,
+}
+
+impl OfflineModel {
+    /// Export the model as a snapshot.
+    pub fn to_snapshot(&self) -> KnowledgeSnapshot {
+        KnowledgeSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            analysis: self.analysis.clone(),
+            graph: self.graph.clone(),
+            kmeans: self.kmeans.clone(),
+            vm_clusters: self.vm_clusters.clone(),
+            source_order: self.source_order.clone(),
+            u: self.u.clone(),
+            v: self.v.clone(),
+            offline_runs: self.offline_runs,
+            store: self.collector.store().snapshot(),
+        }
+    }
+
+    /// Reconstruct a model from a snapshot.
+    pub fn from_snapshot(snapshot: KnowledgeSnapshot) -> Result<OfflineModel, VestaError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(VestaError::Config(format!(
+                "snapshot version {} (expected {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        snapshot.config.validate()?;
+        if snapshot.u.cols() != snapshot.v.cols() {
+            return Err(VestaError::Config(
+                "corrupt snapshot: U and V label dimensions disagree".into(),
+            ));
+        }
+        if snapshot.u.rows() != snapshot.source_order.len() {
+            return Err(VestaError::Config(
+                "corrupt snapshot: U rows vs source order length".into(),
+            ));
+        }
+        let sim = Simulator::new(SimConfig {
+            seed: snapshot.config.seed,
+            ..Default::default()
+        });
+        let collector = DataCollector::with_store(
+            sim,
+            snapshot.config.nodes,
+            MetricsStore::from_snapshot(snapshot.store),
+        );
+        Ok(OfflineModel {
+            config: snapshot.config,
+            collector,
+            analysis: snapshot.analysis,
+            graph: snapshot.graph,
+            kmeans: snapshot.kmeans,
+            vm_clusters: snapshot.vm_clusters,
+            source_order: snapshot.source_order,
+            u: snapshot.u,
+            v: snapshot.v,
+            offline_runs: snapshot.offline_runs,
+        })
+    }
+}
+
+impl Vesta {
+    /// Serialize the trained knowledge to a JSON file.
+    pub fn save_knowledge(&self, path: impl AsRef<Path>) -> Result<(), VestaError> {
+        let snapshot = self.offline.to_snapshot();
+        let json = serde_json::to_string(&snapshot)
+            .map_err(|e| VestaError::Config(format!("serialize snapshot: {e}")))?;
+        std::fs::write(path.as_ref(), json)
+            .map_err(|e| VestaError::Config(format!("write snapshot: {e}")))
+    }
+
+    /// Restore a trained system from a JSON snapshot plus a catalog.
+    pub fn load_knowledge(catalog: Catalog, path: impl AsRef<Path>) -> Result<Vesta, VestaError> {
+        let json = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| VestaError::Config(format!("read snapshot: {e}")))?;
+        let snapshot: KnowledgeSnapshot = serde_json::from_str(&json)
+            .map_err(|e| VestaError::Config(format!("parse snapshot: {e}")))?;
+        if snapshot.vm_clusters.len() != catalog.len() {
+            return Err(VestaError::Config(format!(
+                "snapshot covers {} VM types but the catalog has {}",
+                snapshot.vm_clusters.len(),
+                catalog.len()
+            )));
+        }
+        let offline = OfflineModel::from_snapshot(snapshot)?;
+        Ok(Vesta { catalog, offline })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vesta_workloads::{Suite, Workload};
+
+    fn trained() -> (Vesta, Suite) {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+        let cfg = VestaConfig {
+            offline_reps: 2,
+            ..VestaConfig::fast()
+        };
+        (Vesta::train(catalog, &sources, cfg).unwrap(), suite)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_predictions() {
+        let (vesta, suite) = trained();
+        let dir = std::env::temp_dir().join("vesta-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("knowledge.json");
+        vesta.save_knowledge(&path).unwrap();
+        let restored = Vesta::load_knowledge(Catalog::aws_ec2(), &path).unwrap();
+        // Identical knowledge ⇒ identical predictions.
+        let w = suite.by_name("Spark-kmeans").unwrap();
+        let a = vesta.select_best_vm(w).unwrap();
+        let b = restored.select_best_vm(w).unwrap();
+        assert_eq!(a.best_vm, b.best_vm);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(restored.offline_runs(), vesta.offline_runs());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_version_mismatch_rejected() {
+        let (vesta, _) = trained();
+        let mut snap = vesta.offline.to_snapshot();
+        snap.version = 99;
+        assert!(OfflineModel::from_snapshot(snap).is_err());
+    }
+
+    #[test]
+    fn corrupt_snapshot_shapes_rejected() {
+        let (vesta, _) = trained();
+        let mut snap = vesta.offline.to_snapshot();
+        snap.source_order.pop();
+        assert!(OfflineModel::from_snapshot(snap).is_err());
+        let mut snap2 = vesta.offline.to_snapshot();
+        snap2.v = Matrix::zeros(120, snap2.u.cols() + 1);
+        assert!(OfflineModel::from_snapshot(snap2).is_err());
+    }
+
+    #[test]
+    fn load_with_wrong_catalog_size_rejected() {
+        let (vesta, _) = trained();
+        let dir = std::env::temp_dir().join("vesta-snapshot-test-2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("knowledge.json");
+        vesta.save_knowledge(&path).unwrap();
+        // A "catalog" with only a few types must be rejected loudly.
+        let json = std::fs::read_to_string(&path).unwrap();
+        let mut snap: KnowledgeSnapshot = serde_json::from_str(&json).unwrap();
+        snap.vm_clusters.truncate(5);
+        let small = serde_json::to_string(&snap).unwrap();
+        std::fs::write(&path, small).unwrap();
+        assert!(Vesta::load_knowledge(Catalog::aws_ec2(), &path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_clean_error() {
+        assert!(Vesta::load_knowledge(Catalog::aws_ec2(), "/nonexistent/vesta.json").is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! The Vesta façade: one type that owns the catalog, trains the offline
+//! knowledge (Algorithm 1 lines 1-5) and serves online predictions
+//! (lines 6-14), plus the ground-truth helpers the evaluation (Section 5)
+//! compares against.
+
+use vesta_cloud_sim::{Catalog, Objective, Simulator, VmType};
+use vesta_workloads::{MemoryWatcher, Workload};
+
+use crate::config::VestaConfig;
+use crate::offline::OfflineModel;
+use crate::online::{OnlinePredictor, Prediction};
+use crate::VestaError;
+
+/// The end-to-end system.
+pub struct Vesta {
+    /// VM-type catalog being selected from.
+    pub catalog: Catalog,
+    /// Trained offline knowledge.
+    pub offline: OfflineModel,
+}
+
+impl Vesta {
+    /// Train Vesta's offline model on the given source workloads
+    /// (Hadoop/Hive in the paper) over every VM type in the catalog.
+    pub fn train(
+        catalog: Catalog,
+        source_workloads: &[&Workload],
+        config: VestaConfig,
+    ) -> Result<Self, VestaError> {
+        let offline = OfflineModel::build(&catalog, source_workloads, config)?;
+        Ok(Vesta { catalog, offline })
+    }
+
+    /// Build an online predictor bound to this model.
+    pub fn predictor(&self) -> OnlinePredictor<'_> {
+        OnlinePredictor::new(&self.offline, &self.catalog)
+    }
+
+    /// Predict the best VM type for a target workload (full Algorithm 1).
+    pub fn select_best_vm(&self, workload: &Workload) -> Result<Prediction, VestaError> {
+        self.predictor().predict(workload)
+    }
+
+    /// Training-overhead bookkeeping: offline simulated runs consumed.
+    pub fn offline_runs(&self) -> usize {
+        self.offline.offline_runs
+    }
+}
+
+/// Noise-free ground-truth score of `workload` on one VM (Spark demands
+/// pass through the memory watcher exactly as real runs do).
+pub fn ground_truth_score(
+    sim: &Simulator,
+    workload: &Workload,
+    vm: &VmType,
+    nodes: u32,
+    objective: Objective,
+) -> f64 {
+    let watcher = MemoryWatcher::default();
+    let demand = watcher.apply(&workload.demand(), vm);
+    match sim.expected_phases(&demand, vm, nodes) {
+        Ok(phases) => objective.score(&phases, &demand, vm, nodes),
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// Exhaustive ground-truth ranking over the whole catalog, best first —
+/// the paper's "ground truth best results by exhaustively running
+/// workloads on 120 VM types" (Section 5.2).
+pub fn ground_truth_ranking(
+    catalog: &Catalog,
+    workload: &Workload,
+    nodes: u32,
+    objective: Objective,
+) -> Vec<(usize, f64)> {
+    use rayon::prelude::*;
+    let sim = Simulator::default();
+    let mut scored: Vec<(usize, f64)> = catalog
+        .all()
+        .par_iter()
+        .map(|vm| {
+            (
+                vm.id,
+                ground_truth_score(&sim, workload, vm, nodes, objective),
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN scores"));
+    scored
+}
+
+/// The regret-style prediction error of Section 5.2: how much worse the
+/// chosen VM's ground-truth score is than the true best VM's, as a
+/// percentage (`0` = picked the optimum). This is the quantity Fig. 6
+/// aggregates with MAPE.
+pub fn selection_error_pct(
+    catalog: &Catalog,
+    workload: &Workload,
+    chosen_vm: usize,
+    nodes: u32,
+    objective: Objective,
+) -> f64 {
+    let ranking = ground_truth_ranking(catalog, workload, nodes, objective);
+    let best = ranking.first().map(|(_, s)| *s).unwrap_or(f64::INFINITY);
+    let chosen = ranking
+        .iter()
+        .find(|(vm, _)| *vm == chosen_vm)
+        .map(|(_, s)| *s)
+        .unwrap_or(f64::INFINITY);
+    if !best.is_finite() || best <= 0.0 {
+        return f64::INFINITY;
+    }
+    100.0 * (chosen - best) / best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vesta_workloads::Suite;
+
+    fn trained() -> (Vesta, Suite) {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(8).collect();
+        let mut cfg = VestaConfig::fast();
+        cfg.offline_reps = 2;
+        let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
+        (vesta, suite)
+    }
+
+    #[test]
+    fn train_and_select_end_to_end() {
+        let (vesta, suite) = trained();
+        assert!(vesta.offline_runs() > 0);
+        let w = suite.by_name("Spark-lr").unwrap();
+        let p = vesta.select_best_vm(w).unwrap();
+        assert!(p.best_vm < vesta.catalog.len());
+        // Selection error against ground truth is bounded (the fast config
+        // is deliberately rough; the full experiments use tighter budgets).
+        let err = selection_error_pct(&vesta.catalog, w, p.best_vm, 1, Objective::ExecutionTime);
+        assert!(err.is_finite());
+        assert!(err < 200.0, "selection error {err}%");
+    }
+
+    #[test]
+    fn ground_truth_ranking_is_sorted_and_full() {
+        let (vesta, suite) = trained();
+        let w = suite.by_name("Spark-sort").unwrap();
+        let r = ground_truth_ranking(&vesta.catalog, w, 1, Objective::ExecutionTime);
+        assert_eq!(r.len(), 120);
+        for pair in r.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert!(r[0].1.is_finite());
+    }
+
+    #[test]
+    fn selection_error_of_true_best_is_zero() {
+        let (vesta, suite) = trained();
+        let w = suite.by_name("Spark-grep").unwrap();
+        let r = ground_truth_ranking(&vesta.catalog, w, 1, Objective::Budget);
+        let err = selection_error_pct(&vesta.catalog, w, r[0].0, 1, Objective::Budget);
+        assert!(err.abs() < 1e-9);
+        // And a deliberately bad pick has positive error.
+        let worst = r.iter().rev().find(|(_, s)| s.is_finite()).unwrap().0;
+        assert!(selection_error_pct(&vesta.catalog, w, worst, 1, Objective::Budget) > 0.0);
+    }
+
+    #[test]
+    fn budget_and_time_objectives_rank_differently() {
+        let (vesta, suite) = trained();
+        let w = suite.by_name("Spark-kmeans").unwrap();
+        let by_time = ground_truth_ranking(&vesta.catalog, w, 1, Objective::ExecutionTime);
+        let by_cost = ground_truth_ranking(&vesta.catalog, w, 1, Objective::Budget);
+        // The orderings are generally different (cost penalizes big boxes).
+        assert_ne!(
+            by_time.iter().take(10).map(|(v, _)| *v).collect::<Vec<_>>(),
+            by_cost.iter().take(10).map(|(v, _)| *v).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Behavioural tests of the Vesta pipeline internals that unit tests in
+//! the modules cannot see end-to-end: sparsity driven by workload
+//! variance, knowledge reuse across predictions, and the cluster-sizing
+//! extension against its ground truth.
+
+use vesta_cloud_sim::{Catalog, Objective};
+use vesta_core::{
+    ground_truth_cluster_ranking, ClusterSizer, ClusterSizerConfig, Vesta, VestaConfig,
+};
+use vesta_workloads::{Suite, Workload};
+
+fn trained() -> (Vesta, Suite) {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training();
+    let cfg = VestaConfig {
+        offline_reps: 2,
+        ..VestaConfig::fast()
+    };
+    (Vesta::train(catalog, &sources, cfg).unwrap(), suite)
+}
+
+#[test]
+fn high_variance_workloads_observe_sparser_rows() {
+    // Spark-svd++ runs with ~40% CV: its per-run correlation estimates
+    // disagree more, so fewer features pass the consistency test than for
+    // a calm micro benchmark (this is the data-sparsity mechanism of
+    // Section 3.2).
+    let (vesta, suite) = trained();
+    let noisy = vesta
+        .select_best_vm(suite.by_name("Spark-svd++").unwrap())
+        .unwrap();
+    let calm = vesta
+        .select_best_vm(suite.by_name("Spark-count").unwrap())
+        .unwrap();
+    assert!(
+        noisy.observed_density <= calm.observed_density,
+        "svd++ density {:.3} should not exceed count density {:.3}",
+        noisy.observed_density,
+        calm.observed_density
+    );
+}
+
+#[test]
+fn source_affinities_rank_shared_algorithms_high() {
+    // Spark-lr should transfer from the Hadoop regression workloads, not
+    // from SQL scans.
+    let (vesta, suite) = trained();
+    let p = vesta
+        .select_best_vm(suite.by_name("Spark-lr").unwrap())
+        .unwrap();
+    let top3: Vec<String> = p
+        .source_affinities
+        .iter()
+        .take(3)
+        .filter_map(|(id, _)| suite.by_id(*id).map(|w| w.name()))
+        .collect();
+    let regression_like = top3
+        .iter()
+        .filter(|n| {
+            n.contains("lr") || n.contains("linear") || n.contains("bayes") || n.contains("kmeans")
+        })
+        .count();
+    assert!(
+        regression_like >= 1,
+        "no regression-family source in top-3 transfer sources: {top3:?}"
+    );
+}
+
+#[test]
+fn every_target_prediction_is_consistent_with_its_own_fields() {
+    let (vesta, suite) = trained();
+    for w in suite.target() {
+        let p = vesta.select_best_vm(w).unwrap();
+        // the best VM is always scoreable
+        assert!(
+            p.predicted_times.contains_key(&p.best_vm)
+                || p.observed.iter().any(|(vm, _)| *vm == p.best_vm)
+        );
+        // candidates are unique
+        let mut c = p.candidates.clone();
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(c.len(), p.candidates.len(), "{}", w.name());
+        // observed times are positive and the predicted curve covers all
+        // profiled source VMs (120)
+        assert!(p.observed.iter().all(|(_, t)| *t > 0.0));
+        assert!(p.predicted_times.len() >= 120);
+        // fallback flag implies more reference VMs
+        if p.trained_from_scratch {
+            assert!(p.reference_vms > 1 + vesta.offline.config.online_random_vms);
+        }
+    }
+}
+
+#[test]
+fn offline_knowledge_is_reused_not_retrained_between_predictions() {
+    let (vesta, suite) = trained();
+    let offline_runs_before = vesta.offline_runs();
+    let _ = vesta
+        .select_best_vm(suite.by_name("Spark-grep").unwrap())
+        .unwrap();
+    let _ = vesta
+        .select_best_vm(suite.by_name("Spark-sort").unwrap())
+        .unwrap();
+    // Offline counter is untouched by online work.
+    assert_eq!(vesta.offline_runs(), offline_runs_before);
+}
+
+#[test]
+fn cluster_sizer_beats_single_node_for_scalable_jobs() {
+    let (vesta, suite) = trained();
+    let sizer = ClusterSizer::new(&vesta, ClusterSizerConfig::default());
+    let w = suite.by_name("Spark-kmeans").unwrap();
+    let p = sizer.select(w, Objective::ExecutionTime).unwrap();
+    let truth =
+        ground_truth_cluster_ranking(&vesta.catalog, w, &[1, 2, 4, 8], Objective::ExecutionTime);
+    // The chosen (type, nodes) must beat the best single-node config.
+    let chosen = truth
+        .iter()
+        .find(|(vm, n, _)| *vm == p.best.vm_id && *n == p.best.nodes)
+        .map(|(_, _, s)| *s)
+        .unwrap();
+    let best_single = truth
+        .iter()
+        .filter(|(_, n, _)| *n == 1)
+        .map(|(_, _, s)| *s)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        chosen <= best_single,
+        "multi-node pick ({chosen:.0}s) should beat the best single node ({best_single:.0}s)"
+    );
+}
+
+#[test]
+fn knowledge_snapshot_is_portable_across_instances() {
+    let (vesta, suite) = trained();
+    let dir = std::env::temp_dir().join("vesta-pipeline-snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("k.json");
+    vesta.save_knowledge(&path).unwrap();
+    let restored = Vesta::load_knowledge(Catalog::aws_ec2(), &path).unwrap();
+    // Aggregate behaviour matches across all targets, not just one.
+    for w in suite.target().into_iter().take(4) {
+        let a = vesta.select_best_vm(w).unwrap();
+        let b = restored.select_best_vm(w).unwrap();
+        assert_eq!(a.best_vm, b.best_vm, "{}", w.name());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convergence_statistics_are_reasonable_across_the_target_set() {
+    let (vesta, suite) = trained();
+    let mut converged = 0;
+    let mut total = 0;
+    for w in suite.target() {
+        let p = vesta.select_best_vm(w).unwrap();
+        total += 1;
+        if p.converged {
+            converged += 1;
+        }
+    }
+    // The paper reports exactly one pathological workload (Spark-CF); we
+    // tolerate up to a quarter failing the cap under the fast test config.
+    assert!(
+        converged * 4 >= total * 3,
+        "only {converged}/{total} target predictions converged"
+    );
+}
+
+#[test]
+fn absorbing_served_workloads_grows_session_knowledge() {
+    let (vesta, suite) = trained();
+    let predictor = vesta.predictor();
+    assert_eq!(predictor.absorbed_count(), 0);
+    let order = ["Spark-lr", "Spark-kmeans", "Spark-bayes", "Spark-pca"];
+    for name in order {
+        let w = suite.by_name(name).unwrap();
+        let p = predictor.predict(w).unwrap();
+        assert!(
+            !p.target_labels.is_empty(),
+            "{name} has no completed labels"
+        );
+        predictor.absorb(&p);
+        predictor.absorb(&p); // idempotent
+    }
+    assert_eq!(predictor.absorbed_count(), 4);
+}
+
+#[test]
+fn absorbed_session_serves_later_arrivals_no_worse() {
+    // Learning-curve property: with the overlay active, the mean error of
+    // the later half of an arrival sequence should not be worse than a
+    // memoryless predictor's on the same workloads.
+    let (vesta, suite) = trained();
+    let arrivals = [
+        "Spark-lr",
+        "Spark-kmeans",
+        "Spark-bayes",
+        "Spark-pca",
+        "Spark-spearman",
+        "Spark-grep",
+        "Spark-count",
+        "Spark-sort",
+    ];
+    let err_of = |with_memory: bool| -> f64 {
+        let predictor = vesta.predictor();
+        let mut late_errors = Vec::new();
+        for (i, name) in arrivals.iter().enumerate() {
+            let w = suite.by_name(name).unwrap();
+            let p = predictor.predict(w).unwrap();
+            if with_memory {
+                predictor.absorb(&p);
+            }
+            if i >= arrivals.len() / 2 {
+                late_errors.push(vesta_core::selection_error_pct(
+                    &vesta.catalog,
+                    w,
+                    p.best_vm,
+                    1,
+                    Objective::ExecutionTime,
+                ));
+            }
+        }
+        vesta_ml::stats::mean(&late_errors)
+    };
+    let memoryless = err_of(false);
+    let with_memory = err_of(true);
+    assert!(
+        with_memory <= memoryless + 10.0,
+        "session memory hurt late arrivals: {with_memory:.1}% vs {memoryless:.1}%"
+    );
+}

@@ -1,0 +1,341 @@
+//! The two-layer bipartite graph of Section 3.2 (Fig. 4).
+//!
+//! Layer 1 links **workloads** to **labels** (`G^(XL)` for source
+//! workloads, `G^(X*L)` for target workloads — the red edges Vesta must
+//! learn). Layer 2 links **labels** to **VM types** (`G^(LT)`). Knowledge
+//! is `G^(XL) + G^(LT)`; reusing knowledge is `G^(X*L) + G^(LT)`.
+//!
+//! Edges are weighted: workload-label edges are 0/1 conformance (Eq. 3),
+//! label-VM edges carry the strength K-Means assigns to the label's VM
+//! group. Matrices are exported for the CMF solver.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+use vesta_ml::Matrix;
+
+use crate::label::{Label, LabelSpace};
+use crate::GraphError;
+
+/// One layer of the bipartite graph: weighted edges between `left`
+/// entities (workloads or VM types) and labels.
+///
+/// Serialized as a flat `(left, label, weight)` edge list so the layer
+/// survives JSON (whose map keys must be strings).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<(u64, Label, f64)>", into = "Vec<(u64, Label, f64)>")]
+pub struct LabelLayer {
+    /// `edges[left] = {label -> weight}`.
+    edges: BTreeMap<u64, BTreeMap<Label, f64>>,
+}
+
+impl From<Vec<(u64, Label, f64)>> for LabelLayer {
+    fn from(triples: Vec<(u64, Label, f64)>) -> Self {
+        let mut layer = LabelLayer::new();
+        for (left, label, weight) in triples {
+            layer.set_edge(left, label, weight);
+        }
+        layer
+    }
+}
+
+impl From<LabelLayer> for Vec<(u64, Label, f64)> {
+    fn from(layer: LabelLayer) -> Self {
+        layer
+            .edges
+            .iter()
+            .flat_map(|(&left, m)| m.iter().map(move |(&l, &w)| (left, l, w)))
+            .collect()
+    }
+}
+
+impl LabelLayer {
+    /// Empty layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or overwrite) an edge.
+    pub fn set_edge(&mut self, left: u64, label: Label, weight: f64) {
+        self.edges.entry(left).or_default().insert(label, weight);
+    }
+
+    /// Add `weight` onto an edge, creating it at 0 if absent.
+    pub fn add_weight(&mut self, left: u64, label: Label, weight: f64) {
+        *self
+            .edges
+            .entry(left)
+            .or_default()
+            .entry(label)
+            .or_insert(0.0) += weight;
+    }
+
+    /// Weight of an edge (0 when absent).
+    pub fn weight(&self, left: u64, label: Label) -> f64 {
+        self.edges
+            .get(&left)
+            .and_then(|m| m.get(&label))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Labels adjacent to `left`, with weights.
+    pub fn labels_of(&self, left: u64) -> Vec<(Label, f64)> {
+        self.edges
+            .get(&left)
+            .map(|m| m.iter().map(|(&l, &w)| (l, w)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Left entities adjacent to `label`, with weights.
+    pub fn lefts_of(&self, label: Label) -> Vec<(u64, f64)> {
+        self.edges
+            .iter()
+            .filter_map(|(&left, m)| m.get(&label).map(|&w| (left, w)))
+            .collect()
+    }
+
+    /// All left entity ids present in the layer, ascending.
+    pub fn lefts(&self) -> Vec<u64> {
+        self.edges.keys().copied().collect()
+    }
+
+    /// All labels appearing on any edge.
+    pub fn labels(&self) -> BTreeSet<Label> {
+        self.edges
+            .values()
+            .flat_map(|m| m.keys().copied())
+            .collect()
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.values().map(BTreeMap::len).sum()
+    }
+
+    /// Export as a dense matrix: row order follows `lefts_order`, column
+    /// order is the label space's dense label id.
+    pub fn to_matrix(&self, lefts_order: &[u64], space: &LabelSpace) -> Matrix {
+        let mut m = Matrix::zeros(lefts_order.len(), space.n_labels());
+        for (r, left) in lefts_order.iter().enumerate() {
+            if let Some(edges) = self.edges.get(left) {
+                for (&label, &w) in edges {
+                    m[(r, space.label_id(label))] = w;
+                }
+            }
+        }
+        m
+    }
+
+    /// Rebuild a layer from a dense matrix (inverse of
+    /// [`LabelLayer::to_matrix`]); entries below `threshold` are dropped.
+    pub fn from_matrix(
+        m: &Matrix,
+        lefts_order: &[u64],
+        space: &LabelSpace,
+        threshold: f64,
+    ) -> Result<Self, GraphError> {
+        if m.rows() != lefts_order.len() || m.cols() != space.n_labels() {
+            return Err(GraphError::Shape(format!(
+                "matrix {}x{} vs {} lefts and {} labels",
+                m.rows(),
+                m.cols(),
+                lefts_order.len(),
+                space.n_labels()
+            )));
+        }
+        let mut layer = LabelLayer::new();
+        for (r, &left) in lefts_order.iter().enumerate() {
+            for c in 0..m.cols() {
+                let w = m[(r, c)];
+                if w.abs() >= threshold {
+                    layer.set_edge(left, space.label_from_id(c), w);
+                }
+            }
+        }
+        Ok(layer)
+    }
+}
+
+/// The full two-layer structure of Fig. 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwoLayerGraph {
+    /// The label space both layers share.
+    pub space: LabelSpace,
+    /// `G^(XL)`: source workloads → labels (blue edges, layer 1).
+    pub source_layer: LabelLayer,
+    /// `G^(X*L)`: target workloads → labels (red edges, layer 1).
+    pub target_layer: LabelLayer,
+    /// `G^(LT)`: VM types → labels (blue edges, layer 2; stored VM-major).
+    pub vm_layer: LabelLayer,
+}
+
+impl TwoLayerGraph {
+    /// Empty graph over a label space.
+    pub fn new(space: LabelSpace) -> Self {
+        TwoLayerGraph {
+            space,
+            source_layer: LabelLayer::new(),
+            target_layer: LabelLayer::new(),
+            vm_layer: LabelLayer::new(),
+        }
+    }
+
+    /// Two-hop propagation: score every VM type for `workload` by walking
+    /// workload → labels → VM types. `target` selects which layer-1
+    /// subgraph the workload lives in.
+    pub fn vm_scores(&self, workload: u64, target: bool) -> BTreeMap<u64, f64> {
+        let layer = if target {
+            &self.target_layer
+        } else {
+            &self.source_layer
+        };
+        let mut scores: BTreeMap<u64, f64> = BTreeMap::new();
+        for (label, w1) in layer.labels_of(workload) {
+            for (vm, w2) in self.vm_layer.lefts_of(label) {
+                *scores.entry(vm).or_insert(0.0) += w1 * w2;
+            }
+        }
+        scores
+    }
+
+    /// Workload-to-workload similarity through shared labels (used to pick
+    /// transfer sources): sum over shared labels of the edge-weight
+    /// products.
+    pub fn workload_similarity(&self, source_wl: u64, target_wl: u64) -> f64 {
+        let s_labels = self.source_layer.labels_of(source_wl);
+        let mut sim = 0.0;
+        for (label, ws) in s_labels {
+            let wt = self.target_layer.weight(target_wl, label);
+            sim += ws * wt;
+        }
+        sim
+    }
+
+    /// Total edges across the three subgraphs.
+    pub fn n_edges(&self) -> usize {
+        self.source_layer.n_edges() + self.target_layer.n_edges() + self.vm_layer.n_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> LabelSpace {
+        LabelSpace::paper_default(3)
+    }
+
+    fn lab(f: usize, i: usize) -> Label {
+        Label {
+            feature: f,
+            interval: i,
+        }
+    }
+
+    #[test]
+    fn edge_set_get_add() {
+        let mut layer = LabelLayer::new();
+        layer.set_edge(1, lab(0, 5), 1.0);
+        layer.add_weight(1, lab(0, 5), 0.5);
+        layer.add_weight(2, lab(1, 3), 2.0);
+        assert_eq!(layer.weight(1, lab(0, 5)), 1.5);
+        assert_eq!(layer.weight(2, lab(1, 3)), 2.0);
+        assert_eq!(layer.weight(3, lab(0, 0)), 0.0);
+        assert_eq!(layer.n_edges(), 2);
+        assert_eq!(layer.lefts(), vec![1, 2]);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let mut layer = LabelLayer::new();
+        layer.set_edge(1, lab(0, 5), 1.0);
+        layer.set_edge(1, lab(1, 7), 0.5);
+        layer.set_edge(2, lab(0, 5), 0.25);
+        let labels = layer.labels_of(1);
+        assert_eq!(labels.len(), 2);
+        let lefts = layer.lefts_of(lab(0, 5));
+        assert_eq!(lefts.len(), 2);
+        assert!(layer.labels().contains(&lab(1, 7)));
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let sp = space();
+        let mut layer = LabelLayer::new();
+        layer.set_edge(10, lab(0, 5), 1.0);
+        layer.set_edge(20, lab(2, 39), 0.75);
+        let order = vec![10, 20];
+        let m = layer.to_matrix(&order, &sp);
+        assert_eq!(m.shape(), (2, sp.n_labels()));
+        assert_eq!(m[(0, sp.label_id(lab(0, 5)))], 1.0);
+        assert_eq!(m[(1, sp.label_id(lab(2, 39)))], 0.75);
+        let back = LabelLayer::from_matrix(&m, &order, &sp, 1e-9).unwrap();
+        assert_eq!(back.weight(10, lab(0, 5)), 1.0);
+        assert_eq!(back.weight(20, lab(2, 39)), 0.75);
+        assert_eq!(back.n_edges(), 2);
+    }
+
+    #[test]
+    fn from_matrix_shape_check_and_threshold() {
+        let sp = space();
+        let m = Matrix::zeros(2, 5);
+        assert!(LabelLayer::from_matrix(&m, &[1, 2], &sp, 0.0).is_err());
+        let mut m = Matrix::zeros(1, sp.n_labels());
+        m[(0, 0)] = 0.001;
+        m[(0, 1)] = 0.9;
+        let layer = LabelLayer::from_matrix(&m, &[5], &sp, 0.01).unwrap();
+        assert_eq!(layer.n_edges(), 1);
+    }
+
+    #[test]
+    fn two_hop_vm_scores() {
+        let mut g = TwoLayerGraph::new(space());
+        // workload 1 conforms to labels A and B
+        g.source_layer.set_edge(1, lab(0, 5), 1.0);
+        g.source_layer.set_edge(1, lab(1, 7), 1.0);
+        // VM 100 is strong for A, VM 200 weak for A and strong for B
+        g.vm_layer.set_edge(100, lab(0, 5), 0.9);
+        g.vm_layer.set_edge(200, lab(0, 5), 0.2);
+        g.vm_layer.set_edge(200, lab(1, 7), 0.8);
+        let scores = g.vm_scores(1, false);
+        assert!((scores[&100] - 0.9).abs() < 1e-12);
+        assert!((scores[&200] - 1.0).abs() < 1e-12);
+        // unknown workload yields empty scores
+        assert!(g.vm_scores(42, false).is_empty());
+    }
+
+    #[test]
+    fn target_layer_is_separate() {
+        let mut g = TwoLayerGraph::new(space());
+        g.source_layer.set_edge(1, lab(0, 5), 1.0);
+        g.target_layer.set_edge(1, lab(1, 7), 1.0);
+        g.vm_layer.set_edge(100, lab(0, 5), 1.0);
+        g.vm_layer.set_edge(200, lab(1, 7), 1.0);
+        let src = g.vm_scores(1, false);
+        let tgt = g.vm_scores(1, true);
+        assert!(src.contains_key(&100) && !src.contains_key(&200));
+        assert!(tgt.contains_key(&200) && !tgt.contains_key(&100));
+    }
+
+    #[test]
+    fn workload_similarity_counts_shared_labels() {
+        let mut g = TwoLayerGraph::new(space());
+        g.source_layer.set_edge(1, lab(0, 5), 1.0);
+        g.source_layer.set_edge(1, lab(1, 7), 1.0);
+        g.source_layer.set_edge(2, lab(2, 3), 1.0);
+        g.target_layer.set_edge(9, lab(0, 5), 1.0);
+        g.target_layer.set_edge(9, lab(1, 7), 1.0);
+        assert!((g.workload_similarity(1, 9) - 2.0).abs() < 1e-12);
+        assert_eq!(g.workload_similarity(2, 9), 0.0);
+    }
+
+    #[test]
+    fn edge_counting_across_layers() {
+        let mut g = TwoLayerGraph::new(space());
+        g.source_layer.set_edge(1, lab(0, 1), 1.0);
+        g.target_layer.set_edge(2, lab(0, 2), 1.0);
+        g.vm_layer.set_edge(3, lab(0, 3), 1.0);
+        assert_eq!(g.n_edges(), 3);
+    }
+}

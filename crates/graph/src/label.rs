@@ -1,0 +1,267 @@
+//! Correlation-interval labels.
+//!
+//! Section 3.1 / 5.3: Vesta "divides correlation values into 0.05
+//! intervals" and treats each (correlation feature, interval) pair as a
+//! **label** — the middle layer of the two-layer bipartite graph. A
+//! workload "conforms to" a label when its measured correlation for that
+//! feature falls inside the interval (Eq. 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// A label: correlation feature `feature` observed inside interval
+/// `interval` of the discretized `[-1, 1]` range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label {
+    /// Index of the correlation feature (0..10, Table 1 order).
+    pub feature: usize,
+    /// Interval index within `[-1, 1]` (0-based from -1).
+    pub interval: usize,
+}
+
+/// The discretized label space over a set of correlation features.
+///
+/// ```
+/// use vesta_graph::LabelSpace;
+///
+/// let space = LabelSpace::paper_default(10); // 0.05-wide intervals
+/// assert_eq!(space.n_labels(), 400);
+/// let labels = space.labels_for(&[0.82; 10]).unwrap();
+/// assert_eq!(labels.len(), 10);
+/// assert_eq!(labels[0].interval, space.interval_of(0.82));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelSpace {
+    /// Number of correlation features being discretized.
+    pub n_features: usize,
+    /// Interval width (the paper's 0.05).
+    pub interval_width: f64,
+    /// Indices of features kept after PCA importance filtering; labels are
+    /// only produced for these. `None` keeps every feature.
+    pub selected_features: Option<Vec<usize>>,
+}
+
+impl LabelSpace {
+    /// Label space over `n_features` correlations with the paper's 0.05
+    /// intervals.
+    pub fn paper_default(n_features: usize) -> Self {
+        LabelSpace {
+            n_features,
+            interval_width: 0.05,
+            selected_features: None,
+        }
+    }
+
+    /// Label space with a custom interval width (ablation knob).
+    pub fn with_width(n_features: usize, interval_width: f64) -> Result<Self, GraphError> {
+        if !(interval_width > 0.0 && interval_width <= 2.0) {
+            return Err(GraphError::InvalidParameter(format!(
+                "interval width {interval_width}"
+            )));
+        }
+        Ok(LabelSpace {
+            n_features,
+            interval_width,
+            selected_features: None,
+        })
+    }
+
+    /// Restrict labeling to PCA-selected features.
+    pub fn with_selected(mut self, selected: Vec<usize>) -> Self {
+        self.selected_features = Some(selected);
+        self
+    }
+
+    /// Number of intervals per feature.
+    pub fn intervals_per_feature(&self) -> usize {
+        (2.0 / self.interval_width).ceil() as usize
+    }
+
+    /// Total number of distinct labels.
+    pub fn n_labels(&self) -> usize {
+        self.n_features * self.intervals_per_feature()
+    }
+
+    /// Interval index of a correlation value in `[-1, 1]`.
+    pub fn interval_of(&self, value: f64) -> usize {
+        let clamped = value.clamp(-1.0, 1.0);
+        let idx = ((clamped + 1.0) / self.interval_width).floor() as usize;
+        idx.min(self.intervals_per_feature() - 1)
+    }
+
+    /// `[lo, hi)` bounds of an interval.
+    pub fn interval_bounds(&self, interval: usize) -> (f64, f64) {
+        let lo = -1.0 + interval as f64 * self.interval_width;
+        (lo, lo + self.interval_width)
+    }
+
+    /// Dense 0-based id of a label (row/column index in matrices).
+    pub fn label_id(&self, label: Label) -> usize {
+        label.feature * self.intervals_per_feature() + label.interval
+    }
+
+    /// Inverse of [`LabelSpace::label_id`].
+    pub fn label_from_id(&self, id: usize) -> Label {
+        let per = self.intervals_per_feature();
+        Label {
+            feature: id / per,
+            interval: id % per,
+        }
+    }
+
+    /// Is this feature kept by the PCA filter?
+    fn feature_selected(&self, feature: usize) -> bool {
+        match &self.selected_features {
+            None => true,
+            Some(sel) => sel.contains(&feature),
+        }
+    }
+
+    /// Labels a correlation vector conforms to (Eq. 3): one per selected
+    /// feature.
+    pub fn labels_for(&self, correlations: &[f64]) -> Result<Vec<Label>, GraphError> {
+        if correlations.len() != self.n_features {
+            return Err(GraphError::Shape(format!(
+                "{} correlations for a {}-feature label space",
+                correlations.len(),
+                self.n_features
+            )));
+        }
+        Ok(correlations
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| self.feature_selected(*f))
+            .map(|(f, &v)| Label {
+                feature: f,
+                interval: self.interval_of(v),
+            })
+            .collect())
+    }
+
+    /// Human-readable description of a label, e.g.
+    /// `"CPU-to-memory in [0.80, 0.85)"`.
+    pub fn describe(&self, label: Label, feature_names: &[&str]) -> String {
+        let (lo, hi) = self.interval_bounds(label.interval);
+        let name = feature_names
+            .get(label.feature)
+            .copied()
+            .unwrap_or("feature?");
+        format!("{name} in [{lo:.2}, {hi:.2})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_40_intervals() {
+        let s = LabelSpace::paper_default(10);
+        assert_eq!(s.intervals_per_feature(), 40);
+        assert_eq!(s.n_labels(), 400);
+    }
+
+    #[test]
+    fn interval_of_boundaries() {
+        let s = LabelSpace::paper_default(10);
+        assert_eq!(s.interval_of(-1.0), 0);
+        assert_eq!(s.interval_of(1.0), 39); // clamped into last interval
+        assert_eq!(s.interval_of(0.0), 20);
+        assert_eq!(s.interval_of(-0.97), 0);
+        assert_eq!(s.interval_of(0.82), 36);
+        // out-of-range values clamp
+        assert_eq!(s.interval_of(5.0), 39);
+        assert_eq!(s.interval_of(-5.0), 0);
+    }
+
+    #[test]
+    fn interval_bounds_contain_value() {
+        let s = LabelSpace::paper_default(10);
+        for v in [-0.99, -0.5, 0.0, 0.33, 0.949] {
+            let i = s.interval_of(v);
+            let (lo, hi) = s.interval_bounds(i);
+            assert!(lo <= v && v < hi, "{v} not in [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn label_id_roundtrips() {
+        let s = LabelSpace::paper_default(10);
+        for f in 0..10 {
+            for i in 0..40 {
+                let l = Label {
+                    feature: f,
+                    interval: i,
+                };
+                assert_eq!(s.label_from_id(s.label_id(l)), l);
+            }
+        }
+        // ids are dense and unique
+        let sr = &s;
+        let mut ids: Vec<usize> = (0..10)
+            .flat_map(|f| {
+                (0..40).map(move |i| {
+                    sr.label_id(Label {
+                        feature: f,
+                        interval: i,
+                    })
+                })
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
+        assert_eq!(*ids.last().unwrap(), 399);
+    }
+
+    #[test]
+    fn labels_for_yields_one_label_per_feature() {
+        let s = LabelSpace::paper_default(3);
+        let labels = s.labels_for(&[0.8, -0.2, 0.0]).unwrap();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels[0].feature, 0);
+        assert_eq!(labels[1].feature, 1);
+        assert!(s.labels_for(&[0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn pca_selection_filters_labels() {
+        let s = LabelSpace::paper_default(4).with_selected(vec![0, 2]);
+        let labels = s.labels_for(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(labels.len(), 2);
+        assert_eq!(labels[0].feature, 0);
+        assert_eq!(labels[1].feature, 2);
+    }
+
+    #[test]
+    fn custom_width_validation() {
+        assert!(LabelSpace::with_width(10, 0.0).is_err());
+        assert!(LabelSpace::with_width(10, -0.1).is_err());
+        assert!(LabelSpace::with_width(10, 2.5).is_err());
+        let wide = LabelSpace::with_width(10, 0.5).unwrap();
+        assert_eq!(wide.intervals_per_feature(), 4);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let s = LabelSpace::paper_default(2);
+        let l = Label {
+            feature: 0,
+            interval: 36,
+        };
+        let d = s.describe(l, &["CPU-to-memory", "memory-to-disk"]);
+        assert!(d.contains("CPU-to-memory"));
+        assert!(d.contains("0.80"));
+    }
+
+    #[test]
+    fn same_interval_same_label() {
+        let s = LabelSpace::paper_default(1);
+        let a = s.labels_for(&[0.81]).unwrap();
+        let b = s.labels_for(&[0.84]).unwrap();
+        let c = s.labels_for(&[0.86]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

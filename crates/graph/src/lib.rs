@@ -1,0 +1,53 @@
+//! # vesta-graph
+//!
+//! The knowledge-representation substrate of the Vesta reproduction: the
+//! two-layer bipartite graph of Section 3.2 (Fig. 4) and the
+//! correlation-interval labels that form its middle layer.
+//!
+//! * [`label`] — 0.05-wide correlation intervals as [`label::Label`]s with
+//!   dense ids, optional PCA feature filtering, human-readable
+//!   descriptions.
+//! * [`bipartite`] — the workload-label layers `G^(XL)` / `G^(X*L)` and the
+//!   label-VM layer `G^(LT)`, with weighted edges, two-hop VM scoring and
+//!   dense-matrix export for the CMF solver.
+
+pub mod bipartite;
+pub mod label;
+
+pub use bipartite::{LabelLayer, TwoLayerGraph};
+pub use label::{Label, LabelSpace};
+
+use std::fmt;
+
+/// Errors produced by `vesta-graph`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Dimension disagreement between a matrix and the graph structure.
+    Shape(String),
+    /// Invalid parameter (e.g. non-positive interval width).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Shape(s) => write!(f, "shape mismatch: {s}"),
+            GraphError::InvalidParameter(s) => write!(f, "invalid parameter: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(GraphError::Shape("x".into()).to_string().contains("x"));
+        assert!(GraphError::InvalidParameter("y".into())
+            .to_string()
+            .contains("y"));
+    }
+}

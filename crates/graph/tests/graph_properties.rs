@@ -1,0 +1,182 @@
+//! Property tests of the label space and the bipartite layers: interval
+//! geometry for arbitrary widths, dense-id bijectivity, and
+//! matrix-roundtrip fidelity for randomized layers.
+
+use proptest::prelude::*;
+use vesta_graph::{Label, LabelLayer, LabelSpace, TwoLayerGraph};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interval_of_is_total_and_bounded(
+        width in 0.01f64..1.0,
+        value in -2.0f64..2.0,
+        features in 1usize..12,
+    ) {
+        let space = LabelSpace::with_width(features, width).unwrap();
+        let i = space.interval_of(value);
+        prop_assert!(i < space.intervals_per_feature());
+        // the value (clamped) falls inside its interval
+        let (lo, hi) = space.interval_bounds(i);
+        let clamped = value.clamp(-1.0, 1.0);
+        prop_assert!(clamped >= lo - 1e-12);
+        // the topmost interval absorbs the closed upper end
+        if i + 1 < space.intervals_per_feature() {
+            prop_assert!(clamped < hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn label_ids_are_bijective(width in 0.02f64..0.5, features in 1usize..12) {
+        let space = LabelSpace::with_width(features, width).unwrap();
+        let per = space.intervals_per_feature();
+        for f in 0..features {
+            for i in (0..per).step_by(1 + per / 7) {
+                let l = Label { feature: f, interval: i };
+                let id = space.label_id(l);
+                prop_assert!(id < space.n_labels());
+                prop_assert_eq!(space.label_from_id(id), l);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_for_is_deterministic_and_feature_aligned(
+        seed in 0u64..500,
+        features in 1usize..11,
+    ) {
+        let space = LabelSpace::paper_default(features);
+        let mut x = seed.wrapping_add(3);
+        let corr: Vec<f64> = (0..features)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            })
+            .collect();
+        let a = space.labels_for(&corr).unwrap();
+        let b = space.labels_for(&corr).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), features);
+        for (f, l) in a.iter().enumerate() {
+            prop_assert_eq!(l.feature, f);
+        }
+    }
+
+    #[test]
+    fn layer_matrix_roundtrip_preserves_edges(seed in 0u64..300, n_left in 1usize..8) {
+        let space = LabelSpace::with_width(4, 0.25).unwrap();
+        let mut layer = LabelLayer::new();
+        let mut x = seed.wrapping_add(11);
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x
+        };
+        let lefts: Vec<u64> = (0..n_left as u64).collect();
+        for &left in &lefts {
+            for _ in 0..3 {
+                let f = (next() % 4) as usize;
+                let i = (next() % space.intervals_per_feature() as u64) as usize;
+                let w = 0.1 + (next() % 100) as f64 / 100.0;
+                layer.set_edge(left, Label { feature: f, interval: i }, w);
+            }
+        }
+        let m = layer.to_matrix(&lefts, &space);
+        let back = LabelLayer::from_matrix(&m, &lefts, &space, 1e-12).unwrap();
+        prop_assert_eq!(back.n_edges(), layer.n_edges());
+        for &left in &lefts {
+            for (label, w) in layer.labels_of(left) {
+                prop_assert!((back.weight(left, label) - w).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_layer(seed in 0u64..200) {
+        let mut layer = LabelLayer::new();
+        let mut x = seed.wrapping_add(29);
+        for k in 0..6u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            layer.set_edge(
+                k % 3,
+                Label { feature: (x % 5) as usize, interval: (x % 40) as usize },
+                (x % 1000) as f64 / 1000.0 + 0.001,
+            );
+        }
+        let json = serde_json::to_string(&layer).unwrap();
+        let back: LabelLayer = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.n_edges(), layer.n_edges());
+        for left in layer.lefts() {
+            for (label, w) in layer.labels_of(left) {
+                prop_assert!((back.weight(left, label) - w).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn two_hop_scores_are_nonnegative_and_additive(seed in 0u64..200) {
+        let space = LabelSpace::with_width(3, 0.5).unwrap();
+        let mut g = TwoLayerGraph::new(space);
+        let mut x = seed.wrapping_add(17);
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x
+        };
+        for _ in 0..8 {
+            let l = Label { feature: (next() % 3) as usize, interval: (next() % 4) as usize };
+            g.source_layer.set_edge(next() % 4, l, 1.0);
+            g.vm_layer.set_edge(next() % 6, l, (next() % 100) as f64 / 100.0);
+        }
+        for wl in 0..4u64 {
+            let scores = g.vm_scores(wl, false);
+            let mut manual: std::collections::BTreeMap<u64, f64> = Default::default();
+            for (label, w1) in g.source_layer.labels_of(wl) {
+                for (vm, w2) in g.vm_layer.lefts_of(label) {
+                    *manual.entry(vm).or_insert(0.0) += w1 * w2;
+                }
+            }
+            prop_assert_eq!(&scores, &manual);
+            for v in scores.values() {
+                prop_assert!(*v >= 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn graph_json_roundtrip_full() {
+    let space = LabelSpace::paper_default(10).with_selected(vec![0, 2, 4]);
+    let mut g = TwoLayerGraph::new(space);
+    g.source_layer.set_edge(
+        1,
+        Label {
+            feature: 0,
+            interval: 30,
+        },
+        1.0,
+    );
+    g.target_layer.set_edge(
+        9,
+        Label {
+            feature: 2,
+            interval: 5,
+        },
+        1.0,
+    );
+    g.vm_layer.set_edge(
+        100,
+        Label {
+            feature: 0,
+            interval: 30,
+        },
+        0.7,
+    );
+    let json = serde_json::to_string(&g).unwrap();
+    let back: TwoLayerGraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.n_edges(), g.n_edges());
+    assert_eq!(back.space.selected_features, Some(vec![0, 2, 4]));
+    assert_eq!(
+        back.vm_scores(1, false).get(&100).copied(),
+        g.vm_scores(1, false).get(&100).copied()
+    );
+}

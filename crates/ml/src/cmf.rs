@@ -1,0 +1,598 @@
+//! Collective matrix factorization (CMF) for cross-framework transfer.
+//!
+//! This implements the learning core of Section 3.3 (Eq. 4-6). Three
+//! relation matrices share one label factor `L ∈ R^{j×g}`:
+//!
+//! * `U  = X  Lᵀ` — source workload-label matrix (fully observed knowledge),
+//! * `V  = T  Lᵀ` — VM-type-label matrix (fully observed knowledge),
+//! * `U* = X* Lᵀ` — target workload-label matrix, **sparse**: a target
+//!   workload fresh from a new framework has only been run on a sandbox VM
+//!   plus 3 randomly picked VM types, so most of its entries are missing.
+//!
+//! The objective follows Eq. 6 — `min λ‖U* − U‖²_F + (1−λ)‖U* − V‖²_F +
+//! R(U, V, U*)` — realized, per Singh & Gordon's CMF, as factor-level
+//! coupling: the λ term ties the target factorization to the source
+//! knowledge through the shared `L` (and reconstruction of `U`), the (1−λ)
+//! term ties it to the VM-side factorization of `V`, and `R` is L2
+//! regularization on all factors. Minimization is the alternating SGD of
+//! Algorithm 1 lines 7-11: fix two factor groups, update the third, repeat
+//! until convergence (or until the online phase's convergence cap fires —
+//! surfaced here as [`MlError::NotConverged`] data in the outcome).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use crate::sgd::{run_sgd, SgdConfig, SgdOutcome};
+
+/// A sparse observation mask over an `n × j` matrix: `true` entries are
+/// observed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mask {
+    rows: usize,
+    cols: usize,
+    observed: Vec<bool>,
+}
+
+impl Mask {
+    /// All-unobserved mask.
+    pub fn none(rows: usize, cols: usize) -> Self {
+        Mask {
+            rows,
+            cols,
+            observed: vec![false; rows * cols],
+        }
+    }
+
+    /// All-observed mask.
+    pub fn all(rows: usize, cols: usize) -> Self {
+        Mask {
+            rows,
+            cols,
+            observed: vec![true; rows * cols],
+        }
+    }
+
+    /// Mark entry `(r, c)` observed.
+    pub fn observe(&mut self, r: usize, c: usize) {
+        self.observed[r * self.cols + c] = true;
+    }
+
+    /// Mark a whole row observed.
+    pub fn observe_row(&mut self, r: usize) {
+        for c in 0..self.cols {
+            self.observe(r, c);
+        }
+    }
+
+    /// Is entry `(r, c)` observed?
+    #[inline]
+    pub fn is_observed(&self, r: usize, c: usize) -> bool {
+        self.observed[r * self.cols + c]
+    }
+
+    /// Number of observed entries.
+    pub fn count(&self) -> usize {
+        self.observed.iter().filter(|&&o| o).count()
+    }
+
+    /// Fraction of entries observed.
+    pub fn density(&self) -> f64 {
+        if self.observed.is_empty() {
+            return 0.0;
+        }
+        self.count() as f64 / self.observed.len() as f64
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// Hyper-parameters of the CMF solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CmfConfig {
+    /// Latent dimensionality `g`.
+    pub latent_dim: usize,
+    /// Eq. 6's trade-off λ between source coupling and VM coupling; the
+    /// paper sets 0.75 "according to our best practice".
+    pub lambda: f64,
+    /// SGD schedule (learning rate, epochs cap = the convergence limit,
+    /// tolerance, L2 regularization = the `R(·)` term).
+    pub sgd: SgdConfig,
+    /// Seed for factor initialization.
+    pub seed: u64,
+}
+
+impl Default for CmfConfig {
+    fn default() -> Self {
+        CmfConfig {
+            latent_dim: 8,
+            lambda: 0.75,
+            sgd: SgdConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Inputs to the CMF solve.
+#[derive(Debug, Clone)]
+pub struct CmfProblem<'a> {
+    /// Source workload-label matrix `U` (`i × j`), fully observed.
+    pub source: &'a Matrix,
+    /// VM-label matrix `V` (`k × j`), fully observed.
+    pub vm: &'a Matrix,
+    /// Target workload-label observations `U*` (`n × j`), sparse.
+    pub target: &'a Matrix,
+    /// Mask of which `target` entries were actually measured.
+    pub target_mask: &'a Mask,
+}
+
+/// Result of a CMF solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CmfModel {
+    /// Source workload factors `X` (`i × g`).
+    pub x: Matrix,
+    /// Target workload factors `X*` (`n × g`).
+    pub x_star: Matrix,
+    /// VM factors `T` (`k × g`).
+    pub t: Matrix,
+    /// Shared label factors `L` (`j × g`).
+    pub l: Matrix,
+    /// The completed target matrix `U* = X* Lᵀ` (Algorithm 1 line 12).
+    pub completed_target: Matrix,
+    /// SGD convergence report (lets callers apply the Spark-CF cap policy).
+    pub outcome: SgdOutcome,
+}
+
+impl CmfModel {
+    /// Transfer-suitability score per source workload: negative Euclidean
+    /// distance between a target row of `X*` and each row of `X` — "by
+    /// calculating the distance between U* and U, we can decide which
+    /// x_i ∈ X are suitable for transfer learning" (Section 3.3).
+    pub fn source_affinity(&self, target_row: usize) -> Vec<f64> {
+        let t = self.x_star.row(target_row);
+        (0..self.x.rows())
+            .map(|i| {
+                let d: f64 = self
+                    .x
+                    .row(i)
+                    .iter()
+                    .zip(t)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                -d
+            })
+            .collect()
+    }
+}
+
+/// Solve the collective factorization.
+pub fn solve(problem: &CmfProblem<'_>, config: &CmfConfig) -> Result<CmfModel, MlError> {
+    let j = problem.source.cols();
+    if problem.vm.cols() != j || problem.target.cols() != j {
+        return Err(MlError::Shape(format!(
+            "label dimension disagreement: U has {}, V has {}, U* has {}",
+            j,
+            problem.vm.cols(),
+            problem.target.cols()
+        )));
+    }
+    if problem.target_mask.shape() != problem.target.shape() {
+        return Err(MlError::Shape("target mask shape mismatch".into()));
+    }
+    if !(0.0..=1.0).contains(&config.lambda) {
+        return Err(MlError::InvalidParameter(format!(
+            "lambda = {}",
+            config.lambda
+        )));
+    }
+    if config.latent_dim == 0 {
+        return Err(MlError::InvalidParameter("latent_dim = 0".into()));
+    }
+    if j == 0 || problem.source.rows() == 0 || problem.vm.rows() == 0 {
+        return Err(MlError::InsufficientData("empty knowledge matrices".into()));
+    }
+
+    let g = config.latent_dim;
+    let (ni, nn, nk) = (
+        problem.source.rows(),
+        problem.target.rows(),
+        problem.vm.rows(),
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut init = |rows: usize| {
+        let mut m = Matrix::zeros(rows, g);
+        for v in m.as_mut_slice() {
+            *v = rng.gen_range(-0.1..0.1) + 0.3;
+        }
+        m
+    };
+    let mut x = init(ni);
+    let mut x_star = init(nn);
+    let mut t = init(nk);
+    let mut l = init(j);
+
+    let lam = config.lambda;
+    let reg = config.sgd.l2_reg;
+    // Weight on the source / vm reconstruction terms, split by λ per Eq. 6:
+    // λ couples U* to the source knowledge, (1-λ) couples it to the VM side.
+    // The target's own observed entries always carry unit weight — they are
+    // ground truth for this workload.
+    let w_src = lam;
+    let w_vm = 1.0 - lam;
+
+    // Collect coordinate lists once; SGD sweeps them every epoch.
+    let src_entries: Vec<(usize, usize)> =
+        (0..ni).flat_map(|r| (0..j).map(move |c| (r, c))).collect();
+    let vm_entries: Vec<(usize, usize)> =
+        (0..nk).flat_map(|r| (0..j).map(move |c| (r, c))).collect();
+    let tgt_entries: Vec<(usize, usize)> = (0..nn)
+        .flat_map(|r| (0..j).map(move |c| (r, c)))
+        .filter(|&(r, c)| problem.target_mask.is_observed(r, c))
+        .collect();
+    if tgt_entries.is_empty() {
+        return Err(MlError::InsufficientData(
+            "target has no observed entries; run the sandbox first".into(),
+        ));
+    }
+
+    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(p, q)| p * q).sum() };
+
+    let objective = |x: &Matrix, x_star: &Matrix, t: &Matrix, l: &Matrix| -> f64 {
+        let mut obj = 0.0;
+        for &(r, c) in &src_entries {
+            let e = problem.source[(r, c)] - dot(x.row(r), l.row(c));
+            obj += w_src * e * e;
+        }
+        for &(r, c) in &vm_entries {
+            let e = problem.vm[(r, c)] - dot(t.row(r), l.row(c));
+            obj += w_vm * e * e;
+        }
+        for &(r, c) in &tgt_entries {
+            let e = problem.target[(r, c)] - dot(x_star.row(r), l.row(c));
+            obj += e * e;
+        }
+        let reg_term: f64 = [x, x_star, t, l]
+            .iter()
+            .map(|m| m.as_slice().iter().map(|v| v * v).sum::<f64>())
+            .sum();
+        obj + reg * reg_term
+    };
+
+    // Alternating SGD (Algorithm 1 lines 7-11): each epoch performs the
+    // three fix-two-update-one passes, then reports the joint objective.
+    let outcome = run_sgd(&config.sgd, |lr| {
+        // Pass 1: fix X, T, L → update X* from target observations.
+        for &(r, c) in &tgt_entries {
+            let e = problem.target[(r, c)] - dot(x_star.row(r), l.row(c));
+            let lrow: Vec<f64> = l.row(c).to_vec();
+            for (xv, lv) in x_star.row_mut(r).iter_mut().zip(&lrow) {
+                *xv += lr * (2.0 * e * lv - 2.0 * reg * *xv);
+            }
+        }
+        // Pass 2: fix X*, T (and L) → update X from source knowledge.
+        for &(r, c) in &src_entries {
+            let e = problem.source[(r, c)] - dot(x.row(r), l.row(c));
+            let lrow: Vec<f64> = l.row(c).to_vec();
+            for (xv, lv) in x.row_mut(r).iter_mut().zip(&lrow) {
+                *xv += lr * (2.0 * w_src * e * lv - 2.0 * reg * *xv);
+            }
+        }
+        // Pass 3: fix X, X* → update T and the shared L.
+        for &(r, c) in &vm_entries {
+            let e = problem.vm[(r, c)] - dot(t.row(r), l.row(c));
+            let lrow: Vec<f64> = l.row(c).to_vec();
+            for (tv, lv) in t.row_mut(r).iter_mut().zip(&lrow) {
+                *tv += lr * (2.0 * w_vm * e * lv - 2.0 * reg * *tv);
+            }
+        }
+        // Shared L sees gradients from all three reconstructions.
+        for &(r, c) in &src_entries {
+            let e = problem.source[(r, c)] - dot(x.row(r), l.row(c));
+            let xrow: Vec<f64> = x.row(r).to_vec();
+            for (lv, xv) in l.row_mut(c).iter_mut().zip(&xrow) {
+                *lv += lr * (2.0 * w_src * e * xv - 2.0 * reg * *lv);
+            }
+        }
+        for &(r, c) in &vm_entries {
+            let e = problem.vm[(r, c)] - dot(t.row(r), l.row(c));
+            let trow: Vec<f64> = t.row(r).to_vec();
+            for (lv, tv) in l.row_mut(c).iter_mut().zip(&trow) {
+                *lv += lr * (2.0 * w_vm * e * tv - 2.0 * reg * *lv);
+            }
+        }
+        for &(r, c) in &tgt_entries {
+            let e = problem.target[(r, c)] - dot(x_star.row(r), l.row(c));
+            let xrow: Vec<f64> = x_star.row(r).to_vec();
+            for (lv, xv) in l.row_mut(c).iter_mut().zip(&xrow) {
+                *lv += lr * (2.0 * e * xv - 2.0 * reg * *lv);
+            }
+        }
+        objective(&x, &x_star, &t, &l)
+    });
+
+    let completed_target = x_star.matmul(&l.transpose())?;
+    Ok(CmfModel {
+        x,
+        x_star,
+        t,
+        l,
+        completed_target,
+        outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a synthetic rank-`g` problem where source, vm and target share
+    /// the exact same label factors.
+    fn synthetic(g: usize, seed: u64) -> (Matrix, Matrix, Matrix, Mask, Matrix) {
+        let (ni, nn, nk, j) = (8, 4, 10, 12);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = |rows: usize| {
+            let mut m = Matrix::zeros(rows, g);
+            for v in m.as_mut_slice() {
+                *v = rng.gen_range(0.0..1.0);
+            }
+            m
+        };
+        let x = gen(ni);
+        let xs = gen(nn);
+        let t = gen(nk);
+        let l = gen(j);
+        let lt = l.transpose();
+        let source = x.matmul(&lt).unwrap();
+        let vm = t.matmul(&lt).unwrap();
+        let target_full = xs.matmul(&lt).unwrap();
+        // Observe only 1/3 of target entries.
+        let mut mask = Mask::none(nn, j);
+        let mut rng2 = StdRng::seed_from_u64(seed ^ 0xabcd);
+        for r in 0..nn {
+            for c in 0..j {
+                if rng2.gen::<f64>() < 0.34 {
+                    mask.observe(r, c);
+                }
+            }
+        }
+        // Each row needs at least one observation for a meaningful test.
+        for r in 0..nn {
+            mask.observe(r, 0);
+        }
+        (source, vm, target_full.clone(), mask, target_full)
+    }
+
+    #[test]
+    fn mask_basics() {
+        let mut m = Mask::none(2, 3);
+        assert_eq!(m.count(), 0);
+        m.observe(1, 2);
+        m.observe_row(0);
+        assert_eq!(m.count(), 4);
+        assert!(m.is_observed(0, 1));
+        assert!(!m.is_observed(1, 0));
+        assert!((m.density() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(Mask::all(2, 2).count(), 4);
+    }
+
+    #[test]
+    fn completes_low_rank_target() {
+        let (source, vm, target, mask, truth) = synthetic(3, 11);
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        let config = CmfConfig {
+            latent_dim: 3,
+            sgd: SgdConfig {
+                learning_rate: 0.03,
+                max_epochs: 4000,
+                tolerance: 1e-10,
+                l2_reg: 1e-4,
+                decay: 0.9995,
+            },
+            ..Default::default()
+        };
+        let model = solve(&problem, &config).unwrap();
+        // RMSE over *unobserved* entries must beat the trivial predictor.
+        let mut err = 0.0;
+        let mut base = 0.0;
+        let mean_obs = {
+            let mut s = 0.0;
+            let mut n = 0;
+            for r in 0..target.rows() {
+                for c in 0..target.cols() {
+                    if mask.is_observed(r, c) {
+                        s += target[(r, c)];
+                        n += 1;
+                    }
+                }
+            }
+            s / n as f64
+        };
+        let mut count = 0;
+        for r in 0..target.rows() {
+            for c in 0..target.cols() {
+                if !mask.is_observed(r, c) {
+                    let e = model.completed_target[(r, c)] - truth[(r, c)];
+                    err += e * e;
+                    let b = mean_obs - truth[(r, c)];
+                    base += b * b;
+                    count += 1;
+                }
+            }
+        }
+        assert!(count > 0);
+        let rmse = (err / count as f64).sqrt();
+        let baseline = (base / count as f64).sqrt();
+        assert!(
+            rmse < 0.5 * baseline,
+            "CMF rmse {rmse:.4} should beat mean-baseline {baseline:.4} by 2x"
+        );
+    }
+
+    #[test]
+    fn objective_decreases() {
+        let (source, vm, target, mask, _) = synthetic(2, 3);
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        let config = CmfConfig {
+            latent_dim: 2,
+            sgd: SgdConfig {
+                learning_rate: 0.01,
+                max_epochs: 300,
+                tolerance: 0.0,
+                l2_reg: 1e-3,
+                decay: 1.0,
+            },
+            ..Default::default()
+        };
+        let model = solve(&problem, &config).unwrap();
+        let first = model.outcome.trace[0];
+        let last = *model.outcome.trace.last().unwrap();
+        assert!(last < first, "objective should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let (source, vm, target, mask, _) = synthetic(2, 5);
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        let bad_lambda = CmfConfig {
+            lambda: 1.5,
+            ..Default::default()
+        };
+        assert!(solve(&problem, &bad_lambda).is_err());
+        let bad_dim = CmfConfig {
+            latent_dim: 0,
+            ..Default::default()
+        };
+        assert!(solve(&problem, &bad_dim).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_observations() {
+        let (source, vm, target, _, _) = synthetic(2, 5);
+        let empty = Mask::none(target.rows(), target.cols());
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &empty,
+        };
+        assert!(matches!(
+            solve(&problem, &CmfConfig::default()),
+            Err(MlError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_label_dim_mismatch() {
+        let (source, vm, target, mask, _) = synthetic(2, 5);
+        let bad_vm = Matrix::zeros(vm.rows(), vm.cols() + 1);
+        let problem = CmfProblem {
+            source: &source,
+            vm: &bad_vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        assert!(solve(&problem, &CmfConfig::default()).is_err());
+    }
+
+    #[test]
+    fn epoch_cap_reports_not_converged() {
+        let (source, vm, target, mask, _) = synthetic(3, 7);
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        let config = CmfConfig {
+            latent_dim: 3,
+            sgd: SgdConfig {
+                max_epochs: 3,
+                tolerance: 0.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let model = solve(&problem, &config).unwrap();
+        assert!(!model.outcome.converged);
+        assert_eq!(model.outcome.epochs, 3);
+    }
+
+    #[test]
+    fn source_affinity_prefers_identical_row() {
+        let (source, vm, _, _, _) = synthetic(2, 9);
+        // Make the target's observed labels literally equal to source row 2.
+        let mut target = Matrix::zeros(1, source.cols());
+        let row2: Vec<f64> = source.row(2).to_vec();
+        target.set_row(0, &row2).unwrap();
+        let mask = Mask::all(1, source.cols());
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        let config = CmfConfig {
+            latent_dim: 2,
+            sgd: SgdConfig {
+                learning_rate: 0.02,
+                max_epochs: 2000,
+                tolerance: 1e-11,
+                l2_reg: 1e-4,
+                decay: 0.999,
+            },
+            ..Default::default()
+        };
+        let model = solve(&problem, &config).unwrap();
+        let aff = model.source_affinity(0);
+        let best = aff
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 2, "affinities: {aff:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (source, vm, target, mask, _) = synthetic(2, 21);
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        let config = CmfConfig {
+            latent_dim: 2,
+            sgd: SgdConfig {
+                max_epochs: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let a = solve(&problem, &config).unwrap();
+        let b = solve(&problem, &config).unwrap();
+        assert_eq!(a.completed_target, b.completed_target);
+    }
+}

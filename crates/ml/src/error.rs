@@ -1,0 +1,62 @@
+//! Error type shared across the ML substrate.
+
+use std::fmt;
+
+/// Errors produced by the `vesta-ml` substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// A dimension / shape disagreement between operands.
+    Shape(String),
+    /// Not enough data to run the requested algorithm (e.g. fewer samples
+    /// than clusters, an empty training set, fewer than two points for a
+    /// correlation).
+    InsufficientData(String),
+    /// Invalid hyper-parameter (k = 0, λ outside [0, 1], zero trees, …).
+    InvalidParameter(String),
+    /// An iterative solver hit its iteration cap without converging.
+    /// Mirrors the Spark-CF case in the paper where the online phase applies
+    /// a convergence limit.
+    NotConverged {
+        /// Iterations actually executed.
+        iterations: usize,
+        /// Last observed objective value.
+        last_objective: f64,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Shape(s) => write!(f, "shape mismatch: {s}"),
+            MlError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
+            MlError::InvalidParameter(s) => write!(f, "invalid parameter: {s}"),
+            MlError::NotConverged { iterations, last_objective } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (objective {last_objective:.6})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants = [
+            MlError::Shape("a".into()),
+            MlError::InsufficientData("b".into()),
+            MlError::InvalidParameter("c".into()),
+            MlError::NotConverged {
+                iterations: 10,
+                last_objective: 1.5,
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! CART regression trees and bootstrap-aggregated random forests.
+//!
+//! This is the substrate for the PARIS baseline (Yadwadkar et al., SoCC '17),
+//! which "uses a Random Forest model to predict the best VM types for
+//! data-intensive workloads". PARIS trains a forest mapping
+//! (workload fingerprint ⊕ VM-type features) → runtime; the paper's Fig. 2
+//! and Fig. 6 show what happens when such a forest, trained on Hadoop/Hive,
+//! is asked about Spark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use crate::stats::mean;
+
+/// Configuration for training a random forest regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Features tried per split; `0` means `ceil(sqrt(n_features))`.
+    pub max_features: usize,
+    /// RNG seed (per-tree seeds are derived from it).
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 50,
+            max_depth: 12,
+            min_samples_split: 4,
+            max_features: 0,
+            seed: 42,
+        }
+    }
+}
+
+/// A node of a regression tree, stored in a flat arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Arena index of the left child (`x[feature] <= threshold`).
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+}
+
+/// A single CART regression tree (variance-reduction splits).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fit a tree on the rows of `x` indexed by `indices`.
+    fn fit_on(
+        x: &Matrix,
+        y: &[f64],
+        indices: &[usize],
+        config: &ForestConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features: x.cols(),
+        };
+        let mut idx = indices.to_vec();
+        tree.build(x, y, &mut idx, 0, config, rng);
+        tree
+    }
+
+    /// Recursively grow the tree; returns the arena index of the subtree
+    /// root. `indices` is reordered in place by partitioning.
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        indices: &mut [usize],
+        depth: usize,
+        config: &ForestConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let values: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
+        let leaf_value = mean(&values);
+        let pure = values.iter().all(|&v| (v - values[0]).abs() < 1e-12);
+        if depth >= config.max_depth || indices.len() < config.min_samples_split || pure {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        }
+
+        let n_features = x.cols();
+        let m = if config.max_features == 0 {
+            (n_features as f64).sqrt().ceil() as usize
+        } else {
+            config.max_features.min(n_features)
+        };
+        // Sample m distinct candidate features.
+        let mut candidates: Vec<usize> = (0..n_features).collect();
+        for i in 0..m.min(n_features) {
+            let j = rng.gen_range(i..n_features);
+            candidates.swap(i, j);
+        }
+        candidates.truncate(m.max(1));
+
+        let parent_sse = sse(&values);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for &f in &candidates {
+            let mut vals: Vec<f64> = indices.iter().map(|&i| x[(i, f)]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds: midpoints between consecutive distinct values.
+            for w in vals.windows(2) {
+                let thr = 0.5 * (w[0] + w[1]);
+                let (mut ls, mut rs) = (Vec::new(), Vec::new());
+                for &i in indices.iter() {
+                    if x[(i, f)] <= thr {
+                        ls.push(y[i]);
+                    } else {
+                        rs.push(y[i]);
+                    }
+                }
+                if ls.is_empty() || rs.is_empty() {
+                    continue;
+                }
+                let gain = parent_sse - sse(&ls) - sse(&rs);
+                if best.is_none_or(|b| gain > b.2) {
+                    best = Some((f, thr, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, gain)) = best else {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        };
+        if gain <= 1e-12 {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        }
+
+        // Partition indices by the chosen split.
+        let mut left_idx: Vec<usize> = Vec::new();
+        let mut right_idx: Vec<usize> = Vec::new();
+        for &i in indices.iter() {
+            if x[(i, feature)] <= threshold {
+                left_idx.push(i);
+            } else {
+                right_idx.push(i);
+            }
+        }
+        // Reserve this node's slot, then build children.
+        self.nodes.push(Node::Leaf { value: leaf_value });
+        let slot = self.nodes.len() - 1;
+        let left = self.build(x, y, &mut left_idx, depth + 1, config, rng);
+        let right = self.build(x, y, &mut right_idx, depth + 1, config, rng);
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    /// Predict the target for one point.
+    pub fn predict(&self, point: &[f64]) -> f64 {
+        // The root is always at the first slot pushed by the outermost
+        // build() call. Because children are pushed after their parent's
+        // slot, index 0 is the root.
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if point[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for testing / introspection).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn sse(values: &[f64]) -> f64 {
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum()
+}
+
+/// Bootstrap-aggregated forest of regression trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fit a forest on `x` (rows = samples) and targets `y`.
+    pub fn fit(x: &Matrix, y: &[f64], config: &ForestConfig) -> Result<Self, MlError> {
+        if config.n_trees == 0 {
+            return Err(MlError::InvalidParameter("forest with 0 trees".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!(
+                "{} rows vs {} targets",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if x.rows() < 2 {
+            return Err(MlError::InsufficientData(
+                "forest needs at least 2 samples".into(),
+            ));
+        }
+        let n = x.rows();
+        let trees: Vec<RegressionTree> = (0..config.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(t as u64 * 7919));
+                // Bootstrap sample with replacement.
+                let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                RegressionTree::fit_on(x, y, &indices, config, &mut rng)
+            })
+            .collect();
+        Ok(RandomForest {
+            trees,
+            n_features: x.cols(),
+        })
+    }
+
+    /// Mean prediction across trees.
+    pub fn predict(&self, point: &[f64]) -> Result<f64, MlError> {
+        if point.len() != self.n_features {
+            return Err(MlError::Shape(format!(
+                "predict: point dim {} vs model dim {}",
+                point.len(),
+                self.n_features
+            )));
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict(point)).sum();
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    /// Per-tree predictions (PARIS uses their spread as an uncertainty
+    /// estimate when ranking VM types).
+    pub fn predict_all(&self, point: &[f64]) -> Result<Vec<f64>, MlError> {
+        if point.len() != self.n_features {
+            return Err(MlError::Shape("predict_all: dim mismatch".into()));
+        }
+        Ok(self.trees.iter().map(|t| t.predict(point)).collect())
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 3 when x0 < 0.5, else 10 — a step a single split can nail.
+    fn step_data(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] < 0.5 { 3.0 } else { 10.0 })
+            .collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn tree_learns_step_function() {
+        let (x, y) = step_data(40);
+        let cfg = ForestConfig {
+            n_trees: 1,
+            max_features: 2,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let tree = RegressionTree::fit_on(&x, &y, &idx, &cfg, &mut rng);
+        assert!((tree.predict(&[0.1, 0.0]) - 3.0).abs() < 1e-9);
+        assert!((tree.predict(&[0.9, 0.0]) - 10.0).abs() < 1e-9);
+        assert!(tree.n_nodes() >= 3);
+    }
+
+    #[test]
+    fn forest_learns_step_function() {
+        let (x, y) = step_data(60);
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        assert!((forest.predict(&[0.1, 1.0]).unwrap() - 3.0).abs() < 1.0);
+        assert!((forest.predict(&[0.9, 1.0]).unwrap() - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn forest_handles_constant_target() {
+        let (x, _) = step_data(20);
+        let y = vec![5.0; 20];
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        assert!((forest.predict(&[0.3, 0.0]).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forest_rejects_bad_input() {
+        let (x, y) = step_data(10);
+        assert!(RandomForest::fit(&x, &y[..5], &ForestConfig::default()).is_err());
+        assert!(RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        assert!(forest.predict(&[1.0]).is_err());
+        assert!(forest.predict_all(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn forest_deterministic_given_seed() {
+        let (x, y) = step_data(30);
+        let cfg = ForestConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        let a = RandomForest::fit(&x, &y, &cfg).unwrap();
+        let b = RandomForest::fit(&x, &y, &cfg).unwrap();
+        for p in [[0.2, 0.0], [0.7, 2.0]] {
+            assert_eq!(a.predict(&p).unwrap(), b.predict(&p).unwrap());
+        }
+    }
+
+    #[test]
+    fn predict_all_has_one_value_per_tree() {
+        let (x, y) = step_data(30);
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(forest.predict_all(&[0.4, 1.0]).unwrap().len(), 7);
+        assert_eq!(forest.n_trees(), 7);
+    }
+
+    #[test]
+    fn forest_interpolates_smooth_function_roughly() {
+        // y = 5 x0 + 2 x1 on a grid; forest should get within ~1.5 inside the hull.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                let (a, b) = (i as f64 / 11.0, j as f64 / 11.0);
+                rows.push(vec![a, b]);
+                y.push(5.0 * a + 2.0 * b);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 30,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pred = forest.predict(&[0.5, 0.5]).unwrap();
+        assert!((pred - 3.5).abs() < 1.0, "pred = {pred}");
+    }
+}

@@ -1,0 +1,638 @@
+//! K-Means clustering with k-means++ seeding and Lloyd iterations.
+//!
+//! Vesta uses K-Means twice: offline to "group VM types into several
+//! categories" from correlation-label features (Section 3.1, tuned to k = 9
+//! in Fig. 11), and online to cheaply retrain once CMF has completed the
+//! sparse target matrix (Algorithm 1, line 13). The online retrain is served
+//! by [`KMeans::refit_from`], which warm-starts Lloyd from existing
+//! centroids instead of reseeding — that is where the "minimized overhead"
+//! of line 13 comes from.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use crate::stats::euclidean_sq;
+
+/// Configuration for a K-Means fit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters (the paper's hyper-parameter `k`, best at 9).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when the inertia improvement falls below this relative tolerance.
+    pub tolerance: f64,
+    /// RNG seed for k-means++ seeding.
+    pub seed: u64,
+    /// Number of independent restarts; the best inertia wins.
+    pub n_init: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 9,
+            max_iters: 200,
+            tolerance: 1e-6,
+            seed: 42,
+            n_init: 4,
+        }
+    }
+}
+
+/// A fitted K-Means model.
+///
+/// ```
+/// use vesta_ml::kmeans::{KMeans, KMeansConfig};
+/// use vesta_ml::Matrix;
+///
+/// let data = Matrix::from_rows(&[
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![10.0, 10.0], vec![10.1, 10.0],
+/// ]).unwrap();
+/// let model = KMeans::fit(&data, &KMeansConfig { k: 2, ..Default::default() }).unwrap();
+/// assert_eq!(model.predict(&[0.05, 0.0]).unwrap(), model.predict(&[0.0, 0.1]).unwrap());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Row `c` is the centroid of cluster `c`.
+    pub centroids: Matrix,
+    /// Cluster index per training point.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations actually run (best restart).
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Fit on `data` (rows = points). Errors when `k == 0` or there are
+    /// fewer points than clusters.
+    pub fn fit(data: &Matrix, config: &KMeansConfig) -> Result<Self, MlError> {
+        if config.k == 0 {
+            return Err(MlError::InvalidParameter("k-means with k = 0".into()));
+        }
+        if data.rows() < config.k {
+            return Err(MlError::InsufficientData(format!(
+                "{} points for k = {}",
+                data.rows(),
+                config.k
+            )));
+        }
+        let mut best: Option<KMeans> = None;
+        for restart in 0..config.n_init.max(1) {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64));
+            let centroids = plus_plus_seed(data, config.k, &mut rng);
+            let fitted = lloyd(data, centroids, config.max_iters, config.tolerance);
+            if best.as_ref().is_none_or(|b| fitted.inertia < b.inertia) {
+                best = Some(fitted);
+            }
+        }
+        Ok(best.expect("n_init >= 1 restart always runs"))
+    }
+
+    /// Warm-start refit: run Lloyd from this model's centroids on (possibly
+    /// extended) data. This is Vesta's low-overhead online retrain.
+    pub fn refit_from(&self, data: &Matrix, config: &KMeansConfig) -> Result<Self, MlError> {
+        if data.cols() != self.centroids.cols() {
+            return Err(MlError::Shape(format!(
+                "refit: data dim {} vs centroid dim {}",
+                data.cols(),
+                self.centroids.cols()
+            )));
+        }
+        if data.rows() == 0 {
+            return Err(MlError::InsufficientData("refit on empty data".into()));
+        }
+        Ok(lloyd(
+            data,
+            self.centroids.clone(),
+            config.max_iters,
+            config.tolerance,
+        ))
+    }
+
+    /// Cluster index of the nearest centroid for `point`.
+    pub fn predict(&self, point: &[f64]) -> Result<usize, MlError> {
+        if point.len() != self.centroids.cols() {
+            return Err(MlError::Shape(format!(
+                "predict: point dim {} vs centroid dim {}",
+                point.len(),
+                self.centroids.cols()
+            )));
+        }
+        Ok(nearest(&self.centroids, point).0)
+    }
+
+    /// Distance to the nearest centroid.
+    pub fn distance_to_nearest(&self, point: &[f64]) -> Result<f64, MlError> {
+        if point.len() != self.centroids.cols() {
+            return Err(MlError::Shape("distance: dim mismatch".into()));
+        }
+        Ok(nearest(&self.centroids, point).1.sqrt())
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Points per cluster, given the stored assignments.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+fn nearest(centroids: &Matrix, point: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for c in 0..centroids.rows() {
+        let d = euclidean_sq(centroids.row(c), point);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, the rest D²-weighted.
+#[allow(clippy::needless_range_loop)] // indices cross several parallel arrays
+fn plus_plus_seed(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = data.rows();
+    let mut centroids = Matrix::zeros(k, data.cols());
+    let first = rng.gen_range(0..n);
+    centroids.set_row(0, data.row(first)).expect("dims agree");
+    let mut dist_sq: Vec<f64> = (0..n)
+        .map(|i| euclidean_sq(data.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = dist_sq.iter().sum();
+        let idx = if total <= 0.0 {
+            // All points coincide with chosen centroids: pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.set_row(c, data.row(idx)).expect("dims agree");
+        for i in 0..n {
+            let d = euclidean_sq(data.row(i), centroids.row(c));
+            if d < dist_sq[i] {
+                dist_sq[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Lloyd iterations from given starting centroids.
+#[allow(clippy::needless_range_loop)] // indices cross several parallel arrays
+fn lloyd(data: &Matrix, mut centroids: Matrix, max_iters: usize, tolerance: f64) -> KMeans {
+    let n = data.rows();
+    let k = centroids.rows();
+    let dim = data.cols();
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assignment step (parallel over points).
+        let assigned: Vec<(usize, f64)> = (0..n)
+            .into_par_iter()
+            .map(|i| nearest(&centroids, data.row(i)))
+            .collect();
+        let new_inertia: f64 = assigned.iter().map(|a| a.1).sum();
+        for (i, a) in assigned.iter().enumerate() {
+            assignments[i] = a.0;
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, dim);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, v) in sums.row_mut(c).iter_mut().zip(data.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed it at the point farthest from its
+                // current assignment, a standard fix that keeps k stable.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = euclidean_sq(data.row(a), centroids.row(assignments[a]));
+                        let db = euclidean_sq(data.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("n >= 1");
+                let row = data.row(far).to_vec();
+                centroids.set_row(c, &row).expect("dims agree");
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let mean: Vec<f64> = sums.row(c).iter().map(|s| s * inv).collect();
+            centroids.set_row(c, &mean).expect("dims agree");
+        }
+        // Convergence check on relative inertia improvement.
+        if inertia.is_finite() {
+            let improvement = (inertia - new_inertia).abs() / inertia.max(f64::EPSILON);
+            if improvement < tolerance {
+                inertia = new_inertia;
+                break;
+            }
+        }
+        inertia = new_inertia;
+    }
+    KMeans {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+/// Mean silhouette coefficient of a clustering: for each point, `(b - a) /
+/// max(a, b)` where `a` is the mean distance to its own cluster and `b`
+/// the mean distance to the nearest other cluster. In `[-1, 1]`; higher is
+/// better-separated. A model-selection diagnostic complementing the
+/// paper's cross-validated k tuning (Fig. 11).
+pub fn silhouette(data: &Matrix, assignments: &[usize], k: usize) -> Result<f64, MlError> {
+    if data.rows() != assignments.len() {
+        return Err(MlError::Shape(format!(
+            "silhouette: {} points vs {} assignments",
+            data.rows(),
+            assignments.len()
+        )));
+    }
+    if k < 2 {
+        return Err(MlError::InvalidParameter("silhouette needs k >= 2".into()));
+    }
+    let n = data.rows();
+    if n < 2 {
+        return Err(MlError::InsufficientData(
+            "silhouette needs >= 2 points".into(),
+        ));
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        // mean distance to each cluster
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = euclidean_sq(data.row(i), data.row(j)).sqrt();
+            sums[assignments[j]] += d;
+            counts[assignments[j]] += 1;
+        }
+        let own = assignments[i];
+        if counts[own] == 0 {
+            continue; // singleton cluster: silhouette undefined, skip
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue;
+        }
+        total += (b - a) / a.max(b).max(1e-12);
+        counted += 1;
+    }
+    if counted == 0 {
+        return Err(MlError::InsufficientData(
+            "no point had both own- and other-cluster neighbours".into(),
+        ));
+    }
+    Ok(total / counted as f64)
+}
+
+/// Train/test index pair produced by [`k_fold_indices`].
+pub type FoldSplit = (Vec<usize>, Vec<usize>);
+
+/// 10-fold (or n-fold) cross-validation index splitter. Returns
+/// `(train_indices, test_indices)` per fold, deterministic given the seed.
+pub fn k_fold_indices(n: usize, folds: usize, seed: u64) -> Result<Vec<FoldSplit>, MlError> {
+    if folds < 2 {
+        return Err(MlError::InvalidParameter(format!("{folds}-fold CV")));
+    }
+    if n < folds {
+        return Err(MlError::InsufficientData(format!(
+            "{n} samples for {folds}-fold CV"
+        )));
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher–Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut out = Vec::with_capacity(folds);
+    for f in 0..folds {
+        let test: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % folds == f)
+            .map(|(_, &v)| v)
+            .collect();
+        let train: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % folds != f)
+            .map(|(_, &v)| v)
+            .collect();
+        out.push((train, test));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn three_blob_data() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.01;
+            rows.push(vec![0.0 + jitter, 0.0 - jitter]);
+            rows.push(vec![10.0 + jitter, 10.0 - jitter]);
+            rows.push(vec![-10.0 - jitter, 10.0 + jitter]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let data = three_blob_data();
+        let model = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sizes = model.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 60);
+        assert!(sizes.iter().all(|&s| s == 20), "sizes = {sizes:?}");
+        // Each centroid should be near one of the blob centers.
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        for c in 0..3 {
+            let row = model.centroids.row(c);
+            let ok = centers.iter().any(|t| euclidean_sq(row, t) < 0.1);
+            assert!(ok, "centroid {row:?} far from every blob center");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let data = three_blob_data();
+        assert!(KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 100,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let data = three_blob_data();
+        let model = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..data.rows() {
+            assert_eq!(model.predict(data.row(i)).unwrap(), model.assignments[i]);
+        }
+    }
+
+    #[test]
+    fn predict_rejects_wrong_dim() {
+        let data = three_blob_data();
+        let model = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(model.predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = three_blob_data();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = KMeans::fit(&data, &cfg).unwrap();
+        let b = KMeans::fit(&data, &cfg).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn refit_is_cheap_and_consistent() {
+        let data = three_blob_data();
+        let cfg = KMeansConfig {
+            k: 3,
+            ..Default::default()
+        };
+        let model = KMeans::fit(&data, &cfg).unwrap();
+        let refit = model.refit_from(&data, &cfg).unwrap();
+        // Warm start from converged centroids converges immediately-ish.
+        assert!(refit.iterations <= model.iterations);
+        assert!(refit.inertia <= model.inertia + 1e-9);
+    }
+
+    #[test]
+    fn refit_rejects_dim_mismatch() {
+        let data = three_blob_data();
+        let model = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let other = Matrix::zeros(4, 5);
+        assert!(model.refit_from(&other, &KMeansConfig::default()).is_err());
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = three_blob_data();
+        let i2 = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .inertia;
+        let i3 = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .inertia;
+        assert!(i3 < i2);
+    }
+
+    #[test]
+    fn silhouette_prefers_the_true_cluster_count() {
+        let data = three_blob_data();
+        let m2 = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let m3 = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s2 = silhouette(&data, &m2.assignments, 2).unwrap();
+        let s3 = silhouette(&data, &m3.assignments, 3).unwrap();
+        assert!(s3 > s2, "k=3 silhouette {s3:.3} should beat k=2 {s2:.3}");
+        assert!(
+            s3 > 0.9,
+            "three clean blobs should be near-perfect: {s3:.3}"
+        );
+    }
+
+    #[test]
+    fn silhouette_rejects_degenerate_inputs() {
+        let data = three_blob_data();
+        assert!(silhouette(&data, &vec![0; 10], 3).is_err()); // length mismatch
+        let m = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(silhouette(&data, &m.assignments, 1).is_err()); // k < 2
+    }
+
+    #[test]
+    fn k_fold_partitions_everything_exactly_once() {
+        let folds = k_fold_indices(25, 10, 99).unwrap();
+        assert_eq!(folds.len(), 10);
+        let mut seen = vec![0usize; 25];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 25);
+            for &t in test {
+                seen[t] += 1;
+            }
+            // train and test are disjoint
+            for &t in test {
+                assert!(!train.contains(&t));
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn k_fold_rejects_degenerate() {
+        assert!(k_fold_indices(5, 1, 0).is_err());
+        assert!(k_fold_indices(3, 10, 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_assignments_are_nearest(seed in 0u64..100, n in 6usize..30) {
+            let mut x = seed.wrapping_add(1);
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut r = Vec::with_capacity(3);
+                for _ in 0..3 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    r.push((x >> 11) as f64 / (1u64 << 53) as f64 * 10.0);
+                }
+                rows.push(r);
+            }
+            let data = Matrix::from_rows(&rows).unwrap();
+            let model = KMeans::fit(&data, &KMeansConfig { k: 3, n_init: 1, seed, ..Default::default() }).unwrap();
+            for i in 0..n {
+                let assigned = model.assignments[i];
+                let d_assigned = euclidean_sq(data.row(i), model.centroids.row(assigned));
+                for c in 0..model.k() {
+                    let d = euclidean_sq(data.row(i), model.centroids.row(c));
+                    prop_assert!(d_assigned <= d + 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_inertia_equals_sum_of_assigned_distances(seed in 0u64..100, n in 5usize..25) {
+            let mut x = seed.wrapping_add(9);
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut r = Vec::with_capacity(2);
+                for _ in 0..2 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    r.push((x >> 11) as f64 / (1u64 << 53) as f64 * 5.0);
+                }
+                rows.push(r);
+            }
+            let data = Matrix::from_rows(&rows).unwrap();
+            let model = KMeans::fit(&data, &KMeansConfig { k: 2, n_init: 1, seed, ..Default::default() }).unwrap();
+            let manual: f64 = (0..n)
+                .map(|i| euclidean_sq(data.row(i), model.centroids.row(model.assignments[i])))
+                .sum();
+            prop_assert!((manual - model.inertia).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # vesta-ml
+//!
+//! From-scratch machine-learning substrate for the Vesta reproduction
+//! (ICPP '21, "Best VM Selection for Big Data Applications across Multiple
+//! Frameworks by Transfer Learning").
+//!
+//! Every algorithm the paper's pipeline touches lives here, implemented on a
+//! small dense [`matrix::Matrix`] type with no external linear-algebra
+//! dependency:
+//!
+//! * [`stats`] — Pearson correlations over the 20 low-level metrics
+//!   (Section 3.1), P90 conservative estimates over repeated cloud runs
+//!   (Section 4.1), MAPE (Eq. 7), Euclidean consistency (Fig. 10).
+//! * [`pca`] — the correlation-importance analysis of Fig. 9 (Jacobi
+//!   eigensolver + importance index + feature selection).
+//! * [`kmeans`] — the offline VM-grouping model (k = 9, Fig. 11) and the
+//!   warm-started online retrain of Algorithm 1 line 13.
+//! * [`forest`] — CART random forests, substrate of the PARIS baseline.
+//! * [`linear`] — OLS / NNLS and the Ernest feature map, substrate of the
+//!   Ernest baseline.
+//! * [`sgd`] — the alternating-SGD driver with a convergence cap
+//!   (the Spark-CF "converge limitation" of Section 5.3).
+//! * [`cmf`] — collective matrix factorization (Eq. 4-6) that completes a
+//!   sparse target workload-label matrix by reusing source knowledge.
+
+pub mod cmf;
+pub mod error;
+pub mod forest;
+pub mod kmeans;
+pub mod linear;
+pub mod matrix;
+pub mod pca;
+pub mod sgd;
+pub mod stats;
+
+pub use error::MlError;
+pub use matrix::Matrix;

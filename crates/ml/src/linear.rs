@@ -1,0 +1,306 @@
+//! Linear least squares and non-negative least squares (NNLS).
+//!
+//! Substrate for the Ernest baseline (Venkataraman et al., NSDI '16): Ernest
+//! fits a small non-negative linear model over hand-designed features of the
+//! input scale and the machine count, `time ≈ θ₀·1 + θ₁·(n/m) + θ₂·log m +
+//! θ₃·m`, from a handful of cheap training runs on scaled-down inputs. NNLS
+//! keeps the θ's physically meaningful (no negative work terms).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+
+/// Solve the normal equations `(XᵀX + ridge·I) θ = Xᵀy` by Gaussian
+/// elimination with partial pivoting. A tiny default ridge keeps
+/// near-collinear designs (common with only 5-10 Ernest training runs)
+/// solvable.
+pub fn least_squares(x: &Matrix, y: &[f64], ridge: f64) -> Result<Vec<f64>, MlError> {
+    if x.rows() != y.len() {
+        return Err(MlError::Shape(format!(
+            "least_squares: {} rows vs {} targets",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(MlError::InsufficientData("empty design matrix".into()));
+    }
+    let xt = x.transpose();
+    let mut a = xt.matmul(x)?;
+    for i in 0..a.rows() {
+        a[(i, i)] += ridge;
+    }
+    let ymat = Matrix::from_vec(y.len(), 1, y.to_vec())?;
+    let b = xt.matmul(&ymat)?;
+    solve_linear_system(&a, &b.col(0))
+}
+
+/// Solve `A θ = b` for square `A` by Gaussian elimination with partial
+/// pivoting.
+pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(MlError::Shape(format!(
+            "solve: A is {}x{}, b has len {}",
+            a.rows(),
+            a.cols(),
+            b.len()
+        )));
+    }
+    // Augmented matrix [A | b].
+    let mut m = Matrix::zeros(n, n + 1);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = a[(i, j)];
+        }
+        m[(i, n)] = b[i];
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&p, &q| {
+                m[(p, col)]
+                    .abs()
+                    .partial_cmp(&m[(q, col)].abs())
+                    .expect("finite entries")
+            })
+            .expect("non-empty range");
+        if m[(pivot, col)].abs() < 1e-12 {
+            return Err(MlError::InsufficientData(
+                "singular system in linear solve".into(),
+            ));
+        }
+        if pivot != col {
+            for j in 0..=n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot, j)];
+                m[(pivot, j)] = tmp;
+            }
+        }
+        let inv = 1.0 / m[(col, col)];
+        for j in col..=n {
+            m[(col, j)] *= inv;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = m[(row, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..=n {
+                m[(row, j)] -= factor * m[(col, j)];
+            }
+        }
+    }
+    Ok((0..n).map(|i| m[(i, n)]).collect())
+}
+
+/// Non-negative least squares via projected gradient descent with a
+/// Lipschitz step. Small problems only (Ernest has 4-6 features).
+pub fn nnls(x: &Matrix, y: &[f64], max_iters: usize) -> Result<Vec<f64>, MlError> {
+    if x.rows() != y.len() {
+        return Err(MlError::Shape(format!(
+            "nnls: {} rows vs {} targets",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(MlError::InsufficientData("empty design matrix".into()));
+    }
+    let xt = x.transpose();
+    let gram = xt.matmul(x)?;
+    let ymat = Matrix::from_vec(y.len(), 1, y.to_vec())?;
+    let xty = xt.matmul(&ymat)?.col(0);
+    // Lipschitz constant of the gradient: bounded by trace of Gram matrix.
+    let lip: f64 = (0..gram.rows())
+        .map(|i| gram[(i, i)])
+        .sum::<f64>()
+        .max(1e-12);
+    let step = 1.0 / lip;
+    let k = x.cols();
+    // Warm start from the clamped unconstrained solution when available.
+    let mut theta = least_squares(x, y, 1e-9)
+        .map(|t| t.into_iter().map(|v| v.max(0.0)).collect::<Vec<f64>>())
+        .unwrap_or_else(|_| vec![0.0; k]);
+    for _ in 0..max_iters {
+        // grad = Gram·θ - Xᵀy
+        let mut grad = vec![0.0; k];
+        for i in 0..k {
+            let mut g = -xty[i];
+            for j in 0..k {
+                g += gram[(i, j)] * theta[j];
+            }
+            grad[i] = g;
+        }
+        let mut max_delta: f64 = 0.0;
+        for i in 0..k {
+            let next = (theta[i] - step * grad[i]).max(0.0);
+            max_delta = max_delta.max((next - theta[i]).abs());
+            theta[i] = next;
+        }
+        if max_delta < 1e-12 {
+            break;
+        }
+    }
+    Ok(theta)
+}
+
+/// A fitted linear model with an optional non-negativity constraint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Learned coefficients, one per design-matrix column.
+    pub theta: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fit by ordinary least squares with a small ridge.
+    pub fn fit(x: &Matrix, y: &[f64]) -> Result<Self, MlError> {
+        Ok(LinearModel {
+            theta: least_squares(x, y, 1e-9)?,
+        })
+    }
+
+    /// Fit by NNLS (Ernest's choice).
+    pub fn fit_nonnegative(x: &Matrix, y: &[f64]) -> Result<Self, MlError> {
+        Ok(LinearModel {
+            theta: nnls(x, y, 20_000)?,
+        })
+    }
+
+    /// Predict for one feature vector.
+    pub fn predict(&self, features: &[f64]) -> Result<f64, MlError> {
+        if features.len() != self.theta.len() {
+            return Err(MlError::Shape(format!(
+                "predict: {} features vs {} coefficients",
+                features.len(),
+                self.theta.len()
+            )));
+        }
+        Ok(features.iter().zip(&self.theta).map(|(f, t)| f * t).sum())
+    }
+}
+
+/// Ernest's feature map for a job processing `data` units on a machine
+/// budget of `machines` parallel slots:
+/// `[1, data/machines, log(machines), machines]` — fixed serial cost, the
+/// parallelizable work, the tree-aggregation term and the per-machine
+/// coordination term of the original paper.
+pub fn ernest_features(data: f64, machines: f64) -> Vec<f64> {
+    let m = machines.max(1.0);
+    vec![1.0, data / m, m.ln().max(0.0), m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn solves_exact_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let sol = solve_linear_system(&a, &[5.0, 10.0]).unwrap();
+        // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3
+        assert!(approx(sol[0], 1.0, 1e-9));
+        assert!(approx(sol[1], 3.0, 1e-9));
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(solve_linear_system(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 2 + 3x exactly.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let theta = least_squares(&x, &y, 0.0).unwrap();
+        assert!(approx(theta[0], 2.0, 1e-8));
+        assert!(approx(theta[1], 3.0, 1e-8));
+    }
+
+    #[test]
+    fn least_squares_shape_errors() {
+        let x = Matrix::zeros(3, 2);
+        assert!(least_squares(&x, &[1.0, 2.0], 0.0).is_err());
+        let empty = Matrix::zeros(0, 0);
+        assert!(least_squares(&empty, &[], 0.0).is_err());
+    }
+
+    #[test]
+    fn nnls_clamps_negative_coefficients() {
+        // True model y = -2 x0 + 3 x1: NNLS must give theta0 = 0, theta1 ~ fit.
+        let rows: Vec<Vec<f64>> = (1..20)
+            .map(|i| vec![i as f64, (i * i) as f64 / 10.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| -2.0 * r[0] + 3.0 * r[1]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let theta = nnls(&x, &y, 50_000).unwrap();
+        assert!(theta.iter().all(|&t| t >= 0.0));
+        assert!(approx(theta[0], 0.0, 1e-6));
+    }
+
+    #[test]
+    fn nnls_matches_ols_when_solution_nonnegative() {
+        let rows: Vec<Vec<f64>> = (0..15).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..15).map(|i| 1.5 + 0.5 * i as f64).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let ols = least_squares(&x, &y, 0.0).unwrap();
+        let nn = nnls(&x, &y, 50_000).unwrap();
+        assert!(approx(ols[0], nn[0], 1e-4));
+        assert!(approx(ols[1], nn[1], 1e-4));
+    }
+
+    #[test]
+    fn linear_model_fit_predict_roundtrip() {
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| ernest_features(100.0, 1.0 + i as f64))
+            .collect();
+        let truth = [10.0, 2.0, 5.0, 0.5];
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().zip(&truth).map(|(f, t)| f * t).sum())
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let model = LinearModel::fit_nonnegative(&x, &y).unwrap();
+        for (r, want) in rows.iter().zip(&y) {
+            let got = model.predict(r).unwrap();
+            assert!(
+                approx(got, *want, want.abs() * 0.02 + 0.5),
+                "got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_model_predict_dim_check() {
+        let model = LinearModel {
+            theta: vec![1.0, 2.0],
+        };
+        assert!(model.predict(&[1.0]).is_err());
+        assert!(approx(model.predict(&[1.0, 1.0]).unwrap(), 3.0, 1e-12));
+    }
+
+    #[test]
+    fn ernest_features_shape_and_guards() {
+        let f = ernest_features(1000.0, 8.0);
+        assert_eq!(f.len(), 4);
+        assert!(approx(f[0], 1.0, 1e-12));
+        assert!(approx(f[1], 125.0, 1e-12));
+        assert!(approx(f[2], 8.0f64.ln(), 1e-12));
+        assert!(approx(f[3], 8.0, 1e-12));
+        // machines below 1 are clamped
+        let g = ernest_features(10.0, 0.0);
+        assert!(approx(g[1], 10.0, 1e-12));
+        assert!(approx(g[2], 0.0, 1e-12));
+    }
+}

@@ -1,0 +1,582 @@
+//! Dense row-major `f64` matrix with the small set of linear-algebra
+//! operations the Vesta pipeline needs: products, transposes, Frobenius
+//! norms, row normalization and element-wise combinators.
+//!
+//! This is deliberately not a general BLAS replacement. Vesta's matrices are
+//! small (tens of workloads × hundreds of labels × ~120 VM types), so clarity
+//! and correctness win over blocking/SIMD tricks. Hot products still get a
+//! cache-friendly ikj loop order and rayon-parallel rows.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::error::MlError;
+
+/// A dense row-major matrix of `f64`.
+///
+/// ```
+/// use vesta_ml::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b).unwrap(), a);
+/// assert!((a.frobenius_norm() - 30.0_f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MlError> {
+        if data.len() != rows * cols {
+            return Err(MlError::Shape(format!(
+                "buffer of len {} cannot form a {}x{} matrix",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Build from row slices; every row must have the same length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MlError> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(MlError::Shape(format!(
+                    "row {} has len {} but row 0 has len {}",
+                    i,
+                    r.len(),
+                    cols
+                )));
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` out into a `Vec`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Overwrite row `r` with `values` (must match the column count).
+    pub fn set_row(&mut self, r: usize, values: &[f64]) -> Result<(), MlError> {
+        if values.len() != self.cols {
+            return Err(MlError::Shape(format!(
+                "set_row: got {} values for {} columns",
+                values.len(),
+                self.cols
+            )));
+        }
+        self.row_mut(r).copy_from_slice(values);
+        Ok(())
+    }
+
+    /// The transpose `Aᵀ`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Errors when the inner dimensions disagree. Rows of the output are
+    /// computed in parallel; within a row the ikj order keeps the accesses to
+    /// `other` sequential.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, MlError> {
+        if self.cols != other.rows {
+            return Err(MlError::Shape(format!(
+                "matmul: {}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let cols = other.cols;
+        out.data
+            .par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                for k in 0..self.cols {
+                    let a = self[(i, k)];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let other_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(other_row) {
+                        *o += a * b;
+                    }
+                }
+            });
+        Ok(out)
+    }
+
+    /// Frobenius norm `||A||_F = sqrt(sum a_ij^2)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius distance `||A - B||_F^2`.
+    pub fn frobenius_distance_sq(&self, other: &Matrix) -> Result<f64, MlError> {
+        if self.shape() != other.shape() {
+            return Err(MlError::Shape(format!(
+                "frobenius_distance: {:?} vs {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum())
+    }
+
+    /// Scale every element by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Normalize every row to unit L1 mass (rows of all zeros are left
+    /// untouched). This is the "row-normalized weight matrix" read-out used
+    /// in the last step of Algorithm 1.
+    pub fn row_normalize_l1(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let sum: f64 = out.row(r).iter().map(|v| v.abs()).sum();
+            if sum > 0.0 {
+                for v in out.row_mut(r) {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Normalize every row to unit L2 norm (zero rows untouched).
+    pub fn row_normalize_l2(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let norm: f64 = out.row(r).iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in out.row_mut(r) {
+                    *v /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean of each column.
+    pub fn col_means(&self) -> Vec<f64> {
+        if self.rows == 0 {
+            return vec![0.0; self.cols];
+        }
+        let mut means = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (m, v) in means.iter_mut().zip(self.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+
+    /// Subtract the column mean from every element (centering for PCA).
+    pub fn center_columns(&self) -> Matrix {
+        let means = self.col_means();
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (v, m) in out.row_mut(r).iter_mut().zip(&means) {
+                *v -= m;
+            }
+        }
+        out
+    }
+
+    /// Sample covariance matrix of the columns (rows are observations).
+    /// Uses the `n - 1` denominator; a single observation yields zeros.
+    pub fn covariance(&self) -> Matrix {
+        let centered = self.center_columns();
+        let n = self.rows;
+        let mut cov = centered
+            .transpose()
+            .matmul(&centered)
+            .expect("covariance shapes always agree");
+        let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
+        cov.map_inplace(|v| v / denom);
+        cov
+    }
+
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |acc, v| acc.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "matrix add shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "matrix sub shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+        out
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, other: &Matrix) -> Matrix {
+        self.matmul(other).expect("matrix mul shape mismatch")
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:>9.4}", self[(r, c)])?;
+                if c + 1 < self.cols.min(12) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 12 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert!(approx(c[(0, 0)], 58.0));
+        assert!(approx(c[(0, 1)], 64.0));
+        assert!(approx(c[(1, 0)], 139.0));
+        assert!(approx(c[(1, 1)], 154.0));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn frobenius_norm_345() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        assert!(approx(a.frobenius_norm(), 5.0));
+    }
+
+    #[test]
+    fn frobenius_distance_to_self_is_zero() {
+        let a = Matrix::from_rows(&[vec![1.5, -2.0], vec![0.25, 9.0]]).unwrap();
+        assert!(approx(a.frobenius_distance_sq(&a).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn row_normalize_l1_rows_sum_to_one() {
+        let a = Matrix::from_rows(&[vec![2.0, 2.0], vec![0.0, 0.0], vec![1.0, 3.0]]).unwrap();
+        let n = a.row_normalize_l1();
+        assert!(approx(n.row(0).iter().sum::<f64>(), 1.0));
+        assert!(approx(n.row(2).iter().sum::<f64>(), 1.0));
+        // zero rows stay zero
+        assert!(n.row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_normalize_l2_unit_rows() {
+        let a = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        let n = a.row_normalize_l2();
+        assert!(approx(n[(0, 0)], 0.6));
+        assert!(approx(n[(0, 1)], 0.8));
+    }
+
+    #[test]
+    fn centering_makes_col_means_zero() {
+        let a = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]]).unwrap();
+        let c = a.center_columns();
+        for m in c.col_means() {
+            assert!(approx(m, 0.0));
+        }
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        // y = 2x, so cov(x, y) = 2 var(x).
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let cov = a.covariance();
+        assert!(approx(cov[(0, 0)], 1.0)); // var(x) with n-1 denom
+        assert!(approx(cov[(0, 1)], 2.0));
+        assert!(approx(cov[(1, 1)], 4.0));
+        assert!(approx(cov[(0, 1)], cov[(1, 0)]));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![0.5, -1.0], vec![2.0, 0.0]]).unwrap();
+        let s = &(&a + &b) - &b;
+        assert!(s.frobenius_distance_sq(&a).unwrap() < 1e-18);
+    }
+
+    #[test]
+    fn set_row_and_col_accessors() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set_row(1, &[7.0, 8.0, 9.0]).unwrap();
+        assert_eq!(m.row(1), &[7.0, 8.0, 9.0]);
+        assert_eq!(m.col(2), vec![0.0, 9.0]);
+        assert!(m.set_row(0, &[1.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+            let mut v = Vec::with_capacity(rows * cols);
+            let mut x = seed.wrapping_add(1);
+            for _ in 0..rows * cols {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v.push((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+            }
+            let m = Matrix::from_vec(rows, cols, v).unwrap();
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn prop_matmul_associativity(n in 1usize..5, seed in 0u64..200) {
+            let mut x = seed.wrapping_add(7);
+            let mut gen = || {
+                let mut v = Vec::with_capacity(n * n);
+                for _ in 0..n * n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    v.push((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+                }
+                Matrix::from_vec(n, n, v).unwrap()
+            };
+            let (a, b, c) = (gen(), gen(), gen());
+            let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+            let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+            prop_assert!(left.frobenius_distance_sq(&right).unwrap() < 1e-12);
+        }
+
+        #[test]
+        fn prop_frobenius_triangle_inequality(n in 1usize..5, seed in 0u64..200) {
+            let mut x = seed.wrapping_add(13);
+            let mut gen = || {
+                let mut v = Vec::with_capacity(n * n);
+                for _ in 0..n * n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    v.push((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+                }
+                Matrix::from_vec(n, n, v).unwrap()
+            };
+            let (a, b) = (gen(), gen());
+            let sum = &a + &b;
+            prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-12);
+        }
+
+        #[test]
+        fn prop_row_normalize_l1_bounded(rows in 1usize..6, cols in 1usize..6, seed in 0u64..500) {
+            let mut x = seed.wrapping_add(3);
+            let mut v = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v.push((x >> 11) as f64 / (1u64 << 53) as f64);
+            }
+            let m = Matrix::from_vec(rows, cols, v).unwrap();
+            let n = m.row_normalize_l1();
+            for r in 0..rows {
+                let s: f64 = n.row(r).iter().map(|v| v.abs()).sum();
+                prop_assert!(s < 1.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Principal Components Analysis over correlation features.
+//!
+//! Section 3.1 of the paper uses PCA to "analyze the importance of
+//! correlation values … and determine which of them is more relevant to find
+//! the best VM types". Figure 9 plots an *importance index* per correlation
+//! feature and framework; the filtered pipeline drops ~49 % of the data.
+//!
+//! The implementation is self-contained: the covariance matrix comes from
+//! [`crate::matrix::Matrix::covariance`] and eigen-decomposition is done with
+//! the cyclic Jacobi rotation method, which is simple, robust and exact
+//! enough for the ≤ 20 × 20 symmetric matrices Vesta sees.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+
+/// Result of an eigen-decomposition of a symmetric matrix: pairs of
+/// (eigenvalue, eigenvector), sorted by descending eigenvalue.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Row `i` is the unit eigenvector for `values[i]`.
+    pub vectors: Matrix,
+}
+
+/// Jacobi eigen-decomposition of a symmetric matrix.
+///
+/// Errors when the matrix is not square. The input is *assumed* symmetric;
+/// the routine symmetrizes defensively by averaging `a_ij` and `a_ji`.
+pub fn jacobi_eigen(m: &Matrix, max_sweeps: usize) -> Result<EigenDecomposition, MlError> {
+    let n = m.rows();
+    if n != m.cols() {
+        return Err(MlError::Shape(format!(
+            "eigen-decomposition needs a square matrix, got {}x{}",
+            m.rows(),
+            m.cols()
+        )));
+    }
+    if n == 0 {
+        return Ok(EigenDecomposition {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    // Work on a symmetrized copy.
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = 0.5 * (m[(i, j)] + m[(j, i)]);
+        }
+    }
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal magnitude; stop when numerically diagonal.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[(i, j)] * a[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan(phi).
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, phi) on both sides: A <- GᵀAG.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V <- VG.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|i| (a[(i, i)], v.col(i))).collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite eigenvalues"));
+    let values = pairs.iter().map(|p| p.0).collect();
+    let vectors = Matrix::from_rows(&pairs.into_iter().map(|p| p.1).collect::<Vec<_>>())
+        .expect("eigenvector rows share length n");
+    Ok(EigenDecomposition { values, vectors })
+}
+
+/// A fitted PCA model over a feature matrix (rows = observations,
+/// columns = features such as the 10 correlation similarities).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    /// Eigen-decomposition of the sample covariance matrix.
+    pub eigen: EigenDecomposition,
+    /// Column means of the training data (for projecting new points).
+    pub means: Vec<f64>,
+    /// Fraction of total variance captured by each component, descending.
+    pub explained_variance_ratio: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit PCA on `data` (rows = observations, columns = features).
+    pub fn fit(data: &Matrix) -> Result<Self, MlError> {
+        if data.rows() < 2 {
+            return Err(MlError::InsufficientData(
+                "PCA needs at least 2 observations".into(),
+            ));
+        }
+        let cov = data.covariance();
+        let eigen = jacobi_eigen(&cov, 100)?;
+        let total: f64 = eigen.values.iter().map(|v| v.max(0.0)).sum();
+        let explained_variance_ratio = if total > 0.0 {
+            eigen.values.iter().map(|v| v.max(0.0) / total).collect()
+        } else {
+            vec![0.0; eigen.values.len()]
+        };
+        Ok(Pca {
+            eigen,
+            means: data.col_means(),
+            explained_variance_ratio,
+        })
+    }
+
+    /// Number of components.
+    pub fn n_components(&self) -> usize {
+        self.eigen.values.len()
+    }
+
+    /// Project an observation onto the first `k` principal components.
+    pub fn transform(&self, x: &[f64], k: usize) -> Result<Vec<f64>, MlError> {
+        if x.len() != self.means.len() {
+            return Err(MlError::Shape(format!(
+                "transform: point of dim {} vs model dim {}",
+                x.len(),
+                self.means.len()
+            )));
+        }
+        let k = k.min(self.n_components());
+        let centered: Vec<f64> = x.iter().zip(&self.means).map(|(a, m)| a - m).collect();
+        Ok((0..k)
+            .map(|c| {
+                self.eigen
+                    .vectors
+                    .row(c)
+                    .iter()
+                    .zip(&centered)
+                    .map(|(v, x)| v * x)
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// The paper's *importance index* per original feature (Fig. 9): how much
+    /// each feature contributes to the variance-weighted principal
+    /// components. Computed as `Σ_c ratio_c · vector_c[f]²`, which sums to 1
+    /// over features when all components are kept.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let nf = self.means.len();
+        let mut imp = vec![0.0; nf];
+        for (c, ratio) in self.explained_variance_ratio.iter().enumerate() {
+            let vec = self.eigen.vectors.row(c);
+            for (f, v) in vec.iter().enumerate() {
+                imp[f] += ratio * v * v;
+            }
+        }
+        imp
+    }
+
+    /// Indices of the features whose importance is at least `threshold`.
+    /// Vesta uses this to "reduce irrelevant information" before labeling;
+    /// the paper reports ~49 % of the data becomes prunable.
+    pub fn select_features(&self, threshold: f64) -> Vec<usize> {
+        self.feature_importance()
+            .iter()
+            .enumerate()
+            .filter(|(_, &imp)| imp >= threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Smallest number of leading components whose cumulative explained
+    /// variance reaches `fraction` (e.g. 0.95).
+    pub fn components_for_variance(&self, fraction: f64) -> usize {
+        let mut acc = 0.0;
+        for (i, r) in self.explained_variance_ratio.iter().enumerate() {
+            acc += r;
+            if acc >= fraction {
+                return i + 1;
+            }
+        }
+        self.n_components()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let m = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&m, 50).unwrap();
+        assert!(approx(e.values[0], 3.0, 1e-10));
+        assert!(approx(e.values[1], 2.0, 1e-10));
+        assert!(approx(e.values[2], 1.0, 1e-10));
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = jacobi_eigen(&m, 50).unwrap();
+        assert!(approx(e.values[0], 3.0, 1e-10));
+        assert!(approx(e.values[1], 1.0, 1e-10));
+        // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+        let v = e.vectors.row(0);
+        assert!(approx(v[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-8));
+        assert!(approx(v[1].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-8));
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.25],
+            vec![0.5, 0.25, 2.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&m, 100).unwrap();
+        // Reconstruct A = Σ λ_i v_i v_iᵀ and compare.
+        let n = 3;
+        let mut recon = Matrix::zeros(n, n);
+        for (i, &lam) in e.values.iter().enumerate() {
+            let v = e.vectors.row(i);
+            for r in 0..n {
+                for c in 0..n {
+                    recon[(r, c)] += lam * v[r] * v[c];
+                }
+            }
+        }
+        assert!(recon.frobenius_distance_sq(&m).unwrap() < 1e-16);
+    }
+
+    #[test]
+    fn jacobi_rejects_non_square() {
+        assert!(jacobi_eigen(&Matrix::zeros(2, 3), 10).is_err());
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 4.0, 0.5],
+            vec![1.0, 0.5, 3.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&m, 100).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = e
+                    .vectors
+                    .row(i)
+                    .iter()
+                    .zip(e.vectors.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(dot, expect, 1e-8), "rows {i},{j}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along y = x with tiny orthogonal noise: PC1 ≈ (1,1)/sqrt(2).
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let noise = if i % 2 == 0 { 0.01 } else { -0.01 };
+                vec![t + noise, t - noise]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        assert!(pca.explained_variance_ratio[0] > 0.99);
+        let v = pca.eigen.vectors.row(0);
+        assert!(approx(v[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-3));
+    }
+
+    #[test]
+    fn pca_importance_sums_to_one() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64;
+                vec![t, 2.0 * t + (i % 3) as f64, (i % 5) as f64]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        let sum: f64 = pca.feature_importance().iter().sum();
+        assert!(approx(sum, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn pca_select_features_filters_noise() {
+        // Feature 0 carries all the signal; feature 1 is constant.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, 1.0]).collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        let selected = pca.select_features(0.5);
+        assert_eq!(selected, vec![0]);
+    }
+
+    #[test]
+    fn pca_transform_dimension_checks() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 7.0]]).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        assert!(pca.transform(&[1.0], 1).is_err());
+        let t = pca.transform(&[1.0, 2.0], 2).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn pca_needs_two_observations() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(Pca::fit(&data).is_err());
+    }
+
+    #[test]
+    fn components_for_variance_monotone() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, (i % 7) as f64, (i % 3) as f64])
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        assert!(pca.components_for_variance(0.5) <= pca.components_for_variance(0.99));
+        assert!(pca.components_for_variance(1.0) <= pca.n_components());
+    }
+}

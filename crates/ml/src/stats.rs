@@ -1,0 +1,428 @@
+//! Statistical primitives: Pearson correlation, percentiles, MAPE,
+//! Euclidean distance, summary statistics.
+//!
+//! These back three parts of the paper: the pairwise correlation analysis
+//! over the 20 low-level metrics (Section 3.1), the P90 conservative
+//! estimate over 10 repeated runs (Section 4.1), and the MAPE evaluation
+//! metric (Eq. 7).
+
+use crate::error::MlError;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance with the `n - 1` denominator; 0 for fewer than 2 points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((vesta_ml::stats::pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+///
+/// Returns a value in `[-1, 1]`. Constant series (zero variance) yield a
+/// correlation of 0 rather than NaN: in Vesta's setting a flat metric carries
+/// no directional information, and 0 keeps it out of every label interval
+/// with a definite sign.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, MlError> {
+    if xs.len() != ys.len() {
+        return Err(MlError::Shape(format!(
+            "pearson: series of len {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(MlError::InsufficientData(
+            "pearson needs at least 2 points".into(),
+        ));
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let a = x - mx;
+        let b = y - my;
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return Ok(0.0);
+    }
+    // Clamp tiny floating-point excursions back into [-1, 1].
+    Ok((num / (dx.sqrt() * dy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation: Pearson over the rank transforms. More
+/// robust to the heavy-tailed rate metrics a cloud collector produces;
+/// offered as an alternative correlation estimator for the label pipeline
+/// (ablation: `pearson` vs `spearman` knowledge).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, MlError> {
+    if xs.len() != ys.len() {
+        return Err(MlError::Shape(format!(
+            "spearman: series of len {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(MlError::InsufficientData(
+            "spearman needs at least 2 points".into(),
+        ));
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Fractional ranks (average rank for ties), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("non-NaN samples"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // find the tie run [i, j)
+        let mut j = i + 1;
+        while j < order.len() && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0; // mean of ranks i+1..=j
+        for &idx in &order[i..j] {
+            out[idx] = avg_rank;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of a sample.
+///
+/// Uses the common "linear" (type-7) definition. Errors on an empty sample
+/// or `p` outside the range.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64, MlError> {
+    if xs.is_empty() {
+        return Err(MlError::InsufficientData(
+            "percentile of empty sample".into(),
+        ));
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(MlError::InvalidParameter(format!("percentile p={p}")));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Ok(sorted[lo]);
+    }
+    let w = rank - lo as f64;
+    Ok(sorted[lo] * (1.0 - w) + sorted[hi] * w)
+}
+
+/// The paper's conservative estimate over repeated cloud runs: the 90th
+/// percentile of the measured values.
+pub fn p90(xs: &[f64]) -> Result<f64, MlError> {
+    percentile(xs, 90.0)
+}
+
+/// Mean Absolute Percentage Error (Eq. 7), in percent.
+///
+/// `MAPE = 100/m * Σ |(predicted - truth) / truth|`. Pairs whose ground
+/// truth is 0 are rejected (the metric is undefined there).
+pub fn mape(predicted: &[f64], ground_truth: &[f64]) -> Result<f64, MlError> {
+    if predicted.len() != ground_truth.len() {
+        return Err(MlError::Shape(format!(
+            "mape: {} predictions vs {} truths",
+            predicted.len(),
+            ground_truth.len()
+        )));
+    }
+    if predicted.is_empty() {
+        return Err(MlError::InsufficientData("mape of empty sample".into()));
+    }
+    let mut acc = 0.0;
+    for (p, t) in predicted.iter().zip(ground_truth) {
+        if *t == 0.0 {
+            return Err(MlError::InvalidParameter(
+                "mape: ground truth contains 0".into(),
+            ));
+        }
+        acc += ((p - t) / t).abs();
+    }
+    Ok(100.0 * acc / predicted.len() as f64)
+}
+
+/// Euclidean distance between two equal-length vectors. Used by Fig. 10's
+/// VM-type consistency measure.
+pub fn euclidean(xs: &[f64], ys: &[f64]) -> Result<f64, MlError> {
+    if xs.len() != ys.len() {
+        return Err(MlError::Shape(format!(
+            "euclidean: {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    Ok(xs
+        .iter()
+        .zip(ys)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt())
+}
+
+/// Squared Euclidean distance (avoids the sqrt in hot loops like K-Means).
+#[inline]
+pub fn euclidean_sq(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    xs.iter().zip(ys).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// Min-max normalize a series into `[0, 1]`; a constant series maps to 0.5.
+pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if (hi - lo).abs() < f64::EPSILON {
+        return vec![0.5; xs.len()];
+    }
+    xs.iter().map(|x| (x - lo) / (hi - lo)).collect()
+}
+
+/// Coefficient of variation (std dev / mean); 0 when the mean is 0.
+/// The paper reports Spark-svd++ running with variance "close to 40%" —
+/// this is the statistic that claim is phrased in.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    std_dev(xs) / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn mean_variance_basics() {
+        assert!(approx(mean(&[1.0, 2.0, 3.0]), 2.0));
+        assert!(approx(variance(&[1.0, 2.0, 3.0]), 1.0));
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let y_neg: Vec<f64> = x.iter().map(|v| -2.0 * v + 7.0).collect();
+        assert!(approx(pearson(&x, &y_pos).unwrap(), 1.0));
+        assert!(approx(pearson(&x, &y_neg).unwrap(), -1.0));
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_rejects_mismatch_and_tiny() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(approx(percentile(&xs, 0.0).unwrap(), 1.0));
+        assert!(approx(percentile(&xs, 100.0).unwrap(), 4.0));
+        assert!(approx(percentile(&xs, 50.0).unwrap(), 2.5));
+        assert!(approx(p90(&xs).unwrap(), 3.7));
+    }
+
+    #[test]
+    fn percentile_errors() {
+        assert!(percentile(&[], 50.0).is_err());
+        assert!(percentile(&[1.0], 101.0).is_err());
+        assert!(percentile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // |(110-100)/100| + |(90-100)/100| = 0.2 over 2 runs -> 10%.
+        let m = mape(&[110.0, 90.0], &[100.0, 100.0]).unwrap();
+        assert!(approx(m, 10.0));
+    }
+
+    #[test]
+    fn mape_perfect_model_is_zero() {
+        assert!(approx(mape(&[5.0, 7.0], &[5.0, 7.0]).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn mape_rejects_zero_truth() {
+        assert!(mape(&[1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn euclidean_345() {
+        assert!(approx(euclidean(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 5.0));
+        assert!(approx(euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0));
+    }
+
+    #[test]
+    fn min_max_normalize_bounds() {
+        let n = min_max_normalize(&[2.0, 4.0, 6.0]);
+        assert!(approx(n[0], 0.0));
+        assert!(approx(n[1], 0.5));
+        assert!(approx(n[2], 1.0));
+        assert_eq!(min_max_normalize(&[3.0, 3.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn cv_matches_hand_computation() {
+        let xs = [10.0, 10.0, 10.0];
+        assert!(approx(coefficient_of_variation(&xs), 0.0));
+        let ys = [9.0, 11.0];
+        // mean 10, sd sqrt(2) -> cv ~ 0.1414
+        assert!((coefficient_of_variation(&ys) - (2.0f64).sqrt() / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_monotone_relationship_is_one() {
+        // y = x^3 is monotone but non-linear: spearman 1, pearson < 1.
+        let x: Vec<f64> = (0..20).map(|i| i as f64 - 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_reversal() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [4.0, 3.0, 3.0, 1.0];
+        let r = spearman(&x, &y).unwrap();
+        assert!((-1.0..=0.0).contains(&r), "reversed with ties: {r}");
+        assert!(spearman(&[1.0], &[1.0]).is_err());
+        assert!(spearman(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pearson_bounded(seed in 0u64..2000, n in 2usize..40) {
+            let mut x = seed.wrapping_add(17);
+            let mut gen = || {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    v.push((x >> 11) as f64 / (1u64 << 53) as f64);
+                }
+                v
+            };
+            let (a, b) = (gen(), gen());
+            let r = pearson(&a, &b).unwrap();
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn prop_pearson_symmetric(seed in 0u64..2000, n in 2usize..40) {
+            let mut x = seed.wrapping_add(5);
+            let mut gen = || {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    v.push((x >> 11) as f64 / (1u64 << 53) as f64);
+                }
+                v
+            };
+            let (a, b) = (gen(), gen());
+            prop_assert!((pearson(&a, &b).unwrap() - pearson(&b, &a).unwrap()).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_pearson_scale_invariant(seed in 0u64..1000, n in 3usize..30, scale in 0.1f64..50.0) {
+            let mut x = seed.wrapping_add(29);
+            let mut gen = || {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    v.push((x >> 11) as f64 / (1u64 << 53) as f64);
+                }
+                v
+            };
+            let (a, b) = (gen(), gen());
+            let scaled: Vec<f64> = b.iter().map(|v| v * scale + 3.0).collect();
+            let r1 = pearson(&a, &b).unwrap();
+            let r2 = pearson(&a, &scaled).unwrap();
+            prop_assert!((r1 - r2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_percentile_monotone(seed in 0u64..500, n in 1usize..30) {
+            let mut x = seed.wrapping_add(3);
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v.push((x >> 11) as f64 / (1u64 << 53) as f64);
+            }
+            let p25 = percentile(&v, 25.0).unwrap();
+            let p50 = percentile(&v, 50.0).unwrap();
+            let p90v = p90(&v).unwrap();
+            prop_assert!(p25 <= p50 + 1e-12);
+            prop_assert!(p50 <= p90v + 1e-12);
+        }
+
+        #[test]
+        fn prop_mape_nonnegative(seed in 0u64..500, n in 1usize..20) {
+            let mut x = seed.wrapping_add(11);
+            let mut gen = || {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    v.push(0.5 + (x >> 11) as f64 / (1u64 << 53) as f64);
+                }
+                v
+            };
+            let (p, t) = (gen(), gen());
+            prop_assert!(mape(&p, &t).unwrap() >= 0.0);
+        }
+    }
+}

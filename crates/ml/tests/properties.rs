@@ -1,0 +1,329 @@
+//! Cross-module property tests for the ML substrate: randomized algebra
+//! identities, estimator invariants, and solver behaviours that unit tests
+//! cannot pin down with single examples.
+
+use proptest::prelude::*;
+
+use vesta_ml::cmf::{solve, CmfConfig, CmfProblem, Mask};
+use vesta_ml::forest::{ForestConfig, RandomForest};
+use vesta_ml::kmeans::{k_fold_indices, KMeans, KMeansConfig};
+use vesta_ml::linear::{least_squares, nnls, solve_linear_system};
+use vesta_ml::pca::{jacobi_eigen, Pca};
+use vesta_ml::sgd::SgdConfig;
+use vesta_ml::stats;
+use vesta_ml::Matrix;
+
+/// Deterministic pseudo-random matrix from a seed (keeps proptest shrink
+/// behaviour sane compared to huge Vec strategies).
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut x = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut v = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        v.push((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+    }
+    Matrix::from_vec(rows, cols, v).expect("shape fits")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- matrix algebra ----------------------------------
+
+    #[test]
+    fn matmul_distributes_over_addition(n in 1usize..6, seed in 0u64..500) {
+        let a = mat(n, n, seed);
+        let b = mat(n, n, seed ^ 1);
+        let c = mat(n, n, seed ^ 2);
+        let left = a.matmul(&(&b + &c)).unwrap();
+        let right = &a.matmul(&b).unwrap() + &a.matmul(&c).unwrap();
+        prop_assert!(left.frobenius_distance_sq(&right).unwrap() < 1e-18);
+    }
+
+    #[test]
+    fn transpose_of_product_reverses(n in 1usize..6, m in 1usize..6, k in 1usize..6, seed in 0u64..500) {
+        let a = mat(n, m, seed);
+        let b = mat(m, k, seed ^ 3);
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(left.frobenius_distance_sq(&right).unwrap() < 1e-18);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal(rows in 3usize..12, cols in 1usize..6, seed in 0u64..500) {
+        let a = mat(rows, cols, seed);
+        let cov = a.covariance();
+        for i in 0..cols {
+            prop_assert!(cov[(i, i)] >= -1e-12, "negative variance");
+            for j in 0..cols {
+                prop_assert!((cov[(i, j)] - cov[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    // ---------------- eigen / PCA --------------------------------------
+
+    #[test]
+    fn jacobi_eigenvalue_sum_equals_trace(n in 1usize..7, seed in 0u64..300) {
+        let raw = mat(n, n, seed);
+        // symmetrize
+        let sym = {
+            let mut s = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    s[(i, j)] = 0.5 * (raw[(i, j)] + raw[(j, i)]);
+                }
+            }
+            s
+        };
+        let e = jacobi_eigen(&sym, 100).unwrap();
+        let trace: f64 = (0..n).map(|i| sym[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8, "trace {trace} vs eigensum {sum}");
+    }
+
+    #[test]
+    fn pca_explained_variance_is_a_distribution(rows in 3usize..15, cols in 2usize..6, seed in 0u64..300) {
+        let a = mat(rows, cols, seed);
+        let pca = Pca::fit(&a).unwrap();
+        let total: f64 = pca.explained_variance_ratio.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        for r in &pca.explained_variance_ratio {
+            prop_assert!(*r >= -1e-12);
+        }
+        // descending
+        for w in pca.explained_variance_ratio.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    // ---------------- stats --------------------------------------------
+
+    #[test]
+    fn pearson_self_correlation_is_one(n in 3usize..40, seed in 0u64..500) {
+        let a = mat(1, n, seed).as_slice().to_vec();
+        // guard against the (vanishingly unlikely) constant series
+        prop_assume!(stats::variance(&a) > 1e-12);
+        prop_assert!((stats::pearson(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = a.iter().map(|v| -v).collect();
+        prop_assert!((stats::pearson(&a, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_is_bounded_by_extremes(n in 1usize..30, p in 0.0f64..100.0, seed in 0u64..500) {
+        let xs = mat(1, n, seed).as_slice().to_vec();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = stats::percentile(&xs, p).unwrap();
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn euclidean_satisfies_triangle_inequality(n in 1usize..10, seed in 0u64..300) {
+        let a = mat(1, n, seed).as_slice().to_vec();
+        let b = mat(1, n, seed ^ 5).as_slice().to_vec();
+        let c = mat(1, n, seed ^ 9).as_slice().to_vec();
+        let ab = stats::euclidean(&a, &b).unwrap();
+        let bc = stats::euclidean(&b, &c).unwrap();
+        let ac = stats::euclidean(&a, &c).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-12);
+    }
+
+    // ---------------- linear solvers ------------------------------------
+
+    #[test]
+    fn linear_solve_roundtrips(n in 1usize..6, seed in 0u64..300) {
+        let a = {
+            // diagonally dominant => well conditioned
+            let mut m = mat(n, n, seed);
+            for i in 0..n {
+                m[(i, i)] += n as f64 + 1.0;
+            }
+            m
+        };
+        let x_true = mat(1, n, seed ^ 7).as_slice().to_vec();
+        let b_mat = a.matmul(&Matrix::from_vec(n, 1, x_true.clone()).unwrap()).unwrap();
+        let x = solve_linear_system(&a, &b_mat.col(0)).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn nnls_result_is_always_nonnegative(rows in 2usize..10, cols in 1usize..5, seed in 0u64..300) {
+        let x = {
+            let mut m = mat(rows, cols, seed);
+            m.map_inplace(|v| v + 0.6); // positive-ish design
+            m
+        };
+        let y = mat(1, rows, seed ^ 11).as_slice().to_vec();
+        let theta = nnls(&x, &y, 5_000).unwrap();
+        for t in theta {
+            prop_assert!(t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients(rows in 4usize..12, cols in 1usize..4, seed in 0u64..200) {
+        let x = mat(rows, cols, seed);
+        let y = mat(1, rows, seed ^ 13).as_slice().to_vec();
+        let free = least_squares(&x, &y, 1e-9);
+        let ridged = least_squares(&x, &y, 100.0);
+        prop_assume!(free.is_ok());
+        let free = free.unwrap();
+        let ridged = ridged.unwrap();
+        let norm = |v: &[f64]| v.iter().map(|t| t * t).sum::<f64>();
+        prop_assert!(norm(&ridged) <= norm(&free) + 1e-9);
+    }
+
+    // ---------------- clustering ----------------------------------------
+
+    #[test]
+    fn kmeans_inertia_never_increases_with_k(seed in 0u64..60) {
+        let data = mat(40, 3, seed);
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8] {
+            let m = KMeans::fit(&data, &KMeansConfig { k, n_init: 3, seed, ..Default::default() }).unwrap();
+            prop_assert!(m.inertia <= last + 1e-6, "k={k}: {} > {last}", m.inertia);
+            last = m.inertia;
+        }
+    }
+
+    #[test]
+    fn kmeans_centroids_lie_in_data_hull_box(seed in 0u64..100, k in 1usize..5) {
+        let data = mat(30, 2, seed);
+        let m = KMeans::fit(&data, &KMeansConfig { k, n_init: 1, seed, ..Default::default() }).unwrap();
+        for dim in 0..2 {
+            let col = data.col(dim);
+            let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for c in 0..m.k() {
+                let v = m.centroids[(c, dim)];
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn k_fold_is_a_partition(n in 10usize..50, folds in 2usize..8, seed in 0u64..100) {
+        prop_assume!(n >= folds);
+        let splits = k_fold_indices(n, folds, seed).unwrap();
+        let mut seen = vec![false; n];
+        for (train, test) in &splits {
+            prop_assert_eq!(train.len() + test.len(), n);
+            for &t in test {
+                prop_assert!(!seen[t], "index {t} tested twice");
+                seen[t] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    // ---------------- forest --------------------------------------------
+
+    #[test]
+    fn forest_prediction_within_target_range(seed in 0u64..60) {
+        let x = mat(30, 3, seed);
+        let y: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let f = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 10, seed, ..Default::default() }).unwrap();
+        let q = mat(1, 3, seed ^ 21).as_slice().to_vec();
+        let p = f.predict(&q).unwrap();
+        // Tree leaves are means of targets, so predictions are convex
+        // combinations of them.
+        prop_assert!((0.0..=6.0).contains(&p), "prediction {p} outside target hull");
+    }
+}
+
+// ---------------- CMF (non-proptest: heavier) ---------------------------
+
+#[test]
+fn cmf_lambda_extremes_still_complete() {
+    let source = mat(6, 30, 1);
+    let vm = mat(20, 30, 2);
+    let target = mat(1, 30, 3);
+    let mut mask = Mask::none(1, 30);
+    for i in (0..30).step_by(3) {
+        mask.observe(0, i);
+    }
+    for lambda in [0.0, 1.0] {
+        let cfg = CmfConfig {
+            lambda,
+            latent_dim: 4,
+            sgd: SgdConfig {
+                max_epochs: 200,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        let model = solve(&problem, &cfg).unwrap();
+        assert!(model.completed_target.is_finite());
+        assert_eq!(model.completed_target.shape(), (1, 30));
+    }
+}
+
+#[test]
+fn cmf_more_observations_reduce_completion_error() {
+    // Ground-truth low-rank target; observe 20% vs 80% of entries.
+    let g = 3;
+    let l = mat(24, g, 40);
+    let xs = mat(2, g, 41);
+    let truth = xs.matmul(&l.transpose()).unwrap();
+    let source = mat(8, g, 42).matmul(&l.transpose()).unwrap();
+    let vm = mat(15, g, 43).matmul(&l.transpose()).unwrap();
+    let err_at = |density: usize| -> f64 {
+        let mut mask = Mask::none(2, 24);
+        for r in 0..2 {
+            for c in 0..24 {
+                if (r * 24 + c) % density == 0 {
+                    mask.observe(r, c);
+                }
+            }
+        }
+        let cfg = CmfConfig {
+            latent_dim: g,
+            sgd: SgdConfig {
+                max_epochs: 1500,
+                tolerance: 1e-10,
+                learning_rate: 0.03,
+                decay: 0.999,
+                l2_reg: 1e-4,
+            },
+            ..Default::default()
+        };
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &truth,
+            target_mask: &mask,
+        };
+        let model = solve(&problem, &cfg).unwrap();
+        let mut err = 0.0;
+        let mut n = 0;
+        for r in 0..2 {
+            for c in 0..24 {
+                if !mask.is_observed(r, c) {
+                    let e = model.completed_target[(r, c)] - truth[(r, c)];
+                    err += e * e;
+                    n += 1;
+                }
+            }
+        }
+        (err / n as f64).sqrt()
+    };
+    let sparse = err_at(5); // ~20%
+    let dense = err_at(1); // fully observed (error measured on none → 0/0 guard)
+    let medium = err_at(2); // 50%
+    assert!(
+        medium <= sparse * 1.5,
+        "more data should not hurt much: {medium} vs {sparse}"
+    );
+    let _ = dense;
+}

@@ -1,0 +1,240 @@
+//! Synthetic dataset generation — the role BigDataBench's and HiBench's
+//! data generators play in the paper's setup (Section 5.1: "we can set the
+//! input data size when required").
+//!
+//! A [`DatasetSpec`] describes the *shape* of an input — size, record
+//! structure, and most importantly **skew** (Zipf-distributed keys, hub
+//! nodes in graphs) — and resolves, together with a workload, into a
+//! demand adjustment: skewed data concentrates work on few partitions,
+//! cutting effective parallelism and amplifying shuffle imbalance. The
+//! generators are seeded and produce deterministic summary statistics, not
+//! gigabytes of bytes: the simulator consumes distributions, so that is
+//! what we generate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vesta_cloud_sim::ExecutionDemand;
+
+/// Kind of synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataKind {
+    /// Unstructured text (wordcount, grep, sort).
+    Text,
+    /// Relational rows (Hive operators).
+    Table,
+    /// Edge list with power-law degrees (PageRank, BFS, CF).
+    Graph,
+    /// Timestamped events (streaming).
+    EventStream,
+}
+
+/// Description of a synthetic input dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset kind.
+    pub kind: DataKind,
+    /// Total size in GB.
+    pub size_gb: f64,
+    /// Number of records (rows / edges / events).
+    pub records: u64,
+    /// Zipf exponent of the key distribution; 0 = uniform, ≥ 1 = heavily
+    /// skewed (a handful of keys own most of the data).
+    pub skew: f64,
+    /// Partitions the data is split into.
+    pub partitions: u32,
+}
+
+impl DatasetSpec {
+    /// A uniform text corpus of `size_gb` (≈ 100-byte lines).
+    pub fn text(size_gb: f64) -> DatasetSpec {
+        DatasetSpec {
+            kind: DataKind::Text,
+            size_gb,
+            records: (size_gb * 1e9 / 100.0) as u64,
+            skew: 0.4, // natural-language word frequencies are zipfian
+            partitions: (size_gb * 8.0).ceil().max(1.0) as u32,
+        }
+    }
+
+    /// A relational table of `size_gb` (≈ 256-byte rows).
+    pub fn table(size_gb: f64) -> DatasetSpec {
+        DatasetSpec {
+            kind: DataKind::Table,
+            size_gb,
+            records: (size_gb * 1e9 / 256.0) as u64,
+            skew: 0.2,
+            partitions: (size_gb * 8.0).ceil().max(1.0) as u32,
+        }
+    }
+
+    /// A power-law graph with `nodes` vertices and mean degree `degree`
+    /// (≈ 16 bytes per edge).
+    pub fn graph(nodes: u64, degree: f64) -> DatasetSpec {
+        let edges = (nodes as f64 * degree) as u64;
+        DatasetSpec {
+            kind: DataKind::Graph,
+            size_gb: edges as f64 * 16.0 / 1e9,
+            records: edges,
+            skew: 1.0, // hub vertices
+            partitions: ((edges as f64 * 16.0 / 1e9) * 8.0).ceil().max(1.0) as u32,
+        }
+    }
+
+    /// An event stream of `size_gb` (≈ 512-byte events).
+    pub fn events(size_gb: f64) -> DatasetSpec {
+        DatasetSpec {
+            kind: DataKind::EventStream,
+            size_gb,
+            records: (size_gb * 1e9 / 512.0) as u64,
+            skew: 0.7, // trending topics
+            partitions: (size_gb * 8.0).ceil().max(1.0) as u32,
+        }
+    }
+
+    /// Override the skew exponent.
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.skew = skew.max(0.0);
+        self
+    }
+
+    /// Deterministic per-partition load shares for this spec: `partitions`
+    /// values summing to 1, Zipf-weighted and shuffled by `seed`.
+    pub fn partition_shares(&self, seed: u64) -> Vec<f64> {
+        let n = self.partitions.max(1) as usize;
+        let mut shares: Vec<f64> = (1..=n)
+            .map(|rank| 1.0 / (rank as f64).powf(self.skew))
+            .collect();
+        let total: f64 = shares.iter().sum();
+        for s in &mut shares {
+            *s /= total;
+        }
+        // Shuffle so heavy partitions land in random slots.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A);
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            shares.swap(i, j);
+        }
+        shares
+    }
+
+    /// Load-imbalance factor: max partition share over the uniform share.
+    /// 1.0 = perfectly balanced; grows with skew.
+    pub fn imbalance(&self) -> f64 {
+        let shares = self.partition_shares(0);
+        let max = shares.iter().cloned().fold(0.0f64, f64::max);
+        max * shares.len() as f64
+    }
+
+    /// Adjust a resolved demand for this dataset's shape: skew cuts the
+    /// *useful* parallelism (stragglers hold the barrier) and inflates
+    /// shuffle on the hot partitions.
+    pub fn apply(&self, demand: &ExecutionDemand) -> ExecutionDemand {
+        let imbalance = self.imbalance();
+        ExecutionDemand {
+            input_gb: self.size_gb,
+            // Work scales with the new input size.
+            compute_units: demand.compute_units * self.size_gb / demand.input_gb.max(1e-9),
+            working_set_gb: demand.working_set_gb * self.size_gb / demand.input_gb.max(1e-9),
+            shuffle_gb_per_iter: demand.shuffle_gb_per_iter * self.size_gb
+                / demand.input_gb.max(1e-9)
+                * imbalance.sqrt(),
+            disk_gb_per_iter: demand.disk_gb_per_iter * self.size_gb / demand.input_gb.max(1e-9),
+            // Stragglers: effective parallelism is the balanced parallelism
+            // divided by the imbalance factor.
+            parallelism: (demand.parallelism / imbalance).max(1.0),
+            ..demand.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlgorithmKind, Framework};
+
+    #[test]
+    fn constructors_give_consistent_sizes() {
+        let t = DatasetSpec::text(3.0);
+        assert_eq!(t.kind, DataKind::Text);
+        assert!((t.size_gb - 3.0).abs() < 1e-12);
+        assert!(t.records > 10_000_000);
+        let g = DatasetSpec::graph(1_000_000, 16.0);
+        assert_eq!(g.records, 16_000_000);
+        assert!(g.size_gb > 0.2);
+        assert!(DatasetSpec::table(1.0).records < t.records);
+        assert!(DatasetSpec::events(1.0).records > 0);
+    }
+
+    #[test]
+    fn partition_shares_sum_to_one_and_are_deterministic() {
+        let spec = DatasetSpec::text(2.0);
+        let a = spec.partition_shares(42);
+        let b = spec.partition_shares(42);
+        assert_eq!(a, b);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(a.len(), spec.partitions as usize);
+        // different seed shuffles differently but sums identically
+        let c = spec.partition_shares(7);
+        assert!((c.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_increases_imbalance() {
+        let uniform = DatasetSpec::table(4.0).with_skew(0.0);
+        let mild = DatasetSpec::table(4.0).with_skew(0.5);
+        let heavy = DatasetSpec::table(4.0).with_skew(1.5);
+        assert!((uniform.imbalance() - 1.0).abs() < 1e-9);
+        assert!(mild.imbalance() > uniform.imbalance());
+        assert!(heavy.imbalance() > mild.imbalance());
+    }
+
+    #[test]
+    fn apply_scales_and_skews_demand() {
+        let base = Framework::Spark.resolve(&AlgorithmKind::PageRank.profile(), 10.0, 1);
+        let graph = DatasetSpec::graph(50_000_000, 20.0); // ~16 GB, skew 1.0
+        let adjusted = graph.apply(&base);
+        adjusted.validate().unwrap();
+        assert!((adjusted.input_gb - graph.size_gb).abs() < 1e-9);
+        // bigger input -> more compute, proportionally
+        let ratio = graph.size_gb / 10.0;
+        assert!((adjusted.compute_units / base.compute_units - ratio).abs() < 1e-9);
+        // skew cut the parallelism
+        assert!(adjusted.parallelism < base.parallelism * ratio);
+        // and inflated the per-GB shuffle
+        assert!(adjusted.shuffle_gb_per_iter / ratio > base.shuffle_gb_per_iter * 0.999);
+    }
+
+    #[test]
+    fn uniform_dataset_is_a_pure_rescale() {
+        let base = Framework::Hadoop.resolve(&AlgorithmKind::WordCount.profile(), 30.0, 2);
+        let uniform = DatasetSpec::text(30.0).with_skew(0.0);
+        let adjusted = uniform.apply(&base);
+        assert!((adjusted.parallelism - base.parallelism).abs() < 1e-9);
+        assert!((adjusted.shuffle_gb_per_iter - base.shuffle_gb_per_iter).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_input_changes_best_vm_story() {
+        // A heavily skewed graph run should lower effective parallelism
+        // enough to change (or at least not improve) how well huge boxes
+        // are utilized.
+        use vesta_cloud_sim::{Catalog, Simulator};
+        let cat = Catalog::aws_ec2();
+        let sim = Simulator::default();
+        let base = Framework::Spark.resolve(&AlgorithmKind::PageRank.profile(), 10.0, 3);
+        let skewed = DatasetSpec::graph(40_000_000, 16.0)
+            .with_skew(1.5)
+            .apply(&base);
+        let big = cat.by_name("c5n.12xlarge").unwrap();
+        let small = cat.by_name("c5n.2xlarge").unwrap();
+        let speedup_base =
+            sim.expected_time(&base, small, 1).unwrap() / sim.expected_time(&base, big, 1).unwrap();
+        let speedup_skewed = sim.expected_time(&skewed, small, 1).unwrap()
+            / sim.expected_time(&skewed, big, 1).unwrap();
+        assert!(
+            speedup_skewed < speedup_base,
+            "skew should blunt the big box: {speedup_skewed:.2} vs {speedup_base:.2}"
+        );
+    }
+}

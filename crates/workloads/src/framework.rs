@@ -1,0 +1,340 @@
+//! Framework execution semantics: how Hadoop, Hive and Spark turn an
+//! algorithm's intrinsic [`DemandProfile`]
+//! into the concrete resource demand a VM actually sees.
+//!
+//! This transform is the heart of the reproduction's simulation argument:
+//! the paper observes (Fig. 1, Fig. 2) that *low-level metrics look
+//! completely different across frameworks* — a PARIS-style model trained on
+//! Hadoop mispredicts Spark — *while high-level correlation similarities
+//! persist*. The transform produces exactly that: each framework rescales
+//! the demand components differently (Hadoop materializes between phases,
+//! Hive adds planning and scan overhead on MapReduce, Spark holds working
+//! sets in executor memory), so raw utilizations diverge, but the
+//! underlying phase structure — which drives the correlation features —
+//! stays recognizably the algorithm's own.
+//!
+//! The module also carries the Mesos-style [`MemoryWatcher`] of
+//! Section 5.1: the paper watches real executor memory usage and sizes
+//! Spark executors to prevent OOM; our watcher rewrites a Spark demand the
+//! same way (process the working set in waves when it cannot fit).
+
+use serde::{Deserialize, Serialize};
+use vesta_cloud_sim::{ExecutionDemand, VmType};
+
+use crate::profile::DemandProfile;
+
+/// The data-processing frameworks: the paper's three (Hadoop, Hive,
+/// Spark) plus Flink, this reproduction's Section 7 extension — the
+/// paper argues the method "can cover a wide range of existing big data
+/// frameworks since they follow a basic architecture design of Bulk
+/// Synchronous Parallelism"; a fourth framework the knowledge has never
+/// seen tests exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Framework {
+    /// Hadoop MapReduce: every phase boundary materializes to HDFS.
+    Hadoop,
+    /// Hive: SQL compiled onto MapReduce, plus planning and scan overhead.
+    Hive,
+    /// Spark: in-memory RDDs, executor memory pressure, fast iterations.
+    Spark,
+    /// Flink (extension): pipelined dataflow — operators stream records
+    /// instead of materializing between supersteps, managed off-heap
+    /// memory softens the OOM cliff, network is the backbone.
+    Flink,
+}
+
+impl Framework {
+    /// Display name as Table 3 spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::Hadoop => "Hadoop",
+            Framework::Hive => "Hive",
+            Framework::Spark => "Spark",
+            Framework::Flink => "Flink",
+        }
+    }
+
+    /// Resolve an algorithm profile at a given input scale into the
+    /// framework's concrete [`ExecutionDemand`].
+    ///
+    /// `workload_id` seeds the deterministic noise streams downstream.
+    pub fn resolve(
+        self,
+        profile: &DemandProfile,
+        input_gb: f64,
+        workload_id: u64,
+    ) -> ExecutionDemand {
+        // Start from the intrinsic, framework-free demand.
+        let base = ExecutionDemand {
+            workload_id,
+            input_gb,
+            compute_units: profile.compute_per_gb * input_gb,
+            working_set_gb: profile.working_set_ratio * input_gb,
+            shuffle_gb_per_iter: profile.shuffle_ratio * input_gb,
+            disk_gb_per_iter: profile.disk_ratio * input_gb,
+            iterations: profile.iterations,
+            parallelism: (profile.parallelism_per_gb * input_gb).max(1.0),
+            sync_barriers_per_iter: profile.sync_intensity,
+            startup_s: 0.0,
+            spill_penalty: 2.0,
+            memory_hard: false,
+            variance_cv: profile.variance_cv,
+        };
+        match self {
+            Framework::Hadoop => ExecutionDemand {
+                // Map output and reduce input hit HDFS; working set streams
+                // from disk so the memory footprint is modest.
+                disk_gb_per_iter: base.disk_gb_per_iter * 2.5 + base.shuffle_gb_per_iter * 0.8,
+                working_set_gb: base.working_set_gb * 0.55,
+                compute_units: base.compute_units * 1.30, // serde + JVM per-record cost
+                startup_s: 25.0 + 6.0 * base.iterations as f64, // per-round job setup
+                sync_barriers_per_iter: base.sync_barriers_per_iter + 1.0, // map/reduce barrier
+                memory_hard: false,
+                spill_penalty: 1.6, // spilling is the designed-for path
+                ..base
+            },
+            Framework::Hive => ExecutionDemand {
+                // Hive compiles to MapReduce, then adds query planning and
+                // full-table scan amplification.
+                disk_gb_per_iter: base.disk_gb_per_iter * 2.8 + base.shuffle_gb_per_iter * 0.8,
+                working_set_gb: base.working_set_gb * 0.6,
+                compute_units: base.compute_units * 1.50, // plan + deserialization
+                startup_s: 40.0 + 6.0 * base.iterations as f64, // metastore + plan + job setup
+                sync_barriers_per_iter: base.sync_barriers_per_iter + 1.0,
+                memory_hard: false,
+                spill_penalty: 1.6,
+                ..base
+            },
+            Framework::Spark => ExecutionDemand {
+                // RDD caching keeps data in executor memory: little disk,
+                // bigger working set, hard OOM semantics, cheap stages.
+                disk_gb_per_iter: base.disk_gb_per_iter * 0.30,
+                working_set_gb: base.working_set_gb * 1.55, // cached RDD + JVM overhead
+                compute_units: base.compute_units * 0.60,   // in-memory reuse + whole-stage codegen
+                startup_s: 12.0 + 0.8 * base.iterations as f64, // driver + executor launch
+                sync_barriers_per_iter: base.sync_barriers_per_iter * 0.7, // stage barriers only
+                memory_hard: true,
+                spill_penalty: 3.0, // spill means serialization + recompute
+                ..base
+            },
+            Framework::Flink => ExecutionDemand {
+                // Pipelined dataflow: records stream between operators, so
+                // barriers nearly vanish and shuffle traffic rises (data
+                // moves over the network instead of resting in memory);
+                // managed off-heap memory spills gracefully.
+                disk_gb_per_iter: base.disk_gb_per_iter * 0.25,
+                shuffle_gb_per_iter: base.shuffle_gb_per_iter * 1.35,
+                working_set_gb: base.working_set_gb * 1.15, // managed segments, no JVM bloat
+                compute_units: base.compute_units * 0.70,
+                startup_s: 10.0 + 0.5 * base.iterations as f64, // jobmanager + taskmanagers
+                sync_barriers_per_iter: (base.sync_barriers_per_iter * 0.3).max(0.2),
+                memory_hard: false, // managed memory spills instead of OOM
+                spill_penalty: 2.2,
+                ..base
+            },
+        }
+    }
+}
+
+/// Executor sizing report from the memory watcher.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorPlan {
+    /// Number of waves the working set is split into (1 = fits in memory).
+    pub waves: u32,
+    /// Executor memory in GB (per wave working set).
+    pub executor_memory_gb: f64,
+    /// Whether the watcher had to intervene at all.
+    pub adjusted: bool,
+}
+
+/// Mesos-style memory watcher for Spark (Section 5.1): observes the real
+/// memory requirement and sizes executors so the job never OOMs, at the
+/// price of processing the data in waves (more iterations, less
+/// parallelism per wave).
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryWatcher {
+    /// Maximum tolerated memory pressure before splitting into waves.
+    /// Matches the simulator's hard-OOM threshold with a safety margin.
+    pub max_pressure: f64,
+    /// Fraction of VM memory usable by executors.
+    pub usable_memory_frac: f64,
+}
+
+impl Default for MemoryWatcher {
+    fn default() -> Self {
+        MemoryWatcher {
+            max_pressure: 1.2,
+            usable_memory_frac: 0.85,
+        }
+    }
+}
+
+impl MemoryWatcher {
+    /// Plan executor sizing of `demand` on `vm` (single node).
+    pub fn plan(&self, demand: &ExecutionDemand, vm: &VmType) -> ExecutorPlan {
+        let usable = vm.memory_gb * self.usable_memory_frac;
+        let pressure = demand.working_set_gb / usable.max(1e-9);
+        if pressure <= self.max_pressure {
+            return ExecutorPlan {
+                waves: 1,
+                executor_memory_gb: demand.working_set_gb,
+                adjusted: false,
+            };
+        }
+        let waves = (pressure / self.max_pressure).ceil() as u32;
+        ExecutorPlan {
+            waves,
+            executor_memory_gb: demand.working_set_gb / waves as f64,
+            adjusted: true,
+        }
+    }
+
+    /// Rewrite a Spark demand so it runs within `vm`'s memory: the working
+    /// set is processed in waves, multiplying iterations and dividing
+    /// per-iteration parallelism and working set. Non-Spark (soft-memory)
+    /// demands are returned unchanged — they spill instead.
+    pub fn apply(&self, demand: &ExecutionDemand, vm: &VmType) -> ExecutionDemand {
+        if !demand.memory_hard {
+            return demand.clone();
+        }
+        let plan = self.plan(demand, vm);
+        if !plan.adjusted {
+            return demand.clone();
+        }
+        let waves = plan.waves.max(1);
+        ExecutionDemand {
+            working_set_gb: demand.working_set_gb / waves as f64,
+            iterations: demand.iterations.saturating_mul(waves),
+            parallelism: (demand.parallelism / waves as f64).max(1.0),
+            // Each wave re-reads its partition from storage.
+            disk_gb_per_iter: demand.disk_gb_per_iter + demand.working_set_gb * 0.15 / waves as f64,
+            ..demand.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AlgorithmKind;
+    use vesta_cloud_sim::{Catalog, Simulator};
+
+    fn resolve_all(
+        alg: AlgorithmKind,
+        gb: f64,
+    ) -> (ExecutionDemand, ExecutionDemand, ExecutionDemand) {
+        let p = alg.profile();
+        (
+            Framework::Hadoop.resolve(&p, gb, 1),
+            Framework::Hive.resolve(&p, gb, 2),
+            Framework::Spark.resolve(&p, gb, 3),
+        )
+    }
+
+    #[test]
+    fn framework_names() {
+        assert_eq!(Framework::Hadoop.name(), "Hadoop");
+        assert_eq!(Framework::Hive.name(), "Hive");
+        assert_eq!(Framework::Spark.name(), "Spark");
+    }
+
+    #[test]
+    fn resolved_demands_validate() {
+        for alg in [
+            AlgorithmKind::TeraSort,
+            AlgorithmKind::KMeans,
+            AlgorithmKind::Join,
+        ] {
+            let (h, v, s) = resolve_all(alg, 30.0);
+            h.validate().unwrap();
+            v.validate().unwrap();
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn hadoop_is_disk_heavy_spark_is_memory_heavy() {
+        let (h, v, s) = resolve_all(AlgorithmKind::KMeans, 30.0);
+        assert!(h.disk_gb_per_iter > 3.0 * s.disk_gb_per_iter);
+        assert!(v.disk_gb_per_iter >= h.disk_gb_per_iter);
+        assert!(s.working_set_gb > 2.0 * h.working_set_gb);
+        assert!(s.memory_hard && !h.memory_hard && !v.memory_hard);
+    }
+
+    #[test]
+    fn hive_carries_planning_overhead() {
+        let (h, v, _) = resolve_all(AlgorithmKind::Select, 3.0);
+        assert!(v.startup_s > h.startup_s);
+        assert!(v.compute_units > h.compute_units);
+    }
+
+    #[test]
+    fn spark_startup_is_cheapest() {
+        let (h, v, s) = resolve_all(AlgorithmKind::PageRank, 30.0);
+        assert!(s.startup_s < h.startup_s);
+        assert!(s.startup_s < v.startup_s);
+    }
+
+    #[test]
+    fn low_level_demand_differs_but_structure_persists() {
+        // The Fig. 1 phenomenon: same algorithm, very different raw demand
+        // across frameworks…
+        let (h, _, s) = resolve_all(AlgorithmKind::TeraSort, 30.0);
+        assert!((h.disk_gb_per_iter - s.disk_gb_per_iter).abs() / h.disk_gb_per_iter > 0.5);
+        // …but the intrinsic compute:shuffle ratio moves far less.
+        let ratio_h = h.compute_units / (h.shuffle_gb_per_iter * h.iterations as f64);
+        let ratio_s = s.compute_units / (s.shuffle_gb_per_iter * s.iterations as f64);
+        let rel = (ratio_h - ratio_s).abs() / ratio_h;
+        assert!(rel < 0.7, "structure drift {rel}");
+    }
+
+    #[test]
+    fn watcher_passes_through_fitting_demands() {
+        let cat = Catalog::aws_ec2();
+        let vm = cat.by_name("r5.8xlarge").unwrap(); // 512 GB
+        let (_, _, s) = resolve_all(AlgorithmKind::KMeans, 3.0);
+        let w = MemoryWatcher::default();
+        let plan = w.plan(&s, vm);
+        assert_eq!(plan.waves, 1);
+        assert!(!plan.adjusted);
+        assert_eq!(w.apply(&s, vm), s);
+    }
+
+    #[test]
+    fn watcher_splits_oversized_spark_jobs_into_waves() {
+        let cat = Catalog::aws_ec2();
+        let vm = cat.by_name("m5.large").unwrap(); // 8 GB
+        let (_, _, mut s) = resolve_all(AlgorithmKind::Pca, 30.0);
+        s.working_set_gb = 80.0;
+        let w = MemoryWatcher::default();
+        let plan = w.plan(&s, vm);
+        assert!(plan.adjusted);
+        assert!(plan.waves >= 2);
+        let adjusted = w.apply(&s, vm);
+        assert!(adjusted.working_set_gb < s.working_set_gb);
+        assert!(adjusted.iterations > s.iterations);
+        // And critically: the adjusted job actually runs (no OOM).
+        let sim = Simulator::default();
+        assert!(sim.expected_time(&adjusted, vm, 1).is_ok());
+        assert!(sim.expected_time(&s, vm, 1).is_err());
+    }
+
+    #[test]
+    fn watcher_leaves_soft_memory_frameworks_alone() {
+        let cat = Catalog::aws_ec2();
+        let vm = cat.by_name("m5.large").unwrap();
+        let (h, _, _) = resolve_all(AlgorithmKind::Pca, 30.0);
+        let w = MemoryWatcher::default();
+        assert_eq!(w.apply(&h, vm), h);
+    }
+
+    #[test]
+    fn bigger_input_means_bigger_demand() {
+        let p = AlgorithmKind::Join.profile();
+        let small = Framework::Spark.resolve(&p, 3.0, 1);
+        let big = Framework::Spark.resolve(&p, 30.0, 1);
+        assert!(big.compute_units > small.compute_units);
+        assert!(big.working_set_gb > small.working_set_gb);
+        assert!(big.parallelism > small.parallelism);
+    }
+}

@@ -1,0 +1,27 @@
+//! # vesta-workloads
+//!
+//! The 30 big-data application workloads of the Vesta evaluation (Table 3)
+//! and the framework semantics that turn each algorithm's intrinsic demand
+//! into what Hadoop, Hive or Spark actually asks of a VM:
+//!
+//! * [`profile`] — framework-independent [`profile::DemandProfile`]s of the
+//!   26 distinct algorithms, grouped into the five benchmark use cases of
+//!   Section 3.1.
+//! * [`framework`] — the Hadoop / Hive / Spark transforms (disk
+//!   materialization, planning overhead, in-memory caching + hard OOM) and
+//!   the Mesos-style [`framework::MemoryWatcher`] of Section 5.1.
+//! * [`datagen`] — seeded synthetic dataset specs (size, records, Zipf
+//!   skew) standing in for the BigDataBench / HiBench data generators.
+//! * [`suite`] — Table 3 itself: 13 source-training + 5 source-testing
+//!   (Hadoop/Hive) and 12 target (Spark) workloads with HiBench /
+//!   BigDataBench provenance and dataset scales.
+
+pub mod datagen;
+pub mod framework;
+pub mod profile;
+pub mod suite;
+
+pub use datagen::{DataKind, DatasetSpec};
+pub use framework::{ExecutorPlan, Framework, MemoryWatcher};
+pub use profile::{AlgorithmKind, DatasetScale, DemandProfile, UseCase};
+pub use suite::{Benchmark, SplitSet, Suite, Workload};

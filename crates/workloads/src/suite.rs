@@ -1,0 +1,426 @@
+//! The 30 big-data application workloads of Table 3, with the paper's
+//! source / testing / target split.
+//!
+//! * **Source training set** (1-13): Hadoop and Hive workloads that train
+//!   the offline model.
+//! * **Source testing set** (14-18): Hadoop and Hive workloads held out to
+//!   test the offline model (used by the Fig. 11 k-tuning CV).
+//! * **Target set** (19-30): Spark workloads — the *new framework* whose
+//!   best VM types Vesta predicts by transfer.
+//!
+//! Workloads in the paper come from HiBench (italic) and BigDataBench
+//! (regular); we record the provenance and follow the benchmarks' dataset
+//! scales (HiBench "gigantic" = 30 GB etc., BigDataBench sized for
+//! reasonable execution time, Section 5.1).
+
+use serde::{Deserialize, Serialize};
+use vesta_cloud_sim::ExecutionDemand;
+
+use crate::framework::Framework;
+use crate::profile::{AlgorithmKind, DatasetScale, UseCase};
+
+/// Which benchmark suite a workload is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// HiBench (Huang et al., ICDEW '10) — italic rows of Table 3.
+    HiBench,
+    /// BigDataBench (Wang et al., HPCA '14) — regular rows of Table 3.
+    BigDataBench,
+}
+
+/// Which of the paper's three sets a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitSet {
+    /// Source set, training portion (Nos. 1-13).
+    SourceTraining,
+    /// Source set, testing portion (Nos. 14-18).
+    SourceTesting,
+    /// Target set (Nos. 19-30, all Spark).
+    Target,
+}
+
+/// One application workload of Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// Table 3 number (1-30); also the deterministic noise identity.
+    pub id: u64,
+    /// The framework the application runs on.
+    pub framework: Framework,
+    /// The underlying algorithm.
+    pub algorithm: AlgorithmKind,
+    /// Input dataset scale.
+    pub scale: DatasetScale,
+    /// Provenance benchmark.
+    pub benchmark: Benchmark,
+    /// Which evaluation split the workload belongs to.
+    pub split: SplitSet,
+}
+
+impl Workload {
+    /// Full name as Table 3 prints it, e.g. `"Spark-page-rank"`.
+    pub fn name(&self) -> String {
+        format!("{}-{}", self.framework.name(), self.algorithm.table_name())
+    }
+
+    /// Benchmark use-case family.
+    pub fn use_case(&self) -> UseCase {
+        self.algorithm.use_case()
+    }
+
+    /// Resolve into the concrete demand the simulator executes.
+    pub fn demand(&self) -> ExecutionDemand {
+        self.framework
+            .resolve(&self.algorithm.profile(), self.scale.gb(), self.id)
+    }
+
+    /// Resolve at an alternative input size (Ernest-style scaled-down
+    /// training runs use fractions of the real dataset).
+    pub fn demand_with_input(&self, input_gb: f64) -> ExecutionDemand {
+        self.framework
+            .resolve(&self.algorithm.profile(), input_gb, self.id)
+    }
+}
+
+/// The full evaluation suite.
+///
+/// ```
+/// use vesta_workloads::Suite;
+///
+/// let suite = Suite::paper();
+/// assert_eq!(suite.len(), 30);
+/// assert_eq!(suite.target().len(), 12); // the Spark set
+/// assert_eq!(suite.by_name("Spark-svd++").unwrap().id, 20);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Suite {
+    workloads: Vec<Workload>,
+}
+
+impl Suite {
+    /// Build the exact 30-workload suite of Table 3.
+    pub fn paper() -> Suite {
+        use AlgorithmKind::*;
+        use Benchmark::*;
+        use DatasetScale::*;
+        use Framework::*;
+        use SplitSet::*;
+        let w = |id, framework, algorithm, scale, benchmark, split| Workload {
+            id,
+            framework,
+            algorithm,
+            scale,
+            benchmark,
+            split,
+        };
+        let workloads = vec![
+            // ---- source set / training (1-13) ---------------------------
+            w(1, Hadoop, TeraSort, Gigantic, HiBench, SourceTraining),
+            w(2, Hadoop, WordCount, Gigantic, HiBench, SourceTraining),
+            w(3, Hadoop, PageReview, Huge, BigDataBench, SourceTraining),
+            w(
+                4,
+                Hadoop,
+                LinearRegression,
+                CustomGb(10.0),
+                BigDataBench,
+                SourceTraining,
+            ),
+            w(
+                5,
+                Hadoop,
+                LogisticRegression,
+                CustomGb(10.0),
+                HiBench,
+                SourceTraining,
+            ),
+            w(6, Hadoop, Twitter, Huge, BigDataBench, SourceTraining),
+            w(7, Hadoop, Bayes, CustomGb(10.0), HiBench, SourceTraining),
+            w(8, Hadoop, Index, Huge, BigDataBench, SourceTraining),
+            w(9, Hadoop, Identify, Huge, BigDataBench, SourceTraining),
+            w(10, Hive, Select, Gigantic, BigDataBench, SourceTraining),
+            w(11, Hive, Join, CustomGb(10.0), HiBench, SourceTraining),
+            w(12, Hive, Scan, Gigantic, HiBench, SourceTraining),
+            w(
+                13,
+                Hive,
+                FullJoin,
+                CustomGb(10.0),
+                BigDataBench,
+                SourceTraining,
+            ),
+            // ---- source set / testing (14-18) ----------------------------
+            w(14, Hadoop, Nutch, Huge, HiBench, SourceTesting),
+            w(15, Hadoop, Pca, CustomGb(8.0), BigDataBench, SourceTesting),
+            w(16, Hadoop, Als, CustomGb(8.0), BigDataBench, SourceTesting),
+            w(17, Hadoop, KMeans, CustomGb(10.0), HiBench, SourceTesting),
+            w(
+                18,
+                Hive,
+                Aggregation,
+                CustomGb(10.0),
+                HiBench,
+                SourceTesting,
+            ),
+            // ---- target set (19-30), all Spark ---------------------------
+            w(19, Spark, Spearman, CustomGb(8.0), BigDataBench, Target),
+            w(20, Spark, SvdPlusPlus, CustomGb(8.0), BigDataBench, Target),
+            w(
+                21,
+                Spark,
+                LogisticRegression,
+                CustomGb(10.0),
+                HiBench,
+                Target,
+            ),
+            w(22, Spark, PageRank, CustomGb(10.0), HiBench, Target),
+            w(23, Spark, KMeans, CustomGb(10.0), HiBench, Target),
+            w(24, Spark, Bayes, CustomGb(10.0), HiBench, Target),
+            w(25, Spark, Bfs, CustomGb(8.0), BigDataBench, Target),
+            w(26, Spark, Cf, CustomGb(8.0), BigDataBench, Target),
+            w(27, Spark, Sort, Gigantic, HiBench, Target),
+            w(28, Spark, Pca, CustomGb(8.0), BigDataBench, Target),
+            w(29, Spark, Grep, Gigantic, BigDataBench, Target),
+            w(30, Spark, Count, Gigantic, BigDataBench, Target),
+        ];
+        Suite { workloads }
+    }
+
+    /// The extended suite: Table 3 plus six Flink workloads (ids 31-36) —
+    /// a *second* new framework for the Section 7 generality extension.
+    /// Flink workloads reuse algorithms the source knowledge has seen
+    /// (kmeans, lr, page-rank, sort) and two it has not (BFS, spearman).
+    pub fn extended() -> Suite {
+        use AlgorithmKind::*;
+        use Benchmark::*;
+        use DatasetScale::*;
+        use Framework::*;
+        use SplitSet::*;
+        let mut suite = Suite::paper();
+        let w = |id, algorithm, scale| Workload {
+            id,
+            framework: Flink,
+            algorithm,
+            scale,
+            benchmark: BigDataBench,
+            split: Target,
+        };
+        suite.workloads.extend([
+            w(31, KMeans, CustomGb(10.0)),
+            w(32, LogisticRegression, CustomGb(10.0)),
+            w(33, PageRank, CustomGb(10.0)),
+            w(34, Sort, Gigantic),
+            w(35, Bfs, CustomGb(8.0)),
+            w(36, Spearman, CustomGb(8.0)),
+        ]);
+        suite
+    }
+
+    /// All workloads in id order (30 for the paper suite, 36 extended).
+    pub fn all(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Number of workloads.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// The 13 source training workloads.
+    pub fn source_training(&self) -> Vec<&Workload> {
+        self.split(SplitSet::SourceTraining)
+    }
+
+    /// The 5 source testing workloads.
+    pub fn source_testing(&self) -> Vec<&Workload> {
+        self.split(SplitSet::SourceTesting)
+    }
+
+    /// All 18 source workloads (training + testing).
+    pub fn source(&self) -> Vec<&Workload> {
+        self.workloads
+            .iter()
+            .filter(|w| w.split != SplitSet::Target)
+            .collect()
+    }
+
+    /// The 12 Spark target workloads.
+    pub fn target(&self) -> Vec<&Workload> {
+        self.split(SplitSet::Target)
+    }
+
+    fn split(&self, s: SplitSet) -> Vec<&Workload> {
+        self.workloads.iter().filter(|w| w.split == s).collect()
+    }
+
+    /// Lookup by Table 3 number.
+    pub fn by_id(&self, id: u64) -> Option<&Workload> {
+        self.workloads.iter().find(|w| w.id == id)
+    }
+
+    /// Lookup by printed name, e.g. `"Spark-kmeans"`.
+    pub fn by_name(&self, name: &str) -> Option<&Workload> {
+        self.workloads.iter().find(|w| w.name() == name)
+    }
+
+    /// Workloads of one framework.
+    pub fn by_framework(&self, f: Framework) -> Vec<&Workload> {
+        self.workloads.iter().filter(|w| w.framework == f).collect()
+    }
+}
+
+impl Default for Suite {
+    fn default() -> Self {
+        Suite::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_workloads_with_paper_split() {
+        let s = Suite::paper();
+        assert_eq!(s.len(), 30);
+        assert_eq!(s.source_training().len(), 13);
+        assert_eq!(s.source_testing().len(), 5);
+        assert_eq!(s.source().len(), 18);
+        assert_eq!(s.target().len(), 12);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn ids_are_1_to_30_in_order() {
+        let s = Suite::paper();
+        for (i, w) in s.all().iter().enumerate() {
+            assert_eq!(w.id, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn source_is_hadoop_hive_target_is_spark() {
+        let s = Suite::paper();
+        for w in s.source() {
+            assert_ne!(w.framework, Framework::Spark, "{}", w.name());
+        }
+        for w in s.target() {
+            assert_eq!(w.framework, Framework::Spark, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn names_match_table_3() {
+        let s = Suite::paper();
+        assert_eq!(s.by_id(1).unwrap().name(), "Hadoop-terasort");
+        assert_eq!(s.by_id(13).unwrap().name(), "Hive-full-join");
+        assert_eq!(s.by_id(18).unwrap().name(), "Hive-aggregation");
+        assert_eq!(s.by_id(20).unwrap().name(), "Spark-svd++");
+        assert_eq!(s.by_id(25).unwrap().name(), "Spark-BFS");
+        assert_eq!(s.by_id(30).unwrap().name(), "Spark-count");
+    }
+
+    #[test]
+    fn name_lookup_roundtrips() {
+        let s = Suite::paper();
+        for w in s.all() {
+            assert_eq!(s.by_name(&w.name()).unwrap().id, w.id);
+        }
+        assert!(s.by_name("Flink-kmeans").is_none());
+        assert!(s.by_id(31).is_none());
+    }
+
+    #[test]
+    fn all_demands_validate() {
+        let s = Suite::paper();
+        for w in s.all() {
+            w.demand()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert_eq!(w.demand().workload_id, w.id);
+        }
+    }
+
+    #[test]
+    fn shared_algorithms_across_frameworks_exist() {
+        // The transfer premise: kmeans/pca/lr/bayes appear in both the
+        // source (Hadoop) and target (Spark) sets.
+        let s = Suite::paper();
+        for alg in [
+            AlgorithmKind::KMeans,
+            AlgorithmKind::Pca,
+            AlgorithmKind::LogisticRegression,
+            AlgorithmKind::Bayes,
+        ] {
+            let frameworks: Vec<Framework> = s
+                .all()
+                .iter()
+                .filter(|w| w.algorithm == alg)
+                .map(|w| w.framework)
+                .collect();
+            assert!(frameworks.len() >= 2, "{alg:?} appears once");
+            assert!(frameworks.contains(&Framework::Spark));
+        }
+    }
+
+    #[test]
+    fn frameworks_partition_correctly() {
+        let s = Suite::paper();
+        let h = s.by_framework(Framework::Hadoop).len();
+        let v = s.by_framework(Framework::Hive).len();
+        let p = s.by_framework(Framework::Spark).len();
+        assert_eq!(h + v + p, 30);
+        assert_eq!(p, 12);
+        assert_eq!(v, 5);
+        assert_eq!(h, 13);
+    }
+
+    #[test]
+    fn extended_suite_adds_flink_targets() {
+        let s = Suite::extended();
+        assert_eq!(s.len(), 36);
+        let flink = s.by_framework(Framework::Flink);
+        assert_eq!(flink.len(), 6);
+        for w in &flink {
+            assert_eq!(w.split, SplitSet::Target);
+            w.demand().validate().unwrap();
+            assert!(w.name().starts_with("Flink-"));
+        }
+        // the paper suite is untouched
+        assert_eq!(Suite::paper().len(), 30);
+    }
+
+    #[test]
+    fn flink_transform_is_pipelined() {
+        let p = AlgorithmKind::PageRank.profile();
+        let f = Framework::Flink.resolve(&p, 10.0, 1);
+        let s = Framework::Spark.resolve(&p, 10.0, 1);
+        let h = Framework::Hadoop.resolve(&p, 10.0, 1);
+        // barriers nearly vanish, shuffle rises, no hard OOM
+        assert!(f.sync_barriers_per_iter < s.sync_barriers_per_iter);
+        assert!(f.shuffle_gb_per_iter > s.shuffle_gb_per_iter);
+        assert!(f.disk_gb_per_iter < h.disk_gb_per_iter);
+        assert!(!f.memory_hard);
+    }
+
+    #[test]
+    fn use_cases_span_all_five_families() {
+        let s = Suite::paper();
+        for case in [
+            UseCase::MicroBenchmark,
+            UseCase::MachineLearning,
+            UseCase::SqlProcessing,
+            UseCase::SearchEngine,
+            UseCase::Streaming,
+        ] {
+            assert!(
+                s.all().iter().any(|w| w.use_case() == case),
+                "no workload for {case}"
+            );
+        }
+    }
+}

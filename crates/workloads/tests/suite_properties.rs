@@ -1,0 +1,209 @@
+//! Suite-wide properties: every Table 3 workload must execute on a
+//! representative slice of the catalog, demands must scale sensibly, and
+//! the framework transforms must keep their qualitative orderings for
+//! every shared algorithm.
+
+use vesta_cloud_sim::{Catalog, Objective, Simulator};
+use vesta_workloads::{AlgorithmKind, DatasetScale, Framework, MemoryWatcher, Suite, Workload};
+
+#[test]
+fn every_workload_runs_on_a_catalog_slice() {
+    let cat = Catalog::aws_ec2();
+    let sim = Simulator::default();
+    let watcher = MemoryWatcher::default();
+    let suite = Suite::paper();
+    for w in suite.all() {
+        for vm in cat.all().iter().step_by(7) {
+            let demand = watcher.apply(&w.demand(), vm);
+            let t = sim
+                .expected_time(&demand, vm, 1)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name(), vm.name));
+            assert!(t.is_finite() && t > 0.0);
+            // Pathological assignments (Spark-CF wave-split onto a
+            // 1 GB burstable micro) legitimately take simulated days;
+            // the invariant is finiteness and a loose sanity ceiling.
+            assert!(
+                t < 30.0 * 86_400.0,
+                "{} on {} takes {t:.0}s",
+                w.name(),
+                vm.name
+            );
+        }
+    }
+}
+
+#[test]
+fn execution_times_span_a_meaningful_range() {
+    // The evaluation needs both quick micro benchmarks and long ML jobs.
+    let cat = Catalog::aws_ec2();
+    let sim = Simulator::default();
+    let watcher = MemoryWatcher::default();
+    let suite = Suite::paper();
+    let vm = cat.by_name("m5.2xlarge").unwrap();
+    let times: Vec<f64> = suite
+        .all()
+        .iter()
+        .map(|w| {
+            sim.expected_time(&watcher.apply(&w.demand(), vm), vm, 1)
+                .unwrap()
+        })
+        .collect();
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        max / min > 5.0,
+        "suite too homogeneous: {min:.0}s..{max:.0}s"
+    );
+}
+
+#[test]
+fn demand_is_monotone_in_input_scale() {
+    for alg in [
+        AlgorithmKind::KMeans,
+        AlgorithmKind::TeraSort,
+        AlgorithmKind::Join,
+    ] {
+        for fw in [Framework::Hadoop, Framework::Hive, Framework::Spark] {
+            let small = fw.resolve(&alg.profile(), 1.0, 1);
+            let large = fw.resolve(&alg.profile(), 16.0, 1);
+            assert!(large.compute_units > small.compute_units);
+            assert!(large.working_set_gb > small.working_set_gb);
+            assert!(large.disk_gb_per_iter > small.disk_gb_per_iter);
+            assert!(large.shuffle_gb_per_iter >= small.shuffle_gb_per_iter);
+            assert!(large.parallelism >= small.parallelism);
+            // iterations are an algorithm property, not a data property
+            assert_eq!(large.iterations, small.iterations);
+        }
+    }
+}
+
+#[test]
+fn framework_orderings_hold_for_every_shared_algorithm() {
+    // For every algorithm: Hadoop is disk-heavier than Spark, Spark is
+    // memory-heavier than Hadoop, Hive startup exceeds Hadoop startup.
+    let suite = Suite::paper();
+    let algorithms: Vec<AlgorithmKind> = {
+        let mut v: Vec<AlgorithmKind> = suite.all().iter().map(|w| w.algorithm).collect();
+        v.dedup();
+        v
+    };
+    for alg in algorithms {
+        let p = alg.profile();
+        let h = Framework::Hadoop.resolve(&p, 10.0, 1);
+        let v = Framework::Hive.resolve(&p, 10.0, 1);
+        let s = Framework::Spark.resolve(&p, 10.0, 1);
+        assert!(h.disk_gb_per_iter > s.disk_gb_per_iter, "{alg:?}");
+        assert!(s.working_set_gb > h.working_set_gb, "{alg:?}");
+        assert!(v.startup_s > h.startup_s, "{alg:?}");
+        assert!(s.memory_hard && !h.memory_hard && !v.memory_hard, "{alg:?}");
+        assert!(s.compute_units < h.compute_units, "{alg:?}");
+    }
+}
+
+#[test]
+fn spark_is_faster_than_hadoop_on_shared_iterative_algorithms() {
+    // The classic result the framework transform encodes: in-memory Spark
+    // beats disk-bound Hadoop on iterative ML, given a box with enough
+    // memory.
+    let cat = Catalog::aws_ec2();
+    let sim = Simulator::default();
+    let vm = cat.by_name("r5.4xlarge").unwrap(); // 128 GB: no memory games
+    for alg in [
+        AlgorithmKind::KMeans,
+        AlgorithmKind::LogisticRegression,
+        AlgorithmKind::Pca,
+        AlgorithmKind::Bayes,
+    ] {
+        let p = alg.profile();
+        let th = sim
+            .expected_time(&Framework::Hadoop.resolve(&p, 10.0, 1), vm, 1)
+            .unwrap();
+        let ts = sim
+            .expected_time(&Framework::Spark.resolve(&p, 10.0, 2), vm, 1)
+            .unwrap();
+        assert!(
+            ts < th,
+            "{alg:?}: Spark {ts:.0}s should beat Hadoop {th:.0}s on a big-memory box"
+        );
+    }
+}
+
+#[test]
+fn watcher_is_idempotent_and_only_touches_spark() {
+    let cat = Catalog::aws_ec2();
+    let watcher = MemoryWatcher::default();
+    let suite = Suite::paper();
+    for w in suite.all() {
+        for vm_name in ["t3.small", "m5.large", "r5.8xlarge"] {
+            let vm = cat.by_name(vm_name).unwrap();
+            let once = watcher.apply(&w.demand(), vm);
+            let twice = watcher.apply(&once, vm);
+            assert_eq!(once, twice, "{} on {vm_name} not idempotent", w.name());
+            if w.framework != Framework::Spark {
+                assert_eq!(once, w.demand(), "{} touched by watcher", w.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn best_vm_types_differ_across_the_suite() {
+    // The selection problem must be non-trivial: across 30 workloads the
+    // ground-truth best VM under budget must span several families.
+    let cat = Catalog::aws_ec2();
+    let sim = Simulator::default();
+    let watcher = MemoryWatcher::default();
+    let suite = Suite::paper();
+    let mut best_families: Vec<String> = suite
+        .all()
+        .iter()
+        .map(|w| {
+            let demand = w.demand();
+            let mut scored: Vec<(usize, f64)> = cat
+                .all()
+                .iter()
+                .map(|vm| {
+                    let d = watcher.apply(&demand, vm);
+                    let score = sim
+                        .expected_phases(&d, vm, 1)
+                        .map(|p| Objective::Budget.score(&p, &d, vm, 1))
+                        .unwrap_or(f64::INFINITY);
+                    (vm.id, score)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            cat.get(scored[0].0).unwrap().family.clone()
+        })
+        .collect();
+    best_families.sort();
+    best_families.dedup();
+    assert!(
+        best_families.len() >= 3,
+        "budget-best collapses to too few families: {best_families:?}"
+    );
+}
+
+#[test]
+fn dataset_scales_resolve_for_custom_workloads() {
+    // Any (framework, algorithm, scale) triple must produce a valid demand.
+    let scales = [
+        DatasetScale::Large,
+        DatasetScale::Huge,
+        DatasetScale::Gigantic,
+        DatasetScale::CustomGb(0.1),
+        DatasetScale::CustomGb(100.0),
+    ];
+    for fw in [Framework::Hadoop, Framework::Hive, Framework::Spark] {
+        for scale in scales {
+            let w = Workload {
+                id: 99,
+                framework: fw,
+                algorithm: AlgorithmKind::Sort,
+                scale,
+                benchmark: vesta_workloads::Benchmark::HiBench,
+                split: vesta_workloads::SplitSet::Target,
+            };
+            w.demand().validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Scenario: a budget-constrained batch pipeline. For each nightly job,
+//! pick the cheapest VM type whose predicted execution time still meets a
+//! deadline — the practical side of the paper's budget experiments
+//! (Figs. 1 and 13).
+//!
+//! ```text
+//! cargo run --release --example budget_planner
+//! ```
+
+use vesta_suite::prelude::*;
+
+/// A job in the nightly pipeline: workload + completion deadline.
+struct PlannedJob<'a> {
+    workload: &'a Workload,
+    deadline_s: f64,
+}
+
+fn main() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training();
+    let vesta = Vesta::train(catalog, &sources, VestaConfig::fast()).expect("training");
+
+    let jobs = [
+        PlannedJob {
+            workload: suite.by_name("Spark-sort").unwrap(),
+            deadline_s: 600.0,
+        },
+        PlannedJob {
+            workload: suite.by_name("Spark-kmeans").unwrap(),
+            deadline_s: 900.0,
+        },
+        PlannedJob {
+            workload: suite.by_name("Spark-page-rank").unwrap(),
+            deadline_s: 600.0,
+        },
+        PlannedJob {
+            workload: suite.by_name("Spark-grep").unwrap(),
+            deadline_s: 300.0,
+        },
+    ];
+
+    println!(
+        "{:<18} {:>10} {:>16} {:>12} {:>12} {:>12}",
+        "job", "deadline", "picked VM", "pred time", "pred cost", "true cost"
+    );
+    let mut total_cost = 0.0;
+    for job in &jobs {
+        let p = vesta.select_best_vm(job.workload).expect("prediction");
+        // Rank by cost among VMs predicted to meet the deadline; fall back
+        // to the fastest prediction when nothing meets it.
+        let pick = p
+            .predicted_times
+            .iter()
+            .filter(|(_, &t)| t <= job.deadline_s)
+            .map(|(&vm, &t)| {
+                let price = vesta.catalog.get(vm).expect("valid id").price_per_hour;
+                (vm, t, price * t / 3600.0)
+            })
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite costs"))
+            .unwrap_or_else(|| {
+                let (&vm, &t) = p
+                    .predicted_times
+                    .iter()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                    .expect("non-empty predictions");
+                let price = vesta.catalog.get(vm).expect("valid id").price_per_hour;
+                (vm, t, price * t / 3600.0)
+            });
+        let (vm_id, pred_t, pred_cost) = pick;
+        let vm = vesta.catalog.get(vm_id).expect("valid id");
+        // Ground-truth cost of that pick.
+        let truth = ground_truth_ranking(&vesta.catalog, job.workload, 1, Objective::Budget);
+        let true_cost = truth
+            .iter()
+            .find(|(v, _)| *v == vm_id)
+            .map(|(_, c)| *c)
+            .unwrap_or(f64::NAN);
+        total_cost += true_cost;
+        println!(
+            "{:<18} {:>9.0}s {:>16} {:>11.0}s {:>11.4}$ {:>11.4}$",
+            job.workload.name(),
+            job.deadline_s,
+            vm.name,
+            pred_t,
+            pred_cost,
+            true_cost,
+        );
+    }
+    println!("\nnightly pipeline cost with Vesta's picks: ${total_cost:.4}");
+
+    // What the same pipeline would cost on a one-size-fits-all m5.4xlarge
+    // (a common "safe default").
+    let default_vm = vesta.catalog.by_name("m5.4xlarge").expect("exists");
+    let mut default_cost = 0.0;
+    for job in &jobs {
+        let truth = ground_truth_ranking(&vesta.catalog, job.workload, 1, Objective::Budget);
+        default_cost += truth
+            .iter()
+            .find(|(v, _)| *v == default_vm.id)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0);
+    }
+    println!("same pipeline on a flat m5.4xlarge:        ${default_cost:.4}");
+    println!(
+        "saving: {:.0}%",
+        100.0 * (default_cost - total_cost) / default_cost
+    );
+}

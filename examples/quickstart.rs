@@ -1,0 +1,70 @@
+//! Quickstart: train Vesta's offline knowledge on the Hadoop/Hive source
+//! workloads, then ask it for the best VM type for a Spark workload it has
+//! never seen — the exact cross-framework flow of the paper.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vesta_suite::prelude::*;
+
+fn main() {
+    // 1. The substrate: the 120 EC2 VM types of Table 4 and the
+    //    30-workload suite of Table 3.
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    println!(
+        "catalog: {} VM types across {} families",
+        catalog.len(),
+        catalog.families().len()
+    );
+
+    // 2. Offline phase (Algorithm 1 lines 1-5): profile the 13 Hadoop/Hive
+    //    training workloads on every VM type and abstract the correlation
+    //    knowledge. `fast()` trims repetitions so the example runs in
+    //    seconds; `VestaConfig::default()` is the paper-faithful setting.
+    let sources: Vec<&Workload> = suite.source_training();
+    let config = VestaConfig::fast();
+    println!(
+        "training offline model on {} source workloads…",
+        sources.len()
+    );
+    let vesta = Vesta::train(catalog, &sources, config).expect("offline training");
+    println!(
+        "offline done: {} simulated runs, {} correlation features kept after PCA",
+        vesta.offline_runs(),
+        vesta.offline.analysis.selected_features.len()
+    );
+
+    // 3. Online phase (lines 6-14): a Spark workload arrives. Vesta runs it
+    //    on a sandbox VM + 3 random VMs, completes its sparse label row via
+    //    CMF, and reads the best VM off the knowledge graph.
+    let target = suite.by_name("Spark-kmeans").expect("in the suite");
+    let prediction = vesta.select_best_vm(target).expect("online prediction");
+    let chosen = vesta.catalog.get(prediction.best_vm).expect("valid id");
+    println!("\ntarget workload: {}", target.name());
+    println!("reference VMs consumed: {}", prediction.reference_vms);
+    println!("CMF converged: {}", prediction.converged);
+    println!("selected VM type: {chosen}");
+
+    // 4. How good was that? Compare against the brute-force ground truth
+    //    (the paper's "exhaustively running workloads on 120 VM types").
+    let ranking = ground_truth_ranking(&vesta.catalog, target, 1, Objective::ExecutionTime);
+    let best = &vesta.catalog.get(ranking[0].0).expect("valid id").name;
+    let err = selection_error_pct(
+        &vesta.catalog,
+        target,
+        prediction.best_vm,
+        1,
+        Objective::ExecutionTime,
+    );
+    println!("ground-truth best: {best}  |  selection error: {err:.1}%");
+
+    // 5. The most transfer-relevant source workloads (Section 3.3's
+    //    distance between U* and U).
+    println!("\ntop transfer sources:");
+    for (wid, aff) in prediction.source_affinities.iter().take(3) {
+        let name = suite.by_id(*wid).map(|w| w.name()).unwrap_or_default();
+        println!("  {name:<22} affinity {aff:.3}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Scenario: a team that has been running Hadoop and Hive for years is
+//! migrating its analytics to Spark. They already hold months of profiling
+//! data from the old frameworks — exactly Vesta's source knowledge — and
+//! want VM recommendations for every migrated job *without* re-profiling
+//! the cloud from scratch (the intro's "12x extra budget for one third of
+//! performance" trap).
+//!
+//! ```text
+//! cargo run --release --example spark_migration
+//! ```
+
+use vesta_suite::prelude::*;
+
+fn main() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+
+    // Offline: the knowledge the team already has (13 Hadoop/Hive jobs
+    // profiled across the catalog).
+    let sources: Vec<&Workload> = suite.source_training();
+    let vesta = Vesta::train(catalog, &sources, VestaConfig::fast()).expect("training");
+
+    println!(
+        "{:<18} {:>16} {:>7} {:>10} {:>12} {:>10}",
+        "Spark job", "recommended VM", "refs", "error", "vs naive", "converged"
+    );
+    let mut total_refs = 0usize;
+    let mut errors = Vec::new();
+    for target in suite.target() {
+        let p = vesta.select_best_vm(target).expect("prediction");
+        let chosen = vesta.catalog.get(p.best_vm).expect("valid id");
+        let err = selection_error_pct(
+            &vesta.catalog,
+            target,
+            p.best_vm,
+            1,
+            Objective::ExecutionTime,
+        );
+        // The naive migration: keep using the VM type that was best for
+        // the same algorithm under Hadoop (if the team ever profiled it) —
+        // the trap the paper's Fig. 2 warns about.
+        let naive_err = suite
+            .all()
+            .iter()
+            .find(|w| w.algorithm == target.algorithm && w.framework != Framework::Spark)
+            .map(|hadoop_twin| {
+                let ranking =
+                    ground_truth_ranking(&vesta.catalog, hadoop_twin, 1, Objective::ExecutionTime);
+                selection_error_pct(
+                    &vesta.catalog,
+                    target,
+                    ranking[0].0,
+                    1,
+                    Objective::ExecutionTime,
+                )
+            });
+        total_refs += p.reference_vms;
+        errors.push(err);
+        println!(
+            "{:<18} {:>16} {:>7} {:>9.1}% {:>11} {:>10}",
+            target.name(),
+            chosen.name,
+            p.reference_vms,
+            err,
+            naive_err
+                .map(|e| format!("{e:.1}%"))
+                .unwrap_or_else(|| "-".into()),
+            if p.converged { "yes" } else { "capped" },
+        );
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    println!("\nmean selection error: {mean:.1}%");
+    println!(
+        "total reference-VM runs for all {} migrated jobs: {} (a from-scratch PARIS sweep \
+         would need {})",
+        suite.target().len(),
+        total_refs,
+        suite.target().len() * vesta.catalog.len()
+    );
+}

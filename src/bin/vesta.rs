@@ -1,0 +1,312 @@
+//! `vesta` — command-line interface to the reproduction.
+//!
+//! ```text
+//! vesta catalog [--family m5] [--category compute]     list VM types
+//! vesta suite [--set source|testing|target]            list Table 3 workloads
+//! vesta train --out knowledge.json [--fast]            offline phase, save snapshot
+//! vesta predict --knowledge K.json --workload NAME     online phase (Algorithm 1)
+//!               [--objective time|budget|latency|throughput] [--top N]
+//! vesta cluster --knowledge K.json --workload NAME     (type, nodes) extension
+//! vesta ground-truth --workload NAME [--objective ...] exhaustive oracle
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use vesta_suite::core::{ClusterSizer, ClusterSizerConfig};
+use vesta_suite::prelude::*;
+use vesta_suite::workloads::SplitSet;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match command.as_str() {
+        "catalog" => cmd_catalog(&flags),
+        "suite" => cmd_suite(&flags),
+        "train" => cmd_train(&flags),
+        "predict" => cmd_predict(&flags),
+        "cluster" => cmd_cluster(&flags),
+        "ground-truth" => cmd_ground_truth(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "usage: vesta <command> [flags]
+
+commands:
+  catalog       list the 120 EC2 VM types (--family, --category)
+  suite         list the 30 benchmark workloads (--set source|testing|target,
+                --extended adds the 6 Flink workloads)
+  train         train the offline knowledge and save it (--out FILE, --fast)
+  predict       select the best VM for a workload (--knowledge FILE,
+                --workload NAME, --objective time|budget|latency|throughput, --top N,
+                --explain)
+  cluster       jointly select VM type and node count (--knowledge FILE,
+                --workload NAME, --objective time|budget|latency|throughput)
+  ground-truth  exhaustive oracle ranking (--workload NAME, --objective,
+                --top N)";
+
+fn parse_flags(rest: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = &rest[i];
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = rest
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".to_string());
+            if value != "true" {
+                i += 1;
+            }
+            flags.insert(name.to_string(), value);
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn objective_of(flags: &HashMap<String, String>) -> Result<Objective, String> {
+    match flags.get("objective").map(String::as_str) {
+        None | Some("time") => Ok(Objective::ExecutionTime),
+        Some("budget") => Ok(Objective::Budget),
+        Some("latency") => Ok(Objective::BatchLatency),
+        Some("throughput") => Ok(Objective::TimePerGb),
+        Some(other) => Err(format!(
+            "unknown objective '{other}' (time|budget|latency|throughput)"
+        )),
+    }
+}
+
+fn workload_of<'a>(
+    suite: &'a Suite,
+    flags: &HashMap<String, String>,
+) -> Result<&'a Workload, String> {
+    let name = flags
+        .get("workload")
+        .ok_or("missing --workload NAME (see `vesta suite`)")?;
+    suite
+        .by_name(name)
+        .ok_or_else(|| format!("unknown workload '{name}' (see `vesta suite`)"))
+}
+
+fn cmd_catalog(flags: &HashMap<String, String>) -> Result<(), String> {
+    let catalog = Catalog::aws_ec2();
+    let family = flags.get("family");
+    let category = flags.get("category").map(|c| c.to_lowercase());
+    println!(
+        "{:<16} {:<22} {:>5} {:>9} {:>10} {:>9} {:>9}",
+        "name", "category", "vCPU", "mem (GB)", "disk MB/s", "net Gbps", "$/hour"
+    );
+    let mut shown = 0;
+    for vm in catalog.all() {
+        if let Some(f) = family {
+            if &vm.family != f {
+                continue;
+            }
+        }
+        if let Some(c) = &category {
+            if !vm.category.to_string().to_lowercase().contains(c) {
+                continue;
+            }
+        }
+        println!(
+            "{:<16} {:<22} {:>5} {:>9.1} {:>10.0} {:>9.1} {:>9.3}",
+            vm.name,
+            vm.category.to_string(),
+            vm.vcpus,
+            vm.memory_gb,
+            vm.disk_mbps,
+            vm.network_gbps,
+            vm.price_per_hour
+        );
+        shown += 1;
+    }
+    println!("({shown} of {} types)", catalog.len());
+    Ok(())
+}
+
+fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
+    let suite = if flags.contains_key("extended") {
+        Suite::extended()
+    } else {
+        Suite::paper()
+    };
+    let filter = flags.get("set").map(String::as_str);
+    println!(
+        "{:<4} {:<20} {:<16} {:<20} {:>10}",
+        "no.", "name", "set", "use case", "input GB"
+    );
+    for w in suite.all() {
+        let set = match w.split {
+            SplitSet::SourceTraining => "source/training",
+            SplitSet::SourceTesting => "source/testing",
+            SplitSet::Target => "target",
+        };
+        let keep = match filter {
+            None => true,
+            Some("source") => set.starts_with("source"),
+            Some("testing") => set == "source/testing",
+            Some("target") => set == "target",
+            Some(other) => return Err(format!("unknown set '{other}'")),
+        };
+        if keep {
+            println!(
+                "{:<4} {:<20} {:<16} {:<20} {:>10.1}",
+                w.id,
+                w.name(),
+                set,
+                w.use_case().to_string(),
+                w.scale.gb()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags.get("out").ok_or("missing --out FILE")?;
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training();
+    let config = if flags.contains_key("fast") {
+        VestaConfig::fast()
+    } else {
+        VestaConfig::default()
+    };
+    eprintln!(
+        "training on {} source workloads x {} VM types ({} reps)…",
+        sources.len(),
+        catalog.len(),
+        config.offline_reps
+    );
+    let vesta = Vesta::train(catalog, &sources, config).map_err(|e| e.to_string())?;
+    eprintln!("offline runs: {}", vesta.offline_runs());
+    vesta.save_knowledge(out).map_err(|e| e.to_string())?;
+    println!("knowledge saved to {out}");
+    Ok(())
+}
+
+fn load(flags: &HashMap<String, String>) -> Result<Vesta, String> {
+    let path = flags
+        .get("knowledge")
+        .ok_or("missing --knowledge FILE (run `vesta train --out FILE` first)")?;
+    Vesta::load_knowledge(Catalog::aws_ec2(), path).map_err(|e| e.to_string())
+}
+
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    let vesta = load(flags)?;
+    let suite = Suite::extended();
+    let workload = workload_of(&suite, flags)?;
+    let objective = objective_of(flags)?;
+    let top: usize = flags
+        .get("top")
+        .map(|t| t.parse().map_err(|_| "bad --top"))
+        .transpose()?
+        .unwrap_or(5);
+    let p = vesta.select_best_vm(workload).map_err(|e| e.to_string())?;
+    let best = vesta.catalog.get(p.best_vm).map_err(|e| e.to_string())?;
+    println!("workload:       {}", workload.name());
+    println!("best VM (time): {best}");
+    println!("reference VMs:  {}", p.reference_vms);
+    println!("CMF converged:  {}", p.converged);
+    if flags.contains_key("explain") {
+        let e = vesta_suite::core::explain(&vesta.offline, &vesta.catalog, &suite, workload, &p)
+            .map_err(|e| e.to_string())?;
+        println!("\n{}", e.render());
+    }
+    // Rank the predicted curve under the requested objective.
+    let mut ranked: Vec<(usize, f64)> = p
+        .predicted_times
+        .iter()
+        .map(|(&vm, &t)| {
+            let score = match objective {
+                Objective::Budget => vesta
+                    .catalog
+                    .get(vm)
+                    .map(|v| v.cost_for(t))
+                    .unwrap_or(f64::INFINITY),
+                // Per-batch and per-GB scores are monotone in wall time
+                // for a fixed workload; rank by the time proxy.
+                _ => t,
+            };
+            (vm, score)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+    println!("\ntop {top} under {objective:?}:");
+    for (vm, score) in ranked.iter().take(top) {
+        let v = vesta.catalog.get(*vm).map_err(|e| e.to_string())?;
+        match objective {
+            Objective::Budget => println!("  {:<16} {:>9.4} $", v.name, score),
+            Objective::BatchLatency => println!("  {:<16} {:>9.2} s/batch", v.name, score),
+            Objective::TimePerGb => println!("  {:<16} {:>9.2} s/GB", v.name, score),
+            Objective::ExecutionTime => println!("  {:<16} {:>9.0} s", v.name, score),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_cluster(flags: &HashMap<String, String>) -> Result<(), String> {
+    let vesta = load(flags)?;
+    let suite = Suite::extended();
+    let workload = workload_of(&suite, flags)?;
+    let objective = objective_of(flags)?;
+    let sizer = ClusterSizer::new(&vesta, ClusterSizerConfig::default());
+    let p = sizer
+        .select(workload, objective)
+        .map_err(|e| e.to_string())?;
+    let vm = vesta.catalog.get(p.best.vm_id).map_err(|e| e.to_string())?;
+    println!("workload:          {}", workload.name());
+    println!(
+        "scaling exponent:  {:.2} (1 = perfect scaling)",
+        p.scaling_exponent
+    );
+    println!("best cluster:      {} x {}", p.best.nodes, vm.name);
+    println!("predicted time:    {:.0} s", p.best.predicted_time_s);
+    println!("predicted budget:  ${:.4}", p.best.predicted_cost_usd);
+    Ok(())
+}
+
+fn cmd_ground_truth(flags: &HashMap<String, String>) -> Result<(), String> {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::extended();
+    let workload = workload_of(&suite, flags)?;
+    let objective = objective_of(flags)?;
+    let top: usize = flags
+        .get("top")
+        .map(|t| t.parse().map_err(|_| "bad --top"))
+        .transpose()?
+        .unwrap_or(10);
+    let ranking = ground_truth_ranking(&catalog, workload, 1, objective);
+    println!(
+        "exhaustive ground truth for {} under {objective:?}:",
+        workload.name()
+    );
+    for (vm, score) in ranking.iter().take(top) {
+        let v = catalog.get(*vm).map_err(|e| e.to_string())?;
+        match objective {
+            Objective::Budget => println!("  {:<16} {:>9.4} $", v.name, score),
+            Objective::BatchLatency => println!("  {:<16} {:>9.2} s/batch", v.name, score),
+            Objective::TimePerGb => println!("  {:<16} {:>9.2} s/GB", v.name, score),
+            Objective::ExecutionTime => println!("  {:<16} {:>9.0} s", v.name, score),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # vesta-suite
+//!
+//! Facade crate of the Vesta reproduction ("Best VM Selection for Big Data
+//! Applications across Multiple Frameworks by Transfer Learning",
+//! ICPP '21). Re-exports every subsystem so examples and downstream users
+//! need a single dependency:
+//!
+//! * [`ml`] — from-scratch ML substrate (PCA, K-Means, random forest,
+//!   NNLS, SGD, collective matrix factorization).
+//! * [`cloud`] — the simulated 120-type EC2 catalog and BSP performance
+//!   model.
+//! * [`workloads`] — the 30 applications of Table 3 and the Hadoop / Hive
+//!   / Spark framework transforms.
+//! * [`graph`] — the two-layer bipartite knowledge graph.
+//! * [`core`] — Vesta itself: offline profiling + online transfer
+//!   prediction.
+//! * [`baselines`] — PARIS, Ernest and a CherryPick-style searcher.
+//!
+//! ```
+//! use vesta_suite::prelude::*;
+//!
+//! let catalog = Catalog::aws_ec2();
+//! let suite = Suite::paper();
+//! let sources: Vec<&Workload> = suite.source_training().into_iter().take(4).collect();
+//! let config = VestaConfig { offline_reps: 1, ..VestaConfig::fast() };
+//! let vesta = Vesta::train(catalog, &sources, config).unwrap();
+//! let target = suite.by_name("Spark-kmeans").unwrap();
+//! let prediction = vesta.select_best_vm(target).unwrap();
+//! assert!(prediction.best_vm < 120);
+//! ```
+
+pub use vesta_baselines as baselines;
+pub use vesta_cloud_sim as cloud;
+pub use vesta_core as core;
+pub use vesta_graph as graph;
+pub use vesta_ml as ml;
+pub use vesta_workloads as workloads;
+
+/// One-stop imports for the common flow.
+pub mod prelude {
+    pub use vesta_baselines::{
+        CherryPick, CherryPickConfig, Ernest, ErnestConfig, Paris, ParisConfig,
+    };
+    pub use vesta_cloud_sim::{Catalog, Objective, Simulator, VmType};
+    pub use vesta_core::{
+        ground_truth_ranking, selection_error_pct, Prediction, Vesta, VestaConfig,
+    };
+    pub use vesta_graph::{Label, LabelSpace};
+    pub use vesta_workloads::{AlgorithmKind, DatasetScale, Framework, Suite, Workload};
+}

@@ -1,0 +1,183 @@
+//! Integration tests of the paper's central empirical claims: low-level
+//! metrics diverge across frameworks while correlation similarities
+//! persist, and Vesta's transfer beats naive model reuse.
+
+use vesta_suite::cloud::{Collector, Simulator};
+use vesta_suite::prelude::*;
+use vesta_suite::workloads::MemoryWatcher;
+
+/// Mean correlation vector of a workload on a reference VM.
+fn correlations_of(catalog: &Catalog, w: &Workload) -> vesta_suite::cloud::CorrelationVector {
+    let sim = Simulator::default();
+    let sampler = Collector::default();
+    let watcher = MemoryWatcher::default();
+    let vm = catalog.by_name("m5.2xlarge").unwrap();
+    let demand = watcher.apply(&w.demand(), vm);
+    sampler
+        .collect(&sim, &demand, vm, 1, 0)
+        .unwrap()
+        .correlations()
+        .unwrap()
+}
+
+/// Mean utilization fingerprint (the 20 low-level metrics).
+fn fingerprint_of(catalog: &Catalog, w: &Workload) -> Vec<f64> {
+    let sim = Simulator::default();
+    let sampler = Collector::default();
+    let watcher = MemoryWatcher::default();
+    let vm = catalog.by_name("m5.2xlarge").unwrap();
+    let demand = watcher.apply(&w.demand(), vm);
+    let trace = sampler.collect(&sim, &demand, vm, 1, 0).unwrap();
+    (0..vesta_suite::cloud::N_METRICS)
+        .map(|m| trace.mean(m))
+        .collect()
+}
+
+fn norm_distance(a: &[f64], b: &[f64]) -> f64 {
+    // Relative L2 distance so metrics with large raw scales don't swamp it.
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let denom = x.abs().max(y.abs()).max(1e-9);
+        let d = (x - y) / denom;
+        acc += d * d;
+    }
+    (acc / a.len() as f64).sqrt()
+}
+
+#[test]
+fn correlations_transfer_better_than_raw_metrics() {
+    // The Fig. 1 / Table 1 phenomenon, quantified: for the algorithms that
+    // appear under two frameworks, the correlation distance between the
+    // framework twins is smaller (relative to scale) than the raw
+    // fingerprint distance.
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let twins = [
+        ("Hadoop-kmeans", "Spark-kmeans"),
+        ("Hadoop-pca", "Spark-pca"),
+        ("Hadoop-lr", "Spark-lr"),
+        ("Hadoop-bayes", "Spark-bayes"),
+    ];
+    let mut wins = 0;
+    for (a, b) in twins {
+        let wa = suite.by_name(a).unwrap();
+        let wb = suite.by_name(b).unwrap();
+        let corr_dist = correlations_of(&catalog, wa).distance(&correlations_of(&catalog, wb))
+            / (vesta_suite::cloud::N_CORRELATIONS as f64).sqrt();
+        let raw_dist = norm_distance(&fingerprint_of(&catalog, wa), &fingerprint_of(&catalog, wb));
+        if corr_dist < raw_dist {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= 3,
+        "correlation similarity beat raw metrics on only {wins}/4 twins"
+    );
+}
+
+#[test]
+fn same_algorithm_twins_share_labels() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let space = LabelSpace::with_width(vesta_suite::cloud::N_CORRELATIONS, 0.2).unwrap();
+    let mut shared_total = 0usize;
+    let mut possible_total = 0usize;
+    for (a, b) in [
+        ("Hadoop-kmeans", "Spark-kmeans"),
+        ("Hadoop-pca", "Spark-pca"),
+    ] {
+        let la = space
+            .labels_for(correlations_of(&catalog, suite.by_name(a).unwrap()).as_slice())
+            .unwrap();
+        let lb = space
+            .labels_for(correlations_of(&catalog, suite.by_name(b).unwrap()).as_slice())
+            .unwrap();
+        shared_total += la.iter().filter(|l| lb.contains(l)).count();
+        possible_total += la.len();
+    }
+    assert!(
+        shared_total * 2 >= possible_total,
+        "framework twins share only {shared_total}/{possible_total} coarse labels"
+    );
+}
+
+#[test]
+fn vesta_beats_cross_framework_paris_on_time_prediction() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training();
+    let cfg = VestaConfig {
+        offline_reps: 2,
+        ..VestaConfig::fast()
+    };
+    let vesta = Vesta::train(catalog.clone(), &sources, cfg).unwrap();
+    let paris = Paris::train(
+        &catalog,
+        &sources,
+        ParisConfig {
+            reps: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // Per-VM time-prediction MAPE over a handful of Spark targets.
+    let mape_of = |predicted: &std::collections::BTreeMap<usize, f64>, w: &Workload| {
+        let truth: std::collections::BTreeMap<usize, f64> =
+            ground_truth_ranking(&catalog, w, 1, Objective::ExecutionTime)
+                .into_iter()
+                .collect();
+        let mut acc = 0.0;
+        let mut n = 0;
+        for (vm, pred) in predicted {
+            if let Some(t) = truth.get(vm) {
+                if t.is_finite() {
+                    acc += ((pred - t) / t).abs();
+                    n += 1;
+                }
+            }
+        }
+        100.0 * acc / n as f64
+    };
+
+    let mut vesta_better = 0;
+    let targets = [
+        "Spark-kmeans",
+        "Spark-lr",
+        "Spark-grep",
+        "Spark-count",
+        "Spark-spearman",
+    ];
+    for name in targets {
+        let w = suite.by_name(name).unwrap();
+        let vp = vesta.select_best_vm(w).unwrap();
+        let pp = paris.select(&catalog, w).unwrap();
+        if mape_of(&vp.predicted_times, w) < mape_of(&pp.predicted_times, w) {
+            vesta_better += 1;
+        }
+    }
+    assert!(
+        vesta_better >= 4,
+        "Vesta beat PARIS on only {vesta_better}/{} Spark targets",
+        targets.len()
+    );
+}
+
+#[test]
+fn ernest_is_framework_asymmetric() {
+    // Table 5: Ernest works well on Spark, poorly on Hadoop/Hive.
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let regret = |name: &str| {
+        let w = suite.by_name(name).unwrap();
+        let ernest = Ernest::train(&catalog, w, &ErnestConfig::default()).unwrap();
+        let sel = ernest.select(&catalog).unwrap();
+        selection_error_pct(&catalog, w, sel.best_vm, 1, Objective::ExecutionTime)
+    };
+    let spark = (regret("Spark-kmeans") + regret("Spark-lr")) / 2.0;
+    let hadoop = (regret("Hadoop-nutch") + regret("Hive-aggregation")) / 2.0;
+    assert!(
+        hadoop > spark,
+        "Ernest should be worse on Hadoop/Hive: hadoop {hadoop:.1}% vs spark {spark:.1}%"
+    );
+}

@@ -1,0 +1,99 @@
+//! End-to-end integration: the full Algorithm 1 pipeline across all
+//! crates, on reduced-but-realistic settings.
+
+use vesta_suite::prelude::*;
+
+fn quick_config() -> VestaConfig {
+    VestaConfig {
+        offline_reps: 2,
+        ..VestaConfig::fast()
+    }
+}
+
+fn trained() -> (Vesta, Suite) {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training();
+    let vesta = Vesta::train(catalog, &sources, quick_config()).expect("offline training");
+    (vesta, suite)
+}
+
+#[test]
+fn full_pipeline_predicts_every_spark_target() {
+    let (vesta, suite) = trained();
+    let mut errors = Vec::new();
+    for target in suite.target() {
+        let p = vesta
+            .select_best_vm(target)
+            .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
+        assert!(p.best_vm < vesta.catalog.len());
+        assert!(p.reference_vms >= 4, "{}", target.name());
+        assert!(!p.predicted_times.is_empty());
+        let err = selection_error_pct(
+            &vesta.catalog,
+            target,
+            p.best_vm,
+            1,
+            Objective::ExecutionTime,
+        );
+        errors.push(err);
+    }
+    // Every target is served, and the suite-level quality bar holds: mean
+    // selection error below 35% and no catastrophic (>150%) pick.
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    assert!(mean < 35.0, "mean selection error {mean:.1}%: {errors:?}");
+    assert!(
+        errors.iter().all(|e| *e < 150.0),
+        "catastrophic pick present: {errors:?}"
+    );
+}
+
+#[test]
+fn vesta_overhead_is_far_below_from_scratch() {
+    let (vesta, suite) = trained();
+    let target = suite.by_name("Spark-count").unwrap();
+    let p = vesta.select_best_vm(target).unwrap();
+    // The Fig. 8 claim: Vesta's online overhead (reference VMs) is a small
+    // fraction of a from-scratch full-catalog sweep.
+    assert!(p.reference_vms * 10 < vesta.catalog.len());
+}
+
+#[test]
+fn testing_set_predictions_are_accurate_same_frameworks() {
+    let (vesta, suite) = trained();
+    for w in suite.source_testing() {
+        let p = vesta.select_best_vm(w).unwrap();
+        let err = selection_error_pct(&vesta.catalog, w, p.best_vm, 1, Objective::ExecutionTime);
+        assert!(err < 30.0, "{}: {err:.1}%", w.name());
+    }
+}
+
+#[test]
+fn offline_model_exposes_complete_knowledge() {
+    let (vesta, _) = trained();
+    let m = &vesta.offline;
+    assert_eq!(m.source_order.len(), 13);
+    assert_eq!(m.u.rows(), 13);
+    assert_eq!(m.v.rows(), 120);
+    assert_eq!(m.u.cols(), m.v.cols());
+    assert!(!m.analysis.selected_features.is_empty());
+    assert!(m.analysis.pruned_fraction() >= 0.0);
+    assert_eq!(m.vm_clusters.len(), 120);
+    assert!(m.vm_clusters.iter().all(|&c| c < m.k()));
+    // Every source workload earned at least one label edge and every label
+    // in U corresponds to the shared label space.
+    for &wid in &m.source_order {
+        assert!(!m.graph.source_layer.labels_of(wid).is_empty());
+    }
+}
+
+#[test]
+fn predictions_are_deterministic_across_instances() {
+    let (vesta, suite) = trained();
+    let target = suite.by_name("Spark-pca").unwrap();
+    let a = vesta.select_best_vm(target).unwrap();
+    let b = vesta.select_best_vm(target).unwrap();
+    assert_eq!(a.best_vm, b.best_vm);
+    assert_eq!(a.observed, b.observed);
+    assert_eq!(a.candidates, b.candidates);
+}

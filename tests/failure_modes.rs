@@ -1,0 +1,164 @@
+//! Failure-injection integration tests: OOM paths, degenerate
+//! configurations, missing knowledge, and the convergence-cap fallback.
+
+use vesta_suite::cloud::{ExecutionDemand, SimError, Simulator};
+use vesta_suite::ml::sgd::SgdConfig;
+use vesta_suite::prelude::*;
+use vesta_suite::workloads::{Benchmark, MemoryWatcher, SplitSet};
+
+#[test]
+fn oom_demand_is_rescued_by_watcher_everywhere() {
+    // A Spark working set larger than any single VM's memory: raw
+    // execution OOMs on every type, the watcher makes all 120 feasible.
+    let catalog = Catalog::aws_ec2();
+    let sim = Simulator::default();
+    let watcher = MemoryWatcher::default();
+    let demand = ExecutionDemand {
+        workload_id: 999,
+        input_gb: 500.0,
+        compute_units: 10_000.0,
+        working_set_gb: 900.0,
+        shuffle_gb_per_iter: 10.0,
+        disk_gb_per_iter: 10.0,
+        iterations: 4,
+        parallelism: 256.0,
+        sync_barriers_per_iter: 2.0,
+        startup_s: 10.0,
+        spill_penalty: 3.0,
+        memory_hard: true,
+        variance_cv: 0.05,
+    };
+    let mut raw_ooms = 0;
+    for vm in catalog.all() {
+        if matches!(
+            sim.expected_time(&demand, vm, 1),
+            Err(SimError::OutOfMemory { .. })
+        ) {
+            raw_ooms += 1;
+        }
+        let adjusted = watcher.apply(&demand, vm);
+        assert!(
+            sim.expected_time(&adjusted, vm, 1).is_ok(),
+            "watcher failed to rescue {}",
+            vm.name
+        );
+    }
+    assert!(
+        raw_ooms > 100,
+        "only {raw_ooms} raw OOMs; demand not stressful enough"
+    );
+}
+
+#[test]
+fn training_with_invalid_config_is_rejected_cleanly() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(2).collect();
+    for bad in [
+        VestaConfig {
+            lambda: -0.1,
+            ..VestaConfig::fast()
+        },
+        VestaConfig {
+            k: 0,
+            ..VestaConfig::fast()
+        },
+        VestaConfig {
+            interval_width: 0.0,
+            ..VestaConfig::fast()
+        },
+        VestaConfig {
+            offline_reps: 0,
+            ..VestaConfig::fast()
+        },
+    ] {
+        assert!(Vesta::train(catalog.clone(), &sources, bad).is_err());
+    }
+}
+
+#[test]
+fn convergence_cap_triggers_fallback_not_failure() {
+    // Squeeze the SGD epoch budget so hard the CMF cannot converge: the
+    // prediction must still come back, flagged, with widened exploration —
+    // the paper's Spark-CF story.
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+    let cfg = VestaConfig {
+        offline_reps: 2,
+        sgd: SgdConfig {
+            max_epochs: 2,
+            tolerance: 0.0,
+            ..SgdConfig::default()
+        },
+        ..VestaConfig::fast()
+    };
+    let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
+    let target = suite.by_name("Spark-CF").unwrap();
+    let p = vesta
+        .select_best_vm(target)
+        .expect("fallback must serve the request");
+    assert!(!p.converged);
+    assert!(p.trained_from_scratch);
+    // The fallback widened the reference set beyond sandbox + 3 random.
+    assert!(p.reference_vms > 4, "reference VMs: {}", p.reference_vms);
+}
+
+#[test]
+fn prediction_for_unprofiled_knowledge_fails_loudly() {
+    // An offline model trained on a single workload cannot run the PCA
+    // importance analysis — the error should be a clean VestaError, not a
+    // panic.
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(1).collect();
+    let err = Vesta::train(
+        catalog,
+        &sources,
+        VestaConfig {
+            offline_reps: 1,
+            ..VestaConfig::fast()
+        },
+    )
+    .err()
+    .expect("single-workload training must fail");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("PCA") || msg.contains("knowledge"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn custom_workload_outside_table3_is_served() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training();
+    let vesta = Vesta::train(
+        catalog,
+        &sources,
+        VestaConfig {
+            offline_reps: 2,
+            ..VestaConfig::fast()
+        },
+    )
+    .unwrap();
+    let custom = Workload {
+        id: 77,
+        framework: Framework::Spark,
+        algorithm: AlgorithmKind::Als,
+        scale: DatasetScale::CustomGb(5.0),
+        benchmark: Benchmark::BigDataBench,
+        split: SplitSet::Target,
+    };
+    let p = vesta.select_best_vm(&custom).unwrap();
+    assert!(p.best_vm < vesta.catalog.len());
+    let err = selection_error_pct(
+        &vesta.catalog,
+        &custom,
+        p.best_vm,
+        1,
+        Objective::ExecutionTime,
+    );
+    assert!(err < 100.0, "custom workload selection error {err:.1}%");
+}
