@@ -161,7 +161,7 @@ impl CherryPick {
         let (best_vm, best_time_s) = probes
             .iter()
             .filter(|(_, t)| t.is_finite())
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .copied()
             .ok_or_else(|| BaselineError::Training("all probes failed".into()))?;
         Ok(CherryPickOutcome {

@@ -227,7 +227,7 @@ impl Paris {
         let predicted = self.predict_times(catalog, &fp)?;
         let best_vm = predicted
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite predictions"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(&vm, _)| vm)
             .ok_or_else(|| BaselineError::Training("empty catalog".into()))?;
         Ok(ParisSelection {

@@ -168,7 +168,7 @@ pub fn fig13(ctx: &Context) -> ExperimentReport {
                 let price = ctx.catalog.get(vm).expect("vm exists").price_per_hour;
                 (vm, price * t / 3600.0)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(vm, _)| vm)
             .expect("non-empty predictions");
         // PARIS picks for budget the same way from its predictions.
@@ -180,7 +180,7 @@ pub fn fig13(ctx: &Context) -> ExperimentReport {
                 let price = ctx.catalog.get(vm).expect("vm exists").price_per_hour;
                 (vm, price * t / 3600.0)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(vm, _)| vm)
             .expect("non-empty predictions");
         // Ernest likewise.
@@ -193,7 +193,7 @@ pub fn fig13(ctx: &Context) -> ExperimentReport {
                 let price = ctx.catalog.get(vm).expect("vm exists").price_per_hour;
                 (vm, price * t / 3600.0)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(vm, _)| vm)
             .expect("non-empty predictions");
 

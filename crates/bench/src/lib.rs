@@ -37,6 +37,7 @@ pub mod figs_practical;
 pub mod flink;
 pub mod learning;
 pub mod report;
+pub mod resilience;
 pub mod summary;
 pub mod tables;
 
@@ -70,6 +71,7 @@ pub fn run_experiment(ctx: &Context, id: &str) -> Option<ExperimentReport> {
         "summary" => summary::summary(ctx),
         "learning" => learning::learning(ctx),
         "flink" => flink::flink(ctx),
+        "resilience" => resilience::resilience(ctx),
         "fig13" => figs_practical::fig13(ctx),
         _ => return None,
     })

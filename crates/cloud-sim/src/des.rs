@@ -157,7 +157,7 @@ pub fn simulate(
             let (idx, _) = slots
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite slot times"))
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .expect("at least one core");
             slots[idx] += service;
         }

@@ -20,6 +20,22 @@ pub enum SimError {
     },
     /// Asked the store for data it does not have.
     NoData(String),
+    /// An injected transient cloud failure (spot preemption, instance
+    /// crash) survived every retry attempt the policy allowed.
+    TransientFailure {
+        /// Workload whose run kept failing.
+        workload_id: u64,
+        /// VM type the run was launched on.
+        vm_id: usize,
+        /// Launch attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// The VM type reported a persistent capacity error for this request;
+    /// retrying on the same type cannot succeed.
+    VmUnavailable {
+        /// VM type that has no capacity.
+        vm_id: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -35,6 +51,17 @@ impl fmt::Display for SimError {
                 "out of memory: needs {required_gb:.1} GB, VM offers {available_gb:.1} GB"
             ),
             SimError::NoData(s) => write!(f, "no recorded data: {s}"),
+            SimError::TransientFailure {
+                workload_id,
+                vm_id,
+                attempts,
+            } => write!(
+                f,
+                "transient failure: workload {workload_id} on VM {vm_id} failed {attempts} attempt(s)"
+            ),
+            SimError::VmUnavailable { vm_id } => {
+                write!(f, "VM type {vm_id} has no capacity (persistent)")
+            }
         }
     }
 }
@@ -55,6 +82,12 @@ mod tests {
                 available_gb: 4.0,
             },
             SimError::NoData("z".into()),
+            SimError::TransientFailure {
+                workload_id: 1,
+                vm_id: 2,
+                attempts: 3,
+            },
+            SimError::VmUnavailable { vm_id: 4 },
         ] {
             assert!(!e.to_string().is_empty());
         }

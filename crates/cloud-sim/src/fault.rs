@@ -1,0 +1,530 @@
+//! Seeded, deterministic fault injection for the simulated cloud.
+//!
+//! Real EC2 campaigns lose runs to spot preemptions and capacity errors,
+//! see stragglers from noisy neighbours, and drop or corrupt monitoring
+//! samples. The closed-form simulator in [`crate::perf`] models none of
+//! that, so nothing downstream ever exercises its failure handling. This
+//! module adds a [`FaultPlan`] (the knobs) and a [`FaultInjector`] (the
+//! deterministic draws) that consumers weave into the profiling loop.
+//!
+//! Determinism contract:
+//!
+//! * Every fault decision is a pure function of
+//!   `(base seed, plan seed, workload, vm, run index)` drawn through
+//!   [`crate::noise::run_rng`] on dedicated streams (≥ 2). The execution
+//!   and metric-jitter streams (0 and 1) are never touched, so a plan with
+//!   all rates at zero — [`FaultPlan::none`], the default — leaves the
+//!   pipeline output bit-identical to a build without this module.
+//! * Re-asking the injector about the same run returns the same answer;
+//!   fault schedules are reproducible across processes and thread
+//!   interleavings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::metrics::{MetricsTrace, N_METRICS};
+use crate::noise::run_rng;
+
+/// Noise stream carrying per-attempt run fate draws (fail / straggle).
+const STREAM_RUN_FATE: u64 = 2;
+/// Noise stream carrying the per-(workload, VM) availability draw.
+const STREAM_AVAILABILITY: u64 = 3;
+/// Noise stream carrying per-sample trace dropout / corruption draws.
+const STREAM_TRACE: u64 = 4;
+
+/// Spacing between the run indices of successive retry attempts of the same
+/// repetition, so a retried run draws fresh execution/metric noise without
+/// colliding with any other repetition's index. Attempt 0 keeps the raw
+/// repetition index, which preserves bit-identical output when no faults
+/// fire.
+pub const RETRY_RUN_STRIDE: u64 = 1_000_003;
+
+/// Fault rates for one simulated campaign. All rates are probabilities in
+/// `[0, 1]`; the default ([`FaultPlan::none`]) injects nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Extra seed folded into every fault draw so different fault universes
+    /// can share one simulator seed.
+    pub seed: u64,
+    /// Probability that an individual run attempt aborts (spot preemption,
+    /// instance crash). Retryable: the next attempt redraws its fate.
+    pub transient_failure_rate: f64,
+    /// Probability that a (workload, VM type) pair hits a persistent
+    /// capacity error: every launch of that pair fails until the caller
+    /// picks a different VM.
+    pub unavailable_rate: f64,
+    /// Probability that a run completes but straggles, its wall-clock time
+    /// (and hence cost) multiplied by [`FaultPlan::straggler_slowdown`].
+    pub straggler_rate: f64,
+    /// Multiplicative slowdown applied to straggler runs; must be ≥ 1.
+    pub straggler_slowdown: f64,
+    /// Probability that an individual 5-second metric sample is lost in
+    /// transit and never reaches the store.
+    pub sample_dropout_rate: f64,
+    /// Probability that an individual metric sample arrives with one of its
+    /// values corrupted to NaN.
+    pub metric_corruption_rate: f64,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: every rate zero. Injecting with this plan is a
+    /// provable no-op on the pipeline output.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_failure_rate: 0.0,
+            unavailable_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 2.5,
+            sample_dropout_rate: 0.0,
+            metric_corruption_rate: 0.0,
+        }
+    }
+
+    /// True when no fault class can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.transient_failure_rate <= 0.0
+            && self.unavailable_rate <= 0.0
+            && self.straggler_rate <= 0.0
+            && self.sample_dropout_rate <= 0.0
+            && self.metric_corruption_rate <= 0.0
+    }
+
+    /// Validate every knob; returns a typed error naming the first bad one.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let rates = [
+            ("transient_failure_rate", self.transient_failure_rate),
+            ("unavailable_rate", self.unavailable_rate),
+            ("straggler_rate", self.straggler_rate),
+            ("sample_dropout_rate", self.sample_dropout_rate),
+            ("metric_corruption_rate", self.metric_corruption_rate),
+        ];
+        for (name, rate) in rates {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(SimError::InvalidDemand(format!(
+                    "fault plan: {name} must be in [0, 1], got {rate}"
+                )));
+            }
+        }
+        if !self.straggler_slowdown.is_finite() || self.straggler_slowdown < 1.0 {
+            return Err(SimError::InvalidDemand(format!(
+                "fault plan: straggler_slowdown must be ≥ 1, got {}",
+                self.straggler_slowdown
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Bounded-retry knobs used by collectors when a run attempt fails
+/// transiently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum launch attempts per repetition (first try included).
+    pub max_attempts: u32,
+    /// Simulated seconds waited before the first retry; doubles per
+    /// attempt (exponential backoff). Pure bookkeeping — the ledger charges
+    /// it, no wall clock passes.
+    pub backoff_base_s: f64,
+}
+
+impl RetryPolicy {
+    /// Validate the policy; at least one attempt, finite non-negative
+    /// backoff.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.max_attempts == 0 {
+            return Err(SimError::InvalidDemand(
+                "retry policy: max_attempts must be ≥ 1".into(),
+            ));
+        }
+        if !self.backoff_base_s.is_finite() || self.backoff_base_s < 0.0 {
+            return Err(SimError::InvalidDemand(format!(
+                "retry policy: backoff_base_s must be finite and ≥ 0, got {}",
+                self.backoff_base_s
+            )));
+        }
+        Ok(())
+    }
+
+    /// Simulated backoff before retry number `attempt` (1-based): base
+    /// doubled per prior attempt.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        self.backoff_base_s * f64::powi(2.0, attempt as i32 - 1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 30.0,
+        }
+    }
+}
+
+/// What the cloud decided about one run attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunFate {
+    /// The attempt runs to completion normally.
+    Healthy,
+    /// The attempt completes but its wall-clock time (and cost) are
+    /// multiplied by the carried slowdown factor.
+    Straggler(f64),
+    /// The attempt aborts mid-flight; retrying may succeed.
+    TransientFailure,
+}
+
+/// Deterministic oracle answering "what goes wrong with this run?".
+///
+/// Stateless: every method is a pure function of its arguments and the
+/// plan, so concurrent profiling threads can share one injector and the
+/// fault schedule never depends on execution order.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Build an injector for the given plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True when the plan can never fire (the injector is a no-op).
+    pub fn is_none(&self) -> bool {
+        self.plan.is_none()
+    }
+
+    fn fault_seed(&self, base_seed: u64) -> u64 {
+        base_seed ^ self.plan.seed.wrapping_mul(0x9E3779B97F4A7C15)
+    }
+
+    /// Persistent capacity check: does this (workload, VM type) pair fail
+    /// every launch? Independent of the attempt index — re-asking always
+    /// returns the same verdict, modelling a capacity error that outlives
+    /// retries.
+    pub fn vm_unavailable(&self, base_seed: u64, workload_id: u64, vm_id: usize) -> bool {
+        if self.plan.unavailable_rate <= 0.0 {
+            return false;
+        }
+        let mut rng = run_rng(
+            self.fault_seed(base_seed),
+            workload_id,
+            vm_id as u64,
+            0,
+            STREAM_AVAILABILITY,
+        );
+        rng.gen::<f64>() < self.plan.unavailable_rate
+    }
+
+    /// Draw the fate of one run attempt. `run_idx` is the attempt's
+    /// effective run index (repetition plus [`RETRY_RUN_STRIDE`] per prior
+    /// attempt), so retries redraw their fate independently.
+    pub fn run_fate(&self, base_seed: u64, workload_id: u64, vm_id: usize, run_idx: u64) -> RunFate {
+        if self.is_none() {
+            return RunFate::Healthy;
+        }
+        let mut rng = run_rng(
+            self.fault_seed(base_seed),
+            workload_id,
+            vm_id as u64,
+            run_idx,
+            STREAM_RUN_FATE,
+        );
+        // Draw both uniforms unconditionally so the stream layout (and thus
+        // the schedule) depends only on the coordinates, not on which rates
+        // happen to be zero.
+        let u_fail = rng.gen::<f64>();
+        let u_straggle = rng.gen::<f64>();
+        if u_fail < self.plan.transient_failure_rate {
+            return RunFate::TransientFailure;
+        }
+        if u_straggle < self.plan.straggler_rate {
+            return RunFate::Straggler(self.plan.straggler_slowdown);
+        }
+        RunFate::Healthy
+    }
+
+    /// Apply monitoring-path faults to a collected trace: drop whole
+    /// samples and corrupt single metric values to NaN, deterministically
+    /// per (workload, vm, run, sample).
+    pub fn corrupt_trace(
+        &self,
+        base_seed: u64,
+        workload_id: u64,
+        vm_id: usize,
+        run_idx: u64,
+        trace: &mut MetricsTrace,
+    ) {
+        if self.plan.sample_dropout_rate <= 0.0 && self.plan.metric_corruption_rate <= 0.0 {
+            return;
+        }
+        let mut rng = run_rng(
+            self.fault_seed(base_seed),
+            workload_id,
+            vm_id as u64,
+            run_idx,
+            STREAM_TRACE,
+        );
+        let samples = std::mem::take(&mut trace.samples);
+        let mut kept = Vec::with_capacity(samples.len());
+        for mut sample in samples {
+            // Fixed three draws per sample keep the schedule aligned even
+            // when one fault class is disabled.
+            let u_drop = rng.gen::<f64>();
+            let u_corrupt = rng.gen::<f64>();
+            let metric = rng.gen_range(0..N_METRICS);
+            if u_drop < self.plan.sample_dropout_rate {
+                continue;
+            }
+            if u_corrupt < self.plan.metric_corruption_rate {
+                sample[metric] = f64::NAN;
+            }
+            kept.push(sample);
+        }
+        trace.samples = kept;
+    }
+
+    /// Drain one attempt's fate + trace faults into an RNG-free summary,
+    /// handy for tests and schedule dumps.
+    pub fn schedule_digest(
+        &self,
+        base_seed: u64,
+        workload_id: u64,
+        vm_id: usize,
+        runs: u64,
+    ) -> Vec<RunFate> {
+        (0..runs)
+            .map(|run_idx| self.run_fate(base_seed, workload_id, vm_id, run_idx))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn trace_of(samples: usize) -> MetricsTrace {
+        MetricsTrace {
+            sample_period_s: 5.0,
+            samples: vec![[1.0; N_METRICS]; samples],
+        }
+    }
+
+    #[test]
+    fn none_plan_is_inert() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        assert!(inj.is_none());
+        for run in 0..200 {
+            assert_eq!(inj.run_fate(42, 7, 11, run), RunFate::Healthy);
+        }
+        assert!(!inj.vm_unavailable(42, 7, 11));
+        let mut trace = trace_of(50);
+        let before = trace.samples.clone();
+        inj.corrupt_trace(42, 7, 11, 0, &mut trace);
+        assert_eq!(trace.samples, before);
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        let mut plan = FaultPlan::none();
+        plan.transient_failure_rate = 1.5;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::none();
+        plan.sample_dropout_rate = -0.1;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::none();
+        plan.straggler_slowdown = 0.5;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::none();
+        plan.metric_corruption_rate = f64::NAN;
+        assert!(plan.validate().is_err());
+        assert!(FaultPlan::none().validate().is_ok());
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles() {
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_s: 10.0,
+        };
+        assert_eq!(retry.backoff_s(0), 0.0);
+        assert_eq!(retry.backoff_s(1), 10.0);
+        assert_eq!(retry.backoff_s(2), 20.0);
+        assert_eq!(retry.backoff_s(3), 40.0);
+        assert!(retry.validate().is_ok());
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            backoff_base_s: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn rates_roughly_match_observed_frequencies() {
+        let plan = FaultPlan {
+            transient_failure_rate: 0.2,
+            straggler_rate: 0.1,
+            straggler_slowdown: 3.0,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(plan);
+        let n = 20_000u64;
+        let mut failures = 0usize;
+        let mut stragglers = 0usize;
+        for run in 0..n {
+            match inj.run_fate(42, 1, 2, run) {
+                RunFate::TransientFailure => failures += 1,
+                RunFate::Straggler(s) => {
+                    assert_eq!(s, 3.0);
+                    stragglers += 1;
+                }
+                RunFate::Healthy => {}
+            }
+        }
+        let fail_rate = failures as f64 / n as f64;
+        // Stragglers only fire on non-failed draws: expected 0.8 * 0.1.
+        let straggle_rate = stragglers as f64 / n as f64;
+        assert!((fail_rate - 0.2).abs() < 0.02, "fail rate {fail_rate}");
+        assert!(
+            (straggle_rate - 0.08).abs() < 0.02,
+            "straggle rate {straggle_rate}"
+        );
+    }
+
+    #[test]
+    fn unavailability_is_persistent() {
+        let plan = FaultPlan {
+            unavailable_rate: 0.3,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(plan);
+        let mut unavailable = 0usize;
+        for vm in 0..500usize {
+            let first = inj.vm_unavailable(42, 9, vm);
+            // Re-asking never flips the verdict.
+            for _ in 0..5 {
+                assert_eq!(inj.vm_unavailable(42, 9, vm), first);
+            }
+            if first {
+                unavailable += 1;
+            }
+        }
+        let rate = unavailable as f64 / 500.0;
+        assert!((rate - 0.3).abs() < 0.08, "unavailable rate {rate}");
+    }
+
+    #[test]
+    fn corruption_poisons_and_dropout_shrinks() {
+        let plan = FaultPlan {
+            sample_dropout_rate: 0.2,
+            metric_corruption_rate: 0.2,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(plan);
+        let mut trace = trace_of(500);
+        inj.corrupt_trace(42, 3, 4, 0, &mut trace);
+        assert!(trace.samples.len() < 500, "some samples dropped");
+        assert!(trace.samples.len() > 300, "dropout bounded by its rate");
+        let poisoned = trace
+            .samples
+            .iter()
+            .filter(|s| s.iter().any(|v| v.is_nan()))
+            .count();
+        assert!(poisoned > 0, "some samples corrupted");
+    }
+
+    #[test]
+    fn plan_seed_changes_schedule() {
+        let a = FaultInjector::new(FaultPlan {
+            transient_failure_rate: 0.5,
+            ..FaultPlan::none()
+        });
+        let b = FaultInjector::new(FaultPlan {
+            seed: 1,
+            transient_failure_rate: 0.5,
+            ..FaultPlan::none()
+        });
+        let fa = a.schedule_digest(42, 1, 2, 64);
+        let fb = b.schedule_digest(42, 1, 2, 64);
+        assert_ne!(fa, fb, "plan seed must shift the fault universe");
+    }
+
+    proptest! {
+        /// Same seed + same plan ⇒ identical fault schedule, independent of
+        /// how many times or in what order the injector is asked.
+        #[test]
+        fn fault_schedule_is_deterministic(
+            base_seed in any::<u64>(),
+            plan_seed in any::<u64>(),
+            fail_rate in 0.0f64..1.0,
+            straggle_rate in 0.0f64..1.0,
+            workload in 0u64..100,
+            vm in 0usize..120,
+        ) {
+            let plan = FaultPlan {
+                seed: plan_seed,
+                transient_failure_rate: fail_rate,
+                straggler_rate: straggle_rate,
+                ..FaultPlan::none()
+            };
+            let a = FaultInjector::new(plan.clone());
+            let b = FaultInjector::new(plan);
+            let sched_a = a.schedule_digest(base_seed, workload, vm, 32);
+            // Ask b in reverse order: schedules must still agree entry-wise.
+            let mut sched_b: Vec<RunFate> = (0..32u64).rev()
+                .map(|run| b.run_fate(base_seed, workload, vm, run))
+                .collect();
+            sched_b.reverse();
+            prop_assert_eq!(sched_a, sched_b);
+            prop_assert_eq!(
+                a.vm_unavailable(base_seed, workload, vm),
+                b.vm_unavailable(base_seed, workload, vm)
+            );
+        }
+
+        /// Trace corruption is deterministic: same coordinates ⇒ same kept
+        /// samples and same NaN positions.
+        #[test]
+        fn trace_corruption_is_deterministic(
+            base_seed in any::<u64>(),
+            drop_rate in 0.0f64..0.5,
+            corrupt_rate in 0.0f64..0.5,
+            samples in 3usize..80,
+        ) {
+            let plan = FaultPlan {
+                sample_dropout_rate: drop_rate,
+                metric_corruption_rate: corrupt_rate,
+                ..FaultPlan::none()
+            };
+            let inj = FaultInjector::new(plan);
+            let mut t1 = trace_of(samples);
+            let mut t2 = trace_of(samples);
+            inj.corrupt_trace(base_seed, 5, 6, 2, &mut t1);
+            inj.corrupt_trace(base_seed, 5, 6, 2, &mut t2);
+            // NaN != NaN, so compare bit patterns.
+            let bits = |t: &MetricsTrace| -> Vec<u64> {
+                t.samples.iter().flat_map(|s| s.iter().map(|v| v.to_bits())).collect()
+            };
+            prop_assert_eq!(bits(&t1), bits(&t2));
+        }
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`metrics`] — the 20 low-level metrics sampled every 5 s and the
 //!   10 correlation similarities of Table 1.
 //! * [`noise`] — seeded lognormal run-to-run variability (P90 handling).
+//! * [`fault`] — seeded, deterministic fault injection (transient run
+//!   failures, capacity errors, stragglers, metric dropout/corruption) and
+//!   the bounded [`fault::RetryPolicy`] consumers use to survive it.
 //! * [`store`] — the in-memory stand-in for the paper's MySQL store.
 //! * [`des`] — a task-level discrete-event re-implementation of the BSP
 //!   semantics that cross-validates the closed-form model (stragglers and
@@ -21,6 +24,7 @@
 pub mod catalog;
 pub mod des;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod noise;
 pub mod perf;
@@ -30,6 +34,7 @@ pub mod vmtype;
 pub use catalog::Catalog;
 pub use des::{simulate as des_simulate, DesConfig, DesResult};
 pub use error::SimError;
+pub use fault::{FaultInjector, FaultPlan, RetryPolicy, RunFate, RETRY_RUN_STRIDE};
 pub use metrics::{
     Collector, CorrelationEstimator, CorrelationVector, MetricsTrace, CORRELATION_NAMES,
     N_CORRELATIONS, N_METRICS,

@@ -67,12 +67,23 @@ impl MetricsTrace {
     }
 
     /// Mean of one metric (average resource utilization, as the paper's
-    /// Data Collector stores).
+    /// Data Collector stores). Non-finite values — e.g. samples a fault
+    /// plan corrupted to NaN — are masked out instead of poisoning the
+    /// mean; all-masked series report 0.
     pub fn mean(&self, metric: usize) -> f64 {
-        if self.samples.is_empty() {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in &self.samples {
+            let v = s[metric];
+            if v.is_finite() {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
             return 0.0;
         }
-        self.samples.iter().map(|s| s[metric]).sum::<f64>() / self.samples.len() as f64
+        sum / n as f64
     }
 
     /// Number of samples.
@@ -115,9 +126,24 @@ impl MetricsTrace {
             )));
         }
         let p = |a: &[f64], b: &[f64]| -> f64 {
+            // Pairwise deletion: mask any sample where either side is
+            // non-finite (metric corruption leaves NaNs behind) so one
+            // poisoned value degrades a single feature instead of NaN-ing
+            // the whole vector. Too few clean pairs impute a neutral 0.
+            let (xs, ys): (Vec<f64>, Vec<f64>) = a
+                .iter()
+                .zip(b)
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|(x, y)| (*x, *y))
+                .unzip();
+            if xs.len() < 3 {
+                return 0.0;
+            }
             match estimator {
-                CorrelationEstimator::Pearson => vesta_ml::stats::pearson(a, b).unwrap_or(0.0),
-                CorrelationEstimator::Spearman => vesta_ml::stats::spearman(a, b).unwrap_or(0.0),
+                CorrelationEstimator::Pearson => vesta_ml::stats::pearson(&xs, &ys).unwrap_or(0.0),
+                CorrelationEstimator::Spearman => {
+                    vesta_ml::stats::spearman(&xs, &ys).unwrap_or(0.0)
+                }
             }
         };
         let cpu = self.cpu_busy();
@@ -632,6 +658,40 @@ mod tests {
         let m = CorrelationVector::mean_of(&[a, b]).unwrap();
         assert!((m.values[0] - 1.5).abs() < 1e-12);
         assert!(CorrelationVector::mean_of(&[]).is_none());
+    }
+
+    #[test]
+    fn corrupted_samples_are_masked_not_propagated() {
+        let mut t = trace_for("m5.2xlarge");
+        // Poison a scattering of values the way the fault injector does.
+        for (i, s) in t.samples.iter_mut().enumerate() {
+            if i % 7 == 0 {
+                s[i % N_METRICS] = f64::NAN;
+            }
+        }
+        let c = t.correlations().unwrap();
+        for (i, v) in c.values.iter().enumerate() {
+            assert!(
+                v.is_finite() && (-1.0..=1.0).contains(v),
+                "{} = {v}",
+                CORRELATION_NAMES[i]
+            );
+        }
+        for m in 0..N_METRICS {
+            assert!(t.mean(m).is_finite(), "mean of {} not finite", METRIC_NAMES[m]);
+        }
+    }
+
+    #[test]
+    fn all_corrupted_series_imputes_neutral_zero() {
+        let mut t = trace_for("m5.2xlarge");
+        for s in t.samples.iter_mut() {
+            s[3] = f64::NAN; // ram_usage fully lost
+        }
+        let c = t.correlations().unwrap();
+        assert_eq!(c.values[0], 0.0, "cpu-to-memory should impute 0");
+        assert_eq!(c.values[1], 0.0, "memory-to-disk should impute 0");
+        assert_eq!(t.mean(3), 0.0);
     }
 
     #[test]

@@ -398,7 +398,7 @@ pub fn exhaustive_ranking(
             (vm.id, score)
         })
         .collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are not NaN"));
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
     scored
 }
 

@@ -86,7 +86,7 @@ impl<'a> CorrelationAnalyzer<'a> {
                 .map_err(VestaError::Sim)?;
             ranking.push((vm_id, agg.p90_time_s));
         }
-        ranking.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
         Ok(ranking)
     }
 
@@ -107,6 +107,14 @@ impl<'a> CorrelationAnalyzer<'a> {
         let mut rows = Vec::with_capacity(workload_ids.len());
         for &id in workload_ids {
             let cv = self.workload_correlation(id)?;
+            // The metrics layer masks corrupted samples and imputes neutral
+            // correlations, so non-finite entries here mean a bug upstream;
+            // fail with a typed error rather than letting PCA chew on NaN.
+            if cv.as_slice().iter().any(|v| !v.is_finite()) {
+                return Err(VestaError::NoKnowledge(format!(
+                    "workload {id} produced a non-finite correlation vector"
+                )));
+            }
             rows.push(cv.as_slice().to_vec());
             workload_correlations.insert(id, cv);
             workload_rankings.insert(id, self.workload_ranking(id)?);

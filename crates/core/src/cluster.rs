@@ -174,7 +174,7 @@ impl<'a> ClusterSizer<'a> {
             Objective::Budget => c.predicted_cost_usd,
             _ => c.predicted_time_s,
         };
-        out.sort_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite scores"));
+        out.sort_by(|a, b| key(a).total_cmp(&key(b)));
         Ok(out)
     }
 }
@@ -206,7 +206,7 @@ pub fn ground_truth_cluster_ranking(
             })
         })
         .collect();
-    scored.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN scores"));
+    scored.sort_by(|a, b| a.2.total_cmp(&b.2));
     scored
 }
 

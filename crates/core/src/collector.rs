@@ -2,10 +2,20 @@
 //! the 20 low-level metrics every 5 seconds, repeats each run (the paper's
 //! 10×, keeping a conservative P90) and stores everything in the
 //! [`MetricsStore`] (the MySQL substitute).
+//!
+//! Under a [`FaultPlan`] the collector degrades gracefully instead of
+//! propagating the first error: transient run failures are retried with
+//! exponential simulated-time backoff up to [`RetryPolicy::max_attempts`],
+//! and every failed attempt is charged to a run-budget ledger so the
+//! training-overhead accounting of Figs. 3 and 8 stays honest — a retried
+//! run costs real cloud money even when it eventually succeeds.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use rayon::prelude::*;
 use vesta_cloud_sim::{
-    Collector, CorrelationEstimator, MetricsStore, RunKey, RunRecord, SimError, Simulator, VmType,
+    Collector, CorrelationEstimator, FaultInjector, FaultPlan, MetricsStore, RetryPolicy, RunFate,
+    RunKey, RunRecord, SimError, Simulator, VmType, RETRY_RUN_STRIDE,
 };
 use vesta_workloads::{MemoryWatcher, Workload};
 
@@ -18,6 +28,13 @@ pub struct DataCollector {
     watcher: MemoryWatcher,
     nodes: u32,
     estimator: CorrelationEstimator,
+    injector: FaultInjector,
+    retry: RetryPolicy,
+    /// Failed launch attempts charged to the run budget (atomic: `profile`
+    /// takes `&self` and runs under rayon in `profile_matrix`).
+    failed_attempts: AtomicUsize,
+    /// Simulated backoff milliseconds spent waiting between retries.
+    backoff_ms: AtomicU64,
 }
 
 impl DataCollector {
@@ -35,12 +52,24 @@ impl DataCollector {
             watcher: MemoryWatcher::default(),
             nodes,
             estimator: CorrelationEstimator::Pearson,
+            injector: FaultInjector::new(FaultPlan::none()),
+            retry: RetryPolicy::default(),
+            failed_attempts: AtomicUsize::new(0),
+            backoff_ms: AtomicU64::new(0),
         }
     }
 
     /// Override the correlation estimator (ablation knob).
     pub fn with_estimator(mut self, estimator: CorrelationEstimator) -> Self {
         self.estimator = estimator;
+        self
+    }
+
+    /// Attach a fault plan and retry policy. With [`FaultPlan::none`] the
+    /// collector behaves bit-identically to a fault-free build.
+    pub fn with_faults(mut self, plan: FaultPlan, retry: RetryPolicy) -> Self {
+        self.injector = FaultInjector::new(plan);
+        self.retry = retry;
         self
     }
 
@@ -54,41 +83,106 @@ impl DataCollector {
         &self.store
     }
 
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.injector.plan()
+    }
+
     /// Total simulated runs so far — the training-overhead currency of
-    /// Figs. 3 and 8.
+    /// Figs. 3 and 8. Successful runs plus every charged failed attempt:
+    /// a preempted run still burnt cloud time before it died.
     pub fn runs_consumed(&self) -> usize {
-        self.store.total_runs()
+        self.store.total_runs() + self.failed_attempts()
+    }
+
+    /// Failed launch attempts charged to the budget so far.
+    pub fn failed_attempts(&self) -> usize {
+        self.failed_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated seconds spent in retry backoff.
+    pub fn backoff_s(&self) -> f64 {
+        self.backoff_ms.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Charge one failed attempt and the backoff that precedes retry
+    /// number `attempt + 1`.
+    fn charge_failure(&self, attempt: u32) {
+        self.failed_attempts.fetch_add(1, Ordering::Relaxed);
+        let wait_ms = (self.retry.backoff_s(attempt + 1) * 1000.0).round() as u64;
+        self.backoff_ms.fetch_add(wait_ms, Ordering::Relaxed);
     }
 
     /// Profile `workload` on `vm` for `reps` repetitions, recording each
     /// run. Spark demands pass through the Mesos-style memory watcher first
     /// (Section 5.1), so hard OOMs become wave-splitting instead of errors.
+    ///
+    /// Fault semantics: a persistent capacity error fails immediately
+    /// (retrying the same VM type cannot help); a transient failure is
+    /// retried up to the policy's attempt cap, each failure charged to the
+    /// ledger; a straggler completes with its time and cost amplified.
     pub fn profile(&self, workload: &Workload, vm: &VmType, reps: u64) -> Result<(), SimError> {
         let raw = workload.demand();
         let demand = self.watcher.apply(&raw, vm);
+        let seed = self.sim.config().seed;
+        if self.injector.vm_unavailable(seed, workload.id, vm.id) {
+            // The failed launch still consumed an API call and a budget
+            // slot before the capacity error came back.
+            self.failed_attempts.fetch_add(1, Ordering::Relaxed);
+            return Err(SimError::VmUnavailable { vm_id: vm.id });
+        }
         for rep in 0..reps {
-            let result = self.sim.run(&demand, vm, self.nodes, rep)?;
-            let trace = self
-                .sampler
-                .collect(&self.sim, &demand, vm, self.nodes, rep)?;
-            let correlations = trace.correlations_with(self.estimator)?;
-            let mut metric_means = [0.0; vesta_cloud_sim::N_METRICS];
-            for (m, out) in metric_means.iter_mut().enumerate() {
-                *out = trace.mean(m);
+            let mut attempt: u32 = 0;
+            loop {
+                // Attempt 0 keeps run index == rep, preserving bit-identical
+                // noise draws when no fault fires; retries jump by a stride
+                // so they sample fresh, non-colliding noise.
+                let run_idx = rep + attempt as u64 * RETRY_RUN_STRIDE;
+                let fate = self.injector.run_fate(seed, workload.id, vm.id, run_idx);
+                if fate == RunFate::TransientFailure {
+                    self.charge_failure(attempt);
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts {
+                        return Err(SimError::TransientFailure {
+                            workload_id: workload.id,
+                            vm_id: vm.id,
+                            attempts: attempt,
+                        });
+                    }
+                    continue;
+                }
+                let mut result = self.sim.run(&demand, vm, self.nodes, run_idx)?;
+                if let RunFate::Straggler(slowdown) = fate {
+                    // Wall-clock stretches; on-demand cost is linear in
+                    // time, so it stretches by the same factor.
+                    result.execution_time_s *= slowdown;
+                    result.cost_usd *= slowdown;
+                }
+                let mut trace = self
+                    .sampler
+                    .collect(&self.sim, &demand, vm, self.nodes, run_idx)?;
+                self.injector
+                    .corrupt_trace(seed, workload.id, vm.id, run_idx, &mut trace);
+                let correlations = trace.correlations_with(self.estimator)?;
+                let mut metric_means = [0.0; vesta_cloud_sim::N_METRICS];
+                for (m, out) in metric_means.iter_mut().enumerate() {
+                    *out = trace.mean(m);
+                }
+                self.store.insert(
+                    RunKey {
+                        workload_id: workload.id,
+                        vm_id: vm.id,
+                    },
+                    RunRecord {
+                        run_idx,
+                        execution_time_s: result.execution_time_s,
+                        cost_usd: result.cost_usd,
+                        correlations,
+                        metric_means,
+                    },
+                );
+                break;
             }
-            self.store.insert(
-                RunKey {
-                    workload_id: workload.id,
-                    vm_id: vm.id,
-                },
-                RunRecord {
-                    run_idx: rep,
-                    execution_time_s: result.execution_time_s,
-                    cost_usd: result.cost_usd,
-                    correlations,
-                    metric_means,
-                },
-            );
         }
         Ok(())
     }
@@ -116,6 +210,7 @@ impl DataCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use vesta_cloud_sim::Catalog;
     use vesta_workloads::Suite;
 
@@ -161,5 +256,198 @@ mod tests {
         let vm = cat.by_name("t3.micro").unwrap();
         dc.profile(w, vm, 1).unwrap();
         assert_eq!(dc.runs_consumed(), 1);
+    }
+
+    #[test]
+    fn none_plan_profiles_bit_identically() {
+        let cat = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let w = suite.by_id(2).unwrap();
+        let vm = cat.by_name("c5.2xlarge").unwrap();
+        let plain = DataCollector::new(Simulator::default(), 1);
+        let injected = DataCollector::new(Simulator::default(), 1)
+            .with_faults(FaultPlan::none(), RetryPolicy::default());
+        plain.profile(w, vm, 3).unwrap();
+        injected.profile(w, vm, 3).unwrap();
+        let key = RunKey {
+            workload_id: w.id,
+            vm_id: vm.id,
+        };
+        let a = plain.store().records(&key).unwrap();
+        let b = injected.store().records(&key).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.run_idx, rb.run_idx);
+            assert_eq!(ra.execution_time_s.to_bits(), rb.execution_time_s.to_bits());
+            assert_eq!(ra.cost_usd.to_bits(), rb.cost_usd.to_bits());
+            assert_eq!(ra.correlations, rb.correlations);
+        }
+        assert_eq!(plain.runs_consumed(), injected.runs_consumed());
+        assert_eq!(injected.failed_attempts(), 0);
+        assert_eq!(injected.backoff_s(), 0.0);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_charged() {
+        let cat = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let plan = FaultPlan {
+            transient_failure_rate: 0.3,
+            ..FaultPlan::none()
+        };
+        let dc = DataCollector::new(Simulator::default(), 1).with_faults(
+            plan,
+            RetryPolicy {
+                max_attempts: 5,
+                backoff_base_s: 10.0,
+            },
+        );
+        let w = suite.by_id(3).unwrap();
+        let vm = cat.by_name("m5.2xlarge").unwrap();
+        dc.profile(w, vm, 10).unwrap();
+        let successes = dc.store().total_runs();
+        assert_eq!(successes, 10, "every repetition eventually lands");
+        assert!(dc.failed_attempts() > 0, "a 30% fail rate must charge retries");
+        assert_eq!(dc.runs_consumed(), successes + dc.failed_attempts());
+        assert!(dc.backoff_s() > 0.0, "retries wait simulated backoff");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        let cat = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let plan = FaultPlan {
+            transient_failure_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let dc = DataCollector::new(Simulator::default(), 1).with_faults(
+            plan,
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_base_s: 1.0,
+            },
+        );
+        let w = suite.by_id(1).unwrap();
+        let vm = cat.by_name("m5.2xlarge").unwrap();
+        let err = dc.profile(w, vm, 2).unwrap_err();
+        assert!(
+            matches!(err, SimError::TransientFailure { attempts: 3, .. }),
+            "{err:?}"
+        );
+        assert_eq!(dc.store().total_runs(), 0);
+        assert_eq!(dc.failed_attempts(), 3);
+        assert_eq!(dc.runs_consumed(), 3);
+    }
+
+    #[test]
+    fn unavailable_vm_fails_fast_and_charges_once() {
+        let cat = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let plan = FaultPlan {
+            unavailable_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let dc =
+            DataCollector::new(Simulator::default(), 1).with_faults(plan, RetryPolicy::default());
+        let w = suite.by_id(1).unwrap();
+        let vm = cat.by_name("m5.2xlarge").unwrap();
+        let err = dc.profile(w, vm, 5).unwrap_err();
+        assert!(matches!(err, SimError::VmUnavailable { .. }), "{err:?}");
+        assert_eq!(dc.failed_attempts(), 1, "no retry against a capacity error");
+        assert_eq!(dc.store().total_runs(), 0);
+    }
+
+    #[test]
+    fn corrupted_metrics_still_yield_finite_records() {
+        let cat = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let plan = FaultPlan {
+            sample_dropout_rate: 0.10,
+            metric_corruption_rate: 0.20,
+            ..FaultPlan::none()
+        };
+        let dc =
+            DataCollector::new(Simulator::default(), 1).with_faults(plan, RetryPolicy::default());
+        let w = suite.by_id(4).unwrap();
+        let vm = cat.by_name("r5.2xlarge").unwrap();
+        dc.profile(w, vm, 3).unwrap();
+        let records = dc
+            .store()
+            .records(&RunKey {
+                workload_id: w.id,
+                vm_id: vm.id,
+            })
+            .unwrap();
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            for v in r.correlations.as_slice() {
+                assert!(v.is_finite(), "correlation {v} leaked out of masking");
+            }
+            for v in &r.metric_means {
+                assert!(v.is_finite(), "metric mean {v} leaked out of masking");
+            }
+        }
+    }
+
+    proptest! {
+        /// Ledger invariant: runs_consumed = successes + charged failures,
+        /// whatever the fault rate, seed or retry budget.
+        #[test]
+        fn prop_budget_ledger_balances(
+            fail_rate in 0.0f64..0.6,
+            plan_seed in 0u64..1000,
+            max_attempts in 1u32..6,
+            reps in 1u64..6,
+        ) {
+            let cat = Catalog::aws_ec2();
+            let suite = Suite::paper();
+            let plan = FaultPlan {
+                seed: plan_seed,
+                transient_failure_rate: fail_rate,
+                ..FaultPlan::none()
+            };
+            let dc = DataCollector::new(Simulator::default(), 1).with_faults(
+                plan,
+                RetryPolicy { max_attempts, backoff_base_s: 5.0 },
+            );
+            let w = suite.by_id(5).unwrap();
+            let vm = cat.by_name("m5.xlarge").unwrap();
+            let _ = dc.profile(w, vm, reps);
+            prop_assert_eq!(
+                dc.runs_consumed(),
+                dc.store().total_runs() + dc.failed_attempts()
+            );
+            // Each repetition either succeeds within the attempt cap or the
+            // profile aborts; failures per rep are bounded by the cap.
+            prop_assert!(dc.failed_attempts() <= (reps as usize) * max_attempts as usize);
+        }
+
+        /// Same plan ⇒ same ledger: the retry schedule is deterministic.
+        #[test]
+        fn prop_retry_schedule_deterministic(
+            fail_rate in 0.0f64..0.5,
+            plan_seed in 0u64..500,
+        ) {
+            let cat = Catalog::aws_ec2();
+            let suite = Suite::paper();
+            let mk = || {
+                let plan = FaultPlan {
+                    seed: plan_seed,
+                    transient_failure_rate: fail_rate,
+                    ..FaultPlan::none()
+                };
+                DataCollector::new(Simulator::default(), 1)
+                    .with_faults(plan, RetryPolicy::default())
+            };
+            let (a, b) = (mk(), mk());
+            let w = suite.by_id(6).unwrap();
+            let vm = cat.by_name("c5.xlarge").unwrap();
+            let ra = a.profile(w, vm, 4);
+            let rb = b.profile(w, vm, 4);
+            prop_assert_eq!(ra.is_ok(), rb.is_ok());
+            prop_assert_eq!(a.failed_attempts(), b.failed_attempts());
+            prop_assert_eq!(a.store().total_runs(), b.store().total_runs());
+            prop_assert_eq!(a.backoff_s(), b.backoff_s());
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! names, with the paper's published values as defaults.
 
 use serde::{Deserialize, Serialize};
-use vesta_cloud_sim::CorrelationEstimator;
+use vesta_cloud_sim::{CorrelationEstimator, FaultPlan, RetryPolicy};
 use vesta_ml::cmf::CmfConfig;
 use vesta_ml::kmeans::KMeansConfig;
 use vesta_ml::sgd::SgdConfig;
@@ -50,6 +50,15 @@ pub struct VestaConfig {
     /// ablation). Defaults to Pearson when absent (older snapshots).
     #[serde(default)]
     pub correlation_estimator: CorrelationEstimator,
+    /// Fault plan injected into every profiling and reference run. Defaults
+    /// to [`FaultPlan::none`] (also what older snapshots deserialize to),
+    /// under which the pipeline is bit-identical to a fault-free build.
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
+    /// Retry policy for transiently failed runs; only consulted when the
+    /// fault plan can fire.
+    #[serde(default)]
+    pub retry: RetryPolicy,
     /// Experiment-wide seed.
     pub seed: u64,
 }
@@ -76,6 +85,8 @@ impl Default for VestaConfig {
                 l2_reg: 0.02,
             },
             correlation_estimator: CorrelationEstimator::Pearson,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             seed: 42,
         }
     }
@@ -131,6 +142,12 @@ impl VestaConfig {
         if self.top_vms_per_workload == 0 {
             return Err(VestaError::Config("top_vms_per_workload = 0".into()));
         }
+        self.fault_plan
+            .validate()
+            .map_err(|e| VestaError::Config(e.to_string()))?;
+        self.retry
+            .validate()
+            .map_err(|e| VestaError::Config(e.to_string()))?;
         Ok(())
     }
 
@@ -166,6 +183,7 @@ mod tests {
         assert!((c.interval_width - 0.05).abs() < 1e-12);
         assert_eq!(c.online_random_vms, 3);
         assert_eq!(c.offline_reps, 10);
+        assert!(c.fault_plan.is_none(), "no faults unless asked for");
         assert!(c.validate().is_ok());
     }
 
@@ -188,6 +206,9 @@ mod tests {
             |c: &mut VestaConfig| c.nodes = 0,
             |c: &mut VestaConfig| c.cluster_smoothing = -0.1,
             |c: &mut VestaConfig| c.top_vms_per_workload = 0,
+            |c: &mut VestaConfig| c.fault_plan.transient_failure_rate = 2.0,
+            |c: &mut VestaConfig| c.fault_plan.straggler_slowdown = 0.2,
+            |c: &mut VestaConfig| c.retry.max_attempts = 0,
         ] {
             let mut c = VestaConfig::default();
             mutate(&mut c);

@@ -98,7 +98,7 @@ pub fn explain(
             .map(|(wid, _)| workload_name(wid))
             .collect();
         let mut vms: Vec<(u64, f64)> = model.graph.vm_layer.lefts_of(label);
-        vms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        vms.sort_by(|a, b| b.1.total_cmp(&a.1));
         let top_vms = vms
             .into_iter()
             .take(3)
@@ -132,7 +132,7 @@ pub fn explain(
         .iter()
         .map(|(&vm, &t)| (vm, t))
         .collect();
-    by_time.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+    by_time.sort_by(|a, b| a.1.total_cmp(&b.1));
     let runner_ups = by_time
         .iter()
         .filter(|(vm, _)| *vm != prediction.best_vm)

@@ -58,8 +58,9 @@ impl OfflineModel {
             seed: config.seed,
             ..Default::default()
         });
-        let collector =
-            DataCollector::new(sim, config.nodes).with_estimator(config.correlation_estimator);
+        let collector = DataCollector::new(sim, config.nodes)
+            .with_estimator(config.correlation_estimator)
+            .with_faults(config.fault_plan.clone(), config.retry.clone());
         let vm_refs: Vec<&vesta_cloud_sim::VmType> = catalog.all().iter().collect();
         let failures = collector.profile_matrix(source_workloads, &vm_refs, config.offline_reps);
         if !failures.is_empty() {
@@ -243,7 +244,7 @@ mod tests {
         // best two-hop VM should be a reasonable performer for the workload
         let best_hop = scores
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(&vm, _)| vm as usize)
             .unwrap();
         let ranking = &m.analysis.workload_rankings[&m.source_order[0]];

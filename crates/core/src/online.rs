@@ -18,11 +18,11 @@
 //!    solve does not converge — "in the worst cases, Vesta may train
 //!    workloads from scratch, just as the existing efforts".
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vesta_cloud_sim::{Catalog, RunKey, Simulator};
+use vesta_cloud_sim::{Catalog, FaultPlan, RetryPolicy, RunKey, SimError, Simulator};
 use vesta_ml::cmf::{solve as cmf_solve, CmfProblem, Mask};
 use vesta_ml::Matrix;
 use vesta_workloads::Workload;
@@ -57,6 +57,13 @@ pub struct Prediction {
     /// The completed target labels (argmax interval per selected feature)
     /// — what the workload "conforms to" after CMF completion.
     pub target_labels: Vec<vesta_graph::Label>,
+    /// Reference VMs that failed persistently (capacity errors, exhausted
+    /// retries) and were deterministically replaced or skipped.
+    pub failed_reference_vms: Vec<usize>,
+    /// Simulated runs charged to failed attempts while serving this
+    /// prediction — the extra overhead the fault plan cost on top of
+    /// `reference_vms × online_reps`.
+    pub extra_reference_runs: usize,
 }
 
 impl Prediction {
@@ -102,13 +109,22 @@ impl<'a> OnlinePredictor<'a> {
             model,
             catalog,
             collector: DataCollector::new(sim, model.config.nodes)
-                .with_estimator(model.config.correlation_estimator),
+                .with_estimator(model.config.correlation_estimator)
+                .with_faults(model.config.fault_plan.clone(), model.config.retry.clone()),
             overlay: parking_lot::RwLock::new(vesta_graph::LabelLayer::new()),
             absorbed: parking_lot::RwLock::new(Vec::new()),
             absorbed_curves: parking_lot::RwLock::new(Vec::new()),
             candidate_pool: 30,
             fallback_extra_vms: 4,
         }
+    }
+
+    /// Override the fault plan and retry policy for this predictor's
+    /// reference runs (e.g. the resilience sweep injecting faults into the
+    /// online phase of a cleanly trained model).
+    pub fn with_faults(mut self, plan: FaultPlan, retry: RetryPolicy) -> Self {
+        self.collector = self.collector.with_faults(plan, retry);
+        self
     }
 
     /// Online reference runs consumed so far across predictions.
@@ -134,7 +150,7 @@ impl<'a> OnlinePredictor<'a> {
             self.catalog
                 .all()
                 .iter()
-                .max_by(|a, b| a.memory_gb.partial_cmp(&b.memory_gb).expect("finite"))
+                .max_by(|a, b| a.memory_gb.total_cmp(&b.memory_gb))
                 .expect("catalog non-empty")
                 .id
         })
@@ -155,7 +171,37 @@ impl<'a> OnlinePredictor<'a> {
         picked
     }
 
+    /// Run one reference VM and return its `(vm, observed P90)` pair.
+    fn run_reference(&self, workload: &Workload, vm_id: usize) -> Result<(usize, f64), VestaError> {
+        let vm = self.catalog.get(vm_id).map_err(VestaError::Sim)?;
+        self.collector
+            .profile(workload, vm, self.model.config.online_reps)
+            .map_err(VestaError::Sim)?;
+        let agg = self
+            .collector
+            .store()
+            .aggregate(&RunKey {
+                workload_id: workload.id,
+                vm_id,
+            })
+            .map_err(VestaError::Sim)?;
+        Ok((vm_id, agg.p90_time_s))
+    }
+
+    /// True when a reference-run error means "this VM is a lost cause for
+    /// now" (exhausted retries or a capacity error) rather than a bug the
+    /// caller must see.
+    fn is_persistent_vm_failure(err: &VestaError) -> bool {
+        matches!(
+            err,
+            VestaError::Sim(SimError::TransientFailure { .. })
+                | VestaError::Sim(SimError::VmUnavailable { .. })
+        )
+    }
+
     /// Run the reference VMs and return `(vm, observed P90)` pairs.
+    /// VMs lost to persistent cloud failures are skipped (the fallback
+    /// widening tolerates holes); other errors propagate.
     fn run_references(
         &self,
         workload: &Workload,
@@ -163,19 +209,11 @@ impl<'a> OnlinePredictor<'a> {
     ) -> Result<Vec<(usize, f64)>, VestaError> {
         let mut out = Vec::with_capacity(vm_ids.len());
         for &vm_id in vm_ids {
-            let vm = self.catalog.get(vm_id).map_err(VestaError::Sim)?;
-            self.collector
-                .profile(workload, vm, self.model.config.online_reps)
-                .map_err(VestaError::Sim)?;
-            let agg = self
-                .collector
-                .store()
-                .aggregate(&RunKey {
-                    workload_id: workload.id,
-                    vm_id,
-                })
-                .map_err(VestaError::Sim)?;
-            out.push((vm_id, agg.p90_time_s));
+            match self.run_reference(workload, vm_id) {
+                Ok(pair) => out.push(pair),
+                Err(e) if Self::is_persistent_vm_failure(&e) => continue,
+                Err(e) => return Err(e),
+            }
         }
         Ok(out)
     }
@@ -233,7 +271,7 @@ impl<'a> OnlinePredictor<'a> {
             // confident feature — the one its runs disagree on least.
             if let Some(&(f, _, interval)) = spreads
                 .iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite spreads"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
             {
                 observe_feature(space, &mut row, &mut mask, f, interval);
             }
@@ -244,11 +282,54 @@ impl<'a> OnlinePredictor<'a> {
     /// Predict the best VM type for `workload` (Algorithm 1, full flow).
     pub fn predict(&self, workload: &Workload) -> Result<Prediction, VestaError> {
         let cfg = &self.model.config;
+        let failed_attempts_before = self.collector.failed_attempts();
         // ---- lines 1-2: sandbox + 3 random reference VMs -----------------
+        // A reference VM that fails persistently (capacity error, exhausted
+        // retries) is replaced by a deterministic redraw, bounded so a
+        // hostile fault plan cannot spin the budget forever; the exploration
+        // then degrades to however many references actually landed.
         let sandbox = self.sandbox_vm(workload);
-        let mut reference = vec![sandbox];
-        reference.extend(self.random_vms(workload.id, cfg.online_random_vms, &[sandbox]));
-        let mut observed = self.run_references(workload, &reference)?;
+        let mut wanted = vec![sandbox];
+        wanted.extend(self.random_vms(workload.id, cfg.online_random_vms, &[sandbox]));
+        let target_refs = wanted.len();
+        let max_redraws = 2 * target_refs;
+        let mut tried: Vec<usize> = wanted.clone();
+        let mut queue: VecDeque<usize> = wanted.into_iter().collect();
+        let mut reference: Vec<usize> = Vec::with_capacity(target_refs);
+        let mut observed: Vec<(usize, f64)> = Vec::with_capacity(target_refs);
+        let mut failed_reference_vms: Vec<usize> = Vec::new();
+        let mut redraws = 0usize;
+        while let Some(vm_id) = queue.pop_front() {
+            match self.run_reference(workload, vm_id) {
+                Ok(pair) => {
+                    reference.push(vm_id);
+                    observed.push(pair);
+                }
+                Err(e) if Self::is_persistent_vm_failure(&e) => {
+                    failed_reference_vms.push(vm_id);
+                    if redraws < max_redraws {
+                        redraws += 1;
+                        let salt = REFERENCE_REDRAW_SALT.wrapping_add(redraws as u64);
+                        if let Some(&replacement) =
+                            self.random_vms(workload.id ^ salt, 1, &tried).first()
+                        {
+                            tried.push(replacement);
+                            queue.push_back(replacement);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if observed.is_empty() {
+            return Err(VestaError::NoKnowledge(format!(
+                "every reference VM failed persistently for workload {} \
+                 ({} tried)",
+                workload.id,
+                tried.len()
+            )));
+        }
+        let reference_underfilled = observed.len() < target_refs;
 
         // ---- line 5: sparse U* row ---------------------------------------
         let (row, mask) = self.observed_row(workload.id, &reference)?;
@@ -277,7 +358,7 @@ impl<'a> OnlinePredictor<'a> {
             .copied()
             .zip(raw_aff)
             .collect();
-        source_affinities.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite affinities"));
+        source_affinities.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         // ---- candidates: two-hop walk through completed labels -----------
         let space = &self.model.analysis.label_space;
@@ -314,7 +395,7 @@ impl<'a> OnlinePredictor<'a> {
         }
         let knowledge_scores = vm_scores.clone();
         let mut candidates: Vec<(usize, f64)> = vm_scores.into_iter().collect();
-        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
         let candidates: Vec<usize> = candidates
             .into_iter()
             .take(self.candidate_pool)
@@ -325,15 +406,17 @@ impl<'a> OnlinePredictor<'a> {
         let predicted_times =
             self.transfer_time_curve(&source_affinities, &observed, &target_labels)?;
 
-        // ---- fallback: widen exploration when CMF failed to converge -----
+        // ---- fallback: widen exploration when CMF failed to converge or
+        // the cloud ate too many references to fill the set ---------------
         let mut trained_from_scratch = false;
-        if !converged {
+        if !converged || reference_underfilled {
             trained_from_scratch = true;
-            let exclude: Vec<usize> = reference.clone();
             let extra =
-                self.random_vms(workload.id ^ 0xFA11BACC, self.fallback_extra_vms, &exclude);
+                self.random_vms(workload.id ^ 0xFA11BACC, self.fallback_extra_vms, &tried);
             let extra_obs = self.run_references(workload, &extra)?;
-            reference.extend(extra.iter().copied());
+            for (vm, _) in &extra_obs {
+                reference.push(*vm);
+            }
             observed.extend(extra_obs);
         }
 
@@ -345,7 +428,7 @@ impl<'a> OnlinePredictor<'a> {
         pool.extend(observed.iter().map(|(vm, _)| *vm));
         let mut by_pred: Vec<(usize, f64)> =
             predicted_times.iter().map(|(&vm, &t)| (vm, t)).collect();
-        by_pred.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        by_pred.sort_by(|a, b| a.1.total_cmp(&b.1));
         pool.extend(by_pred.iter().take(10).map(|(vm, _)| *vm));
         pool.sort_unstable();
         pool.dedup();
@@ -376,9 +459,8 @@ impl<'a> OnlinePredictor<'a> {
             .max_by(|&a, &b| {
                 let ka = knowledge_scores.get(&a).copied().unwrap_or(0.0);
                 let kb = knowledge_scores.get(&b).copied().unwrap_or(0.0);
-                ka.partial_cmp(&kb)
-                    .expect("finite scores")
-                    .then_with(|| time_of(b).partial_cmp(&time_of(a)).expect("finite times"))
+                ka.total_cmp(&kb)
+                    .then_with(|| time_of(b).total_cmp(&time_of(a)))
             })
             .ok_or_else(|| VestaError::NoKnowledge("empty candidate pool".into()))?;
 
@@ -394,6 +476,8 @@ impl<'a> OnlinePredictor<'a> {
             source_affinities,
             observed_density,
             target_labels,
+            failed_reference_vms,
+            extra_reference_runs: self.collector.failed_attempts() - failed_attempts_before,
         })
     }
 
@@ -413,7 +497,7 @@ impl<'a> OnlinePredictor<'a> {
         // Evidence: observed reference runs, rank-discounted like the
         // offline affinity build.
         let mut ranked: Vec<(usize, f64)> = prediction.observed.clone();
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
         {
             let mut overlay = self.overlay.write();
             for (rank, (vm, _)) in ranked.iter().take(3).enumerate() {
@@ -465,7 +549,7 @@ impl<'a> OnlinePredictor<'a> {
                         None
                     }
                 })
-                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite overlaps"))
+                .max_by(|a, b| a.0.total_cmp(&b.0))
         };
         // Softmax over affinities (they are negative distances).
         let top: Vec<(u64, f64)> = source_affinities.iter().take(5).copied().collect();
@@ -604,6 +688,11 @@ fn observe_feature(
 /// profiling runs).
 const ONLINE_SEED_STREAM: u64 = 0x0121_1e5e_ed00_7a3b;
 
+/// Salt (plus the redraw ordinal) xored into the workload id when drawing a
+/// replacement for a persistently failed reference VM, so each redraw is a
+/// fresh-but-deterministic pick.
+const REFERENCE_REDRAW_SALT: u64 = 0x4ef5_ed0a_11d2_a10b;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -714,6 +803,74 @@ mod tests {
         assert_eq!(
             predictor.online_runs(),
             p.reference_vms * model.config.online_reps as usize
+        );
+    }
+
+    #[test]
+    fn explicit_none_plan_is_bit_identical() {
+        let (catalog, suite, model) = model();
+        let w = suite.by_name("Spark-sort").unwrap();
+        let plain = OnlinePredictor::new(&model, &catalog).predict(w).unwrap();
+        let injected = OnlinePredictor::new(&model, &catalog)
+            .with_faults(FaultPlan::none(), RetryPolicy::default())
+            .predict(w)
+            .unwrap();
+        assert_eq!(plain.best_vm, injected.best_vm);
+        assert_eq!(plain.observed.len(), injected.observed.len());
+        for ((va, ta), (vb, tb)) in plain.observed.iter().zip(&injected.observed) {
+            assert_eq!(va, vb);
+            assert_eq!(ta.to_bits(), tb.to_bits());
+        }
+        assert_eq!(plain.predicted_times.len(), injected.predicted_times.len());
+        for ((va, ta), (vb, tb)) in plain
+            .predicted_times
+            .iter()
+            .zip(&injected.predicted_times)
+        {
+            assert_eq!(va, vb);
+            assert_eq!(ta.to_bits(), tb.to_bits());
+        }
+        assert!(injected.failed_reference_vms.is_empty());
+        assert_eq!(injected.extra_reference_runs, 0);
+    }
+
+    #[test]
+    fn persistent_failures_redraw_replacement_references() {
+        let (catalog, suite, model) = model();
+        // A harsh plan: a fifth of all (workload, VM) pairs have no
+        // capacity, and every attempt has a 15% chance to die.
+        let plan = FaultPlan {
+            unavailable_rate: 0.20,
+            transient_failure_rate: 0.15,
+            sample_dropout_rate: 0.05,
+            ..FaultPlan::none()
+        };
+        let predictor = OnlinePredictor::new(&model, &catalog)
+            .with_faults(plan, RetryPolicy::default());
+        let mut saw_failure = false;
+        for w in suite.target().into_iter().take(4) {
+            let p = predictor.predict(w).expect("prediction survives faults");
+            assert!(p.best_vm < catalog.len());
+            assert!(!p.observed.is_empty());
+            assert_eq!(p.observed.len(), p.reference_vms);
+            saw_failure |= !p.failed_reference_vms.is_empty();
+            // Redraws and retries are bounded: at most the initial set plus
+            // 2x redraws plus the fallback widening, each rep retried at
+            // most max_attempts times.
+            let worst_case_vms =
+                (1 + model.config.online_random_vms) * 3 + predictor.fallback_extra_vms;
+            let bound = worst_case_vms
+                * model.config.online_reps as usize
+                * RetryPolicy::default().max_attempts as usize;
+            assert!(
+                p.extra_reference_runs <= bound,
+                "extra runs {} above bound {bound}",
+                p.extra_reference_runs
+            );
+        }
+        assert!(
+            saw_failure,
+            "a 20% unavailability rate should hit at least one reference"
         );
     }
 }

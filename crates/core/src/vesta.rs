@@ -85,7 +85,7 @@ pub fn ground_truth_ranking(
             )
         })
         .collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN scores"));
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
     scored
 }
 

@@ -240,6 +240,17 @@ pub fn solve(problem: &CmfProblem<'_>, config: &CmfConfig) -> Result<CmfModel, M
             "target has no observed entries; run the sandbox first".into(),
         ));
     }
+    // A corrupted observation would feed NaN into every SGD gradient and
+    // silently poison the completion; reject it with a typed error instead.
+    if let Some(&(r, c)) = tgt_entries
+        .iter()
+        .find(|&&(r, c)| !problem.target[(r, c)].is_finite())
+    {
+        return Err(MlError::NonFinite(format!(
+            "observed target entry ({r}, {c}) is {} — mask or impute it before factorization",
+            problem.target[(r, c)]
+        )));
+    }
 
     let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(p, q)| p * q).sum() };
 
@@ -503,6 +514,27 @@ mod tests {
     }
 
     #[test]
+    fn rejects_non_finite_observed_entry() {
+        let (source, vm, mut target, mask, _) = synthetic(2, 5);
+        // Poison one *observed* cell the way a corrupted metric row would.
+        let (r, c) = (0..target.rows())
+            .flat_map(|r| (0..target.cols()).map(move |c| (r, c)))
+            .find(|&(r, c)| mask.is_observed(r, c))
+            .expect("synthetic mask observes something");
+        target[(r, c)] = f64::NAN;
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        assert!(matches!(
+            solve(&problem, &CmfConfig::default()),
+            Err(MlError::NonFinite(_))
+        ));
+    }
+
+    #[test]
     fn rejects_label_dim_mismatch() {
         let (source, vm, target, mask, _) = synthetic(2, 5);
         let bad_vm = Matrix::zeros(vm.rows(), vm.cols() + 1);
@@ -568,7 +600,7 @@ mod tests {
         let best = aff
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, 2, "affinities: {aff:?}");

@@ -22,6 +22,9 @@ pub enum MlError {
         /// Last observed objective value.
         last_objective: f64,
     },
+    /// The input carried NaN or infinite values where a finite sample was
+    /// required (e.g. corrupted metric samples reaching an estimator).
+    NonFinite(String),
 }
 
 impl fmt::Display for MlError {
@@ -34,6 +37,7 @@ impl fmt::Display for MlError {
                 f,
                 "solver did not converge after {iterations} iterations (objective {last_objective:.6})"
             ),
+            MlError::NonFinite(s) => write!(f, "non-finite input: {s}"),
         }
     }
 }
@@ -54,6 +58,7 @@ mod tests {
                 iterations: 10,
                 last_objective: 1.5,
             },
+            MlError::NonFinite("d".into()),
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

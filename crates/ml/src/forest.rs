@@ -121,7 +121,7 @@ impl RegressionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
         for &f in &candidates {
             let mut vals: Vec<f64> = indices.iter().map(|&i| x[(i, f)]).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            vals.sort_by(|a, b| a.total_cmp(b));
             vals.dedup();
             if vals.len() < 2 {
                 continue;

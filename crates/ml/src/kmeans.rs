@@ -238,7 +238,7 @@ fn lloyd(data: &Matrix, mut centroids: Matrix, max_iters: usize, tolerance: f64)
                     .max_by(|&a, &b| {
                         let da = euclidean_sq(data.row(a), centroids.row(assignments[a]));
                         let db = euclidean_sq(data.row(b), centroids.row(assignments[b]));
-                        da.partial_cmp(&db).expect("finite distances")
+                        da.total_cmp(&db)
                     })
                     .expect("n >= 1");
                 let row = data.row(far).to_vec();

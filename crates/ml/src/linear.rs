@@ -60,10 +60,7 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
         // Partial pivot.
         let pivot = (col..n)
             .max_by(|&p, &q| {
-                m[(p, col)]
-                    .abs()
-                    .partial_cmp(&m[(q, col)].abs())
-                    .expect("finite entries")
+                m[(p, col)].abs().total_cmp(&m[(q, col)].abs())
             })
             .expect("non-empty range");
         if m[(pivot, col)].abs() < 1e-12 {

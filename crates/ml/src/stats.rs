@@ -55,6 +55,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, MlError> {
             "pearson needs at least 2 points".into(),
         ));
     }
+    if let Some(v) = xs.iter().chain(ys).find(|v| !v.is_finite()) {
+        return Err(MlError::NonFinite(format!(
+            "pearson input contains {v} — mask corrupted samples first"
+        )));
+    }
     let mx = mean(xs);
     let my = mean(ys);
     let mut num = 0.0;
@@ -91,6 +96,11 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, MlError> {
             "spearman needs at least 2 points".into(),
         ));
     }
+    if let Some(v) = xs.iter().chain(ys).find(|v| !v.is_finite()) {
+        return Err(MlError::NonFinite(format!(
+            "spearman input contains {v} — mask corrupted samples first"
+        )));
+    }
     let rx = ranks(xs);
     let ry = ranks(ys);
     pearson(&rx, &ry)
@@ -99,7 +109,7 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, MlError> {
 /// Fractional ranks (average rank for ties), 1-based.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("non-NaN samples"));
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < order.len() {
@@ -130,8 +140,11 @@ pub fn percentile(xs: &[f64], p: f64) -> Result<f64, MlError> {
     if !(0.0..=100.0).contains(&p) {
         return Err(MlError::InvalidParameter(format!("percentile p={p}")));
     }
+    if let Some(v) = xs.iter().find(|v| !v.is_finite()) {
+        return Err(MlError::NonFinite(format!("percentile input contains {v}")));
+    }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -343,6 +356,28 @@ mod tests {
     fn ranks_average_ties() {
         let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn non_finite_inputs_yield_typed_errors_not_nan() {
+        let clean = [1.0, 2.0, 3.0];
+        let poisoned = [1.0, f64::NAN, 3.0];
+        assert!(matches!(
+            pearson(&clean, &poisoned),
+            Err(MlError::NonFinite(_))
+        ));
+        assert!(matches!(
+            spearman(&poisoned, &clean),
+            Err(MlError::NonFinite(_))
+        ));
+        assert!(matches!(
+            percentile(&poisoned, 50.0),
+            Err(MlError::NonFinite(_))
+        ));
+        assert!(matches!(
+            percentile(&[1.0, f64::INFINITY], 50.0),
+            Err(MlError::NonFinite(_))
+        ));
     }
 
     proptest! {

@@ -171,7 +171,7 @@ fn best_vm_types_differ_across_the_suite() {
                     (vm.id, score)
                 })
                 .collect();
-            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            scored.sort_by(|a, b| a.1.total_cmp(&b.1));
             cat.get(scored[0].0).unwrap().family.clone()
         })
         .collect();

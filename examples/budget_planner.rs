@@ -57,12 +57,12 @@ fn main() {
                 let price = vesta.catalog.get(vm).expect("valid id").price_per_hour;
                 (vm, t, price * t / 3600.0)
             })
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite costs"))
+            .min_by(|a, b| a.2.total_cmp(&b.2))
             .unwrap_or_else(|| {
                 let (&vm, &t) = p
                     .predicted_times
                     .iter()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                    .min_by(|a, b| a.1.total_cmp(b.1))
                     .expect("non-empty predictions");
                 let price = vesta.catalog.get(vm).expect("valid id").price_per_hour;
                 (vm, t, price * t / 3600.0)

@@ -42,7 +42,7 @@ fn main() {
                 (vm.id, t)
             })
             .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         let best = catalog.get(scored[0].0).unwrap();
         println!(
             "{:<28} {:>10.2} {:>12.1} {:>16} {:>11.0}s",
@@ -75,7 +75,7 @@ fn main() {
                     .unwrap_or(f64::INFINITY);
                 (vm.id, score)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap()
             .0
     };

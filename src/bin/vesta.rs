@@ -55,7 +55,9 @@ commands:
   train         train the offline knowledge and save it (--out FILE, --fast)
   predict       select the best VM for a workload (--knowledge FILE,
                 --workload NAME, --objective time|budget|latency|throughput, --top N,
-                --explain)
+                --explain; fault injection: --fault-transient R --fault-unavailable R
+                --fault-dropout R --fault-corrupt R --fault-straggler R
+                --fault-seed N, rates in [0,1])
   cluster       jointly select VM type and node count (--knowledge FILE,
                 --workload NAME, --objective time|budget|latency|throughput)
   ground-truth  exhaustive oracle ranking (--workload NAME, --objective,
@@ -92,6 +94,27 @@ fn objective_of(flags: &HashMap<String, String>) -> Result<Objective, String> {
             "unknown objective '{other}' (time|budget|latency|throughput)"
         )),
     }
+}
+
+fn fault_plan_of(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
+    let rate = |key: &str| -> Result<f64, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("bad --{key} '{v}'")))
+            .transpose()
+            .map(|v| v.unwrap_or(0.0))
+    };
+    let mut plan = FaultPlan::none();
+    plan.transient_failure_rate = rate("fault-transient")?;
+    plan.unavailable_rate = rate("fault-unavailable")?;
+    plan.sample_dropout_rate = rate("fault-dropout")?;
+    plan.metric_corruption_rate = rate("fault-corrupt")?;
+    plan.straggler_rate = rate("fault-straggler")?;
+    if let Some(seed) = flags.get("fault-seed") {
+        plan.seed = seed.parse().map_err(|_| "bad --fault-seed")?;
+    }
+    plan.validate().map_err(|e| e.to_string())?;
+    Ok(plan)
 }
 
 fn workload_of<'a>(
@@ -220,12 +243,31 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|t| t.parse().map_err(|_| "bad --top"))
         .transpose()?
         .unwrap_or(5);
-    let p = vesta.select_best_vm(workload).map_err(|e| e.to_string())?;
+    let plan = fault_plan_of(flags)?;
+    let faults_on = !plan.is_none();
+    let p = if faults_on {
+        vesta
+            .predictor()
+            .with_faults(plan, RetryPolicy::default())
+            .predict(workload)
+            .map_err(|e| e.to_string())?
+    } else {
+        vesta.select_best_vm(workload).map_err(|e| e.to_string())?
+    };
     let best = vesta.catalog.get(p.best_vm).map_err(|e| e.to_string())?;
     println!("workload:       {}", workload.name());
     println!("best VM (time): {best}");
     println!("reference VMs:  {}", p.reference_vms);
     println!("CMF converged:  {}", p.converged);
+    if faults_on {
+        println!(
+            "fault toll:     {} extra run(s) charged to failed attempts, {} reference VM(s) \
+             replaced ({:?})",
+            p.extra_reference_runs,
+            p.failed_reference_vms.len(),
+            p.failed_reference_vms
+        );
+    }
     if flags.contains_key("explain") {
         let e = vesta_suite::core::explain(&vesta.offline, &vesta.catalog, &suite, workload, &p)
             .map_err(|e| e.to_string())?;
@@ -249,7 +291,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
             (vm, score)
         })
         .collect();
-    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
     println!("\ntop {top} under {objective:?}:");
     for (vm, score) in ranked.iter().take(top) {
         let v = vesta.catalog.get(*vm).map_err(|e| e.to_string())?;

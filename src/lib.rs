@@ -41,7 +41,7 @@ pub mod prelude {
     pub use vesta_baselines::{
         CherryPick, CherryPickConfig, Ernest, ErnestConfig, Paris, ParisConfig,
     };
-    pub use vesta_cloud_sim::{Catalog, Objective, Simulator, VmType};
+    pub use vesta_cloud_sim::{Catalog, FaultPlan, Objective, RetryPolicy, Simulator, VmType};
     pub use vesta_core::{
         ground_truth_ranking, selection_error_pct, Prediction, Vesta, VestaConfig,
     };

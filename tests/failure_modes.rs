@@ -130,6 +130,78 @@ fn prediction_for_unprofiled_knowledge_fails_loudly() {
 }
 
 #[test]
+fn transient_faults_and_dropout_degrade_gracefully() {
+    // The acceptance plan of the fault-injection extension: 10% of run
+    // attempts die transiently and 5% of metric samples are dropped.
+    // Every target prediction must still be served, and the retry/redraw
+    // overhead must stay within the deterministic worst-case bound.
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(8).collect();
+    let cfg = VestaConfig {
+        offline_reps: 2,
+        ..VestaConfig::fast()
+    };
+    let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
+    let plan = FaultPlan {
+        transient_failure_rate: 0.10,
+        sample_dropout_rate: 0.05,
+        ..FaultPlan::none()
+    };
+    let retry = RetryPolicy::default();
+    let predictor = vesta.predictor().with_faults(plan, retry.clone());
+    let worst_case_vms =
+        (1 + vesta.offline.config.online_random_vms) * 3 + predictor.fallback_extra_vms;
+    let bound = worst_case_vms
+        * vesta.offline.config.online_reps as usize
+        * retry.max_attempts as usize;
+    for w in suite.target() {
+        let p = predictor
+            .predict(w)
+            .expect("prediction must survive the acceptance fault plan");
+        assert!(p.best_vm < vesta.catalog.len());
+        assert!(!p.observed.is_empty(), "{} lost every reference", w.name());
+        assert!(
+            p.extra_reference_runs <= bound,
+            "{}: {} extra runs above bound {bound}",
+            w.name(),
+            p.extra_reference_runs
+        );
+        for (_, t) in &p.observed {
+            assert!(t.is_finite() && *t > 0.0);
+        }
+    }
+}
+
+#[test]
+fn corrupted_metrics_never_reach_predictions() {
+    // Heavy metric corruption (NaN samples) and dropout: the masked
+    // correlation path must keep every predicted time finite.
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(8).collect();
+    let cfg = VestaConfig {
+        offline_reps: 2,
+        fault_plan: FaultPlan {
+            sample_dropout_rate: 0.10,
+            metric_corruption_rate: 0.20,
+            ..FaultPlan::none()
+        },
+        ..VestaConfig::fast()
+    };
+    let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
+    let target = suite.by_name("Spark-kmeans").unwrap();
+    let p = vesta.select_best_vm(target).unwrap();
+    assert!(p.best_vm < vesta.catalog.len());
+    for (vm, t) in &p.predicted_times {
+        assert!(
+            t.is_finite() && *t > 0.0,
+            "non-finite predicted time {t} for VM {vm}"
+        );
+    }
+}
+
+#[test]
 fn custom_workload_outside_table3_is_served() {
     let catalog = Catalog::aws_ec2();
     let suite = Suite::paper();
