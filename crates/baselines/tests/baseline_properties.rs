@@ -10,6 +10,7 @@ use vesta_workloads::{MemoryWatcher, Suite, Workload};
 fn regret(catalog: &Catalog, w: &Workload, chosen: usize) -> f64 {
     let ranking = ground_truth_ranking(catalog, w, 1, Objective::ExecutionTime);
     let best = ranking[0].1;
+    let chosen = vesta_cloud_sim::VmTypeId::new(chosen);
     let got = ranking.iter().find(|(vm, _)| *vm == chosen).unwrap().1;
     100.0 * (got - best) / best
 }

@@ -11,10 +11,11 @@ use vesta_core::{Vesta, VestaConfig};
 use vesta_workloads::{Suite, Workload};
 
 fn fast_config() -> VestaConfig {
-    VestaConfig {
-        offline_reps: 2,
-        ..VestaConfig::fast()
-    }
+    VestaConfig::fast()
+        .to_builder()
+        .offline_reps(2)
+        .build()
+        .expect("bench config is valid")
 }
 
 fn bench_offline_training(c: &mut Criterion) {

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the concurrent batch-prediction engine:
+//! cold batch fan-out vs the sequential loop, cheap session spawning, and
+//! the warm (fully cached) steady-state serving rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vesta_cloud_sim::Catalog;
+use vesta_core::{Knowledge, VestaConfig};
+use vesta_workloads::{Suite, Workload};
+
+fn fast_config() -> VestaConfig {
+    VestaConfig::fast()
+        .to_builder()
+        .offline_reps(2)
+        .build()
+        .expect("bench config is valid")
+}
+
+fn trained_knowledge() -> (Knowledge, Vec<Workload>) {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+    let knowledge =
+        Knowledge::train(catalog, &sources, fast_config()).expect("offline training succeeds");
+    let mut workloads: Vec<Workload> = suite.target().into_iter().cloned().collect();
+    workloads.extend(suite.source_testing().into_iter().cloned());
+    (knowledge, workloads)
+}
+
+/// Cold-cache passes: each iteration rebuilds the handle from a snapshot
+/// so the run cache never carries over between measurements.
+fn bench_cold_batch_vs_sequential(c: &mut Criterion) {
+    let (knowledge, workloads) = trained_knowledge();
+    let snapshot = || {
+        Knowledge::from_snapshot(knowledge.model().to_snapshot(), knowledge.catalog().clone())
+            .expect("snapshot restores")
+    };
+    let mut group = c.benchmark_group("engine_cold");
+    group.sample_size(10);
+    group.bench_function("sequential_17_requests", |bench| {
+        bench.iter(|| {
+            snapshot()
+                .predict_sequential(black_box(&workloads))
+                .unwrap()
+        })
+    });
+    group.bench_function("batch_17_requests", |bench| {
+        bench.iter(|| snapshot().predict_batch(black_box(&workloads)).unwrap())
+    });
+    group.finish();
+}
+
+/// Warm steady state: the shared handle has every fingerprint cached, so
+/// this measures the serving path without any simulated reference runs.
+fn bench_warm_batch(c: &mut Criterion) {
+    let (knowledge, workloads) = trained_knowledge();
+    knowledge
+        .predict_batch(&workloads)
+        .expect("cache warm-up pass");
+    let mut group = c.benchmark_group("engine_warm");
+    group.sample_size(10);
+    group.bench_function("batch_17_requests_cached", |bench| {
+        bench.iter(|| knowledge.predict_batch(black_box(&workloads)).unwrap())
+    });
+    group.finish();
+}
+
+/// Session spawning must be cheap (Arc clones + one overlay snapshot).
+fn bench_session_spawn(c: &mut Criterion) {
+    let (knowledge, _) = trained_knowledge();
+    c.bench_function("session_spawn", |bench| {
+        bench.iter(|| black_box(knowledge.session()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cold_batch_vs_sequential,
+    bench_warm_batch,
+    bench_session_spawn
+);
+criterion_main!(benches);

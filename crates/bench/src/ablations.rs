@@ -53,16 +53,11 @@ fn score(ctx: &Context, cfg: VestaConfig) -> (f64, f64) {
 
 /// A cheaper base config for the sweep (the knob under test varies on top).
 fn base_config(ctx: &Context) -> VestaConfig {
-    match ctx.fidelity {
-        Fidelity::Full => VestaConfig {
-            offline_reps: 3,
-            ..VestaConfig::default()
-        },
-        Fidelity::Quick => VestaConfig {
-            offline_reps: 2,
-            ..VestaConfig::fast()
-        },
-    }
+    let preset = match ctx.fidelity {
+        Fidelity::Full => VestaConfig::paper().to_builder().offline_reps(3),
+        Fidelity::Quick => VestaConfig::fast().to_builder().offline_reps(2),
+    };
+    preset.build().expect("ablation base config is valid")
 }
 
 /// Run all four ablations into one report.
@@ -80,28 +75,31 @@ pub fn ablations(ctx: &Context) -> ExperimentReport {
 
     // λ: balance between source-side and VM-side coupling (paper: 0.75).
     for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let cfg = VestaConfig {
-            lambda,
-            ..base_config(ctx)
-        };
+        let cfg = base_config(ctx)
+            .to_builder()
+            .lambda(lambda)
+            .build()
+            .expect("swept lambda is valid");
         let (m, r) = score(ctx, cfg);
         push(&mut report, "lambda", format!("{lambda}"), m, r);
     }
     // Label interval width (paper: 0.05).
     for width in [0.025, 0.05, 0.1, 0.2] {
-        let cfg = VestaConfig {
-            interval_width: width,
-            ..base_config(ctx)
-        };
+        let cfg = base_config(ctx)
+            .to_builder()
+            .interval_width(width)
+            .build()
+            .expect("swept width is valid");
         let (m, r) = score(ctx, cfg);
         push(&mut report, "interval_width", format!("{width}"), m, r);
     }
     // PCA importance filter on/off (paper: prunes ~49% of data).
     for (label, factor) in [("on (0.5x uniform)", 0.5), ("off (keep all)", 0.0)] {
-        let cfg = VestaConfig {
-            pca_importance_factor: factor,
-            ..base_config(ctx)
-        };
+        let cfg = base_config(ctx)
+            .to_builder()
+            .pca_importance_factor(factor)
+            .build()
+            .expect("swept factor is valid");
         let (m, r) = score(ctx, cfg);
         push(&mut report, "pca_filter", label.to_string(), m, r);
     }
@@ -113,10 +111,11 @@ pub fn ablations(ctx: &Context) -> ExperimentReport {
         ),
         ("spearman", vesta_cloud_sim::CorrelationEstimator::Spearman),
     ] {
-        let cfg = VestaConfig {
-            correlation_estimator: est,
-            ..base_config(ctx)
-        };
+        let cfg = base_config(ctx)
+            .to_builder()
+            .correlation_estimator(est)
+            .build()
+            .expect("swept estimator is valid");
         let (m, r) = score(ctx, cfg);
         push(
             &mut report,
@@ -128,10 +127,11 @@ pub fn ablations(ctx: &Context) -> ExperimentReport {
     }
     // Online exploration: sandbox + N random reference VMs (paper: 3).
     for n in [1usize, 3, 5, 8] {
-        let cfg = VestaConfig {
-            online_random_vms: n,
-            ..base_config(ctx)
-        };
+        let cfg = base_config(ctx)
+            .to_builder()
+            .online_random_vms(n)
+            .build()
+            .expect("swept reference count is valid");
         let (m, r) = score(ctx, cfg);
         push(&mut report, "online_random_vms", format!("{n}"), m, r);
     }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [--quick] [all | table1 | table3 | table4 | table5 | fig1 | fig2 | fig3 |
-//!              fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13]...
+//!              fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
+//!              ablations | summary | learning | flink | resilience | throughput]...
 //! ```
 //!
 //! Results print as aligned tables and are dumped to `results/<id>.json`.

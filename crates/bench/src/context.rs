@@ -46,16 +46,12 @@ impl Context {
 
     /// The Vesta config for this fidelity.
     pub fn vesta_config(&self) -> VestaConfig {
-        match self.fidelity {
-            Fidelity::Full => VestaConfig {
-                offline_reps: 5, // paper uses 10; 5 preserves the P90 story at half the cost
-                ..VestaConfig::default()
-            },
-            Fidelity::Quick => VestaConfig {
-                offline_reps: 2,
-                ..VestaConfig::fast()
-            },
-        }
+        let preset = match self.fidelity {
+            // paper uses 10 reps; 5 preserves the P90 story at half the cost
+            Fidelity::Full => VestaConfig::paper().to_builder().offline_reps(5),
+            Fidelity::Quick => VestaConfig::fast().to_builder().offline_reps(2),
+        };
+        preset.build().expect("fidelity presets are valid")
     }
 
     /// PARIS config for this fidelity.

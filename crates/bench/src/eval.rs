@@ -2,7 +2,7 @@
 //! experiment instances, observed ground truth, and the run-progression
 //! traces behind Figs. 12/13.
 
-use vesta_cloud_sim::Objective;
+use vesta_cloud_sim::{Objective, VmTypeId};
 use vesta_core::ground_truth_ranking;
 use vesta_workloads::Workload;
 
@@ -12,9 +12,10 @@ use crate::context::Context;
 pub fn chosen_vs_best(
     ctx: &Context,
     workload: &Workload,
-    chosen_vm: usize,
+    chosen_vm: impl Into<VmTypeId>,
     objective: Objective,
 ) -> (f64, f64) {
+    let chosen_vm = chosen_vm.into();
     let ranking = ground_truth_ranking(&ctx.catalog, workload, 1, objective);
     let best = ranking.first().map(|(_, s)| *s).unwrap_or(f64::INFINITY);
     let chosen = ranking
@@ -27,7 +28,7 @@ pub fn chosen_vs_best(
 
 /// The paper's Section 5.2 prediction error: MAPE between the performance
 /// achieved by the predicted VM and the ground-truth best, over one pick.
-pub fn selection_error(ctx: &Context, workload: &Workload, chosen_vm: usize) -> f64 {
+pub fn selection_error(ctx: &Context, workload: &Workload, chosen_vm: impl Into<VmTypeId>) -> f64 {
     let (chosen, best) = chosen_vs_best(ctx, workload, chosen_vm, Objective::ExecutionTime);
     if !best.is_finite() || best <= 0.0 {
         return f64::INFINITY;
@@ -40,17 +41,17 @@ pub fn selection_error(ctx: &Context, workload: &Workload, chosen_vm: usize) -> 
 /// This is the paper's primary prediction-error metric: a model trained on
 /// another framework is typically *scale-shifted* and scores terribly here
 /// even when its argmin VM happens to be decent.
-pub fn time_prediction_mape(
+pub fn time_prediction_mape<K: Copy + Ord + Into<VmTypeId>>(
     ctx: &Context,
     workload: &Workload,
-    predicted: &std::collections::BTreeMap<usize, f64>,
+    predicted: &std::collections::BTreeMap<K, f64>,
 ) -> f64 {
     let ranking = ground_truth_ranking(&ctx.catalog, workload, 1, Objective::ExecutionTime);
-    let truth: std::collections::BTreeMap<usize, f64> = ranking.into_iter().collect();
+    let truth: std::collections::BTreeMap<VmTypeId, f64> = ranking.into_iter().collect();
     let mut acc = 0.0;
     let mut n = 0usize;
-    for (vm, pred) in predicted {
-        if let Some(t) = truth.get(vm) {
+    for (&vm, pred) in predicted {
+        if let Some(t) = truth.get(&vm.into()) {
             if t.is_finite() && *t > 0.0 && pred.is_finite() {
                 acc += ((pred - t) / t).abs();
                 n += 1;

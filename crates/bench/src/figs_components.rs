@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 
 use vesta_cloud_sim::{Collector, CorrelationVector, Objective, Simulator, CORRELATION_NAMES};
-use vesta_core::{ground_truth_ranking, Vesta, VestaConfig};
+use vesta_core::{ground_truth_ranking, Vesta};
 use vesta_graph::LabelSpace;
 use vesta_ml::pca::Pca;
 use vesta_ml::Matrix;
@@ -189,11 +189,13 @@ pub fn fig11(ctx: &Context) -> ExperimentReport {
     for &k in ks {
         // Isolate k's effect: score with pure classification knowledge
         // (cluster means), not the per-VM evidence that washes k out.
-        let cfg = VestaConfig {
-            k,
-            cluster_smoothing: 1.0,
-            ..ctx.vesta_config()
-        };
+        let cfg = ctx
+            .vesta_config()
+            .to_builder()
+            .k(k)
+            .cluster_smoothing(1.0)
+            .build()
+            .expect("swept k is valid");
         let vesta = Vesta::train(ctx.catalog.clone(), &sources, cfg).expect("training");
         let mut errs = Vec::new();
         for w in &testing {

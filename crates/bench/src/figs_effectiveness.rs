@@ -140,15 +140,16 @@ pub fn fig7(ctx: &Context) -> ExperimentReport {
     let prediction = vesta.select_best_vm(w).expect("vesta prediction");
     let ernest = ctx.ernest_for(w);
     let ranking = ground_truth_ranking(&ctx.catalog, w, 1, Objective::ExecutionTime);
-    let truth: std::collections::BTreeMap<usize, f64> = ranking.into_iter().collect();
+    let truth: std::collections::BTreeMap<vesta_cloud_sim::VmTypeId, f64> =
+        ranking.into_iter().collect();
     let mut series = Vec::new();
     let mut vesta_devs = Vec::new();
     let mut ernest_devs = Vec::new();
     for vm in ctx.catalog.typical_ten() {
-        let observed = truth[&vm.id];
+        let observed = truth[&vm.type_id()];
         let vp = prediction
             .predicted_times
-            .get(&vm.id)
+            .get(&vm.type_id())
             .copied()
             .unwrap_or(f64::NAN);
         let ep = ernest.predict(vm).expect("ernest predict");

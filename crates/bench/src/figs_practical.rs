@@ -58,11 +58,11 @@ pub fn fig12(ctx: &Context) -> ExperimentReport {
     let mut vesta_wins = 0usize;
     for app in FIG12_APPS {
         let w = ctx.suite.by_name(app).expect("Fig. 12 app exists");
-        let truth: std::collections::BTreeMap<usize, f64> =
+        let truth: std::collections::BTreeMap<vesta_cloud_sim::VmTypeId, f64> =
             ground_truth_ranking(&ctx.catalog, w, 1, Objective::ExecutionTime)
                 .into_iter()
                 .collect();
-        let t_of = |vm: usize| truth.get(&vm).copied().unwrap_or(f64::INFINITY);
+        let t_of = |vm: vesta_cloud_sim::VmTypeId| truth.get(&vm).copied().unwrap_or(f64::INFINITY);
 
         // Vesta: its reference runs in order, then the final predicted pick.
         let p = vesta.select_best_vm(w).expect("vesta");
@@ -72,19 +72,19 @@ pub fn fig12(ctx: &Context) -> ExperimentReport {
 
         // PARIS: 2 fingerprint runs on its reference VMs, then its pick.
         let sel = paris.select(&ctx.catalog, w).expect("paris");
-        let mut paris_times: Vec<f64> = paris.reference_vms().iter().map(|&vm| t_of(vm)).collect();
-        paris_times.push(t_of(sel.best_vm));
+        let mut paris_times: Vec<f64> = paris.reference_vms().iter().map(|&vm| t_of(vm.into())).collect();
+        paris_times.push(t_of(sel.best_vm.into()));
         let paris_prog = progression(&paris_times);
 
         // Ernest: trains on scaled-down inputs (no full-size runs until its
         // pick), so its progression is flat at the final selection.
         let ernest = ctx.ernest_for(w);
         let es = ernest.select(&ctx.catalog).expect("ernest");
-        let ernest_final = t_of(es.best_vm);
+        let ernest_final = t_of(es.best_vm.into());
 
         // CherryPick (extension comparator): its probes in order.
         let out = cp.search(&ctx.catalog, w).expect("cherrypick");
-        let cp_times: Vec<f64> = out.probes.iter().map(|(vm, _)| t_of(*vm)).collect();
+        let cp_times: Vec<f64> = out.probes.iter().map(|(vm, _)| t_of((*vm).into())).collect();
         let cp_prog = progression(&cp_times);
 
         let sample = |prog: &[f64], run: usize| -> String {

@@ -40,6 +40,7 @@ pub mod report;
 pub mod resilience;
 pub mod summary;
 pub mod tables;
+pub mod throughput;
 
 pub use context::{Context, Fidelity};
 pub use report::ExperimentReport;
@@ -72,6 +73,7 @@ pub fn run_experiment(ctx: &Context, id: &str) -> Option<ExperimentReport> {
         "learning" => learning::learning(ctx),
         "flink" => flink::flink(ctx),
         "resilience" => resilience::resilience(ctx),
+        "throughput" => throughput::throughput(ctx),
         "fig13" => figs_practical::fig13(ctx),
         _ => return None,
     })

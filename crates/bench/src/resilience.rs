@@ -20,7 +20,7 @@ use vesta_workloads::Workload;
 
 use crate::context::Context;
 use crate::eval::{error_stats, selection_error};
-use crate::report::{f, pct, ExperimentReport};
+use crate::report::{pct, ExperimentReport};
 
 /// Fault-plan seed for the sweep; fixed so reruns are reproducible.
 const SWEEP_FAULT_SEED: u64 = 0xFA17;

@@ -1,0 +1,220 @@
+//! Sharded, memoizing run cache for the batch-prediction engine.
+//!
+//! Online prediction spends almost all of its time in reference runs — the
+//! sandbox plus a handful of random VMs simulated through the BSP model.
+//! Two requests whose workloads have the same *fingerprint* (identical
+//! resource demand, framework and scale) take byte-identical reference
+//! runs, so the engine memoizes them here: a fingerprint-keyed map sharded
+//! across [`parking_lot::RwLock`]s so concurrent sessions never contend on
+//! a single lock, with atomic hit/miss accounting surfaced in the
+//! throughput experiment.
+//!
+//! The cache is deliberately generic over the cached value: `vesta-core`
+//! stores its reference-observation bundle, tests store small sentinels.
+//! Values are handed out as [`Arc`]s; on a racing double-compute the first
+//! insert wins so every reader sees one canonical value. Determinism does
+//! not depend on that policy — same key implies same bytes by construction
+//! (the fingerprint seeds the reference-run RNG) — it only keeps `Arc`
+//! identity stable.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default shard count; a power of two so the shard index is a mask.
+const DEFAULT_SHARDS: usize = 16;
+
+/// Point-in-time counters of a [`RunCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing (including the lookup half of
+    /// [`RunCache::get_or_insert_with`] on first touch).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups; 0.0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Fingerprint-keyed memo table with sharded locks and atomic accounting.
+pub struct RunCache<V> {
+    shards: Vec<RwLock<HashMap<u64, Arc<V>>>>,
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> RunCache<V> {
+    /// Cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Cache with `shards` rounded up to a power of two (min 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Arc<V>>> {
+        // Mix the key so fingerprints that share low bits still spread.
+        let mut h = key;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Look up `key`, counting a hit or a miss.
+    pub fn get(&self, key: u64) -> Option<Arc<V>> {
+        let found = self.shard(key).read().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert `value` unless `key` is already present; returns the resident
+    /// entry either way (first insert wins). Does not touch hit/miss
+    /// counters — pair with [`RunCache::get`].
+    pub fn insert(&self, key: u64, value: V) -> Arc<V> {
+        let mut shard = self.shard(key).write();
+        shard.entry(key).or_insert_with(|| Arc::new(value)).clone()
+    }
+
+    /// Memoized compute: one read-locked probe, then `compute` runs
+    /// *outside* any lock (it may simulate for milliseconds), then an
+    /// insert-if-absent. Racing computers both do the work; the first
+    /// insert wins and both observe the same resident `Arc`.
+    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let value = compute();
+        self.insert(key, value)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry; counters are preserved.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// Counters and occupancy at this instant.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl<V> Default for RunCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> std::fmt::Debug for RunCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("RunCache")
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_accounting() {
+        let cache: RunCache<u32> = RunCache::new();
+        assert!(cache.get(7).is_none());
+        cache.insert(7, 42);
+        assert_eq!(*cache.get(7).unwrap(), 42);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let cache: RunCache<&'static str> = RunCache::new();
+        let a = cache.insert(1, "first");
+        let b = cache.insert(1, "second");
+        assert_eq!(*a, "first");
+        assert_eq!(*b, "first");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn get_or_insert_computes_once_per_key() {
+        let cache: RunCache<u64> = RunCache::with_shards(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with(9, || {
+                calls += 1;
+                99
+            });
+            assert_eq!(*v, 99);
+        }
+        assert_eq!(calls, 1);
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache: RunCache<u8> = RunCache::with_shards(3);
+        for k in 0..64u64 {
+            cache.insert(k, k as u8);
+        }
+        assert_eq!(cache.len(), 64);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        let cache: RunCache<u8> = RunCache::new();
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+}

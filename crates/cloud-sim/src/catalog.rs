@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::error::SimError;
-use crate::vmtype::{FamilySpec, VmCategory, VmSize, VmType};
+use crate::vmtype::{FamilySpec, VmCategory, VmSize, VmType, VmTypeId};
 
 use VmCategory::*;
 use VmSize::*;
@@ -421,8 +421,9 @@ impl Catalog {
         self.types.is_empty()
     }
 
-    /// Lookup by id.
-    pub fn get(&self, id: usize) -> Result<&VmType, SimError> {
+    /// Lookup by id — accepts a raw index or a typed [`VmTypeId`].
+    pub fn get(&self, id: impl Into<VmTypeId>) -> Result<&VmType, SimError> {
+        let id = id.into().index();
         self.types
             .get(id)
             .ok_or_else(|| SimError::UnknownVmType(format!("id {id}")))

@@ -17,10 +17,13 @@
 //!   failures, capacity errors, stragglers, metric dropout/corruption) and
 //!   the bounded [`fault::RetryPolicy`] consumers use to survive it.
 //! * [`store`] — the in-memory stand-in for the paper's MySQL store.
+//! * [`cache`] — sharded, fingerprint-keyed memo table the batch engine
+//!   uses to skip redundant reference runs.
 //! * [`des`] — a task-level discrete-event re-implementation of the BSP
 //!   semantics that cross-validates the closed-form model (stragglers and
 //!   wave imbalance emerge instead of being modeled).
 
+pub mod cache;
 pub mod catalog;
 pub mod des;
 pub mod error;
@@ -31,6 +34,7 @@ pub mod perf;
 pub mod store;
 pub mod vmtype;
 
+pub use cache::{CacheStats, RunCache};
 pub use catalog::Catalog;
 pub use des::{simulate as des_simulate, DesConfig, DesResult};
 pub use error::SimError;
@@ -44,4 +48,4 @@ pub use perf::{
     Simulator,
 };
 pub use store::{Aggregate, MetricsStore, RunKey, RunRecord};
-pub use vmtype::{FamilySpec, VmCategory, VmSize, VmType};
+pub use vmtype::{FamilySpec, VmCategory, VmSize, VmType, VmTypeId};

@@ -9,6 +9,57 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Typed catalog index of a VM type.
+///
+/// The online pipeline juggles many `usize`s — catalog indexes, latent
+/// dimensions, run indexes, node counts — and a swapped pair compiles
+/// silently. `VmTypeId` makes "which VM type" its own type: [`Prediction`],
+/// the ground-truth oracles and explain output all speak `VmTypeId`, while
+/// `From<usize>` / [`VmTypeId::index`] keep the boundary with raw matrix
+/// rows explicit and cheap (it is `#[serde(transparent)]`, so snapshots and
+/// JSON artifacts are unchanged).
+///
+/// [`Prediction`]: https://docs.rs/vesta-core
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VmTypeId(usize);
+
+impl VmTypeId {
+    /// Wrap a raw catalog index.
+    pub const fn new(index: usize) -> Self {
+        VmTypeId(index)
+    }
+
+    /// The raw 0-based catalog index (row in U/V matrices, key in stores).
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for VmTypeId {
+    fn from(index: usize) -> Self {
+        VmTypeId(index)
+    }
+}
+
+impl From<VmTypeId> for usize {
+    fn from(id: VmTypeId) -> usize {
+        id.0
+    }
+}
+
+impl From<&VmTypeId> for VmTypeId {
+    fn from(id: &VmTypeId) -> Self {
+        *id
+    }
+}
+
+impl fmt::Display for VmTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm#{}", self.0)
+    }
+}
+
 /// Top-level EC2 category (Table 4, column 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum VmCategory {
@@ -193,6 +244,11 @@ impl VmType {
             has_gpu: spec.has_gpu,
             local_nvme: spec.local_nvme,
         }
+    }
+
+    /// Typed catalog id of this VM type.
+    pub fn type_id(&self) -> VmTypeId {
+        VmTypeId::new(self.id)
     }
 
     /// Memory-to-CPU ratio in GB per vCPU; the "8G8U / 16G16U" shorthand of

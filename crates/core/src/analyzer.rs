@@ -61,8 +61,7 @@ impl<'a> CorrelationAnalyzer<'a> {
         for vm_id in vms {
             let agg = self
                 .store
-                .aggregate(&RunKey { workload_id, vm_id })
-                .map_err(VestaError::Sim)?;
+                .aggregate(&RunKey { workload_id, vm_id })?;
             vectors.push(agg.correlations);
         }
         CorrelationVector::mean_of(&vectors)
@@ -82,8 +81,7 @@ impl<'a> CorrelationAnalyzer<'a> {
         for vm_id in vms {
             let agg = self
                 .store
-                .aggregate(&RunKey { workload_id, vm_id })
-                .map_err(VestaError::Sim)?;
+                .aggregate(&RunKey { workload_id, vm_id })?;
             ranking.push((vm_id, agg.p90_time_s));
         }
         ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -119,8 +117,8 @@ impl<'a> CorrelationAnalyzer<'a> {
             workload_correlations.insert(id, cv);
             workload_rankings.insert(id, self.workload_ranking(id)?);
         }
-        let data = Matrix::from_rows(&rows).map_err(VestaError::Ml)?;
-        let pca = Pca::fit(&data).map_err(VestaError::Ml)?;
+        let data = Matrix::from_rows(&rows)?;
+        let pca = Pca::fit(&data)?;
         let importance = pca.feature_importance();
         // Keep features whose importance beats `factor / n_features` —
         // i.e. at least `factor` times the uniform share.
@@ -136,8 +134,7 @@ impl<'a> CorrelationAnalyzer<'a> {
             // rather than produce an unusable label space.
             selected_features = (0..N_CORRELATIONS).collect();
         }
-        let label_space = LabelSpace::with_width(N_CORRELATIONS, config.interval_width)
-            .map_err(VestaError::Graph)?
+        let label_space = LabelSpace::with_width(N_CORRELATIONS, config.interval_width)?
             .with_selected(selected_features.clone());
         Ok(Analysis {
             label_space,

@@ -15,7 +15,7 @@
 //! startup-bound workloads fit a small `α` and stop scaling early.
 
 use serde::{Deserialize, Serialize};
-use vesta_cloud_sim::{Catalog, Objective, Simulator};
+use vesta_cloud_sim::{Catalog, Objective, Simulator, VmTypeId};
 use vesta_ml::linear::least_squares;
 use vesta_ml::Matrix;
 use vesta_workloads::{MemoryWatcher, Workload};
@@ -27,8 +27,8 @@ use crate::VestaError;
 /// One (VM type, node count) recommendation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterChoice {
-    /// Catalog id of the VM type.
-    pub vm_id: usize,
+    /// The VM type.
+    pub vm_id: VmTypeId,
     /// Number of nodes.
     pub nodes: u32,
     /// Predicted execution time, seconds.
@@ -97,8 +97,7 @@ impl<'a> ClusterSizer<'a> {
         let vm = self
             .vesta
             .catalog
-            .by_name("m5.2xlarge")
-            .map_err(VestaError::Sim)?;
+            .by_name("m5.2xlarge")?;
         let sim = Simulator::default();
         let watcher = MemoryWatcher::default();
         let mut rows = Vec::new();
@@ -108,7 +107,7 @@ impl<'a> ClusterSizer<'a> {
             let demand = watcher.apply(&workload.demand(), vm);
             let mut times = Vec::with_capacity(self.config.probe_reps as usize);
             for rep in 0..self.config.probe_reps {
-                let r = sim.run(&demand, vm, n, rep).map_err(VestaError::Sim)?;
+                let r = sim.run(&demand, vm, n, rep)?;
                 times.push(r.execution_time_s);
                 probe_runs += 1;
             }
@@ -117,8 +116,8 @@ impl<'a> ClusterSizer<'a> {
             rows.push(vec![1.0, (n as f64).ln()]);
             logs.push(t.ln());
         }
-        let x = Matrix::from_rows(&rows).map_err(VestaError::Ml)?;
-        let theta = least_squares(&x, &logs, 1e-9).map_err(VestaError::Ml)?;
+        let x = Matrix::from_rows(&rows)?;
+        let theta = least_squares(&x, &logs, 1e-9)?;
         // α is the negated slope, clamped to the physically sensible range.
         let alpha = (-theta[1]).clamp(0.0, 1.0);
         Ok((alpha, probe_runs))
@@ -155,7 +154,7 @@ impl<'a> ClusterSizer<'a> {
     ) -> Result<Vec<ClusterChoice>, VestaError> {
         let mut out = Vec::new();
         for (&vm_id, &t1) in &prediction.predicted_times {
-            let vm = self.vesta.catalog.get(vm_id).map_err(VestaError::Sim)?;
+            let vm = self.vesta.catalog.get(vm_id)?;
             for &n in &self.config.node_options {
                 let t = t1 / (n as f64).powf(alpha);
                 let cost = vm.cost_for(t) * n as f64;
@@ -186,11 +185,11 @@ pub fn ground_truth_cluster_ranking(
     workload: &Workload,
     node_options: &[u32],
     objective: Objective,
-) -> Vec<(usize, u32, f64)> {
+) -> Vec<(VmTypeId, u32, f64)> {
     use rayon::prelude::*;
     let sim = Simulator::default();
     let watcher = MemoryWatcher::default();
-    let mut scored: Vec<(usize, u32, f64)> = catalog
+    let mut scored: Vec<(VmTypeId, u32, f64)> = catalog
         .all()
         .par_iter()
         .flat_map_iter(|vm| {
@@ -202,7 +201,7 @@ pub fn ground_truth_cluster_ranking(
                     Ok(phases) => objective.score(&phases, &demand, vm, n),
                     Err(_) => f64::INFINITY,
                 };
-                (vm.id, n, score)
+                (vm.type_id(), n, score)
             })
         })
         .collect();
@@ -220,10 +219,11 @@ mod tests {
         let catalog = Catalog::aws_ec2();
         let suite = Suite::paper();
         let sources: Vec<&Workload> = suite.source_training().into_iter().take(8).collect();
-        let cfg = VestaConfig {
-            offline_reps: 2,
-            ..VestaConfig::fast()
-        };
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .unwrap();
         (Vesta::train(catalog, &sources, cfg).unwrap(), suite)
     }
 

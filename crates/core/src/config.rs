@@ -93,6 +93,26 @@ impl Default for VestaConfig {
 }
 
 impl VestaConfig {
+    /// The paper's published hyper-parameters (identical to
+    /// [`VestaConfig::default`], named for intent at call sites).
+    pub fn paper() -> Self {
+        VestaConfig::default()
+    }
+
+    /// Start building a config from the paper's defaults; call setters and
+    /// finish with [`VestaConfigBuilder::build`], which validates.
+    pub fn builder() -> VestaConfigBuilder {
+        VestaConfigBuilder {
+            cfg: VestaConfig::default(),
+        }
+    }
+
+    /// Turn this config back into a builder to derive a variant of it,
+    /// e.g. `VestaConfig::fast().to_builder().offline_reps(2).build()`.
+    pub fn to_builder(self) -> VestaConfigBuilder {
+        VestaConfigBuilder { cfg: self }
+    }
+
     /// A cheaper profile for unit tests and examples: fewer repetitions and
     /// SGD epochs, same structure.
     pub fn fast() -> Self {
@@ -171,6 +191,70 @@ impl VestaConfig {
     }
 }
 
+/// Builder for [`VestaConfig`]: starts from a preset, applies overrides,
+/// and validates once at [`VestaConfigBuilder::build`] so an invalid
+/// combination cannot escape into the pipeline.
+#[derive(Debug, Clone)]
+pub struct VestaConfigBuilder {
+    cfg: VestaConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, value: $ty) -> Self {
+                self.cfg.$field = value;
+                self
+            }
+        )*
+    };
+}
+
+impl VestaConfigBuilder {
+    builder_setters! {
+        /// Eq. 6 trade-off λ.
+        lambda: f64,
+        /// K-Means cluster count.
+        k: usize,
+        /// Correlation interval width for labels.
+        interval_width: f64,
+        /// PCA importance threshold as a fraction of uniform importance.
+        pca_importance_factor: f64,
+        /// CMF latent dimensionality `g`.
+        latent_dim: usize,
+        /// Random VM types sampled online besides the sandbox.
+        online_random_vms: usize,
+        /// Repetitions per offline profiling run.
+        offline_reps: u64,
+        /// Repetitions per online reference run.
+        online_reps: u64,
+        /// Cluster size (number of VMs) used for every run.
+        nodes: u32,
+        /// Smoothing between per-VM and cluster-mean label affinity.
+        cluster_smoothing: f64,
+        /// How many top-ranked VMs of a source workload earn evidence.
+        top_vms_per_workload: usize,
+        /// SGD schedule for the CMF solve.
+        sgd: SgdConfig,
+        /// Correlation statistic for metric traces.
+        correlation_estimator: CorrelationEstimator,
+        /// Fault plan injected into profiling and reference runs.
+        fault_plan: FaultPlan,
+        /// Retry policy for transiently failed runs.
+        retry: RetryPolicy,
+        /// Experiment-wide seed.
+        seed: u64,
+    }
+
+    /// Validate the assembled config and hand it out, or report the first
+    /// offending field as [`VestaError::Config`].
+    pub fn build(self) -> Result<VestaConfig, VestaError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +298,39 @@ mod tests {
             mutate(&mut c);
             assert!(c.validate().is_err());
         }
+    }
+
+    #[test]
+    fn paper_preset_is_the_default() {
+        let paper = serde_json::to_string(&VestaConfig::paper()).unwrap();
+        let default = serde_json::to_string(&VestaConfig::default()).unwrap();
+        assert_eq!(paper, default);
+    }
+
+    #[test]
+    fn builder_applies_overrides_and_validates() {
+        let c = VestaConfig::builder()
+            .lambda(0.5)
+            .k(4)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert!((c.lambda - 0.5).abs() < 1e-12);
+        assert_eq!(c.k, 4);
+        assert_eq!(c.seed, 7);
+        // Untouched fields keep the paper values.
+        assert_eq!(c.offline_reps, VestaConfig::paper().offline_reps);
+
+        assert!(VestaConfig::builder().lambda(1.5).build().is_err());
+        assert!(VestaConfig::builder().k(0).build().is_err());
+    }
+
+    #[test]
+    fn to_builder_round_trips_presets() {
+        let c = VestaConfig::fast().to_builder().offline_reps(2).build().unwrap();
+        assert_eq!(c.offline_reps, 2);
+        assert_eq!(c.online_reps, VestaConfig::fast().online_reps);
+        assert_eq!(c.sgd.max_epochs, VestaConfig::fast().sgd.max_epochs);
     }
 
     #[test]

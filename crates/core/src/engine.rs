@@ -1,0 +1,784 @@
+//! Concurrent batch-prediction engine: shared [`Knowledge`] handles and
+//! cheap per-request [`PredictionSession`]s.
+//!
+//! The borrowing [`crate::OnlinePredictor`] serves one caller at a time:
+//! it owns a collector, takes `&OfflineModel`, and its absorption overlay
+//! mutates in place. A prediction *service* wants the opposite shape —
+//! one immutable knowledge base shared by many concurrent requests:
+//!
+//! * [`Knowledge`] owns the offline model, the catalog, CMF factors
+//!   warm-started against the knowledge matrices, a memoized
+//!   reference-run cache keyed by [`WorkloadFingerprint`], and the
+//!   session overlay behind an `Arc` swap. Everything a request reads is
+//!   `Arc`-shared and immutable.
+//! * [`PredictionSession`] is a per-request handle: a handful of `Arc`
+//!   clones plus a frozen overlay snapshot. Spawning one takes
+//!   nanoseconds and never blocks on other requests.
+//! * [`Knowledge::predict_batch`] fans sessions out over rayon and
+//!   collects results in input order — bit-identical to the sequential
+//!   loop because every per-request random draw is seeded by the
+//!   request's fingerprint, the overlay is frozen per session, and the
+//!   CMF warm start is computed once at build time.
+//! * [`Knowledge::absorb`] never serializes readers: absorptions land in
+//!   a sharded pending queue and only [`Knowledge::absorb_pending`]
+//!   (called between batches) folds them into a fresh overlay `Arc`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use vesta_cloud_sim::{CacheStats, Catalog, RunCache, VmTypeId};
+use vesta_ml::cmf::{prefit_knowledge, solve_with, CmfProblem, CmfWarmStart, Mask};
+use vesta_ml::Matrix;
+use vesta_workloads::Workload;
+
+use crate::config::VestaConfig;
+use crate::offline::OfflineModel;
+use crate::online::{
+    absorption_evidence, fresh_collector, gather_references, observed_row, random_vms_from,
+    reference_seed, run_references, score_candidates, select_best_vm, source_affinities_of,
+    transfer_time_curve, AbsorbedCurve, Prediction, ReferencePhase, DEFAULT_CANDIDATE_POOL,
+    DEFAULT_FALLBACK_EXTRA_VMS, FALLBACK_SALT,
+};
+use crate::snapshot::KnowledgeSnapshot;
+use crate::VestaError;
+
+/// Content hash of a prediction request: the workload's fully resolved
+/// execution demand (which folds in the workload id), its framework and
+/// scale, and the cluster size. Two requests with equal fingerprints take
+/// byte-identical reference runs, so the fingerprint keys the engine's
+/// memo caches *and* seeds the per-request random draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkloadFingerprint(u64);
+
+impl WorkloadFingerprint {
+    /// Fingerprint `workload` as it would run under `config`.
+    pub fn of(workload: &Workload, config: &VestaConfig) -> Self {
+        let d = workload.demand();
+        let mut h = Fnv::new();
+        h.write_u64(d.workload_id);
+        h.write_f64(d.input_gb);
+        h.write_f64(d.compute_units);
+        h.write_f64(d.working_set_gb);
+        h.write_f64(d.shuffle_gb_per_iter);
+        h.write_f64(d.disk_gb_per_iter);
+        h.write_u64(d.iterations as u64);
+        h.write_f64(d.parallelism);
+        h.write_f64(d.sync_barriers_per_iter);
+        h.write_f64(d.startup_s);
+        h.write_f64(d.spill_penalty);
+        h.write_u64(d.memory_hard as u64);
+        h.write_f64(d.variance_cv);
+        h.write_bytes(format!("{:?}", workload.framework).as_bytes());
+        h.write_f64(workload.scale.gb());
+        h.write_u64(config.nodes as u64);
+        WorkloadFingerprint(h.finish())
+    }
+
+    /// The raw 64-bit hash (cache key and seed identity).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for WorkloadFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a, inlined so the fingerprint never depends on `std`'s
+/// randomized hasher state.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Session-local knowledge absorbed from served predictions: extra
+/// label→VM edges consulted during candidate scoring, plus the calibrated
+/// time curves of absorbed workloads as same-framework transfer donors.
+/// Immutable once published — sessions snapshot an `Arc` of it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionOverlay {
+    layer: vesta_graph::LabelLayer,
+    absorbed: Vec<u64>,
+    curves: Vec<AbsorbedCurve>,
+}
+
+impl SessionOverlay {
+    /// The label→VM edge layer consulted next to the offline `G^(LT)`.
+    pub(crate) fn layer(&self) -> &vesta_graph::LabelLayer {
+        &self.layer
+    }
+
+    /// Workload ids folded in so far.
+    pub fn absorbed_ids(&self) -> &[u64] {
+        &self.absorbed
+    }
+
+    /// Number of workloads folded in so far.
+    pub fn absorbed_count(&self) -> usize {
+        self.absorbed.len()
+    }
+
+    /// Number of overlay edges.
+    pub fn n_edges(&self) -> usize {
+        self.layer.n_edges()
+    }
+}
+
+/// A served prediction parked until the next [`Knowledge::absorb_pending`].
+#[derive(Debug, Clone)]
+struct PendingAbsorb {
+    workload_id: u64,
+    edges: Vec<(u64, vesta_graph::Label, f64)>,
+    curve: AbsorbedCurve,
+}
+
+/// Sharded pending queue: `absorb` from many threads only contends on a
+/// shard, never on the overlay readers (which hold no lock at all — they
+/// own an `Arc` snapshot).
+struct AbsorptionQueue {
+    shards: Vec<Mutex<Vec<PendingAbsorb>>>,
+    len: AtomicUsize,
+}
+
+const QUEUE_SHARDS: usize = 8;
+
+impl AbsorptionQueue {
+    fn new() -> Self {
+        AbsorptionQueue {
+            shards: (0..QUEUE_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, rec: PendingAbsorb) {
+        let shard = (rec.workload_id % QUEUE_SHARDS as u64) as usize;
+        self.shards[shard].lock().push(rec);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn drain(&self) -> Vec<PendingAbsorb> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.append(&mut shard.lock());
+        }
+        self.len.fetch_sub(out.len(), Ordering::Relaxed);
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+/// Memoized outcome of the reference phase for one fingerprint: which
+/// reference runs landed, what they observed, and the sparse `U*` row
+/// they induce. Everything downstream (CMF, scoring, transfer) is
+/// overlay-dependent and recomputed per request.
+struct CachedReference {
+    phase: ReferencePhase,
+    row: Matrix,
+    mask: Mask,
+}
+
+/// Memoized fallback widening for one fingerprint.
+struct FallbackRuns {
+    observed: Vec<(usize, f64)>,
+    extra_attempts: usize,
+}
+
+/// Cache counters of the engine: the reference-run memo and the
+/// fallback-widening memo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineCacheStats {
+    /// Reference-phase cache (consulted once per request).
+    pub reference: CacheStats,
+    /// Fallback cache (consulted only by non-converged requests).
+    pub fallback: CacheStats,
+}
+
+/// Immutable, `Arc`-shared knowledge handle behind the batch engine.
+pub struct Knowledge {
+    model: Arc<OfflineModel>,
+    catalog: Arc<Catalog>,
+    warm: Arc<CmfWarmStart>,
+    overlay: RwLock<Arc<SessionOverlay>>,
+    pending: AbsorptionQueue,
+    ref_cache: Arc<RunCache<CachedReference>>,
+    fallback_cache: Arc<RunCache<FallbackRuns>>,
+    runs: Arc<AtomicUsize>,
+}
+
+impl Knowledge {
+    /// Wrap a trained offline model and its catalog into a shareable
+    /// handle; prefits the CMF knowledge factors once so every session
+    /// warm-starts from the same point.
+    pub fn from_model(model: OfflineModel, catalog: Catalog) -> Result<Self, VestaError> {
+        Self::with_overlay(model, catalog, SessionOverlay::default())
+    }
+
+    /// Train offline knowledge from `sources` and wrap it.
+    pub fn train(
+        catalog: Catalog,
+        sources: &[&Workload],
+        config: VestaConfig,
+    ) -> Result<Self, VestaError> {
+        let model = OfflineModel::build(&catalog, sources, config)?;
+        Self::from_model(model, catalog)
+    }
+
+    fn with_overlay(
+        model: OfflineModel,
+        catalog: Catalog,
+        overlay: SessionOverlay,
+    ) -> Result<Self, VestaError> {
+        let warm = prefit_knowledge(&model.u, &model.v, &model.config.cmf())?;
+        Ok(Knowledge {
+            model: Arc::new(model),
+            catalog: Arc::new(catalog),
+            warm: Arc::new(warm),
+            overlay: RwLock::new(Arc::new(overlay)),
+            pending: AbsorptionQueue::new(),
+            ref_cache: Arc::new(RunCache::new()),
+            fallback_cache: Arc::new(RunCache::new()),
+            runs: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The trained offline model.
+    pub fn model(&self) -> &OfflineModel {
+        &self.model
+    }
+
+    /// The VM catalog predictions select from.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The pipeline configuration the model was trained under.
+    pub fn config(&self) -> &VestaConfig {
+        &self.model.config
+    }
+
+    /// Spawn a per-request session: a few `Arc` clones plus a frozen
+    /// snapshot of the current overlay. Cheap enough to create per
+    /// prediction; sessions spawned before an [`Knowledge::absorb_pending`]
+    /// keep seeing the overlay they started with.
+    pub fn session(&self) -> PredictionSession {
+        PredictionSession {
+            model: Arc::clone(&self.model),
+            catalog: Arc::clone(&self.catalog),
+            warm: Arc::clone(&self.warm),
+            overlay: Arc::clone(&self.overlay.read()),
+            ref_cache: Arc::clone(&self.ref_cache),
+            fallback_cache: Arc::clone(&self.fallback_cache),
+            runs: Arc::clone(&self.runs),
+            candidate_pool: DEFAULT_CANDIDATE_POOL,
+            fallback_extra_vms: DEFAULT_FALLBACK_EXTRA_VMS,
+        }
+    }
+
+    /// Predict one workload through a fresh session.
+    pub fn predict(&self, workload: &Workload) -> Result<Prediction, VestaError> {
+        self.session().predict(workload)
+    }
+
+    /// Predict every workload concurrently (one rayon task per request,
+    /// each in its own session) and return results in input order.
+    /// Bit-identical to [`Knowledge::predict_sequential`] on the same
+    /// inputs: sessions share no mutable state, every random draw is
+    /// fingerprint-seeded, and the overlay is frozen at spawn time.
+    pub fn predict_batch(&self, workloads: &[Workload]) -> Result<Vec<Prediction>, VestaError> {
+        workloads
+            .par_iter()
+            .map(|w| self.session().predict(w))
+            .collect()
+    }
+
+    /// The sequential reference semantics of [`Knowledge::predict_batch`]:
+    /// the same per-session pipeline, one request at a time.
+    pub fn predict_sequential(
+        &self,
+        workloads: &[Workload],
+    ) -> Result<Vec<Prediction>, VestaError> {
+        workloads.iter().map(|w| self.session().predict(w)).collect()
+    }
+
+    /// Park a served prediction for absorption into the overlay. Readers
+    /// are never blocked: the evidence waits in a sharded queue until
+    /// [`Knowledge::absorb_pending`] publishes a new overlay.
+    pub fn absorb(&self, prediction: &Prediction) {
+        let (edges, curve) = absorption_evidence(prediction);
+        self.pending.push(PendingAbsorb {
+            workload_id: prediction.workload_id,
+            edges,
+            curve,
+        });
+    }
+
+    /// Fold every parked absorption into a fresh overlay and publish it
+    /// with one `Arc` swap. Records are applied in workload-id order (so
+    /// the published overlay does not depend on absorption order) and
+    /// each workload is absorbed at most once. Returns how many workloads
+    /// were newly absorbed.
+    pub fn absorb_pending(&self) -> usize {
+        let mut drained = self.pending.drain();
+        if drained.is_empty() {
+            return 0;
+        }
+        drained.sort_by_key(|r| r.workload_id);
+        let mut next = (**self.overlay.read()).clone();
+        let mut added = 0;
+        for rec in drained {
+            if next.absorbed.contains(&rec.workload_id) {
+                continue;
+            }
+            next.absorbed.push(rec.workload_id);
+            for (vm, label, w) in &rec.edges {
+                next.layer.add_weight(*vm, *label, *w);
+            }
+            next.curves.push(rec.curve);
+            added += 1;
+        }
+        if added > 0 {
+            *self.overlay.write() = Arc::new(next);
+        }
+        added
+    }
+
+    /// Number of workloads folded into the published overlay.
+    pub fn absorbed_count(&self) -> usize {
+        self.overlay.read().absorbed_count()
+    }
+
+    /// Absorptions parked but not yet published.
+    pub fn pending_absorptions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Snapshot of the published overlay.
+    pub fn overlay(&self) -> Arc<SessionOverlay> {
+        Arc::clone(&self.overlay.read())
+    }
+
+    /// Hit/miss counters of the engine's memo caches.
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        EngineCacheStats {
+            reference: self.ref_cache.stats(),
+            fallback: self.fallback_cache.stats(),
+        }
+    }
+
+    /// Simulated runs actually executed (cache hits consume none).
+    pub fn runs_executed(&self) -> usize {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Serialize model + published overlay (pending absorptions are not
+    /// included — call [`Knowledge::absorb_pending`] first).
+    pub fn to_snapshot(&self) -> KnowledgeSnapshot {
+        let mut snap = self.model.to_snapshot();
+        snap.overlay = (**self.overlay.read()).clone();
+        snap
+    }
+
+    /// Rebuild a handle from a snapshot: the model is validated against
+    /// `catalog`, the overlay is installed as published, and the CMF warm
+    /// start is re-prefit (it is deterministic in the model and config,
+    /// so the rebuilt handle predicts bit-identically).
+    pub fn from_snapshot(snapshot: KnowledgeSnapshot, catalog: Catalog) -> Result<Self, VestaError> {
+        let overlay = snapshot.overlay.clone();
+        let model = OfflineModel::from_snapshot(snapshot)?;
+        if model.vm_clusters.len() != catalog.len() {
+            return Err(VestaError::Config(format!(
+                "snapshot covers {} VM types, catalog has {}",
+                model.vm_clusters.len(),
+                catalog.len()
+            )));
+        }
+        Self::with_overlay(model, catalog, overlay)
+    }
+
+    /// Save model + overlay as JSON.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), VestaError> {
+        let snap = self.to_snapshot();
+        let json = serde_json::to_string(&snap)
+            .map_err(|e| VestaError::Config(format!("serialize knowledge: {e}")))?;
+        std::fs::write(path, json).map_err(|e| VestaError::Config(format!("write knowledge: {e}")))
+    }
+
+    /// Load a handle saved by [`Knowledge::save`].
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+        catalog: Catalog,
+    ) -> Result<Self, VestaError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| VestaError::Config(format!("read knowledge: {e}")))?;
+        let snap: KnowledgeSnapshot = serde_json::from_str(&json)
+            .map_err(|e| VestaError::Config(format!("parse knowledge: {e}")))?;
+        Self::from_snapshot(snap, catalog)
+    }
+}
+
+impl fmt::Debug for Knowledge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Knowledge")
+            .field("sources", &self.model.source_order.len())
+            .field("vm_types", &self.catalog.len())
+            .field("absorbed", &self.absorbed_count())
+            .field("pending", &self.pending_absorptions())
+            .field("runs_executed", &self.runs_executed())
+            .finish()
+    }
+}
+
+/// Per-request prediction handle: `Arc` clones of the shared knowledge
+/// plus a frozen overlay snapshot. Runs the exact pipeline of
+/// [`crate::OnlinePredictor::predict`], with the CMF solve warm-started
+/// from the shared knowledge factors and every random draw seeded by the
+/// request's [`WorkloadFingerprint`] — so a session's output depends only
+/// on (knowledge, overlay snapshot, workload), never on scheduling.
+pub struct PredictionSession {
+    model: Arc<OfflineModel>,
+    catalog: Arc<Catalog>,
+    warm: Arc<CmfWarmStart>,
+    overlay: Arc<SessionOverlay>,
+    ref_cache: Arc<RunCache<CachedReference>>,
+    fallback_cache: Arc<RunCache<FallbackRuns>>,
+    runs: Arc<AtomicUsize>,
+    /// Candidate pool size taken from the two-hop scores.
+    pub candidate_pool: usize,
+    /// Extra random VMs explored by the from-scratch fallback.
+    pub fallback_extra_vms: usize,
+}
+
+impl PredictionSession {
+    /// The overlay snapshot this session was spawned with.
+    pub fn overlay(&self) -> &SessionOverlay {
+        &self.overlay
+    }
+
+    /// Predict the best VM type for `workload` (Algorithm 1, full flow,
+    /// memoized reference runs + warm-started CMF).
+    pub fn predict(&self, workload: &Workload) -> Result<Prediction, VestaError> {
+        let cfg = &self.model.config;
+        let fp = WorkloadFingerprint::of(workload, cfg);
+
+        // ---- lines 1-2: reference phase, memoized by fingerprint --------
+        let cached = match self.ref_cache.get(fp.as_u64()) {
+            Some(c) => c,
+            None => {
+                // Errors are not cached: a failed compute is retried by the
+                // next request with this fingerprint.
+                let computed = self.compute_reference(workload, fp)?;
+                self.ref_cache.insert(fp.as_u64(), computed)
+            }
+        };
+        let mut reference = cached.phase.reference.clone();
+        let mut observed = cached.phase.observed.clone();
+        let mut extra_attempts = cached.phase.extra_attempts;
+        let observed_density = cached.mask.density();
+
+        // ---- lines 7-11: CMF, warm-started from the shared factors ------
+        let problem = CmfProblem {
+            source: &self.model.u,
+            vm: &self.model.v,
+            target: &cached.row,
+            target_mask: &cached.mask,
+        };
+        let cmf = solve_with(&problem, &cfg.cmf(), Some(&self.warm))?;
+        let converged = cmf.outcome.converged;
+        let source_affinities = source_affinities_of(&self.model, &cmf);
+
+        // ---- candidates under the frozen overlay snapshot ---------------
+        let (target_labels, knowledge_scores, candidates) = score_candidates(
+            &self.model,
+            self.overlay.layer(),
+            &cmf.completed_target,
+            self.candidate_pool,
+        );
+
+        // ---- line 14: transferred + calibrated time curve ---------------
+        let predicted_times = transfer_time_curve(
+            &self.model,
+            &self.catalog,
+            &self.overlay.curves,
+            &source_affinities,
+            &observed,
+            &target_labels,
+        )?;
+
+        // ---- fallback widening, memoized by fingerprint -----------------
+        let mut trained_from_scratch = false;
+        if !converged || cached.phase.underfilled {
+            trained_from_scratch = true;
+            let fb = match self.fallback_cache.get(fp.as_u64()) {
+                Some(f) => f,
+                None => {
+                    let computed = self.compute_fallback(workload, fp, &cached.phase.tried)?;
+                    self.fallback_cache.insert(fp.as_u64(), computed)
+                }
+            };
+            for (vm, _) in &fb.observed {
+                reference.push(*vm);
+            }
+            observed.extend(fb.observed.iter().copied());
+            extra_attempts += fb.extra_attempts;
+        }
+
+        // ---- selection --------------------------------------------------
+        let best_vm = select_best_vm(&candidates, &observed, &predicted_times, &knowledge_scores)?;
+
+        Ok(Prediction {
+            workload_id: workload.id,
+            best_vm: VmTypeId::new(best_vm),
+            predicted_times: predicted_times
+                .into_iter()
+                .map(|(vm, t)| (VmTypeId::new(vm), t))
+                .collect(),
+            candidates: candidates.into_iter().map(VmTypeId::new).collect(),
+            observed: observed
+                .into_iter()
+                .map(|(vm, t)| (VmTypeId::new(vm), t))
+                .collect(),
+            reference_vms: reference.len(),
+            converged,
+            trained_from_scratch,
+            source_affinities,
+            observed_density,
+            target_labels,
+            failed_reference_vms: cached
+                .phase
+                .failed_reference_vms
+                .iter()
+                .copied()
+                .map(VmTypeId::new)
+                .collect(),
+            extra_reference_runs: extra_attempts,
+        })
+    }
+
+    /// Fingerprint of a request as this session would serve it.
+    pub fn fingerprint(&self, workload: &Workload) -> WorkloadFingerprint {
+        WorkloadFingerprint::of(workload, &self.model.config)
+    }
+
+    /// Cache-miss path of the reference phase: fresh collector (same
+    /// seeded noise stream a new deployment would see), fingerprint-seeded
+    /// reference draws, sparse `U*` row.
+    fn compute_reference(
+        &self,
+        workload: &Workload,
+        fp: WorkloadFingerprint,
+    ) -> Result<CachedReference, VestaError> {
+        let collector = fresh_collector(&self.model);
+        let phase = gather_references(
+            &self.model,
+            &self.catalog,
+            &collector,
+            workload,
+            fp.as_u64(),
+        )?;
+        let (row, mask) = observed_row(&self.model, &collector, workload.id, &phase.reference)?;
+        self.runs
+            .fetch_add(collector.runs_consumed(), Ordering::Relaxed);
+        Ok(CachedReference { phase, row, mask })
+    }
+
+    /// Cache-miss path of the fallback widening.
+    fn compute_fallback(
+        &self,
+        workload: &Workload,
+        fp: WorkloadFingerprint,
+        tried: &[usize],
+    ) -> Result<FallbackRuns, VestaError> {
+        let cfg = &self.model.config;
+        let collector = fresh_collector(&self.model);
+        let extra = random_vms_from(
+            reference_seed(cfg.seed, fp.as_u64() ^ FALLBACK_SALT),
+            self.catalog.len(),
+            self.fallback_extra_vms,
+            tried,
+        );
+        let observed = run_references(&collector, &self.catalog, cfg.online_reps, workload, &extra)?;
+        self.runs
+            .fetch_add(collector.runs_consumed(), Ordering::Relaxed);
+        Ok(FallbackRuns {
+            observed,
+            extra_attempts: collector.failed_attempts(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vesta::Vesta;
+    use std::sync::OnceLock;
+    use vesta_workloads::Suite;
+
+    fn shared() -> &'static (Suite, Knowledge) {
+        static CELL: OnceLock<(Suite, Knowledge)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let suite = Suite::paper();
+            let catalog = Catalog::aws_ec2();
+            let sources: Vec<&Workload> =
+                suite.source_training().into_iter().take(6).collect();
+            let cfg = VestaConfig::fast()
+                .to_builder()
+                .offline_reps(2)
+                .build()
+                .unwrap();
+            let knowledge = Knowledge::train(catalog, &sources, cfg).unwrap();
+            (suite, knowledge)
+        })
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_injective_on_the_suite() {
+        let (suite, knowledge) = shared();
+        let cfg = knowledge.config();
+        let mut seen = std::collections::BTreeSet::new();
+        for w in suite.all() {
+            let fp = WorkloadFingerprint::of(w, cfg);
+            assert_eq!(fp, WorkloadFingerprint::of(w, cfg), "stable");
+            assert!(seen.insert(fp.as_u64()), "collision on {}", w.name());
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential() {
+        let (suite, knowledge) = shared();
+        // Include a duplicate so the cache path is exercised in-batch.
+        let mut workloads: Vec<Workload> =
+            suite.target().into_iter().take(4).cloned().collect();
+        workloads.push(workloads[0].clone());
+        let batch = knowledge.predict_batch(&workloads).unwrap();
+        let seq = knowledge.predict_sequential(&workloads).unwrap();
+        assert_eq!(batch.len(), seq.len());
+        for (a, b) in batch.iter().zip(&seq) {
+            assert_eq!(a.workload_id, b.workload_id);
+            assert_eq!(a.best_vm, b.best_vm);
+            assert_eq!(a.candidates, b.candidates);
+            assert_eq!(a.predicted_times.len(), b.predicted_times.len());
+            for ((va, ta), (vb, tb)) in a.predicted_times.iter().zip(&b.predicted_times) {
+                assert_eq!(va, vb);
+                assert_eq!(ta.to_bits(), tb.to_bits());
+            }
+            for ((va, ta), (vb, tb)) in a.observed.iter().zip(&b.observed) {
+                assert_eq!(va, vb);
+                assert_eq!(ta.to_bits(), tb.to_bits());
+            }
+        }
+        // The duplicate request is bit-identical to its first serving.
+        assert_eq!(batch[0].best_vm, batch[4].best_vm);
+    }
+
+    /// A private handle restored from the shared model: tests that mutate
+    /// counters or publish overlays must not race the read-only tests.
+    fn own_handle() -> Knowledge {
+        let (_, knowledge) = shared();
+        Knowledge::from_snapshot(knowledge.to_snapshot(), Catalog::aws_ec2()).unwrap()
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache_and_run_nothing() {
+        let (suite, _) = shared();
+        let knowledge = own_handle();
+        let w = suite.by_name("Flink-wordcount").unwrap();
+        let first = knowledge.predict(w).unwrap();
+        let runs_after_first = knowledge.runs_executed();
+        assert!(runs_after_first > 0);
+        let second = knowledge.predict(w).unwrap();
+        assert_eq!(first.best_vm, second.best_vm);
+        assert_eq!(
+            knowledge.runs_executed(),
+            runs_after_first,
+            "a cache hit must not simulate"
+        );
+        let stats = knowledge.cache_stats();
+        assert!(stats.reference.hits >= 1);
+        assert!(stats.reference.misses >= 1);
+        assert!(stats.reference.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn absorption_is_deferred_ordered_and_idempotent() {
+        let (suite, _) = shared();
+        let knowledge = own_handle();
+        let a = knowledge.predict(suite.by_name("Flink-grep").unwrap()).unwrap();
+        let b = knowledge.predict(suite.by_name("Flink-sort").unwrap()).unwrap();
+        let before = knowledge.absorbed_count();
+        // Push out of order, twice each: the publish is ordered + deduped.
+        knowledge.absorb(&b);
+        knowledge.absorb(&a);
+        knowledge.absorb(&b);
+        knowledge.absorb(&a);
+        assert_eq!(knowledge.pending_absorptions(), 4);
+        let added = knowledge.absorb_pending();
+        assert_eq!(added, 2);
+        assert_eq!(knowledge.pending_absorptions(), 0);
+        assert_eq!(knowledge.absorbed_count(), before + 2);
+        assert!(knowledge.overlay().n_edges() > 0);
+        // Re-absorbing published workloads is a no-op.
+        knowledge.absorb(&a);
+        assert_eq!(knowledge.absorb_pending(), 0);
+        assert_eq!(knowledge.absorbed_count(), before + 2);
+        // Sessions spawned now see the published overlay.
+        assert_eq!(knowledge.session().overlay().absorbed_count(), before + 2);
+    }
+
+    #[test]
+    fn sessions_freeze_the_overlay_they_were_spawned_with() {
+        let (suite, _) = shared();
+        let knowledge = own_handle();
+        let frozen = knowledge.session();
+        let seen_at_spawn = frozen.overlay().absorbed_count();
+        let p = knowledge
+            .predict(suite.by_name("Flink-pagerank").unwrap())
+            .unwrap();
+        knowledge.absorb(&p);
+        knowledge.absorb_pending();
+        assert_eq!(frozen.overlay().absorbed_count(), seen_at_spawn);
+        assert!(knowledge.session().overlay().absorbed_count() > seen_at_spawn);
+    }
+
+    #[test]
+    fn knowledge_handle_from_vesta_predicts_like_its_model() {
+        // A Knowledge built from an existing Vesta reuses the same trained
+        // model, so fingerprints and reference draws line up.
+        let suite = Suite::paper();
+        let catalog = Catalog::aws_ec2();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+        let cfg = VestaConfig::fast().to_builder().offline_reps(2).build().unwrap();
+        let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
+        let knowledge = vesta.into_knowledge().unwrap();
+        let p = knowledge
+            .predict(suite.by_name("Spark-kmeans").unwrap())
+            .unwrap();
+        assert!(p.best_vm.index() < knowledge.catalog().len());
+    }
+}

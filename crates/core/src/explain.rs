@@ -6,7 +6,7 @@
 //! they cannot interrogate.
 
 use serde::{Deserialize, Serialize};
-use vesta_cloud_sim::{Catalog, CORRELATION_NAMES};
+use vesta_cloud_sim::{Catalog, VmTypeId, CORRELATION_NAMES};
 use vesta_workloads::{Suite, Workload};
 
 use crate::offline::OfflineModel;
@@ -75,8 +75,8 @@ pub fn explain(
     workload: &Workload,
     prediction: &Prediction,
 ) -> Result<Explanation, VestaError> {
-    let vm_name = |id: usize| -> Result<String, VestaError> {
-        Ok(catalog.get(id).map_err(VestaError::Sim)?.name.clone())
+    let vm_name = |id: VmTypeId| -> Result<String, VestaError> {
+        Ok(catalog.get(id)?.name.clone())
     };
     let workload_name = |id: u64| -> String {
         suite
@@ -102,7 +102,7 @@ pub fn explain(
         let top_vms = vms
             .into_iter()
             .take(3)
-            .map(|(vm, _)| vm_name(vm as usize))
+            .map(|(vm, _)| vm_name(VmTypeId::new(vm as usize)))
             .collect::<Result<Vec<_>, _>>()?;
         labels.push(LabelEvidence {
             label: space.describe(label, &CORRELATION_NAMES),
@@ -127,7 +127,7 @@ pub fn explain(
         .map(|(vm, t)| Ok((vm_name(*vm)?, *t)))
         .collect::<Result<Vec<_>, VestaError>>()?;
 
-    let mut by_time: Vec<(usize, f64)> = prediction
+    let mut by_time: Vec<(VmTypeId, f64)> = prediction
         .predicted_times
         .iter()
         .map(|(&vm, &t)| (vm, t))
@@ -210,10 +210,11 @@ mod tests {
         let catalog = Catalog::aws_ec2();
         let suite = Suite::paper();
         let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
-        let cfg = VestaConfig {
-            offline_reps: 2,
-            ..VestaConfig::fast()
-        };
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .unwrap();
         let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
         let w = suite.by_name("Spark-kmeans").unwrap();
         let p = vesta.select_best_vm(w).unwrap();
@@ -239,10 +240,11 @@ mod tests {
         let catalog = Catalog::aws_ec2();
         let suite = Suite::paper();
         let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
-        let cfg = VestaConfig {
-            offline_reps: 2,
-            ..VestaConfig::fast()
-        };
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .unwrap();
         let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
         let w = suite.by_name("Spark-count").unwrap();
         let p = vesta.select_best_vm(w).unwrap();

@@ -27,6 +27,7 @@ pub mod analyzer;
 pub mod cluster;
 pub mod collector;
 pub mod config;
+pub mod engine;
 pub mod explain;
 pub mod offline;
 pub mod online;
@@ -39,7 +40,8 @@ pub use cluster::{
     ClusterSizerConfig,
 };
 pub use collector::DataCollector;
-pub use config::VestaConfig;
+pub use config::{VestaConfig, VestaConfigBuilder};
+pub use engine::{Knowledge, PredictionSession, SessionOverlay, WorkloadFingerprint};
 pub use explain::{explain, Explanation};
 pub use offline::OfflineModel;
 pub use online::{OnlinePredictor, Prediction};
@@ -49,7 +51,11 @@ pub use vesta::{ground_truth_ranking, ground_truth_score, selection_error_pct, V
 use std::fmt;
 
 /// Errors produced by the Vesta pipeline.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so new failure domains can be added without a breaking release.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum VestaError {
     /// Invalid configuration value.
     Config(String),
@@ -77,6 +83,24 @@ impl fmt::Display for VestaError {
 
 impl std::error::Error for VestaError {}
 
+impl From<vesta_cloud_sim::SimError> for VestaError {
+    fn from(e: vesta_cloud_sim::SimError) -> Self {
+        VestaError::Sim(e)
+    }
+}
+
+impl From<vesta_ml::MlError> for VestaError {
+    fn from(e: vesta_ml::MlError) -> Self {
+        VestaError::Ml(e)
+    }
+}
+
+impl From<vesta_graph::GraphError> for VestaError {
+    fn from(e: vesta_graph::GraphError) -> Self {
+        VestaError::Graph(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +117,15 @@ mod tests {
         for e in es {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn substrate_errors_convert_via_from() {
+        let sim: VestaError = vesta_cloud_sim::SimError::NoData("x".into()).into();
+        assert!(matches!(sim, VestaError::Sim(_)));
+        let ml: VestaError = vesta_ml::MlError::InvalidParameter("y".into()).into();
+        assert!(matches!(ml, VestaError::Ml(_)));
+        let graph: VestaError = vesta_graph::GraphError::Shape("z".into()).into();
+        assert!(matches!(graph, VestaError::Graph(_)));
     }
 }

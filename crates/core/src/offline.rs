@@ -83,8 +83,7 @@ impl OfflineModel {
         for (&wid, cv) in &analysis.workload_correlations {
             let labels = analysis
                 .label_space
-                .labels_for(cv.as_slice())
-                .map_err(VestaError::Graph)?;
+                .labels_for(cv.as_slice())?;
             for l in labels {
                 graph.source_layer.set_edge(wid, l, 1.0);
             }
@@ -111,7 +110,7 @@ impl OfflineModel {
         // Cluster on L2-normalized affinity rows so the grouping reflects
         // *which labels* a VM serves, not how often it was seen.
         let norm_affinity = affinity.row_normalize_l2();
-        let kmeans = KMeans::fit(&norm_affinity, &config.kmeans()).map_err(VestaError::Ml)?;
+        let kmeans = KMeans::fit(&norm_affinity, &config.kmeans())?;
         let vm_clusters = kmeans.assignments.clone();
 
         // ---- label→VM layer with cluster smoothing ------------------------
@@ -169,8 +168,7 @@ impl OfflineModel {
         Ok(self
             .collector
             .store()
-            .aggregate(&RunKey { workload_id, vm_id })
-            .map_err(VestaError::Sim)?
+            .aggregate(&RunKey { workload_id, vm_id })?
             .p90_time_s)
     }
 
@@ -204,8 +202,11 @@ mod tests {
         let catalog = Catalog::aws_ec2();
         let suite = Suite::paper();
         let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
-        let mut cfg = VestaConfig::fast();
-        cfg.offline_reps = 2;
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .unwrap();
         OfflineModel::build(&catalog, &sources, cfg).unwrap()
     }
 

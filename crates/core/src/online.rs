@@ -17,13 +17,19 @@
 //! 5. falls back to from-scratch exploration (more reference VMs) when the
 //!    solve does not converge — "in the worst cases, Vesta may train
 //!    workloads from scratch, just as the existing efforts".
+//!
+//! The pipeline stages live in free functions shared between the
+//! borrowing [`OnlinePredictor`] and the `Arc`-owning sessions of
+//! [`crate::engine`] — both walk the exact same code path, so a session
+//! prediction and a predictor prediction differ only in where the CMF
+//! factors start (cold vs. warm) and which overlay they read.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vesta_cloud_sim::{Catalog, FaultPlan, RetryPolicy, RunKey, SimError, Simulator};
-use vesta_ml::cmf::{solve as cmf_solve, CmfProblem, Mask};
+use vesta_cloud_sim::{Catalog, FaultPlan, RetryPolicy, RunKey, SimError, Simulator, VmTypeId};
+use vesta_ml::cmf::{solve as cmf_solve, CmfModel, CmfProblem, Mask};
 use vesta_ml::Matrix;
 use vesta_workloads::Workload;
 
@@ -36,14 +42,14 @@ use crate::VestaError;
 pub struct Prediction {
     /// The target workload.
     pub workload_id: u64,
-    /// The selected best VM type (catalog id).
-    pub best_vm: usize,
+    /// The selected best VM type.
+    pub best_vm: VmTypeId,
     /// Predicted execution time per VM type, seconds.
-    pub predicted_times: BTreeMap<usize, f64>,
+    pub predicted_times: BTreeMap<VmTypeId, f64>,
     /// Candidate VM ids from the two-hop graph walk, best-score first.
-    pub candidates: Vec<usize>,
-    /// Reference runs actually executed: `(vm_id, observed P90 time)`.
-    pub observed: Vec<(usize, f64)>,
+    pub candidates: Vec<VmTypeId>,
+    /// Reference runs actually executed: `(vm, observed P90 time)`.
+    pub observed: Vec<(VmTypeId, f64)>,
     /// Reference-VM count consumed (the Fig. 8 overhead currency).
     pub reference_vms: usize,
     /// Whether the CMF solve converged within the cap.
@@ -59,7 +65,7 @@ pub struct Prediction {
     pub target_labels: Vec<vesta_graph::Label>,
     /// Reference VMs that failed persistently (capacity errors, exhausted
     /// retries) and were deterministically replaced or skipped.
-    pub failed_reference_vms: Vec<usize>,
+    pub failed_reference_vms: Vec<VmTypeId>,
     /// Simulated runs charged to failed attempts while serving this
     /// prediction — the extra overhead the fault plan cost on top of
     /// `reference_vms × online_reps`.
@@ -101,21 +107,15 @@ pub struct OnlinePredictor<'a> {
 impl<'a> OnlinePredictor<'a> {
     /// New predictor bound to a trained offline model.
     pub fn new(model: &'a OfflineModel, catalog: &'a Catalog) -> Self {
-        let sim = Simulator::new(vesta_cloud_sim::SimConfig {
-            seed: model.config.seed ^ ONLINE_SEED_STREAM,
-            ..Default::default()
-        });
         OnlinePredictor {
             model,
             catalog,
-            collector: DataCollector::new(sim, model.config.nodes)
-                .with_estimator(model.config.correlation_estimator)
-                .with_faults(model.config.fault_plan.clone(), model.config.retry.clone()),
+            collector: fresh_collector(model),
             overlay: parking_lot::RwLock::new(vesta_graph::LabelLayer::new()),
             absorbed: parking_lot::RwLock::new(Vec::new()),
             absorbed_curves: parking_lot::RwLock::new(Vec::new()),
-            candidate_pool: 30,
-            fallback_extra_vms: 4,
+            candidate_pool: DEFAULT_CANDIDATE_POOL,
+            fallback_extra_vms: DEFAULT_FALLBACK_EXTRA_VMS,
         }
     }
 
@@ -136,147 +136,17 @@ impl<'a> OnlinePredictor<'a> {
     /// target workload's resource requirements — the cheapest type whose
     /// usable memory covers the working set.
     pub fn sandbox_vm(&self, workload: &Workload) -> usize {
-        let demand = workload.demand();
-        let mut best: Option<(usize, f64)> = None;
-        for vm in self.catalog.all() {
-            let usable = vm.memory_gb * 0.85;
-            if usable >= demand.working_set_gb && best.is_none_or(|(_, p)| vm.price_per_hour < p) {
-                best = Some((vm.id, vm.price_per_hour));
-            }
-        }
-        best.map(|(id, _)| id).unwrap_or_else(|| {
-            // Nothing fits: take the largest-memory box and let the memory
-            // watcher split the job into waves.
-            self.catalog
-                .all()
-                .iter()
-                .max_by(|a, b| a.memory_gb.total_cmp(&b.memory_gb))
-                .expect("catalog non-empty")
-                .id
-        })
+        sandbox_vm_for(self.catalog, workload)
     }
 
     /// The 3 (configurable) randomly picked initialization VMs.
-    fn random_vms(&self, workload_id: u64, n: usize, exclude: &[usize]) -> Vec<usize> {
-        let mut rng =
-            StdRng::seed_from_u64(self.model.config.seed ^ workload_id.wrapping_mul(0x9E37));
-        let mut picked = Vec::with_capacity(n);
-        let total = self.catalog.len();
-        while picked.len() < n && picked.len() + exclude.len() < total {
-            let id = rng.gen_range(0..total);
-            if !exclude.contains(&id) && !picked.contains(&id) {
-                picked.push(id);
-            }
-        }
-        picked
-    }
-
-    /// Run one reference VM and return its `(vm, observed P90)` pair.
-    fn run_reference(&self, workload: &Workload, vm_id: usize) -> Result<(usize, f64), VestaError> {
-        let vm = self.catalog.get(vm_id).map_err(VestaError::Sim)?;
-        self.collector
-            .profile(workload, vm, self.model.config.online_reps)
-            .map_err(VestaError::Sim)?;
-        let agg = self
-            .collector
-            .store()
-            .aggregate(&RunKey {
-                workload_id: workload.id,
-                vm_id,
-            })
-            .map_err(VestaError::Sim)?;
-        Ok((vm_id, agg.p90_time_s))
-    }
-
-    /// True when a reference-run error means "this VM is a lost cause for
-    /// now" (exhausted retries or a capacity error) rather than a bug the
-    /// caller must see.
-    fn is_persistent_vm_failure(err: &VestaError) -> bool {
-        matches!(
-            err,
-            VestaError::Sim(SimError::TransientFailure { .. })
-                | VestaError::Sim(SimError::VmUnavailable { .. })
+    fn random_vms(&self, identity: u64, n: usize, exclude: &[usize]) -> Vec<usize> {
+        random_vms_from(
+            reference_seed(self.model.config.seed, identity),
+            self.catalog.len(),
+            n,
+            exclude,
         )
-    }
-
-    /// Run the reference VMs and return `(vm, observed P90)` pairs.
-    /// VMs lost to persistent cloud failures are skipped (the fallback
-    /// widening tolerates holes); other errors propagate.
-    fn run_references(
-        &self,
-        workload: &Workload,
-        vm_ids: &[usize],
-    ) -> Result<Vec<(usize, f64)>, VestaError> {
-        let mut out = Vec::with_capacity(vm_ids.len());
-        for &vm_id in vm_ids {
-            match self.run_reference(workload, vm_id) {
-                Ok(pair) => out.push(pair),
-                Err(e) if Self::is_persistent_vm_failure(&e) => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(out)
-    }
-
-    /// Build the sparse `U*` row from the observed runs: a feature counts
-    /// as observed only when a strict majority of its per-run interval
-    /// estimates agree (high-variance workloads like Spark-svd++ stay
-    /// sparse and lean on the CMF completion).
-    fn observed_row(
-        &self,
-        workload_id: u64,
-        vm_ids: &[usize],
-    ) -> Result<(Matrix, Mask), VestaError> {
-        let space = &self.model.analysis.label_space;
-        let n_labels = space.n_labels();
-        let mut row = Matrix::zeros(1, n_labels);
-        let mut mask = Mask::none(1, n_labels);
-        // Gather every per-run correlation vector.
-        let mut per_run: Vec<vesta_cloud_sim::CorrelationVector> = Vec::new();
-        for &vm_id in vm_ids {
-            let records = self
-                .collector
-                .store()
-                .records(&RunKey { workload_id, vm_id })
-                .map_err(VestaError::Sim)?;
-            per_run.extend(records.iter().map(|r| r.correlations));
-        }
-        if per_run.is_empty() {
-            return Err(VestaError::NoKnowledge("no reference runs".into()));
-        }
-        let selected = self.model.analysis.selected_features.clone();
-        // A feature is "observed" when its per-run correlation estimates
-        // agree: the spread between the 25th and 75th percentile stays
-        // within two interval widths. High-variance workloads (Spark-svd++)
-        // disagree more, keep fewer observed features, and lean harder on
-        // the CMF completion — the data-sparsity story of Section 3.2.
-        let spread_cap = 2.0 * space.interval_width;
-        let mut spreads: Vec<(usize, f64, usize)> = Vec::new(); // (feature, spread, interval)
-        for &f in &selected {
-            let vals: Vec<f64> = per_run.iter().map(|cv| cv.values[f]).collect();
-            let lo = vesta_ml::stats::percentile(&vals, 25.0).map_err(VestaError::Ml)?;
-            let hi = vesta_ml::stats::percentile(&vals, 75.0).map_err(VestaError::Ml)?;
-            let median = vesta_ml::stats::percentile(&vals, 50.0).map_err(VestaError::Ml)?;
-            spreads.push((f, hi - lo, space.interval_of(median)));
-        }
-        let mut observed_any = false;
-        for &(f, spread, interval) in &spreads {
-            if spread <= spread_cap {
-                observe_feature(space, &mut row, &mut mask, f, interval);
-                observed_any = true;
-            }
-        }
-        if !observed_any {
-            // Extreme sparsity guard: even the noisiest workload yields one
-            // confident feature — the one its runs disagree on least.
-            if let Some(&(f, _, interval)) = spreads
-                .iter()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-            {
-                observe_feature(space, &mut row, &mut mask, f, interval);
-            }
-        }
-        Ok((row, mask))
     }
 
     /// Predict the best VM type for `workload` (Algorithm 1, full flow).
@@ -284,55 +154,24 @@ impl<'a> OnlinePredictor<'a> {
         let cfg = &self.model.config;
         let failed_attempts_before = self.collector.failed_attempts();
         // ---- lines 1-2: sandbox + 3 random reference VMs -----------------
-        // A reference VM that fails persistently (capacity error, exhausted
-        // retries) is replaced by a deterministic redraw, bounded so a
-        // hostile fault plan cannot spin the budget forever; the exploration
-        // then degrades to however many references actually landed.
-        let sandbox = self.sandbox_vm(workload);
-        let mut wanted = vec![sandbox];
-        wanted.extend(self.random_vms(workload.id, cfg.online_random_vms, &[sandbox]));
-        let target_refs = wanted.len();
-        let max_redraws = 2 * target_refs;
-        let mut tried: Vec<usize> = wanted.clone();
-        let mut queue: VecDeque<usize> = wanted.into_iter().collect();
-        let mut reference: Vec<usize> = Vec::with_capacity(target_refs);
-        let mut observed: Vec<(usize, f64)> = Vec::with_capacity(target_refs);
-        let mut failed_reference_vms: Vec<usize> = Vec::new();
-        let mut redraws = 0usize;
-        while let Some(vm_id) = queue.pop_front() {
-            match self.run_reference(workload, vm_id) {
-                Ok(pair) => {
-                    reference.push(vm_id);
-                    observed.push(pair);
-                }
-                Err(e) if Self::is_persistent_vm_failure(&e) => {
-                    failed_reference_vms.push(vm_id);
-                    if redraws < max_redraws {
-                        redraws += 1;
-                        let salt = REFERENCE_REDRAW_SALT.wrapping_add(redraws as u64);
-                        if let Some(&replacement) =
-                            self.random_vms(workload.id ^ salt, 1, &tried).first()
-                        {
-                            tried.push(replacement);
-                            queue.push_back(replacement);
-                        }
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        if observed.is_empty() {
-            return Err(VestaError::NoKnowledge(format!(
-                "every reference VM failed persistently for workload {} \
-                 ({} tried)",
-                workload.id,
-                tried.len()
-            )));
-        }
-        let reference_underfilled = observed.len() < target_refs;
+        let phase = gather_references(
+            self.model,
+            self.catalog,
+            &self.collector,
+            workload,
+            workload.id,
+        )?;
+        let ReferencePhase {
+            mut reference,
+            mut observed,
+            failed_reference_vms,
+            tried,
+            underfilled: reference_underfilled,
+            ..
+        } = phase;
 
         // ---- line 5: sparse U* row ---------------------------------------
-        let (row, mask) = self.observed_row(workload.id, &reference)?;
+        let (row, mask) = observed_row(self.model, &self.collector, workload.id, &reference)?;
         let observed_density = mask.density();
 
         // ---- lines 7-11: CMF with alternating SGD ------------------------
@@ -342,78 +181,50 @@ impl<'a> OnlinePredictor<'a> {
             target: &row,
             target_mask: &mask,
         };
-        let cmf = cmf_solve(&problem, &cfg.cmf()).map_err(VestaError::Ml)?;
+        let cmf = cmf_solve(&problem, &cfg.cmf())?;
         let converged = cmf.outcome.converged;
-
-        // ---- line 12: full representation of U* --------------------------
-        let completed = &cmf.completed_target;
 
         // Source affinities (Section 3.3: distance between U* and U decides
         // which sources transfer).
-        let raw_aff = cmf.source_affinity(0);
-        let mut source_affinities: Vec<(u64, f64)> = self
-            .model
-            .source_order
-            .iter()
-            .copied()
-            .zip(raw_aff)
-            .collect();
-        source_affinities.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let source_affinities = source_affinities_of(self.model, &cmf);
 
         // ---- candidates: two-hop walk through completed labels -----------
-        let space = &self.model.analysis.label_space;
-        let mut target_labels: Vec<vesta_graph::Label> = Vec::new();
-        let mut vm_scores: BTreeMap<usize, f64> = BTreeMap::new();
-        {
+        let (target_labels, knowledge_scores, candidates) = {
             let overlay = self.overlay.read();
-            for f in &self.model.analysis.selected_features {
-                // Take the argmax interval of each feature in the completed row.
-                let mut best = (0usize, f64::NEG_INFINITY);
-                for i in 0..space.intervals_per_feature() {
-                    let id = space.label_id(vesta_graph::Label {
-                        feature: *f,
-                        interval: i,
-                    });
-                    if completed[(0, id)] > best.1 {
-                        best = (i, completed[(0, id)]);
-                    }
-                }
-                let label = vesta_graph::Label {
-                    feature: *f,
-                    interval: best.0,
-                };
-                target_labels.push(label);
-                for (vm, w) in self.model.graph.vm_layer.lefts_of(label) {
-                    *vm_scores.entry(vm as usize).or_insert(0.0) += w;
-                }
-                // Knowledge absorbed from earlier target workloads this
-                // session (Algorithm 1 line 13's incremental retrain).
-                for (vm, w) in overlay.lefts_of(label) {
-                    *vm_scores.entry(vm as usize).or_insert(0.0) += w;
-                }
-            }
-        }
-        let knowledge_scores = vm_scores.clone();
-        let mut candidates: Vec<(usize, f64)> = vm_scores.into_iter().collect();
-        candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let candidates: Vec<usize> = candidates
-            .into_iter()
-            .take(self.candidate_pool)
-            .map(|(vm, _)| vm)
-            .collect();
+            score_candidates(
+                self.model,
+                &overlay,
+                &cmf.completed_target,
+                self.candidate_pool,
+            )
+        };
 
         // ---- line 14: predicted time per VM via transferred curves -------
-        let predicted_times =
-            self.transfer_time_curve(&source_affinities, &observed, &target_labels)?;
+        let predicted_times = {
+            let curves = self.absorbed_curves.read();
+            transfer_time_curve(
+                self.model,
+                self.catalog,
+                &curves,
+                &source_affinities,
+                &observed,
+                &target_labels,
+            )?
+        };
 
         // ---- fallback: widen exploration when CMF failed to converge or
         // the cloud ate too many references to fill the set ---------------
         let mut trained_from_scratch = false;
         if !converged || reference_underfilled {
             trained_from_scratch = true;
-            let extra =
-                self.random_vms(workload.id ^ 0xFA11BACC, self.fallback_extra_vms, &tried);
-            let extra_obs = self.run_references(workload, &extra)?;
+            let extra = self.random_vms(workload.id ^ FALLBACK_SALT, self.fallback_extra_vms, &tried);
+            let extra_obs = run_references(
+                &self.collector,
+                self.catalog,
+                cfg.online_reps,
+                workload,
+                &extra,
+            )?;
             for (vm, _) in &extra_obs {
                 reference.push(*vm);
             }
@@ -421,62 +232,27 @@ impl<'a> OnlinePredictor<'a> {
         }
 
         // ---- selection: best predicted among candidates + observed -------
-        // The pool is knowledge-driven (two-hop candidates) plus the
-        // observed references, widened by the globally best few VMs under
-        // the predicted curve so a two-hop miss cannot hide the optimum.
-        let mut pool: Vec<usize> = candidates.clone();
-        pool.extend(observed.iter().map(|(vm, _)| *vm));
-        let mut by_pred: Vec<(usize, f64)> =
-            predicted_times.iter().map(|(&vm, &t)| (vm, t)).collect();
-        by_pred.sort_by(|a, b| a.1.total_cmp(&b.1));
-        pool.extend(by_pred.iter().take(10).map(|(vm, _)| *vm));
-        pool.sort_unstable();
-        pool.dedup();
-        let time_of = |vm: usize| -> f64 {
-            observed
-                .iter()
-                .find(|(v, _)| *v == vm)
-                .map(|(_, t)| *t)
-                .or_else(|| predicted_times.get(&vm).copied())
-                .unwrap_or(f64::INFINITY)
-        };
-        let fastest = pool
-            .iter()
-            .copied()
-            .map(time_of)
-            .fold(f64::INFINITY, f64::min);
-        if !fastest.is_finite() {
-            return Err(VestaError::NoKnowledge("empty candidate pool".into()));
-        }
-        // Among near-tied predictions (the curve cannot resolve ~5%
-        // differences from 4 reference runs) the knowledge wins: pick the
-        // VM with the strongest two-hop label support — Algorithm 1
-        // line 14's read-out of the row-normalized weight matrix.
-        let best_vm = pool
-            .iter()
-            .copied()
-            .filter(|&vm| time_of(vm) <= 1.08 * fastest)
-            .max_by(|&a, &b| {
-                let ka = knowledge_scores.get(&a).copied().unwrap_or(0.0);
-                let kb = knowledge_scores.get(&b).copied().unwrap_or(0.0);
-                ka.total_cmp(&kb)
-                    .then_with(|| time_of(b).total_cmp(&time_of(a)))
-            })
-            .ok_or_else(|| VestaError::NoKnowledge("empty candidate pool".into()))?;
+        let best_vm = select_best_vm(&candidates, &observed, &predicted_times, &knowledge_scores)?;
 
         Ok(Prediction {
             workload_id: workload.id,
-            best_vm,
-            predicted_times,
-            candidates,
-            observed,
+            best_vm: VmTypeId::new(best_vm),
+            predicted_times: predicted_times
+                .into_iter()
+                .map(|(vm, t)| (VmTypeId::new(vm), t))
+                .collect(),
+            candidates: candidates.into_iter().map(VmTypeId::new).collect(),
+            observed: observed
+                .into_iter()
+                .map(|(vm, t)| (VmTypeId::new(vm), t))
+                .collect(),
             reference_vms: reference.len(),
             converged,
             trained_from_scratch,
             source_affinities,
             observed_density,
             target_labels,
-            failed_reference_vms,
+            failed_reference_vms: failed_reference_vms.into_iter().map(VmTypeId::new).collect(),
             extra_reference_runs: self.collector.failed_attempts() - failed_attempts_before,
         })
     }
@@ -494,175 +270,551 @@ impl<'a> OnlinePredictor<'a> {
             }
             absorbed.push(prediction.workload_id);
         }
-        // Evidence: observed reference runs, rank-discounted like the
-        // offline affinity build.
-        let mut ranked: Vec<(usize, f64)> = prediction.observed.clone();
-        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (edges, curve) = absorption_evidence(prediction);
         {
             let mut overlay = self.overlay.write();
-            for (rank, (vm, _)) in ranked.iter().take(3).enumerate() {
-                let w = 0.5 / (rank as f64 + 1.0); // gentler than offline evidence
-                for label in &prediction.target_labels {
-                    overlay.add_weight(*vm as u64, *label, w);
-                }
+            for (vm, label, w) in &edges {
+                overlay.add_weight(*vm, *label, *w);
             }
         }
-        // The served workload's calibrated curve becomes a same-framework
-        // transfer source for later arrivals with similar labels.
-        self.absorbed_curves.write().push((
-            prediction.target_labels.clone(),
-            prediction.predicted_times.clone(),
-        ));
+        self.absorbed_curves.write().push(curve);
     }
 
     /// Number of target workloads absorbed into the session overlay.
     pub fn absorbed_count(&self) -> usize {
         self.absorbed.read().len()
     }
-
-    /// Transfer the profiled time curves of the most similar source
-    /// workloads, calibrated on the target's own observed runs.
-    fn transfer_time_curve(
-        &self,
-        source_affinities: &[(u64, f64)],
-        observed: &[(usize, f64)],
-        target_labels: &[vesta_graph::Label],
-    ) -> Result<BTreeMap<usize, f64>, VestaError> {
-        // Same-framework shortcut: an already-served workload whose labels
-        // overlap strongly is a better curve donor than the cross-framework
-        // offline sources — use its curve as the base shape.
-        #[allow(clippy::type_complexity)]
-        let absorbed_donor: Option<(f64, BTreeMap<usize, f64>)> = {
-            let curves = self.absorbed_curves.read();
-            curves
-                .iter()
-                .filter_map(|(labels, curve)| {
-                    if target_labels.is_empty() {
-                        return None;
-                    }
-                    let shared = target_labels.iter().filter(|l| labels.contains(l)).count();
-                    let overlap = shared as f64 / target_labels.len() as f64;
-                    // Only near-identical label signatures qualify as donors.
-                    if overlap >= 0.8 {
-                        Some((overlap, curve.clone()))
-                    } else {
-                        None
-                    }
-                })
-                .max_by(|a, b| a.0.total_cmp(&b.0))
-        };
-        // Softmax over affinities (they are negative distances).
-        let top: Vec<(u64, f64)> = source_affinities.iter().take(5).copied().collect();
-        let max_aff = top
-            .iter()
-            .map(|(_, a)| *a)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let mut weights: Vec<(u64, f64)> = top
-            .iter()
-            .map(|(id, a)| (*id, ((a - max_aff) * 2.0).exp()))
-            .collect();
-        let z: f64 = weights.iter().map(|(_, w)| w).sum();
-        for (_, w) in &mut weights {
-            *w /= z.max(1e-12);
-        }
-        // Weighted mean of source curves.
-        let mut base: BTreeMap<usize, f64> = BTreeMap::new();
-        for (wid, w) in &weights {
-            let curve = self.model.source_times(*wid)?;
-            for (vm, t) in curve {
-                *base.entry(vm).or_insert(0.0) += w * t;
-            }
-        }
-        // Blend in a same-framework donor *shape* (both curves normalized
-        // to mean 1 first; the scalar calibration below restores scale).
-        if let Some((overlap, donor)) = absorbed_donor {
-            let mean_of = |c: &BTreeMap<usize, f64>| {
-                let v: Vec<f64> = c.values().copied().collect();
-                vesta_ml::stats::mean(&v).max(1e-12)
-            };
-            let bm = mean_of(&base);
-            let dm = mean_of(&donor);
-            let w = 0.5 * overlap; // at most an equal-weight blend
-            for (vm, t) in base.iter_mut() {
-                if let Some(dt) = donor.get(vm) {
-                    let blended = (1.0 - w) * (*t / bm) + w * (dt / dm);
-                    *t = blended * bm;
-                }
-            }
-        }
-        // Calibrate the scale on the observed runs (geometric mean of
-        // observed/base ratios) — this is what absorbs the framework's
-        // absolute speed difference.
-        let mut log_ratio = 0.0;
-        let mut n = 0usize;
-        for (vm, t_obs) in observed {
-            if let Some(b) = base.get(vm) {
-                if *b > 0.0 && *t_obs > 0.0 {
-                    log_ratio += (t_obs / b).ln();
-                    n += 1;
-                }
-            }
-        }
-        let calib = if n > 0 {
-            (log_ratio / n as f64).exp()
-        } else {
-            1.0
-        };
-        for t in base.values_mut() {
-            *t *= calib;
-        }
-        // Second-order refinement (the "continually update the model"
-        // loop of Section 4.2): fit a heavily ridge-regularized log-linear
-        // correction of the residuals over VM resource features, so the
-        // target's own observed runs can tilt the transferred curve toward
-        // the resources *this* framework is actually sensitive to (e.g.
-        // Spark shuffle leaning on network bandwidth where the Hadoop
-        // source curves leaned on disk).
-        let feat = |vm_id: usize| -> Option<Vec<f64>> {
-            self.catalog.get(vm_id).ok().map(|vm| {
-                vec![
-                    1.0,
-                    (vm.vcpus as f64).ln(),
-                    vm.memory_gb.ln(),
-                    vm.disk_mbps.ln(),
-                    vm.network_gbps.ln(),
-                ]
-            })
-        };
-        let mut rows = Vec::new();
-        let mut resid = Vec::new();
-        for (vm, t_obs) in observed {
-            if let (Some(f), Some(b)) = (feat(*vm), base.get(vm)) {
-                if *b > 0.0 && *t_obs > 0.0 {
-                    rows.push(f);
-                    resid.push((t_obs / b).ln());
-                }
-            }
-        }
-        if rows.len() >= 3 {
-            if let Ok(x) = Matrix::from_rows(&rows) {
-                if let Ok(theta) = vesta_ml::linear::least_squares(&x, &resid, 2.0) {
-                    for (vm, t) in base.iter_mut() {
-                        if let Some(f) = feat(*vm) {
-                            let corr: f64 = f.iter().zip(&theta).map(|(a, b)| a * b).sum();
-                            // Clamp: the correction refines, never dominates.
-                            *t *= corr.exp().clamp(0.4, 2.5);
-                        }
-                    }
-                }
-            }
-        }
-        // The observed VMs are ground truth for this workload.
-        for (vm, t_obs) in observed {
-            base.insert(*vm, *t_obs);
-        }
-        Ok(base)
-    }
 }
 
 /// Labels and calibrated per-VM times of an absorbed (already served)
 /// target workload.
-type AbsorbedCurve = (Vec<vesta_graph::Label>, BTreeMap<usize, f64>);
+pub(crate) type AbsorbedCurve = (Vec<vesta_graph::Label>, BTreeMap<usize, f64>);
+
+/// Default candidate pool taken from the two-hop scores.
+pub(crate) const DEFAULT_CANDIDATE_POOL: usize = 30;
+
+/// Default extra random VMs explored by the from-scratch fallback.
+pub(crate) const DEFAULT_FALLBACK_EXTRA_VMS: usize = 4;
+
+/// Everything the reference phase (Algorithm 1 lines 1-2, plus the
+/// fault-tolerant redraw loop) produced.
+#[derive(Debug, Clone)]
+pub(crate) struct ReferencePhase {
+    /// VM ids whose reference runs landed, in execution order.
+    pub reference: Vec<usize>,
+    /// `(vm, observed P90)` for each landed run.
+    pub observed: Vec<(usize, f64)>,
+    /// VMs lost to persistent cloud failures.
+    pub failed_reference_vms: Vec<usize>,
+    /// Every VM drawn (landed or not) — the fallback excludes these.
+    pub tried: Vec<usize>,
+    /// Whether fewer references landed than targeted.
+    pub underfilled: bool,
+    /// Simulated runs charged to failed attempts during this phase.
+    pub extra_attempts: usize,
+}
+
+/// Fresh collector wired exactly as a new deployment of the online phase:
+/// independent noise stream, the model's estimator and fault plan.
+pub(crate) fn fresh_collector(model: &OfflineModel) -> DataCollector {
+    let sim = Simulator::new(vesta_cloud_sim::SimConfig {
+        seed: model.config.seed ^ ONLINE_SEED_STREAM,
+        ..Default::default()
+    });
+    DataCollector::new(sim, model.config.nodes)
+        .with_estimator(model.config.correlation_estimator)
+        .with_faults(model.config.fault_plan.clone(), model.config.retry.clone())
+}
+
+/// RNG seed for reference-VM draws: the experiment seed keyed by the
+/// request's identity (a workload id for the borrowing predictor, a
+/// workload fingerprint for engine sessions).
+pub(crate) fn reference_seed(config_seed: u64, identity: u64) -> u64 {
+    config_seed ^ identity.wrapping_mul(0x9E37)
+}
+
+/// Algorithm 1 line 2: the cheapest VM type whose usable memory covers the
+/// workload's working set (or the largest-memory box when nothing fits and
+/// the memory watcher must split the job into waves).
+pub(crate) fn sandbox_vm_for(catalog: &Catalog, workload: &Workload) -> usize {
+    let demand = workload.demand();
+    let mut best: Option<(usize, f64)> = None;
+    for vm in catalog.all() {
+        let usable = vm.memory_gb * 0.85;
+        if usable >= demand.working_set_gb && best.is_none_or(|(_, p)| vm.price_per_hour < p) {
+            best = Some((vm.id, vm.price_per_hour));
+        }
+    }
+    best.map(|(id, _)| id).unwrap_or_else(|| {
+        catalog
+            .all()
+            .iter()
+            .max_by(|a, b| a.memory_gb.total_cmp(&b.memory_gb))
+            .expect("catalog non-empty")
+            .id
+    })
+}
+
+/// Draw `n` distinct VM ids from `seed`, never repeating `exclude`.
+pub(crate) fn random_vms_from(seed: u64, catalog_len: usize, n: usize, exclude: &[usize]) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = Vec::with_capacity(n);
+    while picked.len() < n && picked.len() + exclude.len() < catalog_len {
+        let id = rng.gen_range(0..catalog_len);
+        if !exclude.contains(&id) && !picked.contains(&id) {
+            picked.push(id);
+        }
+    }
+    picked
+}
+
+/// Run one reference VM and return its `(vm, observed P90)` pair.
+fn run_reference(
+    collector: &DataCollector,
+    catalog: &Catalog,
+    reps: u64,
+    workload: &Workload,
+    vm_id: usize,
+) -> Result<(usize, f64), VestaError> {
+    let vm = catalog.get(vm_id)?;
+    collector.profile(workload, vm, reps)?;
+    let agg = collector.store().aggregate(&RunKey {
+        workload_id: workload.id,
+        vm_id,
+    })?;
+    Ok((vm_id, agg.p90_time_s))
+}
+
+/// True when a reference-run error means "this VM is a lost cause for
+/// now" (exhausted retries or a capacity error) rather than a bug the
+/// caller must see.
+fn is_persistent_vm_failure(err: &VestaError) -> bool {
+    matches!(
+        err,
+        VestaError::Sim(SimError::TransientFailure { .. })
+            | VestaError::Sim(SimError::VmUnavailable { .. })
+    )
+}
+
+/// Run the reference VMs and return `(vm, observed P90)` pairs.
+/// VMs lost to persistent cloud failures are skipped (the fallback
+/// widening tolerates holes); other errors propagate.
+pub(crate) fn run_references(
+    collector: &DataCollector,
+    catalog: &Catalog,
+    reps: u64,
+    workload: &Workload,
+    vm_ids: &[usize],
+) -> Result<Vec<(usize, f64)>, VestaError> {
+    let mut out = Vec::with_capacity(vm_ids.len());
+    for &vm_id in vm_ids {
+        match run_reference(collector, catalog, reps, workload, vm_id) {
+            Ok(pair) => out.push(pair),
+            Err(e) if is_persistent_vm_failure(&e) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Algorithm 1 lines 1-2 with the fault-tolerant redraw loop: sandbox +
+/// random references, each persistent failure replaced by a bounded,
+/// deterministic redraw keyed off `identity`.
+pub(crate) fn gather_references(
+    model: &OfflineModel,
+    catalog: &Catalog,
+    collector: &DataCollector,
+    workload: &Workload,
+    identity: u64,
+) -> Result<ReferencePhase, VestaError> {
+    let cfg = &model.config;
+    let failed_before = collector.failed_attempts();
+    let sandbox = sandbox_vm_for(catalog, workload);
+    let mut wanted = vec![sandbox];
+    wanted.extend(random_vms_from(
+        reference_seed(cfg.seed, identity),
+        catalog.len(),
+        cfg.online_random_vms,
+        &[sandbox],
+    ));
+    let target_refs = wanted.len();
+    let max_redraws = 2 * target_refs;
+    let mut tried: Vec<usize> = wanted.clone();
+    let mut queue: VecDeque<usize> = wanted.into_iter().collect();
+    let mut reference: Vec<usize> = Vec::with_capacity(target_refs);
+    let mut observed: Vec<(usize, f64)> = Vec::with_capacity(target_refs);
+    let mut failed_reference_vms: Vec<usize> = Vec::new();
+    let mut redraws = 0usize;
+    while let Some(vm_id) = queue.pop_front() {
+        match run_reference(collector, catalog, cfg.online_reps, workload, vm_id) {
+            Ok(pair) => {
+                reference.push(vm_id);
+                observed.push(pair);
+            }
+            Err(e) if is_persistent_vm_failure(&e) => {
+                failed_reference_vms.push(vm_id);
+                if redraws < max_redraws {
+                    redraws += 1;
+                    let salt = REFERENCE_REDRAW_SALT.wrapping_add(redraws as u64);
+                    if let Some(&replacement) = random_vms_from(
+                        reference_seed(cfg.seed, identity ^ salt),
+                        catalog.len(),
+                        1,
+                        &tried,
+                    )
+                    .first()
+                    {
+                        tried.push(replacement);
+                        queue.push_back(replacement);
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if observed.is_empty() {
+        return Err(VestaError::NoKnowledge(format!(
+            "every reference VM failed persistently for workload {} \
+             ({} tried)",
+            workload.id,
+            tried.len()
+        )));
+    }
+    let underfilled = observed.len() < target_refs;
+    Ok(ReferencePhase {
+        reference,
+        observed,
+        failed_reference_vms,
+        tried,
+        underfilled,
+        extra_attempts: collector.failed_attempts() - failed_before,
+    })
+}
+
+/// Build the sparse `U*` row from the observed runs: a feature counts
+/// as observed only when a strict majority of its per-run interval
+/// estimates agree (high-variance workloads like Spark-svd++ stay
+/// sparse and lean on the CMF completion).
+pub(crate) fn observed_row(
+    model: &OfflineModel,
+    collector: &DataCollector,
+    workload_id: u64,
+    vm_ids: &[usize],
+) -> Result<(Matrix, Mask), VestaError> {
+    let space = &model.analysis.label_space;
+    let n_labels = space.n_labels();
+    let mut row = Matrix::zeros(1, n_labels);
+    let mut mask = Mask::none(1, n_labels);
+    // Gather every per-run correlation vector.
+    let mut per_run: Vec<vesta_cloud_sim::CorrelationVector> = Vec::new();
+    for &vm_id in vm_ids {
+        let records = collector.store().records(&RunKey { workload_id, vm_id })?;
+        per_run.extend(records.iter().map(|r| r.correlations));
+    }
+    if per_run.is_empty() {
+        return Err(VestaError::NoKnowledge("no reference runs".into()));
+    }
+    let selected = model.analysis.selected_features.clone();
+    // A feature is "observed" when its per-run correlation estimates
+    // agree: the spread between the 25th and 75th percentile stays
+    // within two interval widths. High-variance workloads (Spark-svd++)
+    // disagree more, keep fewer observed features, and lean harder on
+    // the CMF completion — the data-sparsity story of Section 3.2.
+    let spread_cap = 2.0 * space.interval_width;
+    let mut spreads: Vec<(usize, f64, usize)> = Vec::new(); // (feature, spread, interval)
+    for &f in &selected {
+        let vals: Vec<f64> = per_run.iter().map(|cv| cv.values[f]).collect();
+        let lo = vesta_ml::stats::percentile(&vals, 25.0)?;
+        let hi = vesta_ml::stats::percentile(&vals, 75.0)?;
+        let median = vesta_ml::stats::percentile(&vals, 50.0)?;
+        spreads.push((f, hi - lo, space.interval_of(median)));
+    }
+    let mut observed_any = false;
+    for &(f, spread, interval) in &spreads {
+        if spread <= spread_cap {
+            observe_feature(space, &mut row, &mut mask, f, interval);
+            observed_any = true;
+        }
+    }
+    if !observed_any {
+        // Extreme sparsity guard: even the noisiest workload yields one
+        // confident feature — the one its runs disagree on least.
+        if let Some(&(f, _, interval)) = spreads.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
+            observe_feature(space, &mut row, &mut mask, f, interval);
+        }
+    }
+    Ok((row, mask))
+}
+
+/// Source affinities (Section 3.3): the CMF distance between `U*` and
+/// each source row decides which sources transfer, highest first.
+pub(crate) fn source_affinities_of(model: &OfflineModel, cmf: &CmfModel) -> Vec<(u64, f64)> {
+    let raw_aff = cmf.source_affinity(0);
+    let mut source_affinities: Vec<(u64, f64)> =
+        model.source_order.iter().copied().zip(raw_aff).collect();
+    source_affinities.sort_by(|a, b| b.1.total_cmp(&a.1));
+    source_affinities
+}
+
+/// Two-hop candidate scoring through the completed labels: the argmax
+/// interval of each selected feature becomes a target label, and every
+/// VM reachable from those labels through the offline `G^(LT)` layer plus
+/// the session overlay accumulates the edge weights. Returns
+/// `(target_labels, knowledge_scores, candidates)` with candidates
+/// best-score first, capped at `pool`.
+#[allow(clippy::type_complexity)]
+pub(crate) fn score_candidates(
+    model: &OfflineModel,
+    overlay: &vesta_graph::LabelLayer,
+    completed: &Matrix,
+    pool: usize,
+) -> (Vec<vesta_graph::Label>, BTreeMap<usize, f64>, Vec<usize>) {
+    let space = &model.analysis.label_space;
+    let mut target_labels: Vec<vesta_graph::Label> = Vec::new();
+    let mut vm_scores: BTreeMap<usize, f64> = BTreeMap::new();
+    for f in &model.analysis.selected_features {
+        // Take the argmax interval of each feature in the completed row.
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for i in 0..space.intervals_per_feature() {
+            let id = space.label_id(vesta_graph::Label {
+                feature: *f,
+                interval: i,
+            });
+            if completed[(0, id)] > best.1 {
+                best = (i, completed[(0, id)]);
+            }
+        }
+        let label = vesta_graph::Label {
+            feature: *f,
+            interval: best.0,
+        };
+        target_labels.push(label);
+        for (vm, w) in model.graph.vm_layer.lefts_of(label) {
+            *vm_scores.entry(vm as usize).or_insert(0.0) += w;
+        }
+        // Knowledge absorbed from earlier target workloads this
+        // session (Algorithm 1 line 13's incremental retrain).
+        for (vm, w) in overlay.lefts_of(label) {
+            *vm_scores.entry(vm as usize).or_insert(0.0) += w;
+        }
+    }
+    let knowledge_scores = vm_scores.clone();
+    let mut ranked: Vec<(usize, f64)> = vm_scores.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let candidates: Vec<usize> = ranked.into_iter().take(pool).map(|(vm, _)| vm).collect();
+    (target_labels, knowledge_scores, candidates)
+}
+
+/// Transfer the profiled time curves of the most similar source
+/// workloads, calibrated on the target's own observed runs.
+pub(crate) fn transfer_time_curve(
+    model: &OfflineModel,
+    catalog: &Catalog,
+    absorbed_curves: &[AbsorbedCurve],
+    source_affinities: &[(u64, f64)],
+    observed: &[(usize, f64)],
+    target_labels: &[vesta_graph::Label],
+) -> Result<BTreeMap<usize, f64>, VestaError> {
+    // Same-framework shortcut: an already-served workload whose labels
+    // overlap strongly is a better curve donor than the cross-framework
+    // offline sources — use its curve as the base shape.
+    #[allow(clippy::type_complexity)]
+    let absorbed_donor: Option<(f64, BTreeMap<usize, f64>)> = absorbed_curves
+        .iter()
+        .filter_map(|(labels, curve)| {
+            if target_labels.is_empty() {
+                return None;
+            }
+            let shared = target_labels.iter().filter(|l| labels.contains(l)).count();
+            let overlap = shared as f64 / target_labels.len() as f64;
+            // Only near-identical label signatures qualify as donors.
+            if overlap >= 0.8 {
+                Some((overlap, curve.clone()))
+            } else {
+                None
+            }
+        })
+        .max_by(|a, b| a.0.total_cmp(&b.0));
+    // Softmax over affinities (they are negative distances).
+    let top: Vec<(u64, f64)> = source_affinities.iter().take(5).copied().collect();
+    let max_aff = top
+        .iter()
+        .map(|(_, a)| *a)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut weights: Vec<(u64, f64)> = top
+        .iter()
+        .map(|(id, a)| (*id, ((a - max_aff) * 2.0).exp()))
+        .collect();
+    let z: f64 = weights.iter().map(|(_, w)| w).sum();
+    for (_, w) in &mut weights {
+        *w /= z.max(1e-12);
+    }
+    // Weighted mean of source curves.
+    let mut base: BTreeMap<usize, f64> = BTreeMap::new();
+    for (wid, w) in &weights {
+        let curve = model.source_times(*wid)?;
+        for (vm, t) in curve {
+            *base.entry(vm).or_insert(0.0) += w * t;
+        }
+    }
+    // Blend in a same-framework donor *shape* (both curves normalized
+    // to mean 1 first; the scalar calibration below restores scale).
+    if let Some((overlap, donor)) = absorbed_donor {
+        let mean_of = |c: &BTreeMap<usize, f64>| {
+            let v: Vec<f64> = c.values().copied().collect();
+            vesta_ml::stats::mean(&v).max(1e-12)
+        };
+        let bm = mean_of(&base);
+        let dm = mean_of(&donor);
+        let w = 0.5 * overlap; // at most an equal-weight blend
+        for (vm, t) in base.iter_mut() {
+            if let Some(dt) = donor.get(vm) {
+                let blended = (1.0 - w) * (*t / bm) + w * (dt / dm);
+                *t = blended * bm;
+            }
+        }
+    }
+    // Calibrate the scale on the observed runs (geometric mean of
+    // observed/base ratios) — this is what absorbs the framework's
+    // absolute speed difference.
+    let mut log_ratio = 0.0;
+    let mut n = 0usize;
+    for (vm, t_obs) in observed {
+        if let Some(b) = base.get(vm) {
+            if *b > 0.0 && *t_obs > 0.0 {
+                log_ratio += (t_obs / b).ln();
+                n += 1;
+            }
+        }
+    }
+    let calib = if n > 0 {
+        (log_ratio / n as f64).exp()
+    } else {
+        1.0
+    };
+    for t in base.values_mut() {
+        *t *= calib;
+    }
+    // Second-order refinement (the "continually update the model"
+    // loop of Section 4.2): fit a heavily ridge-regularized log-linear
+    // correction of the residuals over VM resource features, so the
+    // target's own observed runs can tilt the transferred curve toward
+    // the resources *this* framework is actually sensitive to (e.g.
+    // Spark shuffle leaning on network bandwidth where the Hadoop
+    // source curves leaned on disk).
+    let feat = |vm_id: usize| -> Option<Vec<f64>> {
+        catalog.get(vm_id).ok().map(|vm| {
+            vec![
+                1.0,
+                (vm.vcpus as f64).ln(),
+                vm.memory_gb.ln(),
+                vm.disk_mbps.ln(),
+                vm.network_gbps.ln(),
+            ]
+        })
+    };
+    let mut rows = Vec::new();
+    let mut resid = Vec::new();
+    for (vm, t_obs) in observed {
+        if let (Some(f), Some(b)) = (feat(*vm), base.get(vm)) {
+            if *b > 0.0 && *t_obs > 0.0 {
+                rows.push(f);
+                resid.push((t_obs / b).ln());
+            }
+        }
+    }
+    if rows.len() >= 3 {
+        if let Ok(x) = Matrix::from_rows(&rows) {
+            if let Ok(theta) = vesta_ml::linear::least_squares(&x, &resid, 2.0) {
+                for (vm, t) in base.iter_mut() {
+                    if let Some(f) = feat(*vm) {
+                        let corr: f64 = f.iter().zip(&theta).map(|(a, b)| a * b).sum();
+                        // Clamp: the correction refines, never dominates.
+                        *t *= corr.exp().clamp(0.4, 2.5);
+                    }
+                }
+            }
+        }
+    }
+    // The observed VMs are ground truth for this workload.
+    for (vm, t_obs) in observed {
+        base.insert(*vm, *t_obs);
+    }
+    Ok(base)
+}
+
+/// Final selection: among the knowledge-driven candidates, the observed
+/// references, and the globally best few VMs under the predicted curve,
+/// pick the strongest two-hop label support among near-tied predictions
+/// (the curve cannot resolve ~5% differences from 4 reference runs).
+pub(crate) fn select_best_vm(
+    candidates: &[usize],
+    observed: &[(usize, f64)],
+    predicted_times: &BTreeMap<usize, f64>,
+    knowledge_scores: &BTreeMap<usize, f64>,
+) -> Result<usize, VestaError> {
+    let mut pool: Vec<usize> = candidates.to_vec();
+    pool.extend(observed.iter().map(|(vm, _)| *vm));
+    let mut by_pred: Vec<(usize, f64)> = predicted_times.iter().map(|(&vm, &t)| (vm, t)).collect();
+    by_pred.sort_by(|a, b| a.1.total_cmp(&b.1));
+    pool.extend(by_pred.iter().take(10).map(|(vm, _)| *vm));
+    pool.sort_unstable();
+    pool.dedup();
+    let time_of = |vm: usize| -> f64 {
+        observed
+            .iter()
+            .find(|(v, _)| *v == vm)
+            .map(|(_, t)| *t)
+            .or_else(|| predicted_times.get(&vm).copied())
+            .unwrap_or(f64::INFINITY)
+    };
+    let fastest = pool
+        .iter()
+        .copied()
+        .map(time_of)
+        .fold(f64::INFINITY, f64::min);
+    if !fastest.is_finite() {
+        return Err(VestaError::NoKnowledge("empty candidate pool".into()));
+    }
+    pool.iter()
+        .copied()
+        .filter(|&vm| time_of(vm) <= 1.08 * fastest)
+        .max_by(|&a, &b| {
+            let ka = knowledge_scores.get(&a).copied().unwrap_or(0.0);
+            let kb = knowledge_scores.get(&b).copied().unwrap_or(0.0);
+            ka.total_cmp(&kb)
+                .then_with(|| time_of(b).total_cmp(&time_of(a)))
+        })
+        .ok_or_else(|| VestaError::NoKnowledge("empty candidate pool".into()))
+}
+
+/// Evidence a served prediction contributes to a knowledge overlay
+/// (Algorithm 1 line 13): rank-discounted label→VM edges from its own
+/// best-observed references, plus its calibrated curve as a
+/// same-framework transfer source.
+#[allow(clippy::type_complexity)]
+pub(crate) fn absorption_evidence(
+    prediction: &Prediction,
+) -> (Vec<(u64, vesta_graph::Label, f64)>, AbsorbedCurve) {
+    let mut ranked: Vec<(VmTypeId, f64)> = prediction.observed.clone();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let mut edges = Vec::new();
+    for (rank, (vm, _)) in ranked.iter().take(3).enumerate() {
+        let w = 0.5 / (rank as f64 + 1.0); // gentler than offline evidence
+        for label in &prediction.target_labels {
+            edges.push((vm.index() as u64, *label, w));
+        }
+    }
+    let curve: AbsorbedCurve = (
+        prediction.target_labels.clone(),
+        prediction
+            .predicted_times
+            .iter()
+            .map(|(vm, t)| (vm.index(), *t))
+            .collect(),
+    );
+    (edges, curve)
+}
 
 /// Mark one feature of the `U*` row as fully observed: its winning
 /// interval gets 1, every other interval of the feature a confirmed 0.
@@ -686,12 +838,16 @@ fn observe_feature(
 /// Constant xored into the offline seed so online reference runs draw from
 /// an independent noise stream (a fresh deployment, not a replay of the
 /// profiling runs).
-const ONLINE_SEED_STREAM: u64 = 0x0121_1e5e_ed00_7a3b;
+pub(crate) const ONLINE_SEED_STREAM: u64 = 0x0121_1e5e_ed00_7a3b;
 
-/// Salt (plus the redraw ordinal) xored into the workload id when drawing a
-/// replacement for a persistently failed reference VM, so each redraw is a
-/// fresh-but-deterministic pick.
+/// Salt (plus the redraw ordinal) xored into the request identity when
+/// drawing a replacement for a persistently failed reference VM, so each
+/// redraw is a fresh-but-deterministic pick.
 const REFERENCE_REDRAW_SALT: u64 = 0x4ef5_ed0a_11d2_a10b;
+
+/// Salt xored into the request identity when the from-scratch fallback
+/// widens the exploration.
+pub(crate) const FALLBACK_SALT: u64 = 0xFA11BACC;
 
 #[cfg(test)]
 mod tests {
@@ -704,8 +860,11 @@ mod tests {
         let catalog = Catalog::aws_ec2();
         let suite = Suite::paper();
         let sources: Vec<&Workload> = suite.source_training().into_iter().take(8).collect();
-        let mut cfg = VestaConfig::fast();
-        cfg.offline_reps = 2;
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .unwrap();
         let model = OfflineModel::build(&catalog, &sources, cfg).unwrap();
         (catalog, suite, model)
     }
@@ -732,7 +891,7 @@ mod tests {
         let predictor = OnlinePredictor::new(&model, &catalog);
         let w = suite.by_name("Spark-kmeans").unwrap();
         let p = predictor.predict(w).unwrap();
-        assert!(p.best_vm < catalog.len());
+        assert!(p.best_vm.index() < catalog.len());
         assert_eq!(p.observed.len(), p.reference_vms);
         assert!(p.reference_vms >= 1 + model.config.online_random_vms);
         assert!(!p.predicted_times.is_empty());
@@ -767,7 +926,7 @@ mod tests {
             let d = watcher.apply(&demand, vm);
             sim.expected_time(&d, vm, 1).unwrap_or(f64::INFINITY)
         };
-        let chosen = time_on(p.best_vm);
+        let chosen = time_on(p.best_vm.index());
         let best = (0..catalog.len())
             .map(time_on)
             .fold(f64::INFINITY, f64::min);
@@ -850,7 +1009,7 @@ mod tests {
         let mut saw_failure = false;
         for w in suite.target().into_iter().take(4) {
             let p = predictor.predict(w).expect("prediction survives faults");
-            assert!(p.best_vm < catalog.len());
+            assert!(p.best_vm.index() < catalog.len());
             assert!(!p.observed.is_empty());
             assert_eq!(p.observed.len(), p.reference_vms);
             saw_failure |= !p.failed_reference_vms.is_empty();

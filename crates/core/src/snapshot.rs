@@ -48,6 +48,11 @@ pub struct KnowledgeSnapshot {
     pub offline_runs: usize,
     /// The profiled run records (the MySQL dump).
     pub store: Vec<(RunKey, Vec<RunRecord>)>,
+    /// Published session overlay of a batch-engine [`crate::Knowledge`]
+    /// handle. Absent in pre-engine snapshots (defaults to empty), so the
+    /// schema version is unchanged.
+    #[serde(default)]
+    pub overlay: crate::engine::SessionOverlay,
 }
 
 impl OfflineModel {
@@ -65,6 +70,7 @@ impl OfflineModel {
             v: self.v.clone(),
             offline_runs: self.offline_runs,
             store: self.collector.store().snapshot(),
+            overlay: crate::engine::SessionOverlay::default(),
         }
     }
 
@@ -148,10 +154,11 @@ mod tests {
         let catalog = Catalog::aws_ec2();
         let suite = Suite::paper();
         let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
-        let cfg = VestaConfig {
-            offline_reps: 2,
-            ..VestaConfig::fast()
-        };
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .unwrap();
         (Vesta::train(catalog, &sources, cfg).unwrap(), suite)
     }
 

@@ -3,10 +3,11 @@
 //! (lines 6-14), plus the ground-truth helpers the evaluation (Section 5)
 //! compares against.
 
-use vesta_cloud_sim::{Catalog, Objective, Simulator, VmType};
+use vesta_cloud_sim::{Catalog, Objective, Simulator, VmType, VmTypeId};
 use vesta_workloads::{MemoryWatcher, Workload};
 
 use crate::config::VestaConfig;
+use crate::engine::Knowledge;
 use crate::offline::OfflineModel;
 use crate::online::{OnlinePredictor, Prediction};
 use crate::VestaError;
@@ -45,6 +46,12 @@ impl Vesta {
     pub fn offline_runs(&self) -> usize {
         self.offline.offline_runs
     }
+
+    /// Consume this façade into a shareable batch-engine [`Knowledge`]
+    /// handle (prefits the CMF warm start once).
+    pub fn into_knowledge(self) -> Result<Knowledge, VestaError> {
+        Knowledge::from_model(self.offline, self.catalog)
+    }
 }
 
 /// Noise-free ground-truth score of `workload` on one VM (Spark demands
@@ -72,15 +79,15 @@ pub fn ground_truth_ranking(
     workload: &Workload,
     nodes: u32,
     objective: Objective,
-) -> Vec<(usize, f64)> {
+) -> Vec<(VmTypeId, f64)> {
     use rayon::prelude::*;
     let sim = Simulator::default();
-    let mut scored: Vec<(usize, f64)> = catalog
+    let mut scored: Vec<(VmTypeId, f64)> = catalog
         .all()
         .par_iter()
         .map(|vm| {
             (
-                vm.id,
+                vm.type_id(),
                 ground_truth_score(&sim, workload, vm, nodes, objective),
             )
         })
@@ -96,10 +103,11 @@ pub fn ground_truth_ranking(
 pub fn selection_error_pct(
     catalog: &Catalog,
     workload: &Workload,
-    chosen_vm: usize,
+    chosen_vm: impl Into<VmTypeId>,
     nodes: u32,
     objective: Objective,
 ) -> f64 {
+    let chosen_vm = chosen_vm.into();
     let ranking = ground_truth_ranking(catalog, workload, nodes, objective);
     let best = ranking.first().map(|(_, s)| *s).unwrap_or(f64::INFINITY);
     let chosen = ranking
@@ -122,8 +130,11 @@ mod tests {
         let catalog = Catalog::aws_ec2();
         let suite = Suite::paper();
         let sources: Vec<&Workload> = suite.source_training().into_iter().take(8).collect();
-        let mut cfg = VestaConfig::fast();
-        cfg.offline_reps = 2;
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .unwrap();
         let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
         (vesta, suite)
     }
@@ -134,7 +145,7 @@ mod tests {
         assert!(vesta.offline_runs() > 0);
         let w = suite.by_name("Spark-lr").unwrap();
         let p = vesta.select_best_vm(w).unwrap();
-        assert!(p.best_vm < vesta.catalog.len());
+        assert!(p.best_vm.index() < vesta.catalog.len());
         // Selection error against ground truth is bounded (the fast config
         // is deliberately rough; the full experiments use tighter budgets).
         let err = selection_error_pct(&vesta.catalog, w, p.best_vm, 1, Objective::ExecutionTime);

@@ -171,8 +171,145 @@ impl CmfModel {
     }
 }
 
-/// Solve the collective factorization.
+/// Pre-trained knowledge-side factors shared across many online solves.
+///
+/// The knowledge matrices `U` and `V` are fixed at training time, yet the
+/// cold [`solve`] path re-learns their factors `X`, `T` and the shared label
+/// factors `L` from random initialization on every prediction. A
+/// [`CmfWarmStart`] captures those factors once (see [`prefit_knowledge`]);
+/// [`solve_with`] then starts each online completion from them and only the
+/// tiny target factor `X*` starts cold. Every session warm-starts from the
+/// *same* immutable factors, so completions stay order-independent across
+/// concurrent requests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CmfWarmStart {
+    /// Source workload factors `X` (`i × g`).
+    pub x: Matrix,
+    /// VM factors `T` (`k × g`).
+    pub t: Matrix,
+    /// Shared label factors `L` (`j × g`).
+    pub l: Matrix,
+}
+
+/// Fit the knowledge-side factors `X`, `T`, `L` against the fully observed
+/// `U` and `V` alone (no target terms), for use as a [`CmfWarmStart`].
+///
+/// Runs the same alternating SGD as [`solve`] restricted to the source and
+/// VM reconstruction passes, from the same seeded initialization scheme, so
+/// the result is deterministic in `config.seed`.
+pub fn prefit_knowledge(
+    source: &Matrix,
+    vm: &Matrix,
+    config: &CmfConfig,
+) -> Result<CmfWarmStart, MlError> {
+    let j = source.cols();
+    if vm.cols() != j {
+        return Err(MlError::Shape(format!(
+            "label dimension disagreement: U has {}, V has {}",
+            j,
+            vm.cols()
+        )));
+    }
+    if !(0.0..=1.0).contains(&config.lambda) {
+        return Err(MlError::InvalidParameter(format!(
+            "lambda = {}",
+            config.lambda
+        )));
+    }
+    if config.latent_dim == 0 {
+        return Err(MlError::InvalidParameter("latent_dim = 0".into()));
+    }
+    if j == 0 || source.rows() == 0 || vm.rows() == 0 {
+        return Err(MlError::InsufficientData("empty knowledge matrices".into()));
+    }
+
+    let g = config.latent_dim;
+    let (ni, nk) = (source.rows(), vm.rows());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut init = |rows: usize| {
+        let mut m = Matrix::zeros(rows, g);
+        for v in m.as_mut_slice() {
+            *v = rng.gen_range(-0.1..0.1) + 0.3;
+        }
+        m
+    };
+    let mut x = init(ni);
+    let mut t = init(nk);
+    let mut l = init(j);
+
+    let (w_src, w_vm) = (config.lambda, 1.0 - config.lambda);
+    let reg = config.sgd.l2_reg;
+    let src_entries: Vec<(usize, usize)> =
+        (0..ni).flat_map(|r| (0..j).map(move |c| (r, c))).collect();
+    let vm_entries: Vec<(usize, usize)> =
+        (0..nk).flat_map(|r| (0..j).map(move |c| (r, c))).collect();
+    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(p, q)| p * q).sum() };
+
+    run_sgd(&config.sgd, |lr| {
+        for &(r, c) in &src_entries {
+            let e = source[(r, c)] - dot(x.row(r), l.row(c));
+            let lrow: Vec<f64> = l.row(c).to_vec();
+            for (xv, lv) in x.row_mut(r).iter_mut().zip(&lrow) {
+                *xv += lr * (2.0 * w_src * e * lv - 2.0 * reg * *xv);
+            }
+        }
+        for &(r, c) in &vm_entries {
+            let e = vm[(r, c)] - dot(t.row(r), l.row(c));
+            let lrow: Vec<f64> = l.row(c).to_vec();
+            for (tv, lv) in t.row_mut(r).iter_mut().zip(&lrow) {
+                *tv += lr * (2.0 * w_vm * e * lv - 2.0 * reg * *tv);
+            }
+        }
+        for &(r, c) in &src_entries {
+            let e = source[(r, c)] - dot(x.row(r), l.row(c));
+            let xrow: Vec<f64> = x.row(r).to_vec();
+            for (lv, xv) in l.row_mut(c).iter_mut().zip(&xrow) {
+                *lv += lr * (2.0 * w_src * e * xv - 2.0 * reg * *lv);
+            }
+        }
+        for &(r, c) in &vm_entries {
+            let e = vm[(r, c)] - dot(t.row(r), l.row(c));
+            let trow: Vec<f64> = t.row(r).to_vec();
+            for (lv, tv) in l.row_mut(c).iter_mut().zip(&trow) {
+                *lv += lr * (2.0 * w_vm * e * tv - 2.0 * reg * *lv);
+            }
+        }
+        let mut obj = 0.0;
+        for &(r, c) in &src_entries {
+            let e = source[(r, c)] - dot(x.row(r), l.row(c));
+            obj += w_src * e * e;
+        }
+        for &(r, c) in &vm_entries {
+            let e = vm[(r, c)] - dot(t.row(r), l.row(c));
+            obj += w_vm * e * e;
+        }
+        let reg_term: f64 = [&x, &t, &l]
+            .iter()
+            .map(|m| m.as_slice().iter().map(|v| v * v).sum::<f64>())
+            .sum();
+        obj + reg * reg_term
+    });
+
+    Ok(CmfWarmStart { x, t, l })
+}
+
+/// Solve the collective factorization from cold (seeded random) factors.
 pub fn solve(problem: &CmfProblem<'_>, config: &CmfConfig) -> Result<CmfModel, MlError> {
+    solve_with(problem, config, None)
+}
+
+/// Solve the collective factorization, optionally warm-starting the
+/// knowledge-side factors `X`, `T`, `L` from a [`CmfWarmStart`].
+///
+/// With `warm = None` this is exactly [`solve`] (bit-identical, same RNG
+/// stream). With `warm = Some(_)`, only the target factor `X*` is
+/// initialized from `config.seed`; the knowledge factors start at the
+/// prefit point and keep adapting during the alternating SGD.
+pub fn solve_with(
+    problem: &CmfProblem<'_>,
+    config: &CmfConfig,
+    warm: Option<&CmfWarmStart>,
+) -> Result<CmfModel, MlError> {
     let j = problem.source.cols();
     if problem.vm.cols() != j || problem.target.cols() != j {
         return Err(MlError::Shape(format!(
@@ -204,6 +341,20 @@ pub fn solve(problem: &CmfProblem<'_>, config: &CmfConfig) -> Result<CmfModel, M
         problem.target.rows(),
         problem.vm.rows(),
     );
+    if let Some(w) = warm {
+        let ok = |m: &Matrix, rows: usize| m.rows() == rows && m.cols() == g;
+        if !ok(&w.x, ni) || !ok(&w.t, nk) || !ok(&w.l, j) {
+            return Err(MlError::Shape(format!(
+                "warm start shape mismatch: X {}x{} T {}x{} L {}x{}, expected {ni}x{g} / {nk}x{g} / {j}x{g}",
+                w.x.rows(),
+                w.x.cols(),
+                w.t.rows(),
+                w.t.cols(),
+                w.l.rows(),
+                w.l.cols()
+            )));
+        }
+    }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut init = |rows: usize| {
         let mut m = Matrix::zeros(rows, g);
@@ -212,10 +363,19 @@ pub fn solve(problem: &CmfProblem<'_>, config: &CmfConfig) -> Result<CmfModel, M
         }
         m
     };
-    let mut x = init(ni);
-    let mut x_star = init(nn);
-    let mut t = init(nk);
-    let mut l = init(j);
+    // Factor initialization. Cold path draws X, X*, T, L in that order so
+    // the RNG stream (and therefore every historical result) is unchanged;
+    // the warm path only draws X*.
+    let (mut x, mut x_star, mut t, mut l) = match warm {
+        None => {
+            let x = init(ni);
+            let x_star = init(nn);
+            let t = init(nk);
+            let l = init(j);
+            (x, x_star, t, l)
+        }
+        Some(w) => (w.x.clone(), init(nn), w.t.clone(), w.l.clone()),
+    };
 
     let lam = config.lambda;
     let reg = config.sgd.l2_reg;
@@ -604,6 +764,93 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(best, 2, "affinities: {aff:?}");
+    }
+
+    #[test]
+    fn prefit_is_deterministic_and_reconstructs_knowledge() {
+        let (source, vm, _, _, _) = synthetic(3, 13);
+        let config = CmfConfig {
+            latent_dim: 3,
+            sgd: SgdConfig {
+                learning_rate: 0.02,
+                max_epochs: 1500,
+                tolerance: 1e-10,
+                l2_reg: 1e-4,
+                decay: 0.999,
+            },
+            ..Default::default()
+        };
+        let a = prefit_knowledge(&source, &vm, &config).unwrap();
+        let b = prefit_knowledge(&source, &vm, &config).unwrap();
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.t, b.t);
+        assert_eq!(a.l, b.l);
+        // X Lᵀ must reconstruct U clearly better than predicting zero.
+        let recon = a.x.matmul(&a.l.transpose()).unwrap();
+        let mut err = 0.0;
+        let mut base = 0.0;
+        for r in 0..source.rows() {
+            for c in 0..source.cols() {
+                let e = recon[(r, c)] - source[(r, c)];
+                err += e * e;
+                base += source[(r, c)] * source[(r, c)];
+            }
+        }
+        assert!(
+            err < 0.25 * base,
+            "prefit reconstruction err {err:.4} vs zero-baseline {base:.4}"
+        );
+    }
+
+    #[test]
+    fn warm_solve_is_deterministic_and_completes() {
+        let (source, vm, target, mask, _) = synthetic(3, 17);
+        let config = CmfConfig {
+            latent_dim: 3,
+            sgd: SgdConfig {
+                learning_rate: 0.02,
+                max_epochs: 400,
+                tolerance: 1e-9,
+                l2_reg: 1e-4,
+                decay: 0.999,
+            },
+            ..Default::default()
+        };
+        let warm = prefit_knowledge(&source, &vm, &config).unwrap();
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        let a = solve_with(&problem, &config, Some(&warm)).unwrap();
+        let b = solve_with(&problem, &config, Some(&warm)).unwrap();
+        assert_eq!(a.completed_target, b.completed_target);
+        assert!(a.completed_target.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn warm_solve_rejects_shape_mismatch() {
+        let (source, vm, target, mask, _) = synthetic(2, 19);
+        let config = CmfConfig {
+            latent_dim: 2,
+            ..Default::default()
+        };
+        let warm = CmfWarmStart {
+            x: Matrix::zeros(source.rows() + 1, 2),
+            t: Matrix::zeros(vm.rows(), 2),
+            l: Matrix::zeros(source.cols(), 2),
+        };
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        assert!(matches!(
+            solve_with(&problem, &config, Some(&warm)),
+            Err(MlError::Shape(_))
+        ));
     }
 
     #[test]

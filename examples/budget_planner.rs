@@ -97,7 +97,7 @@ fn main() {
         let truth = ground_truth_ranking(&vesta.catalog, job.workload, 1, Objective::Budget);
         default_cost += truth
             .iter()
-            .find(|(v, _)| *v == default_vm.id)
+            .find(|(v, _)| *v == default_vm.type_id())
             .map(|(_, c)| *c)
             .unwrap_or(0.0);
     }

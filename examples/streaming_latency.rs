@@ -53,17 +53,19 @@ fn main() {
     let w = suite.by_name("Spark-CF").unwrap();
     let by_time = ground_truth_ranking(&catalog, w, 1, Objective::ExecutionTime);
     let by_latency = ground_truth_ranking(&catalog, w, 1, Objective::BatchLatency);
-    let rank_of =
-        |ranking: &[(usize, f64)], vm: usize| ranking.iter().position(|(v, _)| *v == vm).unwrap();
+    let rank_of = |ranking: &[(VmTypeId, f64)], vm: VmTypeId| {
+        ranking.iter().position(|(v, _)| *v == vm).unwrap()
+    };
     let mut moved = 0usize;
-    let mut biggest: (usize, i64) = (0, 0);
+    let mut biggest: (VmTypeId, i64) = (VmTypeId::new(0), 0);
     for vm in catalog.all() {
-        let delta = rank_of(&by_time, vm.id) as i64 - rank_of(&by_latency, vm.id) as i64;
+        let id = vm.type_id();
+        let delta = rank_of(&by_time, id) as i64 - rank_of(&by_latency, id) as i64;
         if delta != 0 {
             moved += 1;
         }
         if delta.abs() > biggest.1.abs() {
-            biggest = (vm.id, delta);
+            biggest = (id, delta);
         }
     }
     let mover = catalog.get(biggest.0).expect("valid id");

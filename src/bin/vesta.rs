@@ -6,6 +6,8 @@
 //! vesta train --out knowledge.json [--fast]            offline phase, save snapshot
 //! vesta predict --knowledge K.json --workload NAME     online phase (Algorithm 1)
 //!               [--objective time|budget|latency|throughput] [--top N]
+//! vesta predict --knowledge K.json --batch FILE        concurrent batch engine
+//!               (one workload name per line; prints throughput + cache stats)
 //! vesta cluster --knowledge K.json --workload NAME     (type, nodes) extension
 //! vesta ground-truth --workload NAME [--objective ...] exhaustive oracle
 //! ```
@@ -52,12 +54,16 @@ commands:
   catalog       list the 120 EC2 VM types (--family, --category)
   suite         list the 30 benchmark workloads (--set source|testing|target,
                 --extended adds the 6 Flink workloads)
-  train         train the offline knowledge and save it (--out FILE, --fast)
+  train         train the offline knowledge and save it (--out FILE, --fast,
+                --seed N)
   predict       select the best VM for a workload (--knowledge FILE,
                 --workload NAME, --objective time|budget|latency|throughput, --top N,
                 --explain; fault injection: --fault-transient R --fault-unavailable R
                 --fault-dropout R --fault-corrupt R --fault-straggler R
                 --fault-seed N, rates in [0,1])
+                batch mode: --batch FILE (one workload name per line) fans the
+                requests out through the concurrent engine and reports
+                throughput + cache statistics
   cluster       jointly select VM type and node count (--knowledge FILE,
                 --workload NAME, --objective time|budget|latency|throughput)
   ground-truth  exhaustive oracle ranking (--workload NAME, --objective,
@@ -208,11 +214,16 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let catalog = Catalog::aws_ec2();
     let suite = Suite::paper();
     let sources: Vec<&Workload> = suite.source_training();
-    let config = if flags.contains_key("fast") {
+    let preset = if flags.contains_key("fast") {
         VestaConfig::fast()
     } else {
-        VestaConfig::default()
+        VestaConfig::paper()
     };
+    let mut builder = preset.to_builder();
+    if let Some(seed) = flags.get("seed") {
+        builder = builder.seed(seed.parse().map_err(|_| "bad --seed")?);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
     eprintln!(
         "training on {} source workloads x {} VM types ({} reps)…",
         sources.len(),
@@ -234,6 +245,9 @@ fn load(flags: &HashMap<String, String>) -> Result<Vesta, String> {
 }
 
 fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("batch") {
+        return cmd_predict_batch(flags, path);
+    }
     let vesta = load(flags)?;
     let suite = Suite::extended();
     let workload = workload_of(&suite, flags)?;
@@ -274,7 +288,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("\n{}", e.render());
     }
     // Rank the predicted curve under the requested objective.
-    let mut ranked: Vec<(usize, f64)> = p
+    let mut ranked: Vec<(VmTypeId, f64)> = p
         .predicted_times
         .iter()
         .map(|(&vm, &t)| {
@@ -302,6 +316,69 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
             Objective::ExecutionTime => println!("  {:<16} {:>9.0} s", v.name, score),
         }
     }
+    Ok(())
+}
+
+/// `vesta predict --batch FILE`: one workload name per line (blank lines
+/// and `#` comments ignored), fanned out through the concurrent engine.
+fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), String> {
+    let vesta = load(flags)?;
+    let suite = Suite::extended();
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read --batch file '{path}': {e}"))?;
+    let mut workloads: Vec<Workload> = Vec::new();
+    for line in text.lines() {
+        let name = line.trim();
+        if name.is_empty() || name.starts_with('#') {
+            continue;
+        }
+        let w = suite
+            .by_name(name)
+            .ok_or_else(|| format!("unknown workload '{name}' in {path} (see `vesta suite`)"))?;
+        workloads.push(w.clone());
+    }
+    if workloads.is_empty() {
+        return Err(format!("--batch file '{path}' names no workloads"));
+    }
+
+    let knowledge = vesta.into_knowledge().map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let predictions = knowledge.predict_batch(&workloads).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+
+    println!(
+        "{:<20} {:<16} {:>10} {:>6} {:>9}",
+        "workload", "best VM", "pred (s)", "refs", "converged"
+    );
+    for (w, p) in workloads.iter().zip(&predictions) {
+        let vm = knowledge.catalog().get(p.best_vm).map_err(|e| e.to_string())?;
+        println!(
+            "{:<20} {:<16} {:>10.0} {:>6} {:>9}",
+            w.name(),
+            vm.name,
+            p.best_predicted_time(),
+            p.reference_vms,
+            p.converged
+        );
+        knowledge.absorb(p);
+    }
+    let absorbed = knowledge.absorb_pending();
+    let stats = knowledge.cache_stats();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "\n{} predictions in {:.2}s ({:.1} req/s), {} simulated runs",
+        predictions.len(),
+        elapsed.as_secs_f64(),
+        predictions.len() as f64 / secs,
+        knowledge.runs_executed()
+    );
+    println!(
+        "reference cache: {} hits / {} misses ({:.0}% hit rate); absorbed {} workload(s)",
+        stats.reference.hits,
+        stats.reference.misses,
+        100.0 * stats.reference.hit_rate(),
+        absorbed
+    );
     Ok(())
 }
 

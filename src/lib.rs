@@ -22,11 +22,31 @@
 //! let catalog = Catalog::aws_ec2();
 //! let suite = Suite::paper();
 //! let sources: Vec<&Workload> = suite.source_training().into_iter().take(4).collect();
-//! let config = VestaConfig { offline_reps: 1, ..VestaConfig::fast() };
+//! let config = VestaConfig::fast().to_builder().offline_reps(1).build().unwrap();
 //! let vesta = Vesta::train(catalog, &sources, config).unwrap();
 //! let target = suite.by_name("Spark-kmeans").unwrap();
 //! let prediction = vesta.select_best_vm(target).unwrap();
-//! assert!(prediction.best_vm < 120);
+//! assert!(prediction.best_vm.index() < 120);
+//! ```
+//!
+//! For many requests against one trained model, convert the façade into a
+//! shareable [`prelude::Knowledge`] handle and fan out with
+//! `predict_batch` (bit-identical to a sequential loop):
+//!
+//! ```
+//! use vesta_suite::prelude::*;
+//!
+//! let catalog = Catalog::aws_ec2();
+//! let suite = Suite::paper();
+//! let sources: Vec<&Workload> = suite.source_training().into_iter().take(4).collect();
+//! let config = VestaConfig::fast().to_builder().offline_reps(1).build().unwrap();
+//! let knowledge = Vesta::train(catalog, &sources, config)
+//!     .unwrap()
+//!     .into_knowledge()
+//!     .unwrap();
+//! let targets: Vec<Workload> = suite.target().into_iter().take(2).cloned().collect();
+//! let predictions = knowledge.predict_batch(&targets).unwrap();
+//! assert_eq!(predictions.len(), targets.len());
 //! ```
 
 pub use vesta_baselines as baselines;
@@ -41,9 +61,13 @@ pub mod prelude {
     pub use vesta_baselines::{
         CherryPick, CherryPickConfig, Ernest, ErnestConfig, Paris, ParisConfig,
     };
-    pub use vesta_cloud_sim::{Catalog, FaultPlan, Objective, RetryPolicy, Simulator, VmType};
+    pub use vesta_cloud_sim::{
+        CacheStats, Catalog, FaultPlan, Objective, RetryPolicy, RunCache, Simulator, VmType,
+        VmTypeId,
+    };
     pub use vesta_core::{
-        ground_truth_ranking, selection_error_pct, Prediction, Vesta, VestaConfig,
+        ground_truth_ranking, selection_error_pct, Knowledge, Prediction, PredictionSession,
+        SessionOverlay, Vesta, VestaConfig, VestaConfigBuilder, WorkloadFingerprint,
     };
     pub use vesta_graph::{Label, LabelSpace};
     pub use vesta_workloads::{AlgorithmKind, DatasetScale, Framework, Suite, Workload};

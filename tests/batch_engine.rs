@@ -1,0 +1,176 @@
+//! Integration tests of the concurrent batch-prediction engine: the
+//! batch/sequential bit-identity property over arbitrary workload
+//! permutations, Knowledge snapshot round-trips including the absorption
+//! overlay, and run-cache accounting.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+use vesta_suite::prelude::*;
+
+/// Train once and share across tests — offline profiling dominates the
+/// test's wall clock, the engine itself is cheap.
+fn shared() -> &'static (Suite, Knowledge) {
+    static SHARED: OnceLock<(Suite, Knowledge)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .expect("engine test config is valid");
+        let knowledge = Knowledge::train(catalog, &sources, cfg).expect("offline training");
+        (suite, knowledge)
+    })
+}
+
+/// The eval pool: every target + source-testing workload.
+fn pool() -> Vec<Workload> {
+    let (suite, _) = shared();
+    let mut v: Vec<Workload> = suite.target().into_iter().cloned().collect();
+    v.extend(suite.source_testing().into_iter().cloned());
+    v
+}
+
+/// Deterministic permutation + multiset selection of the pool driven by a
+/// single seed, so proptest explores orderings and duplicates at once.
+fn arrangement(seed: u64, len: usize) -> Vec<Workload> {
+    let all = pool();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len.max(1))
+        .map(|_| all[(next() % all.len() as u64) as usize].clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn batch_equals_sequential_for_any_arrangement(
+        seed in 0u64..1_000_000,
+        len in 1usize..9,
+    ) {
+        let (_, knowledge) = shared();
+        let workloads = arrangement(seed, len);
+        let batch = knowledge.predict_batch(&workloads).expect("batch serves");
+        let sequential = knowledge
+            .predict_sequential(&workloads)
+            .expect("sequential serves");
+        prop_assert_eq!(batch.len(), sequential.len());
+        for (a, b) in batch.iter().zip(&sequential) {
+            prop_assert_eq!(a.best_vm, b.best_vm);
+            prop_assert_eq!(&a.candidates, &b.candidates);
+            prop_assert_eq!(&a.observed, &b.observed);
+            prop_assert_eq!(a.predicted_times.len(), b.predicted_times.len());
+            for ((va, ta), (vb, tb)) in a.predicted_times.iter().zip(&b.predicted_times) {
+                prop_assert_eq!(va, vb);
+                // Bit-identical, not approximately equal.
+                prop_assert_eq!(ta.to_bits(), tb.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_round_trip_preserves_overlay_and_predictions() {
+    // Own handle: absorbing into the shared one would publish overlay
+    // updates mid-flight under other tests' feet.
+    let (suite, trained) = shared();
+    let knowledge = Knowledge::from_snapshot(trained.to_snapshot(), Catalog::aws_ec2())
+        .expect("fresh handle restores");
+    let targets: Vec<Workload> = suite.target().into_iter().take(3).cloned().collect();
+
+    // Absorb some evidence so the overlay is non-trivial.
+    let predictions = knowledge.predict_batch(&targets).expect("batch serves");
+    for p in &predictions {
+        knowledge.absorb(p);
+    }
+    let absorbed = knowledge.absorb_pending();
+    assert!(absorbed > 0, "nothing absorbed");
+    assert_eq!(knowledge.absorbed_count(), absorbed);
+
+    // In-memory snapshot round-trip (save/load adds only a JSON shell).
+    let snapshot = knowledge.to_snapshot();
+    assert_eq!(snapshot.overlay.absorbed_count(), absorbed);
+    let restored = Knowledge::from_snapshot(snapshot, Catalog::aws_ec2()).expect("restores");
+    assert_eq!(restored.absorbed_count(), knowledge.absorbed_count());
+    assert_eq!(
+        restored.overlay().n_edges(),
+        knowledge.overlay().n_edges(),
+        "overlay edges survive the round trip"
+    );
+
+    // A restored handle serves the same predictions as the original.
+    let w = suite.by_name("Spark-pca").expect("Spark-pca exists");
+    let a = knowledge.predict(w).expect("original serves");
+    let b = restored.predict(w).expect("restored serves");
+    assert_eq!(a.best_vm, b.best_vm);
+    assert_eq!(a.candidates, b.candidates);
+}
+
+#[test]
+fn cache_accounting_tracks_hits_and_misses_exactly() {
+    // A fresh handle so counters start at zero.
+    let (suite, trained) = shared();
+    let knowledge = Knowledge::from_snapshot(trained.to_snapshot(), Catalog::aws_ec2())
+        .expect("fresh handle restores");
+    let stats = knowledge.cache_stats();
+    assert_eq!(stats.reference.hits + stats.reference.misses, 0);
+
+    let targets: Vec<Workload> = suite.target().into_iter().take(4).cloned().collect();
+    knowledge.predict_batch(&targets).expect("cold pass");
+    let cold = knowledge.cache_stats();
+    assert_eq!(cold.reference.misses, targets.len() as u64);
+    assert_eq!(cold.reference.entries, targets.len());
+    let runs_after_cold = knowledge.runs_executed();
+    assert!(runs_after_cold > 0, "cold pass must simulate reference runs");
+
+    // Warm pass: pure hits, zero new simulated runs.
+    knowledge.predict_batch(&targets).expect("warm pass");
+    let warm = knowledge.cache_stats();
+    assert_eq!(warm.reference.misses, cold.reference.misses);
+    assert_eq!(
+        warm.reference.hits,
+        cold.reference.hits + targets.len() as u64
+    );
+    assert_eq!(
+        knowledge.runs_executed(),
+        runs_after_cold,
+        "cache hits must not consume simulated runs"
+    );
+
+    // A duplicate request is one miss + one hit (sequential path, where
+    // the ordering — and therefore the accounting — is deterministic).
+    let mut with_dup: Vec<Workload> = suite.source_testing().into_iter().take(1).cloned().collect();
+    with_dup.push(with_dup[0].clone());
+    knowledge.predict_sequential(&with_dup).expect("dup batch");
+    let after = knowledge.cache_stats();
+    assert_eq!(after.reference.misses, warm.reference.misses + 1);
+    assert_eq!(after.reference.hits, warm.reference.hits + 1);
+}
+
+#[test]
+fn sessions_expose_fingerprints_and_the_frozen_overlay() {
+    let (suite, knowledge) = shared();
+    let session = knowledge.session();
+    let w = suite.by_name("Spark-kmeans").expect("exists");
+    let fp = session.fingerprint(w);
+    assert_eq!(fp, session.fingerprint(w), "fingerprints are stable");
+    // Display renders as 16 hex digits, usable as a cache key in logs.
+    let rendered = format!("{fp}");
+    assert_eq!(rendered.len(), 16);
+    assert!(rendered.chars().all(|c| c.is_ascii_hexdigit()));
+    // The frozen overlay matches the handle's published overlay.
+    assert_eq!(
+        session.overlay().absorbed_count(),
+        knowledge.overlay().absorbed_count()
+    );
+}

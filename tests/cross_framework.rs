@@ -106,10 +106,11 @@ fn vesta_beats_cross_framework_paris_on_time_prediction() {
     let catalog = Catalog::aws_ec2();
     let suite = Suite::paper();
     let sources: Vec<&Workload> = suite.source_training();
-    let cfg = VestaConfig {
-        offline_reps: 2,
-        ..VestaConfig::fast()
-    };
+    let cfg = VestaConfig::fast()
+        .to_builder()
+        .offline_reps(2)
+        .build()
+        .unwrap();
     let vesta = Vesta::train(catalog.clone(), &sources, cfg).unwrap();
     let paris = Paris::train(
         &catalog,
@@ -122,15 +123,21 @@ fn vesta_beats_cross_framework_paris_on_time_prediction() {
     .unwrap();
 
     // Per-VM time-prediction MAPE over a handful of Spark targets.
-    let mape_of = |predicted: &std::collections::BTreeMap<usize, f64>, w: &Workload| {
-        let truth: std::collections::BTreeMap<usize, f64> =
-            ground_truth_ranking(&catalog, w, 1, Objective::ExecutionTime)
+    // Generic over the key so it accepts both Vesta's VmTypeId-keyed curve
+    // and PARIS's raw-usize one.
+    fn mape_of<K: Copy + Ord + Into<VmTypeId>>(
+        catalog: &Catalog,
+        predicted: &std::collections::BTreeMap<K, f64>,
+        w: &Workload,
+    ) -> f64 {
+        let truth: std::collections::BTreeMap<VmTypeId, f64> =
+            ground_truth_ranking(catalog, w, 1, Objective::ExecutionTime)
                 .into_iter()
                 .collect();
         let mut acc = 0.0;
         let mut n = 0;
-        for (vm, pred) in predicted {
-            if let Some(t) = truth.get(vm) {
+        for (&vm, pred) in predicted {
+            if let Some(t) = truth.get(&vm.into()) {
                 if t.is_finite() {
                     acc += ((pred - t) / t).abs();
                     n += 1;
@@ -138,7 +145,7 @@ fn vesta_beats_cross_framework_paris_on_time_prediction() {
             }
         }
         100.0 * acc / n as f64
-    };
+    }
 
     let mut vesta_better = 0;
     let targets = [
@@ -152,7 +159,7 @@ fn vesta_beats_cross_framework_paris_on_time_prediction() {
         let w = suite.by_name(name).unwrap();
         let vp = vesta.select_best_vm(w).unwrap();
         let pp = paris.select(&catalog, w).unwrap();
-        if mape_of(&vp.predicted_times, w) < mape_of(&pp.predicted_times, w) {
+        if mape_of(&catalog, &vp.predicted_times, w) < mape_of(&catalog, &pp.predicted_times, w) {
             vesta_better += 1;
         }
     }

@@ -4,10 +4,11 @@
 use vesta_suite::prelude::*;
 
 fn quick_config() -> VestaConfig {
-    VestaConfig {
-        offline_reps: 2,
-        ..VestaConfig::fast()
-    }
+    VestaConfig::fast()
+        .to_builder()
+        .offline_reps(2)
+        .build()
+        .expect("quick config is valid")
 }
 
 fn trained() -> (Vesta, Suite) {
@@ -26,7 +27,7 @@ fn full_pipeline_predicts_every_spark_target() {
         let p = vesta
             .select_best_vm(target)
             .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
-        assert!(p.best_vm < vesta.catalog.len());
+        assert!(p.best_vm.index() < vesta.catalog.len());
         assert!(p.reference_vms >= 4, "{}", target.name());
         assert!(!p.predicted_times.is_empty());
         let err = selection_error_pct(

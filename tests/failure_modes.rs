@@ -54,26 +54,17 @@ fn training_with_invalid_config_is_rejected_cleanly() {
     let catalog = Catalog::aws_ec2();
     let suite = Suite::paper();
     let sources: Vec<&Workload> = suite.source_training().into_iter().take(2).collect();
-    for bad in [
-        VestaConfig {
-            lambda: -0.1,
-            ..VestaConfig::fast()
-        },
-        VestaConfig {
-            k: 0,
-            ..VestaConfig::fast()
-        },
-        VestaConfig {
-            interval_width: 0.0,
-            ..VestaConfig::fast()
-        },
-        VestaConfig {
-            offline_reps: 0,
-            ..VestaConfig::fast()
-        },
-    ] {
-        assert!(Vesta::train(catalog.clone(), &sources, bad).is_err());
-    }
+    // The builder rejects each invalid setting at build() time...
+    assert!(VestaConfig::builder().lambda(-0.1).build().is_err());
+    assert!(VestaConfig::builder().k(0).build().is_err());
+    assert!(VestaConfig::builder().interval_width(0.0).build().is_err());
+    assert!(VestaConfig::builder().offline_reps(0).build().is_err());
+    // ...and a hand-rolled invalid struct is still caught by training.
+    let bad = VestaConfig {
+        lambda: -0.1,
+        ..VestaConfig::fast()
+    };
+    assert!(Vesta::train(catalog.clone(), &sources, bad).is_err());
 }
 
 #[test]
@@ -84,15 +75,16 @@ fn convergence_cap_triggers_fallback_not_failure() {
     let catalog = Catalog::aws_ec2();
     let suite = Suite::paper();
     let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
-    let cfg = VestaConfig {
-        offline_reps: 2,
-        sgd: SgdConfig {
+    let cfg = VestaConfig::fast()
+        .to_builder()
+        .offline_reps(2)
+        .sgd(SgdConfig {
             max_epochs: 2,
             tolerance: 0.0,
             ..SgdConfig::default()
-        },
-        ..VestaConfig::fast()
-    };
+        })
+        .build()
+        .unwrap();
     let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
     let target = suite.by_name("Spark-CF").unwrap();
     let p = vesta
@@ -115,10 +107,11 @@ fn prediction_for_unprofiled_knowledge_fails_loudly() {
     let err = Vesta::train(
         catalog,
         &sources,
-        VestaConfig {
-            offline_reps: 1,
-            ..VestaConfig::fast()
-        },
+        VestaConfig::fast()
+            .to_builder()
+            .offline_reps(1)
+            .build()
+            .unwrap(),
     )
     .err()
     .expect("single-workload training must fail");
@@ -138,10 +131,11 @@ fn transient_faults_and_dropout_degrade_gracefully() {
     let catalog = Catalog::aws_ec2();
     let suite = Suite::paper();
     let sources: Vec<&Workload> = suite.source_training().into_iter().take(8).collect();
-    let cfg = VestaConfig {
-        offline_reps: 2,
-        ..VestaConfig::fast()
-    };
+    let cfg = VestaConfig::fast()
+        .to_builder()
+        .offline_reps(2)
+        .build()
+        .unwrap();
     let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
     let plan = FaultPlan {
         transient_failure_rate: 0.10,
@@ -159,7 +153,7 @@ fn transient_faults_and_dropout_degrade_gracefully() {
         let p = predictor
             .predict(w)
             .expect("prediction must survive the acceptance fault plan");
-        assert!(p.best_vm < vesta.catalog.len());
+        assert!(p.best_vm.index() < vesta.catalog.len());
         assert!(!p.observed.is_empty(), "{} lost every reference", w.name());
         assert!(
             p.extra_reference_runs <= bound,
@@ -180,19 +174,20 @@ fn corrupted_metrics_never_reach_predictions() {
     let catalog = Catalog::aws_ec2();
     let suite = Suite::paper();
     let sources: Vec<&Workload> = suite.source_training().into_iter().take(8).collect();
-    let cfg = VestaConfig {
-        offline_reps: 2,
-        fault_plan: FaultPlan {
+    let cfg = VestaConfig::fast()
+        .to_builder()
+        .offline_reps(2)
+        .fault_plan(FaultPlan {
             sample_dropout_rate: 0.10,
             metric_corruption_rate: 0.20,
             ..FaultPlan::none()
-        },
-        ..VestaConfig::fast()
-    };
+        })
+        .build()
+        .unwrap();
     let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
     let target = suite.by_name("Spark-kmeans").unwrap();
     let p = vesta.select_best_vm(target).unwrap();
-    assert!(p.best_vm < vesta.catalog.len());
+    assert!(p.best_vm.index() < vesta.catalog.len());
     for (vm, t) in &p.predicted_times {
         assert!(
             t.is_finite() && *t > 0.0,
@@ -209,10 +204,11 @@ fn custom_workload_outside_table3_is_served() {
     let vesta = Vesta::train(
         catalog,
         &sources,
-        VestaConfig {
-            offline_reps: 2,
-            ..VestaConfig::fast()
-        },
+        VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let custom = Workload {
@@ -224,7 +220,7 @@ fn custom_workload_outside_table3_is_served() {
         split: SplitSet::Target,
     };
     let p = vesta.select_best_vm(&custom).unwrap();
-    assert!(p.best_vm < vesta.catalog.len());
+    assert!(p.best_vm.index() < vesta.catalog.len());
     let err = selection_error_pct(
         &vesta.catalog,
         &custom,
