@@ -228,7 +228,11 @@ mod tests {
         assert!(out.best_time_s.is_finite());
         let ranking = vesta_core::ground_truth_ranking(&catalog, w, 1, Objective::ExecutionTime);
         let best = ranking[0].1;
-        let chosen = ranking.iter().find(|(v, _)| *v == out.best_vm.into()).unwrap().1;
+        let chosen = ranking
+            .iter()
+            .find(|(v, _)| *v == out.best_vm.into())
+            .unwrap()
+            .1;
         assert!(
             chosen <= 3.0 * best,
             "{}x off after 12 probes",

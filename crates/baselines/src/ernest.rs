@@ -224,7 +224,11 @@ mod tests {
         // Selection error against ground truth stays bounded for Spark.
         let ranking = vesta_core::ground_truth_ranking(&catalog, w, 1, Objective::ExecutionTime);
         let best = ranking[0].1;
-        let chosen = ranking.iter().find(|(v, _)| *v == sel.best_vm.into()).unwrap().1;
+        let chosen = ranking
+            .iter()
+            .find(|(v, _)| *v == sel.best_vm.into())
+            .unwrap()
+            .1;
         assert!(chosen <= 4.0 * best, "{}x off", chosen / best);
     }
 

@@ -359,7 +359,11 @@ mod tests {
             vesta_cloud_sim::Objective::ExecutionTime,
         );
         let best = ranking[0].1;
-        let chosen = ranking.iter().find(|(vm, _)| *vm == sel.best_vm.into()).unwrap().1;
+        let chosen = ranking
+            .iter()
+            .find(|(vm, _)| *vm == sel.best_vm.into())
+            .unwrap()
+            .1;
         assert!(
             chosen <= 2.5 * best,
             "same-framework pick {}x off",

@@ -1,12 +1,15 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [all | table1 | table3 | table4 | table5 | fig1 | fig2 | fig3 |
-//!              fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
-//!              ablations | summary | learning | flink | resilience | throughput]...
+//! experiments [--quick] [--chaos] [all | table1 | table3 | table4 | table5 | fig1 |
+//!              fig2 | fig3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 |
+//!              fig13 | ablations | summary | learning | flink | resilience |
+//!              throughput | chaos]...
 //! ```
 //!
-//! Results print as aligned tables and are dumped to `results/<id>.json`.
+//! `--chaos` appends the supervised fault-injection sweep (`chaos` id) to
+//! whatever else runs. Results print as aligned tables and are dumped to
+//! `results/<id>.json`.
 
 use std::path::PathBuf;
 use vesta_bench::{run_experiment, Context, Fidelity, ALL_EXPERIMENTS};
@@ -14,7 +17,14 @@ use vesta_bench::{run_experiment, Context, Fidelity, ALL_EXPERIMENTS};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let mut ids: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let mut ids: Vec<String> = args
+        .into_iter()
+        .filter(|a| a != "--quick" && a != "--chaos")
+        .collect();
+    if chaos && !ids.iter().any(|a| a == "chaos") {
+        ids.push("chaos".to_string());
+    }
     if ids.is_empty() {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     } else if let Some(pos) = ids.iter().position(|a| a == "all") {

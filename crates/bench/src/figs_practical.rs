@@ -72,7 +72,11 @@ pub fn fig12(ctx: &Context) -> ExperimentReport {
 
         // PARIS: 2 fingerprint runs on its reference VMs, then its pick.
         let sel = paris.select(&ctx.catalog, w).expect("paris");
-        let mut paris_times: Vec<f64> = paris.reference_vms().iter().map(|&vm| t_of(vm.into())).collect();
+        let mut paris_times: Vec<f64> = paris
+            .reference_vms()
+            .iter()
+            .map(|&vm| t_of(vm.into()))
+            .collect();
         paris_times.push(t_of(sel.best_vm.into()));
         let paris_prog = progression(&paris_times);
 
@@ -84,7 +88,11 @@ pub fn fig12(ctx: &Context) -> ExperimentReport {
 
         // CherryPick (extension comparator): its probes in order.
         let out = cp.search(&ctx.catalog, w).expect("cherrypick");
-        let cp_times: Vec<f64> = out.probes.iter().map(|(vm, _)| t_of((*vm).into())).collect();
+        let cp_times: Vec<f64> = out
+            .probes
+            .iter()
+            .map(|(vm, _)| t_of((*vm).into()))
+            .collect();
         let cp_prog = progression(&cp_times);
 
         let sample = |prog: &[f64], run: usize| -> String {

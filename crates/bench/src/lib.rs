@@ -28,6 +28,7 @@
 //! (Figs. 4 and 5 are architecture diagrams, not experiments.)
 
 pub mod ablations;
+pub mod chaos;
 pub mod context;
 pub mod eval;
 pub mod figs_components;
@@ -74,6 +75,7 @@ pub fn run_experiment(ctx: &Context, id: &str) -> Option<ExperimentReport> {
         "flink" => flink::flink(ctx),
         "resilience" => resilience::resilience(ctx),
         "throughput" => throughput::throughput(ctx),
+        "chaos" => chaos::chaos(ctx),
         "fig13" => figs_practical::fig13(ctx),
         _ => return None,
     })

@@ -35,6 +35,7 @@ fn composite_plan(rate: f64) -> FaultPlan {
         straggler_slowdown: 2.5,
         sample_dropout_rate: rate * 0.5,
         metric_corruption_rate: rate * 0.25,
+        ..FaultPlan::none()
     }
 }
 
@@ -72,13 +73,20 @@ fn sweep_point(ctx: &Context, targets: &[&Workload], plan: FaultPlan, rate: f64)
                 if reg <= 5.0 {
                     near += 1;
                 }
-                mapes.push(crate::eval::time_prediction_mape(ctx, w, &p.predicted_times));
+                mapes.push(crate::eval::time_prediction_mape(
+                    ctx,
+                    w,
+                    &p.predicted_times,
+                ));
                 extra_runs += p.extra_reference_runs;
                 failed_ref_vms += p.failed_reference_vms.len();
                 reference_vms += p.reference_vms;
             }
             Err(e) => {
-                eprintln!("[resilience] predict({}) failed at rate {rate}: {e}", w.name());
+                eprintln!(
+                    "[resilience] predict({}) failed at rate {rate}: {e}",
+                    w.name()
+                );
                 all_succeeded = false;
             }
         }

@@ -18,12 +18,17 @@
 //! identity stable.
 
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default shard count; a power of two so the shard index is a mask.
 const DEFAULT_SHARDS: usize = 16;
+
+/// Default total capacity of a [`RunCache::new`] cache. A long-running
+/// serving process replays an unbounded stream of fingerprints; without a
+/// bound the memo table is a slow memory leak.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// Point-in-time counters of a [`RunCache`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +40,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Total capacity (summed over shards) the cache enforces.
+    pub capacity: usize,
 }
 
 impl CacheStats {
@@ -49,32 +58,71 @@ impl CacheStats {
     }
 }
 
-/// Fingerprint-keyed memo table with sharded locks and atomic accounting.
+/// One shard: the key→value map plus the key insertion order, so the
+/// capacity bound can evict deterministically (FIFO by first insertion).
+struct Shard<V> {
+    map: HashMap<u64, Arc<V>>,
+    order: VecDeque<u64>,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+/// Fingerprint-keyed memo table with sharded locks, a per-shard capacity
+/// bound (FIFO eviction in first-insertion order — deterministic for any
+/// fixed insertion sequence) and atomic accounting. Eviction only ever
+/// costs a recompute: cached values are pure functions of their key.
 pub struct RunCache<V> {
-    shards: Vec<RwLock<HashMap<u64, Arc<V>>>>,
+    shards: Vec<RwLock<Shard<V>>>,
     mask: u64,
+    per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<V> RunCache<V> {
-    /// Cache with the default shard count.
+    /// Cache with the default shard count and the default capacity bound
+    /// ([`DEFAULT_CACHE_CAPACITY`] entries total).
     pub fn new() -> Self {
-        Self::with_shards(DEFAULT_SHARDS)
+        Self::with_shards_and_capacity(DEFAULT_SHARDS, DEFAULT_CACHE_CAPACITY)
     }
 
-    /// Cache with `shards` rounded up to a power of two (min 1).
+    /// Cache with `shards` rounded up to a power of two (min 1) and the
+    /// default capacity bound.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_capacity(shards, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Cache with the default shard count and a total `capacity` bound
+    /// (min 1 entry per shard).
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_shards_and_capacity(DEFAULT_SHARDS, capacity)
+    }
+
+    /// Cache with explicit shard count and total capacity. The capacity is
+    /// split evenly across shards (rounded up, min 1 per shard), so the
+    /// enforced total is `per_shard × shards ≥ capacity`.
+    pub fn with_shards_and_capacity(shards: usize, capacity: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity.max(1).div_ceil(n);
         Self {
-            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| RwLock::new(Shard::new())).collect(),
             mask: (n - 1) as u64,
+            per_shard,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Arc<V>>> {
+    fn shard(&self, key: u64) -> &RwLock<Shard<V>> {
         // Mix the key so fingerprints that share low bits still spread.
         let mut h = key;
         h ^= h >> 33;
@@ -83,9 +131,14 @@ impl<V> RunCache<V> {
         &self.shards[(h & self.mask) as usize]
     }
 
+    /// Total entry capacity this cache enforces.
+    pub fn capacity(&self) -> usize {
+        self.per_shard * self.shards.len()
+    }
+
     /// Look up `key`, counting a hit or a miss.
     pub fn get(&self, key: u64) -> Option<Arc<V>> {
-        let found = self.shard(key).read().get(&key).cloned();
+        let found = self.shard(key).read().map.get(&key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -94,11 +147,26 @@ impl<V> RunCache<V> {
     }
 
     /// Insert `value` unless `key` is already present; returns the resident
-    /// entry either way (first insert wins). Does not touch hit/miss
+    /// entry either way (first insert wins). A full shard first evicts its
+    /// oldest entry (first-insertion order). Does not touch hit/miss
     /// counters — pair with [`RunCache::get`].
     pub fn insert(&self, key: u64, value: V) -> Arc<V> {
         let mut shard = self.shard(key).write();
-        shard.entry(key).or_insert_with(|| Arc::new(value)).clone()
+        if let Some(existing) = shard.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        while shard.map.len() >= self.per_shard {
+            let Some(oldest) = shard.order.pop_front() else {
+                break;
+            };
+            if shard.map.remove(&oldest).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let resident = Arc::new(value);
+        shard.map.insert(key, Arc::clone(&resident));
+        shard.order.push_back(key);
+        resident
     }
 
     /// Memoized compute: one read-locked probe, then `compute` runs
@@ -115,7 +183,7 @@ impl<V> RunCache<V> {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.read().map.len()).sum()
     }
 
     /// Whether no entry is resident.
@@ -126,7 +194,9 @@ impl<V> RunCache<V> {
     /// Drop every entry; counters are preserved.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().clear();
+            let mut s = shard.write();
+            s.map.clear();
+            s.order.clear();
         }
     }
 
@@ -136,6 +206,8 @@ impl<V> RunCache<V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity(),
         }
     }
 }
@@ -216,5 +288,56 @@ mod tests {
     fn empty_cache_hit_rate_is_zero() {
         let cache: RunCache<u8> = RunCache::new();
         assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_bound_holds_and_evictions_are_counted() {
+        // 1 shard × capacity 4 so the FIFO order is fully observable.
+        let cache: RunCache<u64> = RunCache::with_shards_and_capacity(1, 4);
+        assert_eq!(cache.capacity(), 4);
+        for k in 0..10u64 {
+            cache.insert(k, k * 10);
+            assert!(cache.len() <= cache.capacity(), "bound violated at {k}");
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 4);
+        assert_eq!(s.evictions, 6);
+        assert_eq!(s.capacity, 4);
+        // FIFO: the oldest keys went first, the newest four survive.
+        for k in 0..6u64 {
+            assert!(cache.get(k).is_none(), "key {k} should be evicted");
+        }
+        for k in 6..10u64 {
+            assert_eq!(*cache.get(k).unwrap(), k * 10);
+        }
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_never_evicts() {
+        let cache: RunCache<u8> = RunCache::with_shards_and_capacity(1, 2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Same key again: first insert wins, no eviction fires.
+        let v = cache.insert(1, 99);
+        assert_eq!(*v, 10);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_for_a_fixed_sequence() {
+        let run = || {
+            let cache: RunCache<u64> = RunCache::with_shards_and_capacity(4, 16);
+            for k in 0..200u64 {
+                cache.insert(k.wrapping_mul(0x9E37_79B9), k);
+            }
+            let mut resident: Vec<u64> = (0..200u64)
+                .map(|k| k.wrapping_mul(0x9E37_79B9))
+                .filter(|&k| cache.shard(k).read().map.contains_key(&k))
+                .collect();
+            resident.sort_unstable();
+            (resident, cache.stats().evictions)
+        };
+        assert_eq!(run(), run());
     }
 }

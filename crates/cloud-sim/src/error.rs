@@ -38,6 +38,19 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// True when the failure is a property of the simulated cloud at this
+    /// instant rather than of the request: retrying (or retrying elsewhere,
+    /// for [`SimError::VmUnavailable`]) may succeed. Retry/shed policy must
+    /// branch on this, never on rendered error text.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::TransientFailure { .. } | SimError::VmUnavailable { .. }
+        )
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -91,5 +104,24 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn transience_splits_cloud_weather_from_request_bugs() {
+        assert!(SimError::TransientFailure {
+            workload_id: 1,
+            vm_id: 2,
+            attempts: 3,
+        }
+        .is_transient());
+        assert!(SimError::VmUnavailable { vm_id: 4 }.is_transient());
+        assert!(!SimError::UnknownVmType("x".into()).is_transient());
+        assert!(!SimError::InvalidDemand("y".into()).is_transient());
+        assert!(!SimError::NoData("z".into()).is_transient());
+        assert!(!SimError::OutOfMemory {
+            required_gb: 10.0,
+            available_gb: 4.0,
+        }
+        .is_transient());
     }
 }

@@ -19,7 +19,6 @@
 //!   fault schedules are reproducible across processes and thread
 //!   interleavings.
 
-use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +32,8 @@ const STREAM_RUN_FATE: u64 = 2;
 const STREAM_AVAILABILITY: u64 = 3;
 /// Noise stream carrying per-sample trace dropout / corruption draws.
 const STREAM_TRACE: u64 = 4;
+/// Noise stream deciding whether a correlated-failure window is bursty.
+const STREAM_BURST: u64 = 5;
 
 /// Spacing between the run indices of successive retry attempts of the same
 /// repetition, so a retried run draws fresh execution/metric noise without
@@ -66,6 +67,21 @@ pub struct FaultPlan {
     /// Probability that an individual metric sample arrives with one of its
     /// values corrupted to NaN.
     pub metric_corruption_rate: f64,
+    /// Length (in run indices) of a correlated-failure window. Real cloud
+    /// incidents are bursty: an AZ brown-out takes out *consecutive*
+    /// launches, not an i.i.d. sprinkle. `0` (the default) disables
+    /// correlated failures entirely.
+    #[serde(default)]
+    pub burst_len: u64,
+    /// Probability that a given `(workload, VM, window)` is inside a burst.
+    /// Drawn once per window on its own stream, so the verdict is stable
+    /// for every attempt in the window.
+    #[serde(default)]
+    pub burst_window_rate: f64,
+    /// Transient-failure probability applied to attempts inside a burst
+    /// window (replacing `transient_failure_rate` when it is larger).
+    #[serde(default)]
+    pub burst_failure_rate: f64,
 }
 
 impl FaultPlan {
@@ -80,7 +96,16 @@ impl FaultPlan {
             straggler_slowdown: 2.5,
             sample_dropout_rate: 0.0,
             metric_corruption_rate: 0.0,
+            burst_len: 0,
+            burst_window_rate: 0.0,
+            burst_failure_rate: 0.0,
         }
+    }
+
+    /// True when the correlated-failure knobs can actually fire: all three
+    /// must be positive for any burst window to raise a failure.
+    pub fn burst_active(&self) -> bool {
+        self.burst_len > 0 && self.burst_window_rate > 0.0 && self.burst_failure_rate > 0.0
     }
 
     /// True when no fault class can ever fire.
@@ -90,6 +115,7 @@ impl FaultPlan {
             && self.straggler_rate <= 0.0
             && self.sample_dropout_rate <= 0.0
             && self.metric_corruption_rate <= 0.0
+            && !self.burst_active()
     }
 
     /// Validate every knob; returns a typed error naming the first bad one.
@@ -100,6 +126,8 @@ impl FaultPlan {
             ("straggler_rate", self.straggler_rate),
             ("sample_dropout_rate", self.sample_dropout_rate),
             ("metric_corruption_rate", self.metric_corruption_rate),
+            ("burst_window_rate", self.burst_window_rate),
+            ("burst_failure_rate", self.burst_failure_rate),
         ];
         for (name, rate) in rates {
             if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
@@ -236,7 +264,13 @@ impl FaultInjector {
     /// Draw the fate of one run attempt. `run_idx` is the attempt's
     /// effective run index (repetition plus [`RETRY_RUN_STRIDE`] per prior
     /// attempt), so retries redraw their fate independently.
-    pub fn run_fate(&self, base_seed: u64, workload_id: u64, vm_id: usize, run_idx: u64) -> RunFate {
+    pub fn run_fate(
+        &self,
+        base_seed: u64,
+        workload_id: u64,
+        vm_id: usize,
+        run_idx: u64,
+    ) -> RunFate {
         if self.is_none() {
             return RunFate::Healthy;
         }
@@ -252,7 +286,26 @@ impl FaultInjector {
         // happen to be zero.
         let u_fail = rng.gen::<f64>();
         let u_straggle = rng.gen::<f64>();
-        if u_fail < self.plan.transient_failure_rate {
+        // Correlated failures: the window verdict is drawn on its own stream
+        // keyed by the *window* index, so every attempt inside a bursty
+        // window shares the elevated failure rate. The per-attempt stream
+        // layout above is untouched — only the threshold `u_fail` is
+        // compared against changes.
+        let mut fail_rate = self.plan.transient_failure_rate;
+        if self.plan.burst_active() {
+            let window = run_idx / self.plan.burst_len;
+            let mut wrng = run_rng(
+                self.fault_seed(base_seed),
+                workload_id,
+                vm_id as u64,
+                window,
+                STREAM_BURST,
+            );
+            if wrng.gen::<f64>() < self.plan.burst_window_rate {
+                fail_rate = fail_rate.max(self.plan.burst_failure_rate);
+            }
+        }
+        if u_fail < fail_rate {
             return RunFate::TransientFailure;
         }
         if u_straggle < self.plan.straggler_rate {
@@ -450,6 +503,91 @@ mod tests {
             .filter(|s| s.iter().any(|v| v.is_nan()))
             .count();
         assert!(poisoned > 0, "some samples corrupted");
+    }
+
+    #[test]
+    fn burst_windows_correlate_failures() {
+        // Baseline failures off; bursts guarantee failure inside a bursty
+        // window, so every window is either all-failed or all-healthy.
+        let plan = FaultPlan {
+            burst_len: 8,
+            burst_window_rate: 0.4,
+            burst_failure_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(plan);
+        let sched = inj.schedule_digest(42, 3, 7, 50 * 8);
+        let mut bursty_windows = 0usize;
+        for (w, chunk) in sched.chunks(8).enumerate() {
+            let failures = chunk
+                .iter()
+                .filter(|f| matches!(f, RunFate::TransientFailure))
+                .count();
+            assert!(
+                failures == 0 || failures == 8,
+                "window {w} split {failures}/8: burst verdict must be per-window"
+            );
+            if failures == 8 {
+                bursty_windows += 1;
+            }
+        }
+        let rate = bursty_windows as f64 / 50.0;
+        assert!((rate - 0.4).abs() < 0.2, "bursty window rate {rate}");
+    }
+
+    #[test]
+    fn burst_leaves_per_attempt_stream_layout_unchanged() {
+        // With burst_failure_rate below the baseline the max() never raises
+        // the threshold, so the schedule is bit-identical to the burst-free
+        // plan: bursts reuse the already-drawn attempt uniforms.
+        let base = FaultPlan {
+            transient_failure_rate: 0.3,
+            straggler_rate: 0.2,
+            ..FaultPlan::none()
+        };
+        let with_inert_burst = FaultPlan {
+            burst_len: 4,
+            burst_window_rate: 1.0,
+            burst_failure_rate: 0.1,
+            ..base.clone()
+        };
+        let a = FaultInjector::new(base).schedule_digest(42, 1, 2, 256);
+        let b = FaultInjector::new(with_inert_burst).schedule_digest(42, 1, 2, 256);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_burst_knobs_are_inert() {
+        // A plan needs all three knobs positive before any burst can fire.
+        for plan in [
+            FaultPlan {
+                burst_len: 8,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                burst_window_rate: 1.0,
+                burst_failure_rate: 1.0,
+                ..FaultPlan::none()
+            },
+        ] {
+            assert!(!plan.burst_active());
+            assert!(plan.is_none());
+            let inj = FaultInjector::new(plan);
+            for run in 0..64 {
+                assert_eq!(inj.run_fate(42, 7, 11, run), RunFate::Healthy);
+            }
+        }
+        let full = FaultPlan {
+            burst_len: 8,
+            burst_window_rate: 1.0,
+            burst_failure_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        assert!(full.burst_active());
+        assert!(!full.is_none());
+        let mut bad = FaultPlan::none();
+        bad.burst_failure_rate = 2.0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod perf;
 pub mod store;
 pub mod vmtype;
 
-pub use cache::{CacheStats, RunCache};
+pub use cache::{CacheStats, RunCache, DEFAULT_CACHE_CAPACITY};
 pub use catalog::Catalog;
 pub use des::{simulate as des_simulate, DesConfig, DesResult};
 pub use error::SimError;

@@ -677,8 +677,8 @@ mod tests {
                 CORRELATION_NAMES[i]
             );
         }
-        for m in 0..N_METRICS {
-            assert!(t.mean(m).is_finite(), "mean of {} not finite", METRIC_NAMES[m]);
+        for (m, name) in METRIC_NAMES.iter().enumerate() {
+            assert!(t.mean(m).is_finite(), "mean of {name} not finite");
         }
     }
 

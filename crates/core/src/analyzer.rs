@@ -59,9 +59,7 @@ impl<'a> CorrelationAnalyzer<'a> {
         }
         let mut vectors = Vec::with_capacity(vms.len());
         for vm_id in vms {
-            let agg = self
-                .store
-                .aggregate(&RunKey { workload_id, vm_id })?;
+            let agg = self.store.aggregate(&RunKey { workload_id, vm_id })?;
             vectors.push(agg.correlations);
         }
         CorrelationVector::mean_of(&vectors)
@@ -79,9 +77,7 @@ impl<'a> CorrelationAnalyzer<'a> {
         }
         let mut ranking = Vec::with_capacity(vms.len());
         for vm_id in vms {
-            let agg = self
-                .store
-                .aggregate(&RunKey { workload_id, vm_id })?;
+            let agg = self.store.aggregate(&RunKey { workload_id, vm_id })?;
             ranking.push((vm_id, agg.p90_time_s));
         }
         ranking.sort_by(|a, b| a.1.total_cmp(&b.1));

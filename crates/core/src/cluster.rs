@@ -94,10 +94,7 @@ impl<'a> ClusterSizer<'a> {
         // Probe on a representative mid-size box rather than the (cheap,
         // small) sandbox: scaling limits — parallelism ceilings, barrier
         // widths — only show once a single node already has real cores.
-        let vm = self
-            .vesta
-            .catalog
-            .by_name("m5.2xlarge")?;
+        let vm = self.vesta.catalog.by_name("m5.2xlarge")?;
         let sim = Simulator::default();
         let watcher = MemoryWatcher::default();
         let mut rows = Vec::new();

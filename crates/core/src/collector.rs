@@ -307,7 +307,10 @@ mod tests {
         dc.profile(w, vm, 10).unwrap();
         let successes = dc.store().total_runs();
         assert_eq!(successes, 10, "every repetition eventually lands");
-        assert!(dc.failed_attempts() > 0, "a 30% fail rate must charge retries");
+        assert!(
+            dc.failed_attempts() > 0,
+            "a 30% fail rate must charge retries"
+        );
         assert_eq!(dc.runs_consumed(), successes + dc.failed_attempts());
         assert!(dc.backoff_s() > 0.0, "retries wait simulated backoff");
     }

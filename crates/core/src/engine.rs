@@ -31,19 +31,23 @@ use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use vesta_cloud_sim::{CacheStats, Catalog, RunCache, VmTypeId};
-use vesta_ml::cmf::{prefit_knowledge, solve_with, CmfProblem, CmfWarmStart, Mask};
+use vesta_ml::cmf::{prefit_knowledge, solve_with_cancel, CmfProblem, CmfWarmStart, Mask};
 use vesta_ml::Matrix;
 use vesta_workloads::Workload;
 
 use crate::config::VestaConfig;
 use crate::offline::OfflineModel;
 use crate::online::{
-    absorption_evidence, fresh_collector, gather_references, observed_row, random_vms_from,
-    reference_seed, run_references, score_candidates, select_best_vm, source_affinities_of,
-    transfer_time_curve, AbsorbedCurve, Prediction, ReferencePhase, DEFAULT_CANDIDATE_POOL,
-    DEFAULT_FALLBACK_EXTRA_VMS, FALLBACK_SALT,
+    absorption_evidence, fresh_collector, gather_references_supervised, observed_row,
+    random_vms_from, reference_seed, run_references, score_candidates, select_best_vm,
+    source_affinities_of, transfer_time_curve, AbsorbedCurve, Prediction, ReferencePhase,
+    DEFAULT_CANDIDATE_POOL, DEFAULT_FALLBACK_EXTRA_VMS, FALLBACK_SALT,
 };
 use crate::snapshot::KnowledgeSnapshot;
+use crate::supervisor::{
+    AbsorptionJournal, BreakerTable, Deadline, JournalRecord, Outcome, PartialProgress,
+    RequestOutcome, Supervisor, SupervisorReport,
+};
 use crate::VestaError;
 
 /// Content hash of a prediction request: the workload's fully resolved
@@ -119,7 +123,7 @@ impl Fnv {
 /// label→VM edges consulted during candidate scoring, plus the calibrated
 /// time curves of absorbed workloads as same-framework transfer donors.
 /// Immutable once published — sessions snapshot an `Arc` of it.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SessionOverlay {
     layer: vesta_graph::LabelLayer,
     absorbed: Vec<u64>,
@@ -230,6 +234,7 @@ pub struct Knowledge {
     ref_cache: Arc<RunCache<CachedReference>>,
     fallback_cache: Arc<RunCache<FallbackRuns>>,
     runs: Arc<AtomicUsize>,
+    supervisor: Supervisor,
 }
 
 impl Knowledge {
@@ -256,6 +261,7 @@ impl Knowledge {
         overlay: SessionOverlay,
     ) -> Result<Self, VestaError> {
         let warm = prefit_knowledge(&model.u, &model.v, &model.config.cmf())?;
+        let supervisor = Supervisor::new(model.config.supervisor.clone(), catalog.len());
         Ok(Knowledge {
             model: Arc::new(model),
             catalog: Arc::new(catalog),
@@ -265,6 +271,7 @@ impl Knowledge {
             ref_cache: Arc::new(RunCache::new()),
             fallback_cache: Arc::new(RunCache::new()),
             runs: Arc::new(AtomicUsize::new(0)),
+            supervisor,
         })
     }
 
@@ -324,7 +331,107 @@ impl Knowledge {
         &self,
         workloads: &[Workload],
     ) -> Result<Vec<Prediction>, VestaError> {
-        workloads.iter().map(|w| self.session().predict(w)).collect()
+        workloads
+            .iter()
+            .map(|w| self.session().predict(w))
+            .collect()
+    }
+
+    /// [`Knowledge::predict_batch`] under the serving-layer supervision
+    /// configured in [`crate::supervisor::SupervisorConfig`]: admission
+    /// control sheds requests beyond the in-flight bound, every admitted
+    /// request gets its own deadline, reference draws pass through the
+    /// per-VM breaker table, and each request resolves to a typed
+    /// [`Outcome`] in input order instead of one batch-fatal error.
+    ///
+    /// With supervision fully off (the default config) every outcome is
+    /// `Ok`/`Degraded` exactly as [`Knowledge::predict_batch`] would have
+    /// succeeded, with bit-identical predictions.
+    pub fn predict_batch_supervised(&self, workloads: &[Workload]) -> Vec<RequestOutcome> {
+        workloads
+            .par_iter()
+            .map(|w| {
+                let outcome = self.serve_supervised(w);
+                self.supervisor.record(&outcome);
+                RequestOutcome {
+                    workload_id: w.id,
+                    outcome,
+                }
+            })
+            .collect()
+    }
+
+    /// The sequential reference semantics of
+    /// [`Knowledge::predict_batch_supervised`].
+    pub fn predict_sequential_supervised(&self, workloads: &[Workload]) -> Vec<RequestOutcome> {
+        workloads
+            .iter()
+            .map(|w| {
+                let outcome = self.serve_supervised(w);
+                self.supervisor.record(&outcome);
+                RequestOutcome {
+                    workload_id: w.id,
+                    outcome,
+                }
+            })
+            .collect()
+    }
+
+    /// Serve one supervised request: gate, deadline, breakers, and the
+    /// service-level classification of the result.
+    fn serve_supervised(&self, workload: &Workload) -> Outcome {
+        let Some(_permit) = self.supervisor.gate().try_acquire() else {
+            return Outcome::Shed;
+        };
+        let deadline = self.supervisor.deadline();
+        let result =
+            self.session()
+                .predict_supervised(workload, &deadline, self.supervisor.breakers());
+        match result {
+            Ok(prediction) => {
+                // `trained_from_scratch` is deliberately NOT a degradation:
+                // the from-scratch fallback is part of the paper's normal
+                // algorithm and fires in a perfectly healthy system.
+                // Degraded means the *environment* interfered.
+                let mut reasons: Vec<String> = Vec::new();
+                if prediction.breaker_substitutions > 0 {
+                    reasons.push(format!(
+                        "{} reference draw(s) redirected by open breakers",
+                        prediction.breaker_substitutions
+                    ));
+                }
+                // Breaker redirects are reported inside failed_reference_vms
+                // too; subtract them so each loss is counted once.
+                let cloud_failures = prediction
+                    .failed_reference_vms
+                    .len()
+                    .saturating_sub(prediction.breaker_substitutions);
+                if cloud_failures > 0 {
+                    reasons.push(format!(
+                        "{cloud_failures} reference VM(s) lost to persistent cloud failures"
+                    ));
+                }
+                if reasons.is_empty() {
+                    Outcome::Ok(prediction)
+                } else {
+                    Outcome::Degraded {
+                        prediction,
+                        reason: reasons.join("; "),
+                    }
+                }
+            }
+            Err(error) => Outcome::Failed { error },
+        }
+    }
+
+    /// The supervision runtime attached to this handle.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// Snapshot of the supervision counters (outcomes, breaker activity).
+    pub fn supervisor_report(&self) -> SupervisorReport {
+        self.supervisor.report()
     }
 
     /// Park a served prediction for absorption into the overlay. Readers
@@ -345,14 +452,96 @@ impl Knowledge {
     /// each workload is absorbed at most once. Returns how many workloads
     /// were newly absorbed.
     pub fn absorb_pending(&self) -> usize {
+        let records = self.take_new_absorptions();
+        self.publish_absorptions(records)
+    }
+
+    /// [`Knowledge::absorb_pending`] with crash consistency: the batch of
+    /// genuinely-new records is appended (and flushed) to `journal`
+    /// *before* the overlay publish, so
+    /// [`Knowledge::recover`] can rebuild the published overlay from the
+    /// base snapshot plus the journal after a crash at any point. When the
+    /// append fails, nothing is published and the records stay consumed
+    /// from the pending queue is *not* guaranteed — callers should treat a
+    /// journal error as fatal for this handle.
+    pub fn absorb_pending_journaled(
+        &self,
+        journal: &mut AbsorptionJournal,
+    ) -> Result<usize, VestaError> {
+        let records = self.take_new_absorptions();
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let journal_records: Vec<JournalRecord> = records
+            .iter()
+            .map(|r| JournalRecord {
+                workload_id: r.workload_id,
+                edges: r.edges.clone(),
+                curve: r.curve.clone(),
+            })
+            .collect();
+        journal.append(&journal_records)?;
+        Ok(self.publish_absorptions(records))
+    }
+
+    /// Rebuild a handle from a base snapshot plus an absorption journal:
+    /// [`Knowledge::from_snapshot`], then every complete journal record is
+    /// folded through the exact publish path live absorptions take, in
+    /// journal (append) order. A handle recovered this way is
+    /// bit-identical to one that absorbed exactly the journal's surviving
+    /// records — torn or corrupt tail records are dropped, never
+    /// half-applied.
+    pub fn recover(
+        snapshot: KnowledgeSnapshot,
+        journal: impl AsRef<std::path::Path>,
+        catalog: Catalog,
+    ) -> Result<Self, VestaError> {
+        let handle = Self::from_snapshot(snapshot, catalog)?;
+        let records: Vec<PendingAbsorb> = AbsorptionJournal::replay(journal)?
+            .into_iter()
+            .map(|r| PendingAbsorb {
+                workload_id: r.workload_id,
+                edges: r.edges,
+                curve: r.curve,
+            })
+            .collect();
+        handle.publish_absorptions(records);
+        Ok(handle)
+    }
+
+    /// Drain the pending queue into the per-batch publish order: sorted by
+    /// workload id, minus records whose workload the published overlay (or
+    /// an earlier record of this batch) already absorbed.
+    fn take_new_absorptions(&self) -> Vec<PendingAbsorb> {
         let mut drained = self.pending.drain();
         if drained.is_empty() {
-            return 0;
+            return drained;
         }
         drained.sort_by_key(|r| r.workload_id);
+        let overlay = self.overlay.read();
+        let mut fresh_ids: Vec<u64> = Vec::new();
+        drained.retain(|r| {
+            let fresh =
+                !overlay.absorbed.contains(&r.workload_id) && !fresh_ids.contains(&r.workload_id);
+            if fresh {
+                fresh_ids.push(r.workload_id);
+            }
+            fresh
+        });
+        drained
+    }
+
+    /// Fold `records` (in order) into a fresh overlay and publish it with
+    /// one `Arc` swap, skipping workloads absorbed meanwhile. The single
+    /// fold shared by live publishes and journal recovery, so both produce
+    /// identical overlays from identical record sequences.
+    fn publish_absorptions(&self, records: Vec<PendingAbsorb>) -> usize {
+        if records.is_empty() {
+            return 0;
+        }
         let mut next = (**self.overlay.read()).clone();
         let mut added = 0;
-        for rec in drained {
+        for rec in records {
             if next.absorbed.contains(&rec.workload_id) {
                 continue;
             }
@@ -409,7 +598,10 @@ impl Knowledge {
     /// `catalog`, the overlay is installed as published, and the CMF warm
     /// start is re-prefit (it is deterministic in the model and config,
     /// so the rebuilt handle predicts bit-identically).
-    pub fn from_snapshot(snapshot: KnowledgeSnapshot, catalog: Catalog) -> Result<Self, VestaError> {
+    pub fn from_snapshot(
+        snapshot: KnowledgeSnapshot,
+        catalog: Catalog,
+    ) -> Result<Self, VestaError> {
         let overlay = snapshot.overlay.clone();
         let model = OfflineModel::from_snapshot(snapshot)?;
         if model.vm_clusters.len() != catalog.len() {
@@ -431,10 +623,7 @@ impl Knowledge {
     }
 
     /// Load a handle saved by [`Knowledge::save`].
-    pub fn load(
-        path: impl AsRef<std::path::Path>,
-        catalog: Catalog,
-    ) -> Result<Self, VestaError> {
+    pub fn load(path: impl AsRef<std::path::Path>, catalog: Catalog) -> Result<Self, VestaError> {
         let json = std::fs::read_to_string(path)
             .map_err(|e| VestaError::Config(format!("read knowledge: {e}")))?;
         let snap: KnowledgeSnapshot = serde_json::from_str(&json)
@@ -484,6 +673,25 @@ impl PredictionSession {
     /// Predict the best VM type for `workload` (Algorithm 1, full flow,
     /// memoized reference runs + warm-started CMF).
     pub fn predict(&self, workload: &Workload) -> Result<Prediction, VestaError> {
+        self.predict_supervised(workload, &Deadline::none(), None)
+    }
+
+    /// [`PredictionSession::predict`] under serving-layer supervision: the
+    /// `deadline` is checked cooperatively between pipeline stages (and
+    /// between CMF epochs), and open `breakers` redirect reference draws
+    /// away from failing VMs before any runs are spent on them. With
+    /// [`Deadline::none`] and no breakers this is bit-identical to the
+    /// unsupervised path.
+    ///
+    /// Caveat: reference phases are memoized by fingerprint only, so a
+    /// phase computed while a breaker was open is reused verbatim by later
+    /// requests with the same fingerprint even after the breaker closes.
+    pub fn predict_supervised(
+        &self,
+        workload: &Workload,
+        deadline: &Deadline,
+        breakers: Option<&BreakerTable>,
+    ) -> Result<Prediction, VestaError> {
         let cfg = &self.model.config;
         let fp = WorkloadFingerprint::of(workload, cfg);
 
@@ -493,7 +701,7 @@ impl PredictionSession {
             None => {
                 // Errors are not cached: a failed compute is retried by the
                 // next request with this fingerprint.
-                let computed = self.compute_reference(workload, fp)?;
+                let computed = self.compute_reference(workload, fp, deadline, breakers)?;
                 self.ref_cache.insert(fp.as_u64(), computed)
             }
         };
@@ -509,7 +717,16 @@ impl PredictionSession {
             target: &cached.row,
             target_mask: &cached.mask,
         };
-        let cmf = solve_with(&problem, &cfg.cmf(), Some(&self.warm))?;
+        let cmf = solve_with_cancel(&problem, &cfg.cmf(), Some(&self.warm), &mut || {
+            deadline.expired()
+        })?;
+        if cmf.outcome.cancelled {
+            return Err(VestaError::DeadlineExceeded(PartialProgress {
+                stage: "cmf-solve".into(),
+                completed: cmf.outcome.epochs,
+                total: cfg.sgd.max_epochs,
+            }));
+        }
         let converged = cmf.outcome.converged;
         let source_affinities = source_affinities_of(&self.model, &cmf);
 
@@ -534,6 +751,13 @@ impl PredictionSession {
         // ---- fallback widening, memoized by fingerprint -----------------
         let mut trained_from_scratch = false;
         if !converged || cached.phase.underfilled {
+            if deadline.expired() {
+                return Err(VestaError::DeadlineExceeded(PartialProgress {
+                    stage: "fallback-widening".into(),
+                    completed: 0,
+                    total: self.fallback_extra_vms,
+                }));
+            }
             trained_from_scratch = true;
             let fb = match self.fallback_cache.get(fp.as_u64()) {
                 Some(f) => f,
@@ -578,6 +802,7 @@ impl PredictionSession {
                 .map(VmTypeId::new)
                 .collect(),
             extra_reference_runs: extra_attempts,
+            breaker_substitutions: cached.phase.breaker_substitutions,
         })
     }
 
@@ -593,14 +818,18 @@ impl PredictionSession {
         &self,
         workload: &Workload,
         fp: WorkloadFingerprint,
+        deadline: &Deadline,
+        breakers: Option<&BreakerTable>,
     ) -> Result<CachedReference, VestaError> {
         let collector = fresh_collector(&self.model);
-        let phase = gather_references(
+        let phase = gather_references_supervised(
             &self.model,
             &self.catalog,
             &collector,
             workload,
             fp.as_u64(),
+            deadline,
+            breakers,
         )?;
         let (row, mask) = observed_row(&self.model, &collector, workload.id, &phase.reference)?;
         self.runs
@@ -623,7 +852,8 @@ impl PredictionSession {
             self.fallback_extra_vms,
             tried,
         );
-        let observed = run_references(&collector, &self.catalog, cfg.online_reps, workload, &extra)?;
+        let observed =
+            run_references(&collector, &self.catalog, cfg.online_reps, workload, &extra)?;
         self.runs
             .fetch_add(collector.runs_consumed(), Ordering::Relaxed);
         Ok(FallbackRuns {
@@ -645,8 +875,7 @@ mod tests {
         CELL.get_or_init(|| {
             let suite = Suite::paper();
             let catalog = Catalog::aws_ec2();
-            let sources: Vec<&Workload> =
-                suite.source_training().into_iter().take(6).collect();
+            let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
             let cfg = VestaConfig::fast()
                 .to_builder()
                 .offline_reps(2)
@@ -673,8 +902,7 @@ mod tests {
     fn batch_is_bit_identical_to_sequential() {
         let (suite, knowledge) = shared();
         // Include a duplicate so the cache path is exercised in-batch.
-        let mut workloads: Vec<Workload> =
-            suite.target().into_iter().take(4).cloned().collect();
+        let mut workloads: Vec<Workload> = suite.target().into_iter().take(4).cloned().collect();
         workloads.push(workloads[0].clone());
         let batch = knowledge.predict_batch(&workloads).unwrap();
         let seq = knowledge.predict_sequential(&workloads).unwrap();
@@ -729,8 +957,12 @@ mod tests {
     fn absorption_is_deferred_ordered_and_idempotent() {
         let (suite, _) = shared();
         let knowledge = own_handle();
-        let a = knowledge.predict(suite.by_name("Flink-grep").unwrap()).unwrap();
-        let b = knowledge.predict(suite.by_name("Flink-sort").unwrap()).unwrap();
+        let a = knowledge
+            .predict(suite.by_name("Flink-grep").unwrap())
+            .unwrap();
+        let b = knowledge
+            .predict(suite.by_name("Flink-sort").unwrap())
+            .unwrap();
         let before = knowledge.absorbed_count();
         // Push out of order, twice each: the publish is ordered + deduped.
         knowledge.absorb(&b);
@@ -773,7 +1005,11 @@ mod tests {
         let suite = Suite::paper();
         let catalog = Catalog::aws_ec2();
         let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
-        let cfg = VestaConfig::fast().to_builder().offline_reps(2).build().unwrap();
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .unwrap();
         let vesta = Vesta::train(catalog, &sources, cfg).unwrap();
         let knowledge = vesta.into_knowledge().unwrap();
         let p = knowledge

@@ -75,9 +75,8 @@ pub fn explain(
     workload: &Workload,
     prediction: &Prediction,
 ) -> Result<Explanation, VestaError> {
-    let vm_name = |id: VmTypeId| -> Result<String, VestaError> {
-        Ok(catalog.get(id)?.name.clone())
-    };
+    let vm_name =
+        |id: VmTypeId| -> Result<String, VestaError> { Ok(catalog.get(id)?.name.clone()) };
     let workload_name = |id: u64| -> String {
         suite
             .by_id(id)

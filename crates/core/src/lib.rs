@@ -32,6 +32,7 @@ pub mod explain;
 pub mod offline;
 pub mod online;
 pub mod snapshot;
+pub mod supervisor;
 pub mod vesta;
 
 pub use analyzer::{Analysis, CorrelationAnalyzer};
@@ -46,6 +47,10 @@ pub use explain::{explain, Explanation};
 pub use offline::OfflineModel;
 pub use online::{OnlinePredictor, Prediction};
 pub use snapshot::{KnowledgeSnapshot, SNAPSHOT_VERSION};
+pub use supervisor::{
+    AbsorptionJournal, AdmissionGate, BreakerDecision, BreakerTable, Deadline, JournalRecord,
+    Outcome, PartialProgress, RequestOutcome, Supervisor, SupervisorConfig, SupervisorReport,
+};
 pub use vesta::{ground_truth_ranking, ground_truth_score, selection_error_pct, Vesta};
 
 use std::fmt;
@@ -67,6 +72,24 @@ pub enum VestaError {
     Ml(vesta_ml::MlError),
     /// Error from the bipartite-graph substrate.
     Graph(vesta_graph::GraphError),
+    /// A per-request deadline fired mid-pipeline; carries how far the
+    /// request got (see [`supervisor::PartialProgress`]).
+    DeadlineExceeded(supervisor::PartialProgress),
+}
+
+impl VestaError {
+    /// True when the failure is a property of the environment at this
+    /// instant — a transient cloud failure, a capacity error, or an
+    /// expired deadline — so retrying (possibly elsewhere, possibly with a
+    /// fresh deadline) may succeed. Retry/shed policy must branch on this,
+    /// never on rendered error text.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            VestaError::Sim(e) => e.is_transient(),
+            VestaError::DeadlineExceeded(_) => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for VestaError {
@@ -77,6 +100,7 @@ impl fmt::Display for VestaError {
             VestaError::Sim(e) => write!(f, "simulator: {e}"),
             VestaError::Ml(e) => write!(f, "ml: {e}"),
             VestaError::Graph(e) => write!(f, "graph: {e}"),
+            VestaError::DeadlineExceeded(p) => write!(f, "deadline exceeded during {p}"),
         }
     }
 }
@@ -113,10 +137,39 @@ mod tests {
             VestaError::Sim(vesta_cloud_sim::SimError::NoData("c".into())),
             VestaError::Ml(vesta_ml::MlError::InvalidParameter("d".into())),
             VestaError::Graph(vesta_graph::GraphError::Shape("e".into())),
+            VestaError::DeadlineExceeded(supervisor::PartialProgress {
+                stage: "reference-runs".into(),
+                completed: 2,
+                total: 4,
+            }),
         ];
         for e in es {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn transience_is_typed_not_string_matched() {
+        assert!(
+            VestaError::Sim(vesta_cloud_sim::SimError::TransientFailure {
+                workload_id: 1,
+                vm_id: 2,
+                attempts: 3,
+            })
+            .is_transient()
+        );
+        assert!(
+            VestaError::Sim(vesta_cloud_sim::SimError::VmUnavailable { vm_id: 4 }).is_transient()
+        );
+        assert!(VestaError::DeadlineExceeded(supervisor::PartialProgress {
+            stage: "cmf-solve".into(),
+            completed: 10,
+            total: 800,
+        })
+        .is_transient());
+        assert!(!VestaError::Config("bad lambda".into()).is_transient());
+        assert!(!VestaError::NoKnowledge("empty".into()).is_transient());
+        assert!(!VestaError::Sim(vesta_cloud_sim::SimError::NoData("x".into())).is_transient());
     }
 
     #[test]

@@ -81,9 +81,7 @@ impl OfflineModel {
         // ---- Eq. 3: source workload-label layer --------------------------
         let mut graph = TwoLayerGraph::new(analysis.label_space.clone());
         for (&wid, cv) in &analysis.workload_correlations {
-            let labels = analysis
-                .label_space
-                .labels_for(cv.as_slice())?;
+            let labels = analysis.label_space.labels_for(cv.as_slice())?;
             for l in labels {
                 graph.source_layer.set_edge(wid, l, 1.0);
             }

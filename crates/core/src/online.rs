@@ -28,13 +28,14 @@ use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vesta_cloud_sim::{Catalog, FaultPlan, RetryPolicy, RunKey, SimError, Simulator, VmTypeId};
+use vesta_cloud_sim::{Catalog, FaultPlan, RetryPolicy, RunKey, Simulator, VmTypeId};
 use vesta_ml::cmf::{solve as cmf_solve, CmfModel, CmfProblem, Mask};
 use vesta_ml::Matrix;
 use vesta_workloads::Workload;
 
 use crate::collector::DataCollector;
 use crate::offline::OfflineModel;
+use crate::supervisor::{BreakerDecision, BreakerTable, Deadline, PartialProgress};
 use crate::VestaError;
 
 /// Outcome of one online prediction.
@@ -70,6 +71,9 @@ pub struct Prediction {
     /// prediction — the extra overhead the fault plan cost on top of
     /// `reference_vms × online_reps`.
     pub extra_reference_runs: usize,
+    /// Reference draws refused by an open circuit breaker and redirected
+    /// to a deterministic replacement VM; always 0 without supervision.
+    pub breaker_substitutions: usize,
 }
 
 impl Prediction {
@@ -217,7 +221,8 @@ impl<'a> OnlinePredictor<'a> {
         let mut trained_from_scratch = false;
         if !converged || reference_underfilled {
             trained_from_scratch = true;
-            let extra = self.random_vms(workload.id ^ FALLBACK_SALT, self.fallback_extra_vms, &tried);
+            let extra =
+                self.random_vms(workload.id ^ FALLBACK_SALT, self.fallback_extra_vms, &tried);
             let extra_obs = run_references(
                 &self.collector,
                 self.catalog,
@@ -252,8 +257,12 @@ impl<'a> OnlinePredictor<'a> {
             source_affinities,
             observed_density,
             target_labels,
-            failed_reference_vms: failed_reference_vms.into_iter().map(VmTypeId::new).collect(),
+            failed_reference_vms: failed_reference_vms
+                .into_iter()
+                .map(VmTypeId::new)
+                .collect(),
             extra_reference_runs: self.collector.failed_attempts() - failed_attempts_before,
+            breaker_substitutions: 0,
         })
     }
 
@@ -312,6 +321,9 @@ pub(crate) struct ReferencePhase {
     pub underfilled: bool,
     /// Simulated runs charged to failed attempts during this phase.
     pub extra_attempts: usize,
+    /// Draws refused by an open circuit breaker and redirected; 0 when no
+    /// breaker table is supplied.
+    pub breaker_substitutions: usize,
 }
 
 /// Fresh collector wired exactly as a new deployment of the online phase:
@@ -356,7 +368,12 @@ pub(crate) fn sandbox_vm_for(catalog: &Catalog, workload: &Workload) -> usize {
 }
 
 /// Draw `n` distinct VM ids from `seed`, never repeating `exclude`.
-pub(crate) fn random_vms_from(seed: u64, catalog_len: usize, n: usize, exclude: &[usize]) -> Vec<usize> {
+pub(crate) fn random_vms_from(
+    seed: u64,
+    catalog_len: usize,
+    n: usize,
+    exclude: &[usize],
+) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut picked = Vec::with_capacity(n);
     while picked.len() < n && picked.len() + exclude.len() < catalog_len {
@@ -387,13 +404,10 @@ fn run_reference(
 
 /// True when a reference-run error means "this VM is a lost cause for
 /// now" (exhausted retries or a capacity error) rather than a bug the
-/// caller must see.
+/// caller must see. Branches on [`vesta_cloud_sim::SimError::is_transient`] — never on
+/// rendered error text — so new error variants classify themselves.
 fn is_persistent_vm_failure(err: &VestaError) -> bool {
-    matches!(
-        err,
-        VestaError::Sim(SimError::TransientFailure { .. })
-            | VestaError::Sim(SimError::VmUnavailable { .. })
-    )
+    matches!(err, VestaError::Sim(e) if e.is_transient())
 }
 
 /// Run the reference VMs and return `(vm, observed P90)` pairs.
@@ -419,13 +433,73 @@ pub(crate) fn run_references(
 
 /// Algorithm 1 lines 1-2 with the fault-tolerant redraw loop: sandbox +
 /// random references, each persistent failure replaced by a bounded,
-/// deterministic redraw keyed off `identity`.
+/// deterministic redraw keyed off `identity`. Unsupervised entry point —
+/// delegates to [`gather_references_supervised`] with an inert deadline
+/// and no breakers, so both paths are one code path.
 pub(crate) fn gather_references(
     model: &OfflineModel,
     catalog: &Catalog,
     collector: &DataCollector,
     workload: &Workload,
     identity: u64,
+) -> Result<ReferencePhase, VestaError> {
+    gather_references_supervised(
+        model,
+        catalog,
+        collector,
+        workload,
+        identity,
+        &Deadline::none(),
+        None,
+    )
+}
+
+/// Draw one deterministic replacement VM after a reference draw was lost
+/// (persistent cloud failure or breaker refusal), bounded by
+/// `max_redraws`. Both loss causes share this machinery so the redraw
+/// schedule stays a pure function of `(seed, identity, redraw ordinal)`.
+#[allow(clippy::too_many_arguments)]
+fn redraw_replacement(
+    cfg_seed: u64,
+    identity: u64,
+    catalog_len: usize,
+    max_redraws: usize,
+    redraws: &mut usize,
+    tried: &mut Vec<usize>,
+    queue: &mut VecDeque<usize>,
+) {
+    if *redraws >= max_redraws {
+        return;
+    }
+    *redraws += 1;
+    let salt = REFERENCE_REDRAW_SALT.wrapping_add(*redraws as u64);
+    if let Some(&replacement) = random_vms_from(
+        reference_seed(cfg_seed, identity ^ salt),
+        catalog_len,
+        1,
+        tried,
+    )
+    .first()
+    {
+        tried.push(replacement);
+        queue.push_back(replacement);
+    }
+}
+
+/// [`gather_references`] under supervision: the deadline is checked
+/// cooperatively before every reference run, and each draw is admitted
+/// through the per-VM breaker table when one is supplied. Breaker
+/// refusals consume no simulated runs — the VM is recorded as failed and
+/// the draw is redirected through the same deterministic redraw machinery
+/// persistent cloud failures use.
+pub(crate) fn gather_references_supervised(
+    model: &OfflineModel,
+    catalog: &Catalog,
+    collector: &DataCollector,
+    workload: &Workload,
+    identity: u64,
+    deadline: &Deadline,
+    breakers: Option<&BreakerTable>,
 ) -> Result<ReferencePhase, VestaError> {
     let cfg = &model.config;
     let failed_before = collector.failed_attempts();
@@ -445,29 +519,53 @@ pub(crate) fn gather_references(
     let mut observed: Vec<(usize, f64)> = Vec::with_capacity(target_refs);
     let mut failed_reference_vms: Vec<usize> = Vec::new();
     let mut redraws = 0usize;
+    let mut breaker_substitutions = 0usize;
     while let Some(vm_id) = queue.pop_front() {
+        if deadline.expired() {
+            return Err(VestaError::DeadlineExceeded(PartialProgress {
+                stage: "reference-runs".into(),
+                completed: observed.len(),
+                total: target_refs,
+            }));
+        }
+        if let Some(table) = breakers {
+            if table.admit(vm_id) == BreakerDecision::Refuse {
+                failed_reference_vms.push(vm_id);
+                breaker_substitutions += 1;
+                redraw_replacement(
+                    cfg.seed,
+                    identity,
+                    catalog.len(),
+                    max_redraws,
+                    &mut redraws,
+                    &mut tried,
+                    &mut queue,
+                );
+                continue;
+            }
+        }
         match run_reference(collector, catalog, cfg.online_reps, workload, vm_id) {
             Ok(pair) => {
+                if let Some(table) = breakers {
+                    table.record_success(vm_id);
+                }
                 reference.push(vm_id);
                 observed.push(pair);
             }
             Err(e) if is_persistent_vm_failure(&e) => {
-                failed_reference_vms.push(vm_id);
-                if redraws < max_redraws {
-                    redraws += 1;
-                    let salt = REFERENCE_REDRAW_SALT.wrapping_add(redraws as u64);
-                    if let Some(&replacement) = random_vms_from(
-                        reference_seed(cfg.seed, identity ^ salt),
-                        catalog.len(),
-                        1,
-                        &tried,
-                    )
-                    .first()
-                    {
-                        tried.push(replacement);
-                        queue.push_back(replacement);
-                    }
+                if let Some(table) = breakers {
+                    table.record_failure(vm_id);
                 }
+                failed_reference_vms.push(vm_id);
+                redraw_replacement(
+                    cfg.seed,
+                    identity,
+                    catalog.len(),
+                    max_redraws,
+                    &mut redraws,
+                    &mut tried,
+                    &mut queue,
+                );
             }
             Err(e) => return Err(e),
         }
@@ -488,6 +586,7 @@ pub(crate) fn gather_references(
         tried,
         underfilled,
         extra_attempts: collector.failed_attempts() - failed_before,
+        breaker_substitutions,
     })
 }
 
@@ -893,7 +992,7 @@ mod tests {
         let p = predictor.predict(w).unwrap();
         assert!(p.best_vm.index() < catalog.len());
         assert_eq!(p.observed.len(), p.reference_vms);
-        assert!(p.reference_vms >= 1 + model.config.online_random_vms);
+        assert!(p.reference_vms > model.config.online_random_vms);
         assert!(!p.predicted_times.is_empty());
         assert!(!p.source_affinities.is_empty());
         assert!(p.best_predicted_time().is_finite());
@@ -981,11 +1080,7 @@ mod tests {
             assert_eq!(ta.to_bits(), tb.to_bits());
         }
         assert_eq!(plain.predicted_times.len(), injected.predicted_times.len());
-        for ((va, ta), (vb, tb)) in plain
-            .predicted_times
-            .iter()
-            .zip(&injected.predicted_times)
-        {
+        for ((va, ta), (vb, tb)) in plain.predicted_times.iter().zip(&injected.predicted_times) {
             assert_eq!(va, vb);
             assert_eq!(ta.to_bits(), tb.to_bits());
         }
@@ -1004,8 +1099,8 @@ mod tests {
             sample_dropout_rate: 0.05,
             ..FaultPlan::none()
         };
-        let predictor = OnlinePredictor::new(&model, &catalog)
-            .with_faults(plan, RetryPolicy::default());
+        let predictor =
+            OnlinePredictor::new(&model, &catalog).with_faults(plan, RetryPolicy::default());
         let mut saw_failure = false;
         for w in suite.target().into_iter().take(4) {
             let p = predictor.predict(w).expect("prediction survives faults");

@@ -55,6 +55,23 @@ pub struct KnowledgeSnapshot {
     pub overlay: crate::engine::SessionOverlay,
 }
 
+impl KnowledgeSnapshot {
+    /// Structural equality of the state a prediction depends on: the
+    /// factor matrices, the source-row ordering, and — the only part that
+    /// mutates after training — the published absorption overlay. Two
+    /// snapshots for which this holds serve bit-identical predictions;
+    /// crash-recovery tests use it to prove a journal replay reconstructed
+    /// the exact pre-crash overlay.
+    pub fn same_state(&self, other: &KnowledgeSnapshot) -> bool {
+        self.version == other.version
+            && self.source_order == other.source_order
+            && self.offline_runs == other.offline_runs
+            && self.u == other.u
+            && self.v == other.v
+            && self.overlay == other.overlay
+    }
+}
+
 impl OfflineModel {
     /// Export the model as a snapshot.
     pub fn to_snapshot(&self) -> KnowledgeSnapshot {

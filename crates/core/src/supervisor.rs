@@ -1,0 +1,1114 @@
+//! Serving-layer supervision: deadlines, per-VM circuit breakers,
+//! admission control and crash-consistent absorption journaling.
+//!
+//! The batch engine of [`crate::engine`] is a *throughput* layer — it
+//! assumes every request is welcome, every VM is willing, and the process
+//! never dies mid-publish. This module wraps it with the serving-side
+//! controls a long-running prediction service needs:
+//!
+//! * [`Deadline`] — a cooperative cancellation token threaded through the
+//!   reference phase and the CMF solve. Expiry surfaces as the typed
+//!   [`crate::VestaError::DeadlineExceeded`] carrying [`PartialProgress`],
+//!   never as a stringly error.
+//! * [`BreakerTable`] — one circuit breaker per VM type
+//!   (Closed → Open → HalfOpen). A VM whose reference runs keep failing
+//!   is refused for a fixed number of admissions, then probed with a
+//!   single request; the engine redirects refused draws through the same
+//!   deterministic redraw machinery persistent cloud failures use.
+//! * [`AdmissionGate`] — a bounded in-flight permit counter so a batch
+//!   cannot oversubscribe the process; refused requests are *shed* with a
+//!   typed [`Outcome::Shed`], not errored.
+//! * [`AbsorptionJournal`] — an append-only, checksummed record log
+//!   written (and flushed) *before* each overlay publish, so a crashed
+//!   process can rebuild its absorbed overlay bit-identically from its
+//!   base snapshot plus the journal's surviving complete records.
+//!
+//! Everything here is off by default ([`SupervisorConfig::default`]) and
+//! provably inert when off: with no deadline, no breaker threshold and no
+//! in-flight bound, the supervised paths take the exact branch structure
+//! of the unsupervised ones.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::online::Prediction;
+use crate::VestaError;
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+/// How far a cancelled request got before its deadline fired. Carried by
+/// [`crate::VestaError::DeadlineExceeded`] so callers can bill partial
+/// work or decide whether retrying is worth it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialProgress {
+    /// Pipeline stage that was interrupted (`"reference-runs"`,
+    /// `"cmf-solve"`, `"fallback-widening"`).
+    pub stage: String,
+    /// Units completed within the stage (runs landed, epochs finished).
+    pub completed: usize,
+    /// Units the stage was aiming for.
+    pub total: usize,
+}
+
+impl std::fmt::Display for PartialProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}/{} complete",
+            self.stage, self.completed, self.total
+        )
+    }
+}
+
+#[derive(Debug)]
+struct DeadlineInner {
+    /// Wall-clock expiry, when the deadline is time-based.
+    expires_at: Option<Instant>,
+    /// Remaining `expired()` calls before firing, when the deadline is a
+    /// deterministic check budget (tests, replayable chaos runs).
+    checks_left: Option<AtomicI64>,
+    /// Explicit cancellation, set by [`Deadline::cancel`].
+    cancelled: AtomicBool,
+}
+
+/// Cooperative cancellation token. Cloning shares the token: a clone
+/// expiring (or being cancelled) expires every holder.
+///
+/// [`Deadline::none`] is the always-live token — a `None` inside, so the
+/// hot-path check is one branch and supervised code paths cost nothing
+/// when supervision is off.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline(Option<Arc<DeadlineInner>>);
+
+impl Deadline {
+    /// A deadline that never fires; `expired()` is a single `None` check.
+    pub fn none() -> Self {
+        Deadline(None)
+    }
+
+    /// Wall-clock deadline: fires once `timeout` has elapsed from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline(Some(Arc::new(DeadlineInner {
+            expires_at: Some(Instant::now() + timeout),
+            checks_left: None,
+            cancelled: AtomicBool::new(false),
+        })))
+    }
+
+    /// Deterministic deadline: the first `n` calls to [`Deadline::expired`]
+    /// return false, every later call returns true. Wall-clock-free, so
+    /// tests can cancel at an exact pipeline point.
+    pub fn checks(n: u64) -> Self {
+        Deadline(Some(Arc::new(DeadlineInner {
+            expires_at: None,
+            checks_left: Some(AtomicI64::new(n.min(i64::MAX as u64) as i64)),
+            cancelled: AtomicBool::new(false),
+        })))
+    }
+
+    /// A deadline with no expiry that only fires via [`Deadline::cancel`].
+    pub fn manual() -> Self {
+        Deadline(Some(Arc::new(DeadlineInner {
+            expires_at: None,
+            checks_left: None,
+            cancelled: AtomicBool::new(false),
+        })))
+    }
+
+    /// Cancel the token explicitly; a no-op on [`Deadline::none`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.0 {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Has this deadline fired? Checked cooperatively between pipeline
+    /// units of work (reference runs, SGD epochs).
+    pub fn expired(&self) -> bool {
+        let Some(inner) = &self.0 else { return false };
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(at) = inner.expires_at {
+            if Instant::now() >= at {
+                return true;
+            }
+        }
+        if let Some(budget) = &inner.checks_left {
+            if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-VM circuit breakers
+// ---------------------------------------------------------------------------
+
+/// What the breaker decided about an admission request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Closed breaker: proceed normally.
+    Allow,
+    /// Half-open breaker: proceed, but this is the single trial request —
+    /// its result decides whether the breaker closes or re-opens.
+    Probe,
+    /// Open breaker: do not touch this VM; the caller substitutes another.
+    Refuse,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy; counts consecutive failures toward the trip threshold.
+    Closed { consecutive_failures: u32 },
+    /// Tripped; refuses `skips_left` more admissions before probing.
+    Open { skips_left: u32 },
+    /// One probe is in flight; further admissions are refused until its
+    /// result is recorded.
+    HalfOpen,
+}
+
+/// One circuit breaker per VM type, sharded behind per-slot mutexes so
+/// concurrent sessions contend only when they touch the same VM.
+///
+/// State machine (count-based, wall-clock-free so schedules stay
+/// reproducible):
+///
+/// ```text
+///              >= threshold consecutive failures
+///   Closed ────────────────────────────────────────> Open
+///     ^                                                │ refuses
+///     │ probe succeeds                                 │ `probe_after`
+///     │                                                │ admissions
+///   HalfOpen <─────────────────────────────────────────┘
+///     │ probe fails
+///     └───────────────────────────────────────────────> Open (re-trip)
+/// ```
+#[derive(Debug)]
+pub struct BreakerTable {
+    threshold: u32,
+    probe_after: u32,
+    slots: Vec<Mutex<BreakerState>>,
+    trips: AtomicU64,
+    refusals: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl BreakerTable {
+    /// A table of `n_vms` closed breakers tripping after `threshold`
+    /// consecutive failures and probing after `probe_after` refused
+    /// admissions. `threshold == 0` disables tripping entirely.
+    pub fn new(n_vms: usize, threshold: u32, probe_after: u32) -> Self {
+        BreakerTable {
+            threshold,
+            probe_after: probe_after.max(1),
+            slots: (0..n_vms)
+                .map(|_| {
+                    Mutex::new(BreakerState::Closed {
+                        consecutive_failures: 0,
+                    })
+                })
+                .collect(),
+            trips: AtomicU64::new(0),
+            refusals: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    fn slot(&self, vm_id: usize) -> Option<&Mutex<BreakerState>> {
+        self.slots.get(vm_id)
+    }
+
+    /// Ask to run on `vm_id`. Unknown VM ids are always allowed (the
+    /// catalog validation downstream reports them properly).
+    pub fn admit(&self, vm_id: usize) -> BreakerDecision {
+        let Some(slot) = self.slot(vm_id) else {
+            return BreakerDecision::Allow;
+        };
+        let mut state = slot.lock();
+        match *state {
+            BreakerState::Closed { .. } => BreakerDecision::Allow,
+            BreakerState::Open { skips_left } => {
+                if skips_left <= 1 {
+                    *state = BreakerState::HalfOpen;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    BreakerDecision::Probe
+                } else {
+                    *state = BreakerState::Open {
+                        skips_left: skips_left - 1,
+                    };
+                    self.refusals.fetch_add(1, Ordering::Relaxed);
+                    BreakerDecision::Refuse
+                }
+            }
+            BreakerState::HalfOpen => {
+                // A probe is already in flight; everyone else waits out
+                // its verdict.
+                self.refusals.fetch_add(1, Ordering::Relaxed);
+                BreakerDecision::Refuse
+            }
+        }
+    }
+
+    /// Record a successful run on `vm_id`: resets the failure streak and
+    /// closes a half-open breaker.
+    pub fn record_success(&self, vm_id: usize) {
+        if let Some(slot) = self.slot(vm_id) {
+            *slot.lock() = BreakerState::Closed {
+                consecutive_failures: 0,
+            };
+        }
+    }
+
+    /// Record a failed run on `vm_id`: extends the streak, trips the
+    /// breaker at the threshold, and re-opens a failed probe.
+    pub fn record_failure(&self, vm_id: usize) {
+        if self.threshold == 0 {
+            return;
+        }
+        let Some(slot) = self.slot(vm_id) else { return };
+        let mut state = slot.lock();
+        match *state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let streak = consecutive_failures + 1;
+                if streak >= self.threshold {
+                    *state = BreakerState::Open {
+                        skips_left: self.probe_after,
+                    };
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    *state = BreakerState::Closed {
+                        consecutive_failures: streak,
+                    };
+                }
+            }
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open {
+                    skips_left: self.probe_after,
+                };
+                self.trips.fetch_add(1, Ordering::Relaxed);
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Times any breaker transitioned Closed/HalfOpen → Open.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Admissions refused by open (or probing) breakers.
+    pub fn refusals(&self) -> u64 {
+        self.refusals.load(Ordering::Relaxed)
+    }
+
+    /// Half-open trial requests issued.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Breakers currently not Closed.
+    pub fn open_now(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(*s.lock(), BreakerState::Closed { .. }))
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Bounded in-flight permit counter. `max == 0` means unbounded — the
+/// gate always admits and only counts.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max: usize,
+    in_flight: AtomicUsize,
+}
+
+/// RAII permit: dropping it releases the in-flight slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl AdmissionGate {
+    /// Gate admitting at most `max` concurrent holders (0 = unbounded).
+    pub fn new(max: usize) -> Self {
+        AdmissionGate {
+            max,
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Try to take a permit; `None` means the request must be shed.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        if self.max == 0 {
+            self.in_flight.fetch_add(1, Ordering::AcqRel);
+            return Some(Permit { gate: self });
+        }
+        let mut current = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if current >= self.max {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(Permit { gate: self }),
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Permits currently held.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request outcomes
+// ---------------------------------------------------------------------------
+
+/// Per-request result of a supervised batch: the service-level verdict,
+/// not just success-or-error.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Served cleanly.
+    Ok(Prediction),
+    /// Served, but quality was reduced along the way (fallback training,
+    /// substituted reference VMs, breaker redirects). The prediction is
+    /// still usable; `reason` says what degraded.
+    Degraded {
+        /// The served prediction.
+        prediction: Prediction,
+        /// Human-readable list of what went wrong on the way.
+        reason: String,
+    },
+    /// Refused by admission control before any work was done.
+    Shed,
+    /// The pipeline failed; `error` is the typed cause (including
+    /// [`crate::VestaError::DeadlineExceeded`]).
+    Failed {
+        /// The typed failure.
+        error: VestaError,
+    },
+}
+
+impl Outcome {
+    /// The prediction, when one was served (cleanly or degraded).
+    pub fn prediction(&self) -> Option<&Prediction> {
+        match self {
+            Outcome::Ok(p) | Outcome::Degraded { prediction: p, .. } => Some(p),
+            _ => None,
+        }
+    }
+
+    /// True only for [`Outcome::Failed`] — shed and degraded requests are
+    /// service-level successes.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Outcome::Failed { .. })
+    }
+
+    /// Stable label for tables and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Ok(_) => "ok",
+            Outcome::Degraded { .. } => "degraded",
+            Outcome::Shed => "shed",
+            Outcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// An [`Outcome`] tagged with the workload it belongs to, so batch results
+/// stay self-describing in input order.
+#[derive(Debug)]
+pub struct RequestOutcome {
+    /// The request's workload id.
+    pub workload_id: u64,
+    /// What the service did with it.
+    pub outcome: Outcome,
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor config + runtime
+// ---------------------------------------------------------------------------
+
+fn default_probe_after() -> u32 {
+    2
+}
+
+/// Serving-layer knobs. Everything defaults to *off*, under which the
+/// supervised code paths are bit-identical to the unsupervised ones.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Per-request deadline in milliseconds; 0 disables deadlines.
+    #[serde(default)]
+    pub deadline_ms: u64,
+    /// Consecutive reference-run failures on one VM type before its
+    /// breaker trips; 0 disables breakers.
+    #[serde(default)]
+    pub breaker_threshold: u32,
+    /// Admissions an open breaker refuses before letting one probe
+    /// through.
+    #[serde(default = "default_probe_after")]
+    pub breaker_probe_after: u32,
+    /// Maximum concurrently served requests in a supervised batch;
+    /// 0 disables shedding.
+    #[serde(default)]
+    pub max_in_flight: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            deadline_ms: 0,
+            breaker_threshold: 0,
+            breaker_probe_after: default_probe_after(),
+            max_in_flight: 0,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// True when every control is disabled (the default).
+    pub fn is_off(&self) -> bool {
+        self.deadline_ms == 0 && self.breaker_threshold == 0 && self.max_in_flight == 0
+    }
+}
+
+/// Monotonic counters of a running [`Supervisor`], snapshotted into the
+/// serializable [`SupervisorReport`].
+#[derive(Debug, Default)]
+struct SupervisorStats {
+    ok: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    deadline_hits: AtomicU64,
+}
+
+/// Serializable snapshot of everything the supervision layer counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SupervisorReport {
+    /// Requests served cleanly.
+    pub ok: u64,
+    /// Requests served degraded.
+    pub degraded: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests that failed.
+    pub failed: u64,
+    /// Failures caused specifically by deadline expiry.
+    pub deadline_hits: u64,
+    /// Breaker Closed/HalfOpen → Open transitions.
+    pub breaker_trips: u64,
+    /// Admissions refused by open breakers.
+    pub breaker_refusals: u64,
+    /// Half-open probe requests issued.
+    pub breaker_probes: u64,
+    /// Breakers not Closed at snapshot time.
+    pub open_breakers: usize,
+}
+
+impl SupervisorReport {
+    /// Total requests the supervisor classified.
+    pub fn total(&self) -> u64 {
+        self.ok + self.degraded + self.shed + self.failed
+    }
+}
+
+/// Runtime state of the serving controls attached to one
+/// [`crate::Knowledge`] handle.
+#[derive(Debug)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    breakers: Option<BreakerTable>,
+    gate: AdmissionGate,
+    stats: SupervisorStats,
+}
+
+impl Supervisor {
+    /// Build the runtime for `config` over a catalog of `n_vms` VM types.
+    pub fn new(config: SupervisorConfig, n_vms: usize) -> Self {
+        let breakers = (config.breaker_threshold > 0).then(|| {
+            BreakerTable::new(n_vms, config.breaker_threshold, config.breaker_probe_after)
+        });
+        let gate = AdmissionGate::new(config.max_in_flight);
+        Supervisor {
+            config,
+            breakers,
+            gate,
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// The knobs this supervisor was built from.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// A fresh per-request deadline (`none` when deadlines are off).
+    pub fn deadline(&self) -> Deadline {
+        if self.config.deadline_ms == 0 {
+            Deadline::none()
+        } else {
+            Deadline::after(Duration::from_millis(self.config.deadline_ms))
+        }
+    }
+
+    /// The breaker table, when breakers are enabled.
+    pub fn breakers(&self) -> Option<&BreakerTable> {
+        self.breakers.as_ref()
+    }
+
+    /// The admission gate.
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    /// Classify and count a finished request.
+    pub fn record(&self, outcome: &Outcome) {
+        let slot = match outcome {
+            Outcome::Ok(_) => &self.stats.ok,
+            Outcome::Degraded { .. } => &self.stats.degraded,
+            Outcome::Shed => &self.stats.shed,
+            Outcome::Failed { error } => {
+                if matches!(error, VestaError::DeadlineExceeded(_)) {
+                    self.stats.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                &self.stats.failed
+            }
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter.
+    pub fn report(&self) -> SupervisorReport {
+        let (trips, refusals, probes, open) = self
+            .breakers
+            .as_ref()
+            .map(|b| (b.trips(), b.refusals(), b.probes(), b.open_now()))
+            .unwrap_or_default();
+        SupervisorReport {
+            ok: self.stats.ok.load(Ordering::Relaxed),
+            degraded: self.stats.degraded.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            deadline_hits: self.stats.deadline_hits.load(Ordering::Relaxed),
+            breaker_trips: trips,
+            breaker_refusals: refusals,
+            breaker_probes: probes,
+            open_breakers: open,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistent absorption journal
+// ---------------------------------------------------------------------------
+
+/// One absorption, exactly as [`crate::Knowledge::absorb_pending`] would
+/// fold it into the overlay: the workload, its label→VM evidence edges,
+/// and its calibrated time curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// The absorbed workload.
+    pub workload_id: u64,
+    /// `(vm, label, weight)` overlay edges.
+    pub edges: Vec<(u64, vesta_graph::Label, f64)>,
+    /// Completed labels plus the calibrated per-VM time curve.
+    pub curve: (Vec<vesta_graph::Label>, BTreeMap<usize, f64>),
+}
+
+impl JournalRecord {
+    /// Serialize to the journal's little-endian binary payload:
+    ///
+    /// ```text
+    /// u64 workload_id
+    /// u32 n_edges,        then per edge:  u64 vm, u64 feature, u64 interval, f64 weight
+    /// u32 n_curve_labels, then per label: u64 feature, u64 interval
+    /// u32 n_curve_points, then per point: u64 vm, f64 seconds
+    /// ```
+    ///
+    /// Floats are stored as IEEE-754 bit patterns, so encode/decode is
+    /// exact (NaN included) and byte-deterministic for identical records.
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + 32 * self.edges.len());
+        buf.extend_from_slice(&self.workload_id.to_le_bytes());
+        buf.extend_from_slice(&(self.edges.len() as u32).to_le_bytes());
+        for (vm, label, w) in &self.edges {
+            buf.extend_from_slice(&vm.to_le_bytes());
+            buf.extend_from_slice(&(label.feature as u64).to_le_bytes());
+            buf.extend_from_slice(&(label.interval as u64).to_le_bytes());
+            buf.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+        let (labels, points) = &self.curve;
+        buf.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+        for label in labels {
+            buf.extend_from_slice(&(label.feature as u64).to_le_bytes());
+            buf.extend_from_slice(&(label.interval as u64).to_le_bytes());
+        }
+        buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+        for (vm, secs) in points {
+            buf.extend_from_slice(&(*vm as u64).to_le_bytes());
+            buf.extend_from_slice(&secs.to_bits().to_le_bytes());
+        }
+        buf
+    }
+
+    /// Inverse of [`JournalRecord::encode`]. `None` when the payload is
+    /// truncated, has trailing bytes, or a count field overruns it —
+    /// replay treats that as a corrupt record even if the CRC matched.
+    fn decode(bytes: &[u8]) -> Option<JournalRecord> {
+        struct Cursor<'a>(&'a [u8]);
+        impl Cursor<'_> {
+            fn take(&mut self, n: usize) -> Option<&[u8]> {
+                if self.0.len() < n {
+                    return None;
+                }
+                let (head, tail) = self.0.split_at(n);
+                self.0 = tail;
+                Some(head)
+            }
+            fn u32(&mut self) -> Option<u32> {
+                Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+            }
+            fn u64(&mut self) -> Option<u64> {
+                Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+            }
+            fn f64(&mut self) -> Option<f64> {
+                Some(f64::from_bits(self.u64()?))
+            }
+        }
+        let mut c = Cursor(bytes);
+        let workload_id = c.u64()?;
+        let n_edges = c.u32()? as usize;
+        let mut edges = Vec::with_capacity(n_edges.min(bytes.len() / 32));
+        for _ in 0..n_edges {
+            let vm = c.u64()?;
+            let label = vesta_graph::Label {
+                feature: c.u64()? as usize,
+                interval: c.u64()? as usize,
+            };
+            let w = c.f64()?;
+            edges.push((vm, label, w));
+        }
+        let n_labels = c.u32()? as usize;
+        let mut labels = Vec::with_capacity(n_labels.min(bytes.len() / 16));
+        for _ in 0..n_labels {
+            labels.push(vesta_graph::Label {
+                feature: c.u64()? as usize,
+                interval: c.u64()? as usize,
+            });
+        }
+        let n_points = c.u32()? as usize;
+        let mut points = BTreeMap::new();
+        for _ in 0..n_points {
+            let vm = c.u64()? as usize;
+            points.insert(vm, c.f64()?);
+        }
+        if !c.0.is_empty() {
+            return None; // trailing garbage after a well-formed prefix
+        }
+        Some(JournalRecord {
+            workload_id,
+            edges,
+            curve: (labels, points),
+        })
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — inlined so the
+/// journal carries checksums without a new dependency.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Largest payload the replay will trust; anything bigger is treated as a
+/// torn/corrupt length field.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// Append-only absorption log. Each record is framed as
+///
+/// ```text
+/// [u32 le payload length][u32 le CRC-32 of payload][payload bytes]
+/// ```
+///
+/// and the file is flushed to disk before the corresponding overlay
+/// publish, so the journal is always *ahead of or equal to* the published
+/// overlay. Replay ([`AbsorptionJournal::replay`]) stops at the first
+/// short, oversized or checksum-failing record — a torn final write is
+/// silently dropped, never misread.
+#[derive(Debug)]
+pub struct AbsorptionJournal {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl AbsorptionJournal {
+    /// Create (truncating any previous log) a journal at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, VestaError> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)
+            .map_err(|e| VestaError::Config(format!("create journal {}: {e}", path.display())))?;
+        Ok(AbsorptionJournal { path, file })
+    }
+
+    /// Open `path` for appending, creating it when missing. Existing
+    /// records are preserved.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, VestaError> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| VestaError::Config(format!("open journal {}: {e}", path.display())))?;
+        Ok(AbsorptionJournal { path, file })
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append `records` and flush them to disk. Returns only after the
+    /// bytes are durably queued — callers publish the matching overlay
+    /// *after* this returns.
+    pub fn append(&mut self, records: &[JournalRecord]) -> Result<(), VestaError> {
+        let mut buf = Vec::new();
+        for rec in records {
+            let payload = rec.encode();
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+            buf.extend_from_slice(&payload);
+        }
+        self.file
+            .write_all(&buf)
+            .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| VestaError::Config(format!("append journal {}: {e}", self.path.display())))
+    }
+
+    /// Replay every *complete* record of the journal at `path`, in append
+    /// order. A missing file replays as empty (nothing was ever absorbed).
+    /// Replay stops at the first torn or corrupt record: a crash mid-append
+    /// loses at most the batch being written, never an earlier one.
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<JournalRecord>, VestaError> {
+        let path = path.as_ref();
+        let mut bytes = Vec::new();
+        match std::fs::File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes).map_err(|e| {
+                    VestaError::Config(format!("read journal {}: {e}", path.display()))
+                })?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => {
+                return Err(VestaError::Config(format!(
+                    "open journal {}: {e}",
+                    path.display()
+                )))
+            }
+        }
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while bytes.len() - at >= 8 {
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_LEN {
+                break; // corrupt length field
+            }
+            let start = at + 8;
+            let Some(end) = start
+                .checked_add(len as usize)
+                .filter(|&e| e <= bytes.len())
+            else {
+                break; // torn payload
+            };
+            let payload = &bytes[start..end];
+            if crc32(payload) != crc {
+                break; // corrupt payload
+            }
+            let Some(rec) = JournalRecord::decode(payload) else {
+                break; // checksummed but unparsable: treat as corrupt
+            };
+            records.push(rec);
+            at = end;
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn none_deadline_never_expires_and_manual_cancels() {
+        let none = Deadline::none();
+        for _ in 0..1000 {
+            assert!(!none.expired());
+        }
+        none.cancel(); // no-op, must not panic
+        assert!(!none.expired());
+
+        let manual = Deadline::manual();
+        assert!(!manual.expired());
+        let shared = manual.clone();
+        shared.cancel();
+        assert!(manual.expired(), "cancellation is shared across clones");
+    }
+
+    #[test]
+    fn check_budget_deadline_fires_exactly_after_n_checks() {
+        let d = Deadline::checks(3);
+        assert!(!d.expired());
+        assert!(!d.expired());
+        assert!(!d.expired());
+        assert!(d.expired());
+        assert!(d.expired(), "stays expired");
+    }
+
+    #[test]
+    fn wall_clock_deadline_expires() {
+        let d = Deadline::after(Duration::from_millis(0));
+        assert!(d.expired());
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let table = BreakerTable::new(4, 2, 2);
+        let vm = 1usize;
+        assert_eq!(table.admit(vm), BreakerDecision::Allow);
+        table.record_failure(vm);
+        assert_eq!(table.admit(vm), BreakerDecision::Allow, "below threshold");
+        table.record_failure(vm);
+        assert_eq!(table.trips(), 1, "second consecutive failure trips");
+        // Open: refuses probe_after - 1 = 1 admission, then probes.
+        assert_eq!(table.admit(vm), BreakerDecision::Refuse);
+        assert_eq!(table.admit(vm), BreakerDecision::Probe);
+        // While the probe is out, others are refused.
+        assert_eq!(table.admit(vm), BreakerDecision::Refuse);
+        table.record_success(vm);
+        assert_eq!(table.admit(vm), BreakerDecision::Allow, "probe closed it");
+        assert_eq!(table.open_now(), 0);
+        assert_eq!(table.refusals(), 2);
+        assert_eq!(table.probes(), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let table = BreakerTable::new(2, 1, 3);
+        table.record_failure(0);
+        assert_eq!(table.trips(), 1);
+        // Drain the skip budget down to the probe.
+        assert_eq!(table.admit(0), BreakerDecision::Refuse);
+        assert_eq!(table.admit(0), BreakerDecision::Refuse);
+        assert_eq!(table.admit(0), BreakerDecision::Probe);
+        table.record_failure(0);
+        assert_eq!(table.trips(), 2, "failed probe re-trips");
+        assert_eq!(table.admit(0), BreakerDecision::Refuse, "open again");
+        // Other VMs are untouched.
+        assert_eq!(table.admit(1), BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let table = BreakerTable::new(1, 3, 2);
+        table.record_failure(0);
+        table.record_failure(0);
+        table.record_success(0);
+        table.record_failure(0);
+        table.record_failure(0);
+        assert_eq!(table.trips(), 0, "streak was reset mid-way");
+        table.record_failure(0);
+        assert_eq!(table.trips(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_never_trips() {
+        let table = BreakerTable::new(1, 0, 2);
+        for _ in 0..100 {
+            table.record_failure(0);
+        }
+        assert_eq!(table.trips(), 0);
+        assert_eq!(table.admit(0), BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn admission_gate_bounds_and_releases() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_acquire().expect("slot 1");
+        let _b = gate.try_acquire().expect("slot 2");
+        assert!(gate.try_acquire().is_none(), "full");
+        assert_eq!(gate.in_flight(), 2);
+        drop(a);
+        assert!(gate.try_acquire().is_some(), "slot released by drop");
+    }
+
+    #[test]
+    fn unbounded_gate_always_admits() {
+        let gate = AdmissionGate::new(0);
+        let permits: Vec<_> = (0..64).map(|_| gate.try_acquire().unwrap()).collect();
+        assert_eq!(gate.in_flight(), 64);
+        drop(permits);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn default_supervisor_config_is_fully_off() {
+        let cfg = SupervisorConfig::default();
+        assert!(cfg.is_off());
+        let sup = Supervisor::new(cfg, 120);
+        assert!(sup.breakers().is_none());
+        assert!(!sup.deadline().expired());
+        assert!(sup.gate().try_acquire().is_some());
+        // Round-trips through serde with the defaults filled in.
+        // (`from_str` is unavailable under the offline stub toolchain;
+        // there this branch is verified type-only.)
+        if let Ok(parsed) = serde_json::from_str::<SupervisorConfig>("{}") {
+            assert_eq!(parsed, SupervisorConfig::default());
+        }
+    }
+
+    #[test]
+    fn supervisor_counts_outcomes_by_class() {
+        let sup = Supervisor::new(SupervisorConfig::default(), 4);
+        sup.record(&Outcome::Shed);
+        sup.record(&Outcome::Shed);
+        sup.record(&Outcome::Failed {
+            error: VestaError::DeadlineExceeded(PartialProgress {
+                stage: "reference-runs".into(),
+                completed: 1,
+                total: 4,
+            }),
+        });
+        sup.record(&Outcome::Failed {
+            error: VestaError::NoKnowledge("x".into()),
+        });
+        let r = sup.report();
+        assert_eq!((r.ok, r.degraded, r.shed, r.failed), (0, 0, 2, 2));
+        assert_eq!(r.deadline_hits, 1);
+        assert_eq!(r.total(), 4);
+    }
+
+    fn sample_record(id: u64) -> JournalRecord {
+        JournalRecord {
+            workload_id: id,
+            edges: vec![(
+                3,
+                vesta_graph::Label {
+                    feature: 1,
+                    interval: 2,
+                },
+                0.5,
+            )],
+            curve: (
+                vec![vesta_graph::Label {
+                    feature: 1,
+                    interval: 2,
+                }],
+                [(3usize, 120.0f64)].into_iter().collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_records_in_order() {
+        let dir = std::env::temp_dir().join(format!("vesta-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.vjl");
+        let mut j = AbsorptionJournal::create(&path).unwrap();
+        j.append(&[sample_record(1), sample_record(2)]).unwrap();
+        j.append(&[sample_record(3)]).unwrap();
+        drop(j);
+        let replayed = AbsorptionJournal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(
+            replayed.iter().map(|r| r.workload_id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(replayed[0], sample_record(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_tolerates_torn_and_corrupt_tails() {
+        let dir = std::env::temp_dir().join(format!("vesta-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.vjl");
+        let mut j = AbsorptionJournal::create(&path).unwrap();
+        j.append(&[sample_record(1), sample_record(2)]).unwrap();
+        drop(j);
+        let intact = std::fs::read(&path).unwrap();
+
+        // Torn at every possible byte boundary: replay returns a prefix of
+        // the appended records, never an error, never a phantom record.
+        for cut in 0..=intact.len() {
+            std::fs::write(&path, &intact[..cut]).unwrap();
+            let replayed = AbsorptionJournal::replay(&path).unwrap();
+            assert!(replayed.len() <= 2);
+            for (i, r) in replayed.iter().enumerate() {
+                assert_eq!(r.workload_id, (i + 1) as u64);
+            }
+            if cut == intact.len() {
+                assert_eq!(replayed.len(), 2);
+            }
+        }
+
+        // A flipped payload byte fails the checksum and stops the replay.
+        let mut corrupt = intact.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        std::fs::write(&path, &corrupt).unwrap();
+        let replayed = AbsorptionJournal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "corrupt second record dropped");
+
+        // Missing file replays as empty.
+        std::fs::remove_file(&path).unwrap();
+        assert!(AbsorptionJournal::replay(&path).unwrap().is_empty());
+    }
+}

@@ -22,7 +22,7 @@ use crate::GraphError;
 ///
 /// Serialized as a flat `(left, label, weight)` edge list so the layer
 /// survives JSON (whose map keys must be strings).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 #[serde(from = "Vec<(u64, Label, f64)>", into = "Vec<(u64, Label, f64)>")]
 pub struct LabelLayer {
     /// `edges[left] = {label -> weight}`.

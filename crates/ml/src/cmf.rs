@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::MlError;
 use crate::matrix::Matrix;
-use crate::sgd::{run_sgd, SgdConfig, SgdOutcome};
+use crate::sgd::{run_sgd, run_sgd_cancellable, SgdConfig, SgdOutcome};
 
 /// A sparse observation mask over an `n × j` matrix: `true` entries are
 /// observed.
@@ -310,6 +310,23 @@ pub fn solve_with(
     config: &CmfConfig,
     warm: Option<&CmfWarmStart>,
 ) -> Result<CmfModel, MlError> {
+    solve_with_cancel(problem, config, warm, &mut || false)
+}
+
+/// [`solve_with`] plus a cooperative cancellation check, evaluated between
+/// SGD epochs (see [`run_sgd_cancellable`]).
+///
+/// On cancellation the solve still returns `Ok`: the partially trained
+/// factors and completed target are handed back with
+/// `outcome.cancelled = true`, so a supervision layer can decide whether the
+/// partial progress is usable or must be surfaced as a deadline error. A
+/// `cancel` that never fires is bit-identical to [`solve_with`].
+pub fn solve_with_cancel(
+    problem: &CmfProblem<'_>,
+    config: &CmfConfig,
+    warm: Option<&CmfWarmStart>,
+    cancel: &mut dyn FnMut() -> bool,
+) -> Result<CmfModel, MlError> {
     let j = problem.source.cols();
     if problem.vm.cols() != j || problem.target.cols() != j {
         return Err(MlError::Shape(format!(
@@ -437,7 +454,7 @@ pub fn solve_with(
 
     // Alternating SGD (Algorithm 1 lines 7-11): each epoch performs the
     // three fix-two-update-one passes, then reports the joint objective.
-    let outcome = run_sgd(&config.sgd, |lr| {
+    let outcome = run_sgd_cancellable(&config.sgd, &mut *cancel, |lr| {
         // Pass 1: fix X, T, L → update X* from target observations.
         for &(r, c) in &tgt_entries {
             let e = problem.target[(r, c)] - dot(x_star.row(r), l.row(c));
@@ -851,6 +868,50 @@ mod tests {
             solve_with(&problem, &config, Some(&warm)),
             Err(MlError::Shape(_))
         ));
+    }
+
+    #[test]
+    fn cancelled_solve_returns_partial_progress() {
+        let (source, vm, target, mask, _) = synthetic(2, 23);
+        let problem = CmfProblem {
+            source: &source,
+            vm: &vm,
+            target: &target,
+            target_mask: &mask,
+        };
+        let config = CmfConfig {
+            latent_dim: 2,
+            sgd: SgdConfig {
+                max_epochs: 500,
+                tolerance: 0.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut epochs_allowed = 4;
+        let model = solve_with_cancel(&problem, &config, None, &mut || {
+            if epochs_allowed == 0 {
+                return true;
+            }
+            epochs_allowed -= 1;
+            false
+        })
+        .unwrap();
+        assert!(model.outcome.cancelled);
+        assert_eq!(model.outcome.epochs, 4);
+        assert!(!model.outcome.converged);
+        // Partial progress is still a usable completion (finite entries).
+        assert!(model
+            .completed_target
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite()));
+
+        // Never-firing cancel is bit-identical to the plain solve.
+        let a = solve_with(&problem, &config, None).unwrap();
+        let b = solve_with_cancel(&problem, &config, None, &mut || false).unwrap();
+        assert_eq!(a.completed_target, b.completed_target);
+        assert!(!b.outcome.cancelled);
     }
 
     #[test]

@@ -554,7 +554,7 @@ mod tests {
     #[test]
     fn silhouette_rejects_degenerate_inputs() {
         let data = three_blob_data();
-        assert!(silhouette(&data, &vec![0; 10], 3).is_err()); // length mismatch
+        assert!(silhouette(&data, &[0; 10], 3).is_err()); // length mismatch
         let m = KMeans::fit(
             &data,
             &KMeansConfig {
@@ -570,7 +570,7 @@ mod tests {
     fn k_fold_partitions_everything_exactly_once() {
         let folds = k_fold_indices(25, 10, 99).unwrap();
         assert_eq!(folds.len(), 10);
-        let mut seen = vec![0usize; 25];
+        let mut seen = [0usize; 25];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 25);
             for &t in test {

@@ -59,9 +59,7 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n)
-            .max_by(|&p, &q| {
-                m[(p, col)].abs().total_cmp(&m[(q, col)].abs())
-            })
+            .max_by(|&p, &q| m[(p, col)].abs().total_cmp(&m[(q, col)].abs()))
             .expect("non-empty range");
         if m[(pivot, col)].abs() < 1e-12 {
             return Err(MlError::InsufficientData(

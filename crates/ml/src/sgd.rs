@@ -48,19 +48,41 @@ pub struct SgdOutcome {
     pub converged: bool,
     /// Epochs actually run.
     pub epochs: usize,
+    /// Whether a caller-supplied cancellation check stopped the run early
+    /// (see [`run_sgd_cancellable`]); always false for [`run_sgd`].
+    #[serde(default)]
+    pub cancelled: bool,
 }
 
 /// Run SGD epochs until convergence or the epoch cap.
 ///
 /// `epoch` receives the current learning rate, performs one full pass of
 /// updates on the caller's state, and returns the post-epoch objective.
-pub fn run_sgd(config: &SgdConfig, mut epoch: impl FnMut(f64) -> f64) -> SgdOutcome {
+pub fn run_sgd(config: &SgdConfig, epoch: impl FnMut(f64) -> f64) -> SgdOutcome {
+    run_sgd_cancellable(config, || false, epoch)
+}
+
+/// [`run_sgd`] with a cooperative cancellation check evaluated *between*
+/// epochs: when `cancel` returns true the loop stops before the next epoch,
+/// the outcome carries `cancelled = true` and whatever partial trace was
+/// accumulated. A `cancel` that never fires leaves the epoch loop — and
+/// therefore every result bit — identical to [`run_sgd`].
+pub fn run_sgd_cancellable(
+    config: &SgdConfig,
+    mut cancel: impl FnMut() -> bool,
+    mut epoch: impl FnMut(f64) -> f64,
+) -> SgdOutcome {
     let mut lr = config.learning_rate;
     let mut trace = Vec::with_capacity(config.max_epochs.min(4096));
     let mut prev = f64::INFINITY;
     let mut converged = false;
+    let mut cancelled = false;
     let mut epochs = 0;
     for _ in 0..config.max_epochs {
+        if cancel() {
+            cancelled = true;
+            break;
+        }
         let obj = epoch(lr);
         epochs += 1;
         trace.push(obj);
@@ -83,6 +105,7 @@ pub fn run_sgd(config: &SgdConfig, mut epoch: impl FnMut(f64) -> f64) -> SgdOutc
         trace,
         converged,
         epochs,
+        cancelled,
     }
 }
 
@@ -144,6 +167,56 @@ mod tests {
         for w in out.trace.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }
+    }
+
+    #[test]
+    fn cancellation_stops_between_epochs_and_is_reported() {
+        let mut x = 0.0f64;
+        let cfg = SgdConfig {
+            max_epochs: 100,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let mut calls = 0;
+        let out = run_sgd_cancellable(
+            &cfg,
+            move || {
+                calls += 1;
+                calls > 3 // allow exactly 3 epochs
+            },
+            |_| {
+                x += 1.0;
+                1.0 / x
+            },
+        );
+        assert!(out.cancelled);
+        assert!(!out.converged);
+        assert_eq!(out.epochs, 3);
+        assert_eq!(out.trace.len(), 3, "partial trace survives cancellation");
+    }
+
+    #[test]
+    fn never_firing_cancel_is_bit_identical_to_plain_run() {
+        let cfg = SgdConfig::default();
+        let run = |cancellable: bool| {
+            let mut x = 10.0f64;
+            let epoch = |lr: f64, x: &mut f64| {
+                *x -= lr * 2.0 * (*x - 3.0);
+                (*x - 3.0) * (*x - 3.0)
+            };
+            if cancellable {
+                run_sgd_cancellable(&cfg, || false, |lr| epoch(lr, &mut x))
+            } else {
+                run_sgd(&cfg, |lr| epoch(lr, &mut x))
+            }
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.converged, b.converged);
+        assert!(!b.cancelled);
+        let bits = |t: &[f64]| t.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.trace), bits(&b.trace));
     }
 
     #[test]

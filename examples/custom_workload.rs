@@ -64,7 +64,8 @@ fn main() {
 
     // Show the runner-up choices with predicted times, the menu a real
     // operator would review before committing.
-    let mut ranked: Vec<(VmTypeId, f64)> = p.predicted_times.iter().map(|(&v, &t)| (v, t)).collect();
+    let mut ranked: Vec<(VmTypeId, f64)> =
+        p.predicted_times.iter().map(|(&v, &t)| (v, t)).collect();
     ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
     println!("\ntop-5 predicted VM types:");
     for (vm, t) in ranked.iter().take(5) {

@@ -6,8 +6,10 @@
 //! vesta train --out knowledge.json [--fast]            offline phase, save snapshot
 //! vesta predict --knowledge K.json --workload NAME     online phase (Algorithm 1)
 //!               [--objective time|budget|latency|throughput] [--top N]
-//! vesta predict --knowledge K.json --batch FILE        concurrent batch engine
-//!               (one workload name per line; prints throughput + cache stats)
+//! vesta predict --knowledge K.json --batch FILE        supervised batch engine
+//!               (one workload name per line; per-request outcome rows plus
+//!               throughput + cache stats; --deadline-ms/--breaker-threshold/
+//!               --max-in-flight opt into supervision)
 //! vesta cluster --knowledge K.json --workload NAME     (type, nodes) extension
 //! vesta ground-truth --workload NAME [--objective ...] exhaustive oracle
 //! ```
@@ -62,8 +64,11 @@ commands:
                 --fault-dropout R --fault-corrupt R --fault-straggler R
                 --fault-seed N, rates in [0,1])
                 batch mode: --batch FILE (one workload name per line) fans the
-                requests out through the concurrent engine and reports
-                throughput + cache statistics
+                requests out through the supervised concurrent engine and
+                reports per-request outcomes (ok|degraded|shed|failed),
+                throughput + cache statistics; supervision: --deadline-ms N
+                --breaker-threshold N --max-in-flight N (defaults off); exits
+                non-zero only if a request failed
   cluster       jointly select VM type and node count (--knowledge FILE,
                 --workload NAME, --objective time|budget|latency|throughput)
   ground-truth  exhaustive oracle ranking (--workload NAME, --objective,
@@ -320,9 +325,13 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// `vesta predict --batch FILE`: one workload name per line (blank lines
-/// and `#` comments ignored), fanned out through the concurrent engine.
+/// and `#` comments ignored), fanned out through the concurrent engine
+/// under serving-layer supervision. Each request gets its own outcome row
+/// (`ok`, `degraded`, `shed`, `failed`); the command exits non-zero only
+/// when at least one request *failed* — shed and degraded requests are
+/// service-level successes summarized on exit.
 fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), String> {
-    let vesta = load(flags)?;
+    let mut vesta = load(flags)?;
     let suite = Suite::extended();
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read --batch file '{path}': {e}"))?;
@@ -341,36 +350,93 @@ fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), 
         return Err(format!("--batch file '{path}' names no workloads"));
     }
 
+    // Supervision knobs (all default off) plus the fault plan ride on the
+    // model config so every session spawned by the handle sees them.
+    let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{key} '{v}'")))
+            .transpose()
+    };
+    if let Some(ms) = parse_u64("deadline-ms")? {
+        vesta.offline.config.supervisor.deadline_ms = ms;
+    }
+    if let Some(n) = parse_u64("breaker-threshold")? {
+        vesta.offline.config.supervisor.breaker_threshold = n as u32;
+    }
+    if let Some(n) = parse_u64("max-in-flight")? {
+        vesta.offline.config.supervisor.max_in_flight = n as usize;
+    }
+    let plan = fault_plan_of(flags)?;
+    if !plan.is_none() {
+        vesta.offline.config.fault_plan = plan;
+    }
+
     let knowledge = vesta.into_knowledge().map_err(|e| e.to_string())?;
     let started = std::time::Instant::now();
-    let predictions = knowledge.predict_batch(&workloads).map_err(|e| e.to_string())?;
+    let outcomes = knowledge.predict_batch_supervised(&workloads);
     let elapsed = started.elapsed();
 
     println!(
-        "{:<20} {:<16} {:>10} {:>6} {:>9}",
-        "workload", "best VM", "pred (s)", "refs", "converged"
+        "{:<20} {:<9} {:<16} {:>10} {:>6} {:>9}",
+        "workload", "outcome", "best VM", "pred (s)", "refs", "converged"
     );
-    for (w, p) in workloads.iter().zip(&predictions) {
-        let vm = knowledge.catalog().get(p.best_vm).map_err(|e| e.to_string())?;
-        println!(
-            "{:<20} {:<16} {:>10.0} {:>6} {:>9}",
-            w.name(),
-            vm.name,
-            p.best_predicted_time(),
-            p.reference_vms,
-            p.converged
-        );
-        knowledge.absorb(p);
+    let mut failures: Vec<String> = Vec::new();
+    for (w, r) in workloads.iter().zip(&outcomes) {
+        match &r.outcome {
+            Outcome::Ok(p) | Outcome::Degraded { prediction: p, .. } => {
+                let vm = knowledge
+                    .catalog()
+                    .get(p.best_vm)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "{:<20} {:<9} {:<16} {:>10.0} {:>6} {:>9}",
+                    w.name(),
+                    r.outcome.label(),
+                    vm.name,
+                    p.best_predicted_time(),
+                    p.reference_vms,
+                    p.converged
+                );
+                if let Outcome::Degraded { reason, .. } = &r.outcome {
+                    println!("{:<20} ^ degraded: {reason}", "");
+                }
+                knowledge.absorb(p);
+            }
+            Outcome::Shed => {
+                println!(
+                    "{:<20} {:<9} (admission control)",
+                    w.name(),
+                    r.outcome.label()
+                );
+            }
+            Outcome::Failed { error } => {
+                println!("{:<20} {:<9} {error}", w.name(), r.outcome.label());
+                failures.push(format!("{}: {error}", w.name()));
+            }
+        }
     }
     let absorbed = knowledge.absorb_pending();
     let stats = knowledge.cache_stats();
+    let report = knowledge.supervisor_report();
     let secs = elapsed.as_secs_f64().max(1e-9);
     println!(
-        "\n{} predictions in {:.2}s ({:.1} req/s), {} simulated runs",
-        predictions.len(),
+        "\n{} requests in {:.2}s ({:.1} req/s), {} simulated runs",
+        outcomes.len(),
         elapsed.as_secs_f64(),
-        predictions.len() as f64 / secs,
+        outcomes.len() as f64 / secs,
         knowledge.runs_executed()
+    );
+    println!(
+        "outcomes: {} ok, {} degraded, {} shed, {} failed ({} deadline); breakers: {} trip(s), \
+         {} open",
+        report.ok,
+        report.degraded,
+        report.shed,
+        report.failed,
+        report.deadline_hits,
+        report.breaker_trips,
+        report.open_breakers
     );
     println!(
         "reference cache: {} hits / {} misses ({:.0}% hit rate); absorbed {} workload(s)",
@@ -379,7 +445,16 @@ fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), 
         100.0 * stats.reference.hit_rate(),
         absorbed
     );
-    Ok(())
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} request(s) failed:\n  {}",
+            failures.len(),
+            outcomes.len(),
+            failures.join("\n  ")
+        ))
+    }
 }
 
 fn cmd_cluster(flags: &HashMap<String, String>) -> Result<(), String> {

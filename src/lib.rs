@@ -66,8 +66,10 @@ pub mod prelude {
         VmTypeId,
     };
     pub use vesta_core::{
-        ground_truth_ranking, selection_error_pct, Knowledge, Prediction, PredictionSession,
-        SessionOverlay, Vesta, VestaConfig, VestaConfigBuilder, WorkloadFingerprint,
+        ground_truth_ranking, selection_error_pct, AbsorptionJournal, Deadline, Knowledge, Outcome,
+        Prediction, PredictionSession, RequestOutcome, SessionOverlay, Supervisor,
+        SupervisorConfig, SupervisorReport, Vesta, VestaConfig, VestaConfigBuilder,
+        WorkloadFingerprint,
     };
     pub use vesta_graph::{Label, LabelSpace};
     pub use vesta_workloads::{AlgorithmKind, DatasetScale, Framework, Suite, Workload};

@@ -131,7 +131,10 @@ fn cache_accounting_tracks_hits_and_misses_exactly() {
     assert_eq!(cold.reference.misses, targets.len() as u64);
     assert_eq!(cold.reference.entries, targets.len());
     let runs_after_cold = knowledge.runs_executed();
-    assert!(runs_after_cold > 0, "cold pass must simulate reference runs");
+    assert!(
+        runs_after_cold > 0,
+        "cold pass must simulate reference runs"
+    );
 
     // Warm pass: pure hits, zero new simulated runs.
     knowledge.predict_batch(&targets).expect("warm pass");
@@ -149,12 +152,109 @@ fn cache_accounting_tracks_hits_and_misses_exactly() {
 
     // A duplicate request is one miss + one hit (sequential path, where
     // the ordering — and therefore the accounting — is deterministic).
-    let mut with_dup: Vec<Workload> = suite.source_testing().into_iter().take(1).cloned().collect();
+    let mut with_dup: Vec<Workload> = suite
+        .source_testing()
+        .into_iter()
+        .take(1)
+        .cloned()
+        .collect();
     with_dup.push(with_dup[0].clone());
     knowledge.predict_sequential(&with_dup).expect("dup batch");
     let after = knowledge.cache_stats();
     assert_eq!(after.reference.misses, warm.reference.misses + 1);
     assert_eq!(after.reference.hits, warm.reference.hits + 1);
+
+    // The caches are bounded: the entry count never exceeds the capacity
+    // the shards were built with, and evictions are accounted for.
+    assert!(after.reference.entries <= after.reference.capacity);
+    assert!(after.fallback.entries <= after.fallback.capacity);
+    assert_eq!(
+        after.reference.misses,
+        after.reference.entries as u64 + after.reference.evictions
+    );
+}
+
+/// A handle whose config injects metric corruption (NaN samples) and
+/// sample dropout — fault classes that degrade runs without failing them,
+/// so every request is still served and determinism must hold.
+fn faulted() -> &'static Knowledge {
+    static FAULTED: OnceLock<Knowledge> = OnceLock::new();
+    FAULTED.get_or_init(|| {
+        let (_, trained) = shared();
+        let mut snapshot = trained.to_snapshot();
+        snapshot.config.fault_plan = FaultPlan {
+            sample_dropout_rate: 0.10,
+            metric_corruption_rate: 0.15,
+            ..FaultPlan::none()
+        };
+        Knowledge::from_snapshot(snapshot, Catalog::aws_ec2()).expect("faulted handle restores")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn faulted_batch_equals_faulted_sequential(
+        seed in 0u64..1_000_000,
+        len in 1usize..7,
+    ) {
+        // Same property as the clean-path proptest, but with NaN metric
+        // corruption and sample dropout live: the per-run fault draws are
+        // keyed by (workload, vm, run index), never by scheduling, so the
+        // concurrent engine must stay bit-identical to a sequential loop.
+        let knowledge = faulted();
+        let workloads = arrangement(seed, len);
+        let batch = knowledge.predict_batch(&workloads).expect("faulted batch serves");
+        let sequential = knowledge
+            .predict_sequential(&workloads)
+            .expect("faulted sequential serves");
+        prop_assert_eq!(batch.len(), sequential.len());
+        for (a, b) in batch.iter().zip(&sequential) {
+            prop_assert_eq!(a.best_vm, b.best_vm);
+            prop_assert_eq!(&a.candidates, &b.candidates);
+            prop_assert_eq!(&a.observed, &b.observed);
+            prop_assert_eq!(a.extra_reference_runs, b.extra_reference_runs);
+            for ((va, ta), (vb, tb)) in a.predicted_times.iter().zip(&b.predicted_times) {
+                prop_assert_eq!(va, vb);
+                prop_assert_eq!(ta.to_bits(), tb.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn supervised_batch_with_supervision_off_is_bit_identical() {
+    // The supervised entry point with an all-off `SupervisorConfig` (the
+    // default) must serve every request `Ok` with predictions bit-identical
+    // to the unsupervised engine — supervision is strictly opt-in.
+    let (suite, trained) = shared();
+    let knowledge = Knowledge::from_snapshot(trained.to_snapshot(), Catalog::aws_ec2())
+        .expect("fresh handle restores");
+    let workloads: Vec<Workload> = suite.target().into_iter().take(5).cloned().collect();
+    let plain = knowledge
+        .predict_batch(&workloads)
+        .expect("plain batch serves");
+    let supervised = knowledge.predict_batch_supervised(&workloads);
+    assert_eq!(plain.len(), supervised.len());
+    for (p, r) in plain.iter().zip(&supervised) {
+        let s = match &r.outcome {
+            Outcome::Ok(s) => s,
+            other => panic!("supervision off must serve Ok, got {}", other.label()),
+        };
+        assert_eq!(p.best_vm, s.best_vm);
+        assert_eq!(p.candidates, s.candidates);
+        assert_eq!(p.observed, s.observed);
+        assert_eq!(s.breaker_substitutions, 0);
+        for ((va, ta), (vb, tb)) in p.predicted_times.iter().zip(&s.predicted_times) {
+            assert_eq!(va, vb);
+            assert_eq!(ta.to_bits(), tb.to_bits());
+        }
+    }
+    let report = knowledge.supervisor_report();
+    assert_eq!(report.ok, workloads.len() as u64);
+    assert_eq!(report.shed + report.failed + report.degraded, 0);
+    assert_eq!(report.breaker_trips, 0);
 }
 
 #[test]

@@ -115,11 +115,17 @@ fn prediction_for_unprofiled_knowledge_fails_loudly() {
     )
     .err()
     .expect("single-workload training must fail");
-    let msg = err.to_string();
+    // Branch on the typed error, never on rendered text: the failure is a
+    // missing-knowledge / ML-analysis domain error, and it is permanent —
+    // retrying with the same single-workload knowledge cannot succeed.
     assert!(
-        msg.contains("PCA") || msg.contains("knowledge"),
-        "unexpected error: {msg}"
+        matches!(
+            err,
+            vesta_suite::core::VestaError::NoKnowledge(_) | vesta_suite::core::VestaError::Ml(_)
+        ),
+        "unexpected error domain: {err}"
     );
+    assert!(!err.is_transient(), "domain errors must not be retried");
 }
 
 #[test]
@@ -146,9 +152,8 @@ fn transient_faults_and_dropout_degrade_gracefully() {
     let predictor = vesta.predictor().with_faults(plan, retry.clone());
     let worst_case_vms =
         (1 + vesta.offline.config.online_random_vms) * 3 + predictor.fallback_extra_vms;
-    let bound = worst_case_vms
-        * vesta.offline.config.online_reps as usize
-        * retry.max_attempts as usize;
+    let bound =
+        worst_case_vms * vesta.offline.config.online_reps as usize * retry.max_attempts as usize;
     for w in suite.target() {
         let p = predictor
             .predict(w)

@@ -1,0 +1,391 @@
+//! Integration tests of the serving-layer supervision stack: deadline
+//! cancellation mid-pipeline, per-VM circuit breakers redirecting
+//! reference draws, admission-control shedding, and — the crash story —
+//! journal-backed overlay recovery at arbitrary truncation points.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+use vesta_suite::core::supervisor::BreakerTable;
+use vesta_suite::core::VestaError;
+use vesta_suite::prelude::*;
+
+fn shared() -> &'static (Suite, Knowledge) {
+    static SHARED: OnceLock<(Suite, Knowledge)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .expect("supervisor test config is valid");
+        let knowledge = Knowledge::train(catalog, &sources, cfg).expect("offline training");
+        (suite, knowledge)
+    })
+}
+
+/// A fresh handle off the shared trained model; never absorb into the
+/// shared one, other tests read its overlay.
+fn own_handle() -> Knowledge {
+    let (_, trained) = shared();
+    Knowledge::from_snapshot(trained.to_snapshot(), Catalog::aws_ec2())
+        .expect("fresh handle restores")
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expired_deadline_fails_typed_with_partial_progress() {
+    let (suite, _) = shared();
+    let knowledge = own_handle();
+    let session = knowledge.session();
+    let w = suite.by_name("Spark-kmeans").expect("exists");
+    // A zero-budget deadline expires at the very first cooperative check,
+    // inside the reference-run loop.
+    let err = session
+        .predict_supervised(w, &Deadline::checks(0), None)
+        .expect_err("zero deadline budget must not serve");
+    match &err {
+        VestaError::DeadlineExceeded(progress) => {
+            assert_eq!(progress.stage, "reference-runs");
+            assert_eq!(progress.completed, 0);
+            assert!(progress.total > 0);
+        }
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+    // Deadline hits are transient by construction: the same request with a
+    // fresh deadline may succeed.
+    assert!(err.is_transient());
+}
+
+#[test]
+fn generous_deadline_serves_bit_identically() {
+    let (suite, _) = shared();
+    let knowledge = own_handle();
+    let session = knowledge.session();
+    let w = suite.by_name("Spark-sort").expect("exists");
+    let plain = session.predict(w).expect("plain serves");
+    // A huge check budget never expires within one request.
+    let supervised = session
+        .predict_supervised(w, &Deadline::checks(1_000_000), None)
+        .expect("supervised serves");
+    assert_eq!(plain.best_vm, supervised.best_vm);
+    assert_eq!(plain.candidates, supervised.candidates);
+    for ((va, ta), (vb, tb)) in plain
+        .predicted_times
+        .iter()
+        .zip(&supervised.predicted_times)
+    {
+        assert_eq!(va, vb);
+        assert_eq!(ta.to_bits(), tb.to_bits());
+    }
+}
+
+#[test]
+fn cancelled_request_is_not_cached_and_retries_cleanly() {
+    let (suite, _) = shared();
+    let knowledge = own_handle();
+    let session = knowledge.session();
+    let w = suite.by_name("Spark-bayes").expect("exists");
+    session
+        .predict_supervised(w, &Deadline::checks(0), None)
+        .expect_err("zero budget fails");
+    // The failed attempt must not have poisoned the reference cache: the
+    // retry recomputes and serves.
+    let retried = session
+        .predict_supervised(w, &Deadline::none(), None)
+        .expect("retry serves");
+    let plain = session.predict(w).expect("plain serves");
+    assert_eq!(retried.best_vm, plain.best_vm);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breakers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn open_breakers_redirect_reference_draws() {
+    let (suite, _) = shared();
+    let w = suite.by_name("Spark-count").expect("exists");
+
+    // First, learn which VMs the unsupervised draw picks.
+    let baseline = own_handle().predict(w).expect("baseline serves");
+    let drawn: Vec<usize> = baseline.observed.iter().map(|(vm, _)| vm.index()).collect();
+    assert!(!drawn.is_empty());
+
+    // Trip a breaker for one of the breaker-gated reference draws, then
+    // serve the same request on a fresh handle (fresh reference cache)
+    // with the table installed. `observed[0]` is the sandbox run and
+    // `observed[1..]` the fingerprint-seeded draws; fallback-widening
+    // extras (appended after those) are *not* breaker-gated — they
+    // already exclude every tried VM, including refused ones — so the
+    // victim must come from the gated prefix.
+    let knowledge = own_handle();
+    let breakers = BreakerTable::new(knowledge.catalog().len(), 1, 1_000_000);
+    assert!(drawn.len() >= 2, "need a post-sandbox reference draw");
+    let victim = drawn[1];
+    breakers.record_failure(victim);
+    assert_eq!(breakers.trips(), 1);
+
+    let supervised = knowledge
+        .session()
+        .predict_supervised(w, &Deadline::none(), Some(&breakers))
+        .expect("supervised serves around the open breaker");
+    assert!(
+        supervised.breaker_substitutions >= 1,
+        "the open breaker must have redirected at least one draw"
+    );
+    assert!(
+        supervised
+            .observed
+            .iter()
+            .all(|(vm, _)| vm.index() != victim),
+        "no reference run may land on the tripped VM"
+    );
+    assert!(
+        supervised
+            .failed_reference_vms
+            .iter()
+            .any(|vm| vm.index() == victim),
+        "the redirect must be recorded as a substitution"
+    );
+    assert!(breakers.refusals() >= 1);
+}
+
+#[test]
+fn closed_breakers_leave_predictions_bit_identical() {
+    let (suite, _) = shared();
+    let w = suite.by_name("Spark-page-rank").expect("exists");
+    let plain = own_handle().predict(w).expect("plain serves");
+    let knowledge = own_handle();
+    let breakers = BreakerTable::new(knowledge.catalog().len(), 3, 2);
+    let supervised = knowledge
+        .session()
+        .predict_supervised(w, &Deadline::none(), Some(&breakers))
+        .expect("supervised serves");
+    assert_eq!(plain.best_vm, supervised.best_vm);
+    assert_eq!(plain.observed, supervised.observed);
+    assert_eq!(supervised.breaker_substitutions, 0);
+    assert_eq!(breakers.trips(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+#[test]
+fn saturated_gate_sheds_every_request_deterministically() {
+    let (suite, trained) = shared();
+    let mut snapshot = trained.to_snapshot();
+    snapshot.config.supervisor.max_in_flight = 1;
+    let knowledge =
+        Knowledge::from_snapshot(snapshot, Catalog::aws_ec2()).expect("handle restores");
+    // Hold the only permit: every batched request must be shed, none may
+    // block or fail.
+    let _held = knowledge
+        .supervisor()
+        .gate()
+        .try_acquire()
+        .expect("first permit");
+    let workloads: Vec<Workload> = suite.target().into_iter().take(4).cloned().collect();
+    let outcomes = knowledge.predict_batch_supervised(&workloads);
+    assert_eq!(outcomes.len(), workloads.len());
+    for r in &outcomes {
+        assert!(
+            matches!(r.outcome, Outcome::Shed),
+            "got {}",
+            r.outcome.label()
+        );
+    }
+    let report = knowledge.supervisor_report();
+    assert_eq!(report.shed, workloads.len() as u64);
+    assert_eq!(report.ok + report.degraded + report.failed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistent journal recovery
+// ---------------------------------------------------------------------------
+
+/// Everything the truncation tests need, built once: a journal produced by
+/// three journaled absorptions (one record per publish, so journal order is
+/// the absorption order) plus the expected post-recovery snapshot for every
+/// surviving-record count.
+struct JournalFixture {
+    bytes: Vec<u8>,
+    /// Byte offset where record `i` ends; `boundaries[0] == 0`.
+    boundaries: Vec<usize>,
+    expected: Vec<vesta_suite::core::KnowledgeSnapshot>,
+}
+
+fn journal_fixture() -> &'static JournalFixture {
+    static FIXTURE: OnceLock<JournalFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (suite, _) = shared();
+        let names = ["Spark-kmeans", "Spark-sort", "Spark-grep"];
+        let workloads: Vec<&Workload> = names
+            .iter()
+            .map(|n| suite.by_name(n).expect("exists"))
+            .collect();
+
+        let dir = std::env::temp_dir().join(format!("vesta-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("absorptions.journal");
+
+        // Live handle: journaled absorptions, one record per publish.
+        let live = own_handle();
+        let mut journal = AbsorptionJournal::create(&path).expect("journal creates");
+        for w in &workloads {
+            let p = live.predict(w).expect("live serves");
+            live.absorb(&p);
+            let added = live
+                .absorb_pending_journaled(&mut journal)
+                .expect("journaled publish");
+            assert_eq!(added, 1);
+        }
+        let bytes = std::fs::read(&path).expect("journal bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Frame boundaries, recomputed from the length prefixes.
+        let mut boundaries = vec![0usize];
+        let mut at = 0usize;
+        while at + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            at += 8 + len;
+            boundaries.push(at);
+        }
+        assert_eq!(boundaries.len(), 4, "three records, four boundaries");
+        assert_eq!(*boundaries.last().unwrap(), bytes.len());
+
+        // Expected state after recovering k surviving records: a fresh
+        // handle absorbing the same first k workloads in the same order.
+        let expected = (0..=workloads.len())
+            .map(|k| {
+                let h = own_handle();
+                for w in &workloads[..k] {
+                    let p = h.predict(w).expect("expected handle serves");
+                    h.absorb(&p);
+                    h.absorb_pending();
+                }
+                h.to_snapshot()
+            })
+            .collect();
+
+        JournalFixture {
+            bytes,
+            boundaries,
+            expected,
+        }
+    })
+}
+
+/// Recover from the journal truncated to `offset` bytes and assert the
+/// rebuilt handle is state-identical to absorbing exactly the records that
+/// survived the cut.
+fn assert_recovery_at(offset: usize, tag: &str) {
+    let fixture = journal_fixture();
+    let offset = offset.min(fixture.bytes.len());
+    let survivors = fixture
+        .boundaries
+        .iter()
+        .filter(|&&b| b > 0 && b <= offset)
+        .count();
+
+    let dir = std::env::temp_dir().join(format!(
+        "vesta-recover-{}-{tag}-{offset}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("truncated.journal");
+    std::fs::write(&path, &fixture.bytes[..offset]).expect("write truncated journal");
+
+    let (_, trained) = shared();
+    let recovered = Knowledge::recover(trained.to_snapshot(), &path, Catalog::aws_ec2())
+        .expect("recovery never errors on a torn tail");
+    assert_eq!(
+        recovered.absorbed_count(),
+        survivors,
+        "cut at byte {offset}: wrong number of absorptions recovered"
+    );
+    assert!(
+        recovered
+            .to_snapshot()
+            .same_state(&fixture.expected[survivors]),
+        "cut at byte {offset}: recovered state diverges from absorbing {survivors} record(s)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_is_exact_at_every_record_boundary() {
+    let fixture = journal_fixture();
+    for &b in &fixture.boundaries {
+        assert_recovery_at(b, "bound");
+    }
+}
+
+#[test]
+fn torn_final_record_is_dropped_never_misread() {
+    let fixture = journal_fixture();
+    // Cuts strictly inside each frame: inside the header, one byte into
+    // the payload, one byte short of complete.
+    for w in fixture.boundaries.windows(2) {
+        let (start, end) = (w[0], w[1]);
+        for offset in [start + 1, start + 4, start + 9, end - 1] {
+            assert_recovery_at(offset, "torn");
+        }
+    }
+}
+
+#[test]
+fn corrupt_middle_byte_truncates_replay_at_that_record() {
+    let fixture = journal_fixture();
+    // Flip a payload byte of the second record: replay must keep record 1
+    // and drop records 2 and 3 (the chain past the corruption is not
+    // trusted).
+    let mut bytes = fixture.bytes.clone();
+    let target = fixture.boundaries[1] + 8 + 2;
+    bytes[target] ^= 0xFF;
+
+    let dir = std::env::temp_dir().join(format!("vesta-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("corrupt.journal");
+    std::fs::write(&path, &bytes).expect("write corrupt journal");
+    let (_, trained) = shared();
+    let recovered = Knowledge::recover(trained.to_snapshot(), &path, Catalog::aws_ec2())
+        .expect("recovery never errors on corruption");
+    assert_eq!(recovered.absorbed_count(), 1);
+    assert!(recovered.to_snapshot().same_state(&fixture.expected[1]));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_journal_recovers_to_the_bare_snapshot() {
+    let (_, trained) = shared();
+    let recovered = Knowledge::recover(
+        trained.to_snapshot(),
+        "/nonexistent/vesta-absorptions.journal",
+        Catalog::aws_ec2(),
+    )
+    .expect("a missing journal is an empty journal");
+    assert_eq!(recovered.absorbed_count(), 0);
+    let fixture = journal_fixture();
+    assert!(recovered.to_snapshot().same_state(&fixture.expected[0]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn recovery_is_exact_at_arbitrary_truncation_offsets(frac in 0.0f64..1.0) {
+        // The crash can land anywhere — mid-header, mid-payload, or on a
+        // boundary. Wherever it lands, recovery equals absorbing exactly
+        // the complete surviving records.
+        let fixture = journal_fixture();
+        let offset = (frac * fixture.bytes.len() as f64) as usize;
+        assert_recovery_at(offset, "prop");
+    }
+}
