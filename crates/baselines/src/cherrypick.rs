@@ -124,15 +124,20 @@ impl CherryPick {
                 }
                 continue;
             }
-            let rows: Vec<Vec<f64>> = finite
-                .iter()
-                .map(|(vm, _)| catalog.get(*vm).expect("probed id valid").feature_vector())
-                .collect();
+            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(finite.len());
+            for &(vm, _) in finite.iter().copied() {
+                rows.push(
+                    catalog
+                        .get(vm)
+                        .map_err(BaselineError::Sim)?
+                        .feature_vector(),
+                );
+            }
             let y: Vec<f64> = finite.iter().map(|(_, t)| t.ln()).collect();
             let x = Matrix::from_rows(&rows).map_err(BaselineError::Ml)?;
             let forest =
                 RandomForest::fit(&x, &y, &self.config.forest).map_err(BaselineError::Ml)?;
-            let best_log = y.iter().cloned().fold(f64::INFINITY, f64::min);
+            let best_log = vesta_ml::stats::fold_min_total(f64::INFINITY, y.iter().copied());
 
             // Expected improvement under a normal approximation of the
             // per-tree spread.

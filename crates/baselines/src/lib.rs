@@ -25,6 +25,7 @@ use std::fmt;
 
 /// Errors produced by the baseline systems.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum BaselineError {
     /// Training was impossible (empty inputs, degenerate config).
     Training(String),
@@ -32,6 +33,18 @@ pub enum BaselineError {
     Sim(vesta_cloud_sim::SimError),
     /// Error from the ML substrate.
     Ml(vesta_ml::MlError),
+}
+
+impl BaselineError {
+    /// True when a retry can plausibly succeed: delegates to the wrapped
+    /// simulator/ML classification; training-setup errors never are.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            BaselineError::Training(_) => false,
+            BaselineError::Sim(e) => e.is_transient(),
+            BaselineError::Ml(e) => e.is_transient(),
+        }
+    }
 }
 
 impl fmt::Display for BaselineError {

@@ -39,7 +39,7 @@ fn main() {
     };
     let ctx = Context::new(fidelity);
     let results_dir = PathBuf::from("results");
-    let started = std::time::Instant::now();
+    let started = vesta_bench::Stopwatch::start();
     for id in &ids {
         match run_experiment(&ctx, id) {
             Some(report) => report.emit(&results_dir),
@@ -55,7 +55,7 @@ fn main() {
     eprintln!(
         "\n[experiments] {} experiment(s) in {:.1}s (fidelity: {:?}); JSON in {}/",
         ids.len(),
-        started.elapsed().as_secs_f64(),
+        started.elapsed_s(),
         fidelity,
         results_dir.display()
     );

@@ -20,8 +20,6 @@
 //! drill: journaled absorptions are replayed from the journal and the
 //! rebuilt overlay is checked state-identical to the live one.
 
-use std::time::Instant;
-
 use vesta_cloud_sim::{Catalog, FaultPlan};
 use vesta_core::supervisor::SupervisorConfig;
 use vesta_core::{AbsorptionJournal, Knowledge, RequestOutcome};
@@ -166,17 +164,17 @@ pub fn chaos(ctx: &Context) -> ExperimentReport {
         let mut latencies_ms = Vec::with_capacity(n);
         let mut sequential: Vec<RequestOutcome> = Vec::with_capacity(n);
         for w in &workloads {
-            let t = Instant::now();
+            let t = crate::Stopwatch::start();
             let mut one = seq_handle.predict_sequential_supervised(std::slice::from_ref(w));
-            latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            latencies_ms.push(t.elapsed_ms());
             sequential.append(&mut one);
         }
 
         // Concurrent pass over a second cold handle.
         let batch_handle = handle_for(ctx, &sc);
-        let started = Instant::now();
+        let started = crate::Stopwatch::start();
         let batch = batch_handle.predict_batch_supervised(&workloads);
-        let wall_s = started.elapsed().as_secs_f64();
+        let wall_s = started.elapsed_s();
 
         if sc.deterministic {
             assert_bit_identical(sc.name, &sequential, &batch);

@@ -110,9 +110,48 @@ impl Context {
     }
 }
 
+/// Wall-clock stopwatch for timing experiment phases.
+///
+/// The one sanctioned wall-clock read in the bench harness: every latency
+/// and throughput measurement flows through [`Stopwatch::start`], so the
+/// `wallclock-in-core` lint audits a single line instead of a scatter of
+/// raw `Instant::now()` calls.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            // vesta-lint: allow(wallclock-in-core, reason = "the bench harness's single sanctioned wall-clock read; these timings measure the host, they never feed model state")
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stopwatch_measures_monotonic_time() {
+        let sw = Stopwatch::start();
+        let s = sw.elapsed_s();
+        assert!(s >= 0.0);
+        assert!(sw.elapsed_ms() >= s * 1e3);
+    }
 
     #[test]
     fn context_builds_and_caches_vesta() {

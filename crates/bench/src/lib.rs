@@ -43,7 +43,7 @@ pub mod summary;
 pub mod tables;
 pub mod throughput;
 
-pub use context::{Context, Fidelity};
+pub use context::{Context, Fidelity, Stopwatch};
 pub use report::ExperimentReport;
 
 /// Every experiment id, in paper order.

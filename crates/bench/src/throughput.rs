@@ -4,8 +4,6 @@
 //! percentiles and run-cache effectiveness, verifying along the way that
 //! the parallel fan-out is bit-identical to a sequential loop.
 
-use std::time::Instant;
-
 use vesta_core::Knowledge;
 use vesta_workloads::Workload;
 
@@ -43,24 +41,24 @@ pub fn throughput(ctx: &Context) -> ExperimentReport {
     // Sequential pass, timing every request for the latency distribution.
     let mut latencies_ms = Vec::with_capacity(n);
     let mut seq_predictions = Vec::with_capacity(n);
-    let seq_started = Instant::now();
+    let seq_started = crate::Stopwatch::start();
     for w in &workloads {
-        let t = Instant::now();
+        let t = crate::Stopwatch::start();
         seq_predictions.push(
             seq_knowledge
                 .predict(w)
                 .expect("sequential prediction serves"),
         );
-        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        latencies_ms.push(t.elapsed_ms());
     }
-    let seq_s = seq_started.elapsed().as_secs_f64();
+    let seq_s = seq_started.elapsed_s();
 
     // Batch pass over a fresh handle.
-    let batch_started = Instant::now();
+    let batch_started = crate::Stopwatch::start();
     let batch_predictions = batch_knowledge
         .predict_batch(&workloads)
         .expect("batch prediction serves");
-    let batch_s = batch_started.elapsed().as_secs_f64();
+    let batch_s = batch_started.elapsed_s();
 
     // Bit-identity: the fan-out must reproduce the sequential loop exactly.
     assert_eq!(seq_predictions.len(), batch_predictions.len());
@@ -107,11 +105,11 @@ pub fn throughput(ctx: &Context) -> ExperimentReport {
 
     // Warm repeat on the batch handle: every fingerprint is already in the
     // reference cache, so this is the steady-state serving rate.
-    let warm_started = Instant::now();
+    let warm_started = crate::Stopwatch::start();
     let warm_predictions = batch_knowledge
         .predict_batch(&workloads)
         .expect("warm batch serves");
-    let warm_s = warm_started.elapsed().as_secs_f64();
+    let warm_s = warm_started.elapsed_s();
     for (a, b) in batch_predictions.iter().zip(&warm_predictions) {
         assert_eq!(a.best_vm, b.best_vm, "cache replay diverged");
     }

@@ -10,7 +10,7 @@
 //! substitution table).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::SimError;
 use crate::vmtype::{FamilySpec, VmCategory, VmSize, VmType, VmTypeId};
@@ -389,7 +389,9 @@ fn family_specs() -> Vec<(FamilySpec, &'static [VmSize])> {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Catalog {
     types: Vec<VmType>,
-    by_name: HashMap<String, usize>,
+    // BTreeMap, not HashMap: the catalog derives Serialize, and snapshot
+    // bytes must not depend on hasher order.
+    by_name: BTreeMap<String, usize>,
 }
 
 impl Catalog {
@@ -477,6 +479,7 @@ impl Catalog {
             "i3en.2xlarge",
         ]
         .iter()
+        // vesta-lint: allow(panic-in-lib, reason = "the ten names are compile-time constants drawn from family_specs(); typical_ten_covers_all_categories locks presence")
         .map(|n| self.by_name(n).expect("typical types exist in catalog"))
         .collect()
     }

@@ -158,15 +158,16 @@ pub fn simulate(
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.total_cmp(b.1))
+                // vesta-lint: allow(panic-in-lib, reason = "slots has cores = vcpus * nodes entries; nodes == 0 is rejected at function entry and every catalog type has vcpus >= 1")
                 .expect("at least one core");
             slots[idx] += service;
         }
-        let phase_span = slots.iter().cloned().fold(0.0f64, f64::max);
+        let phase_span = vesta_ml::stats::fold_max_total(0.0, slots.iter().copied());
         let busy: f64 = slots.iter().sum();
         busy_total += busy;
         span_total += phase_span * cores as f64;
         let mean_task = busy / n_tasks as f64;
-        let max_task = task_times.iter().cloned().fold(0.0f64, f64::max);
+        let max_task = vesta_ml::stats::fold_max_total(0.0, task_times.iter().copied());
         straggler_acc += if mean_task > 0.0 {
             max_task / mean_task
         } else {

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by `vesta-cloud-sim`.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SimError {
     /// Requested a VM type the catalog does not contain.
     UnknownVmType(String),

@@ -8,13 +8,13 @@
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::SimError;
 use crate::metrics::CorrelationVector;
 
 /// A recorded run of one workload on one VM type.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunRecord {
     /// Run repetition index.
     pub run_idx: u64,
@@ -29,7 +29,7 @@ pub struct RunRecord {
 }
 
 /// Key identifying a profiled (workload, VM) pair.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RunKey {
     /// Workload identity (stable id from the workload suite).
     pub workload_id: u64,
@@ -55,7 +55,9 @@ pub struct Aggregate {
 /// Thread-safe store of run records.
 #[derive(Debug, Default)]
 pub struct MetricsStore {
-    inner: RwLock<HashMap<RunKey, Vec<RunRecord>>>,
+    // BTreeMap so iteration (snapshot, vms_for_workload) is key-ordered
+    // without a sort pass — and so dump bytes never depend on hasher state.
+    inner: RwLock<BTreeMap<RunKey, Vec<RunRecord>>>,
 }
 
 impl MetricsStore {
@@ -173,6 +175,22 @@ mod tests {
             workload_id: w,
             vm_id: v,
         }
+    }
+
+    /// Pure in-memory snapshot round-trip — part of the CI Miri surface
+    /// (`cargo miri test -p vesta-cloud-sim --lib codec_`).
+    #[test]
+    fn codec_store_snapshot_round_trips_in_key_order() {
+        let store = MetricsStore::new();
+        store.insert(key(2, 1), record(0, 30.0));
+        store.insert(key(1, 5), record(0, 10.0));
+        store.insert(key(1, 2), record(1, 20.0));
+        let snap = store.snapshot();
+        let keys: Vec<(u64, usize)> = snap.iter().map(|(k, _)| (k.workload_id, k.vm_id)).collect();
+        assert_eq!(keys, vec![(1, 2), (1, 5), (2, 1)]);
+        let rebuilt = MetricsStore::from_snapshot(snap.clone());
+        assert_eq!(rebuilt.snapshot(), snap);
+        assert_eq!(rebuilt.total_runs(), 3);
     }
 
     #[test]

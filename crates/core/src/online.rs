@@ -362,6 +362,7 @@ pub(crate) fn sandbox_vm_for(catalog: &Catalog, workload: &Workload) -> usize {
             .all()
             .iter()
             .max_by(|a, b| a.memory_gb.total_cmp(&b.memory_gb))
+            // vesta-lint: allow(panic-in-lib, reason = "reached only via Catalog::aws_ec2 (120 fixed types); an empty catalog has no VM to recommend and cannot train the model that calls this")
             .expect("catalog non-empty")
             .id
     })
@@ -736,10 +737,7 @@ pub(crate) fn transfer_time_curve(
         .max_by(|a, b| a.0.total_cmp(&b.0));
     // Softmax over affinities (they are negative distances).
     let top: Vec<(u64, f64)> = source_affinities.iter().take(5).copied().collect();
-    let max_aff = top
-        .iter()
-        .map(|(_, a)| *a)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let max_aff = vesta_ml::stats::fold_max_total(f64::NEG_INFINITY, top.iter().map(|(_, a)| *a));
     let mut weights: Vec<(u64, f64)> = top
         .iter()
         .map(|(id, a)| (*id, ((a - max_aff) * 2.0).exp()))
@@ -867,11 +865,8 @@ pub(crate) fn select_best_vm(
             .or_else(|| predicted_times.get(&vm).copied())
             .unwrap_or(f64::INFINITY)
     };
-    let fastest = pool
-        .iter()
-        .copied()
-        .map(time_of)
-        .fold(f64::INFINITY, f64::min);
+    let fastest =
+        vesta_ml::stats::fold_min_total(f64::INFINITY, pool.iter().copied().map(&time_of));
     if !fastest.is_finite() {
         return Err(VestaError::NoKnowledge("empty candidate pool".into()));
     }

@@ -21,11 +21,22 @@ use std::fmt;
 
 /// Errors produced by `vesta-graph`.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GraphError {
     /// Dimension disagreement between a matrix and the graph structure.
     Shape(String),
     /// Invalid parameter (e.g. non-positive interval width).
     InvalidParameter(String),
+}
+
+impl GraphError {
+    /// True when a retry can plausibly succeed. Graph errors are all
+    /// deterministic shape/parameter violations, so the answer is always
+    /// `false`; the method exists so retry policy can branch uniformly
+    /// across every crate's error type.
+    pub fn is_transient(&self) -> bool {
+        false
+    }
 }
 
 impl fmt::Display for GraphError {

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use vesta_graph::{Label, LabelLayer, LabelSpace, TwoLayerGraph};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 128 }))]
 
     #[test]
     fn interval_of_is_total_and_bounded(

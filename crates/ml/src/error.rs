@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by the `vesta-ml` substrate.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MlError {
     /// A dimension / shape disagreement between operands.
     Shape(String),
@@ -25,6 +26,16 @@ pub enum MlError {
     /// The input carried NaN or infinite values where a finite sample was
     /// required (e.g. corrupted metric samples reaching an estimator).
     NonFinite(String),
+}
+
+impl MlError {
+    /// True when a retry can plausibly succeed. Only
+    /// [`MlError::NotConverged`] qualifies: a warm start or a higher
+    /// iteration cap may finish the solve, whereas shape, parameter and
+    /// data errors are deterministic properties of the request.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MlError::NotConverged { .. })
+    }
 }
 
 impl fmt::Display for MlError {

@@ -85,13 +85,13 @@ impl KMeans {
         let mut best: Option<KMeans> = None;
         for restart in 0..config.n_init.max(1) {
             let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64));
-            let centroids = plus_plus_seed(data, config.k, &mut rng);
-            let fitted = lloyd(data, centroids, config.max_iters, config.tolerance);
+            let centroids = plus_plus_seed(data, config.k, &mut rng)?;
+            let fitted = lloyd(data, centroids, config.max_iters, config.tolerance)?;
             if best.as_ref().is_none_or(|b| fitted.inertia < b.inertia) {
                 best = Some(fitted);
             }
         }
-        Ok(best.expect("n_init >= 1 restart always runs"))
+        best.ok_or_else(|| MlError::InvalidParameter("k-means ran zero restarts".into()))
     }
 
     /// Warm-start refit: run Lloyd from this model's centroids on (possibly
@@ -107,12 +107,12 @@ impl KMeans {
         if data.rows() == 0 {
             return Err(MlError::InsufficientData("refit on empty data".into()));
         }
-        Ok(lloyd(
+        lloyd(
             data,
             self.centroids.clone(),
             config.max_iters,
             config.tolerance,
-        ))
+        )
     }
 
     /// Cluster index of the nearest centroid for `point`.
@@ -163,11 +163,11 @@ fn nearest(centroids: &Matrix, point: &[f64]) -> (usize, f64) {
 
 /// k-means++ seeding: first centroid uniform, the rest D²-weighted.
 #[allow(clippy::needless_range_loop)] // indices cross several parallel arrays
-fn plus_plus_seed(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+fn plus_plus_seed(data: &Matrix, k: usize, rng: &mut StdRng) -> Result<Matrix, MlError> {
     let n = data.rows();
     let mut centroids = Matrix::zeros(k, data.cols());
     let first = rng.gen_range(0..n);
-    centroids.set_row(0, data.row(first)).expect("dims agree");
+    centroids.set_row(0, data.row(first))?;
     let mut dist_sq: Vec<f64> = (0..n)
         .map(|i| euclidean_sq(data.row(i), centroids.row(0)))
         .collect();
@@ -188,7 +188,7 @@ fn plus_plus_seed(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
             }
             chosen
         };
-        centroids.set_row(c, data.row(idx)).expect("dims agree");
+        centroids.set_row(c, data.row(idx))?;
         for i in 0..n {
             let d = euclidean_sq(data.row(i), centroids.row(c));
             if d < dist_sq[i] {
@@ -196,12 +196,17 @@ fn plus_plus_seed(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
             }
         }
     }
-    centroids
+    Ok(centroids)
 }
 
 /// Lloyd iterations from given starting centroids.
 #[allow(clippy::needless_range_loop)] // indices cross several parallel arrays
-fn lloyd(data: &Matrix, mut centroids: Matrix, max_iters: usize, tolerance: f64) -> KMeans {
+fn lloyd(
+    data: &Matrix,
+    mut centroids: Matrix,
+    max_iters: usize,
+    tolerance: f64,
+) -> Result<KMeans, MlError> {
     let n = data.rows();
     let k = centroids.rows();
     let dim = data.cols();
@@ -240,14 +245,16 @@ fn lloyd(data: &Matrix, mut centroids: Matrix, max_iters: usize, tolerance: f64)
                         let db = euclidean_sq(data.row(b), centroids.row(assignments[b]));
                         da.total_cmp(&db)
                     })
-                    .expect("n >= 1");
+                    .ok_or_else(|| {
+                        MlError::InsufficientData("empty data while reseeding cluster".into())
+                    })?;
                 let row = data.row(far).to_vec();
-                centroids.set_row(c, &row).expect("dims agree");
+                centroids.set_row(c, &row)?;
                 continue;
             }
             let inv = 1.0 / counts[c] as f64;
             let mean: Vec<f64> = sums.row(c).iter().map(|s| s * inv).collect();
-            centroids.set_row(c, &mean).expect("dims agree");
+            centroids.set_row(c, &mean)?;
         }
         // Convergence check on relative inertia improvement.
         if inertia.is_finite() {
@@ -259,12 +266,12 @@ fn lloyd(data: &Matrix, mut centroids: Matrix, max_iters: usize, tolerance: f64)
         }
         inertia = new_inertia;
     }
-    KMeans {
+    Ok(KMeans {
         centroids,
         assignments,
         inertia,
         iterations,
-    }
+    })
 }
 
 /// Mean silhouette coefficient of a clustering: for each point, `(b - a) /
@@ -308,10 +315,12 @@ pub fn silhouette(data: &Matrix, assignments: &[usize], k: usize) -> Result<f64,
             continue; // singleton cluster: silhouette undefined, skip
         }
         let a = sums[own] / counts[own] as f64;
-        let b = (0..k)
-            .filter(|&c| c != own && counts[c] > 0)
-            .map(|c| sums[c] / counts[c] as f64)
-            .fold(f64::INFINITY, f64::min);
+        let b = crate::stats::fold_min_total(
+            f64::INFINITY,
+            (0..k)
+                .filter(|&c| c != own && counts[c] > 0)
+                .map(|c| sums[c] / counts[c] as f64),
+        );
         if !b.is_finite() {
             continue;
         }

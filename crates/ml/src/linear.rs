@@ -60,7 +60,7 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
         // Partial pivot.
         let pivot = (col..n)
             .max_by(|&p, &q| m[(p, col)].abs().total_cmp(&m[(q, col)].abs()))
-            .expect("non-empty range");
+            .ok_or_else(|| MlError::InsufficientData("empty pivot range".into()))?;
         if m[(pivot, col)].abs() < 1e-12 {
             return Err(MlError::InsufficientData(
                 "singular system in linear solve".into(),

@@ -302,6 +302,7 @@ impl Matrix {
         let mut cov = centered
             .transpose()
             .matmul(&centered)
+            // vesta-lint: allow(panic-in-lib, reason = "centered is rows x cols and its transpose cols x rows, so the inner dimensions agree identically; keeping covariance() infallible spares every PCA call site a phantom error path")
             .expect("covariance shapes always agree");
         let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
         cov.map_inplace(|v| v / denom);
@@ -363,6 +364,7 @@ impl Sub<&Matrix> for &Matrix {
 impl Mul<&Matrix> for &Matrix {
     type Output = Matrix;
     fn mul(self, other: &Matrix) -> Matrix {
+        // vesta-lint: allow(panic-in-lib, reason = "operator sugar over the checked matmul; the Mul trait cannot return Result, and the fallible matmul() is the supported API for unvalidated shapes")
         self.matmul(other).expect("matrix mul shape mismatch")
     }
 }

@@ -104,8 +104,7 @@ pub fn jacobi_eigen(m: &Matrix, max_sweeps: usize) -> Result<EigenDecomposition,
     let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|i| (a[(i, i)], v.col(i))).collect();
     pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
     let values = pairs.iter().map(|p| p.0).collect();
-    let vectors = Matrix::from_rows(&pairs.into_iter().map(|p| p.1).collect::<Vec<_>>())
-        .expect("eigenvector rows share length n");
+    let vectors = Matrix::from_rows(&pairs.into_iter().map(|p| p.1).collect::<Vec<_>>())?;
     Ok(EigenDecomposition { values, vectors })
 }
 

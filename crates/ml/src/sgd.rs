@@ -97,11 +97,7 @@ pub fn run_sgd_cancellable(
         lr *= config.decay;
     }
     SgdOutcome {
-        final_objective: if trace.is_empty() {
-            f64::INFINITY
-        } else {
-            *trace.last().expect("non-empty")
-        },
+        final_objective: trace.last().copied().unwrap_or(f64::INFINITY),
         trace,
         converged,
         epochs,

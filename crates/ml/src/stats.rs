@@ -213,13 +213,35 @@ pub fn euclidean_sq(xs: &[f64], ys: &[f64]) -> f64 {
     xs.iter().zip(ys).map(|(a, b)| (a - b) * (a - b)).sum()
 }
 
+/// Fold to the minimum under IEEE total order, starting from `init`.
+///
+/// Unlike `f64::min` — which always discards a NaN operand — the result is
+/// defined by the IEEE total order, so the reduction is deterministic on
+/// every input (including NaN payloads and signed zeros) and a negative NaN
+/// propagates to the result where finiteness checks can catch it. This
+/// (with [`fold_max_total`]) is the sanctioned float-reduction primitive
+/// for the `float-total-order` lint.
+#[inline]
+pub fn fold_min_total(init: f64, xs: impl IntoIterator<Item = f64>) -> f64 {
+    xs.into_iter()
+        .fold(init, |a, b| if b.total_cmp(&a).is_lt() { b } else { a })
+}
+
+/// Fold to the maximum under IEEE total order, starting from `init`.
+/// See [`fold_min_total`] for why this replaces `f64::max` folds.
+#[inline]
+pub fn fold_max_total(init: f64, xs: impl IntoIterator<Item = f64>) -> f64 {
+    xs.into_iter()
+        .fold(init, |a, b| if b.total_cmp(&a).is_gt() { b } else { a })
+}
+
 /// Min-max normalize a series into `[0, 1]`; a constant series maps to 0.5.
 pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
     if xs.is_empty() {
         return Vec::new();
     }
-    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = fold_min_total(f64::INFINITY, xs.iter().copied());
+    let hi = fold_max_total(f64::NEG_INFINITY, xs.iter().copied());
     if (hi - lo).abs() < f64::EPSILON {
         return vec![0.5; xs.len()];
     }
@@ -244,6 +266,17 @@ mod tests {
 
     fn approx(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn total_order_folds_match_plain_min_max_on_finite_input() {
+        let xs = [3.0, -1.5, 7.25, 0.0, 2.0];
+        assert_eq!(fold_min_total(f64::INFINITY, xs), -1.5);
+        assert_eq!(fold_max_total(f64::NEG_INFINITY, xs), 7.25);
+        // Empty input returns the identity untouched.
+        assert_eq!(fold_max_total(0.0, []), 0.0);
+        // A negative NaN propagates through the min instead of vanishing.
+        assert!(fold_min_total(f64::INFINITY, [1.0, -f64::NAN, 2.0]).is_nan());
     }
 
     #[test]

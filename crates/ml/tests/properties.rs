@@ -28,7 +28,7 @@ fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 64 }))]
 
     // ---------------- matrix algebra ----------------------------------
 

@@ -1,0 +1,441 @@
+//! A minimal, span-accurate Rust lexer for the invariant lint pass.
+//!
+//! The pass needs exactly three things from a lexer: identifiers and
+//! punctuation with `line:col` spans, comments surfaced separately (so
+//! `// vesta-lint:` directives can be parsed and doc-comment examples are
+//! never linted), and correct skipping of string/char literals so tokens
+//! inside `"thread_rng"` string data are not mistaken for code. It is
+//! deliberately dependency-free: the workspace registry must stay buildable
+//! offline, and none of the lints need full parse trees — only token
+//! patterns plus item-level brace matching (see `lints.rs`).
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: Kind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+}
+
+/// Token kind. Literals carry no text — no lint inspects literal contents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kind {
+    /// Identifier or keyword; the text is the identifier itself.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String/char/byte/numeric literal (contents dropped).
+    Lit,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Kind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the punctuation char `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct(c)
+    }
+
+    /// True when the token is exactly the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+}
+
+/// A comment that mentions `vesta-lint` (all other comments are dropped).
+#[derive(Debug, Clone)]
+pub struct LintComment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body with the leading `//`/`/*` markers stripped.
+    pub text: String,
+}
+
+/// Lex `src` into tokens plus any `vesta-lint` comments.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<LintComment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    comments: Vec<LintComment>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<LintComment>) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line, col),
+                'r' | 'b' if self.raw_or_byte_literal(line, col) => {}
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.tokens.push(Token {
+                        kind: Kind::Punct(c),
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
+        (self.tokens, self.comments)
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.keep_if_directive(start, self.pos, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.keep_if_directive(start, self.pos, line);
+    }
+
+    fn keep_if_directive(&mut self, start: usize, end: usize, line: u32) {
+        // `chars` indices equal byte indices only for ASCII sources, so
+        // re-slice through the char vector to stay correct on UTF-8.
+        let text: String = self.chars[start..end].iter().collect();
+        if text.contains("vesta-lint") {
+            let body = text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_end_matches('/')
+                .trim_end_matches('*')
+                .trim()
+                .to_string();
+            self.comments.push(LintComment { line, text: body });
+        }
+        // Silence the unused-field warning path: `src` anchors the lifetime.
+        let _ = self.src;
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::Lit,
+            line,
+            col,
+        });
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns false if
+    /// the `r`/`b` starts a plain identifier instead.
+    fn raw_or_byte_literal(&mut self, line: u32, col: u32) -> bool {
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1, c2) {
+            (Some('r'), Some('"'), _) | (Some('r'), Some('#'), _) if self.is_raw_start(1) => {
+                self.bump();
+                self.raw_string_tail(line, col);
+                true
+            }
+            (Some('b'), Some('"'), _) => {
+                self.bump();
+                self.string_literal(line, col);
+                true
+            }
+            (Some('b'), Some('\''), _) => {
+                self.bump();
+                self.char_literal_tail(line, col);
+                true
+            }
+            (Some('b'), Some('r'), Some('"')) | (Some('b'), Some('r'), Some('#'))
+                if self.is_raw_start(2) =>
+            {
+                self.bump();
+                self.bump();
+                self.raw_string_tail(line, col);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when, at `offset` chars ahead, `#*"` begins a raw string.
+    fn is_raw_start(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    /// Consume a raw string starting at the current `#*"` position.
+    fn raw_string_tail(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::Lit,
+            line,
+            col,
+        });
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // `'a` / `'static` (lifetime) vs `'x'` / `'\n'` (char literal):
+        // a lifetime is `'` + ident-start NOT followed by a closing `'`.
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let is_lifetime = matches!(c1, Some(c) if c.is_alphabetic() || c == '_')
+            && c2 != Some('\'');
+        if is_lifetime {
+            self.bump(); // the quote
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Lifetimes are invisible to every lint: drop them.
+        } else {
+            self.char_literal_tail(line, col);
+        }
+    }
+
+    fn char_literal_tail(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::Lit,
+            line,
+            col,
+        });
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::Ident(text),
+            line,
+            col,
+        });
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        while let Some(c) = self.peek(0) {
+            if c == '.' {
+                // A dot continues the literal (`1.5`, `2.`) unless it
+                // starts a method call or field access (`a.1.partial_cmp`,
+                // `1.max(2)`): a following identifier-start ends the number
+                // so the method name lexes as its own ident.
+                if matches!(self.peek(1), Some(n) if n.is_alphabetic() || n == '_') {
+                    break;
+                }
+                self.bump();
+            } else if c.is_alphanumeric() || c == '_' {
+                // `1e-3` / `1E+3`: pull the sign into the literal.
+                let was_exp = (c == 'e' || c == 'E')
+                    && matches!(self.peek(1), Some('+') | Some('-'))
+                    && matches!(self.peek(2), Some(d) if d.is_ascii_digit());
+                self.bump();
+                if was_exp {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::Lit,
+            line,
+            col,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // thread_rng in a comment
+            /* HashMap in a block */
+            let s = "thread_rng()";
+            let r = r#"HashMap"#;
+            let c = '"';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { unwrap_me(x) }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap_me".to_string()));
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let (toks, _) = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn directive_comments_are_surfaced() {
+        let (_, comments) = lex("x(); // vesta-lint: allow(panic-in-lib, reason = \"ok\")\n");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[0].text.starts_with("vesta-lint:"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let ids = idents("/* a /* b */ still comment */ code()");
+        assert_eq!(ids, vec!["code".to_string()]);
+    }
+
+    #[test]
+    fn numeric_exponents_stay_single_literals() {
+        let (toks, _) = lex("1.0e-3 + x");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Lit).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn method_calls_on_numeric_literals_keep_the_method_ident() {
+        // `a.1.partial_cmp(...)`: the tuple index must not swallow the
+        // method name into the literal.
+        let (toks, _) = lex("a.1.partial_cmp(&b.1)");
+        assert!(toks.iter().any(|t| t.is_ident("partial_cmp")));
+        let (toks, _) = lex("1.0f64.max(x)");
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        // Trailing-dot floats and exclusive ranges still lex.
+        let (toks, _) = lex("2. + 0..n");
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+    }
+}

@@ -1,0 +1,324 @@
+//! `vesta-xtask` — the repo-owned static-analysis pass enforcing Vesta's
+//! determinism and panic-safety invariants.
+//!
+//! Run as `cargo run -p vesta-xtask -- lint` (CI job `lint-invariants`).
+//! The pass lexes every workspace source file (no `syn`: the xtask must
+//! build offline with zero dependencies, and every check here is a scoped
+//! token-pattern, not a type-level property), runs the lint catalogue of
+//! [`lints`], honors inline `// vesta-lint: allow(<lint>, reason = "…")`
+//! escape hatches — a justification string is *required* — and reports
+//! span-accurate `file:line:col` diagnostics, human or `--format json`.
+//!
+//! See DESIGN.md "Invariant catalogue" for what each lint protects.
+
+pub mod lexer;
+pub mod lints;
+pub mod workspace;
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use lints::{Finding, LINT_NAMES};
+
+/// A parsed `vesta-lint: allow(<lint>, reason = "…")` directive.
+#[derive(Debug, Clone)]
+struct Allow {
+    lint: String,
+    /// 1-based line the directive comment starts on. The allow covers its
+    /// own line (trailing comment) and the next line (own-line comment).
+    line: u32,
+}
+
+/// Result of one lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Surviving findings, sorted by (file, line, col, lint).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Valid allow directives that suppressed at least one finding.
+    pub allows_honored: usize,
+}
+
+impl LintReport {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render human diagnostics, one finding per paragraph.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "error[{}]: {}:{}:{}\n  {}\n",
+                f.lint, f.file, f.line, f.col, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "vesta-lint: {} finding(s) across {} file(s) ({} allow(s) honored)\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.allows_honored
+        ));
+        out
+    }
+
+    /// Render the machine-readable `--format json` payload.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"message\": \"{}\"}}",
+                json_escape(f.lint),
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"allows_honored\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.allows_honored,
+            self.is_clean()
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse the directives of one file. Malformed or reason-less directives
+/// become `invalid-allow` findings — an allow without a justification is
+/// itself a lint violation, never a suppression.
+fn parse_directives(
+    file: &workspace::SourceFile,
+    comments: &[lexer::LintComment],
+) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("vesta-lint:") else {
+            // A comment mentioning vesta-lint without the directive shape
+            // (prose, docs) is not a directive.
+            continue;
+        };
+        let rest = rest.trim();
+        let invalid = |msg: String| Finding {
+            file: file.rel_path.clone(),
+            line: c.line,
+            col: 1,
+            lint: "invalid-allow",
+            message: msg,
+        };
+        let Some(args) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        else {
+            findings.push(invalid(format!(
+                "malformed directive `{rest}`; expected \
+                 `vesta-lint: allow(<lint>, reason = \"…\")`"
+            )));
+            continue;
+        };
+        let (lint_name, reason_part) = match args.split_once(',') {
+            Some((l, r)) => (l.trim(), Some(r.trim())),
+            None => (args.trim(), None),
+        };
+        if !lints::is_known_lint(lint_name) {
+            findings.push(invalid(format!(
+                "unknown lint `{lint_name}` in allow; known lints: {}",
+                LINT_NAMES.join(", ")
+            )));
+            continue;
+        }
+        let reason = reason_part
+            .and_then(|r| r.strip_prefix("reason"))
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim)
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.strip_suffix('"'))
+            .map(str::trim)
+            .unwrap_or_default();
+        if reason.is_empty() {
+            findings.push(invalid(format!(
+                "allow({lint_name}) carries no justification; a non-empty \
+                 `reason = \"…\"` is required"
+            )));
+            continue;
+        }
+        allows.push(Allow {
+            lint: lint_name.to_string(),
+            line: c.line,
+        });
+    }
+    (allows, findings)
+}
+
+/// Lint the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let files = workspace::discover(root)?;
+
+    // Pass 1: per-crate context — hash-typed identifiers and the impl
+    // targets that define `is_transient`.
+    let mut lexed = Vec::with_capacity(files.len());
+    let mut hash_names: BTreeMap<String, lints::HashNames> = BTreeMap::new();
+    let mut transient_impls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (file, abs) in &files {
+        let src = fs::read_to_string(abs)?;
+        let (tokens, comments) = lexer::lex(&src);
+        hash_names
+            .entry(file.krate.clone())
+            .or_default()
+            .collect(&tokens);
+        lints::collect_transient_impls(
+            &tokens,
+            transient_impls.entry(file.krate.clone()).or_default(),
+        );
+        lexed.push((file, tokens, comments));
+    }
+
+    // Pass 2: run the catalogue and resolve allows.
+    let empty_names = lints::HashNames::default();
+    let empty_impls = BTreeSet::new();
+    let mut findings = Vec::new();
+    let mut allows_honored = 0usize;
+    for (file, tokens, comments) in &lexed {
+        let regions = lints::test_regions(tokens);
+        let ctx = lints::FileCtx {
+            file,
+            tokens,
+            test_regions: &regions,
+            hash_names: hash_names.get(&file.krate).unwrap_or(&empty_names),
+            transient_impls: transient_impls.get(&file.krate).unwrap_or(&empty_impls),
+        };
+        let raw = lints::run_file(&ctx);
+        let (allows, mut invalid) = parse_directives(file, comments);
+        let mut used = vec![false; allows.len()];
+        for f in raw {
+            let suppressed = allows.iter().enumerate().any(|(i, a)| {
+                let covers = a.lint == f.lint && (f.line == a.line || f.line == a.line + 1);
+                if covers {
+                    used[i] = true;
+                }
+                covers
+            });
+            if !suppressed {
+                findings.push(f);
+            }
+        }
+        allows_honored += used.iter().filter(|u| **u).count();
+        findings.append(&mut invalid);
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint))
+    });
+    Ok(LintReport {
+        findings,
+        files_scanned: files.len(),
+        allows_honored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{FileRole, SourceFile};
+
+    fn file() -> SourceFile {
+        SourceFile {
+            rel_path: "crates/core/src/lib.rs".into(),
+            krate: "core".into(),
+            role: FileRole::Lib,
+        }
+    }
+
+    fn directives(src: &str) -> (Vec<Allow>, Vec<Finding>) {
+        let (_, comments) = lexer::lex(src);
+        parse_directives(&file(), &comments)
+    }
+
+    #[test]
+    fn allow_with_reason_parses() {
+        let (allows, bad) =
+            directives("// vesta-lint: allow(panic-in-lib, reason = \"len checked above\")\n");
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].lint, "panic-in-lib");
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let (allows, bad) = directives("// vesta-lint: allow(panic-in-lib)\n");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].lint, "invalid-allow");
+        assert!(bad[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn allow_with_empty_reason_is_rejected() {
+        let (allows, bad) = directives("// vesta-lint: allow(unseeded-rng, reason = \"\")\n");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unknown_lint_is_rejected() {
+        let (allows, bad) = directives("// vesta-lint: allow(no-such-lint, reason = \"x\")\n");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown lint"));
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn report_renders_both_formats() {
+        let report = LintReport {
+            findings: vec![Finding {
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                col: 7,
+                lint: "panic-in-lib",
+                message: "boom".into(),
+            }],
+            files_scanned: 1,
+            allows_honored: 0,
+        };
+        let human = report.render_human();
+        assert!(human.contains("error[panic-in-lib]: crates/core/src/x.rs:3:7"));
+        let json = report.render_json();
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"clean\": false"));
+    }
+}

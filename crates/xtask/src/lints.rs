@@ -1,0 +1,724 @@
+//! The Vesta invariant-lint catalogue.
+//!
+//! Every lint is a named token-pattern check over the lexed source of one
+//! workspace file, scoped by crate and file role. The catalogue encodes the
+//! determinism and panic-safety invariants the reproduction's headline
+//! claims rest on (see DESIGN.md "Invariant catalogue"); `lib.rs` drives
+//! the passes and applies `// vesta-lint: allow(...)` suppressions.
+
+use crate::lexer::{Kind, Token};
+use crate::workspace::{FileRole, SourceFile};
+use std::collections::BTreeSet;
+
+/// Machine name of every lint, in catalogue order.
+pub const LINT_NAMES: [&str; 7] = [
+    "nondeterministic-map",
+    "unseeded-rng",
+    "float-total-order",
+    "panic-in-lib",
+    "wallclock-in-core",
+    "error-hygiene",
+    "invalid-allow",
+];
+
+/// True when `name` is a known lint (including the directive meta-lint).
+pub fn is_known_lint(name: &str) -> bool {
+    LINT_NAMES.contains(&name)
+}
+
+/// One diagnostic produced by the pass.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Lint name from [`LINT_NAMES`].
+    pub lint: &'static str,
+    /// Human diagnostic.
+    pub message: String,
+}
+
+/// The four crates whose model-state / snapshot / serialization paths carry
+/// the bit-identity claims (`FaultPlan::none()`, batch == sequential,
+/// journal replay).
+const DETERMINISM_CRATES: [&str; 4] = ["core", "ml", "graph", "cloud-sim"];
+
+fn is_determinism_crate(krate: &str) -> bool {
+    DETERMINISM_CRATES.contains(&krate)
+}
+
+/// Hash-container iteration methods whose visit order is the hasher's.
+const HASH_ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Identifiers declared with a `HashMap`/`HashSet` type somewhere in a
+/// crate (fields, lets, params). An over-approximation is fine: a false
+/// positive needs one justified allow, a false negative silently ships a
+/// nondeterministic snapshot.
+#[derive(Debug, Default)]
+pub struct HashNames {
+    names: BTreeSet<String>,
+}
+
+impl HashNames {
+    /// Scan one file for hash-typed declarations and fold them in.
+    pub fn collect(&mut self, tokens: &[Token]) {
+        let mut i = 0;
+        while i < tokens.len() {
+            // `name : [path ::] HashMap <` and `name : [path ::] HashSet <`
+            if let Some(name) = tokens[i].ident() {
+                if tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                {
+                    let mut j = i + 2;
+                    // Skip path prefixes (`std :: collections ::`), `&`.
+                    loop {
+                        match tokens.get(j).map(|t| &t.kind) {
+                            Some(Kind::Punct('&')) => j += 1,
+                            Some(Kind::Ident(id)) if id == "HashMap" || id == "HashSet" => {
+                                self.names.insert(name.to_string());
+                                break;
+                            }
+                            Some(Kind::Ident(_))
+                                if tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                                    && tokens.get(j + 2).is_some_and(|t| t.is_punct(':')) =>
+                            {
+                                j += 3;
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                // `let name = HashMap :: new ( … )` / `HashSet :: with_capacity`
+                if name == "let" {
+                    if let Some(bound) = tokens.get(i + 1).and_then(|t| t.ident()) {
+                        let mut j = i + 2;
+                        if tokens.get(j).is_some_and(|t| t.is_punct('=')) {
+                            j += 1;
+                            if tokens
+                                .get(j)
+                                .and_then(|t| t.ident())
+                                .is_some_and(|id| id == "HashMap" || id == "HashSet")
+                            {
+                                self.names.insert(bound.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+}
+
+/// Context handed to each lint for one file.
+pub struct FileCtx<'a> {
+    pub file: &'a SourceFile,
+    pub tokens: &'a [Token],
+    /// Token-index ranges inside `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: &'a [(usize, usize)],
+    /// Hash-typed identifiers of this file's crate.
+    pub hash_names: &'a HashNames,
+    /// Per-crate names of `impl` targets that define `fn is_transient`.
+    pub transient_impls: &'a BTreeSet<String>,
+}
+
+impl FileCtx<'_> {
+    fn in_test_region(&self, idx: usize) -> bool {
+        self.test_regions.iter().any(|&(a, b)| idx >= a && idx < b)
+    }
+
+    fn finding(&self, idx: usize, lint: &'static str, message: String) -> Finding {
+        let t = &self.tokens[idx];
+        Finding {
+            file: self.file.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            lint,
+            message,
+        }
+    }
+}
+
+/// Compute the `#[cfg(test)]`/`#[test]`-gated token-index ranges of a file:
+/// an attribute whose identifier list contains `test` or `bench` gates the
+/// item that follows it (through the matching close brace, or to the `;`
+/// for brace-less items).
+pub fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, gated) = scan_attribute(tokens, i + 2);
+            if gated {
+                let start = i;
+                let end = skip_item(tokens, attr_end);
+                regions.push((start, end));
+                i = end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Scan an attribute body starting after `#[`; returns (index after the
+/// closing `]`, whether the attribute mentions ident `test`/`bench`).
+fn scan_attribute(tokens: &[Token], mut i: usize) -> (usize, bool) {
+    let mut depth = 1usize; // the `[` already consumed
+    let mut gated = false;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            Kind::Punct('[') => depth += 1,
+            Kind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, gated);
+                }
+            }
+            Kind::Ident(id) if id == "test" || id == "bench" => gated = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, gated)
+}
+
+/// Skip the item that starts at `i` (possibly more attributes first):
+/// returns the index one past its closing `}` or `;`.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Further attributes on the same item.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (end, _) = scan_attribute(tokens, i + 2);
+        i = end;
+    }
+    let mut brace_depth = 0usize;
+    let mut entered = false;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            Kind::Punct('{') => {
+                brace_depth += 1;
+                entered = true;
+            }
+            Kind::Punct('}') => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if entered && brace_depth == 0 {
+                    return i + 1;
+                }
+            }
+            Kind::Punct(';') if !entered => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Run every applicable lint over one file.
+pub fn run_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    nondeterministic_map(ctx, &mut findings);
+    unseeded_rng(ctx, &mut findings);
+    float_total_order(ctx, &mut findings);
+    panic_in_lib(ctx, &mut findings);
+    wallclock_in_core(ctx, &mut findings);
+    error_hygiene(ctx, &mut findings);
+    findings
+}
+
+/// **nondeterministic-map** — in the determinism crates' library code, no
+/// ordered traversal of `HashMap`/`HashSet` may reach model state,
+/// snapshots or serialized output: (a) iteration methods on hash-typed
+/// receivers, (b) `for … in` over hash-typed names, (c) hash containers
+/// inside `#[derive(Serialize/Deserialize)]` structs (serde walks them in
+/// hasher order). Keyed access is fine; ordered iteration must go through
+/// `BTreeMap`/`BTreeSet` or an explicit sort.
+fn nondeterministic_map(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !is_determinism_crate(&ctx.file.krate) || ctx.file.role != FileRole::Lib {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test_region(i) {
+            continue;
+        }
+        // (a) `<hash-name> . iter ( …`
+        if toks[i].is_punct('.') {
+            let recv = i.checked_sub(1).and_then(|p| toks[p].ident());
+            let method = toks.get(i + 1).and_then(|t| t.ident());
+            let called = toks.get(i + 2).is_some_and(|t| t.is_punct('('));
+            if let (Some(recv), Some(method), true) = (recv, method, called) {
+                if ctx.hash_names.contains(recv) && HASH_ITER_METHODS.contains(&method) {
+                    out.push(ctx.finding(
+                        i + 1,
+                        "nondeterministic-map",
+                        format!(
+                            "`.{method}()` on hash-typed `{recv}` visits entries in hasher \
+                             order; iterate a `BTreeMap`/`BTreeSet` or sort explicitly"
+                        ),
+                    ));
+                }
+            }
+        }
+        // (b) `for … in [& [mut]] <hash-name> {`
+        if toks[i].is_ident("in") {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+            {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).and_then(|t| t.ident()) {
+                if ctx.hash_names.contains(name)
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('{'))
+                {
+                    out.push(ctx.finding(
+                        j,
+                        "nondeterministic-map",
+                        format!(
+                            "`for` loop over hash-typed `{name}` visits entries in hasher \
+                             order; iterate a `BTreeMap`/`BTreeSet` or sort explicitly"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // (c) hash containers inside serde-derived structs.
+    serde_struct_regions(toks, |start, end| {
+        for k in start..end {
+            if ctx.in_test_region(k) {
+                continue;
+            }
+            if let Some(id) = toks[k].ident() {
+                if id == "HashMap" || id == "HashSet" {
+                    out.push(ctx.finding(
+                        k,
+                        "nondeterministic-map",
+                        format!(
+                            "`{id}` field inside a `#[derive(Serialize)]` struct serializes \
+                             in hasher order; use `BTreeMap`/`BTreeSet` for stable output"
+                        ),
+                    ));
+                }
+            }
+        }
+    });
+}
+
+/// Invoke `f(start, end)` with the token range of every struct/enum body
+/// whose derive list contains `Serialize` or `Deserialize`.
+fn serde_struct_regions(tokens: &[Token], mut f: impl FnMut(usize, usize)) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_start = i + 2;
+            let (attr_end, _) = scan_attribute(tokens, attr_start);
+            let is_serde_derive = tokens.get(attr_start).is_some_and(|t| t.is_ident("derive"))
+                && tokens[attr_start..attr_end]
+                    .iter()
+                    .any(|t| t.is_ident("Serialize") || t.is_ident("Deserialize"));
+            if is_serde_derive {
+                let end = skip_item(tokens, attr_end);
+                f(attr_end, end);
+                i = end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// **unseeded-rng** — outside the bench crate, all randomness must flow
+/// from seeded `StdRng` streams: no `thread_rng()`, `from_entropy()`,
+/// `OsRng`, or `rand::random`.
+fn unseeded_rng(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.file.krate == "bench" {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        let Some(id) = toks[i].ident() else { continue };
+        let hit = match id {
+            "thread_rng" | "from_entropy" | "OsRng" => true,
+            "random" => {
+                // `rand :: random`
+                i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("rand")
+            }
+            _ => false,
+        };
+        if hit {
+            out.push(ctx.finding(
+                i,
+                "unseeded-rng",
+                format!(
+                    "`{id}` draws from ambient entropy; every random stream must be a \
+                     seeded `StdRng` so reruns are bit-identical"
+                ),
+            ));
+        }
+    }
+}
+
+/// **float-total-order** — in scoring paths (determinism crates plus the
+/// baselines they are compared against), float ranking must use
+/// `total_cmp`: no `partial_cmp` and no `f64::max`/`f64::min`-style path
+/// calls (which silently drop NaN instead of ordering it).
+fn float_total_order(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let in_scope = is_determinism_crate(&ctx.file.krate) || ctx.file.krate == "baselines";
+    if !in_scope || ctx.file.role != FileRole::Lib {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test_region(i) {
+            continue;
+        }
+        let Some(id) = toks[i].ident() else { continue };
+        if id == "partial_cmp" {
+            out.push(ctx.finding(
+                i,
+                "float-total-order",
+                "`partial_cmp` on floats yields `None` for NaN and destabilizes ranking; \
+                 use `total_cmp`"
+                    .to_string(),
+            ));
+        }
+        if (id == "max" || id == "min")
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3]
+                .ident()
+                .is_some_and(|t| t == "f64" || t == "f32")
+        {
+            out.push(ctx.finding(
+                i,
+                "float-total-order",
+                format!(
+                    "`{}::{id}` silently drops NaN; rank through `total_cmp` so corrupt \
+                     samples surface as errors, not reordered results",
+                    toks[i - 3].ident().unwrap_or("f64")
+                ),
+            ));
+        }
+    }
+}
+
+/// **panic-in-lib** — library code must not panic on reachable paths: no
+/// `unwrap()` / `expect(…)` / `panic!` / `unreachable!` / `todo!` /
+/// `unimplemented!` outside test and bench code. Invariant-guarded uses
+/// carry a `vesta-lint: allow` with the proof in its reason.
+fn panic_in_lib(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.file.krate == "bench" || ctx.file.role != FileRole::Lib {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test_region(i) {
+            continue;
+        }
+        let Some(id) = toks[i].ident() else { continue };
+        match id {
+            "unwrap" | "expect"
+                if i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                out.push(ctx.finding(
+                    i,
+                    "panic-in-lib",
+                    format!(
+                        "`.{id}(…)` panics in library code; return a typed `VestaError`/\
+                         crate error, or justify the invariant with an allow"
+                    ),
+                ));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                out.push(ctx.finding(
+                    i,
+                    "panic-in-lib",
+                    format!("`{id}!` aborts the caller; surface a typed error instead"),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// **wallclock-in-core** — deterministic check-budget paths must stay
+/// wallclock-free: `Instant::now` / `SystemTime` appear only at sanctioned,
+/// individually-justified sites (supervisor deadline construction, the
+/// bench stopwatch helper).
+fn wallclock_in_core(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !matches!(ctx.file.role, FileRole::Lib | FileRole::Bin) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test_region(i) {
+            continue;
+        }
+        let Some(id) = toks[i].ident() else { continue };
+        if id == "now"
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3]
+                .ident()
+                .is_some_and(|t| t == "Instant" || t == "SystemTime")
+        {
+            out.push(ctx.finding(
+                i - 3,
+                "wallclock-in-core",
+                format!(
+                    "`{}::now()` reads the wall clock; deterministic paths must take \
+                     budgets/deadlines as inputs (sanctioned sites carry an allow)",
+                    toks[i - 3].ident().unwrap_or("Instant")
+                ),
+            ));
+        }
+    }
+}
+
+/// **error-hygiene** — every public error enum (`pub enum *Error`) is
+/// `#[non_exhaustive]` and classified by an `is_transient` method, so
+/// retry/shed policy branches on types, never on rendered text.
+fn error_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.file.krate == "bench" || ctx.file.role != FileRole::Lib {
+        return;
+    }
+    let toks = ctx.tokens;
+    let mut i = 0;
+    // Attributes seen since the last item boundary, so the check can look
+    // back for `#[non_exhaustive]` when it reaches `pub enum`.
+    let mut pending_attrs: Vec<String> = Vec::new();
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let start = i + 2;
+            let (end, _) = scan_attribute(toks, start);
+            pending_attrs.extend(
+                toks[start..end]
+                    .iter()
+                    .filter_map(|t| t.ident().map(str::to_string)),
+            );
+            i = end;
+            continue;
+        }
+        if toks[i].is_ident("pub")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("enum"))
+            && toks
+                .get(i + 2)
+                .and_then(|t| t.ident())
+                .is_some_and(|n| n.ends_with("Error"))
+        {
+            let name = toks[i + 2].ident().unwrap_or_default().to_string();
+            if !ctx.in_test_region(i) {
+                if !pending_attrs.iter().any(|a| a == "non_exhaustive") {
+                    out.push(ctx.finding(
+                        i + 2,
+                        "error-hygiene",
+                        format!(
+                            "public error enum `{name}` is not `#[non_exhaustive]`; future \
+                             variants must not break downstream matches"
+                        ),
+                    ));
+                }
+                if !ctx.transient_impls.contains(&name) {
+                    out.push(ctx.finding(
+                        i + 2,
+                        "error-hygiene",
+                        format!(
+                            "public error enum `{name}` has no `is_transient()` \
+                             classification; retry/shed policy must branch on it"
+                        ),
+                    ));
+                }
+            }
+            pending_attrs.clear();
+            i = skip_item(toks, i);
+            continue;
+        }
+        // Any other substantive token ends the attribute run.
+        if !matches!(toks[i].kind, Kind::Punct(_)) || toks[i].is_punct('{') || toks[i].is_punct(';')
+        {
+            pending_attrs.clear();
+        }
+        i += 1;
+    }
+}
+
+/// Collect, per crate, the names of `impl` targets whose block defines
+/// `fn is_transient` (e.g. `impl SimError { … fn is_transient … }`).
+pub fn collect_transient_impls(tokens: &[Token], into: &mut BTreeSet<String>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("impl") {
+            if let Some(target) = tokens.get(i + 1).and_then(|t| t.ident()) {
+                // Find the impl body and scan it for `fn is_transient`.
+                let mut j = i + 2;
+                while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+                    let end = skip_item(tokens, j);
+                    if tokens[j..end].windows(2).any(|w| {
+                        w[0].is_ident("fn") && w[1].is_ident("is_transient")
+                    }) {
+                        into.insert(target.to_string());
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::workspace::{FileRole, SourceFile};
+
+    fn ctx_file(krate: &str, role: FileRole) -> SourceFile {
+        SourceFile {
+            rel_path: format!("crates/{krate}/src/lib.rs"),
+            krate: krate.to_string(),
+            role,
+        }
+    }
+
+    fn run(src: &str, krate: &str, role: FileRole) -> Vec<Finding> {
+        let (tokens, _) = lex(src);
+        let mut hash_names = HashNames::default();
+        hash_names.collect(&tokens);
+        let mut transient = BTreeSet::new();
+        collect_transient_impls(&tokens, &mut transient);
+        let regions = test_regions(&tokens);
+        let file = ctx_file(krate, role);
+        let ctx = FileCtx {
+            file: &file,
+            tokens: &tokens,
+            test_regions: &regions,
+            hash_names: &hash_names,
+            transient_impls: &transient,
+        };
+        run_file(&ctx)
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_keyed_access_is_not() {
+        let src = "
+            struct S { by_name: HashMap<String, usize> }
+            fn keyed(s: &S) { s.by_name.get(\"x\"); }
+            fn iterated(s: &S) { for v in s.by_name.values() { drop(v); } }
+        ";
+        let f = run(src, "cloud-sim", FileRole::Lib);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "nondeterministic-map");
+        assert!(f[0].message.contains("values"));
+    }
+
+    #[test]
+    fn serde_struct_with_hashmap_is_flagged() {
+        let src = "
+            #[derive(Debug, Clone, Serialize, Deserialize)]
+            pub struct Catalog { types: Vec<VmType>, by_name: HashMap<String, usize> }
+        ";
+        let f = run(src, "cloud-sim", FileRole::Lib);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Serialize"));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let x: Option<u8> = None; x.unwrap(); }
+            }
+        ";
+        assert!(run(src, "core", FileRole::Lib).is_empty());
+    }
+
+    #[test]
+    fn panics_in_lib_code_are_flagged() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.expect(\"set\") }";
+        let f = run(src, "ml", FileRole::Lib);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "panic-in-lib");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }";
+        assert!(run(src, "ml", FileRole::Lib).is_empty());
+    }
+
+    #[test]
+    fn error_enum_without_hygiene_flagged_twice() {
+        let src = "pub enum FooError { A, B }";
+        let f = run(src, "graph", FileRole::Lib);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.lint == "error-hygiene"));
+    }
+
+    #[test]
+    fn hygienic_error_enum_is_clean() {
+        let src = "
+            #[derive(Debug)]
+            #[non_exhaustive]
+            pub enum FooError { A }
+            impl FooError { pub fn is_transient(&self) -> bool { false } }
+        ";
+        assert!(run(src, "graph", FileRole::Lib).is_empty());
+    }
+
+    #[test]
+    fn wallclock_and_rng_and_floats() {
+        let src = "
+            pub fn t() -> Instant { Instant::now() }
+            pub fn r() -> u64 { thread_rng().gen() }
+            pub fn c(a: f64, b: f64) -> Ordering { a.partial_cmp(&b).unwrap() }
+        ";
+        let f = run(src, "core", FileRole::Lib);
+        let lints: Vec<&str> = f.iter().map(|x| x.lint).collect();
+        assert!(lints.contains(&"wallclock-in-core"), "{f:?}");
+        assert!(lints.contains(&"unseeded-rng"), "{f:?}");
+        assert!(lints.contains(&"float-total-order"), "{f:?}");
+        assert!(lints.contains(&"panic-in-lib"), "{f:?}");
+    }
+}

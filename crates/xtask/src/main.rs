@@ -1,0 +1,85 @@
+//! CLI for the Vesta invariant lint pass.
+//!
+//! ```text
+//! cargo run -p vesta-xtask -- lint [--format json] [--root <path>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: vesta-xtask lint [--format json] [--root <path>]");
+        return ExitCode::from(2);
+    };
+    if cmd != "lint" {
+        eprintln!("unknown command `{cmd}`; supported: lint");
+        return ExitCode::from(2);
+    }
+    let mut format_json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("json") => format_json = true,
+                    Some("human") => format_json = false,
+                    other => {
+                        eprintln!("--format takes `json` or `human`, got {other:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--root" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--root takes a path");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(p));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    match vesta_xtask::lint_workspace(&root) {
+        Ok(report) => {
+            if format_json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("vesta-xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` under cargo, else cwd.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(|c| c.parent())
+                .map(PathBuf::from)
+                .unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}

@@ -1,0 +1,121 @@
+//! Workspace file discovery and role classification for the lint pass.
+//!
+//! The pass never consults `Cargo.toml`: the repo's layout is regular
+//! enough that path shape determines crate and role, and staying
+//! manifest-free keeps the xtask dependency-free.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What kind of code a file holds — lints scope on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library code (`crates/<c>/src/**`, `src/lib.rs`).
+    Lib,
+    /// Binary code (`src/bin/**`, `crates/<c>/src/bin/**`).
+    Bin,
+    /// Integration tests (`tests/**`, `crates/<c>/tests/**`).
+    Test,
+    /// Criterion benches (`crates/<c>/benches/**`).
+    Bench,
+    /// Examples — exempt from every lint.
+    Example,
+}
+
+/// One workspace source file as the lints see it.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Crate name (`core`, `ml`, …; the facade crate is `vesta-suite`).
+    pub krate: String,
+    /// Role within its crate.
+    pub role: FileRole,
+}
+
+/// Discover every lintable `.rs` file under `root`. The xtask crate itself
+/// (including its fixtures) and generated/vendored trees are excluded.
+pub fn discover(root: &Path) -> io::Result<Vec<(SourceFile, PathBuf)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue, // unreadable dirs are skipped, not fatal
+        };
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(
+                    name.as_ref(),
+                    ".git" | "target" | "results" | "node_modules"
+                ) {
+                    continue;
+                }
+                // The lint pass must not lint itself or its fixtures.
+                if path.strip_prefix(root).is_ok_and(|r| r == Path::new("crates/xtask")) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if let Some(file) = classify(&rel) {
+                    files.push((file, path));
+                }
+            }
+        }
+    }
+    files.sort_by(|a, b| a.0.rel_path.cmp(&b.0.rel_path));
+    Ok(files)
+}
+
+/// Map a workspace-relative path to its crate and role; `None` exempts the
+/// file from the pass entirely.
+pub fn classify(rel: &str) -> Option<SourceFile> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (krate, role) = match parts.as_slice() {
+        ["crates", "xtask", ..] => return None,
+        ["crates", c, "src", "bin", ..] => ((*c).to_string(), FileRole::Bin),
+        ["crates", c, "src", ..] => ((*c).to_string(), FileRole::Lib),
+        ["crates", c, "tests", ..] => ((*c).to_string(), FileRole::Test),
+        ["crates", c, "benches", ..] => ((*c).to_string(), FileRole::Bench),
+        ["crates", c, "examples", ..] => ((*c).to_string(), FileRole::Example),
+        ["src", "bin", ..] => ("vesta-suite".to_string(), FileRole::Bin),
+        ["src", ..] => ("vesta-suite".to_string(), FileRole::Lib),
+        ["tests", ..] => ("vesta-suite".to_string(), FileRole::Test),
+        ["examples", ..] => ("vesta-suite".to_string(), FileRole::Example),
+        _ => return None,
+    };
+    Some(SourceFile {
+        rel_path: rel.to_string(),
+        krate,
+        role,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        let f = classify("crates/core/src/engine.rs").unwrap();
+        assert_eq!((f.krate.as_str(), f.role), ("core", FileRole::Lib));
+        let f = classify("crates/bench/src/bin/experiments.rs").unwrap();
+        assert_eq!((f.krate.as_str(), f.role), ("bench", FileRole::Bin));
+        let f = classify("tests/supervisor.rs").unwrap();
+        assert_eq!((f.krate.as_str(), f.role), ("vesta-suite", FileRole::Test));
+        let f = classify("src/bin/vesta.rs").unwrap();
+        assert_eq!((f.krate.as_str(), f.role), ("vesta-suite", FileRole::Bin));
+        assert!(classify("crates/xtask/src/lints.rs").is_none());
+        assert!(classify("build.rs").is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Fixture-driven end-to-end tests for the lint pass.
+//!
+//! Each directory under `tests/fixtures/<name>/` is a miniature workspace
+//! plus an `expected.txt` snapshot of the findings the pass must report,
+//! one `lint file:line:col` line each, in the pass's sorted order. To
+//! regenerate a snapshot after an intentional behavior change, run the
+//! binary with `--root crates/xtask/tests/fixtures/<name>` and copy the
+//! `error[...]` lines.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn assert_matches_snapshot(name: &str) -> vesta_xtask::LintReport {
+    let root = fixture_root(name);
+    let report = vesta_xtask::lint_workspace(&root).expect("fixture workspace lints");
+    let mut got = String::new();
+    for f in &report.findings {
+        writeln!(got, "{} {}:{}:{}", f.lint, f.file, f.line, f.col).unwrap();
+    }
+    let expected = std::fs::read_to_string(root.join("expected.txt")).expect("expected.txt");
+    assert_eq!(
+        got.trim(),
+        expected.trim(),
+        "fixture `{name}` diverged from its snapshot;\nfull report:\n{}",
+        report.render_human()
+    );
+    report
+}
+
+#[test]
+fn nondeterministic_map_fixture() {
+    assert_matches_snapshot("nondeterministic-map");
+}
+
+#[test]
+fn unseeded_rng_fixture() {
+    assert_matches_snapshot("unseeded-rng");
+}
+
+#[test]
+fn float_total_order_fixture() {
+    assert_matches_snapshot("float-total-order");
+}
+
+#[test]
+fn panic_in_lib_fixture_flags_lib_but_not_test_code() {
+    let report = assert_matches_snapshot("panic-in-lib");
+    // The fixture's #[cfg(test)] module unwraps and panics too; none of
+    // those lines (14+) may appear in the findings.
+    assert!(
+        report.findings.iter().all(|f| f.line < 14),
+        "test-region code was flagged: {}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn wallclock_in_core_fixture() {
+    assert_matches_snapshot("wallclock-in-core");
+}
+
+#[test]
+fn error_hygiene_fixture_reports_both_requirements() {
+    let report = assert_matches_snapshot("error-hygiene");
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("non_exhaustive")));
+    assert!(messages.iter().any(|m| m.contains("is_transient")));
+}
+
+#[test]
+fn allow_without_reason_is_rejected_and_suppresses_nothing() {
+    let report = assert_matches_snapshot("allow-no-reason");
+    assert_eq!(report.allows_honored, 0);
+    assert!(report.findings.iter().any(|f| f.lint == "invalid-allow"));
+    assert!(report.findings.iter().any(|f| f.lint == "panic-in-lib"));
+}
+
+#[test]
+fn justified_allow_suppresses_exactly_its_finding() {
+    let report = assert_matches_snapshot("clean-allow");
+    assert!(report.is_clean(), "{}", report.render_human());
+    assert_eq!(report.allows_honored, 1);
+}
+
+#[test]
+fn json_rendering_round_trips_fixture_findings() {
+    let root = fixture_root("panic-in-lib");
+    let report = vesta_xtask::lint_workspace(&root).expect("fixture workspace lints");
+    let json = report.render_json();
+    assert!(json.contains("\"lint\": \"panic-in-lib\""));
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"files_scanned\": 1"));
+}
+
+/// The real workspace must stay lint-clean: this makes `cargo test`
+/// (tier-1) enforce the invariant pass, not just the CI job.
+#[test]
+fn real_workspace_is_clean() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels under the workspace root");
+    let report = vesta_xtask::lint_workspace(repo_root).expect("workspace lints");
+    assert!(
+        report.is_clean(),
+        "the tree has lint findings:\n{}",
+        report.render_human()
+    );
+}

@@ -1,0 +1,7 @@
+//! Fixture: an allow without a justification is itself a violation and
+//! suppresses nothing.
+
+pub fn head(xs: &[u64]) -> u64 {
+    // vesta-lint: allow(panic-in-lib)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a public error enum missing both hygiene requirements.
+
+#[derive(Debug)]
+pub enum StoreError {
+    Missing(String),
+    Corrupt { offset: usize },
+}

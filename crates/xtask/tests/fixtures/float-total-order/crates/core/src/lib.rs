@@ -1,0 +1,9 @@
+//! Fixture: float ranking through NaN-dropping comparators.
+
+pub fn rank(xs: &mut Vec<(usize, f64)>) {
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn peak(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}

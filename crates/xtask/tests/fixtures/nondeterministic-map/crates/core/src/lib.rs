@@ -1,0 +1,15 @@
+//! Fixture: hash-ordered iteration reaching serialized / snapshot state.
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+pub struct Snapshot {
+    pub table: HashMap<String, u64>,
+}
+
+pub fn dump(rows: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for key in rows.keys() {
+        out.push(key.clone());
+    }
+    out
+}

@@ -1,0 +1,26 @@
+//! Fixture: panics in library code; the same constructs inside tests are fine.
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn guard(flag: bool) {
+    if !flag {
+        panic!("flag must be set");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap_and_panic() {
+        assert_eq!(head(&[1]), 1);
+        let x: Option<u32> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+        if false {
+            panic!("unreached");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: entropy-seeded randomness in a deterministic crate.
+
+pub fn noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}
+
+pub fn reseed() -> StdRng {
+    StdRng::from_entropy()
+}

@@ -373,6 +373,7 @@ fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), 
     }
 
     let knowledge = vesta.into_knowledge().map_err(|e| e.to_string())?;
+    // vesta-lint: allow(wallclock-in-core, reason = "CLI status line reporting how long the batch took on this host; never feeds model state")
     let started = std::time::Instant::now();
     let outcomes = knowledge.predict_batch_supervised(&workloads);
     let elapsed = started.elapsed();

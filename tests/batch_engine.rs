@@ -51,7 +51,7 @@ fn arrangement(seed: u64, len: usize) -> Vec<Workload> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 8 }))]
 
     #[test]
     fn batch_equals_sequential_for_any_arrangement(
@@ -192,7 +192,7 @@ fn faulted() -> &'static Knowledge {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 6 }))]
 
     #[test]
     fn faulted_batch_equals_faulted_sequential(

@@ -377,7 +377,7 @@ fn missing_journal_recovers_to_the_bare_snapshot() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 12 }))]
 
     #[test]
     fn recovery_is_exact_at_arbitrary_truncation_offsets(frac in 0.0f64..1.0) {
