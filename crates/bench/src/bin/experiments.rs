@@ -1,15 +1,18 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--chaos] [all | table1 | table3 | table4 | table5 | fig1 |
+//! experiments [--quick] [--chaos] [--throughput] [--telemetry]
+//!             [all | table1 | table3 | table4 | table5 | fig1 |
 //!              fig2 | fig3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 |
 //!              fig13 | ablations | summary | learning | flink | resilience |
 //!              throughput | chaos]...
 //! ```
 //!
-//! `--chaos` appends the supervised fault-injection sweep (`chaos` id) to
-//! whatever else runs. Results print as aligned tables and are dumped to
-//! `results/<id>.json`.
+//! `--chaos` / `--throughput` append the corresponding extension experiment
+//! to whatever else runs. `--telemetry` attaches a shared metrics registry
+//! to every serving handle the experiments build and writes the aggregate
+//! snapshot to `results/TELEMETRY.json`. Results print as aligned tables
+//! and are dumped to `results/<id>.json`.
 
 use std::path::PathBuf;
 use vesta_bench::{run_experiment, Context, Fidelity, ALL_EXPERIMENTS};
@@ -18,12 +21,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let throughput = args.iter().any(|a| a == "--throughput");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
     let mut ids: Vec<String> = args
         .into_iter()
-        .filter(|a| a != "--quick" && a != "--chaos")
+        .filter(|a| a != "--quick" && a != "--chaos" && a != "--throughput" && a != "--telemetry")
         .collect();
     if chaos && !ids.iter().any(|a| a == "chaos") {
         ids.push("chaos".to_string());
+    }
+    if throughput && !ids.iter().any(|a| a == "throughput") {
+        ids.push("throughput".to_string());
     }
     if ids.is_empty() {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
@@ -37,7 +45,10 @@ fn main() {
     } else {
         Fidelity::Full
     };
-    let ctx = Context::new(fidelity);
+    let mut ctx = Context::new(fidelity);
+    if telemetry {
+        ctx = ctx.with_telemetry();
+    }
     let results_dir = PathBuf::from("results");
     let started = vesta_bench::Stopwatch::start();
     for id in &ids {
@@ -51,6 +62,16 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(registry) = &ctx.telemetry {
+        let path = results_dir.join("TELEMETRY.json");
+        if let Err(e) = std::fs::create_dir_all(&results_dir)
+            .and_then(|_| std::fs::write(&path, registry.snapshot().to_json()))
+        {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[experiments] telemetry snapshot written to {}", path.display());
     }
     eprintln!(
         "\n[experiments] {} experiment(s) in {:.1}s (fidelity: {:?}); JSON in {}/",

@@ -98,11 +98,21 @@ fn scenarios() -> Vec<Scenario> {
 }
 
 /// Fresh handle whose config carries the scenario's plan + supervision.
-fn handle_for(ctx: &Context, sc: &Scenario) -> Knowledge {
+///
+/// Only the concurrent batch handles report into the shared telemetry
+/// registry (`instrument = true`): the sequential reference passes and the
+/// recovery drill stay unobserved so the snapshot's breaker-trip and shed
+/// counters sum-match the per-scenario series exactly.
+fn handle_for(ctx: &Context, sc: &Scenario, instrument: bool) -> Knowledge {
     let mut snapshot = ctx.vesta().offline.to_snapshot();
     snapshot.config.fault_plan = sc.plan.clone();
     snapshot.config.supervisor = sc.supervisor.clone();
-    Knowledge::from_snapshot(snapshot, Catalog::aws_ec2()).expect("chaos handle restores")
+    let knowledge =
+        Knowledge::from_snapshot(snapshot, Catalog::aws_ec2()).expect("chaos handle restores");
+    match (instrument, &ctx.telemetry) {
+        (true, Some(registry)) => knowledge.with_telemetry(std::sync::Arc::clone(registry)),
+        _ => knowledge,
+    }
 }
 
 fn count(outcomes: &[RequestOutcome], label: &str) -> usize {
@@ -160,7 +170,7 @@ pub fn chaos(ctx: &Context) -> ExperimentReport {
         // Sequential pass, one request at a time, for the latency
         // distribution under fault (and, for deterministic plans, the
         // reference the concurrent pass is checked against).
-        let seq_handle = handle_for(ctx, &sc);
+        let seq_handle = handle_for(ctx, &sc, false);
         let mut latencies_ms = Vec::with_capacity(n);
         let mut sequential: Vec<RequestOutcome> = Vec::with_capacity(n);
         for w in &workloads {
@@ -171,7 +181,7 @@ pub fn chaos(ctx: &Context) -> ExperimentReport {
         }
 
         // Concurrent pass over a second cold handle.
-        let batch_handle = handle_for(ctx, &sc);
+        let batch_handle = handle_for(ctx, &sc, true);
         let started = crate::Stopwatch::start();
         let batch = batch_handle.predict_batch_supervised(&workloads);
         let wall_s = started.elapsed_s();
@@ -233,7 +243,7 @@ pub fn chaos(ctx: &Context) -> ExperimentReport {
     // Crash-recovery drill: journal the clean scenario's absorptions, then
     // rebuild from snapshot + journal and compare the published state.
     let clean = &scenarios()[0];
-    let live = handle_for(ctx, clean);
+    let live = handle_for(ctx, clean, false);
     let outcomes = live.predict_batch_supervised(&workloads);
     let dir = std::env::temp_dir().join(format!("vesta-chaos-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("chaos temp dir");

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use vesta_baselines::{Ernest, ErnestConfig, Paris, ParisConfig};
 use vesta_cloud_sim::Catalog;
 use vesta_core::{Vesta, VestaConfig};
+use vesta_obs::MetricsRegistry;
 use vesta_workloads::{Suite, Workload};
 
 /// Fidelity of the experiment run: `Full` approximates the paper's
@@ -28,6 +29,10 @@ pub struct Context {
     pub suite: Suite,
     /// Fidelity level.
     pub fidelity: Fidelity,
+    /// Shared telemetry registry experiments attach to serving handles
+    /// when `--telemetry` is on; `None` leaves every handle on its
+    /// private noop registry.
+    pub telemetry: Option<Arc<MetricsRegistry>>,
     vesta: Mutex<Option<Arc<Vesta>>>,
     paris: Mutex<Option<Arc<Paris>>>,
 }
@@ -39,9 +44,17 @@ impl Context {
             catalog: Catalog::aws_ec2(),
             suite: Suite::paper(),
             fidelity,
+            telemetry: None,
             vesta: Mutex::new(None),
             paris: Mutex::new(None),
         }
+    }
+
+    /// Enable telemetry collection: experiments that build serving
+    /// handles attach them to this shared registry.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = Some(Arc::new(MetricsRegistry::noop()));
+        self
     }
 
     /// The Vesta config for this fidelity.

@@ -30,9 +30,14 @@ pub fn throughput(ctx: &Context) -> ExperimentReport {
     let vesta = ctx.vesta();
     let seq_knowledge = Knowledge::from_snapshot(vesta.offline.to_snapshot(), ctx.catalog.clone())
         .expect("snapshot restores");
-    let batch_knowledge =
+    let mut batch_knowledge =
         Knowledge::from_snapshot(vesta.offline.to_snapshot(), ctx.catalog.clone())
             .expect("snapshot restores");
+    // Under `--telemetry` the batch handle reports into the shared
+    // registry; its noop clock keeps every prediction bit-identical.
+    if let Some(registry) = &ctx.telemetry {
+        batch_knowledge = batch_knowledge.with_telemetry(std::sync::Arc::clone(registry));
+    }
 
     let mut workloads: Vec<Workload> = ctx.suite.target().into_iter().cloned().collect();
     workloads.extend(ctx.suite.source_testing().into_iter().cloned());
@@ -104,14 +109,18 @@ pub fn throughput(ctx: &Context) -> ExperimentReport {
     }
 
     // Warm repeat on the batch handle: every fingerprint is already in the
-    // reference cache, so this is the steady-state serving rate.
+    // reference cache, so this is the steady-state serving rate. Served
+    // through the supervised path (supervision off ⇒ bit-identical
+    // predictions) so admission/outcome telemetry reflects real traffic.
     let warm_started = crate::Stopwatch::start();
-    let warm_predictions = batch_knowledge
-        .predict_batch(&workloads)
-        .expect("warm batch serves");
+    let warm_outcomes = batch_knowledge.predict_batch_supervised(&workloads);
     let warm_s = warm_started.elapsed_s();
-    for (a, b) in batch_predictions.iter().zip(&warm_predictions) {
-        assert_eq!(a.best_vm, b.best_vm, "cache replay diverged");
+    for (a, b) in batch_predictions.iter().zip(&warm_outcomes) {
+        let warm = b
+            .outcome
+            .prediction()
+            .expect("supervision off serves every request");
+        assert_eq!(a.best_vm, warm.best_vm, "cache replay diverged");
     }
     let stats = batch_knowledge.cache_stats();
 

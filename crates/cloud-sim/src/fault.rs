@@ -19,8 +19,11 @@
 //!   fault schedules are reproducible across processes and thread
 //!   interleavings.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use vesta_obs::{Counter, MetricsRegistry};
 
 use crate::error::SimError;
 use crate::metrics::{MetricsTrace, N_METRICS};
@@ -213,20 +216,60 @@ pub enum RunFate {
     TransientFailure,
 }
 
+/// Per-kind telemetry counters bumped when a fault draw actually fires.
+/// Attached with [`FaultInjector::with_obs`]; bumping relaxed atomics
+/// consumes no RNG draws, so an instrumented injector produces the exact
+/// fault schedule of an uninstrumented one.
+#[derive(Debug)]
+pub struct FaultCounters {
+    /// `sim.fault.transient` — run attempts aborted transiently.
+    pub transient: Arc<Counter>,
+    /// `sim.fault.unavailable` — (workload, VM) pairs hit by a persistent
+    /// capacity error.
+    pub unavailable: Arc<Counter>,
+    /// `sim.fault.straggler` — runs completed with amplified wall-clock.
+    pub straggler: Arc<Counter>,
+    /// `sim.fault.dropped_samples` — monitoring samples lost in transit.
+    pub dropped_samples: Arc<Counter>,
+    /// `sim.fault.corrupted_metrics` — metric values poisoned to NaN.
+    pub corrupted_metrics: Arc<Counter>,
+}
+
+impl FaultCounters {
+    /// Resolve the `sim.fault.*` counters against `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Arc<Self> {
+        Arc::new(FaultCounters {
+            transient: registry.counter("sim.fault.transient"),
+            unavailable: registry.counter("sim.fault.unavailable"),
+            straggler: registry.counter("sim.fault.straggler"),
+            dropped_samples: registry.counter("sim.fault.dropped_samples"),
+            corrupted_metrics: registry.counter("sim.fault.corrupted_metrics"),
+        })
+    }
+}
+
 /// Deterministic oracle answering "what goes wrong with this run?".
 ///
-/// Stateless: every method is a pure function of its arguments and the
-/// plan, so concurrent profiling threads can share one injector and the
-/// fault schedule never depends on execution order.
+/// Stateless apart from optional telemetry counters: every draw is a pure
+/// function of its arguments and the plan, so concurrent profiling threads
+/// can share one injector and the fault schedule never depends on
+/// execution order.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
+    obs: Option<Arc<FaultCounters>>,
 }
 
 impl FaultInjector {
     /// Build an injector for the given plan.
     pub fn new(plan: FaultPlan) -> Self {
-        FaultInjector { plan }
+        FaultInjector { plan, obs: None }
+    }
+
+    /// Count fired faults into `counters` (see [`FaultCounters`]).
+    pub fn with_obs(mut self, counters: Arc<FaultCounters>) -> Self {
+        self.obs = Some(counters);
+        self
     }
 
     /// The plan this injector draws from.
@@ -258,7 +301,13 @@ impl FaultInjector {
             0,
             STREAM_AVAILABILITY,
         );
-        rng.gen::<f64>() < self.plan.unavailable_rate
+        let unavailable = rng.gen::<f64>() < self.plan.unavailable_rate;
+        if unavailable {
+            if let Some(o) = &self.obs {
+                o.unavailable.inc();
+            }
+        }
+        unavailable
     }
 
     /// Draw the fate of one run attempt. `run_idx` is the attempt's
@@ -306,9 +355,15 @@ impl FaultInjector {
             }
         }
         if u_fail < fail_rate {
+            if let Some(o) = &self.obs {
+                o.transient.inc();
+            }
             return RunFate::TransientFailure;
         }
         if u_straggle < self.plan.straggler_rate {
+            if let Some(o) = &self.obs {
+                o.straggler.inc();
+            }
             return RunFate::Straggler(self.plan.straggler_slowdown);
         }
         RunFate::Healthy
@@ -337,6 +392,7 @@ impl FaultInjector {
         );
         let samples = std::mem::take(&mut trace.samples);
         let mut kept = Vec::with_capacity(samples.len());
+        let (mut dropped, mut corrupted) = (0u64, 0u64);
         for mut sample in samples {
             // Fixed three draws per sample keep the schedule aligned even
             // when one fault class is disabled.
@@ -344,12 +400,18 @@ impl FaultInjector {
             let u_corrupt = rng.gen::<f64>();
             let metric = rng.gen_range(0..N_METRICS);
             if u_drop < self.plan.sample_dropout_rate {
+                dropped += 1;
                 continue;
             }
             if u_corrupt < self.plan.metric_corruption_rate {
                 sample[metric] = f64::NAN;
+                corrupted += 1;
             }
             kept.push(sample);
+        }
+        if let Some(o) = &self.obs {
+            o.dropped_samples.add(dropped);
+            o.corrupted_metrics.add(corrupted);
         }
         trace.samples = kept;
     }
@@ -588,6 +650,42 @@ mod tests {
         let mut bad = FaultPlan::none();
         bad.burst_failure_rate = 2.0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn obs_counters_track_fired_faults_without_changing_the_schedule() {
+        let plan = FaultPlan {
+            transient_failure_rate: 0.3,
+            straggler_rate: 0.2,
+            sample_dropout_rate: 0.2,
+            metric_corruption_rate: 0.2,
+            ..FaultPlan::none()
+        };
+        let reg = MetricsRegistry::noop();
+        let plain = FaultInjector::new(plan.clone());
+        let counted = FaultInjector::new(plan).with_obs(FaultCounters::register(&reg));
+        let a = plain.schedule_digest(42, 1, 2, 256);
+        let b = counted.schedule_digest(42, 1, 2, 256);
+        assert_eq!(a, b, "telemetry must not perturb the fault schedule");
+        let mut trace = trace_of(200);
+        counted.corrupt_trace(42, 1, 2, 0, &mut trace);
+        let snap = reg.snapshot();
+        let failures = a
+            .iter()
+            .filter(|f| matches!(f, RunFate::TransientFailure))
+            .count() as u64;
+        let stragglers = a
+            .iter()
+            .filter(|f| matches!(f, RunFate::Straggler(_)))
+            .count() as u64;
+        assert_eq!(snap.counter("sim.fault.transient"), failures);
+        assert_eq!(snap.counter("sim.fault.straggler"), stragglers);
+        assert!(failures > 0 && stragglers > 0);
+        assert_eq!(
+            snap.counter("sim.fault.dropped_samples"),
+            200 - trace.samples.len() as u64
+        );
+        assert!(snap.counter("sim.fault.corrupted_metrics") > 0);
     }
 
     #[test]

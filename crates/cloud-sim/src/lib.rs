@@ -38,7 +38,7 @@ pub use cache::{CacheStats, RunCache, DEFAULT_CACHE_CAPACITY};
 pub use catalog::Catalog;
 pub use des::{simulate as des_simulate, DesConfig, DesResult};
 pub use error::SimError;
-pub use fault::{FaultInjector, FaultPlan, RetryPolicy, RunFate, RETRY_RUN_STRIDE};
+pub use fault::{FaultCounters, FaultInjector, FaultPlan, RetryPolicy, RunFate, RETRY_RUN_STRIDE};
 pub use metrics::{
     Collector, CorrelationEstimator, CorrelationVector, MetricsTrace, CORRELATION_NAMES,
     N_CORRELATIONS, N_METRICS,

@@ -11,12 +11,14 @@
 //! run costs real cloud money even when it eventually succeeds.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use rayon::prelude::*;
 use vesta_cloud_sim::{
-    Collector, CorrelationEstimator, FaultInjector, FaultPlan, MetricsStore, RetryPolicy, RunFate,
-    RunKey, RunRecord, SimError, Simulator, VmType, RETRY_RUN_STRIDE,
+    Collector, CorrelationEstimator, FaultCounters, FaultInjector, FaultPlan, MetricsStore,
+    RetryPolicy, RunFate, RunKey, RunRecord, SimError, Simulator, VmType, RETRY_RUN_STRIDE,
 };
+use vesta_obs::{Counter, MetricsRegistry};
 use vesta_workloads::{MemoryWatcher, Workload};
 
 /// Wraps the simulator, the metric sampler and the store into the paper's
@@ -35,6 +37,18 @@ pub struct DataCollector {
     failed_attempts: AtomicUsize,
     /// Simulated backoff milliseconds spent waiting between retries.
     backoff_ms: AtomicU64,
+    /// External telemetry mirror of the retry/straggler ledger; absent by
+    /// default, attached by [`DataCollector::with_telemetry`].
+    obs: Option<CollectorObs>,
+}
+
+/// `sim.retry.*` / `sim.straggler.*` counter handles this collector bumps
+/// alongside its internal ledger atomics.
+#[derive(Debug)]
+struct CollectorObs {
+    retry_attempts: Arc<Counter>,
+    retry_backoff_ms: Arc<Counter>,
+    straggler_extra_ms: Arc<Counter>,
 }
 
 impl DataCollector {
@@ -56,6 +70,7 @@ impl DataCollector {
             retry: RetryPolicy::default(),
             failed_attempts: AtomicUsize::new(0),
             backoff_ms: AtomicU64::new(0),
+            obs: None,
         }
     }
 
@@ -70,6 +85,23 @@ impl DataCollector {
     pub fn with_faults(mut self, plan: FaultPlan, retry: RetryPolicy) -> Self {
         self.injector = FaultInjector::new(plan);
         self.retry = retry;
+        self
+    }
+
+    /// Mirror the retry/straggler ledger and the injector's fired faults
+    /// into `registry` (`sim.retry.*`, `sim.straggler.*`, `sim.fault.*`).
+    /// Apply *after* [`DataCollector::with_faults`] — that builder installs
+    /// a fresh, unobserved injector.
+    pub fn with_telemetry(mut self, registry: &MetricsRegistry) -> Self {
+        self.obs = Some(CollectorObs {
+            retry_attempts: registry.counter("sim.retry.attempts"),
+            retry_backoff_ms: registry.counter("sim.retry.backoff_ms"),
+            straggler_extra_ms: registry.counter("sim.straggler.extra_ms"),
+        });
+        self.injector = self
+            .injector
+            .clone()
+            .with_obs(FaultCounters::register(registry));
         self
     }
 
@@ -111,6 +143,10 @@ impl DataCollector {
         self.failed_attempts.fetch_add(1, Ordering::Relaxed);
         let wait_ms = (self.retry.backoff_s(attempt + 1) * 1000.0).round() as u64;
         self.backoff_ms.fetch_add(wait_ms, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.retry_attempts.inc();
+            o.retry_backoff_ms.add(wait_ms);
+        }
     }
 
     /// Profile `workload` on `vm` for `reps` repetitions, recording each
@@ -153,6 +189,10 @@ impl DataCollector {
                 }
                 let mut result = self.sim.run(&demand, vm, self.nodes, run_idx)?;
                 if let RunFate::Straggler(slowdown) = fate {
+                    if let Some(o) = &self.obs {
+                        let extra_ms = result.execution_time_s * (slowdown - 1.0) * 1000.0;
+                        o.straggler_extra_ms.add(extra_ms.round() as u64);
+                    }
                     // Wall-clock stretches; on-demand cost is linear in
                     // time, so it stretches by the same factor.
                     result.execution_time_s *= slowdown;

@@ -48,7 +48,9 @@ use crate::supervisor::{
     AbsorptionJournal, BreakerTable, Deadline, JournalRecord, Outcome, PartialProgress,
     RequestOutcome, Supervisor, SupervisorReport,
 };
+use crate::telemetry::EngineTelemetry;
 use crate::VestaError;
+use vesta_obs::MetricsRegistry;
 
 /// Content hash of a prediction request: the workload's fully resolved
 /// execution demand (which folds in the workload id), its framework and
@@ -235,6 +237,7 @@ pub struct Knowledge {
     fallback_cache: Arc<RunCache<FallbackRuns>>,
     runs: Arc<AtomicUsize>,
     supervisor: Supervisor,
+    telemetry: EngineTelemetry,
 }
 
 impl Knowledge {
@@ -272,7 +275,23 @@ impl Knowledge {
             fallback_cache: Arc::new(RunCache::new()),
             runs: Arc::new(AtomicUsize::new(0)),
             supervisor,
+            telemetry: EngineTelemetry::noop(),
         })
+    }
+
+    /// Redirect this handle's telemetry to `registry` (see
+    /// [`crate::telemetry::EngineTelemetry`]). Breaker counters are wired
+    /// into the supervisor here, so attach *before* serving traffic —
+    /// events observed earlier stay in the discarded private registry.
+    pub fn with_telemetry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.telemetry = EngineTelemetry::new(registry);
+        self.supervisor.attach_telemetry(&self.telemetry);
+        self
+    }
+
+    /// The telemetry handle bundle this knowledge bumps.
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 
     /// The trained offline model.
@@ -303,6 +322,7 @@ impl Knowledge {
             ref_cache: Arc::clone(&self.ref_cache),
             fallback_cache: Arc::clone(&self.fallback_cache),
             runs: Arc::clone(&self.runs),
+            telemetry: self.telemetry.clone(),
             candidate_pool: DEFAULT_CANDIDATE_POOL,
             fallback_extra_vms: DEFAULT_FALLBACK_EXTRA_VMS,
         }
@@ -319,6 +339,7 @@ impl Knowledge {
     /// inputs: sessions share no mutable state, every random draw is
     /// fingerprint-seeded, and the overlay is frozen at spawn time.
     pub fn predict_batch(&self, workloads: &[Workload]) -> Result<Vec<Prediction>, VestaError> {
+        self.telemetry.batch_calls.inc();
         workloads
             .par_iter()
             .map(|w| self.session().predict(w))
@@ -348,11 +369,13 @@ impl Knowledge {
     /// `Ok`/`Degraded` exactly as [`Knowledge::predict_batch`] would have
     /// succeeded, with bit-identical predictions.
     pub fn predict_batch_supervised(&self, workloads: &[Workload]) -> Vec<RequestOutcome> {
+        self.telemetry.batch_calls.inc();
         workloads
             .par_iter()
             .map(|w| {
                 let outcome = self.serve_supervised(w);
                 self.supervisor.record(&outcome);
+                self.telemetry.record_outcome(&outcome);
                 RequestOutcome {
                     workload_id: w.id,
                     outcome,
@@ -369,6 +392,7 @@ impl Knowledge {
             .map(|w| {
                 let outcome = self.serve_supervised(w);
                 self.supervisor.record(&outcome);
+                self.telemetry.record_outcome(&outcome);
                 RequestOutcome {
                     workload_id: w.id,
                     outcome,
@@ -383,6 +407,7 @@ impl Knowledge {
         let Some(_permit) = self.supervisor.gate().try_acquire() else {
             return Outcome::Shed;
         };
+        self.telemetry.admitted.inc();
         let deadline = self.supervisor.deadline();
         let result =
             self.session()
@@ -444,6 +469,10 @@ impl Knowledge {
             edges,
             curve,
         });
+        self.telemetry.absorb_queued.inc();
+        self.telemetry
+            .absorb_queue_depth
+            .set(self.pending.len() as f64);
     }
 
     /// Fold every parked absorption into a fresh overlay and publish it
@@ -481,6 +510,10 @@ impl Knowledge {
             })
             .collect();
         journal.append(&journal_records)?;
+        self.telemetry.journal_flushes.inc();
+        self.telemetry
+            .journal_records
+            .add(journal_records.len() as u64);
         Ok(self.publish_absorptions(records))
     }
 
@@ -555,6 +588,10 @@ impl Knowledge {
         if added > 0 {
             *self.overlay.write() = Arc::new(next);
         }
+        self.telemetry.absorb_published.add(added as u64);
+        self.telemetry
+            .absorb_queue_depth
+            .set(self.pending.len() as f64);
         added
     }
 
@@ -658,6 +695,7 @@ pub struct PredictionSession {
     ref_cache: Arc<RunCache<CachedReference>>,
     fallback_cache: Arc<RunCache<FallbackRuns>>,
     runs: Arc<AtomicUsize>,
+    telemetry: EngineTelemetry,
     /// Candidate pool size taken from the two-hop scores.
     pub candidate_pool: usize,
     /// Extra random VMs explored by the from-scratch fallback.
@@ -693,12 +731,18 @@ impl PredictionSession {
         breakers: Option<&BreakerTable>,
     ) -> Result<Prediction, VestaError> {
         let cfg = &self.model.config;
+        self.telemetry.requests.inc();
+        let _predict_span = vesta_obs::span!(self.telemetry.registry(), "predict");
         let fp = WorkloadFingerprint::of(workload, cfg);
 
         // ---- lines 1-2: reference phase, memoized by fingerprint --------
         let cached = match self.ref_cache.get(fp.as_u64()) {
-            Some(c) => c,
+            Some(c) => {
+                self.telemetry.ref_hits.inc();
+                c
+            }
             None => {
+                self.telemetry.ref_misses.inc();
                 // Errors are not cached: a failed compute is retried by the
                 // next request with this fingerprint.
                 let computed = self.compute_reference(workload, fp, deadline, breakers)?;
@@ -717,9 +761,17 @@ impl PredictionSession {
             target: &cached.row,
             target_mask: &cached.mask,
         };
-        let cmf = solve_with_cancel(&problem, &cfg.cmf(), Some(&self.warm), &mut || {
-            deadline.expired()
-        })?;
+        let cmf = {
+            let _cmf_span = vesta_obs::span!(self.telemetry.registry(), "cmf_solve");
+            solve_with_cancel(&problem, &cfg.cmf(), Some(&self.warm), &mut || {
+                deadline.expired()
+            })?
+        };
+        self.telemetry.record_cmf(
+            cmf.outcome.epochs,
+            cmf.outcome.converged,
+            cmf.outcome.final_objective,
+        );
         if cmf.outcome.cancelled {
             return Err(VestaError::DeadlineExceeded(PartialProgress {
                 stage: "cmf-solve".into(),
@@ -759,9 +811,14 @@ impl PredictionSession {
                 }));
             }
             trained_from_scratch = true;
+            self.telemetry.cmf_fallback_widenings.inc();
             let fb = match self.fallback_cache.get(fp.as_u64()) {
-                Some(f) => f,
+                Some(f) => {
+                    self.telemetry.fallback_hits.inc();
+                    f
+                }
                 None => {
+                    self.telemetry.fallback_misses.inc();
                     let computed = self.compute_fallback(workload, fp, &cached.phase.tried)?;
                     self.fallback_cache.insert(fp.as_u64(), computed)
                 }
@@ -821,7 +878,7 @@ impl PredictionSession {
         deadline: &Deadline,
         breakers: Option<&BreakerTable>,
     ) -> Result<CachedReference, VestaError> {
-        let collector = fresh_collector(&self.model);
+        let collector = fresh_collector(&self.model, &self.telemetry);
         let phase = gather_references_supervised(
             &self.model,
             &self.catalog,
@@ -832,8 +889,9 @@ impl PredictionSession {
             breakers,
         )?;
         let (row, mask) = observed_row(&self.model, &collector, workload.id, &phase.reference)?;
-        self.runs
-            .fetch_add(collector.runs_consumed(), Ordering::Relaxed);
+        let consumed = collector.runs_consumed();
+        self.runs.fetch_add(consumed, Ordering::Relaxed);
+        self.telemetry.sim_runs.add(consumed as u64);
         Ok(CachedReference { phase, row, mask })
     }
 
@@ -845,7 +903,7 @@ impl PredictionSession {
         tried: &[usize],
     ) -> Result<FallbackRuns, VestaError> {
         let cfg = &self.model.config;
-        let collector = fresh_collector(&self.model);
+        let collector = fresh_collector(&self.model, &self.telemetry);
         let extra = random_vms_from(
             reference_seed(cfg.seed, fp.as_u64() ^ FALLBACK_SALT),
             self.catalog.len(),
@@ -854,8 +912,9 @@ impl PredictionSession {
         );
         let observed =
             run_references(&collector, &self.catalog, cfg.online_reps, workload, &extra)?;
-        self.runs
-            .fetch_add(collector.runs_consumed(), Ordering::Relaxed);
+        let consumed = collector.runs_consumed();
+        self.runs.fetch_add(consumed, Ordering::Relaxed);
+        self.telemetry.sim_runs.add(consumed as u64);
         Ok(FallbackRuns {
             observed,
             extra_attempts: collector.failed_attempts(),

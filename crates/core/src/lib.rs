@@ -33,6 +33,7 @@ pub mod offline;
 pub mod online;
 pub mod snapshot;
 pub mod supervisor;
+pub mod telemetry;
 pub mod vesta;
 
 pub use analyzer::{Analysis, CorrelationAnalyzer};
@@ -51,6 +52,7 @@ pub use supervisor::{
     AbsorptionJournal, AdmissionGate, BreakerDecision, BreakerTable, Deadline, JournalRecord,
     Outcome, PartialProgress, RequestOutcome, Supervisor, SupervisorConfig, SupervisorReport,
 };
+pub use telemetry::EngineTelemetry;
 pub use vesta::{ground_truth_ranking, ground_truth_score, selection_error_pct, Vesta};
 
 use std::fmt;

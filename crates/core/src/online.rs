@@ -106,20 +106,24 @@ pub struct OnlinePredictor<'a> {
     pub candidate_pool: usize,
     /// Extra random VMs explored by the from-scratch fallback.
     pub fallback_extra_vms: usize,
+    /// Telemetry handles (noop registry by default).
+    telemetry: crate::telemetry::EngineTelemetry,
 }
 
 impl<'a> OnlinePredictor<'a> {
     /// New predictor bound to a trained offline model.
     pub fn new(model: &'a OfflineModel, catalog: &'a Catalog) -> Self {
+        let telemetry = crate::telemetry::EngineTelemetry::noop();
         OnlinePredictor {
             model,
             catalog,
-            collector: fresh_collector(model),
+            collector: fresh_collector(model, &telemetry),
             overlay: parking_lot::RwLock::new(vesta_graph::LabelLayer::new()),
             absorbed: parking_lot::RwLock::new(Vec::new()),
             absorbed_curves: parking_lot::RwLock::new(Vec::new()),
             candidate_pool: DEFAULT_CANDIDATE_POOL,
             fallback_extra_vms: DEFAULT_FALLBACK_EXTRA_VMS,
+            telemetry,
         }
     }
 
@@ -127,7 +131,20 @@ impl<'a> OnlinePredictor<'a> {
     /// reference runs (e.g. the resilience sweep injecting faults into the
     /// online phase of a cleanly trained model).
     pub fn with_faults(mut self, plan: FaultPlan, retry: RetryPolicy) -> Self {
-        self.collector = self.collector.with_faults(plan, retry);
+        self.collector = self
+            .collector
+            .with_faults(plan, retry)
+            .with_telemetry(self.telemetry.registry());
+        self
+    }
+
+    /// Redirect this predictor's telemetry to `registry`. Apply *before*
+    /// [`OnlinePredictor::with_faults`]: the collector is rebuilt from the
+    /// model's configured plan against the new registry, so an earlier
+    /// fault override (and any events already counted) would be dropped.
+    pub fn with_telemetry(mut self, registry: std::sync::Arc<vesta_obs::MetricsRegistry>) -> Self {
+        self.telemetry = crate::telemetry::EngineTelemetry::new(registry);
+        self.collector = fresh_collector(self.model, &self.telemetry);
         self
     }
 
@@ -156,6 +173,8 @@ impl<'a> OnlinePredictor<'a> {
     /// Predict the best VM type for `workload` (Algorithm 1, full flow).
     pub fn predict(&self, workload: &Workload) -> Result<Prediction, VestaError> {
         let cfg = &self.model.config;
+        self.telemetry.requests.inc();
+        let _predict_span = vesta_obs::span!(self.telemetry.registry(), "predict");
         let failed_attempts_before = self.collector.failed_attempts();
         // ---- lines 1-2: sandbox + 3 random reference VMs -----------------
         let phase = gather_references(
@@ -185,8 +204,16 @@ impl<'a> OnlinePredictor<'a> {
             target: &row,
             target_mask: &mask,
         };
-        let cmf = cmf_solve(&problem, &cfg.cmf())?;
+        let cmf = {
+            let _cmf_span = vesta_obs::span!(self.telemetry.registry(), "cmf_solve");
+            cmf_solve(&problem, &cfg.cmf())?
+        };
         let converged = cmf.outcome.converged;
+        self.telemetry.record_cmf(
+            cmf.outcome.epochs,
+            converged,
+            cmf.outcome.final_objective,
+        );
 
         // Source affinities (Section 3.3: distance between U* and U decides
         // which sources transfer).
@@ -221,6 +248,7 @@ impl<'a> OnlinePredictor<'a> {
         let mut trained_from_scratch = false;
         if !converged || reference_underfilled {
             trained_from_scratch = true;
+            self.telemetry.cmf_fallback_widenings.inc();
             let extra =
                 self.random_vms(workload.id ^ FALLBACK_SALT, self.fallback_extra_vms, &tried);
             let extra_obs = run_references(
@@ -327,8 +355,12 @@ pub(crate) struct ReferencePhase {
 }
 
 /// Fresh collector wired exactly as a new deployment of the online phase:
-/// independent noise stream, the model's estimator and fault plan.
-pub(crate) fn fresh_collector(model: &OfflineModel) -> DataCollector {
+/// independent noise stream, the model's estimator and fault plan, and the
+/// caller's telemetry registry for the `sim.*` counters.
+pub(crate) fn fresh_collector(
+    model: &OfflineModel,
+    telemetry: &crate::telemetry::EngineTelemetry,
+) -> DataCollector {
     let sim = Simulator::new(vesta_cloud_sim::SimConfig {
         seed: model.config.seed ^ ONLINE_SEED_STREAM,
         ..Default::default()
@@ -336,6 +368,7 @@ pub(crate) fn fresh_collector(model: &OfflineModel) -> DataCollector {
     DataCollector::new(sim, model.config.nodes)
         .with_estimator(model.config.correlation_estimator)
         .with_faults(model.config.fault_plan.clone(), model.config.retry.clone())
+        .with_telemetry(telemetry.registry())
 }
 
 /// RNG seed for reference-VM draws: the experiment seed keyed by the

@@ -39,6 +39,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::online::Prediction;
+use crate::telemetry::EngineTelemetry;
 use crate::VestaError;
 
 // ---------------------------------------------------------------------------
@@ -205,6 +206,17 @@ pub struct BreakerTable {
     trips: AtomicU64,
     refusals: AtomicU64,
     probes: AtomicU64,
+    obs: Option<BreakerObs>,
+}
+
+/// External telemetry counters mirrored by a [`BreakerTable`]; absent
+/// until [`Supervisor::attach_telemetry`] wires them, so an unattached
+/// table stays a pure-internal-atomics structure.
+#[derive(Debug)]
+struct BreakerObs {
+    trips: Arc<vesta_obs::Counter>,
+    refusals: Arc<vesta_obs::Counter>,
+    probes: Arc<vesta_obs::Counter>,
 }
 
 impl BreakerTable {
@@ -225,6 +237,31 @@ impl BreakerTable {
             trips: AtomicU64::new(0),
             refusals: AtomicU64::new(0),
             probes: AtomicU64::new(0),
+            obs: None,
+        }
+    }
+
+    /// One trip, counted internally and (when attached) externally.
+    fn note_trip(&self) {
+        self.trips.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.trips.inc();
+        }
+    }
+
+    /// One refused admission, counted like [`BreakerTable::note_trip`].
+    fn note_refusal(&self) {
+        self.refusals.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.refusals.inc();
+        }
+    }
+
+    /// One half-open probe, counted like [`BreakerTable::note_trip`].
+    fn note_probe(&self) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.probes.inc();
         }
     }
 
@@ -244,20 +281,20 @@ impl BreakerTable {
             BreakerState::Open { skips_left } => {
                 if skips_left <= 1 {
                     *state = BreakerState::HalfOpen;
-                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    self.note_probe();
                     BreakerDecision::Probe
                 } else {
                     *state = BreakerState::Open {
                         skips_left: skips_left - 1,
                     };
-                    self.refusals.fetch_add(1, Ordering::Relaxed);
+                    self.note_refusal();
                     BreakerDecision::Refuse
                 }
             }
             BreakerState::HalfOpen => {
                 // A probe is already in flight; everyone else waits out
                 // its verdict.
-                self.refusals.fetch_add(1, Ordering::Relaxed);
+                self.note_refusal();
                 BreakerDecision::Refuse
             }
         }
@@ -290,7 +327,7 @@ impl BreakerTable {
                     *state = BreakerState::Open {
                         skips_left: self.probe_after,
                     };
-                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    self.note_trip();
                 } else {
                     *state = BreakerState::Closed {
                         consecutive_failures: streak,
@@ -301,7 +338,7 @@ impl BreakerTable {
                 *state = BreakerState::Open {
                     skips_left: self.probe_after,
                 };
-                self.trips.fetch_add(1, Ordering::Relaxed);
+                self.note_trip();
             }
             BreakerState::Open { .. } => {}
         }
@@ -593,6 +630,20 @@ impl Supervisor {
     /// The admission gate.
     pub fn gate(&self) -> &AdmissionGate {
         &self.gate
+    }
+
+    /// Mirror breaker state transitions into `telemetry`'s
+    /// `supervisor.breaker.*` counters. Call before serving traffic:
+    /// transitions observed earlier are not replayed into the registry
+    /// (the internal atomics keep the authoritative totals either way).
+    pub(crate) fn attach_telemetry(&mut self, telemetry: &EngineTelemetry) {
+        if let Some(b) = &mut self.breakers {
+            b.obs = Some(BreakerObs {
+                trips: Arc::clone(&telemetry.breaker_trips),
+                refusals: Arc::clone(&telemetry.breaker_refusals),
+                probes: Arc::clone(&telemetry.breaker_probes),
+            });
+        }
     }
 
     /// Classify and count a finished request.

@@ -1,0 +1,207 @@
+//! Engine-facing telemetry: one cheap, cloneable bundle of metric handles
+//! the serving path bumps lock-free.
+//!
+//! Every [`crate::Knowledge`] handle owns an [`EngineTelemetry`]. By
+//! default it wraps a private registry under
+//! [`vesta_obs::Clock::Noop`], so an uninstrumented deployment pays only
+//! relaxed atomic increments and its predictions stay bit-identical to a
+//! build without this module. Attaching a shared registry
+//! ([`crate::Knowledge::with_telemetry`]) redirects the same handles to an
+//! externally observable [`vesta_obs::MetricsRegistry`] — the serving code
+//! is unchanged either way.
+//!
+//! Metric names are part of the `vesta-telemetry/1` snapshot schema (see
+//! `DESIGN.md`): renaming one is a schema change, not a refactor.
+
+use std::sync::Arc;
+
+use vesta_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+use crate::supervisor::Outcome;
+use crate::VestaError;
+
+/// Upper bounds for the `cmf.epochs` histogram: power-of-two buckets
+/// comfortably covering the paper's SGD epoch caps.
+fn epoch_bounds() -> Vec<u64> {
+    (0..11).map(|k| 1u64 << k).collect()
+}
+
+/// Pre-resolved metric handles for the engine, supervisor, CMF and
+/// simulator layers. Cloning is a handful of `Arc` bumps, so sessions
+/// carry their own copy.
+#[derive(Debug, Clone)]
+pub struct EngineTelemetry {
+    registry: Arc<MetricsRegistry>,
+    /// `engine.requests` — predictions attempted (cache hits included).
+    pub(crate) requests: Arc<Counter>,
+    /// `engine.batch.calls` — batch fan-out entry points invoked.
+    pub(crate) batch_calls: Arc<Counter>,
+    /// `engine.cache.reference.hits` / `.misses` — reference memo cache.
+    pub(crate) ref_hits: Arc<Counter>,
+    pub(crate) ref_misses: Arc<Counter>,
+    /// `engine.cache.fallback.hits` / `.misses` — fallback memo cache.
+    pub(crate) fallback_hits: Arc<Counter>,
+    pub(crate) fallback_misses: Arc<Counter>,
+    /// `engine.absorb.queued` / `.published` and the live queue depth.
+    pub(crate) absorb_queued: Arc<Counter>,
+    pub(crate) absorb_published: Arc<Counter>,
+    pub(crate) absorb_queue_depth: Arc<Gauge>,
+    /// `supervisor.admitted` — requests past the admission gate.
+    pub(crate) admitted: Arc<Counter>,
+    /// `supervisor.outcome.*` — one counter per service-level outcome.
+    pub(crate) outcome_ok: Arc<Counter>,
+    pub(crate) outcome_degraded: Arc<Counter>,
+    pub(crate) outcome_shed: Arc<Counter>,
+    pub(crate) outcome_failed: Arc<Counter>,
+    /// `supervisor.deadline.expired` — failures caused by a fired deadline.
+    pub(crate) deadline_expired: Arc<Counter>,
+    /// `supervisor.breaker.*` — handed to the breaker table on attach.
+    pub(crate) breaker_trips: Arc<Counter>,
+    pub(crate) breaker_refusals: Arc<Counter>,
+    pub(crate) breaker_probes: Arc<Counter>,
+    /// `supervisor.journal.flushes` / `.records` — journaled publishes.
+    pub(crate) journal_flushes: Arc<Counter>,
+    pub(crate) journal_records: Arc<Counter>,
+    /// `cmf.solves` / `.converged` / `.fallback_widenings` plus the
+    /// `cmf.epochs` histogram and the `cmf.objective.last` gauge.
+    pub(crate) cmf_solves: Arc<Counter>,
+    pub(crate) cmf_converged: Arc<Counter>,
+    pub(crate) cmf_fallback_widenings: Arc<Counter>,
+    pub(crate) cmf_epochs: Arc<Histogram>,
+    pub(crate) cmf_objective: Arc<Gauge>,
+    /// `sim.runs` — simulated cloud runs charged to the run budget.
+    pub(crate) sim_runs: Arc<Counter>,
+}
+
+impl EngineTelemetry {
+    /// Resolve every handle against `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        EngineTelemetry {
+            requests: registry.counter("engine.requests"),
+            batch_calls: registry.counter("engine.batch.calls"),
+            ref_hits: registry.counter("engine.cache.reference.hits"),
+            ref_misses: registry.counter("engine.cache.reference.misses"),
+            fallback_hits: registry.counter("engine.cache.fallback.hits"),
+            fallback_misses: registry.counter("engine.cache.fallback.misses"),
+            absorb_queued: registry.counter("engine.absorb.queued"),
+            absorb_published: registry.counter("engine.absorb.published"),
+            absorb_queue_depth: registry.gauge("engine.absorb.queue_depth"),
+            admitted: registry.counter("supervisor.admitted"),
+            outcome_ok: registry.counter("supervisor.outcome.ok"),
+            outcome_degraded: registry.counter("supervisor.outcome.degraded"),
+            outcome_shed: registry.counter("supervisor.outcome.shed"),
+            outcome_failed: registry.counter("supervisor.outcome.failed"),
+            deadline_expired: registry.counter("supervisor.deadline.expired"),
+            breaker_trips: registry.counter("supervisor.breaker.trips"),
+            breaker_refusals: registry.counter("supervisor.breaker.refusals"),
+            breaker_probes: registry.counter("supervisor.breaker.probes"),
+            journal_flushes: registry.counter("supervisor.journal.flushes"),
+            journal_records: registry.counter("supervisor.journal.records"),
+            cmf_solves: registry.counter("cmf.solves"),
+            cmf_converged: registry.counter("cmf.converged"),
+            cmf_fallback_widenings: registry.counter("cmf.fallback_widenings"),
+            cmf_epochs: registry.histogram_with("cmf.epochs", &epoch_bounds()),
+            cmf_objective: registry.gauge("cmf.objective.last"),
+            sim_runs: registry.counter("sim.runs"),
+            registry,
+        }
+    }
+
+    /// Telemetry over a fresh private registry under the noop clock: the
+    /// default every handle starts with.
+    pub fn noop() -> Self {
+        EngineTelemetry::new(Arc::new(MetricsRegistry::noop()))
+    }
+
+    /// The registry behind these handles.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Classify and count a finished supervised request, mirroring
+    /// [`crate::supervisor::Supervisor::record`].
+    pub fn record_outcome(&self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Ok(_) => self.outcome_ok.inc(),
+            Outcome::Degraded { .. } => self.outcome_degraded.inc(),
+            Outcome::Shed => self.outcome_shed.inc(),
+            Outcome::Failed { error } => {
+                if matches!(error, VestaError::DeadlineExceeded(_)) {
+                    self.deadline_expired.inc();
+                }
+                self.outcome_failed.inc();
+            }
+        }
+    }
+
+    /// Record one finished CMF solve: epochs to exit, convergence verdict,
+    /// objective at exit.
+    pub fn record_cmf(&self, epochs: usize, converged: bool, objective: f64) {
+        self.cmf_solves.inc();
+        self.cmf_epochs.record(epochs as u64);
+        if converged {
+            self.cmf_converged.inc();
+        }
+        self.cmf_objective.set(objective);
+    }
+}
+
+impl Default for EngineTelemetry {
+    fn default() -> Self {
+        EngineTelemetry::noop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::PartialProgress;
+
+    fn shed_and_fail(t: &EngineTelemetry) {
+        t.record_outcome(&Outcome::Shed);
+        t.record_outcome(&Outcome::Failed {
+            error: VestaError::DeadlineExceeded(PartialProgress {
+                stage: "cmf-solve".into(),
+                completed: 1,
+                total: 2,
+            }),
+        });
+        t.record_outcome(&Outcome::Failed {
+            error: VestaError::Config("bad".into()),
+        });
+    }
+
+    #[test]
+    fn outcomes_map_to_their_counters() {
+        let t = EngineTelemetry::noop();
+        shed_and_fail(&t);
+        let snap = t.registry().snapshot();
+        assert_eq!(snap.counter("supervisor.outcome.shed"), 1);
+        assert_eq!(snap.counter("supervisor.outcome.failed"), 2);
+        assert_eq!(snap.counter("supervisor.deadline.expired"), 1);
+        assert_eq!(snap.counter("supervisor.outcome.ok"), 0);
+    }
+
+    #[test]
+    fn cmf_solves_land_in_histogram_and_gauge() {
+        let t = EngineTelemetry::noop();
+        t.record_cmf(12, true, 0.5);
+        t.record_cmf(800, false, 2.0);
+        let snap = t.registry().snapshot();
+        assert_eq!(snap.counter("cmf.solves"), 2);
+        assert_eq!(snap.counter("cmf.converged"), 1);
+        assert_eq!(snap.gauge("cmf.objective.last"), 2.0);
+        let h = snap.histograms.get("cmf.epochs").expect("epoch histogram");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 800);
+    }
+
+    #[test]
+    fn clones_share_the_same_counters() {
+        let t = EngineTelemetry::noop();
+        let u = t.clone();
+        t.requests.inc();
+        u.requests.inc();
+        assert_eq!(t.registry().snapshot().counter("engine.requests"), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # vesta-obs
+//!
+//! Zero-dependency telemetry for the Vesta serving stack: a
+//! [`MetricsRegistry`] of counters, gauges and fixed-bucket histograms,
+//! lightweight [`SpanGuard`] timers, and a stable-schema
+//! [`TelemetrySnapshot`] serialized to JSON by hand (no serde — this crate
+//! must never pull a tracing stack into the deterministic serving path).
+//!
+//! ## Determinism contract
+//!
+//! The wall clock is *injected* through [`Clock`]. Under [`Clock::Noop`]
+//! (the default everywhere inside the engine) no time is ever read:
+//! counters and value histograms still accumulate, but span durations are
+//! not recorded, so two runs of a deterministic workload produce
+//! bit-identical snapshots. [`Clock::Monotonic`] holds the crate's single
+//! sanctioned `Instant::now` site (see [`clock`]); it is opted into only by
+//! harnesses that *want* wall-clock latency histograms (`experiments
+//! --telemetry`, `vesta predict --batch --metrics-json`).
+//!
+//! Instrumentation is designed to be overhead-bounded: a counter bump is
+//! one relaxed atomic add, a histogram record is two, and handles are
+//! `Arc`s resolved once at registration, never per event.
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod snapshot;
+
+pub use clock::{Clock, Stopclock};
+pub use json::JsonValue;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, SpanGuard};
+pub use snapshot::{HistogramSnapshot, TelemetrySnapshot, TELEMETRY_SCHEMA};
+
+/// Open a timed span on a registry: `span!(registry, "cmf_solve")` returns
+/// a [`SpanGuard`] that bumps `span.<name>.calls` immediately and records
+/// its lifetime into the `span.<name>` histogram on drop (under a real
+/// clock; a no-op under [`Clock::Noop`]).
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        $registry.span($name)
+    };
+}

@@ -1,0 +1,351 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms and
+//! span guards.
+//!
+//! Handles are `Arc`s resolved once by name and then bumped lock-free with
+//! relaxed atomics — the hot serving path never takes the registry lock.
+//! All name maps are `BTreeMap`s so snapshots enumerate in a stable order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use crate::clock::{Clock, Stopclock};
+use crate::snapshot::{HistogramSnapshot, TelemetrySnapshot};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depth, objective at exit).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 until first set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram over `u64` values (latency in nanoseconds, SGD
+/// epoch counts, …). `bounds` are inclusive ascending upper bounds; one
+/// implicit overflow bucket catches everything beyond the last bound, and
+/// the tracked maximum keeps the percentile readout exact there.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Default bounds for latency histograms: 1 µs doubling up to ~17 minutes,
+/// in nanoseconds.
+pub(crate) fn default_latency_bounds() -> Vec<u64> {
+    (0..30).map(|k| 1_000u64 << k).collect()
+}
+
+impl Histogram {
+    fn new(bounds: Vec<u64>) -> Self {
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.buckets.len() - 1);
+        if let Some(b) = self.buckets.get(idx) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot of this histogram.
+    pub fn snap(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII span: created by [`MetricsRegistry::span`] (or the [`crate::span!`]
+/// macro), bumps `span.<name>.calls` on open and records its lifetime into
+/// the `span.<name>` histogram on drop — under a real clock only, so spans
+/// are free of wall-clock reads under [`Clock::Noop`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// Deterministic span id: FNV-1a of the span name xor the per-name
+    /// call ordinal, so a deterministic single-threaded run reproduces the
+    /// exact id sequence.
+    pub id: u64,
+    started: Option<Stopclock>,
+    durations: Arc<Histogram>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(t) = self.started {
+            self.durations.record(t.elapsed_ns());
+        }
+    }
+}
+
+/// FNV-1a, the workspace's standard cheap stable hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The registry: names metrics, hands out `Arc` handles, snapshots state.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    clock: Clock,
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Registry under the NoopClock: all counts, no durations,
+    /// bit-identical output. What the engine holds by default.
+    pub fn noop() -> Self {
+        MetricsRegistry::with_clock(Clock::Noop)
+    }
+
+    /// Registry under the given injected clock.
+    pub fn with_clock(clock: Clock) -> Self {
+        MetricsRegistry {
+            clock,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// The injected clock.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Handle to the named counter, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = read(&self.counters).get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            write(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Handle to the named gauge, creating it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = read(&self.gauges).get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            write(&self.gauges)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Handle to the named histogram with the default latency bounds.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &default_latency_bounds())
+    }
+
+    /// Handle to the named histogram with explicit bounds. If the name is
+    /// already registered, the existing histogram (and its original
+    /// bounds) wins.
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        if let Some(h) = read(&self.histograms).get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            write(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds.to_vec()))),
+        )
+    }
+
+    /// Open a span named `name` (see [`SpanGuard`]).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let calls = self.counter(&format!("span.{name}.calls"));
+        calls.inc();
+        SpanGuard {
+            id: fnv1a(name.as_bytes()) ^ calls.get(),
+            started: self.clock.start(),
+            durations: self.histogram(&format!("span.{name}")),
+        }
+    }
+
+    /// Point-in-time snapshot of every metric, names in sorted order.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: read(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: read(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: read(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snap()))
+                .collect(),
+        }
+    }
+}
+
+/// Read-lock that shrugs off poisoning: telemetry state is a monotone pile
+/// of atomics, so a panicking writer cannot leave it torn.
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock with the same poisoning policy as [`read`].
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_handles() {
+        let reg = MetricsRegistry::noop();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("x").get(), 5);
+        assert_eq!(reg.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let reg = MetricsRegistry::noop();
+        let g = reg.gauge("obj");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(reg.gauge("obj").get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let reg = MetricsRegistry::noop();
+        let h = reg.histogram_with("epochs", &[1, 2, 4, 8]);
+        for v in [1u64, 1, 2, 3, 5, 9, 100] {
+            h.record(v);
+        }
+        let s = h.snap();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 121);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.buckets, vec![2, 1, 1, 1, 2]);
+        assert_eq!(s.percentile(50.0), 4);
+        assert_eq!(s.percentile(99.0), 100); // overflow bucket reads the max
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_per_name() {
+        let a = {
+            let reg = MetricsRegistry::noop();
+            let ids: Vec<u64> = (0..3).map(|_| reg.span("solve").id).collect();
+            ids
+        };
+        let b = {
+            let reg = MetricsRegistry::noop();
+            let ids: Vec<u64> = (0..3).map(|_| reg.span("solve").id).collect();
+            ids
+        };
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn noop_spans_record_no_durations() {
+        let reg = MetricsRegistry::noop();
+        {
+            let _g = crate::span!(reg, "cmf_solve");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("span.cmf_solve.calls"), 1);
+        let h = snap
+            .histograms
+            .get("span.cmf_solve")
+            .expect("span histogram registered");
+        assert_eq!(h.count, 0, "NoopClock must not record durations");
+    }
+
+    #[test]
+    fn monotonic_spans_do_record() {
+        let reg = MetricsRegistry::with_clock(Clock::Monotonic);
+        {
+            let _g = reg.span("timed");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histograms.get("span.timed").map(|h| h.count),
+            Some(1)
+        );
+    }
+}

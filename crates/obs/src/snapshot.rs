@@ -1,0 +1,374 @@
+//! Stable-schema telemetry snapshots.
+//!
+//! The JSON shape is versioned by [`TELEMETRY_SCHEMA`] and hand-rolled in
+//! both directions (serialize here, parse via [`crate::json`]), keeping
+//! the crate dependency-free:
+//!
+//! ```json
+//! {
+//!   "schema": "vesta-telemetry/1",
+//!   "counters":   { "engine.requests": 34 },
+//!   "gauges":     { "cmf.objective.last": 0.0123 },
+//!   "histograms": {
+//!     "cmf.epochs": { "bounds": [1, 2, 4], "buckets": [0, 1, 2, 1],
+//!                     "count": 4, "sum": 11, "max": 7 }
+//!   }
+//! }
+//! ```
+//!
+//! Maps are `BTreeMap`s, so serialization order is the sorted name order —
+//! two equal snapshots serialize to identical bytes. `buckets` has one
+//! entry more than `bounds` (the trailing overflow bucket). Counter and
+//! histogram totals are exact up to 2^53 (the parser goes through `f64`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{parse as parse_json, JsonValue};
+
+/// Version tag stamped into every serialized snapshot.
+pub const TELEMETRY_SCHEMA: &str = "vesta-telemetry/1";
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Inclusive ascending upper bounds; the overflow bucket is implicit.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts, `bounds.len() + 1` entries (last = overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Exact fixed-bucket percentile readout: the upper bound of the
+    /// bucket holding the `p`-th percentile observation (1-based rank
+    /// `ceil(p/100 · count)`); the overflow bucket reads as the tracked
+    /// maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Difference `self - baseline` per bucket (saturating). Bounds are
+    /// taken from `self`; a baseline with different bounds yields a
+    /// best-effort positional diff.
+    pub fn delta(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c.saturating_sub(baseline.buckets.get(i).copied().unwrap_or(0)))
+                .collect(),
+            count: self.count.saturating_sub(baseline.count),
+            sum: self.sum.saturating_sub(baseline.sum),
+            max: self.max.saturating_sub(baseline.max),
+        }
+    }
+}
+
+/// Point-in-time state of a whole [`crate::MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Counter value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, 0.0 when absent.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Before/after difference: every counter and histogram of `self`
+    /// minus its value in `baseline` (saturating; metrics only grow),
+    /// every gauge as a signed difference. Names absent from `baseline`
+    /// count as zero there; names absent from `self` are dropped.
+    pub fn delta(&self, baseline: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v.saturating_sub(baseline.counter(k))))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, &v)| {
+                    let b = baseline.gauges.get(k).copied().unwrap_or(0.0);
+                    // NaN == NaN for delta purposes: unchanged is zero.
+                    let d = if v.to_bits() == b.to_bits() { 0.0 } else { v - b };
+                    (k.clone(), d)
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    let zero = HistogramSnapshot::default();
+                    let b = baseline.histograms.get(k).unwrap_or(&zero);
+                    (k.clone(), v.delta(b))
+                })
+                .collect(),
+        }
+    }
+
+    /// True when nothing moved: all counters, gauge deltas and histogram
+    /// counts are zero.
+    pub fn is_zero(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self.gauges.values().all(|&v| v == 0.0)
+            && self
+                .histograms
+                .values()
+                .all(|h| h.count == 0 && h.buckets.iter().all(|&b| b == 0))
+    }
+
+    /// Serialize to the stable JSON schema (pretty, two-space indent).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{TELEMETRY_SCHEMA}\",");
+        s.push_str("  \"counters\": {");
+        push_map(&mut s, self.counters.iter(), |s, v| {
+            let _ = write!(s, "{v}");
+        });
+        s.push_str("},\n  \"gauges\": {");
+        push_map(&mut s, self.gauges.iter(), |s, v| push_f64(s, *v));
+        s.push_str("},\n  \"histograms\": {");
+        push_map(&mut s, self.histograms.iter(), |s, h| {
+            s.push_str("{ \"bounds\": ");
+            push_u64_array(s, &h.bounds);
+            s.push_str(", \"buckets\": ");
+            push_u64_array(s, &h.buckets);
+            let _ = write!(
+                s,
+                ", \"count\": {}, \"sum\": {}, \"max\": {} }}",
+                h.count, h.sum, h.max
+            );
+        });
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parse a snapshot serialized by [`TelemetrySnapshot::to_json`].
+    /// Unknown top-level keys are ignored (schema is forward-extensible);
+    /// a wrong `schema` tag or malformed JSON is an error.
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, String> {
+        let root = parse_json(text)?;
+        match root.get("schema").and_then(JsonValue::as_str) {
+            Some(TELEMETRY_SCHEMA) => {}
+            Some(other) => return Err(format!("unknown telemetry schema {other:?}")),
+            None => return Err("missing \"schema\" tag".into()),
+        }
+        let mut snap = TelemetrySnapshot::default();
+        for (k, v) in root.get("counters").map(object_entries).unwrap_or_default() {
+            snap.counters.insert(
+                k.clone(),
+                v.as_f64().ok_or_else(|| format!("counter {k} not numeric"))? as u64,
+            );
+        }
+        for (k, v) in root.get("gauges").map(object_entries).unwrap_or_default() {
+            snap.gauges.insert(
+                k.clone(),
+                v.as_f64().ok_or_else(|| format!("gauge {k} not numeric"))?,
+            );
+        }
+        for (k, v) in root
+            .get("histograms")
+            .map(object_entries)
+            .unwrap_or_default()
+        {
+            snap.histograms.insert(k.clone(), parse_histogram(&k, &v)?);
+        }
+        Ok(snap)
+    }
+}
+
+/// The `(key, value)` entries of an object value (empty for non-objects).
+fn object_entries(v: &JsonValue) -> Vec<(String, JsonValue)> {
+    match v {
+        JsonValue::Object(entries) => entries.clone(),
+        _ => Vec::new(),
+    }
+}
+
+fn parse_histogram(name: &str, v: &JsonValue) -> Result<HistogramSnapshot, String> {
+    let field_u64 = |f: &str| -> Result<u64, String> {
+        v.get(f)
+            .and_then(JsonValue::as_f64)
+            .map(|x| x as u64)
+            .ok_or_else(|| format!("histogram {name}: missing numeric {f:?}"))
+    };
+    let array_u64 = |f: &str| -> Result<Vec<u64>, String> {
+        v.get(f)
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("histogram {name}: missing array {f:?}"))?
+            .iter()
+            .map(|x| {
+                x.as_f64()
+                    .map(|n| n as u64)
+                    .ok_or_else(|| format!("histogram {name}: non-numeric {f:?} entry"))
+            })
+            .collect()
+    };
+    Ok(HistogramSnapshot {
+        bounds: array_u64("bounds")?,
+        buckets: array_u64("buckets")?,
+        count: field_u64("count")?,
+        sum: field_u64("sum")?,
+        max: field_u64("max")?,
+    })
+}
+
+/// Write a `"key": value` map body with 4-space-indented entries.
+fn push_map<'a, V: 'a>(
+    s: &mut String,
+    entries: impl ExactSizeIterator<Item = (&'a String, &'a V)>,
+    mut push_value: impl FnMut(&mut String, &V),
+) {
+    let n = entries.len();
+    for (i, (k, v)) in entries.enumerate() {
+        s.push_str("\n    ");
+        push_json_string(s, k);
+        s.push_str(": ");
+        push_value(s, v);
+        if i + 1 < n {
+            s.push(',');
+        }
+    }
+    if n > 0 {
+        s.push_str("\n  ");
+    }
+}
+
+fn push_u64_array(s: &mut String, xs: &[u64]) {
+    s.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{x}");
+    }
+    s.push(']');
+}
+
+/// Finite floats print via Rust's shortest-round-trip `Display` (always a
+/// valid JSON number, never scientific notation); non-finite values have
+/// no JSON encoding and degrade to `null` (parsed back as NaN).
+fn push_f64(s: &mut String, v: f64) {
+    if v.is_finite() {
+        // Bare integers like `3` are valid JSON numbers but lose the
+        // "this is a float" hint; keep a fractional part for stability.
+        if v == v.trunc() && v.abs() < 1e15 {
+            let _ = write!(s, "{v:.1}");
+        } else {
+            let _ = write!(s, "{v}");
+        }
+    } else {
+        s.push_str("null");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub(crate) fn push_json_string(s: &mut String, raw: &str) {
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::noop();
+        reg.counter("engine.requests").add(34);
+        reg.counter("cache.hits").inc();
+        reg.gauge("cmf.objective.last").set(0.012_345);
+        let h = reg.histogram_with("cmf.epochs", &[1, 2, 4, 8, 16]);
+        for v in [3u64, 5, 5, 17, 800] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn round_trip_delta_is_zero() {
+        let snap = sample_registry().snapshot();
+        let json = snap.to_json();
+        let parsed = TelemetrySnapshot::from_json(&json).expect("parses");
+        assert_eq!(parsed, snap);
+        assert!(parsed.delta(&snap).is_zero());
+        // And serialization is byte-stable.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn delta_subtracts_per_name() {
+        let reg = sample_registry();
+        let before = reg.snapshot();
+        reg.counter("engine.requests").add(6);
+        reg.histogram_with("cmf.epochs", &[]).record(2);
+        let d = reg.snapshot().delta(&before);
+        assert_eq!(d.counter("engine.requests"), 6);
+        assert_eq!(d.counter("cache.hits"), 0);
+        assert_eq!(d.histograms["cmf.epochs"].count, 1);
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn schema_tag_is_enforced() {
+        assert!(TelemetrySnapshot::from_json("{}").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"schema\": \"other/9\"}").is_err());
+        let minimal = format!("{{\"schema\": \"{TELEMETRY_SCHEMA}\"}}");
+        let snap = TelemetrySnapshot::from_json(&minimal).expect("minimal parses");
+        assert!(snap.is_zero());
+    }
+
+    #[test]
+    fn empty_snapshot_serializes_cleanly() {
+        let snap = TelemetrySnapshot::default();
+        let parsed = TelemetrySnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(parsed, snap);
+        assert!(parsed.is_zero());
+    }
+}

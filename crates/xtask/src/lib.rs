@@ -13,6 +13,7 @@
 
 pub mod lexer;
 pub mod lints;
+pub mod perf;
 pub mod workspace;
 
 use std::collections::BTreeMap;

@@ -1,10 +1,20 @@
-//! CLI for the Vesta invariant lint pass.
+//! CLI for the Vesta invariant lint pass and benchmark gates.
 //!
 //! ```text
 //! cargo run -p vesta-xtask -- lint [--format json] [--root <path>]
+//! cargo run -p vesta-xtask -- perf-check [--baseline <json>] [--current <json>]
+//!                                        [--tolerance <frac>]
+//! cargo run -p vesta-xtask -- telemetry-check [--telemetry <json>] [--chaos <json>]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//! `perf-check` gates p99 latency and the throughput series of a fresh
+//! `results/BENCH_throughput.json` against the committed
+//! `results/BENCH_baseline.json` (default tolerance 25%).
+//! `telemetry-check` asserts `results/TELEMETRY.json` counters agree with
+//! the `results/BENCH_chaos.json` per-scenario ledger.
+//!
+//! Exit codes: 0 clean, 1 findings/regression/mismatch, 2 usage or I/O
+//! error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -12,16 +22,34 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: vesta-xtask lint [--format json] [--root <path>]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if cmd != "lint" {
-        eprintln!("unknown command `{cmd}`; supported: lint");
-        return ExitCode::from(2);
+    match cmd.as_str() {
+        "lint" => cmd_lint(&args[1..]),
+        "perf-check" => cmd_perf_check(&args[1..]),
+        "telemetry-check" => cmd_telemetry_check(&args[1..]),
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
     }
+}
+
+const USAGE: &str = "usage: vesta-xtask <command> [flags]
+
+commands:
+  lint             run the invariant lint pass
+                   [--format json|human] [--root <path>]
+  perf-check       gate a fresh throughput report against the baseline
+                   [--baseline <json>] [--current <json>] [--tolerance <frac>]
+  telemetry-check  cross-check TELEMETRY.json against the chaos ledger
+                   [--telemetry <json>] [--chaos <json>]";
+
+fn cmd_lint(args: &[String]) -> ExitCode {
     let mut format_json = false;
     let mut root: Option<PathBuf> = None;
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--format" => {
@@ -65,6 +93,98 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("vesta-xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parse `--flag value` pairs from `args` against the allowed flag list.
+fn flag_values(args: &[String], allowed: &[&str]) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if !allowed.contains(&flag) {
+            return Err(format!("unknown flag `{flag}`"));
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("{flag} takes a value"));
+        };
+        out.push((flag.to_string(), value.clone()));
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn cmd_perf_check(args: &[String]) -> ExitCode {
+    let mut baseline = workspace_root().join("results/BENCH_baseline.json");
+    let mut current = workspace_root().join("results/BENCH_throughput.json");
+    let mut tolerance = 0.25f64;
+    let flags = match flag_values(args, &["--baseline", "--current", "--tolerance"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    for (flag, value) in flags {
+        match flag.as_str() {
+            "--baseline" => baseline = PathBuf::from(value),
+            "--current" => current = PathBuf::from(value),
+            "--tolerance" => match value.parse::<f64>() {
+                Ok(t) => tolerance = t,
+                Err(_) => {
+                    eprintln!("--tolerance takes a fraction, got `{value}`");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => unreachable!("flag_values filtered"),
+        }
+    }
+    match vesta_xtask::perf::perf_check_files(&baseline, &current, tolerance) {
+        Ok(report) => {
+            print!("{}", report.render_table());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("vesta-xtask perf-check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_telemetry_check(args: &[String]) -> ExitCode {
+    let mut telemetry = workspace_root().join("results/TELEMETRY.json");
+    let mut chaos = workspace_root().join("results/BENCH_chaos.json");
+    let flags = match flag_values(args, &["--telemetry", "--chaos"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    for (flag, value) in flags {
+        match flag.as_str() {
+            "--telemetry" => telemetry = PathBuf::from(value),
+            "--chaos" => chaos = PathBuf::from(value),
+            _ => unreachable!("flag_values filtered"),
+        }
+    }
+    match vesta_xtask::perf::telemetry_check_files(&telemetry, &chaos) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("vesta-xtask telemetry-check: {e}");
             ExitCode::from(2)
         }
     }

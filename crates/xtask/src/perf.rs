@@ -1,0 +1,393 @@
+//! Perf-regression gate and telemetry cross-check over benchmark JSON.
+//!
+//! `perf-check` compares a fresh `results/BENCH_throughput.json` against
+//! the committed `results/BENCH_baseline.json`: the p99 request latency
+//! may not rise, and the three throughput series may not fall, by more
+//! than the configured tolerance (CI gates at 25%). `telemetry-check`
+//! asserts that the counters in `results/TELEMETRY.json` are consistent
+//! with the per-scenario ledger in `results/BENCH_chaos.json` — the two
+//! files are produced by independent code paths (shared metrics registry
+//! vs the supervisor's own outcome stats), so agreement is a real
+//! end-to-end invariant, not a tautology.
+//!
+//! Both readers go through [`vesta_obs::json`], keeping the xtask free of
+//! external dependencies.
+
+use std::fs;
+use std::path::Path;
+
+use vesta_obs::json::{parse, JsonValue};
+use vesta_obs::TelemetrySnapshot;
+
+/// Whether a metric counts as regressed when it moves up or down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-style: a drop beyond tolerance is a regression.
+    HigherIsBetter,
+    /// Latency-style: a rise beyond tolerance is a regression.
+    LowerIsBetter,
+}
+
+/// One gated metric's before/after comparison.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Dotted metric name as it appears in the report series.
+    pub name: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// Signed change in percent (`+` means the value went up).
+    pub delta_pct: f64,
+    /// Which direction is good for this metric.
+    pub direction: Direction,
+    /// True when the move exceeds tolerance in the bad direction.
+    pub regressed: bool,
+}
+
+/// Result of one `perf-check` run.
+#[derive(Debug)]
+pub struct PerfReport {
+    /// Per-metric comparisons, in gate order.
+    pub rows: Vec<MetricDelta>,
+    /// Fractional tolerance the gate ran with (0.25 = 25%).
+    pub tolerance: f64,
+}
+
+impl PerfReport {
+    /// True when no gated metric regressed.
+    pub fn is_clean(&self) -> bool {
+        self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// Aligned human-readable delta table with a pass/fail verdict line.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<32} {:>14} {:>14} {:>9}  {}\n",
+            "metric", "baseline", "current", "delta", "verdict"
+        ));
+        for r in &self.rows {
+            let verdict = if r.regressed {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<32} {:>14.3} {:>14.3} {:>+8.1}%  {}\n",
+                r.name, r.baseline, r.current, r.delta_pct, verdict
+            ));
+        }
+        let failed = self.rows.iter().filter(|r| r.regressed).count();
+        out.push_str(&format!(
+            "perf-check: {} of {} gated metric(s) regressed (tolerance {:.0}%)\n",
+            failed,
+            self.rows.len(),
+            self.tolerance * 100.0
+        ));
+        out
+    }
+}
+
+/// The gated metrics: `(series path, direction)`. p99 latency may not
+/// rise, throughput may not fall.
+const GATED: &[(&[&str], Direction)] = &[
+    (&["series", "latency_ms", "p99"], Direction::LowerIsBetter),
+    (
+        &["series", "requests_per_sec", "sequential_cold"],
+        Direction::HigherIsBetter,
+    ),
+    (
+        &["series", "requests_per_sec", "batch_cold"],
+        Direction::HigherIsBetter,
+    ),
+    (
+        &["series", "requests_per_sec", "batch_warm"],
+        Direction::HigherIsBetter,
+    ),
+];
+
+fn gated_value(doc: &JsonValue, path: &[&str], which: &str) -> Result<f64, String> {
+    let v = doc
+        .get_path(path)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{which} report is missing numeric `{}`", path.join(".")))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!(
+            "{which} report has unusable `{}` = {v}",
+            path.join(".")
+        ));
+    }
+    Ok(v)
+}
+
+/// Compare two parsed `BENCH_throughput`-shaped reports under `tolerance`.
+pub fn perf_check(
+    baseline: &JsonValue,
+    current: &JsonValue,
+    tolerance: f64,
+) -> Result<PerfReport, String> {
+    if !(0.0..10.0).contains(&tolerance) {
+        return Err(format!("tolerance {tolerance} out of range [0, 10)"));
+    }
+    let mut rows = Vec::with_capacity(GATED.len());
+    for (path, direction) in GATED {
+        let b = gated_value(baseline, path, "baseline")?;
+        let c = gated_value(current, path, "current")?;
+        let delta_pct = if b > 0.0 { 100.0 * (c - b) / b } else { 0.0 };
+        let regressed = match direction {
+            // A zero baseline gates nothing: any measurement passes.
+            Direction::LowerIsBetter => c > b * (1.0 + tolerance),
+            Direction::HigherIsBetter => c < b * (1.0 - tolerance),
+        };
+        rows.push(MetricDelta {
+            name: path[1..].join("."),
+            baseline: b,
+            current: c,
+            delta_pct,
+            direction: *direction,
+            regressed,
+        });
+    }
+    Ok(PerfReport { rows, tolerance })
+}
+
+/// File-reading front end for [`perf_check`].
+pub fn perf_check_files(
+    baseline: &Path,
+    current: &Path,
+    tolerance: f64,
+) -> Result<PerfReport, String> {
+    let read = |p: &Path| -> Result<JsonValue, String> {
+        let text = fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))?;
+        parse(&text).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    perf_check(&read(baseline)?, &read(current)?, tolerance)
+}
+
+/// One telemetry/ledger consistency assertion.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    /// What is being compared.
+    pub name: String,
+    /// Value from the shared metrics registry (`TELEMETRY.json`).
+    pub telemetry: u64,
+    /// Value summed from the chaos report's per-scenario ledger.
+    pub ledger: u64,
+}
+
+impl CrossCheck {
+    /// True when both sides agree.
+    pub fn consistent(&self) -> bool {
+        self.telemetry == self.ledger
+    }
+}
+
+/// Result of one `telemetry-check` run.
+#[derive(Debug)]
+pub struct TelemetryCheckReport {
+    /// The individual assertions.
+    pub checks: Vec<CrossCheck>,
+}
+
+impl TelemetryCheckReport {
+    /// True when every assertion held.
+    pub fn is_clean(&self) -> bool {
+        self.checks.iter().all(CrossCheck::consistent)
+    }
+
+    /// Human-readable summary, one line per assertion.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            out.push_str(&format!(
+                "{:<28} telemetry {:>8}  ledger {:>8}  {}\n",
+                c.name,
+                c.telemetry,
+                c.ledger,
+                if c.consistent() { "ok" } else { "MISMATCH" }
+            ));
+        }
+        let failed = self.checks.iter().filter(|c| !c.consistent()).count();
+        out.push_str(&format!(
+            "telemetry-check: {} of {} assertion(s) failed\n",
+            failed,
+            self.checks.len()
+        ));
+        out
+    }
+}
+
+fn scenario_sum(chaos: &JsonValue, field: &str) -> Result<u64, String> {
+    let scenarios = chaos
+        .get_path(&["series", "scenarios"])
+        .and_then(JsonValue::as_array)
+        .ok_or("chaos report is missing `series.scenarios`")?;
+    let mut total = 0u64;
+    for (i, sc) in scenarios.iter().enumerate() {
+        let v = sc.get(field).and_then(JsonValue::as_f64).ok_or_else(|| {
+            format!("chaos report scenario #{i} is missing numeric `{field}`")
+        })?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("chaos report scenario #{i} has unusable `{field}` = {v}"));
+        }
+        total += v as u64;
+    }
+    Ok(total)
+}
+
+/// Assert the shared-registry counters agree with the chaos ledger.
+///
+/// Only the chaos experiment's concurrent batch handles report into the
+/// shared registry (the sequential reference passes and the recovery
+/// drill are deliberately unobserved), so breaker trips, breaker
+/// refusals and shed requests must match the scenario sums exactly.
+pub fn telemetry_check(
+    snapshot: &TelemetrySnapshot,
+    chaos: &JsonValue,
+) -> Result<TelemetryCheckReport, String> {
+    let pairs: &[(&str, &str)] = &[
+        ("supervisor.breaker.trips", "breaker_trips"),
+        ("supervisor.breaker.refusals", "breaker_refusals"),
+        ("supervisor.outcome.shed", "shed"),
+    ];
+    let mut checks = Vec::with_capacity(pairs.len());
+    for (counter, field) in pairs {
+        checks.push(CrossCheck {
+            name: (*counter).to_string(),
+            telemetry: snapshot.counter(counter),
+            ledger: scenario_sum(chaos, field)?,
+        });
+    }
+    Ok(TelemetryCheckReport { checks })
+}
+
+/// File-reading front end for [`telemetry_check`].
+pub fn telemetry_check_files(
+    telemetry: &Path,
+    chaos: &Path,
+) -> Result<TelemetryCheckReport, String> {
+    let telemetry_text = fs::read_to_string(telemetry)
+        .map_err(|e| format!("read {}: {e}", telemetry.display()))?;
+    let snapshot = TelemetrySnapshot::from_json(&telemetry_text)
+        .map_err(|e| format!("{}: {e}", telemetry.display()))?;
+    let chaos_text =
+        fs::read_to_string(chaos).map_err(|e| format!("read {}: {e}", chaos.display()))?;
+    let chaos_doc = parse(&chaos_text).map_err(|e| format!("{}: {e}", chaos.display()))?;
+    telemetry_check(&snapshot, &chaos_doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_json(p99: f64, seq: f64, cold: f64, warm: f64) -> JsonValue {
+        parse(&format!(
+            r#"{{"id": "BENCH_throughput", "series": {{
+                "latency_ms": {{"p50": 1.0, "p99": {p99}}},
+                "requests_per_sec": {{
+                    "sequential_cold": {seq},
+                    "batch_cold": {cold},
+                    "batch_warm": {warm}
+                }}
+            }}}}"#
+        ))
+        .expect("test report parses")
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report_json(40.0, 10.0, 30.0, 500.0);
+        let r = perf_check(&a, &a, 0.25).expect("checks");
+        assert!(r.is_clean());
+        assert_eq!(r.rows.len(), 4);
+        assert!(r.rows.iter().all(|m| m.delta_pct == 0.0));
+    }
+
+    #[test]
+    fn latency_rise_beyond_tolerance_fails() {
+        let base = report_json(40.0, 10.0, 30.0, 500.0);
+        let worse = report_json(60.0, 10.0, 30.0, 500.0);
+        let r = perf_check(&base, &worse, 0.25).expect("checks");
+        assert!(!r.is_clean());
+        let p99 = &r.rows[0];
+        assert_eq!(p99.name, "latency_ms.p99");
+        assert_eq!(p99.direction, Direction::LowerIsBetter);
+        assert!(p99.regressed);
+        assert!(r.render_table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails_but_rise_passes() {
+        let base = report_json(40.0, 10.0, 30.0, 500.0);
+        let slower = report_json(40.0, 10.0, 20.0, 500.0);
+        assert!(!perf_check(&base, &slower, 0.25).expect("checks").is_clean());
+        let faster = report_json(40.0, 10.0, 90.0, 2000.0);
+        assert!(perf_check(&base, &faster, 0.25).expect("checks").is_clean());
+    }
+
+    #[test]
+    fn moves_within_tolerance_pass() {
+        let base = report_json(40.0, 10.0, 30.0, 500.0);
+        let wobble = report_json(48.0, 8.5, 26.0, 420.0);
+        let r = perf_check(&base, &wobble, 0.25).expect("checks");
+        assert!(r.is_clean(), "{}", r.render_table());
+    }
+
+    #[test]
+    fn missing_metric_is_an_error_not_a_pass() {
+        let base = report_json(40.0, 10.0, 30.0, 500.0);
+        let empty = parse(r#"{"series": {}}"#).expect("parses");
+        let err = perf_check(&base, &empty, 0.25).expect_err("must error");
+        assert!(err.contains("latency_ms.p99"), "{err}");
+    }
+
+    fn chaos_json(trips: &[u64], refusals: &[u64], shed: &[u64]) -> JsonValue {
+        let scenarios: Vec<String> = trips
+            .iter()
+            .zip(refusals)
+            .zip(shed)
+            .map(|((t, r), s)| {
+                format!(
+                    r#"{{"name": "x", "breaker_trips": {t}, "breaker_refusals": {r}, "shed": {s}}}"#
+                )
+            })
+            .collect();
+        parse(&format!(
+            r#"{{"series": {{"scenarios": [{}]}}}}"#,
+            scenarios.join(",")
+        ))
+        .expect("chaos doc parses")
+    }
+
+    fn snapshot_with(trips: u64, refusals: u64, shed: u64) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters
+            .insert("supervisor.breaker.trips".into(), trips);
+        snap.counters
+            .insert("supervisor.breaker.refusals".into(), refusals);
+        snap.counters.insert("supervisor.outcome.shed".into(), shed);
+        snap
+    }
+
+    #[test]
+    fn matching_ledger_is_consistent() {
+        let chaos = chaos_json(&[0, 0, 3, 2], &[0, 0, 1, 4], &[0, 0, 0, 6]);
+        let r = telemetry_check(&snapshot_with(5, 5, 6), &chaos).expect("checks");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn drifted_counter_is_flagged() {
+        let chaos = chaos_json(&[1, 2], &[0, 0], &[0, 0]);
+        let r = telemetry_check(&snapshot_with(4, 0, 0), &chaos).expect("checks");
+        assert!(!r.is_clean());
+        assert!(r.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn malformed_chaos_report_errors() {
+        let doc = parse(r#"{"series": {}}"#).expect("parses");
+        assert!(telemetry_check(&TelemetrySnapshot::default(), &doc).is_err());
+    }
+}

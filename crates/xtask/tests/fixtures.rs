@@ -65,6 +65,21 @@ fn wallclock_in_core_fixture() {
     assert_matches_snapshot("wallclock-in-core");
 }
 
+/// Consuming the obs registry does not sanction raw wall-clock reads:
+/// span durations must come from the injected `Clock`, so an obs
+/// consumer timing things by hand is still a finding, while a justified
+/// allow (mirroring `obs::Clock::Monotonic`'s own) suppresses exactly
+/// one.
+#[test]
+fn obs_consumer_fixture_flags_raw_wallclock_reads() {
+    let report = assert_matches_snapshot("obs-consumer");
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.lint == "wallclock-in-core"));
+    assert_eq!(report.allows_honored, 1);
+}
+
 #[test]
 fn error_hygiene_fixture_reports_both_requirements() {
     let report = assert_matches_snapshot("error-hygiene");

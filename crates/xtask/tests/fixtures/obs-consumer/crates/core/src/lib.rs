@@ -1,0 +1,26 @@
+//! Fixture: an obs consumer timing a span by hand instead of through the
+//! injected [`vesta_obs::Clock`]. The raw reads must be flagged — the
+//! registry's clock is the only sanctioned time source for span
+//! durations, otherwise NoopClock replay stops being bit-identical.
+use std::time::Instant;
+
+pub fn measure(registry: &vesta_obs::MetricsRegistry) -> f64 {
+    let _span = registry.span("predict");
+    let started = Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+pub fn epoch_stamp(registry: &vesta_obs::MetricsRegistry) -> u128 {
+    registry.counter("stamps").inc();
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+pub fn sanctioned(registry: &vesta_obs::MetricsRegistry) -> u64 {
+    // vesta-lint: allow(wallclock-in-core, reason = "the fixture's one sanctioned host-clock read, mirroring obs::Clock::Monotonic")
+    let t = Instant::now();
+    registry.counter("reads").inc();
+    t.elapsed().as_millis() as u64
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests for `vesta-xtask perf-check`: the committed baseline
+//! must pass against itself, and a doctored regression report must fail,
+//! both through the library API and the real CLI (exit codes 0/1/2).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use vesta_obs::json::{parse, JsonValue};
+use vesta_xtask::perf::perf_check_files;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn baseline_path() -> PathBuf {
+    repo_root().join("results/BENCH_baseline.json")
+}
+
+fn gated(doc: &JsonValue, path: &[&str]) -> f64 {
+    doc.get_path(path)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("baseline missing `{}`", path.join(".")))
+}
+
+/// A minimal report carrying only the gated series, with latency scaled
+/// by `latency_factor` and throughput by `throughput_factor`.
+fn doctored_report(baseline: &JsonValue, latency_factor: f64, throughput_factor: f64) -> String {
+    let p99 = gated(baseline, &["series", "latency_ms", "p99"]) * latency_factor;
+    let seq =
+        gated(baseline, &["series", "requests_per_sec", "sequential_cold"]) * throughput_factor;
+    let cold = gated(baseline, &["series", "requests_per_sec", "batch_cold"]) * throughput_factor;
+    let warm = gated(baseline, &["series", "requests_per_sec", "batch_warm"]) * throughput_factor;
+    format!(
+        r#"{{"id": "BENCH_throughput", "series": {{
+            "latency_ms": {{"p99": {p99}}},
+            "requests_per_sec": {{
+                "sequential_cold": {seq},
+                "batch_cold": {cold},
+                "batch_warm": {warm}
+            }}
+        }}}}"#
+    )
+}
+
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vesta-perf-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write doctored report");
+    path
+}
+
+#[test]
+fn committed_baseline_passes_against_itself() {
+    let baseline = baseline_path();
+    let report = perf_check_files(&baseline, &baseline, 0.25).expect("baseline is readable");
+    assert!(report.is_clean(), "{}", report.render_table());
+    assert_eq!(report.rows.len(), 4, "four gated metrics");
+}
+
+#[test]
+fn doctored_latency_regression_fails() {
+    let baseline = baseline_path();
+    let doc = parse(&std::fs::read_to_string(&baseline).expect("read baseline"))
+        .expect("baseline parses");
+    let slow = temp_file("slow.json", &doctored_report(&doc, 2.0, 1.0));
+    let report = perf_check_files(&baseline, &slow, 0.25).expect("doctored report is readable");
+    assert!(!report.is_clean(), "a 2x p99 rise must gate");
+    assert!(report.render_table().contains("REGRESSED"));
+}
+
+#[test]
+fn doctored_throughput_regression_fails() {
+    let baseline = baseline_path();
+    let doc = parse(&std::fs::read_to_string(&baseline).expect("read baseline"))
+        .expect("baseline parses");
+    let slow = temp_file("halved.json", &doctored_report(&doc, 1.0, 0.5));
+    let report = perf_check_files(&baseline, &slow, 0.25).expect("doctored report is readable");
+    assert!(!report.is_clean(), "halved throughput must gate");
+}
+
+#[test]
+fn cli_exit_codes_track_the_verdict() {
+    let xtask = env!("CARGO_BIN_EXE_vesta-xtask");
+    let baseline = baseline_path();
+    let doc = parse(&std::fs::read_to_string(&baseline).expect("read baseline"))
+        .expect("baseline parses");
+    let slow = temp_file("cli-slow.json", &doctored_report(&doc, 3.0, 1.0));
+
+    let pass = Command::new(xtask)
+        .args(["perf-check", "--tolerance", "0.25"])
+        .args(["--baseline".as_ref(), baseline.as_os_str()])
+        .args(["--current".as_ref(), baseline.as_os_str()])
+        .output()
+        .expect("xtask runs");
+    assert_eq!(
+        pass.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&pass.stdout),
+        String::from_utf8_lossy(&pass.stderr)
+    );
+
+    let fail = Command::new(xtask)
+        .args(["perf-check", "--tolerance", "0.25"])
+        .args(["--baseline".as_ref(), baseline.as_os_str()])
+        .args(["--current".as_ref(), slow.as_os_str()])
+        .output()
+        .expect("xtask runs");
+    assert_eq!(fail.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&fail.stdout).contains("REGRESSED"));
+
+    let missing = Command::new(xtask)
+        .args(["perf-check", "--current", "/nonexistent/nope.json"])
+        .args(["--baseline".as_ref(), baseline.as_os_str()])
+        .output()
+        .expect("xtask runs");
+    assert_eq!(missing.status.code(), Some(2), "I/O errors are usage-level");
+}

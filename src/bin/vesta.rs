@@ -9,7 +9,8 @@
 //! vesta predict --knowledge K.json --batch FILE        supervised batch engine
 //!               (one workload name per line; per-request outcome rows plus
 //!               throughput + cache stats; --deadline-ms/--breaker-threshold/
-//!               --max-in-flight opt into supervision)
+//!               --max-in-flight opt into supervision; --metrics-json PATH
+//!               writes the telemetry snapshot)
 //! vesta cluster --knowledge K.json --workload NAME     (type, nodes) extension
 //! vesta ground-truth --workload NAME [--objective ...] exhaustive oracle
 //! ```
@@ -67,7 +68,9 @@ commands:
                 requests out through the supervised concurrent engine and
                 reports per-request outcomes (ok|degraded|shed|failed),
                 throughput + cache statistics; supervision: --deadline-ms N
-                --breaker-threshold N --max-in-flight N (defaults off); exits
+                --breaker-threshold N --max-in-flight N (defaults off);
+                --metrics-json PATH writes the batch's telemetry snapshot
+                (vesta-telemetry/1 schema, monotonic clock) to PATH; exits
                 non-zero only if a request failed
   cluster       jointly select VM type and node count (--knowledge FILE,
                 --workload NAME, --objective time|budget|latency|throughput)
@@ -372,7 +375,19 @@ fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), 
         vesta.offline.config.fault_plan = plan;
     }
 
-    let knowledge = vesta.into_knowledge().map_err(|e| e.to_string())?;
+    let mut knowledge = vesta.into_knowledge().map_err(|e| e.to_string())?;
+    // A live CLI run is the one place span durations are wanted, so the
+    // registry gets the monotonic clock rather than the engine's noop
+    // default (predictions are clock-independent either way).
+    let metrics = flags.get("metrics-json").map(|path| {
+        let registry = std::sync::Arc::new(vesta_suite::obs::MetricsRegistry::with_clock(
+            vesta_suite::obs::Clock::Monotonic,
+        ));
+        (path.clone(), registry)
+    });
+    if let Some((_, registry)) = &metrics {
+        knowledge = knowledge.with_telemetry(std::sync::Arc::clone(registry));
+    }
     // vesta-lint: allow(wallclock-in-core, reason = "CLI status line reporting how long the batch took on this host; never feeds model state")
     let started = std::time::Instant::now();
     let outcomes = knowledge.predict_batch_supervised(&workloads);
@@ -446,6 +461,11 @@ fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), 
         100.0 * stats.reference.hit_rate(),
         absorbed
     );
+    if let Some((path, registry)) = &metrics {
+        std::fs::write(path, registry.snapshot().to_json())
+            .map_err(|e| format!("write --metrics-json '{path}': {e}"))?;
+        println!("telemetry snapshot written to {path}");
+    }
     if failures.is_empty() {
         Ok(())
     } else {

@@ -15,6 +15,8 @@
 //! * [`core`] — Vesta itself: offline profiling + online transfer
 //!   prediction.
 //! * [`baselines`] — PARIS, Ernest and a CherryPick-style searcher.
+//! * [`obs`] — zero-dependency telemetry: metrics registry, structured
+//!   spans and the stable `vesta-telemetry/1` snapshot schema.
 //!
 //! ```
 //! use vesta_suite::prelude::*;
@@ -54,6 +56,7 @@ pub use vesta_cloud_sim as cloud;
 pub use vesta_core as core;
 pub use vesta_graph as graph;
 pub use vesta_ml as ml;
+pub use vesta_obs as obs;
 pub use vesta_workloads as workloads;
 
 /// One-stop imports for the common flow.

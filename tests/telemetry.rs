@@ -1,0 +1,185 @@
+//! Integration tests of the observability layer: metrics aggregation is
+//! order-insensitive, instrumenting the engine with a NoopClock registry
+//! leaves predictions bit-identical, and the `vesta-telemetry/1` snapshot
+//! schema round-trips to a zero delta.
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+use vesta_suite::obs::{MetricsRegistry, TelemetrySnapshot};
+use vesta_suite::prelude::*;
+
+/// Train once and share across tests — offline profiling dominates the
+/// test's wall clock, the instrumentation under test is cheap.
+fn shared() -> &'static (Suite, Knowledge) {
+    static SHARED: OnceLock<(Suite, Knowledge)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(6).collect();
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(2)
+            .build()
+            .expect("telemetry test config is valid");
+        let knowledge = Knowledge::train(catalog, &sources, cfg).expect("offline training");
+        (suite, knowledge)
+    })
+}
+
+/// Target + source-testing workloads, the serving-path eval pool.
+fn pool() -> Vec<Workload> {
+    let (suite, _) = shared();
+    let mut v: Vec<Workload> = suite.target().into_iter().cloned().collect();
+    v.extend(suite.source_testing().into_iter().cloned());
+    v
+}
+
+/// One metric operation derived from the proptest seed.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Count(usize, u64),
+    Record(usize, u64),
+}
+
+const COUNTERS: [&str; 3] = ["engine.requests", "cache.hits", "sim.runs"];
+const HISTOGRAMS: [&str; 2] = ["cmf.epochs", "latency.ns"];
+
+/// Deterministic op sequence from one seed (xorshift, like the engine's
+/// other seed-driven properties), so real proptest explores orderings
+/// while the offline stub still type-checks and smoke-runs.
+fn ops(seed: u64, len: usize) -> Vec<Op> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len.max(1))
+        .map(|_| {
+            let value = next() % 1000;
+            if next() % 2 == 0 {
+                Op::Count((next() % COUNTERS.len() as u64) as usize, value)
+            } else {
+                Op::Record((next() % HISTOGRAMS.len() as u64) as usize, value)
+            }
+        })
+        .collect()
+}
+
+fn apply(registry: &MetricsRegistry, op: Op) {
+    match op {
+        Op::Count(i, v) => registry.counter(COUNTERS[i]).add(v),
+        Op::Record(i, v) => registry.histogram_with(HISTOGRAMS[i], &[1, 8, 64, 512]).record(v),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 16 }))]
+
+    /// Counters and histograms are pure accumulators: any reordering of
+    /// the same op multiset yields the identical snapshot. (Gauges are
+    /// deliberately excluded — `set` is last-write-wins by contract.)
+    #[test]
+    fn aggregation_is_order_insensitive(
+        seed in 0u64..1_000_000,
+        len in 1usize..64,
+    ) {
+        let sequence = ops(seed, len);
+        let forward = MetricsRegistry::noop();
+        for &op in &sequence {
+            apply(&forward, op);
+        }
+        let reversed = MetricsRegistry::noop();
+        for &op in sequence.iter().rev() {
+            apply(&reversed, op);
+        }
+        // A third order: evens then odds, mimicking two interleaved workers.
+        let split = MetricsRegistry::noop();
+        for &op in sequence.iter().step_by(2) {
+            apply(&split, op);
+        }
+        for &op in sequence.iter().skip(1).step_by(2) {
+            apply(&split, op);
+        }
+        let reference = forward.snapshot();
+        prop_assert_eq!(&reversed.snapshot(), &reference);
+        prop_assert_eq!(&split.snapshot(), &reference);
+        // And serialization is canonical: equal snapshots, equal bytes.
+        prop_assert_eq!(reversed.snapshot().to_json(), reference.to_json());
+    }
+}
+
+/// Instrumentation must be observationally free: the same trained state
+/// served with and without a NoopClock registry attached returns
+/// bit-identical predictions.
+#[test]
+fn noop_registry_keeps_predictions_bit_identical() {
+    let (_, knowledge) = shared();
+    let workloads = pool();
+    let plain = Knowledge::from_snapshot(knowledge.to_snapshot(), Catalog::aws_ec2())
+        .expect("snapshot restores");
+    let registry = Arc::new(MetricsRegistry::noop());
+    let instrumented = Knowledge::from_snapshot(knowledge.to_snapshot(), Catalog::aws_ec2())
+        .expect("snapshot restores")
+        .with_telemetry(Arc::clone(&registry));
+
+    let a = plain.predict_batch(&workloads).expect("plain batch serves");
+    let b = instrumented
+        .predict_batch(&workloads)
+        .expect("instrumented batch serves");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.best_vm, y.best_vm);
+        assert_eq!(x.candidates, y.candidates);
+        assert_eq!(x.predicted_times.len(), y.predicted_times.len());
+        for ((va, ta), (vb, tb)) in x.predicted_times.iter().zip(&y.predicted_times) {
+            assert_eq!(va, vb);
+            assert_eq!(
+                ta.to_bits(),
+                tb.to_bits(),
+                "instrumented prediction not bit-identical on {va}"
+            );
+        }
+    }
+
+    // The registry really observed the traffic…
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("engine.requests"), workloads.len() as u64);
+    assert_eq!(snap.counter("engine.batch.calls"), 1);
+    assert!(snap.counter("cmf.solves") > 0, "CMF solves were counted");
+    assert!(
+        snap.counter("engine.cache.reference.hits") + snap.counter("engine.cache.reference.misses")
+            > 0,
+        "cache lookups were counted"
+    );
+    // …but under the noop clock no span recorded a duration.
+    assert_eq!(snap.counter("span.predict.calls"), workloads.len() as u64);
+    assert_eq!(
+        snap.histograms.get("span.predict").map(|h| h.count),
+        Some(0),
+        "NoopClock spans must not record durations"
+    );
+}
+
+/// The stable schema round-trips: serialize → parse → delta == zero, on a
+/// snapshot produced by real serving traffic rather than a toy registry.
+#[test]
+fn snapshot_round_trips_through_json_to_zero_delta() {
+    let (_, knowledge) = shared();
+    let registry = Arc::new(MetricsRegistry::noop());
+    let instrumented = Knowledge::from_snapshot(knowledge.to_snapshot(), Catalog::aws_ec2())
+        .expect("snapshot restores")
+        .with_telemetry(Arc::clone(&registry));
+    let outcomes = instrumented.predict_batch_supervised(&pool());
+    assert!(outcomes.iter().all(|r| r.outcome.prediction().is_some()));
+
+    let snap = registry.snapshot();
+    assert!(!snap.is_zero(), "serving traffic must move counters");
+    let json = snap.to_json();
+    let parsed = TelemetrySnapshot::from_json(&json).expect("snapshot parses back");
+    assert_eq!(parsed, snap);
+    assert!(parsed.delta(&snap).is_zero(), "round-trip delta must be zero");
+    assert_eq!(parsed.to_json(), json, "serialization is byte-stable");
+}
