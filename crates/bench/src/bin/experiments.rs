@@ -1,18 +1,19 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--chaos] [--throughput] [--telemetry]
+//! experiments [--quick] [--chaos] [--drift] [--throughput] [--telemetry]
 //!             [all | table1 | table3 | table4 | table5 | fig1 |
 //!              fig2 | fig3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 |
 //!              fig13 | ablations | summary | learning | flink | resilience |
-//!              throughput | chaos]...
+//!              throughput | chaos | chaos-dynamic | drift]...
 //! ```
 //!
 //! `--chaos` / `--throughput` append the corresponding extension experiment
-//! to whatever else runs. `--telemetry` attaches a shared metrics registry
-//! to every serving handle the experiments build and writes the aggregate
-//! snapshot to `results/TELEMETRY.json`. Results print as aligned tables
-//! and are dumped to `results/<id>.json`.
+//! to whatever else runs; `--drift` appends the dynamic-cloud pair
+//! (`drift` + `chaos-dynamic`). `--telemetry` attaches a shared metrics
+//! registry to every serving handle the experiments build and writes the
+//! aggregate snapshot to `results/TELEMETRY.json`. Results print as
+//! aligned tables and are dumped to `results/<id>.json`.
 
 use std::path::PathBuf;
 use vesta_bench::{run_experiment, Context, Fidelity, ALL_EXPERIMENTS};
@@ -21,14 +22,28 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let drift = args.iter().any(|a| a == "--drift");
     let throughput = args.iter().any(|a| a == "--throughput");
     let telemetry = args.iter().any(|a| a == "--telemetry");
     let mut ids: Vec<String> = args
         .into_iter()
-        .filter(|a| a != "--quick" && a != "--chaos" && a != "--throughput" && a != "--telemetry")
+        .filter(|a| {
+            a != "--quick"
+                && a != "--chaos"
+                && a != "--drift"
+                && a != "--throughput"
+                && a != "--telemetry"
+        })
         .collect();
     if chaos && !ids.iter().any(|a| a == "chaos") {
         ids.push("chaos".to_string());
+    }
+    if drift {
+        for id in ["drift", "chaos-dynamic"] {
+            if !ids.iter().any(|a| a == id) {
+                ids.push(id.to_string());
+            }
+        }
     }
     if throughput && !ids.iter().any(|a| a == "throughput") {
         ids.push("throughput".to_string());

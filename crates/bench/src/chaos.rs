@@ -20,7 +20,9 @@
 //! drill: journaled absorptions are replayed from the journal and the
 //! rebuilt overlay is checked state-identical to the live one.
 
-use vesta_cloud_sim::{Catalog, FaultPlan};
+use std::collections::BTreeSet;
+
+use vesta_cloud_sim::{Catalog, ChurnEvent, DynamicInjector, DynamicPlan, FaultPlan};
 use vesta_core::supervisor::SupervisorConfig;
 use vesta_core::{AbsorptionJournal, Knowledge, RequestOutcome};
 use vesta_workloads::Workload;
@@ -30,6 +32,9 @@ use crate::report::{f, ExperimentReport};
 
 /// Fault-plan seed for the chaos run; fixed so reruns are reproducible.
 const CHAOS_FAULT_SEED: u64 = 0xC4A0;
+
+/// Campaign seed for the dynamic-cloud scenarios.
+const DYN_SEED: u64 = 0xD15C;
 
 struct Scenario {
     name: &'static str,
@@ -294,10 +299,413 @@ pub fn chaos(ctx: &Context) -> ExperimentReport {
     report
 }
 
+/// Fresh handle whose snapshot carries an explicit fault plan and
+/// supervision config, attached to the shared telemetry when on.
+fn dyn_handle(ctx: &Context, plan: FaultPlan, supervisor: SupervisorConfig) -> Knowledge {
+    let mut snapshot = ctx.vesta().offline.to_snapshot();
+    snapshot.config.fault_plan = plan;
+    snapshot.config.supervisor = supervisor;
+    let knowledge =
+        Knowledge::from_snapshot(snapshot, Catalog::aws_ec2()).expect("dynamic handle restores");
+    match &ctx.telemetry {
+        Some(registry) => knowledge.with_telemetry(std::sync::Arc::clone(registry)),
+        None => knowledge,
+    }
+}
+
+/// Instrument the injector with the shared `sim.dyn.*` counters when
+/// telemetry is on (counting never changes the event schedule).
+fn dyn_injector(ctx: &Context, plan: DynamicPlan) -> DynamicInjector {
+    plan.validate().expect("dynamic scenario plans are valid");
+    let inj = DynamicInjector::new(DYN_SEED, plan);
+    match &ctx.telemetry {
+        Some(registry) => inj.with_obs(registry),
+        None => inj,
+    }
+}
+
+fn outcome_counts(outcomes: &[RequestOutcome]) -> (usize, usize, usize, usize) {
+    (
+        count(outcomes, "ok"),
+        count(outcomes, "degraded"),
+        count(outcomes, "shed"),
+        count(outcomes, "failed"),
+    )
+}
+
+/// The `BENCH_chaos_dynamic` experiment: the supervision stack against a
+/// *time-varying* cloud. Four scenarios, each exercising one dynamic
+/// channel end to end:
+///
+/// 1. `spot-reclaim` — spot-price volatility drives reclaim pressure; the
+///    epoch-derived fault plan raises the transient-failure rate at the
+///    pressure peak and the breaker path absorbs it.
+/// 2. `churn-retire` — catalog churn retires VM types mid-trace; their
+///    breakers are opened and every reference draw must deterministically
+///    redirect away from retired capacity.
+/// 3. `diurnal-admission` — a diurnal arrival sinusoid shapes request
+///    volume; admission control sheds at the peak, never preferentially
+///    at the trough.
+/// 4. `multi-region` — divergent regional price sheets re-cost the same
+///    selection plan; region 0 stays bit-identical to the home sheet.
+pub fn dynamic_chaos(ctx: &Context) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "BENCH_chaos_dynamic",
+        "Serving under a time-varying cloud: spot reclaims, catalog churn, \
+         diurnal load, and regional price divergence",
+        &[
+            "scenario",
+            "requests",
+            "ok",
+            "degraded",
+            "shed",
+            "failed",
+            "breaker trips",
+            "detail",
+        ],
+    );
+    let supervised = SupervisorConfig {
+        deadline_ms: 0,
+        breaker_threshold: 2,
+        breaker_probe_after: 2,
+        max_in_flight: 0,
+    };
+    let mut workloads: Vec<Workload> = ctx.suite.target().into_iter().cloned().collect();
+    workloads.extend(ctx.suite.source_testing().into_iter().cloned());
+    let n = workloads.len();
+    let catalog = &ctx.catalog;
+
+    // --- 1. spot-reclaim -------------------------------------------------
+    let inj = dyn_injector(
+        ctx,
+        DynamicPlan {
+            seed: DYN_SEED,
+            horizon_epochs: 48,
+            spot_volatility: 0.6,
+            spot_window_epochs: 6,
+            reclaim_rate: 0.6,
+            ..DynamicPlan::none()
+        },
+    );
+    let mean_pressure = |epoch: u64| {
+        catalog
+            .all()
+            .iter()
+            .map(|vm| inj.reclaim_pressure(epoch, vm.id))
+            .sum::<f64>()
+            / catalog.len() as f64
+    };
+    let peak_epoch = (0..48).max_by(|a, b| mean_pressure(*a).total_cmp(&mean_pressure(*b)));
+    let peak_epoch = peak_epoch.expect("non-empty horizon");
+    let base_fault = FaultPlan {
+        seed: CHAOS_FAULT_SEED,
+        ..FaultPlan::none()
+    };
+    let derived = inj.fault_plan_at(peak_epoch, &base_fault, catalog);
+    assert!(
+        derived.transient_failure_rate > base_fault.transient_failure_rate,
+        "peak reclaim pressure must surface as a transient-failure rate"
+    );
+    let reclaim_draws = catalog
+        .all()
+        .iter()
+        .filter(|vm| inj.reclaimed(peak_epoch, 1, vm.id, 0))
+        .count();
+    let handle = dyn_handle(ctx, derived.clone(), supervised.clone());
+    let outcomes = handle.predict_batch_supervised(&workloads);
+    let ledger = handle.supervisor_report();
+    assert_eq!(ledger.total(), n as u64, "spot-reclaim: ledger leaked");
+    let (ok, degraded, shed, failed) = outcome_counts(&outcomes);
+    report.row(vec![
+        "spot-reclaim".into(),
+        n.to_string(),
+        ok.to_string(),
+        degraded.to_string(),
+        shed.to_string(),
+        failed.to_string(),
+        ledger.breaker_trips.to_string(),
+        format!(
+            "peak epoch {peak_epoch}: transient rate {:.3}, {reclaim_draws}/{} probe draws reclaimed",
+            derived.transient_failure_rate,
+            catalog.len()
+        ),
+    ]);
+    let spot_series = serde_json::json!({
+        "name": "spot-reclaim",
+        "peak_epoch": peak_epoch,
+        "derived_transient_rate": derived.transient_failure_rate,
+        "reclaim_draws": reclaim_draws,
+        "ok": ok, "degraded": degraded, "shed": shed, "failed": failed,
+        "breaker_trips": ledger.breaker_trips,
+    });
+
+    // --- 2. churn-retire -------------------------------------------------
+    let inj = dyn_injector(
+        ctx,
+        DynamicPlan {
+            seed: DYN_SEED,
+            horizon_epochs: 48,
+            churn_rate: 0.25,
+            churn_start_epoch: 0,
+            churn_end_epoch: 24,
+            intro_rate: 0.1,
+            ..DynamicPlan::none()
+        },
+    );
+    let events = inj.churn_schedule(catalog.len());
+    let retired: BTreeSet<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            ChurnEvent::Retired { vm_id, .. } => Some(*vm_id),
+            ChurnEvent::Introduced { .. } => None,
+        })
+        .collect();
+    let introduced = events.len() - retired.len();
+    assert!(
+        !retired.is_empty(),
+        "a 25% churn rate over 120 types must retire someone"
+    );
+    // Retired types are dead capacity: open their breakers for the whole
+    // batch (threshold 1, probes pushed past the batch) and demand every
+    // reference draw lands elsewhere.
+    let handle = dyn_handle(
+        ctx,
+        FaultPlan::none(),
+        SupervisorConfig {
+            deadline_ms: 0,
+            breaker_threshold: 1,
+            breaker_probe_after: 1_000_000,
+            max_in_flight: 0,
+        },
+    );
+    let breakers = handle
+        .supervisor()
+        .breakers()
+        .expect("breakers armed for churn");
+    for &vm_id in &retired {
+        breakers.record_failure(vm_id);
+    }
+    let outcomes = handle.predict_batch_supervised(&workloads);
+    let ledger = handle.supervisor_report();
+    assert_eq!(ledger.total(), n as u64, "churn-retire: ledger leaked");
+    let mut redirected = 0usize;
+    for r in &outcomes {
+        if let Some(p) = r.outcome.prediction() {
+            for (vm, _) in &p.observed {
+                assert!(
+                    !retired.contains(&vm.index()),
+                    "reference run landed on retired type {}",
+                    vm.index()
+                );
+            }
+            redirected += p
+                .failed_reference_vms
+                .iter()
+                .filter(|vm| retired.contains(&vm.index()))
+                .count();
+        }
+    }
+    let (ok, degraded, shed, failed) = outcome_counts(&outcomes);
+    report.row(vec![
+        "churn-retire".into(),
+        n.to_string(),
+        ok.to_string(),
+        degraded.to_string(),
+        shed.to_string(),
+        failed.to_string(),
+        ledger.breaker_trips.to_string(),
+        format!(
+            "{} types retired, {introduced} introduced; {redirected} reference draw(s) \
+             redirected off retired capacity",
+            retired.len()
+        ),
+    ]);
+    let churn_series = serde_json::json!({
+        "name": "churn-retire",
+        "retired": retired.len(),
+        "introduced": introduced,
+        "redirected_reference_draws": redirected,
+        "ok": ok, "degraded": degraded, "shed": shed, "failed": failed,
+        "breaker_trips": ledger.breaker_trips,
+    });
+
+    // --- 3. diurnal-admission --------------------------------------------
+    let inj = dyn_injector(
+        ctx,
+        DynamicPlan {
+            seed: DYN_SEED,
+            horizon_epochs: 48,
+            diurnal_amplitude: 0.8,
+            diurnal_period_epochs: 24,
+            ..DynamicPlan::none()
+        },
+    );
+    let peak_epoch = (0..24).max_by(|a, b| {
+        inj.arrival_intensity(*a)
+            .total_cmp(&inj.arrival_intensity(*b))
+    });
+    let trough_epoch = (0..24).min_by(|a, b| {
+        inj.arrival_intensity(*a)
+            .total_cmp(&inj.arrival_intensity(*b))
+    });
+    let (peak_epoch, trough_epoch) = (peak_epoch.unwrap(), trough_epoch.unwrap());
+    let gated = SupervisorConfig {
+        max_in_flight: 4,
+        ..supervised.clone()
+    };
+    let load_at = |epoch: u64| -> Vec<Workload> {
+        let intensity = inj.arrival_intensity(epoch);
+        let count = ((n as f64 * intensity).round() as usize).max(1);
+        (0..count).map(|i| workloads[i % n].clone()).collect()
+    };
+    let peak_load = load_at(peak_epoch);
+    let trough_load = load_at(trough_epoch);
+    assert!(
+        peak_load.len() > trough_load.len(),
+        "a 0.8 amplitude must separate peak from trough volume"
+    );
+    let peak_handle = dyn_handle(ctx, FaultPlan::none(), gated.clone());
+    let peak_out = peak_handle.predict_batch_supervised(&peak_load);
+    let trough_handle = dyn_handle(ctx, FaultPlan::none(), gated);
+    let trough_out = trough_handle.predict_batch_supervised(&trough_load);
+    let peak_shed = count(&peak_out, "shed");
+    let trough_shed = count(&trough_out, "shed");
+    let peak_shed_rate = peak_shed as f64 / peak_load.len() as f64;
+    let trough_shed_rate = trough_shed as f64 / trough_load.len() as f64;
+    assert!(
+        peak_shed_rate >= trough_shed_rate,
+        "admission control must never shed preferentially at the trough"
+    );
+    let (ok, degraded, shed, failed) = outcome_counts(&peak_out);
+    report.row(vec![
+        "diurnal-admission".into(),
+        peak_load.len().to_string(),
+        ok.to_string(),
+        degraded.to_string(),
+        shed.to_string(),
+        failed.to_string(),
+        peak_handle.supervisor_report().breaker_trips.to_string(),
+        format!(
+            "peak {} req (epoch {peak_epoch}) shed {:.0}% vs trough {} req \
+             (epoch {trough_epoch}) shed {:.0}%",
+            peak_load.len(),
+            peak_shed_rate * 100.0,
+            trough_load.len(),
+            trough_shed_rate * 100.0
+        ),
+    ]);
+    let diurnal_series = serde_json::json!({
+        "name": "diurnal-admission",
+        "peak": { "epoch": peak_epoch, "requests": peak_load.len(), "shed": peak_shed },
+        "trough": { "epoch": trough_epoch, "requests": trough_load.len(), "shed": trough_shed },
+        "ok": ok, "degraded": degraded, "shed": shed, "failed": failed,
+    });
+
+    // --- 4. multi-region -------------------------------------------------
+    let inj = dyn_injector(
+        ctx,
+        DynamicPlan {
+            seed: DYN_SEED,
+            horizon_epochs: 24,
+            regions: 3,
+            region_divergence: 0.3,
+            ..DynamicPlan::none()
+        },
+    );
+    let handle = dyn_handle(ctx, FaultPlan::none(), supervised);
+    let outcomes = handle.predict_batch_supervised(&workloads);
+    let ledger = handle.supervisor_report();
+    assert_eq!(ledger.total(), n as u64, "multi-region: ledger leaked");
+    let home = inj.regional_catalog(catalog, 0);
+    for (a, b) in catalog.all().iter().zip(home.all()) {
+        assert_eq!(
+            a.price_per_hour.to_bits(),
+            b.price_per_hour.to_bits(),
+            "region 0 must keep the home price sheet"
+        );
+    }
+    // Re-cost the same selection plan under each region's price sheet.
+    let mut region_costs = Vec::new();
+    for region in 0..3u32 {
+        let sheet = inj.regional_catalog(catalog, region);
+        let cost: f64 = outcomes
+            .iter()
+            .filter_map(|r| r.outcome.prediction())
+            .map(|p| {
+                let hourly = sheet
+                    .get(p.best_vm)
+                    .map(|vm| vm.price_per_hour)
+                    .unwrap_or(0.0);
+                let time_s = p.predicted_times.get(&p.best_vm).copied().unwrap_or(0.0);
+                hourly * time_s / 3600.0
+            })
+            .sum();
+        region_costs.push(cost);
+    }
+    let cheapest = region_costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let spread = region_costs.iter().cloned().fold(f64::MIN, f64::max)
+        - region_costs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        spread > 0.0,
+        "a 0.3 divergence across 3 regions must move the batch cost"
+    );
+    let (ok, degraded, shed, failed) = outcome_counts(&outcomes);
+    report.row(vec![
+        "multi-region".into(),
+        n.to_string(),
+        ok.to_string(),
+        degraded.to_string(),
+        shed.to_string(),
+        failed.to_string(),
+        ledger.breaker_trips.to_string(),
+        format!(
+            "batch cost ${:.3}/${:.3}/${:.3}; cheapest region {cheapest}",
+            region_costs[0], region_costs[1], region_costs[2]
+        ),
+    ]);
+    let region_series = serde_json::json!({
+        "name": "multi-region",
+        "costs": region_costs,
+        "cheapest_region": cheapest,
+        "ok": ok, "degraded": degraded, "shed": shed, "failed": failed,
+    });
+
+    report.note(format!(
+        "all four dynamic channels are pure functions of (seed {DYN_SEED:#x}, epoch, id): \
+         reruns replay the identical schedule"
+    ));
+    report.note(
+        "churn-retire proves the redraw contract: zero reference runs on retired \
+         capacity while their breakers are open",
+    );
+    report.series = serde_json::json!({
+        "requests": n,
+        "scenarios": [spot_series, churn_series, diurnal_series, region_series],
+    });
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::context::Fidelity;
+
+    #[test]
+    fn dynamic_chaos_report_is_complete() {
+        let ctx = Context::new(Fidelity::Quick);
+        let r = dynamic_chaos(&ctx);
+        assert_eq!(r.id, "BENCH_chaos_dynamic");
+        assert_eq!(r.rows.len(), 4, "one row per dynamic scenario");
+        assert!(r.notes.iter().any(|n| n.contains("churn-retire")));
+        if let Some(scenarios) = r.series.pointer("/scenarios").and_then(|v| v.as_array()) {
+            assert_eq!(scenarios.len(), 4);
+        }
+    }
 
     #[test]
     fn chaos_report_is_complete() {

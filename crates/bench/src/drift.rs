@@ -1,0 +1,486 @@
+//! Extension experiment `drift`: a long-running deployment on a cloud
+//! whose performance regime shifts mid-trace, comparing a *static* serving
+//! handle (knowledge frozen at deploy time) against a *drift-aware* one
+//! (EWMA residual detector → engine re-solve → re-profile against the
+//! live cloud).
+//!
+//! The simulated weeks run on hourly epochs. A [`DynamicPlan`] derates a
+//! seeded fraction of VM families at the onset epoch
+//! ([`DynamicInjector::drifted_catalog`]), so the ground-truth best VM
+//! moves while the frozen model keeps recommending the pre-drift best.
+//! Each epoch both arms serve a diurnally-shaped request mix; the
+//! drift-aware arm feeds per-epoch completion residuals (predicted vs.
+//! delivered time of its own choices) to
+//! [`Knowledge::observe_drift_epoch`]. On a [`DriftVerdict::Drifted`]
+//! verdict the engine has already invalidated its caches and reset the
+//! session overlay; the harness then re-profiles the source workloads on
+//! the *current* catalog and swaps in the rebuilt handle — the full
+//! "re-solve" the paper's offline phase corresponds to.
+//!
+//! Reported per arm: mean regret vs. the per-regime oracle (exhaustive
+//! ground truth on the catalog as it performs *that epoch*), near-best
+//! rate, re-solves triggered, and the drift-aware arm's recovery latency
+//! in epochs.
+
+use std::collections::BTreeMap;
+
+use vesta_cloud_sim::{Catalog, DynamicInjector, DynamicPlan, Objective, VmTypeId};
+use vesta_core::{epoch_residual, ground_truth_ranking, DriftConfig, Knowledge, Vesta};
+use vesta_workloads::Workload;
+
+use crate::context::{Context, Fidelity};
+use crate::report::{f, ExperimentReport};
+
+/// Campaign seed for the dynamic plan; fixed so reruns are reproducible.
+const DRIFT_SEED: u64 = 0xD21F;
+
+/// Regret threshold under which a choice counts as "near-best" (5% of
+/// the oracle's execution time, the tolerance Fig. 6 uses).
+const NEAR_BEST_TOL: f64 = 0.05;
+
+/// A recovered epoch is one whose mean regret is back within this margin
+/// of the pre-onset mean.
+const RECOVERY_MARGIN: f64 = 0.02;
+
+/// The dynamic-cloud scenario for this fidelity: drift only (spot markets
+/// and churn are exercised by `BENCH_chaos_dynamic`), with a diurnal
+/// arrival shape so epochs differ in load.
+fn drift_plan(fidelity: Fidelity) -> DynamicPlan {
+    let (horizon, onset) = match fidelity {
+        Fidelity::Full => (168, 72), // one simulated week, drift midweek
+        Fidelity::Quick => (14, 6),
+    };
+    DynamicPlan {
+        seed: DRIFT_SEED,
+        horizon_epochs: horizon,
+        diurnal_amplitude: 0.4,
+        diurnal_period_epochs: if fidelity == Fidelity::Full { 24 } else { 7 },
+        drift_onset_epoch: onset,
+        drift_magnitude: 2.0,
+        drift_family_fraction: 0.6,
+        ..DynamicPlan::none()
+    }
+}
+
+/// Detector tuning matched to the epoch budget of the fidelity.
+fn detector_config(fidelity: Fidelity) -> DriftConfig {
+    match fidelity {
+        Fidelity::Full => DriftConfig::default(),
+        Fidelity::Quick => DriftConfig {
+            warmup_epochs: 3,
+            cooldown_epochs: 3,
+            ..DriftConfig::default()
+        },
+    }
+}
+
+/// Exhaustive oracle for one regime: workload id → ranking, best first.
+fn truth_table(catalog: &Catalog, workloads: &[&Workload]) -> BTreeMap<u64, Vec<(VmTypeId, f64)>> {
+    workloads
+        .iter()
+        .map(|w| {
+            (
+                w.id,
+                ground_truth_ranking(catalog, w, 1, Objective::ExecutionTime),
+            )
+        })
+        .collect()
+}
+
+/// Regret of `chosen` against the oracle ranking: `time/best − 1`, or
+/// infinity when the chosen VM is unrankable.
+fn regret_of(ranking: &[(VmTypeId, f64)], chosen: VmTypeId) -> f64 {
+    let best = ranking.first().map(|(_, s)| *s).unwrap_or(f64::INFINITY);
+    let chosen = ranking
+        .iter()
+        .find(|(vm, _)| *vm == chosen)
+        .map(|(_, s)| *s)
+        .unwrap_or(f64::INFINITY);
+    if !best.is_finite() || best <= 0.0 {
+        return f64::INFINITY;
+    }
+    chosen / best - 1.0
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Fresh serving handle from the context's trained model, bound to
+/// `catalog`, reporting into the shared registry when telemetry is on.
+fn serving_handle(ctx: &Context, catalog: Catalog) -> Knowledge {
+    let snapshot = ctx.vesta().offline.to_snapshot();
+    let knowledge = Knowledge::from_snapshot(snapshot, catalog).expect("drift handle restores");
+    match &ctx.telemetry {
+        Some(registry) => knowledge.with_telemetry(std::sync::Arc::clone(registry)),
+        None => knowledge,
+    }
+}
+
+/// The re-solve: re-profile the source workloads against the cloud as it
+/// performs *now* and rebuild the serving handle from the fresh model.
+/// The engine-level half (cache invalidation + overlay reset) already ran
+/// inside [`Knowledge::observe_drift_epoch`] when the verdict fired.
+fn reprofile(ctx: &Context, catalog: Catalog) -> Knowledge {
+    let sources: Vec<&Workload> = ctx.suite.source_training();
+    let vesta = Vesta::train(catalog, &sources, ctx.vesta_config())
+        .expect("re-profiling on the drifted catalog succeeds");
+    let knowledge = vesta.into_knowledge().expect("rebuilt handle prefits");
+    match &ctx.telemetry {
+        Some(registry) => knowledge.with_telemetry(std::sync::Arc::clone(registry)),
+        None => knowledge,
+    }
+}
+
+struct EpochRecord {
+    epoch: u64,
+    requests: usize,
+    intensity: f64,
+    static_regret: f64,
+    aware_regret: f64,
+    residual: f64,
+    resolved: bool,
+}
+
+/// The `BENCH_drift` experiment.
+pub fn drift(ctx: &Context) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "BENCH_drift",
+        "Static vs. drift-aware serving on a cloud whose performance \
+         regime shifts mid-trace (EWMA residual detection, engine \
+         re-solve, re-profiled knowledge)",
+        &[
+            "arm",
+            "epochs",
+            "pre-onset regret",
+            "post-onset regret",
+            "near-best (post)",
+            "re-solves",
+            "recovery (epochs)",
+        ],
+    );
+
+    let plan = drift_plan(ctx.fidelity);
+    plan.validate().expect("the drift scenario plan is valid");
+    let detector = detector_config(ctx.fidelity);
+    let inj = DynamicInjector::new(DRIFT_SEED, plan.clone());
+    let base = ctx.catalog.clone();
+    let onset = plan.drift_onset_epoch;
+    let horizon = plan.horizon_epochs;
+    let drifted = inj.drifted_catalog(&base, onset);
+
+    let mut workloads: Vec<&Workload> = ctx.suite.target();
+    if ctx.fidelity == Fidelity::Quick {
+        workloads.truncate(6);
+    }
+    let base_rate = match ctx.fidelity {
+        Fidelity::Full => 4usize,
+        Fidelity::Quick => 3usize,
+    };
+
+    eprintln!(
+        "[drift] oracle tables: {} workloads x 2 regimes x {} VM types…",
+        workloads.len(),
+        base.len()
+    );
+    let truth_pre = truth_table(&base, &workloads);
+    let truth_post = truth_table(&drifted, &workloads);
+
+    // Two arms off the same deploy-time knowledge. The static arm never
+    // changes; the drift-aware arm watches its own residuals.
+    let static_handle = serving_handle(ctx, base.clone());
+    let mut aware_handle = serving_handle(ctx, base.clone());
+    aware_handle
+        .enable_drift_detection(detector.clone())
+        .expect("detector config is valid");
+
+    let mut records: Vec<EpochRecord> = Vec::with_capacity(horizon as usize);
+    let mut resolve_epochs: Vec<u64> = Vec::new();
+    let mut request_cursor = 0usize;
+
+    for epoch in 0..horizon {
+        let intensity = inj.arrival_intensity(epoch);
+        let n_req = ((base_rate as f64 * intensity).round() as usize).max(1);
+        let truth = if epoch >= onset { &truth_post } else { &truth_pre };
+
+        let mut static_regrets = Vec::with_capacity(n_req);
+        let mut aware_regrets = Vec::with_capacity(n_req);
+        let mut residual_pairs: Vec<(f64, f64)> = Vec::with_capacity(n_req);
+
+        for _ in 0..n_req {
+            let w = workloads[request_cursor % workloads.len()];
+            request_cursor += 1;
+            let ranking = &truth[&w.id];
+
+            let sp = static_handle.predict(w).expect("static arm serves");
+            static_regrets.push(regret_of(ranking, sp.best_vm));
+
+            let ap = aware_handle.predict(w).expect("drift-aware arm serves");
+            aware_regrets.push(regret_of(ranking, ap.best_vm));
+            let predicted = ap.predicted_times.get(&ap.best_vm).copied();
+            let actual = ranking
+                .iter()
+                .find(|(vm, _)| *vm == ap.best_vm)
+                .map(|(_, s)| *s);
+            if let (Some(p), Some(a)) = (predicted, actual) {
+                residual_pairs.push((p, a));
+            }
+        }
+
+        // One detector observation per epoch: the mean completion
+        // residual of what the drift-aware arm itself served.
+        let residual = epoch_residual(&residual_pairs).unwrap_or(f64::NAN);
+        let mut resolved = false;
+        if residual.is_finite() {
+            if let Some(verdict) = aware_handle.observe_drift_epoch(residual) {
+                if verdict.is_drifted() {
+                    // The engine already re-solved (caches + overlay);
+                    // re-profile against the cloud as it performs now and
+                    // swap the serving handle.
+                    let current = if epoch >= onset {
+                        drifted.clone()
+                    } else {
+                        base.clone()
+                    };
+                    aware_handle = reprofile(ctx, current);
+                    aware_handle
+                        .enable_drift_detection(detector.clone())
+                        .expect("detector re-arms after re-solve");
+                    resolved = true;
+                    resolve_epochs.push(epoch);
+                }
+            }
+        }
+
+        records.push(EpochRecord {
+            epoch,
+            requests: n_req,
+            intensity,
+            static_regret: mean(&static_regrets),
+            aware_regret: mean(&aware_regrets),
+            residual,
+            resolved,
+        });
+    }
+
+    let pre = |g: &dyn Fn(&EpochRecord) -> f64| {
+        mean(
+            &records
+                .iter()
+                .filter(|r| r.epoch < onset)
+                .map(|r| g(r))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let post = |g: &dyn Fn(&EpochRecord) -> f64| {
+        mean(
+            &records
+                .iter()
+                .filter(|r| r.epoch >= onset)
+                .map(|r| g(r))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let static_pre = pre(&|r| r.static_regret);
+    let static_post = post(&|r| r.static_regret);
+    let aware_pre = pre(&|r| r.aware_regret);
+    let aware_post = post(&|r| r.aware_regret);
+    let near_best_rate = |aware: bool| {
+        let hits = records
+            .iter()
+            .filter(|r| r.epoch >= onset)
+            .filter(|r| {
+                let g = if aware { r.aware_regret } else { r.static_regret };
+                g <= NEAR_BEST_TOL
+            })
+            .count();
+        hits as f64 / records.iter().filter(|r| r.epoch >= onset).count().max(1) as f64
+    };
+    let static_near = near_best_rate(false);
+    let aware_near = near_best_rate(true);
+
+    // Recovery latency: first post-onset epoch whose drift-aware regret
+    // is back within the margin of the pre-onset mean.
+    let recovery_epochs = records
+        .iter()
+        .filter(|r| r.epoch >= onset)
+        .find(|r| r.aware_regret <= aware_pre + RECOVERY_MARGIN)
+        .map(|r| r.epoch - onset);
+
+    // The headline contract of the scenario pack, checked on every run:
+    // the detector fires after the onset (never before), and re-solving
+    // beats frozen knowledge on post-onset selection quality.
+    assert!(
+        !resolve_epochs.is_empty(),
+        "the drift regime must trigger at least one re-solve"
+    );
+    assert!(
+        resolve_epochs.iter().all(|&e| e >= onset),
+        "no re-solve may fire before the drift onset (false positive)"
+    );
+    assert!(
+        aware_post < static_post,
+        "drift-aware must beat static post-onset: {aware_post} vs {static_post}"
+    );
+
+    for (arm, pre_r, post_r, near, resolves, recovery) in [
+        (
+            "static",
+            static_pre,
+            static_post,
+            static_near,
+            0usize,
+            None::<u64>,
+        ),
+        (
+            "drift-aware",
+            aware_pre,
+            aware_post,
+            aware_near,
+            resolve_epochs.len(),
+            recovery_epochs,
+        ),
+    ] {
+        report.row(vec![
+            arm.into(),
+            horizon.to_string(),
+            f(pre_r),
+            f(post_r),
+            format!("{:.0}%", near * 100.0),
+            resolves.to_string(),
+            recovery.map_or("—".into(), |e| e.to_string()),
+        ]);
+    }
+
+    report.note(format!(
+        "regime shift at epoch {onset}/{horizon}: {:.0}% of VM families derated x{:.1} \
+         (seed {DRIFT_SEED:#x}); oracle recomputed per regime",
+        plan.drift_family_fraction * 100.0,
+        plan.drift_magnitude
+    ));
+    report.note(format!(
+        "re-solve(s) at epoch(s) {resolve_epochs:?}: engine cache/overlay reset via \
+         observe_drift_epoch, then sources re-profiled on the drifted catalog"
+    ));
+    report.note(format!(
+        "post-onset mean regret: drift-aware {} vs static {} (lower is better)",
+        f(aware_post),
+        f(static_post)
+    ));
+
+    report.series = serde_json::json!({
+        "plan": {
+            "seed": plan.seed,
+            "horizon_epochs": horizon,
+            "drift_onset_epoch": onset,
+            "drift_magnitude": plan.drift_magnitude,
+            "drift_family_fraction": plan.drift_family_fraction,
+            "diurnal_amplitude": plan.diurnal_amplitude,
+        },
+        "detector": {
+            "warmup_epochs": detector.warmup_epochs,
+            "ewma_alpha": detector.ewma_alpha,
+            "threshold_ratio": detector.threshold_ratio,
+            "cooldown_epochs": detector.cooldown_epochs,
+        },
+        "epochs": records.iter().map(|r| serde_json::json!({
+            "epoch": r.epoch,
+            "requests": r.requests,
+            "intensity": r.intensity,
+            "static_regret": r.static_regret,
+            "aware_regret": r.aware_regret,
+            "residual": r.residual,
+            "resolved": r.resolved,
+        })).collect::<Vec<_>>(),
+        "summary": {
+            "static": { "pre_regret": static_pre, "post_regret": static_post, "near_best_post": static_near },
+            "aware": { "pre_regret": aware_pre, "post_regret": aware_post, "near_best_post": aware_near },
+            "resolves": resolve_epochs.len(),
+            "resolve_epochs": resolve_epochs,
+            "recovery_epochs": recovery_epochs,
+        },
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vesta_core::RequestOutcome;
+
+    /// Satellite contract: a `DynamicPlan::none()` injector leaves the
+    /// fault plan and catalog bit-identical, so supervised batch serving
+    /// through it matches a plain handle outcome-for-outcome, bit-for-bit.
+    #[test]
+    fn none_plan_keeps_supervised_serving_bit_identical() {
+        let ctx = Context::new(Fidelity::Quick);
+        let inj = DynamicInjector::new(DRIFT_SEED, DynamicPlan::none());
+        let base_plan = vesta_cloud_sim::FaultPlan {
+            seed: 11,
+            transient_failure_rate: 0.1,
+            ..vesta_cloud_sim::FaultPlan::none()
+        };
+        for epoch in [0u64, 17, 10_000] {
+            let derived = inj.fault_plan_at(epoch, &base_plan, &ctx.catalog);
+            assert_eq!(derived.seed, base_plan.seed, "none() must not fold the seed");
+            assert_eq!(
+                derived.transient_failure_rate.to_bits(),
+                base_plan.transient_failure_rate.to_bits()
+            );
+        }
+
+        let workloads: Vec<Workload> = ctx.suite.target().into_iter().take(4).cloned().collect();
+        let mut snap_a = ctx.vesta().offline.to_snapshot();
+        snap_a.config.fault_plan = base_plan.clone();
+        let mut snap_b = ctx.vesta().offline.to_snapshot();
+        snap_b.config.fault_plan = base_plan.clone();
+        let plain =
+            Knowledge::from_snapshot(snap_a, ctx.catalog.clone()).expect("plain handle restores");
+        let through = Knowledge::from_snapshot(snap_b, inj.drifted_catalog(&ctx.catalog, 10_000))
+            .expect("dynamic-but-inert handle restores");
+        let a = plain.predict_sequential_supervised(&workloads);
+        let b = through.predict_sequential_supervised(&workloads);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.outcome.label(), y.outcome.label());
+            bitwise_eq(x, y);
+        }
+    }
+
+    fn bitwise_eq(x: &RequestOutcome, y: &RequestOutcome) {
+        if let (Some(p), Some(q)) = (x.outcome.prediction(), y.outcome.prediction()) {
+            assert_eq!(p.best_vm, q.best_vm);
+            for ((va, ta), (vb, tb)) in p.predicted_times.iter().zip(&q.predicted_times) {
+                assert_eq!(va, vb);
+                assert_eq!(ta.to_bits(), tb.to_bits(), "time not bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn drift_report_shows_aware_arm_winning() {
+        let ctx = Context::new(Fidelity::Quick);
+        let r = drift(&ctx);
+        assert_eq!(r.id, "BENCH_drift");
+        assert_eq!(r.rows.len(), 2, "one row per arm");
+        assert!(r.notes.iter().any(|n| n.contains("re-solve")));
+        // Structured checks (skipped gracefully if JSON is stubbed).
+        if let Some(n) = r.series.pointer("/summary/resolves").and_then(|v| v.as_u64()) {
+            assert!(n >= 1);
+            let aware = r
+                .series
+                .pointer("/summary/aware/post_regret")
+                .and_then(|v| v.as_f64())
+                .expect("aware post regret present");
+            let stat = r
+                .series
+                .pointer("/summary/static/post_regret")
+                .and_then(|v| v.as_f64())
+                .expect("static post regret present");
+            assert!(aware < stat, "drift-aware must beat static: {aware} vs {stat}");
+        }
+    }
+}

@@ -30,6 +30,7 @@
 pub mod ablations;
 pub mod chaos;
 pub mod context;
+pub mod drift;
 pub mod eval;
 pub mod figs_components;
 pub mod figs_effectiveness;
@@ -76,6 +77,8 @@ pub fn run_experiment(ctx: &Context, id: &str) -> Option<ExperimentReport> {
         "resilience" => resilience::resilience(ctx),
         "throughput" => throughput::throughput(ctx),
         "chaos" => chaos::chaos(ctx),
+        "chaos-dynamic" => chaos::dynamic_chaos(ctx),
+        "drift" => drift::drift(ctx),
         "fig13" => figs_practical::fig13(ctx),
         _ => return None,
     })

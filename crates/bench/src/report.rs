@@ -4,6 +4,7 @@
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
+use vesta_obs::JsonValue;
 
 /// One regenerated table or figure.
 #[derive(Debug, Clone, Serialize)]
@@ -98,6 +99,27 @@ impl ExperimentReport {
         out
     }
 
+    /// The report as an `obs` JSON tree: the exact shape written to
+    /// `results/<id>.json`. Serialization is hand-rolled through
+    /// [`vesta_obs::JsonValue`] rather than serde so the on-disk ledgers
+    /// never depend on an external serializer.
+    pub fn to_json_tree(&self) -> JsonValue {
+        let strings = |xs: &[String]| -> JsonValue {
+            JsonValue::Array(xs.iter().map(|s| JsonValue::Str(s.clone())).collect())
+        };
+        JsonValue::Object(vec![
+            ("id".to_string(), JsonValue::Str(self.id.clone())),
+            ("title".to_string(), JsonValue::Str(self.title.clone())),
+            ("headers".to_string(), strings(&self.headers)),
+            (
+                "rows".to_string(),
+                JsonValue::Array(self.rows.iter().map(|r| strings(r)).collect()),
+            ),
+            ("notes".to_string(), strings(&self.notes)),
+            ("series".to_string(), series_to_json(&self.series)),
+        ])
+    }
+
     /// Print to stdout and persist the JSON next to the repo
     /// (`results/<id>.json`). IO failures are reported, not fatal —
     /// experiments still print.
@@ -108,18 +130,34 @@ impl ExperimentReport {
             return;
         }
         let path = results_dir.join(format!("{}.json", self.id));
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("warn: cannot write {}: {e}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warn: cannot serialize {}: {e}", self.id),
+        if let Err(e) = std::fs::write(&path, self.to_json_tree().to_json_pretty()) {
+            eprintln!("warn: cannot write {}: {e}", path.display());
         }
         let md_path = results_dir.join(format!("{}.md", self.id));
         if let Err(e) = std::fs::write(&md_path, self.to_markdown()) {
             eprintln!("warn: cannot write {}: {e}", md_path.display());
         }
+    }
+}
+
+/// Convert the serde_json series tree into the obs JSON model. Matching on
+/// variants keeps this total: any future serde_json shape change is a
+/// compile error here, not a silent drop.
+fn series_to_json(v: &serde_json::Value) -> JsonValue {
+    match v {
+        serde_json::Value::Null => JsonValue::Null,
+        serde_json::Value::Bool(b) => JsonValue::Bool(*b),
+        serde_json::Value::Number(n) => JsonValue::Num(n.as_f64().unwrap_or(f64::NAN)),
+        serde_json::Value::String(s) => JsonValue::Str(s.clone()),
+        serde_json::Value::Array(items) => {
+            JsonValue::Array(items.iter().map(series_to_json).collect())
+        }
+        serde_json::Value::Object(entries) => JsonValue::Object(
+            entries
+                .iter()
+                .map(|(k, val)| (k.clone(), series_to_json(val)))
+                .collect(),
+        ),
     }
 }
 
@@ -166,7 +204,24 @@ mod tests {
         r.series = serde_json::json!({"v": [1, 2, 3]});
         r.emit(&dir);
         let written = std::fs::read_to_string(dir.join("test1.json")).unwrap();
-        assert!(written.contains("\"test1\""));
+        // The file must be real JSON carrying the series data, not a
+        // serializer placeholder.
+        let parsed = vesta_obs::json::parse(&written).expect("emitted file parses");
+        assert_eq!(
+            parsed.get("id").and_then(JsonValue::as_str),
+            Some("test1")
+        );
+        assert_eq!(
+            parsed
+                .get_path(&["series", "v"])
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            parsed.get_path(&["series", "v"]).unwrap().as_array().unwrap()[2].as_f64(),
+            Some(3.0)
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

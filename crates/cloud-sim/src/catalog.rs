@@ -489,6 +489,44 @@ impl Catalog {
     pub fn feature_rows(&self) -> Vec<Vec<f64>> {
         self.types.iter().map(|t| t.feature_vector()).collect()
     }
+
+    /// The same catalog (identical ids, names, resource vectors) with every
+    /// type's on-demand price replaced by `price(vm)`. Non-finite or
+    /// non-positive results keep the original price, so a buggy pricing
+    /// function cannot produce a type that is free or infinitely cheap.
+    /// Used by the dynamic-cloud layer to derive regional price sheets.
+    pub fn reprice(&self, price: impl Fn(&VmType) -> f64) -> Catalog {
+        let mut out = self.clone();
+        for vm in &mut out.types {
+            let p = price(vm);
+            if p.is_finite() && p > 0.0 {
+                vm.price_per_hour = p;
+            }
+        }
+        out
+    }
+
+    /// The same catalog (identical ids, names, prices) with every type's
+    /// delivered performance divided by `slowdown(vm)`: CPU speed, disk
+    /// throughput and network bandwidth all shrink by the factor, so
+    /// simulated execution times stretch by roughly it across phase mixes.
+    /// Factors that are non-finite or < 1 leave the type untouched — the
+    /// dynamic-cloud layer models degradation (hardware aging out,
+    /// oversubscription), never silent speedups. Used by
+    /// [`crate::dynamics::DynamicInjector::drifted_catalog`] to materialize
+    /// the post-drift cloud.
+    pub fn derate(&self, slowdown: impl Fn(&VmType) -> f64) -> Catalog {
+        let mut out = self.clone();
+        for vm in &mut out.types {
+            let m = slowdown(vm);
+            if m.is_finite() && m > 1.0 {
+                vm.cpu_speed /= m;
+                vm.disk_mbps /= m;
+                vm.network_gbps /= m;
+            }
+        }
+        out
+    }
 }
 
 impl Default for Catalog {
@@ -615,5 +653,25 @@ mod tests {
         let m5 = c.by_name("m5.large").unwrap();
         assert!(t3.burstable);
         assert!(t3.price_per_hour < m5.price_per_hour);
+    }
+
+    #[test]
+    fn derate_only_ever_slows_down() {
+        let c = Catalog::aws_ec2();
+        // Factors at or below 1.0 (and garbage) must leave the type alone.
+        let inert = c.derate(|vm| if vm.id % 2 == 0 { 1.0 } else { f64::NAN });
+        for (a, b) in c.all().iter().zip(inert.all()) {
+            assert_eq!(a.cpu_speed.to_bits(), b.cpu_speed.to_bits());
+            assert_eq!(a.disk_mbps.to_bits(), b.disk_mbps.to_bits());
+        }
+        // A real slowdown divides the three throughput axes and nothing else.
+        let slow = c.derate(|_| 2.0);
+        for (a, b) in c.all().iter().zip(slow.all()) {
+            assert!((b.cpu_speed - a.cpu_speed / 2.0).abs() < 1e-12);
+            assert!((b.disk_mbps - a.disk_mbps / 2.0).abs() < 1e-9);
+            assert!((b.network_gbps - a.network_gbps / 2.0).abs() < 1e-12);
+            assert_eq!(a.price_per_hour.to_bits(), b.price_per_hour.to_bits());
+            assert_eq!(a.vcpus, b.vcpus);
+        }
     }
 }

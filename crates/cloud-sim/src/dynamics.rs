@@ -1,0 +1,990 @@
+//! Time-varying cloud dynamics: spot-price volatility, capacity reclaims,
+//! catalog churn, diurnal arrivals, and multi-region price divergence.
+//!
+//! The fault layer in [`crate::fault`] models a *statistically stationary*
+//! cloud: every rate is constant over a campaign. Real clouds are not
+//! stationary — spot markets move hourly, VM generations retire mid-year,
+//! request arrivals follow the sun, and a region's price sheet diverges
+//! from its neighbours'. This module adds a [`DynamicPlan`] (the knobs)
+//! and a [`DynamicInjector`] (the deterministic epoch-indexed draws) that
+//! the bench harness weaves around the serving engine to replay weeks of
+//! simulated cloud time.
+//!
+//! An **epoch** is the unit of simulated time (one hour in the shipped
+//! scenarios). All queries are pure functions of
+//! `(base seed, plan seed, epoch, vm)` drawn through
+//! [`crate::noise::run_rng`] on dedicated streams (≥ 6), so:
+//!
+//! * the execution/metric streams (0–1) and the fault streams (2–5) are
+//!   never touched — a [`DynamicPlan::none`] universe is bit-identical to
+//!   a build without this module;
+//! * re-asking the injector about the same epoch returns the same answer
+//!   regardless of query order or thread interleaving.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vesta_obs::metrics::fnv1a;
+use vesta_obs::{Counter, MetricsRegistry};
+
+use crate::catalog::Catalog;
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::noise::{lognormal_factor, run_rng};
+use crate::vmtype::VmType;
+
+/// Noise stream carrying per-(window, VM) spot-price draws.
+const STREAM_SPOT: u64 = 6;
+/// Noise stream carrying per-attempt spot-reclaim fate draws.
+const STREAM_RECLAIM: u64 = 7;
+/// Noise stream carrying per-VM retirement/introduction epoch draws.
+const STREAM_CHURN: u64 = 8;
+/// Noise stream carrying per-epoch arrival-intensity jitter.
+const STREAM_ARRIVAL: u64 = 9;
+/// Noise stream carrying per-(region, family) price-divergence draws.
+const STREAM_REGION: u64 = 10;
+/// Noise stream deciding which families a performance-drift regime hits.
+const STREAM_DRIFT: u64 = 11;
+
+/// Knobs for one simulated dynamic-cloud trace. The default
+/// ([`DynamicPlan::none`]) is a provably static cloud: every query returns
+/// its neutral value and no RNG stream is consumed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicPlan {
+    /// Extra seed folded into every dynamic draw so different cloud
+    /// histories can share one simulator seed.
+    pub seed: u64,
+    /// Trace length in epochs (hours in the shipped scenarios). `0` with
+    /// every knob off means "no time dimension".
+    pub horizon_epochs: u64,
+    /// Coefficient of variation of the per-window spot-price multiplier;
+    /// `0` pins every price to the on-demand sheet.
+    pub spot_volatility: f64,
+    /// Epochs per spot-price redraw window. Prices interpolate linearly
+    /// between window anchors so a 6-hour window still moves every hour.
+    pub spot_window_epochs: u64,
+    /// Peak probability that one run attempt is reclaimed (spot
+    /// interruption). Scaled by the instantaneous price pressure — a VM
+    /// trading at its anchor price is never reclaimed, one trading far
+    /// above it approaches this rate.
+    pub reclaim_rate: f64,
+    /// Fraction of VM types retired during the churn window.
+    pub churn_rate: f64,
+    /// First epoch (inclusive) at which retirements may land.
+    pub churn_start_epoch: u64,
+    /// First epoch (exclusive) after which no retirement lands.
+    pub churn_end_epoch: u64,
+    /// Fraction of VM types that are *introduced* mid-trace (a new
+    /// generation): they are absent before their introduction epoch.
+    pub intro_rate: f64,
+    /// Amplitude of the diurnal arrival sinusoid in `[0, 1)`;
+    /// `0` keeps arrivals flat.
+    pub diurnal_amplitude: f64,
+    /// Period of the arrival sinusoid in epochs (24 for hourly epochs).
+    pub diurnal_period_epochs: u64,
+    /// Coefficient of variation of the per-epoch lognormal jitter layered
+    /// on the arrival sinusoid.
+    pub arrival_jitter_cv: f64,
+    /// Number of regions carrying the catalog; region 0 is the home
+    /// region and always keeps the base price sheet.
+    pub regions: u32,
+    /// Coefficient of variation of the per-(region, family) price shift
+    /// applied to non-home regions.
+    pub region_divergence: f64,
+    /// Epoch at which a performance-drift regime change lands (a
+    /// generation refresh silently changing the hardware under a family).
+    /// Ignored unless `drift_magnitude > 1`.
+    pub drift_onset_epoch: u64,
+    /// Multiplicative slowdown applied to affected families from the
+    /// onset epoch on; `1` disables the regime change.
+    pub drift_magnitude: f64,
+    /// Fraction of VM families hit by the regime change.
+    pub drift_family_fraction: f64,
+}
+
+impl DynamicPlan {
+    /// The static cloud: every knob off. Querying an injector built from
+    /// this plan is a provable no-op (neutral values, no RNG consumed).
+    pub fn none() -> Self {
+        DynamicPlan {
+            seed: 0,
+            horizon_epochs: 0,
+            spot_volatility: 0.0,
+            spot_window_epochs: 6,
+            reclaim_rate: 0.0,
+            churn_rate: 0.0,
+            churn_start_epoch: 0,
+            churn_end_epoch: 0,
+            intro_rate: 0.0,
+            diurnal_amplitude: 0.0,
+            diurnal_period_epochs: 24,
+            arrival_jitter_cv: 0.0,
+            regions: 1,
+            region_divergence: 0.0,
+            drift_onset_epoch: 0,
+            drift_magnitude: 1.0,
+            drift_family_fraction: 0.0,
+        }
+    }
+
+    /// True when no dynamic effect can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.spot_volatility <= 0.0
+            && self.reclaim_rate <= 0.0
+            && self.churn_rate <= 0.0
+            && self.intro_rate <= 0.0
+            && self.diurnal_amplitude <= 0.0
+            && self.arrival_jitter_cv <= 0.0
+            && self.regions <= 1
+            && self.drift_magnitude <= 1.0
+    }
+
+    /// Validate every knob *and* their cross-field consistency; returns a
+    /// typed error naming the first inconsistency instead of silently
+    /// clamping. The cross-field rules reject structurally inert or
+    /// contradictory requests:
+    ///
+    /// * reclaims without spot volatility (pressure is always zero),
+    /// * churn with an empty or out-of-horizon retirement window,
+    /// * regional divergence with a single region,
+    /// * a drift regime that never lands inside the horizon.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let rates = [
+            ("reclaim_rate", self.reclaim_rate),
+            ("churn_rate", self.churn_rate),
+            ("intro_rate", self.intro_rate),
+            ("drift_family_fraction", self.drift_family_fraction),
+        ];
+        for (name, rate) in rates {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(SimError::InvalidDemand(format!(
+                    "dynamic plan: {name} must be in [0, 1], got {rate}"
+                )));
+            }
+        }
+        let cvs = [
+            ("spot_volatility", self.spot_volatility),
+            ("arrival_jitter_cv", self.arrival_jitter_cv),
+            ("region_divergence", self.region_divergence),
+        ];
+        for (name, cv) in cvs {
+            if !cv.is_finite() || !(0.0..=4.0).contains(&cv) {
+                return Err(SimError::InvalidDemand(format!(
+                    "dynamic plan: {name} must be in [0, 4], got {cv}"
+                )));
+            }
+        }
+        if !self.diurnal_amplitude.is_finite() || !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err(SimError::InvalidDemand(format!(
+                "dynamic plan: diurnal_amplitude must be in [0, 1), got {}",
+                self.diurnal_amplitude
+            )));
+        }
+        if self.diurnal_amplitude > 0.0 && self.diurnal_period_epochs < 2 {
+            return Err(SimError::InvalidDemand(format!(
+                "dynamic plan: diurnal_period_epochs must be ≥ 2 when the \
+                 sinusoid is active, got {}",
+                self.diurnal_period_epochs
+            )));
+        }
+        if self.spot_volatility > 0.0 && self.spot_window_epochs == 0 {
+            return Err(SimError::InvalidDemand(
+                "dynamic plan: spot_window_epochs must be ≥ 1 when \
+                 spot_volatility > 0"
+                    .into(),
+            ));
+        }
+        if self.reclaim_rate > 0.0 && self.spot_volatility <= 0.0 {
+            return Err(SimError::InvalidDemand(
+                "dynamic plan: reclaim_rate > 0 without spot_volatility is \
+                 structurally inert (reclaim pressure is derived from the \
+                 spot price); set spot_volatility > 0 or reclaim_rate = 0"
+                    .into(),
+            ));
+        }
+        if !self.is_none() && self.horizon_epochs == 0 {
+            return Err(SimError::InvalidDemand(
+                "dynamic plan: horizon_epochs must be ≥ 1 when any dynamic \
+                 knob is active"
+                    .into(),
+            ));
+        }
+        if self.churn_rate > 0.0 {
+            if self.churn_start_epoch >= self.churn_end_epoch {
+                return Err(SimError::InvalidDemand(format!(
+                    "dynamic plan: churn window [{}, {}) is empty",
+                    self.churn_start_epoch, self.churn_end_epoch
+                )));
+            }
+            if self.churn_end_epoch > self.horizon_epochs {
+                return Err(SimError::InvalidDemand(format!(
+                    "dynamic plan: churn window ends at {} past the horizon {}",
+                    self.churn_end_epoch, self.horizon_epochs
+                )));
+            }
+        }
+        if self.regions == 0 {
+            return Err(SimError::InvalidDemand(
+                "dynamic plan: regions must be ≥ 1".into(),
+            ));
+        }
+        if self.region_divergence > 0.0 && self.regions < 2 {
+            return Err(SimError::InvalidDemand(
+                "dynamic plan: region_divergence > 0 needs regions ≥ 2 \
+                 (region 0 always keeps the base price sheet)"
+                    .into(),
+            ));
+        }
+        if !self.drift_magnitude.is_finite() || self.drift_magnitude < 1.0 {
+            return Err(SimError::InvalidDemand(format!(
+                "dynamic plan: drift_magnitude must be ≥ 1, got {}",
+                self.drift_magnitude
+            )));
+        }
+        if self.drift_magnitude > 1.0 {
+            if self.drift_family_fraction <= 0.0 {
+                return Err(SimError::InvalidDemand(
+                    "dynamic plan: drift_magnitude > 1 with \
+                     drift_family_fraction = 0 hits no family; raise the \
+                     fraction or set drift_magnitude = 1"
+                        .into(),
+                ));
+            }
+            if self.drift_onset_epoch >= self.horizon_epochs {
+                return Err(SimError::InvalidDemand(format!(
+                    "dynamic plan: drift_onset_epoch {} is outside the \
+                     horizon {} and would never land",
+                    self.drift_onset_epoch, self.horizon_epochs
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DynamicPlan {
+    fn default() -> Self {
+        DynamicPlan::none()
+    }
+}
+
+/// One catalog-churn event: a VM type leaving or entering service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The type is retired at the carried epoch (exclusive: the epoch is
+    /// the first one where the type no longer exists).
+    Retired { vm_id: usize, epoch: u64 },
+    /// The type enters service at the carried epoch (inclusive).
+    Introduced { vm_id: usize, epoch: u64 },
+}
+
+impl ChurnEvent {
+    /// Epoch at which the event takes effect.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            ChurnEvent::Retired { epoch, .. } | ChurnEvent::Introduced { epoch, .. } => *epoch,
+        }
+    }
+
+    /// The affected VM type.
+    pub fn vm_id(&self) -> usize {
+        match self {
+            ChurnEvent::Retired { vm_id, .. } | ChurnEvent::Introduced { vm_id, .. } => *vm_id,
+        }
+    }
+}
+
+/// Per-kind telemetry counters bumped when a dynamic event actually fires.
+/// Attached with [`DynamicInjector::with_obs`]; bumping relaxed atomics
+/// consumes no RNG draws, so an instrumented injector produces the exact
+/// event schedule of an uninstrumented one.
+#[derive(Debug)]
+pub struct DynamicCounters {
+    /// `sim.dyn.reclaims` — run attempts lost to spot reclaims.
+    pub reclaims: Arc<Counter>,
+    /// `sim.dyn.retirements` — VM types retired by catalog churn.
+    pub retirements: Arc<Counter>,
+    /// `sim.dyn.introductions` — VM types introduced mid-trace.
+    pub introductions: Arc<Counter>,
+}
+
+impl DynamicCounters {
+    /// Register the `sim.dyn.*` counters on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        DynamicCounters {
+            reclaims: registry.counter("sim.dyn.reclaims"),
+            retirements: registry.counter("sim.dyn.retirements"),
+            introductions: registry.counter("sim.dyn.introductions"),
+        }
+    }
+}
+
+/// Deterministic query layer over a [`DynamicPlan`]. All methods are pure
+/// functions of the constructor arguments and the query coordinates.
+#[derive(Debug)]
+pub struct DynamicInjector {
+    base_seed: u64,
+    plan: DynamicPlan,
+    counters: Option<DynamicCounters>,
+}
+
+impl DynamicInjector {
+    /// New injector for one campaign seed.
+    pub fn new(base_seed: u64, plan: DynamicPlan) -> Self {
+        DynamicInjector {
+            base_seed,
+            plan,
+            counters: None,
+        }
+    }
+
+    /// Attach telemetry counters (`sim.dyn.*`). Counting never consumes
+    /// RNG draws, so schedules are unchanged.
+    pub fn with_obs(mut self, registry: &MetricsRegistry) -> Self {
+        self.counters = Some(DynamicCounters::register(registry));
+        self
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &DynamicPlan {
+        &self.plan
+    }
+
+    /// Seed folded with the plan seed, mirroring the fault-injector
+    /// convention so independent dynamic universes can share a simulator
+    /// seed.
+    fn dynamic_seed(&self) -> u64 {
+        self.base_seed ^ self.plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Spot-price anchor multiplier at window `w` for one VM type.
+    fn window_anchor(&self, window: u64, vm_id: usize) -> f64 {
+        let mut rng = run_rng(self.dynamic_seed(), window, vm_id as u64, 0, STREAM_SPOT);
+        lognormal_factor(&mut rng, self.plan.spot_volatility)
+    }
+
+    /// Spot-price multiplier at `epoch` for one VM type: lognormal window
+    /// anchors with unit median, linearly interpolated inside the window.
+    /// Exactly `1.0` when volatility is off.
+    pub fn price_multiplier(&self, epoch: u64, vm_id: usize) -> f64 {
+        if self.plan.spot_volatility <= 0.0 {
+            return 1.0;
+        }
+        let win = self.plan.spot_window_epochs.max(1);
+        let w = epoch / win;
+        let frac = (epoch % win) as f64 / win as f64;
+        let a = self.window_anchor(w, vm_id);
+        if frac == 0.0 {
+            return a;
+        }
+        let b = self.window_anchor(w + 1, vm_id);
+        a * (1.0 - frac) + b * frac
+    }
+
+    /// Instantaneous spot price of one VM type, $/hour.
+    pub fn spot_price(&self, epoch: u64, vm: &VmType) -> f64 {
+        vm.price_per_hour * self.price_multiplier(epoch, vm.id)
+    }
+
+    /// Reclaim pressure in `[0, 1)`: zero at or below the anchor price,
+    /// approaching 1 as the market trades far above it. This couples
+    /// interruptions to the price signal the way real spot markets do.
+    pub fn reclaim_pressure(&self, epoch: u64, vm_id: usize) -> f64 {
+        let m = self.price_multiplier(epoch, vm_id);
+        if m > 1.0 {
+            1.0 - 1.0 / m
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether one run attempt at `epoch` is reclaimed by the spot market.
+    /// Pure in `(epoch, workload, vm, run index)`; bumps
+    /// `sim.dyn.reclaims` when it fires.
+    pub fn reclaimed(&self, epoch: u64, workload_id: u64, vm_id: usize, run_idx: u64) -> bool {
+        let p = self.plan.reclaim_rate * self.reclaim_pressure(epoch, vm_id);
+        if p <= 0.0 {
+            return false;
+        }
+        let mut rng = run_rng(
+            self.dynamic_seed() ^ epoch.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            workload_id,
+            vm_id as u64,
+            run_idx,
+            STREAM_RECLAIM,
+        );
+        let fired = rng.gen::<f64>() < p;
+        if fired {
+            if let Some(c) = &self.counters {
+                c.reclaims.inc();
+            }
+        }
+        fired
+    }
+
+    /// Retirement epoch of one VM type, if churn retires it. Both draws
+    /// (fate, epoch) are taken unconditionally so the schedule of every
+    /// other type is independent of this one's verdict.
+    pub fn retirement_epoch(&self, vm_id: usize) -> Option<u64> {
+        if self.plan.churn_rate <= 0.0 {
+            return None;
+        }
+        let mut rng = run_rng(self.dynamic_seed(), 0, vm_id as u64, 0, STREAM_CHURN);
+        let fate: f64 = rng.gen();
+        let span = self.plan.churn_end_epoch - self.plan.churn_start_epoch;
+        let offset = rng.gen_range(0..span.max(1));
+        if fate < self.plan.churn_rate {
+            Some(self.plan.churn_start_epoch + offset)
+        } else {
+            None
+        }
+    }
+
+    /// Introduction epoch of one VM type: `0` (in service from the start)
+    /// unless the intro draw marks it a mid-trace arrival.
+    pub fn introduction_epoch(&self, vm_id: usize) -> u64 {
+        if self.plan.intro_rate <= 0.0 || self.plan.horizon_epochs == 0 {
+            return 0;
+        }
+        let mut rng = run_rng(self.dynamic_seed(), 0, vm_id as u64, 1, STREAM_CHURN);
+        let fate: f64 = rng.gen();
+        let epoch = rng.gen_range(0..self.plan.horizon_epochs);
+        if fate < self.plan.intro_rate {
+            epoch
+        } else {
+            0
+        }
+    }
+
+    /// Whether one VM type is in service at `epoch`.
+    pub fn vm_active(&self, epoch: u64, vm_id: usize) -> bool {
+        if epoch < self.introduction_epoch(vm_id) {
+            return false;
+        }
+        match self.retirement_epoch(vm_id) {
+            Some(r) => epoch < r,
+            None => true,
+        }
+    }
+
+    /// Every churn event for a catalog of `catalog_len` types, sorted by
+    /// epoch (ties by vm id). Bumps `sim.dyn.retirements` /
+    /// `sim.dyn.introductions` once per event.
+    pub fn churn_schedule(&self, catalog_len: usize) -> Vec<ChurnEvent> {
+        let mut events = Vec::new();
+        for vm_id in 0..catalog_len {
+            if let Some(epoch) = self.retirement_epoch(vm_id) {
+                events.push(ChurnEvent::Retired { vm_id, epoch });
+                if let Some(c) = &self.counters {
+                    c.retirements.inc();
+                }
+            }
+            let intro = self.introduction_epoch(vm_id);
+            if intro > 0 {
+                events.push(ChurnEvent::Introduced { vm_id, epoch: intro });
+                if let Some(c) = &self.counters {
+                    c.introductions.inc();
+                }
+            }
+        }
+        events.sort_by_key(|e| (e.epoch(), e.vm_id()));
+        events
+    }
+
+    /// Request arrival intensity at `epoch`, relative to the flat rate
+    /// (1.0): a diurnal sinusoid with optional per-epoch lognormal jitter.
+    /// Exactly `1.0` for a static plan.
+    pub fn arrival_intensity(&self, epoch: u64) -> f64 {
+        let mut intensity = 1.0;
+        if self.plan.diurnal_amplitude > 0.0 {
+            let period = self.plan.diurnal_period_epochs.max(2);
+            let phase = (epoch % period) as f64 / period as f64;
+            intensity += self.plan.diurnal_amplitude * (2.0 * std::f64::consts::PI * phase).sin();
+        }
+        if self.plan.arrival_jitter_cv > 0.0 {
+            let mut rng = run_rng(self.dynamic_seed(), epoch, 0, 0, STREAM_ARRIVAL);
+            intensity *= lognormal_factor(&mut rng, self.plan.arrival_jitter_cv);
+        }
+        intensity.max(0.0)
+    }
+
+    /// Price multiplier a non-home region applies to one VM type's
+    /// family. Region 0 always returns `1.0`.
+    pub fn regional_price_multiplier(&self, region: u32, vm: &VmType) -> f64 {
+        if region == 0 || self.plan.region_divergence <= 0.0 {
+            return 1.0;
+        }
+        let mut rng = run_rng(
+            self.dynamic_seed(),
+            region as u64,
+            fnv1a(vm.family.as_bytes()),
+            0,
+            STREAM_REGION,
+        );
+        lognormal_factor(&mut rng, self.plan.region_divergence)
+    }
+
+    /// The catalog as priced in `region`: identical types and ids, each
+    /// family's on-demand price shifted by the region's divergence draw.
+    pub fn regional_catalog(&self, base: &Catalog, region: u32) -> Catalog {
+        base.reprice(|vm| vm.price_per_hour * self.regional_price_multiplier(region, vm))
+    }
+
+    /// Multiplicative execution-time factor at `epoch` for one VM type:
+    /// `1.0` before the drift regime lands (or for unaffected families),
+    /// [`DynamicPlan::drift_magnitude`] afterward. This is the
+    /// step-change the drift detector in `vesta-core` chases.
+    pub fn perf_factor(&self, epoch: u64, vm: &VmType) -> f64 {
+        if self.plan.drift_magnitude <= 1.0
+            || self.plan.drift_family_fraction <= 0.0
+            || epoch < self.plan.drift_onset_epoch
+        {
+            return 1.0;
+        }
+        let mut rng = run_rng(
+            self.dynamic_seed(),
+            0,
+            fnv1a(vm.family.as_bytes()),
+            0,
+            STREAM_DRIFT,
+        );
+        if rng.gen::<f64>() < self.plan.drift_family_fraction {
+            self.plan.drift_magnitude
+        } else {
+            1.0
+        }
+    }
+
+    /// The cloud as it performs at `epoch`: `base` with every drifted
+    /// family's delivered resources derated by [`DynamicInjector::perf_factor`]
+    /// (see [`Catalog::derate`]). Before the drift onset (or with drift
+    /// off) this is `base` unchanged, so ground truth computed on the
+    /// drifted catalog is bit-identical to the static ground truth — the
+    /// `none()` inertness contract extends through the catalog.
+    pub fn drifted_catalog(&self, base: &Catalog, epoch: u64) -> Catalog {
+        if self.plan.drift_magnitude <= 1.0
+            || self.plan.drift_family_fraction <= 0.0
+            || epoch < self.plan.drift_onset_epoch
+        {
+            return base.clone();
+        }
+        base.derate(|vm| self.perf_factor(epoch, vm))
+    }
+
+    /// The stationary fault plan a [`crate::FaultInjector`] should run
+    /// with during `epoch`: the base plan with its transient-failure rate
+    /// raised to the mean reclaim probability across the catalog, and its
+    /// seed folded with the epoch so each hour draws a fresh schedule.
+    /// This is how spot reclaims feed the existing injector/breaker path.
+    pub fn fault_plan_at(&self, epoch: u64, base: &FaultPlan, catalog: &Catalog) -> FaultPlan {
+        let mut plan = base.clone();
+        if self.plan.reclaim_rate > 0.0 && !catalog.is_empty() {
+            let mean_reclaim = catalog
+                .all()
+                .iter()
+                .map(|vm| self.plan.reclaim_rate * self.reclaim_pressure(epoch, vm.id))
+                .sum::<f64>()
+                / catalog.len() as f64;
+            plan.transient_failure_rate = plan.transient_failure_rate.max(mean_reclaim.min(1.0));
+        }
+        if !self.plan.is_none() {
+            plan.seed = base.seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.plan.seed;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn week_plan() -> DynamicPlan {
+        DynamicPlan {
+            seed: 7,
+            horizon_epochs: 168,
+            spot_volatility: 0.3,
+            spot_window_epochs: 6,
+            reclaim_rate: 0.2,
+            churn_rate: 0.1,
+            churn_start_epoch: 48,
+            churn_end_epoch: 120,
+            intro_rate: 0.05,
+            diurnal_amplitude: 0.5,
+            diurnal_period_epochs: 24,
+            arrival_jitter_cv: 0.1,
+            regions: 3,
+            region_divergence: 0.15,
+            drift_onset_epoch: 84,
+            drift_magnitude: 1.6,
+            drift_family_fraction: 0.4,
+        }
+    }
+
+    #[test]
+    fn none_plan_is_neutral_everywhere() {
+        let inj = DynamicInjector::new(42, DynamicPlan::none());
+        let catalog = Catalog::aws_ec2();
+        let vm = catalog.get(0usize).unwrap();
+        for epoch in [0u64, 1, 23, 167, 10_000] {
+            assert_eq!(inj.price_multiplier(epoch, vm.id), 1.0);
+            assert_eq!(inj.spot_price(epoch, vm).to_bits(), vm.price_per_hour.to_bits());
+            assert_eq!(inj.reclaim_pressure(epoch, vm.id), 0.0);
+            assert!(!inj.reclaimed(epoch, 1, vm.id, 0));
+            assert!(inj.vm_active(epoch, vm.id));
+            assert_eq!(inj.arrival_intensity(epoch), 1.0);
+            assert_eq!(inj.perf_factor(epoch, vm), 1.0);
+        }
+        assert!(inj.churn_schedule(catalog.len()).is_empty());
+        let plan = inj.fault_plan_at(3, &FaultPlan::none(), &catalog);
+        assert_eq!(plan, FaultPlan::none());
+        let regional = inj.regional_catalog(&catalog, 0);
+        for (a, b) in catalog.all().iter().zip(regional.all()) {
+            assert_eq!(a.price_per_hour.to_bits(), b.price_per_hour.to_bits());
+        }
+    }
+
+    #[test]
+    fn none_plan_validates_and_is_default() {
+        assert!(DynamicPlan::none().validate().is_ok());
+        assert!(DynamicPlan::none().is_none());
+        assert_eq!(DynamicPlan::default(), DynamicPlan::none());
+        assert!(week_plan().validate().is_ok());
+        assert!(!week_plan().is_none());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_cross_fields() {
+        let reclaim_no_spot = DynamicPlan {
+            horizon_epochs: 24,
+            reclaim_rate: 0.1,
+            spot_volatility: 0.0,
+            ..DynamicPlan::none()
+        };
+        assert!(reclaim_no_spot.validate().is_err());
+
+        let empty_churn = DynamicPlan {
+            horizon_epochs: 24,
+            churn_rate: 0.1,
+            churn_start_epoch: 10,
+            churn_end_epoch: 10,
+            ..DynamicPlan::none()
+        };
+        assert!(empty_churn.validate().is_err());
+
+        let churn_past_horizon = DynamicPlan {
+            horizon_epochs: 24,
+            churn_rate: 0.1,
+            churn_start_epoch: 10,
+            churn_end_epoch: 48,
+            ..DynamicPlan::none()
+        };
+        assert!(churn_past_horizon.validate().is_err());
+
+        let active_no_horizon = DynamicPlan {
+            horizon_epochs: 0,
+            spot_volatility: 0.2,
+            ..DynamicPlan::none()
+        };
+        assert!(active_no_horizon.validate().is_err());
+
+        let divergence_one_region = DynamicPlan {
+            horizon_epochs: 24,
+            regions: 1,
+            region_divergence: 0.2,
+            ..DynamicPlan::none()
+        };
+        assert!(divergence_one_region.validate().is_err());
+
+        let drift_never_lands = DynamicPlan {
+            horizon_epochs: 24,
+            drift_onset_epoch: 24,
+            drift_magnitude: 1.5,
+            drift_family_fraction: 0.3,
+            ..DynamicPlan::none()
+        };
+        assert!(drift_never_lands.validate().is_err());
+
+        let drift_no_family = DynamicPlan {
+            horizon_epochs: 24,
+            drift_onset_epoch: 4,
+            drift_magnitude: 1.5,
+            drift_family_fraction: 0.0,
+            ..DynamicPlan::none()
+        };
+        assert!(drift_no_family.validate().is_err());
+
+        let bad_rate = DynamicPlan {
+            horizon_epochs: 24,
+            churn_rate: 1.5,
+            churn_start_epoch: 0,
+            churn_end_epoch: 10,
+            ..DynamicPlan::none()
+        };
+        assert!(bad_rate.validate().is_err());
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let a = DynamicInjector::new(11, week_plan());
+        let b = DynamicInjector::new(11, week_plan());
+        let catalog = Catalog::aws_ec2();
+        for epoch in [0u64, 5, 84, 167] {
+            for vm in catalog.all().iter().take(10) {
+                assert_eq!(
+                    a.price_multiplier(epoch, vm.id).to_bits(),
+                    b.price_multiplier(epoch, vm.id).to_bits()
+                );
+                assert_eq!(
+                    a.reclaimed(epoch, 3, vm.id, 1),
+                    b.reclaimed(epoch, 3, vm.id, 1)
+                );
+                assert_eq!(a.perf_factor(epoch, vm).to_bits(), b.perf_factor(epoch, vm).to_bits());
+            }
+            assert_eq!(
+                a.arrival_intensity(epoch).to_bits(),
+                b.arrival_intensity(epoch).to_bits()
+            );
+        }
+        assert_eq!(a.churn_schedule(catalog.len()), b.churn_schedule(catalog.len()));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = DynamicInjector::new(1, week_plan());
+        let b = DynamicInjector::new(2, week_plan());
+        let diverged = (0..20u64).any(|e| {
+            a.price_multiplier(e, 0).to_bits() != b.price_multiplier(e, 0).to_bits()
+        });
+        assert!(diverged);
+    }
+
+    #[test]
+    fn price_interpolates_continuously_between_anchors() {
+        let inj = DynamicInjector::new(5, week_plan());
+        let win = week_plan().spot_window_epochs;
+        // At a window boundary the multiplier equals the anchor; inside
+        // the window it stays between the two surrounding anchors.
+        let a0 = inj.price_multiplier(0, 3);
+        let a1 = inj.price_multiplier(win, 3);
+        for e in 1..win {
+            let m = inj.price_multiplier(e, 3);
+            let (lo, hi) = if a0 <= a1 { (a0, a1) } else { (a1, a0) };
+            assert!(m >= lo - 1e-12 && m <= hi + 1e-12, "epoch {e}: {m} outside [{lo}, {hi}]");
+            assert!(m > 0.0);
+        }
+    }
+
+    #[test]
+    fn reclaim_pressure_tracks_price() {
+        let inj = DynamicInjector::new(9, week_plan());
+        for e in 0..48u64 {
+            for vm in 0..5usize {
+                let m = inj.price_multiplier(e, vm);
+                let p = inj.reclaim_pressure(e, vm);
+                assert!((0.0..1.0).contains(&p));
+                if m <= 1.0 {
+                    assert_eq!(p, 0.0);
+                } else {
+                    assert!(p > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_lands_inside_window_and_roughly_at_rate() {
+        let plan = week_plan();
+        let inj = DynamicInjector::new(3, plan.clone());
+        let n = 120usize;
+        let events = inj.churn_schedule(n);
+        let retired: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Retired { .. }))
+            .collect();
+        let introduced: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Introduced { .. }))
+            .collect();
+        for e in &retired {
+            assert!(e.epoch() >= plan.churn_start_epoch && e.epoch() < plan.churn_end_epoch);
+        }
+        for e in &introduced {
+            assert!(e.epoch() > 0 && e.epoch() < plan.horizon_epochs);
+        }
+        // 120 draws at rate 0.1: expect ~12 retirements, allow a wide band.
+        assert!(
+            (1..=36).contains(&retired.len()),
+            "retired {} of {n}",
+            retired.len()
+        );
+        // A retired type is inactive from its retirement epoch on.
+        if let Some(ChurnEvent::Retired { vm_id, epoch }) = retired.first() {
+            assert!(inj.vm_active(epoch.saturating_sub(1), *vm_id) || *epoch == 0);
+            assert!(!inj.vm_active(*epoch, *vm_id));
+            assert!(!inj.vm_active(plan.horizon_epochs - 1, *vm_id));
+        }
+    }
+
+    #[test]
+    fn arrival_intensity_oscillates_around_one() {
+        let plan = DynamicPlan {
+            horizon_epochs: 48,
+            diurnal_amplitude: 0.5,
+            diurnal_period_epochs: 24,
+            ..DynamicPlan::none()
+        };
+        let inj = DynamicInjector::new(1, plan);
+        let vals: Vec<f64> = (0..24u64).map(|e| inj.arrival_intensity(e)).collect();
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 1.2 && max <= 1.5 + 1e-9);
+        assert!(min < 0.8 && min >= 0.5 - 1e-9);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn regional_catalogs_share_ids_and_diverge_in_price() {
+        let inj = DynamicInjector::new(4, week_plan());
+        let base = Catalog::aws_ec2();
+        let home = inj.regional_catalog(&base, 0);
+        let remote = inj.regional_catalog(&base, 1);
+        assert_eq!(home.len(), base.len());
+        assert_eq!(remote.len(), base.len());
+        let mut diverged = 0usize;
+        for (a, b) in base.all().iter().zip(remote.all()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.vcpus, b.vcpus);
+            assert!(b.price_per_hour > 0.0);
+            if a.price_per_hour.to_bits() != b.price_per_hour.to_bits() {
+                diverged += 1;
+            }
+        }
+        assert!(diverged > 0, "remote region should shift some family price");
+        // Same family ⇒ same multiplier within a region.
+        let f0 = remote.family("m5");
+        let b0 = base.family("m5");
+        let r = f0[0].price_per_hour / b0[0].price_per_hour;
+        for (fv, bv) in f0.iter().zip(&b0) {
+            assert!((fv.price_per_hour / bv.price_per_hour - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perf_drift_is_a_step_change_per_family() {
+        let plan = week_plan();
+        let inj = DynamicInjector::new(6, plan.clone());
+        let catalog = Catalog::aws_ec2();
+        let mut hit_families = 0usize;
+        for family in catalog.families() {
+            let vms = catalog.family(family);
+            let before = inj.perf_factor(plan.drift_onset_epoch - 1, vms[0]);
+            let after = inj.perf_factor(plan.drift_onset_epoch, vms[0]);
+            assert_eq!(before, 1.0);
+            assert!(after == 1.0 || after == plan.drift_magnitude);
+            if after > 1.0 {
+                hit_families += 1;
+                // Every size in the family drifts together.
+                for vm in &vms {
+                    assert_eq!(inj.perf_factor(plan.horizon_epochs - 1, vm), plan.drift_magnitude);
+                }
+            }
+        }
+        assert!(hit_families > 0, "a 40% family fraction should hit someone");
+    }
+
+    fn catalogs_identical(a: &Catalog, b: &Catalog) -> bool {
+        a.len() == b.len()
+            && a.all().iter().zip(b.all()).all(|(x, y)| {
+                x.id == y.id
+                    && x.name == y.name
+                    && x.cpu_speed.to_bits() == y.cpu_speed.to_bits()
+                    && x.disk_mbps.to_bits() == y.disk_mbps.to_bits()
+                    && x.network_gbps.to_bits() == y.network_gbps.to_bits()
+                    && x.price_per_hour.to_bits() == y.price_per_hour.to_bits()
+            })
+    }
+
+    #[test]
+    fn drifted_catalog_derates_exactly_the_drifted_families() {
+        let plan = week_plan();
+        let inj = DynamicInjector::new(6, plan.clone());
+        let base = Catalog::aws_ec2();
+        // Before the onset the drifted catalog is the base, bit for bit.
+        let pre = inj.drifted_catalog(&base, plan.drift_onset_epoch - 1);
+        assert!(catalogs_identical(&pre, &base));
+        let post = inj.drifted_catalog(&base, plan.drift_onset_epoch);
+        assert_eq!(post.len(), base.len());
+        let mut derated = 0usize;
+        for (a, b) in base.all().iter().zip(post.all()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.price_per_hour, b.price_per_hour, "derate keeps prices");
+            let m = inj.perf_factor(plan.drift_onset_epoch, a);
+            if m > 1.0 {
+                derated += 1;
+                assert!((b.cpu_speed - a.cpu_speed / m).abs() < 1e-12);
+                assert!((b.disk_mbps - a.disk_mbps / m).abs() < 1e-9);
+                assert!((b.network_gbps - a.network_gbps / m).abs() < 1e-12);
+            } else {
+                assert_eq!(a.cpu_speed, b.cpu_speed);
+            }
+        }
+        assert!(derated > 0, "post-onset catalog must actually change");
+        // A none() plan never touches the catalog at any epoch.
+        let inert = DynamicInjector::new(6, DynamicPlan::none());
+        assert!(catalogs_identical(&inert.drifted_catalog(&base, 0), &base));
+        assert!(catalogs_identical(
+            &inert.drifted_catalog(&base, 10_000),
+            &base
+        ));
+    }
+
+    #[test]
+    fn fault_plan_at_feeds_reclaims_into_transient_rate() {
+        let inj = DynamicInjector::new(8, week_plan());
+        let catalog = Catalog::aws_ec2();
+        let base = FaultPlan {
+            transient_failure_rate: 0.01,
+            ..FaultPlan::none()
+        };
+        let mut raised = false;
+        let mut seeds = std::collections::BTreeSet::new();
+        for epoch in 0..48u64 {
+            let plan = inj.fault_plan_at(epoch, &base, &catalog);
+            assert!(plan.transient_failure_rate >= base.transient_failure_rate);
+            assert!(plan.transient_failure_rate <= 1.0);
+            assert!(plan.validate().is_ok());
+            raised |= plan.transient_failure_rate > base.transient_failure_rate;
+            seeds.insert(plan.seed);
+        }
+        assert!(raised, "some epoch should see reclaim pressure");
+        assert!(seeds.len() > 1, "per-epoch schedules must differ");
+    }
+
+    #[test]
+    fn counters_do_not_perturb_schedules() {
+        let registry = MetricsRegistry::noop();
+        let plain = DynamicInjector::new(13, week_plan());
+        let counted = DynamicInjector::new(13, week_plan()).with_obs(&registry);
+        for epoch in 0..24u64 {
+            for vm in 0..20usize {
+                assert_eq!(
+                    plain.reclaimed(epoch, 5, vm, 2),
+                    counted.reclaimed(epoch, 5, vm, 2)
+                );
+            }
+        }
+        let schedule = counted.churn_schedule(120);
+        assert_eq!(plain.churn_schedule(120), schedule);
+        let retired = schedule
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Retired { .. }))
+            .count();
+        assert!(retired > 0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim.dyn.retirements"), retired as u64);
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`fault`] — seeded, deterministic fault injection (transient run
 //!   failures, capacity errors, stragglers, metric dropout/corruption) and
 //!   the bounded [`fault::RetryPolicy`] consumers use to survive it.
+//! * [`dynamics`] — the time dimension: epoch-indexed spot-price
+//!   volatility with interruption reclaims, catalog churn (generations
+//!   retired/introduced mid-trace), diurnal arrival intensity, regional
+//!   price divergence, and performance-drift regime changes.
 //! * [`store`] — the in-memory stand-in for the paper's MySQL store.
 //! * [`cache`] — sharded, fingerprint-keyed memo table the batch engine
 //!   uses to skip redundant reference runs.
@@ -26,6 +30,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod des;
+pub mod dynamics;
 pub mod error;
 pub mod fault;
 pub mod metrics;
@@ -37,6 +42,7 @@ pub mod vmtype;
 pub use cache::{CacheStats, RunCache, DEFAULT_CACHE_CAPACITY};
 pub use catalog::Catalog;
 pub use des::{simulate as des_simulate, DesConfig, DesResult};
+pub use dynamics::{ChurnEvent, DynamicCounters, DynamicInjector, DynamicPlan};
 pub use error::SimError;
 pub use fault::{FaultCounters, FaultInjector, FaultPlan, RetryPolicy, RunFate, RETRY_RUN_STRIDE};
 pub use metrics::{

@@ -1,0 +1,398 @@
+//! Model-drift detection over completed-run residuals, and the re-solve
+//! trigger that keeps the engine calibrated on a non-stationary cloud.
+//!
+//! The paper trains its knowledge base once and serves from it; on a real
+//! cloud the ground truth under that knowledge moves (hardware refreshes,
+//! spot reclaims shifting which runs complete, regional migrations). The
+//! serving layer closes the loop:
+//!
+//! 1. After each *epoch* (one simulated hour in the bench harness) the
+//!    caller folds the residuals of every completed run —
+//!    [`completion_residual`] of predicted vs. actually observed time —
+//!    into one epoch residual ([`epoch_residual`]).
+//! 2. A [`DriftDetector`] tracks those residuals: a warm-up window fixes
+//!    the baseline, an EWMA follows the current level, and a threshold
+//!    ratio between the two declares drift.
+//! 3. On a [`DriftVerdict::Drifted`] the engine re-solves
+//!    ([`crate::Knowledge::resolve_drift`]): memoized reference phases are
+//!    invalidated and the published overlay is reset, so subsequent
+//!    requests re-run references against the *current* cloud, re-solve the
+//!    CMF completion, and republish fresh evidence through the existing
+//!    absorption queue.
+//!
+//! The detector then re-baselines to the post-resolve level and holds a
+//! cooldown, so one step-change triggers exactly one re-solve — the
+//! invariant the proptests in this module pin down.
+
+use serde::{Deserialize, Serialize};
+
+use crate::VestaError;
+
+/// Knobs of the drift detector. The defaults are validated by the
+/// `--drift` experiment sweep: a 1.75× residual ratio separates the
+/// injected regime changes from run-to-run noise on every shipped
+/// scenario while never firing on a static cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Epochs used to fix the residual baseline before detection arms.
+    pub warmup_epochs: u32,
+    /// EWMA smoothing factor in `(0, 1]` applied to epoch residuals;
+    /// higher reacts faster but sees more noise.
+    pub ewma_alpha: f64,
+    /// Drift fires when `ewma / baseline` exceeds this ratio (> 1).
+    pub threshold_ratio: f64,
+    /// Epochs after a re-solve during which detection is suspended while
+    /// the re-calibrated model settles.
+    pub cooldown_epochs: u32,
+}
+
+impl DriftConfig {
+    /// Validate every knob; returns a typed error naming the first bad one.
+    pub fn validate(&self) -> Result<(), VestaError> {
+        if self.warmup_epochs == 0 {
+            return Err(VestaError::Config(
+                "drift config: warmup_epochs must be ≥ 1".into(),
+            ));
+        }
+        if !self.ewma_alpha.is_finite() || !(0.0..=1.0).contains(&self.ewma_alpha)
+            || self.ewma_alpha == 0.0
+        {
+            return Err(VestaError::Config(format!(
+                "drift config: ewma_alpha must be in (0, 1], got {}",
+                self.ewma_alpha
+            )));
+        }
+        if !self.threshold_ratio.is_finite() || self.threshold_ratio <= 1.0 {
+            return Err(VestaError::Config(format!(
+                "drift config: threshold_ratio must be > 1, got {}",
+                self.threshold_ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            warmup_epochs: 6,
+            ewma_alpha: 0.5,
+            threshold_ratio: 1.75,
+            cooldown_epochs: 6,
+        }
+    }
+}
+
+/// What the detector concluded about one observed epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftVerdict {
+    /// Still inside the warm-up window; the baseline is forming.
+    Warming,
+    /// Residuals are consistent with the baseline (or the detector is in
+    /// its post-resolve cooldown). Carries the current `ewma / baseline`
+    /// ratio.
+    Stable { ratio: f64 },
+    /// The residual level crossed the threshold: the model no longer fits
+    /// the cloud it is serving. Carries the ratio that fired.
+    Drifted { ratio: f64 },
+}
+
+impl DriftVerdict {
+    /// True for [`DriftVerdict::Drifted`].
+    pub fn is_drifted(&self) -> bool {
+        matches!(self, DriftVerdict::Drifted { .. })
+    }
+}
+
+/// Residual tracker: warm-up baseline, EWMA of the current level, and the
+/// threshold/cooldown logic around re-solves. Purely deterministic in the
+/// sequence of observed residuals.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    /// Sum and count of warm-up residuals (baseline = mean).
+    warmup_sum: f64,
+    warmup_seen: u32,
+    baseline: Option<f64>,
+    ewma: Option<f64>,
+    epochs_observed: u64,
+    /// Epochs of cooldown still to burn before detection re-arms.
+    cooldown_left: u32,
+    /// Re-baseline to the settled EWMA when the cooldown expires.
+    rebaseline_pending: bool,
+    resolves: u64,
+}
+
+/// Floor for baselines so a perfectly-fitting warm-up (residual 0) cannot
+/// make the drift ratio divide by zero.
+const BASELINE_FLOOR: f64 = 1e-9;
+
+impl DriftDetector {
+    /// New detector; `cfg` must already be validated.
+    pub fn new(cfg: DriftConfig) -> Self {
+        DriftDetector {
+            cfg,
+            warmup_sum: 0.0,
+            warmup_seen: 0,
+            baseline: None,
+            ewma: None,
+            epochs_observed: 0,
+            cooldown_left: 0,
+            rebaseline_pending: false,
+            resolves: 0,
+        }
+    }
+
+    /// Fold one epoch residual (non-finite or negative values are clamped
+    /// to zero) and classify the epoch.
+    pub fn observe(&mut self, residual: f64) -> DriftVerdict {
+        let r = if residual.is_finite() && residual > 0.0 {
+            residual
+        } else {
+            0.0
+        };
+        self.epochs_observed += 1;
+        let Some(baseline) = self.baseline else {
+            self.warmup_sum += r;
+            self.warmup_seen += 1;
+            if self.warmup_seen >= self.cfg.warmup_epochs {
+                let mean = self.warmup_sum / self.warmup_seen as f64;
+                self.baseline = Some(mean.max(BASELINE_FLOOR));
+                self.ewma = Some(mean);
+            }
+            return DriftVerdict::Warming;
+        };
+        let a = self.cfg.ewma_alpha;
+        let ewma = match self.ewma {
+            Some(prev) => (1.0 - a) * prev + a * r,
+            None => r,
+        };
+        self.ewma = Some(ewma);
+        let ratio = ewma / baseline;
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            if self.cooldown_left == 0 && self.rebaseline_pending {
+                // The post-resolve level has settled: it is the new normal.
+                self.baseline = Some(ewma.max(BASELINE_FLOOR));
+                self.rebaseline_pending = false;
+            }
+            return DriftVerdict::Stable { ratio };
+        }
+        if ratio > self.cfg.threshold_ratio {
+            DriftVerdict::Drifted { ratio }
+        } else {
+            DriftVerdict::Stable { ratio }
+        }
+    }
+
+    /// Acknowledge a re-solve: detection pauses for the configured
+    /// cooldown and, once the cooldown expires, the settled residual
+    /// level becomes the new baseline — so one step-change in residuals
+    /// triggers exactly one re-solve, however large the step.
+    pub fn mark_resolved(&mut self) {
+        self.resolves += 1;
+        if self.cfg.cooldown_epochs == 0 {
+            // No settling window: re-baseline immediately.
+            if let Some(ewma) = self.ewma {
+                self.baseline = Some(ewma.max(BASELINE_FLOOR));
+            }
+        } else {
+            self.cooldown_left = self.cfg.cooldown_epochs;
+            self.rebaseline_pending = true;
+        }
+    }
+
+    /// Epochs folded so far (warm-up included).
+    pub fn epochs_observed(&self) -> u64 {
+        self.epochs_observed
+    }
+
+    /// Re-solves acknowledged via [`DriftDetector::mark_resolved`].
+    pub fn resolves(&self) -> u64 {
+        self.resolves
+    }
+
+    /// The warm-up baseline, once formed.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// The current EWMA residual level, once formed.
+    pub fn ewma(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// The configuration this detector runs under.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+}
+
+/// Residual of one completed run: `|ln(actual / predicted)|`, the
+/// scale-free log error between what the engine predicted and what the
+/// cloud delivered. `None` when either side is non-positive or non-finite
+/// (a failed run contributes no residual).
+pub fn completion_residual(predicted_s: f64, actual_s: f64) -> Option<f64> {
+    if !(predicted_s.is_finite() && actual_s.is_finite()) || predicted_s <= 0.0 || actual_s <= 0.0 {
+        return None;
+    }
+    Some((actual_s / predicted_s).ln().abs())
+}
+
+/// Mean completion residual of one epoch's `(predicted, actual)` pairs;
+/// `None` when no pair yields a residual.
+pub fn epoch_residual(pairs: &[(f64, f64)]) -> Option<f64> {
+    let residuals: Vec<f64> = pairs
+        .iter()
+        .filter_map(|&(p, a)| completion_residual(p, a))
+        .collect();
+    if residuals.is_empty() {
+        return None;
+    }
+    Some(residuals.iter().sum::<f64>() / residuals.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> DriftConfig {
+        DriftConfig::default()
+    }
+
+    /// Drive a detector over a step-change trace and count the re-solves
+    /// a faithful caller (re-solve on every Drifted verdict) performs.
+    fn resolves_on_step(cfg: DriftConfig, low: f64, high: f64, n_low: u32, n_high: u32) -> u64 {
+        let mut det = DriftDetector::new(cfg);
+        let mut resolves = 0;
+        for _ in 0..n_low {
+            if det.observe(low).is_drifted() {
+                det.mark_resolved();
+                resolves += 1;
+            }
+        }
+        for _ in 0..n_high {
+            if det.observe(high).is_drifted() {
+                det.mark_resolved();
+                resolves += 1;
+            }
+        }
+        resolves
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn config_rejects_bad_knobs() {
+        let mut c = cfg();
+        c.warmup_epochs = 0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.ewma_alpha = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.ewma_alpha = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.threshold_ratio = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.threshold_ratio = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn warmup_then_stable_on_flat_residuals() {
+        let mut det = DriftDetector::new(cfg());
+        for i in 0..cfg().warmup_epochs {
+            assert_eq!(det.observe(0.1), DriftVerdict::Warming, "epoch {i}");
+        }
+        for _ in 0..50 {
+            let v = det.observe(0.1);
+            assert!(matches!(v, DriftVerdict::Stable { .. }), "got {v:?}");
+        }
+        assert_eq!(det.resolves(), 0);
+        let b = det.baseline().unwrap();
+        assert!((b - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_change_triggers_exactly_one_resolve() {
+        assert_eq!(resolves_on_step(cfg(), 0.1, 0.5, 12, 48), 1);
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let mut det = DriftDetector::new(cfg());
+        for _ in 0..cfg().warmup_epochs {
+            det.observe(0.0);
+        }
+        // Any positive residual after a zero baseline is a huge ratio.
+        let v = det.observe(0.2);
+        assert!(v.is_drifted(), "got {v:?}");
+    }
+
+    #[test]
+    fn two_separated_steps_trigger_two_resolves() {
+        let mut det = DriftDetector::new(cfg());
+        let mut resolves = 0;
+        let trace: Vec<f64> = std::iter::repeat_n(0.1, 12)
+            .chain(std::iter::repeat_n(0.3, 40))
+            .chain(std::iter::repeat_n(0.9, 40))
+            .collect();
+        for r in trace {
+            if det.observe(r).is_drifted() {
+                det.mark_resolved();
+                resolves += 1;
+            }
+        }
+        assert_eq!(resolves, 2);
+    }
+
+    #[test]
+    fn residual_helpers_are_scale_free_and_guarded() {
+        assert_eq!(completion_residual(10.0, 10.0), Some(0.0));
+        let up = completion_residual(10.0, 20.0).unwrap();
+        let down = completion_residual(20.0, 10.0).unwrap();
+        assert!((up - down).abs() < 1e-12, "symmetric in direction");
+        assert!((up - 2f64.ln()).abs() < 1e-12);
+        assert_eq!(completion_residual(0.0, 10.0), None);
+        assert_eq!(completion_residual(10.0, f64::NAN), None);
+        assert_eq!(epoch_residual(&[]), None);
+        assert_eq!(epoch_residual(&[(0.0, 1.0)]), None);
+        let r = epoch_residual(&[(10.0, 10.0), (10.0, 20.0)]).unwrap();
+        assert!((r - 2f64.ln() / 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Satellite invariant: an injected step-change in residuals
+        /// triggers exactly one re-solve, for any plausible step size and
+        /// phase lengths.
+        #[test]
+        fn prop_step_change_is_one_resolve(
+            low in 0.02f64..0.2,
+            step in 2.5f64..8.0,
+            n_low in 8u32..30,
+            n_high in 20u32..60,
+        ) {
+            let c = DriftConfig::default();
+            prop_assume!(n_low > c.warmup_epochs);
+            let high = low * step;
+            prop_assert_eq!(resolves_on_step(c, low, high, n_low, n_high), 1);
+        }
+
+        /// A flat residual trace never fires, whatever its level.
+        #[test]
+        fn prop_flat_trace_never_fires(level in 0.0f64..2.0, n in 10u32..80) {
+            let mut det = DriftDetector::new(DriftConfig::default());
+            for _ in 0..n {
+                prop_assert!(!det.observe(level).is_drifted());
+            }
+            prop_assert_eq!(det.resolves(), 0);
+        }
+    }
+}

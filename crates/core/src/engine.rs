@@ -36,6 +36,7 @@ use vesta_ml::Matrix;
 use vesta_workloads::Workload;
 
 use crate::config::VestaConfig;
+use crate::drift::{DriftConfig, DriftDetector, DriftVerdict};
 use crate::offline::OfflineModel;
 use crate::online::{
     absorption_evidence, fresh_collector, gather_references_supervised, observed_row,
@@ -45,8 +46,8 @@ use crate::online::{
 };
 use crate::snapshot::KnowledgeSnapshot;
 use crate::supervisor::{
-    AbsorptionJournal, BreakerTable, Deadline, JournalRecord, Outcome, PartialProgress,
-    RequestOutcome, Supervisor, SupervisorReport,
+    AbsorptionJournal, BreakerDecision, BreakerTable, Deadline, JournalRecord, Outcome,
+    PartialProgress, RequestOutcome, Supervisor, SupervisorReport,
 };
 use crate::telemetry::EngineTelemetry;
 use crate::VestaError;
@@ -238,6 +239,9 @@ pub struct Knowledge {
     runs: Arc<AtomicUsize>,
     supervisor: Supervisor,
     telemetry: EngineTelemetry,
+    /// Residual tracker armed by [`Knowledge::enable_drift_detection`];
+    /// `None` keeps the drift path entirely off the serving fast path.
+    drift: Mutex<Option<DriftDetector>>,
 }
 
 impl Knowledge {
@@ -276,6 +280,7 @@ impl Knowledge {
             runs: Arc::new(AtomicUsize::new(0)),
             supervisor,
             telemetry: EngineTelemetry::noop(),
+            drift: Mutex::new(None),
         })
     }
 
@@ -610,6 +615,66 @@ impl Knowledge {
         Arc::clone(&self.overlay.read())
     }
 
+    /// Arm drift detection on this handle with a validated `cfg`. Until
+    /// this is called, [`Knowledge::observe_drift_epoch`] is a no-op
+    /// returning `None` and the serving path is untouched.
+    pub fn enable_drift_detection(&self, cfg: DriftConfig) -> Result<(), VestaError> {
+        cfg.validate()?;
+        *self.drift.lock() = Some(DriftDetector::new(cfg));
+        Ok(())
+    }
+
+    /// Fold one epoch's mean completion-time residual (see
+    /// [`crate::drift::epoch_residual`]) into the detector. Returns `None`
+    /// while detection is disabled. When the residual ratio crosses the
+    /// configured threshold this performs a re-solve inline —
+    /// [`Knowledge::resolve_drift`] — before returning the `Drifted`
+    /// verdict, so the *next* prediction already sees invalidated caches
+    /// and an empty overlay.
+    pub fn observe_drift_epoch(&self, residual: f64) -> Option<DriftVerdict> {
+        let mut guard = self.drift.lock();
+        let detector = guard.as_mut()?;
+        let verdict = detector.observe(residual);
+        self.telemetry.drift_epochs.inc();
+        match verdict {
+            DriftVerdict::Warming => {}
+            DriftVerdict::Stable { ratio } => self.telemetry.drift_score.set(ratio),
+            DriftVerdict::Drifted { ratio } => {
+                self.telemetry.drift_score.set(ratio);
+                self.resolve_drift();
+                detector.mark_resolved();
+            }
+        }
+        Some(verdict)
+    }
+
+    /// Discard evidence gathered under the pre-drift regime: both memo
+    /// caches are cleared and the published overlay is reset to empty in
+    /// one `Arc` swap. Workloads absorbed before the reset become
+    /// absorbable again — re-serving them under the new regime flows
+    /// through the ordinary [`Knowledge::absorb`] /
+    /// [`Knowledge::absorb_pending`] path, because the dedup list was
+    /// emptied along with the overlay. The offline model and warm CMF
+    /// state are kept: they encode cross-framework structure, not
+    /// cloud-side throughput.
+    ///
+    /// Callers journaling absorptions must rotate to a fresh
+    /// [`AbsorptionJournal`] after a reset: the old journal describes
+    /// evidence this call discarded, and replaying it through
+    /// [`Knowledge::recover`] would resurrect pre-drift records.
+    pub fn resolve_drift(&self) {
+        self.ref_cache.clear();
+        self.fallback_cache.clear();
+        *self.overlay.write() = Arc::new(SessionOverlay::default());
+        self.telemetry.overlay_resets.inc();
+        self.telemetry.drift_resolves.inc();
+    }
+
+    /// Drift re-solves performed so far (0 when detection is disabled).
+    pub fn drift_resolves(&self) -> u64 {
+        self.drift.lock().as_ref().map_or(0, |d| d.resolves())
+    }
+
     /// Hit/miss counters of the engine's memo caches.
     pub fn cache_stats(&self) -> EngineCacheStats {
         EngineCacheStats {
@@ -819,7 +884,8 @@ impl PredictionSession {
                 }
                 None => {
                     self.telemetry.fallback_misses.inc();
-                    let computed = self.compute_fallback(workload, fp, &cached.phase.tried)?;
+                    let computed =
+                        self.compute_fallback(workload, fp, &cached.phase.tried, breakers)?;
                     self.fallback_cache.insert(fp.as_u64(), computed)
                 }
             };
@@ -901,6 +967,7 @@ impl PredictionSession {
         workload: &Workload,
         fp: WorkloadFingerprint,
         tried: &[usize],
+        breakers: Option<&BreakerTable>,
     ) -> Result<FallbackRuns, VestaError> {
         let cfg = &self.model.config;
         let collector = fresh_collector(&self.model, &self.telemetry);
@@ -910,6 +977,17 @@ impl PredictionSession {
             self.fallback_extra_vms,
             tried,
         );
+        // The widening honors the same fence the reference phase does:
+        // capacity behind an open breaker (retired types, persistent
+        // failures) is dropped from the extra set rather than probed —
+        // the widening is best-effort exploration, never a redraw path.
+        let extra: Vec<usize> = match breakers {
+            Some(table) => extra
+                .into_iter()
+                .filter(|&vm| table.admit(vm) != BreakerDecision::Refuse)
+                .collect(),
+            None => extra,
+        };
         let observed =
             run_references(&collector, &self.catalog, cfg.online_reps, workload, &extra)?;
         let consumed = collector.runs_consumed();
@@ -995,7 +1073,7 @@ mod tests {
     fn repeat_requests_hit_the_cache_and_run_nothing() {
         let (suite, _) = shared();
         let knowledge = own_handle();
-        let w = suite.by_name("Flink-wordcount").unwrap();
+        let w = suite.by_name("Spark-count").unwrap();
         let first = knowledge.predict(w).unwrap();
         let runs_after_first = knowledge.runs_executed();
         assert!(runs_after_first > 0);
@@ -1017,10 +1095,10 @@ mod tests {
         let (suite, _) = shared();
         let knowledge = own_handle();
         let a = knowledge
-            .predict(suite.by_name("Flink-grep").unwrap())
+            .predict(suite.by_name("Spark-grep").unwrap())
             .unwrap();
         let b = knowledge
-            .predict(suite.by_name("Flink-sort").unwrap())
+            .predict(suite.by_name("Spark-sort").unwrap())
             .unwrap();
         let before = knowledge.absorbed_count();
         // Push out of order, twice each: the publish is ordered + deduped.
@@ -1049,7 +1127,7 @@ mod tests {
         let frozen = knowledge.session();
         let seen_at_spawn = frozen.overlay().absorbed_count();
         let p = knowledge
-            .predict(suite.by_name("Flink-pagerank").unwrap())
+            .predict(suite.by_name("Spark-page-rank").unwrap())
             .unwrap();
         knowledge.absorb(&p);
         knowledge.absorb_pending();
@@ -1075,5 +1153,130 @@ mod tests {
             .predict(suite.by_name("Spark-kmeans").unwrap())
             .unwrap();
         assert!(p.best_vm.index() < knowledge.catalog().len());
+    }
+
+    #[test]
+    fn drift_detection_is_explicitly_armed_and_validated() {
+        let knowledge = own_handle();
+        assert!(
+            knowledge.observe_drift_epoch(0.4).is_none(),
+            "disabled by default"
+        );
+        assert_eq!(knowledge.drift_resolves(), 0);
+        let bad = DriftConfig {
+            threshold_ratio: 1.0,
+            ..DriftConfig::default()
+        };
+        assert!(knowledge.enable_drift_detection(bad).is_err());
+        knowledge
+            .enable_drift_detection(DriftConfig::default())
+            .unwrap();
+        assert!(matches!(
+            knowledge.observe_drift_epoch(0.1),
+            Some(DriftVerdict::Warming)
+        ));
+    }
+
+    #[test]
+    fn drift_resolve_invalidates_caches_and_reenables_absorption() {
+        let (suite, _) = shared();
+        let knowledge = own_handle();
+        let w = suite.by_name("Spark-count").unwrap();
+        let p = knowledge.predict(w).unwrap();
+        knowledge.absorb(&p);
+        assert_eq!(knowledge.absorb_pending(), 1);
+        assert!(knowledge.absorbed_count() > 0);
+        let runs_before = knowledge.runs_executed();
+
+        let cfg = DriftConfig::default();
+        let warmup = cfg.warmup_epochs;
+        knowledge.enable_drift_detection(cfg).unwrap();
+        for _ in 0..warmup {
+            assert!(matches!(
+                knowledge.observe_drift_epoch(0.1),
+                Some(DriftVerdict::Warming)
+            ));
+        }
+        assert!(matches!(
+            knowledge.observe_drift_epoch(0.1),
+            Some(DriftVerdict::Stable { .. })
+        ));
+        let fired = knowledge.observe_drift_epoch(0.9).unwrap();
+        assert!(fired.is_drifted(), "got {fired:?}");
+        assert_eq!(knowledge.drift_resolves(), 1);
+
+        // Stale evidence is gone...
+        assert_eq!(knowledge.absorbed_count(), 0);
+        assert_eq!(knowledge.overlay().n_edges(), 0);
+        // ...the memo caches are invalidated, so re-serving simulates...
+        let p2 = knowledge.predict(w).unwrap();
+        assert!(
+            knowledge.runs_executed() > runs_before,
+            "a drift re-solve must re-run references"
+        );
+        assert_eq!(p2.workload_id, p.workload_id);
+        // ...and the same workload is absorbable again via the normal path.
+        knowledge.absorb(&p2);
+        assert_eq!(knowledge.absorb_pending(), 1);
+        assert_eq!(knowledge.absorbed_count(), 1);
+
+        // Cooldown: the still-high level does not re-fire immediately.
+        assert!(matches!(
+            knowledge.observe_drift_epoch(0.9),
+            Some(DriftVerdict::Stable { .. })
+        ));
+
+        let snap = knowledge.telemetry().registry().snapshot();
+        assert_eq!(snap.counter("drift.resolves"), 1);
+        assert_eq!(snap.counter("engine.overlay.resets"), 1);
+        assert_eq!(snap.counter("drift.epochs"), warmup as u64 + 3);
+        assert!(snap.gauge("drift.score") > 1.0);
+    }
+
+    #[test]
+    fn drift_reset_overlay_round_trips_through_recover() {
+        let (suite, _) = shared();
+        let knowledge = own_handle();
+        let dir = std::env::temp_dir().join(format!("vesta-drift-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pre_path = dir.join("pre-drift.journal");
+        let mut journal = AbsorptionJournal::create(&pre_path).unwrap();
+        let snapshot = knowledge.to_snapshot();
+
+        let a = knowledge
+            .predict(suite.by_name("Spark-grep").unwrap())
+            .unwrap();
+        knowledge.absorb(&a);
+        knowledge.absorb_pending_journaled(&mut journal).unwrap();
+
+        // Drift fires: the published overlay resets. The pre-drift journal
+        // now describes evidence the reset deliberately discarded, so the
+        // caller rotates to a fresh journal — replaying a stale one would
+        // resurrect pre-drift records ahead of the re-observed ones.
+        knowledge
+            .enable_drift_detection(DriftConfig::default())
+            .unwrap();
+        for _ in 0..DriftConfig::default().warmup_epochs {
+            knowledge.observe_drift_epoch(0.05);
+        }
+        assert!(knowledge.observe_drift_epoch(0.5).unwrap().is_drifted());
+        assert_eq!(knowledge.absorbed_count(), 0);
+        let post_path = dir.join("post-drift.journal");
+        let mut journal = AbsorptionJournal::create(&post_path).unwrap();
+
+        // Post-drift re-serving republishes through the rotated journal.
+        let b = knowledge
+            .predict(suite.by_name("Spark-sort").unwrap())
+            .unwrap();
+        knowledge.absorb(&a);
+        knowledge.absorb(&b);
+        knowledge.absorb_pending_journaled(&mut journal).unwrap();
+        assert_eq!(knowledge.absorbed_count(), 2);
+
+        // Snapshot + post-drift journal rebuilds the live overlay exactly.
+        let recovered = Knowledge::recover(snapshot, &post_path, Catalog::aws_ec2()).unwrap();
+        assert_eq!(*recovered.overlay(), *knowledge.overlay());
+        std::fs::remove_file(&pre_path).ok();
+        std::fs::remove_file(&post_path).ok();
     }
 }

@@ -22,11 +22,15 @@
 //! * [`vesta`] — the façade plus ground-truth/selection-error helpers used
 //!   by the evaluation harness.
 //! * [`config`] — every hyper-parameter with the paper's values.
+//! * [`drift`] — EWMA residual-ratio drift detection that triggers a CMF
+//!   re-solve (cache invalidation + overlay reset) when the cloud's
+//!   performance regime shifts under a long-running deployment.
 
 pub mod analyzer;
 pub mod cluster;
 pub mod collector;
 pub mod config;
+pub mod drift;
 pub mod engine;
 pub mod explain;
 pub mod offline;
@@ -43,6 +47,7 @@ pub use cluster::{
 };
 pub use collector::DataCollector;
 pub use config::{VestaConfig, VestaConfigBuilder};
+pub use drift::{completion_residual, epoch_residual, DriftConfig, DriftDetector, DriftVerdict};
 pub use engine::{Knowledge, PredictionSession, SessionOverlay, WorkloadFingerprint};
 pub use explain::{explain, Explanation};
 pub use offline::OfflineModel;

@@ -71,6 +71,15 @@ pub struct EngineTelemetry {
     pub(crate) cmf_objective: Arc<Gauge>,
     /// `sim.runs` — simulated cloud runs charged to the run budget.
     pub(crate) sim_runs: Arc<Counter>,
+    /// `drift.epochs` — epochs folded into the drift detector.
+    pub(crate) drift_epochs: Arc<Counter>,
+    /// `drift.resolves` — drift-triggered re-solves performed.
+    pub(crate) drift_resolves: Arc<Counter>,
+    /// `drift.score` — last `ewma / baseline` residual ratio observed.
+    pub(crate) drift_score: Arc<Gauge>,
+    /// `engine.overlay.resets` — published overlays dropped (stale
+    /// evidence discarded by a drift re-solve).
+    pub(crate) overlay_resets: Arc<Counter>,
 }
 
 impl EngineTelemetry {
@@ -103,6 +112,10 @@ impl EngineTelemetry {
             cmf_epochs: registry.histogram_with("cmf.epochs", &epoch_bounds()),
             cmf_objective: registry.gauge("cmf.objective.last"),
             sim_runs: registry.counter("sim.runs"),
+            drift_epochs: registry.counter("drift.epochs"),
+            drift_resolves: registry.counter("drift.resolves"),
+            drift_score: registry.gauge("drift.score"),
+            overlay_resets: registry.counter("engine.overlay.resets"),
             registry,
         }
     }

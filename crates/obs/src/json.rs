@@ -1,4 +1,4 @@
-//! A minimal, dependency-free JSON reader.
+//! A minimal, dependency-free JSON reader **and writer**.
 //!
 //! Parses the subset of JSON the workspace actually emits (objects,
 //! arrays, strings, numbers, booleans, null, `\uXXXX` escapes) into a
@@ -7,6 +7,16 @@
 //! their source order. Used by [`crate::TelemetrySnapshot::from_json`] and
 //! by `vesta-xtask`'s `perf-check` to read benchmark reports without
 //! pulling serde into a zero-dependency crate.
+//!
+//! The writer ([`JsonValue::to_json`] / [`JsonValue::to_json_pretty`])
+//! is the emission path for every `results/BENCH_*.json` ledger: the
+//! bench crate builds a [`JsonValue`] tree and renders it here, so the
+//! artifacts on disk never depend on an external serializer. Rendering
+//! is deterministic — entries keep their insertion order and floats use
+//! Rust's shortest-round-trip `Display` — so equal trees serialize to
+//! identical bytes, and `parse(v.to_json())` reproduces `v` for every
+//! tree whose numbers are finite (NaN/inf degrade to `null`, which reads
+//! back as NaN via [`JsonValue::as_f64`]).
 
 /// One parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +86,88 @@ impl JsonValue {
             JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
+    }
+
+    /// Render as compact JSON (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render as pretty JSON (two-space indent, one entry per line),
+    /// trailing newline included so files end cleanly.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => push_number(out, *n),
+            JsonValue::Str(s) => crate::snapshot::push_json_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_break(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                if !items.is_empty() {
+                    push_break(out, indent, level);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_break(out, indent, level + 1);
+                    crate::snapshot::push_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                if !entries.is_empty() {
+                    push_break(out, indent, level);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_break(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// Numbers with no fractional part inside the `f64`-exact integer range
+/// print as integers (`3`, not `3.0`) — counter-like fields stay integral
+/// on disk; everything else uses shortest-round-trip `Display`. Non-finite
+/// values have no JSON encoding and degrade to `null`.
+fn push_number(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
     }
 }
 
@@ -381,5 +473,52 @@ mod tests {
     fn depth_is_bounded() {
         let deep = format!("{}1{}", "[".repeat(400), "]".repeat(400));
         assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        let v = JsonValue::Object(vec![
+            ("id".into(), JsonValue::Str("drift".into())),
+            (
+                "rows".into(),
+                JsonValue::Array(vec![
+                    JsonValue::Num(3.0),
+                    JsonValue::Num(0.125),
+                    JsonValue::Num(-17.0),
+                ]),
+            ),
+            ("ok".into(), JsonValue::Bool(true)),
+            ("none".into(), JsonValue::Null),
+            ("esc".into(), JsonValue::Str("a\"b\\c\nd".into())),
+            ("empty_obj".into(), JsonValue::Object(vec![])),
+            ("empty_arr".into(), JsonValue::Array(vec![])),
+        ]);
+        for text in [v.to_json(), v.to_json_pretty()] {
+            assert_eq!(parse(&text).expect("writer output parses"), v);
+        }
+    }
+
+    #[test]
+    fn writer_formats_integers_without_fraction() {
+        assert_eq!(JsonValue::Num(3.0).to_json(), "3");
+        assert_eq!(JsonValue::Num(0.5).to_json(), "0.5");
+        assert_eq!(JsonValue::Num(-2.0).to_json(), "-2");
+        assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn writer_is_deterministic_and_compact_has_no_whitespace() {
+        let v = JsonValue::Object(vec![
+            ("b".into(), JsonValue::Num(1.0)),
+            ("a".into(), JsonValue::Array(vec![JsonValue::Str("x y".into())])),
+        ]);
+        let compact = v.to_json();
+        assert_eq!(compact, v.to_json());
+        // insertion order is preserved, not sorted
+        assert_eq!(compact, r#"{"b":1,"a":["x y"]}"#);
+        let pretty = v.to_json_pretty();
+        assert!(pretty.contains("\n  \"b\": 1"));
+        assert!(pretty.ends_with('\n'));
     }
 }

@@ -4,14 +4,20 @@
 //! cargo run -p vesta-xtask -- lint [--format json] [--root <path>]
 //! cargo run -p vesta-xtask -- perf-check [--baseline <json>] [--current <json>]
 //!                                        [--tolerance <frac>]
-//! cargo run -p vesta-xtask -- telemetry-check [--telemetry <json>] [--chaos <json>]
+//! cargo run -p vesta-xtask -- telemetry-check [--ledger chaos|drift|both]
+//!                                             [--telemetry <json>] [--chaos <json>]
+//!                                             [--drift <json>]
 //! ```
 //!
 //! `perf-check` gates p99 latency and the throughput series of a fresh
 //! `results/BENCH_throughput.json` against the committed
 //! `results/BENCH_baseline.json` (default tolerance 25%).
 //! `telemetry-check` asserts `results/TELEMETRY.json` counters agree with
-//! the `results/BENCH_chaos.json` per-scenario ledger.
+//! the `results/BENCH_chaos.json` per-scenario ledger (`--ledger chaos`,
+//! the default), with the `results/BENCH_drift.json` drift summary
+//! (`--ledger drift`), or both. The ledger must match the run that
+//! produced the telemetry snapshot: `--ledger drift` pairs with
+//! `experiments --quick --drift --telemetry`.
 //!
 //! Exit codes: 0 clean, 1 findings/regression/mismatch, 2 usage or I/O
 //! error.
@@ -43,8 +49,9 @@ commands:
                    [--format json|human] [--root <path>]
   perf-check       gate a fresh throughput report against the baseline
                    [--baseline <json>] [--current <json>] [--tolerance <frac>]
-  telemetry-check  cross-check TELEMETRY.json against the chaos ledger
-                   [--telemetry <json>] [--chaos <json>]";
+  telemetry-check  cross-check TELEMETRY.json against an experiment ledger
+                   [--ledger chaos|drift|both] [--telemetry <json>]
+                   [--chaos <json>] [--drift <json>]";
 
 fn cmd_lint(args: &[String]) -> ExitCode {
     let mut format_json = false;
@@ -160,7 +167,9 @@ fn cmd_perf_check(args: &[String]) -> ExitCode {
 fn cmd_telemetry_check(args: &[String]) -> ExitCode {
     let mut telemetry = workspace_root().join("results/TELEMETRY.json");
     let mut chaos = workspace_root().join("results/BENCH_chaos.json");
-    let flags = match flag_values(args, &["--telemetry", "--chaos"]) {
+    let mut drift = workspace_root().join("results/BENCH_drift.json");
+    let mut ledger = "chaos".to_string();
+    let flags = match flag_values(args, &["--telemetry", "--chaos", "--drift", "--ledger"]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("{e}\n{USAGE}");
@@ -171,22 +180,45 @@ fn cmd_telemetry_check(args: &[String]) -> ExitCode {
         match flag.as_str() {
             "--telemetry" => telemetry = PathBuf::from(value),
             "--chaos" => chaos = PathBuf::from(value),
+            "--drift" => drift = PathBuf::from(value),
+            "--ledger" => ledger = value,
             _ => unreachable!("flag_values filtered"),
         }
     }
-    match vesta_xtask::perf::telemetry_check_files(&telemetry, &chaos) {
-        Ok(report) => {
-            print!("{}", report.render());
-            if report.is_clean() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
+    let (check_chaos, check_drift) = match ledger.as_str() {
+        "chaos" => (true, false),
+        "drift" => (false, true),
+        "both" => (true, true),
+        other => {
+            eprintln!("--ledger takes `chaos`, `drift` or `both`, got `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut checks = Vec::new();
+    if check_chaos {
+        match vesta_xtask::perf::telemetry_check_files(&telemetry, &chaos) {
+            Ok(report) => checks.extend(report.checks),
+            Err(e) => {
+                eprintln!("vesta-xtask telemetry-check: {e}");
+                return ExitCode::from(2);
             }
         }
-        Err(e) => {
-            eprintln!("vesta-xtask telemetry-check: {e}");
-            ExitCode::from(2)
+    }
+    if check_drift {
+        match vesta_xtask::perf::drift_check_files(&telemetry, &drift) {
+            Ok(report) => checks.extend(report.checks),
+            Err(e) => {
+                eprintln!("vesta-xtask telemetry-check: {e}");
+                return ExitCode::from(2);
+            }
         }
+    }
+    let report = vesta_xtask::perf::TelemetryCheckReport { checks };
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }
 

@@ -267,14 +267,86 @@ pub fn telemetry_check_files(
     telemetry: &Path,
     chaos: &Path,
 ) -> Result<TelemetryCheckReport, String> {
-    let telemetry_text = fs::read_to_string(telemetry)
-        .map_err(|e| format!("read {}: {e}", telemetry.display()))?;
-    let snapshot = TelemetrySnapshot::from_json(&telemetry_text)
-        .map_err(|e| format!("{}: {e}", telemetry.display()))?;
+    let snapshot = read_snapshot(telemetry)?;
     let chaos_text =
         fs::read_to_string(chaos).map_err(|e| format!("read {}: {e}", chaos.display()))?;
     let chaos_doc = parse(&chaos_text).map_err(|e| format!("{}: {e}", chaos.display()))?;
     telemetry_check(&snapshot, &chaos_doc)
+}
+
+/// Assert the drift counters agree with `BENCH_drift.json`'s own ledger.
+///
+/// The drift experiment's serving handles share the registry, so three
+/// counters must reproduce the harness's records exactly: every re-solve
+/// the harness logged ticked `drift.resolves` *and* (via
+/// `Knowledge::resolve_drift`) `engine.overlay.resets`, and every epoch
+/// whose residual was finite — `null` in the JSON marks the epochs the
+/// detector never saw — ticked `drift.epochs`. The companion
+/// `chaos-dynamic` experiment never arms a detector, so it cannot
+/// contribute to any of the three.
+pub fn drift_check(
+    snapshot: &TelemetrySnapshot,
+    drift: &JsonValue,
+) -> Result<TelemetryCheckReport, String> {
+    let resolves = drift
+        .get_path(&["series", "summary", "resolves"])
+        .and_then(JsonValue::as_f64)
+        .ok_or("drift report is missing numeric `series.summary.resolves`")?;
+    if !resolves.is_finite() || resolves < 0.0 {
+        return Err(format!(
+            "drift report has unusable `series.summary.resolves` = {resolves}"
+        ));
+    }
+    let epochs = drift
+        .get_path(&["series", "epochs"])
+        .and_then(JsonValue::as_array)
+        .ok_or("drift report is missing `series.epochs`")?;
+    // `as_f64` reads JSON `null` as NaN, matching how the harness writes
+    // an epoch the detector never saw — only finite residuals were fed in.
+    let observed = epochs
+        .iter()
+        .filter(|e| {
+            e.get("residual")
+                .and_then(JsonValue::as_f64)
+                .is_some_and(f64::is_finite)
+        })
+        .count() as u64;
+    let checks = vec![
+        CrossCheck {
+            name: "drift.resolves".to_string(),
+            telemetry: snapshot.counter("drift.resolves"),
+            ledger: resolves as u64,
+        },
+        CrossCheck {
+            name: "engine.overlay.resets".to_string(),
+            telemetry: snapshot.counter("engine.overlay.resets"),
+            ledger: resolves as u64,
+        },
+        CrossCheck {
+            name: "drift.epochs".to_string(),
+            telemetry: snapshot.counter("drift.epochs"),
+            ledger: observed,
+        },
+    ];
+    Ok(TelemetryCheckReport { checks })
+}
+
+/// File-reading front end for [`drift_check`].
+pub fn drift_check_files(
+    telemetry: &Path,
+    drift: &Path,
+) -> Result<TelemetryCheckReport, String> {
+    let snapshot = read_snapshot(telemetry)?;
+    let drift_text =
+        fs::read_to_string(drift).map_err(|e| format!("read {}: {e}", drift.display()))?;
+    let drift_doc = parse(&drift_text).map_err(|e| format!("{}: {e}", drift.display()))?;
+    drift_check(&snapshot, &drift_doc)
+}
+
+fn read_snapshot(telemetry: &Path) -> Result<TelemetrySnapshot, String> {
+    let text = fs::read_to_string(telemetry)
+        .map_err(|e| format!("read {}: {e}", telemetry.display()))?;
+    TelemetrySnapshot::from_json(&text).map_err(|e| format!("{}: {e}", telemetry.display()))
 }
 
 #[cfg(test)]
@@ -389,5 +461,56 @@ mod tests {
     fn malformed_chaos_report_errors() {
         let doc = parse(r#"{"series": {}}"#).expect("parses");
         assert!(telemetry_check(&TelemetrySnapshot::default(), &doc).is_err());
+    }
+
+    fn drift_json(resolves: u64, residuals: &[Option<f64>]) -> JsonValue {
+        let epochs: Vec<String> = residuals
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let residual = r.map_or("null".to_string(), |v| format!("{v}"));
+                format!(r#"{{"epoch": {i}, "residual": {residual}}}"#)
+            })
+            .collect();
+        parse(&format!(
+            r#"{{"series": {{"epochs": [{}], "summary": {{"resolves": {resolves}}}}}}}"#,
+            epochs.join(",")
+        ))
+        .expect("drift doc parses")
+    }
+
+    fn drift_snapshot(resolves: u64, resets: u64, epochs: u64) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters.insert("drift.resolves".into(), resolves);
+        snap.counters
+            .insert("engine.overlay.resets".into(), resets);
+        snap.counters.insert("drift.epochs".into(), epochs);
+        snap
+    }
+
+    #[test]
+    fn matching_drift_summary_is_consistent() {
+        // Three observed epochs (the null residual is an epoch the
+        // detector never saw) and one re-solve.
+        let doc = drift_json(1, &[Some(0.1), None, Some(0.2), Some(0.9)]);
+        let r = drift_check(&drift_snapshot(1, 1, 3), &doc).expect("checks");
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.checks.len(), 3);
+    }
+
+    #[test]
+    fn unticked_overlay_reset_is_flagged() {
+        // A re-solve recorded by the harness that never reset the overlay
+        // means the engine-side half of the re-solve was skipped.
+        let doc = drift_json(2, &[Some(0.1), Some(0.9)]);
+        let r = drift_check(&drift_snapshot(2, 1, 2), &doc).expect("checks");
+        assert!(!r.is_clean());
+        assert!(r.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn malformed_drift_report_errors() {
+        let doc = parse(r#"{"series": {"epochs": []}}"#).expect("parses");
+        assert!(drift_check(&TelemetrySnapshot::default(), &doc).is_err());
     }
 }

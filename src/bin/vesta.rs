@@ -63,7 +63,14 @@ commands:
                 --workload NAME, --objective time|budget|latency|throughput, --top N,
                 --explain; fault injection: --fault-transient R --fault-unavailable R
                 --fault-dropout R --fault-corrupt R --fault-straggler R
-                --fault-seed N, rates in [0,1])
+                --fault-seed N, rates in [0,1];
+                dynamic cloud: --drift-magnitude X --drift-fraction F
+                --drift-onset E --drift-horizon H --drift-volatility V
+                --drift-reclaim R --drift-seed N select a time-varying
+                scenario and --drift-epoch E the hour served at: the
+                catalog is derated past the onset and spot-reclaim
+                pressure is merged into the fault plan; inconsistent
+                combinations are rejected before anything runs)
                 batch mode: --batch FILE (one workload name per line) fans the
                 requests out through the supervised concurrent engine and
                 reports per-request outcomes (ok|degraded|shed|failed),
@@ -129,6 +136,74 @@ fn fault_plan_of(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
     }
     plan.validate().map_err(|e| e.to_string())?;
     Ok(plan)
+}
+
+/// Parse the `--drift-*` flags into a validated [`DynamicPlan`], or `None`
+/// when no dynamic knob was given. Inconsistent combinations (reclaims
+/// without volatility, an onset past the horizon, …) are rejected by
+/// [`DynamicPlan::validate`] with the simulator's typed error.
+fn dynamic_plan_of(flags: &HashMap<String, String>) -> Result<Option<DynamicPlan>, String> {
+    let keys = [
+        "drift-seed",
+        "drift-horizon",
+        "drift-onset",
+        "drift-magnitude",
+        "drift-fraction",
+        "drift-volatility",
+        "drift-reclaim",
+    ];
+    if !keys.iter().any(|k| flags.contains_key(*k)) {
+        return Ok(None);
+    }
+    let num = |key: &str| -> Result<Option<f64>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("bad --{key} '{v}'")))
+            .transpose()
+    };
+    let int = |key: &str| -> Result<Option<u64>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{key} '{v}'")))
+            .transpose()
+    };
+    let mut plan = DynamicPlan::none();
+    if let Some(s) = int("drift-seed")? {
+        plan.seed = s;
+    }
+    plan.horizon_epochs = int("drift-horizon")?.unwrap_or(168);
+    if let Some(m) = num("drift-magnitude")? {
+        plan.drift_magnitude = m;
+        // A magnitude without an explicit fraction hits the default 0.5
+        // of families rather than silently nobody.
+        plan.drift_family_fraction = 0.5;
+    }
+    if let Some(f) = num("drift-fraction")? {
+        plan.drift_family_fraction = f;
+    }
+    if let Some(e) = int("drift-onset")? {
+        plan.drift_onset_epoch = e;
+    }
+    if let Some(v) = num("drift-volatility")? {
+        plan.spot_volatility = v;
+    }
+    if let Some(r) = num("drift-reclaim")? {
+        plan.reclaim_rate = r;
+    }
+    plan.validate().map_err(|e| e.to_string())?;
+    Ok(Some(plan))
+}
+
+/// The epoch a `--drift-*` run serves at (default 0).
+fn drift_epoch_of(flags: &HashMap<String, String>) -> Result<u64, String> {
+    flags
+        .get("drift-epoch")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --drift-epoch '{v}'"))
+        })
+        .transpose()
+        .map(|e| e.unwrap_or(0))
 }
 
 fn workload_of<'a>(
@@ -256,7 +331,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(path) = flags.get("batch") {
         return cmd_predict_batch(flags, path);
     }
-    let vesta = load(flags)?;
+    let mut vesta = load(flags)?;
     let suite = Suite::extended();
     let workload = workload_of(&suite, flags)?;
     let objective = objective_of(flags)?;
@@ -265,7 +340,22 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|t| t.parse().map_err(|_| "bad --top"))
         .transpose()?
         .unwrap_or(5);
-    let plan = fault_plan_of(flags)?;
+    let mut plan = fault_plan_of(flags)?;
+    if let Some(dyn_plan) = dynamic_plan_of(flags)? {
+        let epoch = drift_epoch_of(flags)?;
+        let inj = DynamicInjector::new(dyn_plan.seed, dyn_plan.clone());
+        plan = inj.fault_plan_at(epoch, &plan, &vesta.catalog);
+        vesta.catalog = inj.drifted_catalog(&vesta.catalog, epoch);
+        eprintln!(
+            "dynamic cloud at epoch {epoch}: transient failure rate {:.3}, catalog {}",
+            plan.transient_failure_rate,
+            if epoch >= dyn_plan.drift_onset_epoch && dyn_plan.drift_magnitude > 1.0 {
+                "drifted"
+            } else {
+                "pre-drift"
+            }
+        );
+    }
     let faults_on = !plan.is_none();
     let p = if faults_on {
         vesta
@@ -370,7 +460,17 @@ fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), 
     if let Some(n) = parse_u64("max-in-flight")? {
         vesta.offline.config.supervisor.max_in_flight = n as usize;
     }
-    let plan = fault_plan_of(flags)?;
+    let mut plan = fault_plan_of(flags)?;
+    if let Some(dyn_plan) = dynamic_plan_of(flags)? {
+        let epoch = drift_epoch_of(flags)?;
+        let inj = DynamicInjector::new(dyn_plan.seed, dyn_plan.clone());
+        plan = inj.fault_plan_at(epoch, &plan, &vesta.catalog);
+        vesta.catalog = inj.drifted_catalog(&vesta.catalog, epoch);
+        eprintln!(
+            "dynamic cloud at epoch {epoch}: transient failure rate {:.3}",
+            plan.transient_failure_rate
+        );
+    }
     if !plan.is_none() {
         vesta.offline.config.fault_plan = plan;
     }

@@ -65,8 +65,8 @@ pub mod prelude {
         CherryPick, CherryPickConfig, Ernest, ErnestConfig, Paris, ParisConfig,
     };
     pub use vesta_cloud_sim::{
-        CacheStats, Catalog, FaultPlan, Objective, RetryPolicy, RunCache, Simulator, VmType,
-        VmTypeId,
+        CacheStats, Catalog, DynamicInjector, DynamicPlan, FaultPlan, Objective, RetryPolicy,
+        RunCache, Simulator, VmType, VmTypeId,
     };
     pub use vesta_core::{
         ground_truth_ranking, selection_error_pct, AbsorptionJournal, Deadline, Knowledge, Outcome,

@@ -1,0 +1,150 @@
+//! Dynamic-cloud integration: plan validation through the public API, the
+//! drifted catalog moving the exhaustive oracle, and the drift-detection →
+//! engine re-solve loop.
+
+use vesta_suite::cloud::SimError;
+use vesta_suite::core::{completion_residual, epoch_residual, DriftConfig, DriftVerdict};
+use vesta_suite::prelude::*;
+
+#[test]
+fn inconsistent_dynamic_plans_are_rejected_with_typed_errors() {
+    let bad: Vec<DynamicPlan> = vec![
+        // reclaims without the spot signal that drives them
+        DynamicPlan {
+            horizon_epochs: 10,
+            reclaim_rate: 0.2,
+            ..DynamicPlan::none()
+        },
+        // an empty churn window
+        DynamicPlan {
+            horizon_epochs: 10,
+            churn_rate: 0.1,
+            churn_start_epoch: 5,
+            churn_end_epoch: 5,
+            ..DynamicPlan::none()
+        },
+        // regional divergence with a single region
+        DynamicPlan {
+            horizon_epochs: 10,
+            regions: 1,
+            region_divergence: 0.3,
+            ..DynamicPlan::none()
+        },
+        // a drift regime that never lands inside the horizon
+        DynamicPlan {
+            horizon_epochs: 10,
+            drift_onset_epoch: 10,
+            drift_magnitude: 2.0,
+            drift_family_fraction: 0.5,
+            ..DynamicPlan::none()
+        },
+        // a magnitude that hits no family
+        DynamicPlan {
+            horizon_epochs: 10,
+            drift_magnitude: 2.0,
+            ..DynamicPlan::none()
+        },
+        // active knobs with no horizon at all
+        DynamicPlan {
+            spot_volatility: 0.3,
+            ..DynamicPlan::none()
+        },
+    ];
+    for plan in bad {
+        // The rejection must be typed (the CLI and bench branch on it),
+        // never a silent clamp.
+        assert!(
+            matches!(plan.validate(), Err(SimError::InvalidDemand(_))),
+            "plan should have been rejected: {plan:?}"
+        );
+    }
+    assert!(DynamicPlan::none().validate().is_ok());
+    let good = DynamicPlan {
+        horizon_epochs: 168,
+        spot_volatility: 0.4,
+        reclaim_rate: 0.3,
+        drift_onset_epoch: 84,
+        drift_magnitude: 1.8,
+        drift_family_fraction: 0.5,
+        ..DynamicPlan::none()
+    };
+    assert!(good.validate().is_ok());
+}
+
+#[test]
+fn drifted_catalog_moves_the_exhaustive_oracle() {
+    let plan = DynamicPlan {
+        horizon_epochs: 12,
+        drift_onset_epoch: 5,
+        drift_magnitude: 2.0,
+        drift_family_fraction: 0.6,
+        ..DynamicPlan::none()
+    };
+    plan.validate().unwrap();
+    let inj = DynamicInjector::new(9, plan);
+    let base = Catalog::aws_ec2();
+    let drifted = inj.drifted_catalog(&base, 5);
+    let suite = Suite::paper();
+    let w = suite.by_name("Spark-sort").expect("paper suite workload");
+
+    let before = ground_truth_ranking(&base, w, 1, Objective::ExecutionTime);
+    let after = ground_truth_ranking(&drifted, w, 1, Objective::ExecutionTime);
+    // Derated families run strictly slower; untouched families are
+    // bit-identical. Both kinds must exist under a 60% fraction.
+    let score = |ranking: &[(VmTypeId, f64)], vm: VmTypeId| {
+        ranking.iter().find(|(v, _)| *v == vm).map(|(_, s)| *s)
+    };
+    let mut slower = 0usize;
+    let mut unchanged = 0usize;
+    for (vm, s_before) in &before {
+        let s_after = score(&after, *vm).expect("same id space");
+        if s_after > *s_before {
+            slower += 1;
+        } else if s_after.to_bits() == s_before.to_bits() {
+            unchanged += 1;
+        }
+    }
+    assert!(slower > 0, "the regime change must slow someone down");
+    assert!(unchanged > 0, "unaffected families must be bit-identical");
+    // Pre-onset the oracle is untouched, epoch for epoch.
+    let pre = inj.drifted_catalog(&base, 4);
+    let again = ground_truth_ranking(&pre, w, 1, Objective::ExecutionTime);
+    for ((va, sa), (vb, sb)) in before.iter().zip(&again) {
+        assert_eq!(va, vb);
+        assert_eq!(sa.to_bits(), sb.to_bits());
+    }
+}
+
+#[test]
+fn drift_detection_resolves_through_the_engine() {
+    let catalog = Catalog::aws_ec2();
+    let suite = Suite::paper();
+    let sources: Vec<&Workload> = suite.source_training().into_iter().take(2).collect();
+    let cfg = VestaConfig::fast()
+        .to_builder()
+        .offline_reps(2)
+        .build()
+        .unwrap();
+    let knowledge = Knowledge::train(catalog, &sources, cfg).unwrap();
+    knowledge
+        .enable_drift_detection(DriftConfig {
+            warmup_epochs: 2,
+            cooldown_epochs: 2,
+            ..DriftConfig::default()
+        })
+        .unwrap();
+    // Stationary residuals settle the baseline…
+    for _ in 0..3 {
+        let v = knowledge.observe_drift_epoch(0.1).expect("detector armed");
+        assert!(!v.is_drifted());
+    }
+    // …then a step change (the drifted cloud serving 2x slower than
+    // predicted) fires exactly one re-solve.
+    let step = completion_residual(100.0, 200.0).expect("valid residual");
+    let v = knowledge.observe_drift_epoch(step).expect("detector armed");
+    assert!(matches!(v, DriftVerdict::Drifted { ratio } if ratio > 1.75));
+    assert_eq!(knowledge.drift_resolves(), 1);
+    // The mean-residual helper the serving loop feeds the detector with.
+    let epoch = epoch_residual(&[(100.0, 200.0), (100.0, 100.0)]).unwrap();
+    assert!(epoch > 0.0 && epoch < step);
+}
