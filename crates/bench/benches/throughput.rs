@@ -6,8 +6,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use vesta_cloud_sim::Catalog;
-use vesta_core::{Knowledge, VestaConfig};
+use vesta_core::{Knowledge, PredictOptions, PredictRequest, VestaConfig};
 use vesta_workloads::{Suite, Workload};
+
+/// Serve `workloads` unsupervised through the unified surface.
+fn batch(knowledge: &Knowledge, workloads: &[Workload]) -> Vec<vesta_core::Prediction> {
+    knowledge
+        .handle(PredictRequest::new(workloads.to_vec()))
+        .into_predictions()
+        .expect("batch serves")
+}
 
 fn fast_config() -> VestaConfig {
     VestaConfig::fast()
@@ -38,15 +46,23 @@ fn bench_cold_batch_vs_sequential(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("engine_cold");
     group.sample_size(10);
+    let sequential = PredictOptions::builder()
+        .sequential(true)
+        .build()
+        .expect("valid options");
     group.bench_function("sequential_17_requests", |bench| {
         bench.iter(|| {
             snapshot()
-                .predict_sequential(black_box(&workloads))
+                .handle(
+                    PredictRequest::new(black_box(&workloads).to_vec())
+                        .with_options(sequential.clone()),
+                )
+                .into_predictions()
                 .unwrap()
         })
     });
     group.bench_function("batch_17_requests", |bench| {
-        bench.iter(|| snapshot().predict_batch(black_box(&workloads)).unwrap())
+        bench.iter(|| batch(&snapshot(), black_box(&workloads)))
     });
     group.finish();
 }
@@ -55,13 +71,11 @@ fn bench_cold_batch_vs_sequential(c: &mut Criterion) {
 /// this measures the serving path without any simulated reference runs.
 fn bench_warm_batch(c: &mut Criterion) {
     let (knowledge, workloads) = trained_knowledge();
-    knowledge
-        .predict_batch(&workloads)
-        .expect("cache warm-up pass");
+    batch(&knowledge, &workloads);
     let mut group = c.benchmark_group("engine_warm");
     group.sample_size(10);
     group.bench_function("batch_17_requests_cached", |bench| {
-        bench.iter(|| knowledge.predict_batch(black_box(&workloads)).unwrap())
+        bench.iter(|| batch(&knowledge, black_box(&workloads)))
     });
     group.finish();
 }

@@ -1,16 +1,19 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--chaos] [--drift] [--throughput] [--telemetry]
+//! experiments [--quick] [--chaos] [--drift] [--throughput] [--serving]
+//!             [--telemetry]
 //!             [all | table1 | table3 | table4 | table5 | fig1 |
 //!              fig2 | fig3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 |
 //!              fig13 | ablations | summary | learning | flink | resilience |
-//!              throughput | chaos | chaos-dynamic | drift]...
+//!              throughput | serving | chaos | chaos-dynamic | drift]...
 //! ```
 //!
-//! `--chaos` / `--throughput` append the corresponding extension experiment
-//! to whatever else runs; `--drift` appends the dynamic-cloud pair
-//! (`drift` + `chaos-dynamic`). `--telemetry` attaches a shared metrics
+//! `--chaos` / `--throughput` / `--serving` append the corresponding
+//! extension experiment to whatever else runs; `--drift` appends the
+//! dynamic-cloud pair (`drift` + `chaos-dynamic`). `--serving` starts a
+//! live `vesta-served` TCP server on a loopback port and drives it with
+//! the open-loop load generator. `--telemetry` attaches a shared metrics
 //! registry to every serving handle the experiments build and writes the
 //! aggregate snapshot to `results/TELEMETRY.json`. Results print as
 //! aligned tables and are dumped to `results/<id>.json`.
@@ -24,6 +27,7 @@ fn main() {
     let chaos = args.iter().any(|a| a == "--chaos");
     let drift = args.iter().any(|a| a == "--drift");
     let throughput = args.iter().any(|a| a == "--throughput");
+    let serving = args.iter().any(|a| a == "--serving");
     let telemetry = args.iter().any(|a| a == "--telemetry");
     let mut ids: Vec<String> = args
         .into_iter()
@@ -32,6 +36,7 @@ fn main() {
                 && a != "--chaos"
                 && a != "--drift"
                 && a != "--throughput"
+                && a != "--serving"
                 && a != "--telemetry"
         })
         .collect();
@@ -47,6 +52,9 @@ fn main() {
     }
     if throughput && !ids.iter().any(|a| a == "throughput") {
         ids.push("throughput".to_string());
+    }
+    if serving && !ids.iter().any(|a| a == "serving") {
+        ids.push("serving".to_string());
     }
     if ids.is_empty() {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
@@ -86,7 +94,10 @@ fn main() {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         }
-        eprintln!("[experiments] telemetry snapshot written to {}", path.display());
+        eprintln!(
+            "[experiments] telemetry snapshot written to {}",
+            path.display()
+        );
     }
     eprintln!(
         "\n[experiments] {} experiment(s) in {:.1}s (fidelity: {:?}); JSON in {}/",

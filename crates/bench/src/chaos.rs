@@ -24,7 +24,7 @@ use std::collections::BTreeSet;
 
 use vesta_cloud_sim::{Catalog, ChurnEvent, DynamicInjector, DynamicPlan, FaultPlan};
 use vesta_core::supervisor::SupervisorConfig;
-use vesta_core::{AbsorptionJournal, Knowledge, RequestOutcome};
+use vesta_core::{AbsorptionJournal, Knowledge, PredictOptions, PredictRequest, RequestOutcome};
 use vesta_workloads::Workload;
 
 use crate::context::Context;
@@ -32,6 +32,26 @@ use crate::report::{f, ExperimentReport};
 
 /// Fault-plan seed for the chaos run; fixed so reruns are reproducible.
 const CHAOS_FAULT_SEED: u64 = 0xC4A0;
+
+/// Serve `workloads` through the unified request surface under the
+/// handle's own supervisor (parallel fan-out).
+fn supervised_batch(handle: &Knowledge, workloads: &[Workload]) -> Vec<RequestOutcome> {
+    handle
+        .handle(PredictRequest::new(workloads.to_vec()).with_options(PredictOptions::supervised()))
+        .outcomes
+}
+
+/// The sequential reference semantics of [`supervised_batch`].
+fn supervised_sequential(handle: &Knowledge, workloads: &[Workload]) -> Vec<RequestOutcome> {
+    let options = PredictOptions {
+        supervised: true,
+        sequential: true,
+        supervisor: None,
+    };
+    handle
+        .handle(PredictRequest::new(workloads.to_vec()).with_options(options))
+        .outcomes
+}
 
 /// Campaign seed for the dynamic-cloud scenarios.
 const DYN_SEED: u64 = 0xD15C;
@@ -180,7 +200,7 @@ pub fn chaos(ctx: &Context) -> ExperimentReport {
         let mut sequential: Vec<RequestOutcome> = Vec::with_capacity(n);
         for w in &workloads {
             let t = crate::Stopwatch::start();
-            let mut one = seq_handle.predict_sequential_supervised(std::slice::from_ref(w));
+            let mut one = supervised_sequential(&seq_handle, std::slice::from_ref(w));
             latencies_ms.push(t.elapsed_ms());
             sequential.append(&mut one);
         }
@@ -188,7 +208,7 @@ pub fn chaos(ctx: &Context) -> ExperimentReport {
         // Concurrent pass over a second cold handle.
         let batch_handle = handle_for(ctx, &sc, true);
         let started = crate::Stopwatch::start();
-        let batch = batch_handle.predict_batch_supervised(&workloads);
+        let batch = supervised_batch(&batch_handle, &workloads);
         let wall_s = started.elapsed_s();
 
         if sc.deterministic {
@@ -249,7 +269,7 @@ pub fn chaos(ctx: &Context) -> ExperimentReport {
     // rebuild from snapshot + journal and compare the published state.
     let clean = &scenarios()[0];
     let live = handle_for(ctx, clean, false);
-    let outcomes = live.predict_batch_supervised(&workloads);
+    let outcomes = supervised_batch(&live, &workloads);
     let dir = std::env::temp_dir().join(format!("vesta-chaos-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("chaos temp dir");
     let journal_path = dir.join("chaos.journal");
@@ -412,7 +432,7 @@ pub fn dynamic_chaos(ctx: &Context) -> ExperimentReport {
         .filter(|vm| inj.reclaimed(peak_epoch, 1, vm.id, 0))
         .count();
     let handle = dyn_handle(ctx, derived.clone(), supervised.clone());
-    let outcomes = handle.predict_batch_supervised(&workloads);
+    let outcomes = supervised_batch(&handle, &workloads);
     let ledger = handle.supervisor_report();
     assert_eq!(ledger.total(), n as u64, "spot-reclaim: ledger leaked");
     let (ok, degraded, shed, failed) = outcome_counts(&outcomes);
@@ -485,7 +505,7 @@ pub fn dynamic_chaos(ctx: &Context) -> ExperimentReport {
     for &vm_id in &retired {
         breakers.record_failure(vm_id);
     }
-    let outcomes = handle.predict_batch_supervised(&workloads);
+    let outcomes = supervised_batch(&handle, &workloads);
     let ledger = handle.supervisor_report();
     assert_eq!(ledger.total(), n as u64, "churn-retire: ledger leaked");
     let mut redirected = 0usize;
@@ -565,9 +585,9 @@ pub fn dynamic_chaos(ctx: &Context) -> ExperimentReport {
         "a 0.8 amplitude must separate peak from trough volume"
     );
     let peak_handle = dyn_handle(ctx, FaultPlan::none(), gated.clone());
-    let peak_out = peak_handle.predict_batch_supervised(&peak_load);
+    let peak_out = supervised_batch(&peak_handle, &peak_load);
     let trough_handle = dyn_handle(ctx, FaultPlan::none(), gated);
-    let trough_out = trough_handle.predict_batch_supervised(&trough_load);
+    let trough_out = supervised_batch(&trough_handle, &trough_load);
     let peak_shed = count(&peak_out, "shed");
     let trough_shed = count(&trough_out, "shed");
     let peak_shed_rate = peak_shed as f64 / peak_load.len() as f64;
@@ -613,7 +633,7 @@ pub fn dynamic_chaos(ctx: &Context) -> ExperimentReport {
         },
     );
     let handle = dyn_handle(ctx, FaultPlan::none(), supervised);
-    let outcomes = handle.predict_batch_supervised(&workloads);
+    let outcomes = supervised_batch(&handle, &workloads);
     let ledger = handle.supervisor_report();
     assert_eq!(ledger.total(), n as u64, "multi-region: ledger leaked");
     let home = inj.regional_catalog(catalog, 0);

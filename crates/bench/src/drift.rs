@@ -204,7 +204,11 @@ pub fn drift(ctx: &Context) -> ExperimentReport {
     for epoch in 0..horizon {
         let intensity = inj.arrival_intensity(epoch);
         let n_req = ((base_rate as f64 * intensity).round() as usize).max(1);
-        let truth = if epoch >= onset { &truth_post } else { &truth_pre };
+        let truth = if epoch >= onset {
+            &truth_post
+        } else {
+            &truth_pre
+        };
 
         let mut static_regrets = Vec::with_capacity(n_req);
         let mut aware_regrets = Vec::with_capacity(n_req);
@@ -215,10 +219,16 @@ pub fn drift(ctx: &Context) -> ExperimentReport {
             request_cursor += 1;
             let ranking = &truth[&w.id];
 
-            let sp = static_handle.predict(w).expect("static arm serves");
+            let sp = static_handle
+                .session()
+                .predict(w)
+                .expect("static arm serves");
             static_regrets.push(regret_of(ranking, sp.best_vm));
 
-            let ap = aware_handle.predict(w).expect("drift-aware arm serves");
+            let ap = aware_handle
+                .session()
+                .predict(w)
+                .expect("drift-aware arm serves");
             aware_regrets.push(regret_of(ranking, ap.best_vm));
             let predicted = ap.predicted_times.get(&ap.best_vm).copied();
             let actual = ranking
@@ -271,7 +281,7 @@ pub fn drift(ctx: &Context) -> ExperimentReport {
             &records
                 .iter()
                 .filter(|r| r.epoch < onset)
-                .map(|r| g(r))
+                .map(g)
                 .collect::<Vec<_>>(),
         )
     };
@@ -280,7 +290,7 @@ pub fn drift(ctx: &Context) -> ExperimentReport {
             &records
                 .iter()
                 .filter(|r| r.epoch >= onset)
-                .map(|r| g(r))
+                .map(g)
                 .collect::<Vec<_>>(),
         )
     };
@@ -293,7 +303,11 @@ pub fn drift(ctx: &Context) -> ExperimentReport {
             .iter()
             .filter(|r| r.epoch >= onset)
             .filter(|r| {
-                let g = if aware { r.aware_regret } else { r.static_regret };
+                let g = if aware {
+                    r.aware_regret
+                } else {
+                    r.static_regret
+                };
                 g <= NEAR_BEST_TOL
             })
             .count();
@@ -409,7 +423,7 @@ pub fn drift(ctx: &Context) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vesta_core::RequestOutcome;
+    use vesta_core::{PredictOptions, PredictRequest, RequestOutcome};
 
     /// Satellite contract: a `DynamicPlan::none()` injector leaves the
     /// fault plan and catalog bit-identical, so supervised batch serving
@@ -425,7 +439,10 @@ mod tests {
         };
         for epoch in [0u64, 17, 10_000] {
             let derived = inj.fault_plan_at(epoch, &base_plan, &ctx.catalog);
-            assert_eq!(derived.seed, base_plan.seed, "none() must not fold the seed");
+            assert_eq!(
+                derived.seed, base_plan.seed,
+                "none() must not fold the seed"
+            );
             assert_eq!(
                 derived.transient_failure_rate.to_bits(),
                 base_plan.transient_failure_rate.to_bits()
@@ -441,8 +458,17 @@ mod tests {
             Knowledge::from_snapshot(snap_a, ctx.catalog.clone()).expect("plain handle restores");
         let through = Knowledge::from_snapshot(snap_b, inj.drifted_catalog(&ctx.catalog, 10_000))
             .expect("dynamic-but-inert handle restores");
-        let a = plain.predict_sequential_supervised(&workloads);
-        let b = through.predict_sequential_supervised(&workloads);
+        let options = PredictOptions {
+            supervised: true,
+            sequential: true,
+            supervisor: None,
+        };
+        let a = plain
+            .handle(PredictRequest::new(workloads.clone()).with_options(options.clone()))
+            .outcomes;
+        let b = through
+            .handle(PredictRequest::new(workloads.clone()).with_options(options))
+            .outcomes;
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.outcome.label(), y.outcome.label());
@@ -468,7 +494,11 @@ mod tests {
         assert_eq!(r.rows.len(), 2, "one row per arm");
         assert!(r.notes.iter().any(|n| n.contains("re-solve")));
         // Structured checks (skipped gracefully if JSON is stubbed).
-        if let Some(n) = r.series.pointer("/summary/resolves").and_then(|v| v.as_u64()) {
+        if let Some(n) = r
+            .series
+            .pointer("/summary/resolves")
+            .and_then(|v| v.as_u64())
+        {
             assert!(n >= 1);
             let aware = r
                 .series
@@ -480,7 +510,10 @@ mod tests {
                 .pointer("/summary/static/post_regret")
                 .and_then(|v| v.as_f64())
                 .expect("static post regret present");
-            assert!(aware < stat, "drift-aware must beat static: {aware} vs {stat}");
+            assert!(
+                aware < stat,
+                "drift-aware must beat static: {aware} vs {stat}"
+            );
         }
     }
 }

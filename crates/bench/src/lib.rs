@@ -40,6 +40,7 @@ pub mod flink;
 pub mod learning;
 pub mod report;
 pub mod resilience;
+pub mod serving;
 pub mod summary;
 pub mod tables;
 pub mod throughput;
@@ -76,6 +77,7 @@ pub fn run_experiment(ctx: &Context, id: &str) -> Option<ExperimentReport> {
         "flink" => flink::flink(ctx),
         "resilience" => resilience::resilience(ctx),
         "throughput" => throughput::throughput(ctx),
+        "serving" => serving::serving(ctx),
         "chaos" => chaos::chaos(ctx),
         "chaos-dynamic" => chaos::dynamic_chaos(ctx),
         "drift" => drift::drift(ctx),

@@ -207,10 +207,7 @@ mod tests {
         // The file must be real JSON carrying the series data, not a
         // serializer placeholder.
         let parsed = vesta_obs::json::parse(&written).expect("emitted file parses");
-        assert_eq!(
-            parsed.get("id").and_then(JsonValue::as_str),
-            Some("test1")
-        );
+        assert_eq!(parsed.get("id").and_then(JsonValue::as_str), Some("test1"));
         assert_eq!(
             parsed
                 .get_path(&["series", "v"])
@@ -219,7 +216,12 @@ mod tests {
             Some(3)
         );
         assert_eq!(
-            parsed.get_path(&["series", "v"]).unwrap().as_array().unwrap()[2].as_f64(),
+            parsed
+                .get_path(&["series", "v"])
+                .unwrap()
+                .as_array()
+                .unwrap()[2]
+                .as_f64(),
             Some(3.0)
         );
         let _ = std::fs::remove_dir_all(&dir);

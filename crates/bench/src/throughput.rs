@@ -4,7 +4,7 @@
 //! percentiles and run-cache effectiveness, verifying along the way that
 //! the parallel fan-out is bit-identical to a sequential loop.
 
-use vesta_core::Knowledge;
+use vesta_core::{Knowledge, PredictOptions, PredictRequest};
 use vesta_workloads::Workload;
 
 use crate::context::Context;
@@ -44,16 +44,20 @@ pub fn throughput(ctx: &Context) -> ExperimentReport {
     let n = workloads.len();
 
     // Sequential pass, timing every request for the latency distribution.
+    let sequential_opts = PredictOptions::builder()
+        .sequential(true)
+        .build()
+        .expect("valid options");
     let mut latencies_ms = Vec::with_capacity(n);
     let mut seq_predictions = Vec::with_capacity(n);
     let seq_started = crate::Stopwatch::start();
     for w in &workloads {
         let t = crate::Stopwatch::start();
-        seq_predictions.push(
-            seq_knowledge
-                .predict(w)
-                .expect("sequential prediction serves"),
-        );
+        let mut served = seq_knowledge
+            .handle(PredictRequest::single(w.clone()).with_options(sequential_opts.clone()))
+            .into_predictions()
+            .expect("sequential prediction serves");
+        seq_predictions.push(served.pop().expect("one prediction per request"));
         latencies_ms.push(t.elapsed_ms());
     }
     let seq_s = seq_started.elapsed_s();
@@ -61,7 +65,8 @@ pub fn throughput(ctx: &Context) -> ExperimentReport {
     // Batch pass over a fresh handle.
     let batch_started = crate::Stopwatch::start();
     let batch_predictions = batch_knowledge
-        .predict_batch(&workloads)
+        .handle(PredictRequest::new(workloads.clone()))
+        .into_predictions()
         .expect("batch prediction serves");
     let batch_s = batch_started.elapsed_s();
 
@@ -113,7 +118,9 @@ pub fn throughput(ctx: &Context) -> ExperimentReport {
     // through the supervised path (supervision off ⇒ bit-identical
     // predictions) so admission/outcome telemetry reflects real traffic.
     let warm_started = crate::Stopwatch::start();
-    let warm_outcomes = batch_knowledge.predict_batch_supervised(&workloads);
+    let warm_outcomes = batch_knowledge
+        .handle(PredictRequest::new(workloads.clone()).with_options(PredictOptions::supervised()))
+        .outcomes;
     let warm_s = warm_started.elapsed_s();
     for (a, b) in batch_predictions.iter().zip(&warm_outcomes) {
         let warm = b

@@ -482,7 +482,10 @@ impl DynamicInjector {
             }
             let intro = self.introduction_epoch(vm_id);
             if intro > 0 {
-                events.push(ChurnEvent::Introduced { vm_id, epoch: intro });
+                events.push(ChurnEvent::Introduced {
+                    vm_id,
+                    epoch: intro,
+                });
                 if let Some(c) = &self.counters {
                     c.introductions.inc();
                 }
@@ -628,7 +631,10 @@ mod tests {
         let vm = catalog.get(0usize).unwrap();
         for epoch in [0u64, 1, 23, 167, 10_000] {
             assert_eq!(inj.price_multiplier(epoch, vm.id), 1.0);
-            assert_eq!(inj.spot_price(epoch, vm).to_bits(), vm.price_per_hour.to_bits());
+            assert_eq!(
+                inj.spot_price(epoch, vm).to_bits(),
+                vm.price_per_hour.to_bits()
+            );
             assert_eq!(inj.reclaim_pressure(epoch, vm.id), 0.0);
             assert!(!inj.reclaimed(epoch, 1, vm.id, 0));
             assert!(inj.vm_active(epoch, vm.id));
@@ -739,23 +745,28 @@ mod tests {
                     a.reclaimed(epoch, 3, vm.id, 1),
                     b.reclaimed(epoch, 3, vm.id, 1)
                 );
-                assert_eq!(a.perf_factor(epoch, vm).to_bits(), b.perf_factor(epoch, vm).to_bits());
+                assert_eq!(
+                    a.perf_factor(epoch, vm).to_bits(),
+                    b.perf_factor(epoch, vm).to_bits()
+                );
             }
             assert_eq!(
                 a.arrival_intensity(epoch).to_bits(),
                 b.arrival_intensity(epoch).to_bits()
             );
         }
-        assert_eq!(a.churn_schedule(catalog.len()), b.churn_schedule(catalog.len()));
+        assert_eq!(
+            a.churn_schedule(catalog.len()),
+            b.churn_schedule(catalog.len())
+        );
     }
 
     #[test]
     fn different_seeds_diverge() {
         let a = DynamicInjector::new(1, week_plan());
         let b = DynamicInjector::new(2, week_plan());
-        let diverged = (0..20u64).any(|e| {
-            a.price_multiplier(e, 0).to_bits() != b.price_multiplier(e, 0).to_bits()
-        });
+        let diverged = (0..20u64)
+            .any(|e| a.price_multiplier(e, 0).to_bits() != b.price_multiplier(e, 0).to_bits());
         assert!(diverged);
     }
 
@@ -770,7 +781,10 @@ mod tests {
         for e in 1..win {
             let m = inj.price_multiplier(e, 3);
             let (lo, hi) = if a0 <= a1 { (a0, a1) } else { (a1, a0) };
-            assert!(m >= lo - 1e-12 && m <= hi + 1e-12, "epoch {e}: {m} outside [{lo}, {hi}]");
+            assert!(
+                m >= lo - 1e-12 && m <= hi + 1e-12,
+                "epoch {e}: {m} outside [{lo}, {hi}]"
+            );
             assert!(m > 0.0);
         }
     }
@@ -839,7 +853,7 @@ mod tests {
         let max = vals.iter().cloned().fold(f64::MIN, f64::max);
         let min = vals.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max > 1.2 && max <= 1.5 + 1e-9);
-        assert!(min < 0.8 && min >= 0.5 - 1e-9);
+        assert!((0.5 - 1e-9..0.8).contains(&min));
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
     }
@@ -888,7 +902,10 @@ mod tests {
                 hit_families += 1;
                 // Every size in the family drifts together.
                 for vm in &vms {
-                    assert_eq!(inj.perf_factor(plan.horizon_epochs - 1, vm), plan.drift_magnitude);
+                    assert_eq!(
+                        inj.perf_factor(plan.horizon_epochs - 1, vm),
+                        plan.drift_magnitude
+                    );
                 }
             }
         }

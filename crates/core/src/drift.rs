@@ -54,7 +54,8 @@ impl DriftConfig {
                 "drift config: warmup_epochs must be ≥ 1".into(),
             ));
         }
-        if !self.ewma_alpha.is_finite() || !(0.0..=1.0).contains(&self.ewma_alpha)
+        if !self.ewma_alpha.is_finite()
+            || !(0.0..=1.0).contains(&self.ewma_alpha)
             || self.ewma_alpha == 0.0
         {
             return Err(VestaError::Config(format!(

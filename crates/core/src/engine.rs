@@ -44,6 +44,7 @@ use crate::online::{
     source_affinities_of, transfer_time_curve, AbsorbedCurve, Prediction, ReferencePhase,
     DEFAULT_CANDIDATE_POOL, DEFAULT_FALLBACK_EXTRA_VMS, FALLBACK_SALT,
 };
+use crate::request::{PredictOptions, PredictRequest, PredictResponse};
 use crate::snapshot::KnowledgeSnapshot;
 use crate::supervisor::{
     AbsorptionJournal, BreakerDecision, BreakerTable, Deadline, JournalRecord, Outcome,
@@ -333,9 +334,94 @@ impl Knowledge {
         }
     }
 
+    /// Serve a [`PredictRequest`] — the one entry point every caller
+    /// (CLI, wire protocol, bench harnesses, and the deprecated
+    /// `predict*` shims) funnels through.
+    ///
+    /// Semantics by [`PredictOptions`]:
+    ///
+    /// * unsupervised (default): each workload through a fresh session,
+    ///   wrapped as `Ok`/`Failed` outcomes; no supervisor counters move.
+    /// * `supervised`: admission gate, per-request deadline, per-VM
+    ///   breakers, full outcome classification — the handle's own
+    ///   [`Supervisor`] unless `options.supervisor` carries a per-call
+    ///   override, which gets an ephemeral supervisor (own gate,
+    ///   breakers, deadline budget) wired into the same telemetry.
+    /// * `sequential`: one request at a time in input order — the
+    ///   reference semantics the parallel path is verified against,
+    ///   bit-identical because sessions share no mutable state, every
+    ///   random draw is fingerprint-seeded, and the overlay is frozen at
+    ///   session spawn.
+    pub fn handle(&self, request: PredictRequest) -> PredictResponse {
+        let PredictRequest { workloads, options } = request;
+        if !options.sequential {
+            self.telemetry.batch_calls.inc();
+        }
+        if !options.supervised {
+            let serve = |w: &Workload| {
+                let outcome = match self.session().predict(w) {
+                    Ok(p) => Outcome::Ok(p),
+                    Err(error) => Outcome::Failed { error },
+                };
+                RequestOutcome {
+                    workload_id: w.id,
+                    outcome,
+                }
+            };
+            let outcomes = if options.sequential {
+                workloads.iter().map(serve).collect()
+            } else {
+                workloads.par_iter().map(serve).collect()
+            };
+            return PredictResponse {
+                outcomes,
+                report: self.supervisor.report(),
+            };
+        }
+        let ephemeral;
+        let supervisor = match options.supervisor {
+            Some(cfg) => {
+                let mut s = Supervisor::new(cfg, self.catalog.len());
+                s.attach_telemetry(&self.telemetry);
+                ephemeral = s;
+                &ephemeral
+            }
+            None => &self.supervisor,
+        };
+        let serve = |w: &Workload| {
+            let outcome = self.serve_supervised(supervisor, w);
+            supervisor.record(&outcome);
+            self.telemetry.record_outcome(&outcome);
+            RequestOutcome {
+                workload_id: w.id,
+                outcome,
+            }
+        };
+        let outcomes = if options.sequential {
+            workloads.iter().map(serve).collect()
+        } else {
+            workloads.par_iter().map(serve).collect()
+        };
+        PredictResponse {
+            outcomes,
+            report: supervisor.report(),
+        }
+    }
+
     /// Predict one workload through a fresh session.
+    #[deprecated(note = "use `Knowledge::handle` with a single-workload `PredictRequest`")]
     pub fn predict(&self, workload: &Workload) -> Result<Prediction, VestaError> {
-        self.session().predict(workload)
+        let options = PredictOptions {
+            sequential: true,
+            ..PredictOptions::default()
+        };
+        self.handle(PredictRequest::single(workload.clone()).with_options(options))
+            .into_predictions()
+            .and_then(|mut predictions| {
+                predictions.pop().ok_or_else(|| {
+                    VestaError::Config("empty response for a single-workload request".into())
+                })
+            })
     }
 
     /// Predict every workload concurrently (one rayon task per request,
@@ -343,24 +429,25 @@ impl Knowledge {
     /// Bit-identical to [`Knowledge::predict_sequential`] on the same
     /// inputs: sessions share no mutable state, every random draw is
     /// fingerprint-seeded, and the overlay is frozen at spawn time.
+    #[deprecated(note = "use `Knowledge::handle` with default `PredictOptions`")]
     pub fn predict_batch(&self, workloads: &[Workload]) -> Result<Vec<Prediction>, VestaError> {
-        self.telemetry.batch_calls.inc();
-        workloads
-            .par_iter()
-            .map(|w| self.session().predict(w))
-            .collect()
+        self.handle(PredictRequest::new(workloads.to_vec()))
+            .into_predictions()
     }
 
     /// The sequential reference semantics of [`Knowledge::predict_batch`]:
     /// the same per-session pipeline, one request at a time.
+    #[deprecated(note = "use `Knowledge::handle` with `PredictOptions` `sequential`")]
     pub fn predict_sequential(
         &self,
         workloads: &[Workload],
     ) -> Result<Vec<Prediction>, VestaError> {
-        workloads
-            .iter()
-            .map(|w| self.session().predict(w))
-            .collect()
+        let options = PredictOptions {
+            sequential: true,
+            ..PredictOptions::default()
+        };
+        self.handle(PredictRequest::new(workloads.to_vec()).with_options(options))
+            .into_predictions()
     }
 
     /// [`Knowledge::predict_batch`] under the serving-layer supervision
@@ -373,50 +460,40 @@ impl Knowledge {
     /// With supervision fully off (the default config) every outcome is
     /// `Ok`/`Degraded` exactly as [`Knowledge::predict_batch`] would have
     /// succeeded, with bit-identical predictions.
+    #[deprecated(note = "use `Knowledge::handle` with `PredictOptions` `supervised`")]
     pub fn predict_batch_supervised(&self, workloads: &[Workload]) -> Vec<RequestOutcome> {
-        self.telemetry.batch_calls.inc();
-        workloads
-            .par_iter()
-            .map(|w| {
-                let outcome = self.serve_supervised(w);
-                self.supervisor.record(&outcome);
-                self.telemetry.record_outcome(&outcome);
-                RequestOutcome {
-                    workload_id: w.id,
-                    outcome,
-                }
-            })
-            .collect()
+        self.handle(
+            PredictRequest::new(workloads.to_vec()).with_options(PredictOptions::supervised()),
+        )
+        .outcomes
     }
 
     /// The sequential reference semantics of
     /// [`Knowledge::predict_batch_supervised`].
+    #[deprecated(
+        note = "use `Knowledge::handle` with `PredictOptions` `supervised` + `sequential`"
+    )]
     pub fn predict_sequential_supervised(&self, workloads: &[Workload]) -> Vec<RequestOutcome> {
-        workloads
-            .iter()
-            .map(|w| {
-                let outcome = self.serve_supervised(w);
-                self.supervisor.record(&outcome);
-                self.telemetry.record_outcome(&outcome);
-                RequestOutcome {
-                    workload_id: w.id,
-                    outcome,
-                }
-            })
-            .collect()
+        let options = PredictOptions {
+            supervised: true,
+            sequential: true,
+            supervisor: None,
+        };
+        self.handle(PredictRequest::new(workloads.to_vec()).with_options(options))
+            .outcomes
     }
 
     /// Serve one supervised request: gate, deadline, breakers, and the
     /// service-level classification of the result.
-    fn serve_supervised(&self, workload: &Workload) -> Outcome {
-        let Some(_permit) = self.supervisor.gate().try_acquire() else {
+    fn serve_supervised(&self, supervisor: &Supervisor, workload: &Workload) -> Outcome {
+        let Some(_permit) = supervisor.gate().try_acquire() else {
             return Outcome::Shed;
         };
         self.telemetry.admitted.inc();
-        let deadline = self.supervisor.deadline();
-        let result =
-            self.session()
-                .predict_supervised(workload, &deadline, self.supervisor.breakers());
+        let deadline = supervisor.deadline();
+        let result = self
+            .session()
+            .predict_supervised(workload, &deadline, supervisor.breakers());
         match result {
             Ok(prediction) => {
                 // `trained_from_scratch` is deliberately NOT a degradation:
@@ -1002,6 +1079,11 @@ impl PredictionSession {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `predict*` shims stay exercised on purpose: every
+    // call below now routes through `Knowledge::handle`, so these tests
+    // double as delegation coverage.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::vesta::Vesta;
     use std::sync::OnceLock;

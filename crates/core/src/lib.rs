@@ -35,6 +35,7 @@ pub mod engine;
 pub mod explain;
 pub mod offline;
 pub mod online;
+pub mod request;
 pub mod snapshot;
 pub mod supervisor;
 pub mod telemetry;
@@ -52,10 +53,12 @@ pub use engine::{Knowledge, PredictionSession, SessionOverlay, WorkloadFingerpri
 pub use explain::{explain, Explanation};
 pub use offline::OfflineModel;
 pub use online::{OnlinePredictor, Prediction};
+pub use request::{PredictOptions, PredictOptionsBuilder, PredictRequest, PredictResponse};
 pub use snapshot::{KnowledgeSnapshot, SNAPSHOT_VERSION};
 pub use supervisor::{
-    AbsorptionJournal, AdmissionGate, BreakerDecision, BreakerTable, Deadline, JournalRecord,
-    Outcome, PartialProgress, RequestOutcome, Supervisor, SupervisorConfig, SupervisorReport,
+    crc32, AbsorptionJournal, AdmissionGate, BreakerDecision, BreakerTable, Deadline,
+    JournalRecord, Outcome, PartialProgress, RequestOutcome, Supervisor, SupervisorConfig,
+    SupervisorReport,
 };
 pub use telemetry::EngineTelemetry;
 pub use vesta::{ground_truth_ranking, ground_truth_score, selection_error_pct, Vesta};

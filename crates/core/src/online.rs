@@ -209,11 +209,8 @@ impl<'a> OnlinePredictor<'a> {
             cmf_solve(&problem, &cfg.cmf())?
         };
         let converged = cmf.outcome.converged;
-        self.telemetry.record_cmf(
-            cmf.outcome.epochs,
-            converged,
-            cmf.outcome.final_objective,
-        );
+        self.telemetry
+            .record_cmf(cmf.outcome.epochs, converged, cmf.outcome.final_objective);
 
         // Source affinities (Section 3.3: distance between U* and U decides
         // which sources transfer).

@@ -1,0 +1,306 @@
+//! The unified request/response surface of the batch engine.
+//!
+//! Every way of asking [`crate::Knowledge`] for predictions — the CLI,
+//! the serving wire protocol, the bench harnesses, and the five legacy
+//! `predict*` convenience methods — funnels through one typed pair:
+//! a [`PredictRequest`] carrying workloads plus [`PredictOptions`]
+//! (supervision on/off, per-call supervisor overrides,
+//! sequential-for-verification), answered by a [`PredictResponse`]
+//! carrying per-request [`Outcome`]s in input order and the supervisor
+//! ledger. One surface means the wire protocol, CLI flags, and
+//! experiment harnesses cannot drift apart in what they can express.
+//!
+//! [`PredictOptions::builder`] mirrors [`crate::VestaConfig::builder`]:
+//! overrides are validated once at build time so an inconsistent
+//! combination (say, a deadline override on an unsupervised request)
+//! cannot escape into the serving path.
+
+use serde::{Deserialize, Serialize};
+
+use vesta_workloads::Workload;
+
+use crate::online::Prediction;
+use crate::supervisor::{Outcome, RequestOutcome, SupervisorConfig, SupervisorReport};
+use crate::VestaError;
+
+/// Typed options of a [`PredictRequest`].
+///
+/// The default is the plain unsupervised parallel batch — bit-identical
+/// to what `Knowledge::predict_batch` always produced. Like
+/// [`crate::VestaConfig`], fields are public for introspection and
+/// serialization, but the supported construction path is
+/// [`PredictOptions::builder`], which validates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictOptions {
+    /// Serve under the supervision runtime: admission gate, per-request
+    /// deadline, per-VM breakers, typed [`Outcome`]s instead of a
+    /// batch-fatal error.
+    #[serde(default)]
+    pub supervised: bool,
+    /// One request at a time in input order — the sequential reference
+    /// semantics used to verify the parallel path bit-for-bit.
+    #[serde(default)]
+    pub sequential: bool,
+    /// Per-call supervision knobs. `None` uses the supervisor the
+    /// knowledge handle was built with; `Some` serves this request under
+    /// an ephemeral supervisor (own gate, breakers, and deadline budget).
+    #[serde(default)]
+    pub supervisor: Option<SupervisorConfig>,
+}
+
+impl PredictOptions {
+    /// Start building options from the defaults; finish with
+    /// [`PredictOptionsBuilder::build`], which validates.
+    pub fn builder() -> PredictOptionsBuilder {
+        PredictOptionsBuilder {
+            opts: PredictOptions::default(),
+        }
+    }
+
+    /// Options for a supervised batch under the handle's own supervisor.
+    pub fn supervised() -> Self {
+        PredictOptions {
+            supervised: true,
+            ..PredictOptions::default()
+        }
+    }
+
+    /// Validate the combination. Called by the builder; direct struct
+    /// construction can bypass it, exactly as with [`crate::VestaConfig`].
+    pub fn validate(&self) -> Result<(), VestaError> {
+        if let Some(cfg) = &self.supervisor {
+            if !self.supervised {
+                return Err(VestaError::Config(
+                    "supervisor override requires supervised mode".into(),
+                ));
+            }
+            if cfg.breaker_threshold > 0 && cfg.breaker_probe_after == 0 {
+                return Err(VestaError::Config(
+                    "breaker_probe_after = 0 with breakers enabled".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`PredictOptions`]: apply overrides, validate once at
+/// [`PredictOptionsBuilder::build`].
+///
+/// The supervision-knob setters (`deadline_ms`, `breaker_threshold`,
+/// `max_in_flight`) materialize a per-call [`SupervisorConfig`] override
+/// and switch the request to supervised mode — a deadline only means
+/// something under supervision.
+#[derive(Debug, Clone)]
+pub struct PredictOptionsBuilder {
+    opts: PredictOptions,
+}
+
+impl PredictOptionsBuilder {
+    /// Serve under the supervision runtime (typed outcomes, gate,
+    /// deadline, breakers).
+    pub fn supervised(mut self, on: bool) -> Self {
+        self.opts.supervised = on;
+        self
+    }
+
+    /// One request at a time in input order, for bit-identity
+    /// verification against the parallel path.
+    pub fn sequential(mut self, on: bool) -> Self {
+        self.opts.sequential = on;
+        self
+    }
+
+    /// Replace the whole per-call supervisor override at once.
+    pub fn supervisor(mut self, cfg: SupervisorConfig) -> Self {
+        self.opts.supervisor = Some(cfg);
+        self.opts.supervised = true;
+        self
+    }
+
+    /// Per-request deadline in milliseconds (0 disables deadlines).
+    /// Implies supervised mode.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.override_mut().deadline_ms = ms;
+        self
+    }
+
+    /// Consecutive failures before a VM's circuit breaker trips
+    /// (0 disables breakers). Implies supervised mode.
+    pub fn breaker_threshold(mut self, threshold: u32) -> Self {
+        self.override_mut().breaker_threshold = threshold;
+        self
+    }
+
+    /// Refusals before an open breaker lets a probe through.
+    /// Implies supervised mode.
+    pub fn breaker_probe_after(mut self, refusals: u32) -> Self {
+        self.override_mut().breaker_probe_after = refusals;
+        self
+    }
+
+    /// Maximum concurrently served requests (0 disables shedding).
+    /// Implies supervised mode.
+    pub fn max_in_flight(mut self, max: usize) -> Self {
+        self.override_mut().max_in_flight = max;
+        self
+    }
+
+    fn override_mut(&mut self) -> &mut SupervisorConfig {
+        self.opts.supervised = true;
+        self.opts
+            .supervisor
+            .get_or_insert_with(SupervisorConfig::default)
+    }
+
+    /// Validate the assembled options and hand them out, or report the
+    /// offending combination as [`VestaError::Config`].
+    pub fn build(self) -> Result<PredictOptions, VestaError> {
+        self.opts.validate()?;
+        Ok(self.opts)
+    }
+}
+
+/// A batch of workloads plus the options to serve them under — the one
+/// argument of [`crate::Knowledge::handle`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// The workloads to predict, answered in this order.
+    pub workloads: Vec<Workload>,
+    /// How to serve them.
+    #[serde(default)]
+    pub options: PredictOptions,
+}
+
+impl PredictRequest {
+    /// A request with default (unsupervised, parallel) options.
+    pub fn new(workloads: Vec<Workload>) -> Self {
+        PredictRequest {
+            workloads,
+            options: PredictOptions::default(),
+        }
+    }
+
+    /// A single-workload request.
+    pub fn single(workload: Workload) -> Self {
+        PredictRequest::new(vec![workload])
+    }
+
+    /// Replace the options.
+    pub fn with_options(mut self, options: PredictOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Per-request outcomes in input order plus the ledger of the supervisor
+/// that served them — the return value of [`crate::Knowledge::handle`].
+#[derive(Debug)]
+pub struct PredictResponse {
+    /// One typed [`Outcome`] per requested workload, in input order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Counter snapshot of the supervisor that served the batch: the
+    /// handle's own for plain requests, the ephemeral per-call one when
+    /// [`PredictOptions::supervisor`] overrides were given.
+    pub report: SupervisorReport,
+}
+
+impl PredictResponse {
+    /// Collapse to the legacy all-or-nothing shape: every prediction in
+    /// input order, or the first non-success in input order as the
+    /// batch error. `Degraded` still carries a served prediction and
+    /// counts as success; a `Shed` request maps to
+    /// [`VestaError::Config`] since no typed error was produced for it.
+    pub fn into_predictions(self) -> Result<Vec<Prediction>, VestaError> {
+        let mut out = Vec::with_capacity(self.outcomes.len());
+        for request in self.outcomes {
+            match request.outcome {
+                Outcome::Ok(p) | Outcome::Degraded { prediction: p, .. } => out.push(p),
+                Outcome::Failed { error } => return Err(error),
+                Outcome::Shed => {
+                    return Err(VestaError::Config(format!(
+                        "request for workload {} shed by admission control",
+                        request.workload_id
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count of outcomes with the given label (`"ok"`, `"degraded"`,
+    /// `"shed"`, `"failed"`).
+    pub fn count(&self, label: &str) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|r| r.outcome.label() == label)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_plain_parallel_batch() {
+        let opts = PredictOptions::default();
+        assert!(!opts.supervised);
+        assert!(!opts.sequential);
+        assert!(opts.supervisor.is_none());
+        assert!(opts.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_knobs_imply_supervision_and_materialize_override() {
+        let opts = PredictOptions::builder()
+            .deadline_ms(250)
+            .breaker_threshold(3)
+            .max_in_flight(8)
+            .build()
+            .unwrap();
+        assert!(opts.supervised, "knob setters imply supervised mode");
+        let cfg = opts.supervisor.expect("override materialized");
+        assert_eq!(cfg.deadline_ms, 250);
+        assert_eq!(cfg.breaker_threshold, 3);
+        assert_eq!(cfg.max_in_flight, 8);
+    }
+
+    #[test]
+    fn builder_rejects_override_without_supervision() {
+        let err = PredictOptions::builder()
+            .deadline_ms(250)
+            .supervised(false)
+            .build();
+        assert!(matches!(err, Err(VestaError::Config(_))));
+    }
+
+    #[test]
+    fn builder_rejects_zero_probe_with_breakers_on() {
+        let err = PredictOptions::builder()
+            .breaker_threshold(2)
+            .breaker_probe_after(0)
+            .build();
+        assert!(matches!(err, Err(VestaError::Config(_))));
+    }
+
+    #[test]
+    fn response_counts_by_label() {
+        let response = PredictResponse {
+            outcomes: vec![
+                RequestOutcome {
+                    workload_id: 1,
+                    outcome: Outcome::Shed,
+                },
+                RequestOutcome {
+                    workload_id: 2,
+                    outcome: Outcome::Shed,
+                },
+            ],
+            report: SupervisorReport::default(),
+        };
+        assert_eq!(response.count("shed"), 2);
+        assert_eq!(response.count("ok"), 0);
+        assert!(response.into_predictions().is_err(), "shed is not success");
+    }
+}

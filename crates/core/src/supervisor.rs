@@ -799,8 +799,10 @@ impl JournalRecord {
 }
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — inlined so the
-/// journal carries checksums without a new dependency.
-pub(crate) fn crc32(data: &[u8]) -> u32 {
+/// journal carries checksums without a new dependency. Public because the
+/// `vesta-wire/1` serving protocol frames its payloads with the same
+/// checksum discipline.
+pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= b as u32;

@@ -39,9 +39,7 @@ impl JsonValue {
     /// Member of an object by key (first match), `None` otherwise.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(entries) => {
-                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -511,7 +509,10 @@ mod tests {
     fn writer_is_deterministic_and_compact_has_no_whitespace() {
         let v = JsonValue::Object(vec![
             ("b".into(), JsonValue::Num(1.0)),
-            ("a".into(), JsonValue::Array(vec![JsonValue::Str("x y".into())])),
+            (
+                "a".into(),
+                JsonValue::Array(vec![JsonValue::Str("x y".into())]),
+            ),
         ]);
         let compact = v.to_json();
         assert_eq!(compact, v.to_json());

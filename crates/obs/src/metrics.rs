@@ -343,9 +343,6 @@ mod tests {
             let _g = reg.span("timed");
         }
         let snap = reg.snapshot();
-        assert_eq!(
-            snap.histograms.get("span.timed").map(|h| h.count),
-            Some(1)
-        );
+        assert_eq!(snap.histograms.get("span.timed").map(|h| h.count), Some(1));
     }
 }

@@ -122,7 +122,11 @@ impl TelemetrySnapshot {
                 .map(|(k, &v)| {
                     let b = baseline.gauges.get(k).copied().unwrap_or(0.0);
                     // NaN == NaN for delta purposes: unchanged is zero.
-                    let d = if v.to_bits() == b.to_bits() { 0.0 } else { v - b };
+                    let d = if v.to_bits() == b.to_bits() {
+                        0.0
+                    } else {
+                        v - b
+                    };
                     (k.clone(), d)
                 })
                 .collect(),
@@ -190,7 +194,8 @@ impl TelemetrySnapshot {
         for (k, v) in root.get("counters").map(object_entries).unwrap_or_default() {
             snap.counters.insert(
                 k.clone(),
-                v.as_f64().ok_or_else(|| format!("counter {k} not numeric"))? as u64,
+                v.as_f64()
+                    .ok_or_else(|| format!("counter {k} not numeric"))? as u64,
             );
         }
         for (k, v) in root.get("gauges").map(object_entries).unwrap_or_default() {

@@ -1,0 +1,85 @@
+//! `VestaClient` — the in-crate `vesta-wire/1` client, sharing the
+//! server's codec byte-for-byte. One connection serves many requests;
+//! the constructor performs the HELLO version negotiation.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use vesta_core::PredictOptions;
+
+use crate::wire::{self, FrameEvent, PredictReply, Request, Response, WIRE_VERSION};
+use crate::ServerError;
+
+/// A blocking client over one TCP connection.
+#[derive(Debug)]
+pub struct VestaClient {
+    stream: TcpStream,
+}
+
+impl VestaClient {
+    /// Connect and negotiate the wire version. Fails with
+    /// [`ServerError::UnsupportedVersion`] when the server speaks a
+    /// different `vesta-wire` revision.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<VestaClient, ServerError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ServerError::Io(format!("connect: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = VestaClient { stream };
+        match client.roundtrip(&Request::Hello {
+            version: WIRE_VERSION,
+        })? {
+            Response::HelloAck { .. } => Ok(client),
+            Response::Error(e) => Err(e),
+            other => Err(ServerError::Malformed(format!(
+                "unexpected reply to HELLO: {other:?}"
+            ))),
+        }
+    }
+
+    /// Serve `workloads` (suite names) for `tenant` under `options`.
+    pub fn predict(
+        &mut self,
+        tenant: &str,
+        workloads: &[&str],
+        options: PredictOptions,
+    ) -> Result<PredictReply, ServerError> {
+        let request = Request::Predict {
+            tenant: tenant.to_string(),
+            workloads: workloads.iter().map(|w| (*w).to_string()).collect(),
+            options,
+        };
+        match self.roundtrip(&request)? {
+            Response::Predict(reply) => Ok(reply),
+            Response::Error(e) => Err(e),
+            other => Err(ServerError::Malformed(format!(
+                "unexpected reply to PREDICT: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's `vesta-telemetry/1` snapshot as JSON text.
+    pub fn metrics(&mut self) -> Result<String, ServerError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics { snapshot_json } => Ok(snapshot_json),
+            Response::Error(e) => Err(e),
+            other => Err(ServerError::Malformed(format!(
+                "unexpected reply to METRICS: {other:?}"
+            ))),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ServerError> {
+        let frame = wire::encode_request(request);
+        wire::write_frame(&mut self.stream, &frame)?;
+        match wire::read_frame(&mut self.stream)? {
+            FrameEvent::Frame(payload) => wire::decode_response(&payload),
+            FrameEvent::Closed => Err(ServerError::Io(
+                "server closed the connection mid-request".to_string(),
+            )),
+            // The client never sets a read timeout, so a blocking read
+            // cannot report idle; treat it as an IO anomaly if it does.
+            FrameEvent::Idle => Err(ServerError::Io(
+                "unexpected idle read on a blocking socket".to_string(),
+            )),
+        }
+    }
+}

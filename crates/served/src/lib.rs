@@ -1,0 +1,146 @@
+//! # vesta-served
+//!
+//! A long-running, multi-tenant prediction server over the trained Vesta
+//! knowledge, speaking `vesta-wire/1` — a length-prefixed, CRC-32-framed
+//! binary protocol that reuses the codec discipline of the core crate's
+//! absorption journal (little-endian fields, floats as IEEE-754 bit
+//! patterns, torn or corrupt frames surface as typed errors, never as
+//! panics or phantom data).
+//!
+//! The pieces:
+//!
+//! * [`wire`] — the typed request/response schema and frame codec shared
+//!   byte-for-byte by the server and the in-crate [`VestaClient`].
+//! * [`Server`] — a thread-per-connection TCP listener in front of a
+//!   tenant registry: each tenant id maps to its own
+//!   [`vesta_core::Knowledge`] handle and therefore its own supervisor
+//!   (admission gate, breakers, deadline budget).
+//! * Drain-and-swap publish — [`Server::publish`] folds a tenant's
+//!   absorbed predictions through the crash-consistent journal, rebuilds
+//!   a handle via [`vesta_core::Knowledge::recover`], proves it
+//!   bit-identical to the live one with
+//!   [`vesta_core::KnowledgeSnapshot::same_state`], and only then swaps
+//!   the `Arc`. In-flight requests finish on the old handle; new
+//!   requests land on the recovered one.
+//! * A `METRICS` wire verb returning the byte-stable `vesta-telemetry/1`
+//!   snapshot, including the server's own `served.*` counter family
+//!   (connections, frames, per-tenant outcome mix, drain events).
+//!
+//! ```no_run
+//! use vesta_served::{Server, ServerConfig, VestaClient};
+//! use vesta_core::{PredictOptions, Knowledge};
+//!
+//! # fn demo(knowledge: Knowledge) -> Result<(), vesta_served::ServerError> {
+//! let server = Server::start(ServerConfig::default())?;
+//! server.add_tenant("alpha", knowledge, std::env::temp_dir().join("alpha.vjl"))?;
+//! let mut client = VestaClient::connect(server.local_addr())?;
+//! let reply = client.predict("alpha", &["Spark-kmeans"], PredictOptions::default())?;
+//! assert_eq!(reply.outcomes.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::VestaClient;
+pub use server::{Server, ServerConfig};
+pub use wire::{
+    FrameEvent, PredictReply, Request, Response, WireOutcome, WirePrediction, MAX_FRAME_LEN,
+    WIRE_PROTOCOL, WIRE_VERSION,
+};
+
+/// Everything that can go wrong on either side of the wire.
+///
+/// Framing problems ([`ServerError::Truncated`], [`ServerError::Checksum`],
+/// [`ServerError::Oversize`], [`ServerError::Malformed`]) are typed —
+/// a corrupt frame can never panic the peer. Server-side refusals
+/// ([`ServerError::UnknownTenant`], [`ServerError::UnknownWorkload`],
+/// [`ServerError::UnsupportedVersion`]) round-trip through the `ERR` wire
+/// verb, so a client observes the same variant the server constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// Socket-level failure (connect, read, write, bind).
+    Io(String),
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The payload did not match the frame's CRC-32.
+    Checksum {
+        /// Checksum carried by the frame header.
+        expected: u32,
+        /// Checksum recomputed over the received payload.
+        found: u32,
+    },
+    /// The frame header declared a payload longer than [`MAX_FRAME_LEN`].
+    Oversize {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// The payload decoded to no well-formed message.
+    Malformed(String),
+    /// Version negotiation failed.
+    UnsupportedVersion {
+        /// The version the peer asked for.
+        requested: u32,
+        /// The single version this build speaks.
+        supported: u32,
+    },
+    /// The request named a tenant the registry does not hold.
+    UnknownTenant(String),
+    /// The request named a workload outside the extended suite.
+    UnknownWorkload(String),
+    /// A server-side failure that is not a protocol violation (journal
+    /// IO, a publish whose recovered state diverged, …).
+    Internal {
+        /// Whether retrying the same request may succeed.
+        transient: bool,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl ServerError {
+    /// True when the failure is a property of the environment at this
+    /// instant — a socket hiccup or a transient server-side error — so
+    /// retrying (a reconnect, a resend) may succeed. Framing and schema
+    /// violations are deterministic and retrying them is futile.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServerError::Io(_) => true,
+            ServerError::Internal { transient, .. } => *transient,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(m) => write!(f, "io: {m}"),
+            ServerError::Truncated => write!(f, "stream ended mid-frame"),
+            ServerError::Checksum { expected, found } => write!(
+                f,
+                "frame checksum mismatch: header {expected:#010x}, payload {found:#010x}"
+            ),
+            ServerError::Oversize { len } => write!(
+                f,
+                "frame declares {len} payload bytes, over the {MAX_FRAME_LEN}-byte cap"
+            ),
+            ServerError::Malformed(m) => write!(f, "malformed payload: {m}"),
+            ServerError::UnsupportedVersion {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "unsupported wire version {requested} (this build speaks {supported})"
+            ),
+            ServerError::UnknownTenant(t) => write!(f, "unknown tenant '{t}'"),
+            ServerError::UnknownWorkload(w) => write!(f, "unknown workload '{w}'"),
+            ServerError::Internal { message, .. } => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}

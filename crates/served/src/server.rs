@@ -1,0 +1,441 @@
+//! The multi-tenant prediction server: a thread-per-connection TCP
+//! listener over a tenant registry, with graceful drain-and-swap on
+//! overlay publish.
+//!
+//! ## Tenant lifecycle
+//!
+//! ```text
+//! add_tenant ──▶ SERVING ──publish()──▶ SERVING (generation + 1)
+//!     │             │  ▲                    │
+//!     │             └──┘ predict/absorb     └── remove_tenant ──▶ gone
+//!     └── captures the base snapshot + creates the journal
+//! ```
+//!
+//! Every tenant owns one live [`Knowledge`] handle behind an `Arc`
+//! (its own supervisor: admission gate, breakers, deadline budget), a
+//! pristine *base* handle frozen at registration, and a crash-consistent
+//! absorption journal. Serving a request clones the live `Arc` under a
+//! read lock, so a concurrent publish never tears a batch: requests in
+//! flight finish on the handle they started with, requests arriving
+//! after the swap land on the recovered one.
+//!
+//! ## Drain protocol
+//!
+//! [`Server::publish`] (1) journals + publishes the live handle's
+//! pending absorptions, (2) rebuilds a fresh handle from the base
+//! snapshot plus the journal via [`Knowledge::recover`], (3) proves the
+//! rebuild bit-identical to the live handle with
+//! [`KnowledgeSnapshot::same_state`] — aborting the swap on any
+//! divergence — and only then (4) swaps the `Arc` and bumps the
+//! tenant's generation. `served.drains` counts completed swaps.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use vesta_core::{AbsorptionJournal, Knowledge, Outcome, PredictRequest};
+use vesta_obs::{Clock, MetricsRegistry};
+use vesta_workloads::Suite;
+
+use crate::wire::{self, FrameEvent, PredictReply, Request, Response, WireOutcome, WirePrediction};
+use crate::ServerError;
+
+/// How the server binds and paces its shutdown polling.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks a free one.
+    pub addr: String,
+    /// Read-timeout used by connection threads to poll the shutdown
+    /// flag between frames.
+    pub idle_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            idle_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One registered tenant: the serving generation and live handle under
+/// one lock (so a reader never observes a torn pair), plus the rebuild
+/// ingredients.
+struct Tenant {
+    /// `(generation, live handle)`; the generation bumps with every
+    /// completed publish.
+    live: RwLock<(u64, Arc<Knowledge>)>,
+    /// Pristine handle frozen at registration; its snapshot is the
+    /// recovery base every publish rebuilds from.
+    base: Knowledge,
+    journal: Mutex<AbsorptionJournal>,
+    journal_path: PathBuf,
+}
+
+struct Shared {
+    tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+    suite: Suite,
+    registry: Arc<MetricsRegistry>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn count(&self, name: &str) {
+        self.registry.counter(name).inc();
+    }
+}
+
+/// The running server. Dropping it (or calling [`Server::shutdown`])
+/// stops the accept loop and joins every connection thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind and start accepting connections.
+    pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServerError::Io(format!("bind {}: {e}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| ServerError::Io(format!("local_addr: {e}")))?;
+        let shared = Arc::new(Shared {
+            tenants: RwLock::new(BTreeMap::new()),
+            suite: Suite::extended(),
+            // The monotonic clock feeds span durations only; predictions
+            // are clock-independent (the engine's determinism contract).
+            registry: Arc::new(MetricsRegistry::with_clock(Clock::Monotonic)),
+            shutdown: AtomicBool::new(false),
+        });
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            let idle_poll = config.idle_poll;
+            std::thread::Builder::new()
+                .name("vesta-served-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &connections, idle_poll))
+                .map_err(|e| ServerError::Io(format!("spawn accept thread: {e}")))?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics registry — the same snapshot the `METRICS`
+    /// wire verb serves.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.registry
+    }
+
+    /// Register `knowledge` under `id`, creating its absorption journal
+    /// at `journal_path`. The handle starts at generation 0; its state
+    /// at registration becomes the recovery base for every later
+    /// publish. Re-registering an id replaces the tenant wholesale.
+    pub fn add_tenant(
+        &self,
+        id: &str,
+        knowledge: Knowledge,
+        journal_path: impl AsRef<Path>,
+    ) -> Result<(), ServerError> {
+        let journal_path = journal_path.as_ref().to_path_buf();
+        let base = Knowledge::from_snapshot(knowledge.to_snapshot(), knowledge.catalog().clone())
+            .map_err(|e| ServerError::Internal {
+            transient: false,
+            message: format!("freeze base snapshot for tenant '{id}': {e}"),
+        })?;
+        let journal =
+            AbsorptionJournal::create(&journal_path).map_err(|e| ServerError::Internal {
+                transient: true,
+                message: format!("create journal for tenant '{id}': {e}"),
+            })?;
+        let live = knowledge.with_telemetry(Arc::clone(&self.shared.registry));
+        let tenant = Arc::new(Tenant {
+            live: RwLock::new((0, Arc::new(live))),
+            base,
+            journal: Mutex::new(journal),
+            journal_path,
+        });
+        self.shared.tenants.write().insert(id.to_string(), tenant);
+        self.shared.count("served.tenants.added");
+        Ok(())
+    }
+
+    /// Drop a tenant from the registry. In-flight requests holding its
+    /// live `Arc` finish normally.
+    pub fn remove_tenant(&self, id: &str) -> bool {
+        self.shared.tenants.write().remove(id).is_some()
+    }
+
+    /// A tenant's current publish generation.
+    pub fn generation(&self, id: &str) -> Option<u64> {
+        let tenant = self.shared.tenants.read().get(id).cloned()?;
+        let generation = tenant.live.read().0;
+        Some(generation)
+    }
+
+    /// Drain-and-swap publish for one tenant (see the module docs for
+    /// the protocol). Returns the new generation.
+    pub fn publish(&self, id: &str) -> Result<u64, ServerError> {
+        let tenant = self
+            .shared
+            .tenants
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServerError::UnknownTenant(id.to_string()))?;
+        let live = Arc::clone(&tenant.live.read().1);
+        {
+            let mut journal = tenant.journal.lock();
+            live.absorb_pending_journaled(&mut journal)
+                .map_err(|e| ServerError::Internal {
+                    transient: true,
+                    message: format!("journal absorptions for tenant '{id}': {e}"),
+                })?;
+        }
+        let recovered = Knowledge::recover(
+            tenant.base.to_snapshot(),
+            &tenant.journal_path,
+            live.catalog().clone(),
+        )
+        .map_err(|e| ServerError::Internal {
+            transient: false,
+            message: format!("recover tenant '{id}': {e}"),
+        })?;
+        if !recovered.to_snapshot().same_state(&live.to_snapshot()) {
+            return Err(ServerError::Internal {
+                transient: false,
+                message: format!(
+                    "publish aborted for tenant '{id}': recovered state diverged from the live \
+                     handle"
+                ),
+            });
+        }
+        let recovered = recovered.with_telemetry(Arc::clone(&self.shared.registry));
+        let generation = {
+            let mut slot = tenant.live.write();
+            slot.0 += 1;
+            slot.1 = Arc::new(recovered);
+            slot.0
+        };
+        self.shared.count("served.drains");
+        Ok(generation)
+    }
+
+    /// Stop accepting, wake the accept loop, and join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            // Self-connect to unblock the accept() call.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = accept.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.connections.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    idle_poll: Duration,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(idle_poll));
+        let shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("vesta-served-conn".to_string())
+            .spawn(move || serve_connection(&shared, stream));
+        match spawned {
+            Ok(handle) => connections.lock().push(handle),
+            // Out of threads: drop the connection rather than the server.
+            Err(_) => continue,
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.count("served.connections");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(FrameEvent::Frame(payload)) => payload,
+            Ok(FrameEvent::Closed) => return,
+            Ok(FrameEvent::Idle) => continue,
+            Err(e) => {
+                // Best-effort typed reply; the stream is unsynchronized
+                // after a framing error, so the connection ends here.
+                let frame = wire::encode_response(&Response::Error(e));
+                let _ = wire::write_frame(&mut stream, &frame);
+                return;
+            }
+        };
+        shared.count("served.frames");
+        let response = handle_payload(shared, &payload);
+        let close = matches!(
+            response,
+            Response::Error(ServerError::UnsupportedVersion { .. })
+        );
+        let frame = wire::encode_response(&response);
+        if wire::write_frame(&mut stream, &frame).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn handle_payload(shared: &Arc<Shared>, payload: &[u8]) -> Response {
+    let request = match wire::decode_request(payload) {
+        Ok(r) => r,
+        Err(e) => return Response::Error(e),
+    };
+    match request {
+        Request::Hello { version } => {
+            if version == wire::WIRE_VERSION {
+                Response::HelloAck {
+                    version: wire::WIRE_VERSION,
+                }
+            } else {
+                Response::Error(ServerError::UnsupportedVersion {
+                    requested: version,
+                    supported: wire::WIRE_VERSION,
+                })
+            }
+        }
+        Request::Metrics => Response::Metrics {
+            snapshot_json: shared.registry.snapshot().to_json(),
+        },
+        Request::Predict {
+            tenant,
+            workloads,
+            options,
+        } => match handle_predict(shared, &tenant, &workloads, options) {
+            Ok(reply) => Response::Predict(reply),
+            Err(e) => Response::Error(e),
+        },
+    }
+}
+
+fn handle_predict(
+    shared: &Arc<Shared>,
+    tenant_id: &str,
+    names: &[String],
+    options: vesta_core::PredictOptions,
+) -> Result<PredictReply, ServerError> {
+    options
+        .validate()
+        .map_err(|e| ServerError::Malformed(e.to_string()))?;
+    let tenant = shared
+        .tenants
+        .read()
+        .get(tenant_id)
+        .cloned()
+        .ok_or_else(|| ServerError::UnknownTenant(tenant_id.to_string()))?;
+    // One read of the (generation, handle) pair: the whole batch is
+    // served — and its generation reported — from exactly one handle,
+    // whatever publishes happen meanwhile.
+    let (generation, knowledge) = {
+        let slot = tenant.live.read();
+        (slot.0, Arc::clone(&slot.1))
+    };
+    let mut workloads = Vec::with_capacity(names.len());
+    for name in names {
+        let w = shared
+            .suite
+            .by_name(name)
+            .ok_or_else(|| ServerError::UnknownWorkload(name.clone()))?;
+        workloads.push(w.clone());
+    }
+    shared.count("served.requests");
+    shared
+        .registry
+        .counter("served.workloads")
+        .add(workloads.len() as u64);
+
+    let response = knowledge.handle(PredictRequest::new(workloads).with_options(options));
+    let mut outcomes = Vec::with_capacity(response.outcomes.len());
+    for r in &response.outcomes {
+        let wire_outcome = match &r.outcome {
+            Outcome::Ok(p) => {
+                knowledge.absorb(p);
+                WireOutcome::Ok(to_wire_prediction(p))
+            }
+            Outcome::Degraded { prediction, reason } => {
+                knowledge.absorb(prediction);
+                WireOutcome::Degraded {
+                    prediction: to_wire_prediction(prediction),
+                    reason: reason.clone(),
+                }
+            }
+            Outcome::Shed => WireOutcome::Shed,
+            Outcome::Failed { error } => WireOutcome::Failed {
+                transient: error.is_transient(),
+                error: error.to_string(),
+            },
+        };
+        shared.count(&format!("served.outcome.{}", wire_outcome.label()));
+        shared.count(&format!(
+            "served.tenant.{tenant_id}.{}",
+            wire_outcome.label()
+        ));
+        outcomes.push(wire_outcome);
+    }
+    Ok(PredictReply {
+        generation,
+        outcomes,
+        report: response.report,
+    })
+}
+
+fn to_wire_prediction(p: &vesta_core::Prediction) -> WirePrediction {
+    WirePrediction {
+        best_vm: p.best_vm.index() as u32,
+        predicted_time_s: p.best_predicted_time(),
+        reference_vms: p.reference_vms as u32,
+        converged: p.converged,
+    }
+}

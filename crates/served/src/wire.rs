@@ -1,0 +1,1085 @@
+//! The `vesta-wire/1` protocol: framing and the typed message schema.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! [u32 le payload_len][u32 le crc32(payload)][payload bytes]
+//! ```
+//!
+//! — the exact discipline of the core crate's absorption journal
+//! ([`vesta_core::crc32`] is the same reflected IEEE 802.3 polynomial),
+//! with the same 64 MB cap on a single record. The payload's first byte
+//! is the verb; the body is little-endian fields read through a bounded
+//! cursor, floats as IEEE-754 bit patterns (exact round-trip, NaN
+//! included), strings as `[u32 len][utf8]`. A frame that is truncated,
+//! oversized, checksum-damaged or undecodable yields a typed
+//! [`ServerError`] — never a panic, never a partial message.
+
+use std::io::{Read, Write};
+
+use vesta_core::{crc32, PredictOptions, SupervisorConfig, SupervisorReport};
+
+use crate::ServerError;
+
+/// Protocol name, as documented and as the METRICS snapshot schema pins.
+pub const WIRE_PROTOCOL: &str = "vesta-wire/1";
+
+/// The single wire version this build speaks.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Largest payload either side will frame or accept; anything bigger is
+/// treated as a torn/corrupt length field (journal discipline).
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+// Verb bytes. Requests stay below 128, responses at or above it, so a
+// misdirected frame decodes to a typed error instead of a wrong message.
+const VERB_HELLO: u8 = 1;
+const VERB_PREDICT: u8 = 2;
+const VERB_METRICS: u8 = 3;
+const VERB_HELLO_ACK: u8 = 128;
+const VERB_PREDICT_OK: u8 = 129;
+const VERB_METRICS_OK: u8 = 130;
+const VERB_ERR: u8 = 131;
+
+// Error codes inside an ERR payload.
+const ERR_IO: u8 = 0;
+const ERR_TRUNCATED: u8 = 1;
+const ERR_CHECKSUM: u8 = 2;
+const ERR_OVERSIZE: u8 = 3;
+const ERR_MALFORMED: u8 = 4;
+const ERR_VERSION: u8 = 5;
+const ERR_TENANT: u8 = 6;
+const ERR_WORKLOAD: u8 = 7;
+const ERR_INTERNAL: u8 = 8;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version negotiation; must be the first frame on a connection.
+    Hello {
+        /// The wire version the client speaks.
+        version: u32,
+    },
+    /// Serve a batch of workloads for one tenant.
+    Predict {
+        /// Tenant id in the server's registry.
+        tenant: String,
+        /// Workload names, resolved server-side against the extended
+        /// suite.
+        workloads: Vec<String>,
+        /// Per-request serving options, verbatim
+        /// [`vesta_core::Knowledge::handle`] semantics.
+        options: PredictOptions,
+    },
+    /// Fetch the server's `vesta-telemetry/1` snapshot.
+    Metrics,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The server accepted the client's version.
+    HelloAck {
+        /// The version the connection will speak.
+        version: u32,
+    },
+    /// Outcome of a `PREDICT`.
+    Predict(PredictReply),
+    /// The telemetry snapshot, `vesta-telemetry/1` JSON.
+    Metrics {
+        /// Byte-stable snapshot text.
+        snapshot_json: String,
+    },
+    /// The request failed; the variant round-trips the server's error.
+    Error(ServerError),
+}
+
+/// The decoded body of a successful `PREDICT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictReply {
+    /// The tenant's publish generation that served this batch; bumps by
+    /// one on every drain-and-swap, so a client can tell old from new
+    /// knowledge across a publish.
+    pub generation: u64,
+    /// Per-request outcomes, in request order.
+    pub outcomes: Vec<WireOutcome>,
+    /// Counters of the supervisor that served the batch.
+    pub report: SupervisorReport,
+}
+
+impl PredictReply {
+    /// How many outcomes carry `label` (`"ok"`, `"degraded"`, `"shed"`,
+    /// `"failed"`).
+    pub fn count(&self, label: &str) -> usize {
+        self.outcomes.iter().filter(|o| o.label() == label).count()
+    }
+}
+
+/// One request's outcome as it travels the wire — the serving facts of
+/// [`vesta_core::Outcome`] without the full prediction curve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOutcome {
+    /// Served cleanly.
+    Ok(WirePrediction),
+    /// Served, but a serving control degraded the path.
+    Degraded {
+        /// The degraded prediction.
+        prediction: WirePrediction,
+        /// Why it is degraded.
+        reason: String,
+    },
+    /// Refused by admission control.
+    Shed,
+    /// Failed outright.
+    Failed {
+        /// Whether the server classified the error as transient.
+        transient: bool,
+        /// Rendered error text.
+        error: String,
+    },
+}
+
+impl WireOutcome {
+    /// Stable lowercase label, mirroring [`vesta_core::Outcome::label`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireOutcome::Ok(_) => "ok",
+            WireOutcome::Degraded { .. } => "degraded",
+            WireOutcome::Shed => "shed",
+            WireOutcome::Failed { .. } => "failed",
+        }
+    }
+
+    /// The served prediction, when there is one.
+    pub fn prediction(&self) -> Option<&WirePrediction> {
+        match self {
+            WireOutcome::Ok(p) | WireOutcome::Degraded { prediction: p, .. } => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// The selected VM and the headline serving facts.
+#[derive(Debug, Clone)]
+pub struct WirePrediction {
+    /// Catalog index of the selected best VM.
+    pub best_vm: u32,
+    /// Predicted execution time on it, seconds (bit-exact over the wire).
+    pub predicted_time_s: f64,
+    /// Reference-VM count the prediction consumed.
+    pub reference_vms: u32,
+    /// Whether the CMF solve converged.
+    pub converged: bool,
+}
+
+/// Equality is bit-exact on the predicted time — the codec promises to
+/// preserve every `f64` (NaN payloads included), and the round-trip tests
+/// hold it to that, so `NaN == NaN` here.
+impl PartialEq for WirePrediction {
+    fn eq(&self, other: &WirePrediction) -> bool {
+        self.best_vm == other.best_vm
+            && self.predicted_time_s.to_bits() == other.predicted_time_s.to_bits()
+            && self.reference_vms == other.reference_vms
+            && self.converged == other.converged
+    }
+}
+
+impl Eq for WirePrediction {}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// What one attempt to read a frame produced.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A whole, checksum-verified payload.
+    Frame(Vec<u8>),
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+    /// A read timeout fired with no frame in progress (only on sockets
+    /// with a read timeout set; the server uses this to poll shutdown).
+    Idle,
+}
+
+enum Fill {
+    Done,
+    /// EOF before the first byte — a clean close between frames.
+    Eof,
+    /// EOF after some bytes — the peer tore the stream mid-buffer.
+    Partial,
+    Idle,
+}
+
+/// Fill `buf` from `r`. `allow_idle` turns a timeout **before the first
+/// byte** into [`Fill::Idle`]; once a frame is in progress, timeouts keep
+/// the read looping so a slow writer cannot tear a frame.
+fn fill(r: &mut impl Read, buf: &mut [u8], allow_idle: bool) -> Result<Fill, ServerError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) if got == 0 => return Ok(Fill::Eof),
+            Ok(0) => return Ok(Fill::Partial),
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if got == 0 && allow_idle {
+                    return Ok(Fill::Idle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServerError::Io(e.to_string())),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+/// Write one `[len][crc][payload]` frame and flush it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServerError> {
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    if len > MAX_FRAME_LEN {
+        return Err(ServerError::Oversize { len });
+    }
+    let io = |e: std::io::Error| ServerError::Io(e.to_string());
+    w.write_all(&len.to_le_bytes()).map_err(io)?;
+    w.write_all(&crc32(payload).to_le_bytes()).map_err(io)?;
+    w.write_all(payload).map_err(io)?;
+    w.flush().map_err(io)
+}
+
+/// Read one frame. Clean EOF between frames is [`FrameEvent::Closed`];
+/// EOF mid-frame is [`ServerError::Truncated`]; a checksum mismatch is
+/// [`ServerError::Checksum`]. The declared length is validated against
+/// [`MAX_FRAME_LEN`] before any allocation.
+pub fn read_frame(r: &mut impl Read) -> Result<FrameEvent, ServerError> {
+    let mut header = [0u8; 8];
+    match fill(r, &mut header, true)? {
+        Fill::Done => {}
+        Fill::Eof => return Ok(FrameEvent::Closed),
+        Fill::Partial => return Err(ServerError::Truncated),
+        Fill::Idle => return Ok(FrameEvent::Idle),
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let expected = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME_LEN {
+        return Err(ServerError::Oversize { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match fill(r, &mut payload, false)? {
+        Fill::Done => {}
+        Fill::Eof | Fill::Partial | Fill::Idle => return Err(ServerError::Truncated),
+    }
+    let found = crc32(&payload);
+    if found != expected {
+        return Err(ServerError::Checksum { expected, found });
+    }
+    Ok(FrameEvent::Frame(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Bounded little-endian reader over a payload, journal-cursor style:
+/// every take is length-checked, so a hostile count field runs out of
+/// bytes instead of out of memory.
+struct Cursor<'a>(&'a [u8]);
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], ServerError> {
+        if self.0.len() < n {
+            return Err(ServerError::Malformed(format!(
+                "payload needs {n} more byte(s), has {}",
+                self.0.len()
+            )));
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServerError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ServerError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServerError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServerError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, ServerError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ServerError::Malformed(format!("bad bool byte {other}"))),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, ServerError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?.to_vec();
+        String::from_utf8(bytes)
+            .map_err(|e| ServerError::Malformed(format!("string is not UTF-8: {e}")))
+    }
+
+    fn finish(self) -> Result<(), ServerError> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(ServerError::Malformed(format!(
+                "{} trailing byte(s) after a well-formed message",
+                self.0.len()
+            )))
+        }
+    }
+}
+
+const OPT_SUPERVISED: u8 = 1;
+const OPT_SEQUENTIAL: u8 = 1 << 1;
+const OPT_OVERRIDE: u8 = 1 << 2;
+
+fn put_options(buf: &mut Vec<u8>, options: &PredictOptions) {
+    let mut flags = 0u8;
+    if options.supervised {
+        flags |= OPT_SUPERVISED;
+    }
+    if options.sequential {
+        flags |= OPT_SEQUENTIAL;
+    }
+    if options.supervisor.is_some() {
+        flags |= OPT_OVERRIDE;
+    }
+    buf.push(flags);
+    if let Some(cfg) = &options.supervisor {
+        put_u64(buf, cfg.deadline_ms);
+        put_u32(buf, cfg.breaker_threshold);
+        put_u32(buf, cfg.breaker_probe_after);
+        put_u64(buf, cfg.max_in_flight as u64);
+    }
+}
+
+fn read_options(c: &mut Cursor<'_>) -> Result<PredictOptions, ServerError> {
+    let flags = c.u8()?;
+    if flags & !(OPT_SUPERVISED | OPT_SEQUENTIAL | OPT_OVERRIDE) != 0 {
+        return Err(ServerError::Malformed(format!(
+            "unknown option flag bits {flags:#010b}"
+        )));
+    }
+    let supervisor = if flags & OPT_OVERRIDE != 0 {
+        Some(SupervisorConfig {
+            deadline_ms: c.u64()?,
+            breaker_threshold: c.u32()?,
+            breaker_probe_after: c.u32()?,
+            max_in_flight: c.u64()? as usize,
+        })
+    } else {
+        None
+    };
+    Ok(PredictOptions {
+        supervised: flags & OPT_SUPERVISED != 0,
+        sequential: flags & OPT_SEQUENTIAL != 0,
+        supervisor,
+    })
+}
+
+/// Encode a request into a frame payload.
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match request {
+        Request::Hello { version } => {
+            buf.push(VERB_HELLO);
+            put_u32(&mut buf, *version);
+        }
+        Request::Predict {
+            tenant,
+            workloads,
+            options,
+        } => {
+            buf.push(VERB_PREDICT);
+            put_str(&mut buf, tenant);
+            put_u32(&mut buf, workloads.len() as u32);
+            for w in workloads {
+                put_str(&mut buf, w);
+            }
+            put_options(&mut buf, options);
+        }
+        Request::Metrics => buf.push(VERB_METRICS),
+    }
+    buf
+}
+
+/// Decode a frame payload into a request.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ServerError> {
+    let mut c = Cursor(payload);
+    let verb = c.u8()?;
+    let request = match verb {
+        VERB_HELLO => Request::Hello { version: c.u32()? },
+        VERB_PREDICT => {
+            let tenant = c.str()?;
+            let n = c.u32()? as usize;
+            let mut workloads = Vec::with_capacity(n.min(payload.len() / 4));
+            for _ in 0..n {
+                workloads.push(c.str()?);
+            }
+            let options = read_options(&mut c)?;
+            Request::Predict {
+                tenant,
+                workloads,
+                options,
+            }
+        }
+        VERB_METRICS => Request::Metrics,
+        other => {
+            return Err(ServerError::Malformed(format!(
+                "unknown request verb {other}"
+            )))
+        }
+    };
+    c.finish()?;
+    Ok(request)
+}
+
+fn put_report(buf: &mut Vec<u8>, r: &SupervisorReport) {
+    put_u64(buf, r.ok);
+    put_u64(buf, r.degraded);
+    put_u64(buf, r.shed);
+    put_u64(buf, r.failed);
+    put_u64(buf, r.deadline_hits);
+    put_u64(buf, r.breaker_trips);
+    put_u64(buf, r.breaker_refusals);
+    put_u64(buf, r.breaker_probes);
+    put_u64(buf, r.open_breakers as u64);
+}
+
+fn read_report(c: &mut Cursor<'_>) -> Result<SupervisorReport, ServerError> {
+    Ok(SupervisorReport {
+        ok: c.u64()?,
+        degraded: c.u64()?,
+        shed: c.u64()?,
+        failed: c.u64()?,
+        deadline_hits: c.u64()?,
+        breaker_trips: c.u64()?,
+        breaker_refusals: c.u64()?,
+        breaker_probes: c.u64()?,
+        open_breakers: c.u64()? as usize,
+    })
+}
+
+fn put_prediction(buf: &mut Vec<u8>, p: &WirePrediction) {
+    put_u32(buf, p.best_vm);
+    put_f64(buf, p.predicted_time_s);
+    put_u32(buf, p.reference_vms);
+    buf.push(p.converged as u8);
+}
+
+fn read_prediction(c: &mut Cursor<'_>) -> Result<WirePrediction, ServerError> {
+    Ok(WirePrediction {
+        best_vm: c.u32()?,
+        predicted_time_s: c.f64()?,
+        reference_vms: c.u32()?,
+        converged: c.bool()?,
+    })
+}
+
+const OUTCOME_OK: u8 = 0;
+const OUTCOME_DEGRADED: u8 = 1;
+const OUTCOME_SHED: u8 = 2;
+const OUTCOME_FAILED: u8 = 3;
+
+fn put_outcome(buf: &mut Vec<u8>, o: &WireOutcome) {
+    match o {
+        WireOutcome::Ok(p) => {
+            buf.push(OUTCOME_OK);
+            put_prediction(buf, p);
+        }
+        WireOutcome::Degraded { prediction, reason } => {
+            buf.push(OUTCOME_DEGRADED);
+            put_prediction(buf, prediction);
+            put_str(buf, reason);
+        }
+        WireOutcome::Shed => buf.push(OUTCOME_SHED),
+        WireOutcome::Failed { transient, error } => {
+            buf.push(OUTCOME_FAILED);
+            buf.push(*transient as u8);
+            put_str(buf, error);
+        }
+    }
+}
+
+fn read_outcome(c: &mut Cursor<'_>) -> Result<WireOutcome, ServerError> {
+    Ok(match c.u8()? {
+        OUTCOME_OK => WireOutcome::Ok(read_prediction(c)?),
+        OUTCOME_DEGRADED => WireOutcome::Degraded {
+            prediction: read_prediction(c)?,
+            reason: c.str()?,
+        },
+        OUTCOME_SHED => WireOutcome::Shed,
+        OUTCOME_FAILED => WireOutcome::Failed {
+            transient: c.bool()?,
+            error: c.str()?,
+        },
+        other => {
+            return Err(ServerError::Malformed(format!(
+                "unknown outcome tag {other}"
+            )))
+        }
+    })
+}
+
+fn put_error(buf: &mut Vec<u8>, e: &ServerError) {
+    match e {
+        ServerError::Io(m) => {
+            buf.push(ERR_IO);
+            put_str(buf, m);
+        }
+        ServerError::Truncated => buf.push(ERR_TRUNCATED),
+        ServerError::Checksum { expected, found } => {
+            buf.push(ERR_CHECKSUM);
+            put_u32(buf, *expected);
+            put_u32(buf, *found);
+        }
+        ServerError::Oversize { len } => {
+            buf.push(ERR_OVERSIZE);
+            put_u32(buf, *len);
+        }
+        ServerError::Malformed(m) => {
+            buf.push(ERR_MALFORMED);
+            put_str(buf, m);
+        }
+        ServerError::UnsupportedVersion {
+            requested,
+            supported,
+        } => {
+            buf.push(ERR_VERSION);
+            put_u32(buf, *requested);
+            put_u32(buf, *supported);
+        }
+        ServerError::UnknownTenant(t) => {
+            buf.push(ERR_TENANT);
+            put_str(buf, t);
+        }
+        ServerError::UnknownWorkload(w) => {
+            buf.push(ERR_WORKLOAD);
+            put_str(buf, w);
+        }
+        // In-crate the match is exhaustive; a future variant added here
+        // must pick a wire code (or travel as ERR_INTERNAL) explicitly.
+        ServerError::Internal { transient, message } => {
+            buf.push(ERR_INTERNAL);
+            buf.push(*transient as u8);
+            put_str(buf, message);
+        }
+    }
+}
+
+fn read_error(c: &mut Cursor<'_>) -> Result<ServerError, ServerError> {
+    Ok(match c.u8()? {
+        ERR_IO => ServerError::Io(c.str()?),
+        ERR_TRUNCATED => ServerError::Truncated,
+        ERR_CHECKSUM => ServerError::Checksum {
+            expected: c.u32()?,
+            found: c.u32()?,
+        },
+        ERR_OVERSIZE => ServerError::Oversize { len: c.u32()? },
+        ERR_MALFORMED => ServerError::Malformed(c.str()?),
+        ERR_VERSION => ServerError::UnsupportedVersion {
+            requested: c.u32()?,
+            supported: c.u32()?,
+        },
+        ERR_TENANT => ServerError::UnknownTenant(c.str()?),
+        ERR_WORKLOAD => ServerError::UnknownWorkload(c.str()?),
+        ERR_INTERNAL => ServerError::Internal {
+            transient: c.bool()?,
+            message: c.str()?,
+        },
+        other => {
+            return Err(ServerError::Malformed(format!(
+                "unknown error code {other}"
+            )))
+        }
+    })
+}
+
+/// Encode a response into a frame payload.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match response {
+        Response::HelloAck { version } => {
+            buf.push(VERB_HELLO_ACK);
+            put_u32(&mut buf, *version);
+        }
+        Response::Predict(reply) => {
+            buf.push(VERB_PREDICT_OK);
+            put_u64(&mut buf, reply.generation);
+            put_report(&mut buf, &reply.report);
+            put_u32(&mut buf, reply.outcomes.len() as u32);
+            for o in &reply.outcomes {
+                put_outcome(&mut buf, o);
+            }
+        }
+        Response::Metrics { snapshot_json } => {
+            buf.push(VERB_METRICS_OK);
+            put_str(&mut buf, snapshot_json);
+        }
+        Response::Error(e) => {
+            buf.push(VERB_ERR);
+            put_error(&mut buf, e);
+        }
+    }
+    buf
+}
+
+/// Decode a frame payload into a response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ServerError> {
+    let mut c = Cursor(payload);
+    let verb = c.u8()?;
+    let response = match verb {
+        VERB_HELLO_ACK => Response::HelloAck { version: c.u32()? },
+        VERB_PREDICT_OK => {
+            let generation = c.u64()?;
+            let report = read_report(&mut c)?;
+            let n = c.u32()? as usize;
+            let mut outcomes = Vec::with_capacity(n.min(payload.len()));
+            for _ in 0..n {
+                outcomes.push(read_outcome(&mut c)?);
+            }
+            Response::Predict(PredictReply {
+                generation,
+                outcomes,
+                report,
+            })
+        }
+        VERB_METRICS_OK => Response::Metrics {
+            snapshot_json: c.str()?,
+        },
+        VERB_ERR => Response::Error(read_error(&mut c)?),
+        other => {
+            return Err(ServerError::Malformed(format!(
+                "unknown response verb {other}"
+            )))
+        }
+    };
+    c.finish()?;
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // The `codec_*` tests are pure in-memory (no sockets, no filesystem,
+    // no clock), so CI runs them under Miri:
+    // `cargo miri test -p vesta-served --lib codec_`.
+
+    fn sample_reply() -> PredictReply {
+        PredictReply {
+            generation: 3,
+            outcomes: vec![
+                WireOutcome::Ok(WirePrediction {
+                    best_vm: 17,
+                    predicted_time_s: 123.456,
+                    reference_vms: 3,
+                    converged: true,
+                }),
+                WireOutcome::Degraded {
+                    prediction: WirePrediction {
+                        best_vm: 4,
+                        predicted_time_s: f64::NAN,
+                        reference_vms: 2,
+                        converged: false,
+                    },
+                    reason: "2 reference VM(s) replaced".into(),
+                },
+                WireOutcome::Shed,
+                WireOutcome::Failed {
+                    transient: true,
+                    error: "deadline exceeded".into(),
+                },
+            ],
+            report: SupervisorReport {
+                ok: 1,
+                degraded: 1,
+                shed: 1,
+                failed: 1,
+                deadline_hits: 1,
+                breaker_trips: 2,
+                breaker_refusals: 3,
+                breaker_probes: 4,
+                open_breakers: 5,
+            },
+        }
+    }
+
+    fn roundtrip_request(r: &Request) -> Request {
+        decode_request(&encode_request(r)).expect("request decodes")
+    }
+
+    fn roundtrip_response(r: &Response) -> Response {
+        decode_response(&encode_response(r)).expect("response decodes")
+    }
+
+    #[test]
+    fn codec_requests_round_trip() {
+        let hello = Request::Hello {
+            version: WIRE_VERSION,
+        };
+        assert_eq!(roundtrip_request(&hello), hello);
+        let metrics = Request::Metrics;
+        assert_eq!(roundtrip_request(&metrics), metrics);
+        let predict = Request::Predict {
+            tenant: "alpha".into(),
+            workloads: vec!["Spark-kmeans".into(), "Hadoop-join".into()],
+            options: PredictOptions {
+                supervised: true,
+                sequential: false,
+                supervisor: Some(SupervisorConfig {
+                    deadline_ms: 250,
+                    breaker_threshold: 3,
+                    breaker_probe_after: 2,
+                    max_in_flight: 8,
+                }),
+            },
+        };
+        assert_eq!(roundtrip_request(&predict), predict);
+    }
+
+    #[test]
+    fn codec_responses_round_trip_bit_exact() {
+        let reply = Response::Predict(sample_reply());
+        let back = roundtrip_response(&reply);
+        assert_eq!(back, reply);
+        // NaN predicted time survives as the same bit pattern even though
+        // PartialEq on the enum can't witness it.
+        if let (Response::Predict(a), Response::Predict(b)) = (&reply, &back) {
+            let (pa, pb) = (
+                a.outcomes[1].prediction().expect("degraded has prediction"),
+                b.outcomes[1].prediction().expect("degraded has prediction"),
+            );
+            assert_eq!(pa.predicted_time_s.to_bits(), pb.predicted_time_s.to_bits());
+        } else {
+            unreachable!("both sides are Predict");
+        }
+        let ack = Response::HelloAck { version: 1 };
+        assert_eq!(roundtrip_response(&ack), ack);
+        let metrics = Response::Metrics {
+            snapshot_json: "{\"schema\": \"vesta-telemetry/1\"}".into(),
+        };
+        assert_eq!(roundtrip_response(&metrics), metrics);
+    }
+
+    #[test]
+    fn codec_errors_round_trip_with_transience() {
+        let errors = [
+            ServerError::Io("refused".into()),
+            ServerError::Truncated,
+            ServerError::Checksum {
+                expected: 1,
+                found: 2,
+            },
+            ServerError::Oversize { len: u32::MAX },
+            ServerError::Malformed("bad".into()),
+            ServerError::UnsupportedVersion {
+                requested: 9,
+                supported: 1,
+            },
+            ServerError::UnknownTenant("ghost".into()),
+            ServerError::UnknownWorkload("nope".into()),
+            ServerError::Internal {
+                transient: true,
+                message: "journal io".into(),
+            },
+        ];
+        for e in errors {
+            let back = roundtrip_response(&Response::Error(e.clone()));
+            assert_eq!(back, Response::Error(e.clone()));
+            if let Response::Error(b) = back {
+                assert_eq!(b.is_transient(), e.is_transient(), "{e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn codec_truncated_payloads_are_typed_errors() {
+        let bytes = encode_response(&Response::Predict(sample_reply()));
+        for cut in 0..bytes.len() {
+            match decode_response(&bytes[..cut]) {
+                Err(ServerError::Malformed(_)) => {}
+                other => panic!("cut at {cut}: expected Malformed, got {other:?}"),
+            }
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            decode_response(&padded),
+            Err(ServerError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn codec_unknown_verbs_and_flags_are_typed_errors() {
+        assert!(matches!(
+            decode_request(&[99]),
+            Err(ServerError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_response(&[7]),
+            Err(ServerError::Malformed(_))
+        ));
+        // An options byte with a future flag set must not decode silently.
+        let mut bytes = encode_request(&Request::Predict {
+            tenant: "t".into(),
+            workloads: vec![],
+            options: PredictOptions::default(),
+        });
+        let flags_at = bytes.len() - 1;
+        bytes[flags_at] |= 1 << 7;
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(ServerError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn codec_frame_roundtrips_and_rejects_bit_flips() {
+        let payload = encode_request(&Request::Hello { version: 1 });
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).expect("frame writes");
+        assert_eq!(framed.len(), 8 + payload.len());
+
+        let mut reader: &[u8] = &framed;
+        match read_frame(&mut reader).expect("frame reads") {
+            FrameEvent::Frame(p) => assert_eq!(p, payload),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+
+        // Every single-bit corruption of the frame is caught: payload
+        // flips fail the CRC, header flips mis-declare length or CRC.
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                let mut r: &[u8] = &bad;
+                match read_frame(&mut r) {
+                    Err(
+                        ServerError::Checksum { .. }
+                        | ServerError::Truncated
+                        | ServerError::Oversize { .. },
+                    ) => {}
+                    Ok(FrameEvent::Frame(_)) => {
+                        panic!("flip at {byte}:{bit} slipped through the CRC")
+                    }
+                    other => panic!("flip at {byte}:{bit}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codec_truncated_frame_tail_is_typed() {
+        let payload = encode_request(&Request::Metrics);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).expect("frame writes");
+        // Cut after the header: EOF lands mid-payload.
+        for cut in 1..framed.len() {
+            let mut r: &[u8] = &framed[..cut];
+            assert!(
+                matches!(read_frame(&mut r), Err(ServerError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+        // Zero bytes is a clean close, not an error.
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Ok(FrameEvent::Closed)));
+    }
+
+    #[test]
+    fn codec_oversize_length_is_rejected_before_allocation() {
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        framed.extend_from_slice(&0u32.to_le_bytes());
+        let mut r: &[u8] = &framed;
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(ServerError::Oversize { .. })
+        ));
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME_LEN as usize + 1]),
+            Err(ServerError::Oversize { .. })
+        ));
+    }
+
+    // Seeded structure generator for the property tests: a splitmix64
+    // stream drives every choice, so one `u64` strategy input expands to
+    // arbitrary requests/responses while staying portable across proptest
+    // implementations (and cheap under Miri).
+
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn gen_string(state: &mut u64) -> String {
+        const ALPHABET: &[u8] = b"abcXYZ019 _-./:\xc3\xa9"; // ends in 'é'
+        let len = (next(state) % 12) as usize;
+        let mut s = String::new();
+        for _ in 0..len {
+            // The last two alphabet bytes form one multi-byte char; pick
+            // char-wise so the string stays valid UTF-8.
+            let chars: Vec<char> = std::str::from_utf8(ALPHABET)
+                .expect("alphabet is UTF-8")
+                .chars()
+                .collect();
+            s.push(chars[(next(state) as usize) % chars.len()]);
+        }
+        s
+    }
+
+    fn gen_options(state: &mut u64) -> PredictOptions {
+        PredictOptions {
+            supervised: next(state) % 2 == 0,
+            sequential: next(state) % 2 == 0,
+            supervisor: if next(state) % 2 == 0 {
+                Some(SupervisorConfig {
+                    deadline_ms: next(state),
+                    breaker_threshold: next(state) as u32,
+                    breaker_probe_after: next(state) as u32,
+                    max_in_flight: (next(state) % (1 << 32)) as usize,
+                })
+            } else {
+                None
+            },
+        }
+    }
+
+    fn gen_prediction(state: &mut u64) -> WirePrediction {
+        WirePrediction {
+            best_vm: next(state) as u32,
+            // Raw bits: NaNs, infinities and subnormals all occur.
+            predicted_time_s: f64::from_bits(next(state)),
+            reference_vms: next(state) as u32,
+            converged: next(state) % 2 == 0,
+        }
+    }
+
+    fn gen_outcome(state: &mut u64) -> WireOutcome {
+        match next(state) % 4 {
+            0 => WireOutcome::Ok(gen_prediction(state)),
+            1 => WireOutcome::Degraded {
+                prediction: gen_prediction(state),
+                reason: gen_string(state),
+            },
+            2 => WireOutcome::Shed,
+            _ => WireOutcome::Failed {
+                transient: next(state) % 2 == 0,
+                error: gen_string(state),
+            },
+        }
+    }
+
+    fn gen_reply(state: &mut u64) -> PredictReply {
+        let n = (next(state) % 6) as usize;
+        PredictReply {
+            generation: next(state),
+            outcomes: (0..n).map(|_| gen_outcome(state)).collect(),
+            report: SupervisorReport {
+                ok: next(state),
+                degraded: next(state),
+                shed: next(state),
+                failed: next(state),
+                deadline_hits: next(state),
+                breaker_trips: next(state),
+                breaker_refusals: next(state),
+                breaker_probes: next(state),
+                open_breakers: next(state) as usize,
+            },
+        }
+    }
+
+    proptest! {
+        /// Any request round-trips the codec unchanged.
+        #[test]
+        fn codec_prop_requests_round_trip(seed in any::<u64>()) {
+            let rounds = if cfg!(miri) { 4 } else { 32 };
+            let mut state = seed;
+            for _ in 0..rounds {
+                let n = (next(&mut state) % 5) as usize;
+                let predict = Request::Predict {
+                    tenant: gen_string(&mut state),
+                    workloads: (0..n).map(|_| gen_string(&mut state)).collect(),
+                    options: gen_options(&mut state),
+                };
+                prop_assert_eq!(roundtrip_request(&predict), predict);
+                let hello = Request::Hello { version: next(&mut state) as u32 };
+                prop_assert_eq!(roundtrip_request(&hello), hello);
+            }
+        }
+
+        /// Any response round-trips, predicted times bit-exact.
+        #[test]
+        fn codec_prop_responses_round_trip(seed in any::<u64>()) {
+            let rounds = if cfg!(miri) { 4 } else { 32 };
+            let mut state = seed.wrapping_add(1);
+            for _ in 0..rounds {
+                let reply = Response::Predict(gen_reply(&mut state));
+                let back = roundtrip_response(&reply);
+                prop_assert_eq!(&back, &reply);
+                if let (Response::Predict(a), Response::Predict(b)) = (&reply, &back) {
+                    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+                        if let (Some(p), Some(q)) = (x.prediction(), y.prediction()) {
+                            prop_assert_eq!(
+                                p.predicted_time_s.to_bits(),
+                                q.predicted_time_s.to_bits()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        /// A payload of arbitrary junk either decodes or yields a typed
+        /// error — it never panics.
+        #[test]
+        fn codec_prop_junk_never_panics(seed in any::<u64>(), len in 0usize..256) {
+            let mut state = seed.wrapping_add(2);
+            let payload: Vec<u8> = (0..len).map(|_| next(&mut state) as u8).collect();
+            let _ = decode_request(&payload);
+            let _ = decode_response(&payload);
+        }
+    }
+}

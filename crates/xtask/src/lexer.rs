@@ -279,8 +279,8 @@ impl<'a> Lexer<'a> {
         // a lifetime is `'` + ident-start NOT followed by a closing `'`.
         let c1 = self.peek(1);
         let c2 = self.peek(2);
-        let is_lifetime = matches!(c1, Some(c) if c.is_alphabetic() || c == '_')
-            && c2 != Some('\'');
+        let is_lifetime =
+            matches!(c1, Some(c) if c.is_alphabetic() || c == '_') && c2 != Some('\'');
         if is_lifetime {
             self.bump(); // the quote
             while let Some(c) = self.peek(0) {

@@ -237,9 +237,8 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         findings.append(&mut invalid);
     }
 
-    findings.sort_by(|a, b| {
-        (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint))
-    });
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
     Ok(LintReport {
         findings,
         files_scanned: files.len(),

@@ -292,8 +292,7 @@ fn nondeterministic_map(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                 j += 1;
             }
             if let Some(name) = toks.get(j).and_then(|t| t.ident()) {
-                if ctx.hash_names.contains(name)
-                    && toks.get(j + 1).is_some_and(|t| t.is_punct('{'))
+                if ctx.hash_names.contains(name) && toks.get(j + 1).is_some_and(|t| t.is_punct('{'))
                 {
                     out.push(ctx.finding(
                         j,
@@ -309,11 +308,11 @@ fn nondeterministic_map(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
     // (c) hash containers inside serde-derived structs.
     serde_struct_regions(toks, |start, end| {
-        for k in start..end {
+        for (k, tok) in toks.iter().enumerate().take(end).skip(start) {
             if ctx.in_test_region(k) {
                 continue;
             }
-            if let Some(id) = toks[k].ident() {
+            if let Some(id) = tok.ident() {
                 if id == "HashMap" || id == "HashSet" {
                     out.push(ctx.finding(
                         k,
@@ -404,13 +403,15 @@ fn float_total_order(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         }
         let Some(id) = toks[i].ident() else { continue };
         if id == "partial_cmp" {
-            out.push(ctx.finding(
-                i,
-                "float-total-order",
-                "`partial_cmp` on floats yields `None` for NaN and destabilizes ranking; \
+            out.push(
+                ctx.finding(
+                    i,
+                    "float-total-order",
+                    "`partial_cmp` on floats yields `None` for NaN and destabilizes ranking; \
                  use `total_cmp`"
-                    .to_string(),
-            ));
+                        .to_string(),
+                ),
+            );
         }
         if (id == "max" || id == "min")
             && i >= 3
@@ -592,9 +593,10 @@ pub fn collect_transient_impls(tokens: &[Token], into: &mut BTreeSet<String>) {
                 }
                 if tokens.get(j).is_some_and(|t| t.is_punct('{')) {
                     let end = skip_item(tokens, j);
-                    if tokens[j..end].windows(2).any(|w| {
-                        w[0].is_ident("fn") && w[1].is_ident("is_transient")
-                    }) {
+                    if tokens[j..end]
+                        .windows(2)
+                        .any(|w| w[0].is_ident("fn") && w[1].is_ident("is_transient"))
+                    {
                         into.insert(target.to_string());
                     }
                     i = end;

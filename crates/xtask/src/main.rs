@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p vesta-xtask -- lint [--format json] [--root <path>]
-//! cargo run -p vesta-xtask -- perf-check [--baseline <json>] [--current <json>]
+//! cargo run -p vesta-xtask -- perf-check [--suite throughput|serving]
+//!                                        [--baseline <json>] [--current <json>]
 //!                                        [--tolerance <frac>]
 //! cargo run -p vesta-xtask -- telemetry-check [--ledger chaos|drift|both]
 //!                                             [--telemetry <json>] [--chaos <json>]
@@ -11,7 +12,10 @@
 //!
 //! `perf-check` gates p99 latency and the throughput series of a fresh
 //! `results/BENCH_throughput.json` against the committed
-//! `results/BENCH_baseline.json` (default tolerance 25%).
+//! `results/BENCH_baseline.json` (default tolerance 25%);
+//! `--suite serving` instead gates `results/BENCH_serving.json`
+//! (sustained open-loop req/s, p99-under-load) against
+//! `results/BENCH_serving_baseline.json`.
 //! `telemetry-check` asserts `results/TELEMETRY.json` counters agree with
 //! the `results/BENCH_chaos.json` per-scenario ledger (`--ledger chaos`,
 //! the default), with the `results/BENCH_drift.json` drift summary
@@ -47,8 +51,9 @@ const USAGE: &str = "usage: vesta-xtask <command> [flags]
 commands:
   lint             run the invariant lint pass
                    [--format json|human] [--root <path>]
-  perf-check       gate a fresh throughput report against the baseline
-                   [--baseline <json>] [--current <json>] [--tolerance <frac>]
+  perf-check       gate a fresh benchmark report against its baseline
+                   [--suite throughput|serving] [--baseline <json>]
+                   [--current <json>] [--tolerance <frac>]
   telemetry-check  cross-check TELEMETRY.json against an experiment ledger
                    [--ledger chaos|drift|both] [--telemetry <json>]
                    [--chaos <json>] [--drift <json>]";
@@ -124,10 +129,11 @@ fn flag_values(args: &[String], allowed: &[&str]) -> Result<Vec<(String, String)
 }
 
 fn cmd_perf_check(args: &[String]) -> ExitCode {
-    let mut baseline = workspace_root().join("results/BENCH_baseline.json");
-    let mut current = workspace_root().join("results/BENCH_throughput.json");
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
     let mut tolerance = 0.25f64;
-    let flags = match flag_values(args, &["--baseline", "--current", "--tolerance"]) {
+    let mut suite = "throughput".to_string();
+    let flags = match flag_values(args, &["--baseline", "--current", "--tolerance", "--suite"]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("{e}\n{USAGE}");
@@ -136,8 +142,8 @@ fn cmd_perf_check(args: &[String]) -> ExitCode {
     };
     for (flag, value) in flags {
         match flag.as_str() {
-            "--baseline" => baseline = PathBuf::from(value),
-            "--current" => current = PathBuf::from(value),
+            "--baseline" => baseline = Some(PathBuf::from(value)),
+            "--current" => current = Some(PathBuf::from(value)),
             "--tolerance" => match value.parse::<f64>() {
                 Ok(t) => tolerance = t,
                 Err(_) => {
@@ -145,10 +151,34 @@ fn cmd_perf_check(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--suite" => suite = value,
             _ => unreachable!("flag_values filtered"),
         }
     }
-    match vesta_xtask::perf::perf_check_files(&baseline, &current, tolerance) {
+    type CheckFn = fn(
+        &std::path::Path,
+        &std::path::Path,
+        f64,
+    ) -> Result<vesta_xtask::perf::PerfReport, String>;
+    let (check, default_baseline, default_current): (CheckFn, &str, &str) = match suite.as_str() {
+        "throughput" => (
+            vesta_xtask::perf::perf_check_files,
+            "results/BENCH_baseline.json",
+            "results/BENCH_throughput.json",
+        ),
+        "serving" => (
+            vesta_xtask::perf::serving_check_files,
+            "results/BENCH_serving_baseline.json",
+            "results/BENCH_serving.json",
+        ),
+        other => {
+            eprintln!("--suite takes `throughput` or `serving`, got `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = baseline.unwrap_or_else(|| workspace_root().join(default_baseline));
+    let current = current.unwrap_or_else(|| workspace_root().join(default_current));
+    match check(&baseline, &current, tolerance) {
         Ok(report) => {
             print!("{}", report.render_table());
             if report.is_clean() {

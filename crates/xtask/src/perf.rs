@@ -3,7 +3,10 @@
 //! `perf-check` compares a fresh `results/BENCH_throughput.json` against
 //! the committed `results/BENCH_baseline.json`: the p99 request latency
 //! may not rise, and the three throughput series may not fall, by more
-//! than the configured tolerance (CI gates at 25%). `telemetry-check`
+//! than the configured tolerance (CI gates at 25%). The serving suite
+//! (`--suite serving`) applies the same discipline to
+//! `results/BENCH_serving.json` vs `results/BENCH_serving_baseline.json`:
+//! sustained open-loop req/s may not fall, p99-under-load may not rise. `telemetry-check`
 //! asserts that the counters in `results/TELEMETRY.json` are consistent
 //! with the per-scenario ledger in `results/BENCH_chaos.json` — the two
 //! files are produced by independent code paths (shared metrics registry
@@ -68,11 +71,7 @@ impl PerfReport {
             "metric", "baseline", "current", "delta", "verdict"
         ));
         for r in &self.rows {
-            let verdict = if r.regressed {
-                "REGRESSED"
-            } else {
-                "ok"
-            };
+            let verdict = if r.regressed { "REGRESSED" } else { "ok" };
             out.push_str(&format!(
                 "{:<32} {:>14.3} {:>14.3} {:>+8.1}%  {}\n",
                 r.name, r.baseline, r.current, r.delta_pct, verdict
@@ -107,6 +106,14 @@ const GATED: &[(&[&str], Direction)] = &[
     ),
 ];
 
+/// The serving gates over `BENCH_serving.json`: the open-loop sustained
+/// rate may not fall and the coordinated-omission-safe p99 under load may
+/// not rise beyond tolerance.
+const SERVING_GATED: &[(&[&str], Direction)] = &[
+    (&["series", "latency_ms", "p99"], Direction::LowerIsBetter),
+    (&["series", "sustained_rps"], Direction::HigherIsBetter),
+];
+
 fn gated_value(doc: &JsonValue, path: &[&str], which: &str) -> Result<f64, String> {
     let v = doc
         .get_path(path)
@@ -127,11 +134,29 @@ pub fn perf_check(
     current: &JsonValue,
     tolerance: f64,
 ) -> Result<PerfReport, String> {
+    check_gates(baseline, current, tolerance, GATED)
+}
+
+/// Compare two parsed `BENCH_serving`-shaped reports under `tolerance`.
+pub fn serving_check(
+    baseline: &JsonValue,
+    current: &JsonValue,
+    tolerance: f64,
+) -> Result<PerfReport, String> {
+    check_gates(baseline, current, tolerance, SERVING_GATED)
+}
+
+fn check_gates(
+    baseline: &JsonValue,
+    current: &JsonValue,
+    tolerance: f64,
+    gates: &[(&[&str], Direction)],
+) -> Result<PerfReport, String> {
     if !(0.0..10.0).contains(&tolerance) {
         return Err(format!("tolerance {tolerance} out of range [0, 10)"));
     }
-    let mut rows = Vec::with_capacity(GATED.len());
-    for (path, direction) in GATED {
+    let mut rows = Vec::with_capacity(gates.len());
+    for (path, direction) in gates {
         let b = gated_value(baseline, path, "baseline")?;
         let c = gated_value(current, path, "current")?;
         let delta_pct = if b > 0.0 { 100.0 * (c - b) / b } else { 0.0 };
@@ -158,11 +183,21 @@ pub fn perf_check_files(
     current: &Path,
     tolerance: f64,
 ) -> Result<PerfReport, String> {
-    let read = |p: &Path| -> Result<JsonValue, String> {
-        let text = fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))?;
-        parse(&text).map_err(|e| format!("{}: {e}", p.display()))
-    };
-    perf_check(&read(baseline)?, &read(current)?, tolerance)
+    perf_check(&read_json(baseline)?, &read_json(current)?, tolerance)
+}
+
+/// File-reading front end for [`serving_check`].
+pub fn serving_check_files(
+    baseline: &Path,
+    current: &Path,
+    tolerance: f64,
+) -> Result<PerfReport, String> {
+    serving_check(&read_json(baseline)?, &read_json(current)?, tolerance)
+}
+
+fn read_json(p: &Path) -> Result<JsonValue, String> {
+    let text = fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", p.display()))
 }
 
 /// One telemetry/ledger consistency assertion.
@@ -225,11 +260,14 @@ fn scenario_sum(chaos: &JsonValue, field: &str) -> Result<u64, String> {
         .ok_or("chaos report is missing `series.scenarios`")?;
     let mut total = 0u64;
     for (i, sc) in scenarios.iter().enumerate() {
-        let v = sc.get(field).and_then(JsonValue::as_f64).ok_or_else(|| {
-            format!("chaos report scenario #{i} is missing numeric `{field}`")
-        })?;
+        let v = sc
+            .get(field)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("chaos report scenario #{i} is missing numeric `{field}`"))?;
         if !v.is_finite() || v < 0.0 {
-            return Err(format!("chaos report scenario #{i} has unusable `{field}` = {v}"));
+            return Err(format!(
+                "chaos report scenario #{i} has unusable `{field}` = {v}"
+            ));
         }
         total += v as u64;
     }
@@ -332,10 +370,7 @@ pub fn drift_check(
 }
 
 /// File-reading front end for [`drift_check`].
-pub fn drift_check_files(
-    telemetry: &Path,
-    drift: &Path,
-) -> Result<TelemetryCheckReport, String> {
+pub fn drift_check_files(telemetry: &Path, drift: &Path) -> Result<TelemetryCheckReport, String> {
     let snapshot = read_snapshot(telemetry)?;
     let drift_text =
         fs::read_to_string(drift).map_err(|e| format!("read {}: {e}", drift.display()))?;
@@ -344,8 +379,8 @@ pub fn drift_check_files(
 }
 
 fn read_snapshot(telemetry: &Path) -> Result<TelemetrySnapshot, String> {
-    let text = fs::read_to_string(telemetry)
-        .map_err(|e| format!("read {}: {e}", telemetry.display()))?;
+    let text =
+        fs::read_to_string(telemetry).map_err(|e| format!("read {}: {e}", telemetry.display()))?;
     TelemetrySnapshot::from_json(&text).map_err(|e| format!("{}: {e}", telemetry.display()))
 }
 
@@ -412,6 +447,44 @@ mod tests {
         let empty = parse(r#"{"series": {}}"#).expect("parses");
         let err = perf_check(&base, &empty, 0.25).expect_err("must error");
         assert!(err.contains("latency_ms.p99"), "{err}");
+    }
+
+    fn serving_json(p99: f64, sustained: f64) -> JsonValue {
+        parse(&format!(
+            r#"{{"id": "BENCH_serving", "series": {{
+                "latency_ms": {{"p50": 1.0, "p99": {p99}}},
+                "sustained_rps": {sustained}
+            }}}}"#
+        ))
+        .expect("serving report parses")
+    }
+
+    #[test]
+    fn serving_gate_catches_sustained_rate_drop_and_p99_rise() {
+        let base = serving_json(900.0, 1.0);
+        let r = serving_check(&base, &base, 0.25).expect("checks");
+        assert!(r.is_clean());
+        assert_eq!(r.rows.len(), 2);
+        let slower = serving_json(900.0, 0.5);
+        assert!(!serving_check(&base, &slower, 0.25)
+            .expect("checks")
+            .is_clean());
+        let laggier = serving_json(2000.0, 1.0);
+        assert!(!serving_check(&base, &laggier, 0.25)
+            .expect("checks")
+            .is_clean());
+        let wobble = serving_json(1000.0, 0.9);
+        assert!(serving_check(&base, &wobble, 0.25)
+            .expect("checks")
+            .is_clean());
+    }
+
+    #[test]
+    fn serving_gate_requires_its_own_series_shape() {
+        let base = serving_json(900.0, 1.0);
+        let throughput_shaped = report_json(40.0, 10.0, 30.0, 500.0);
+        let err = serving_check(&base, &throughput_shaped, 0.25).expect_err("must error");
+        assert!(err.contains("sustained_rps"), "{err}");
     }
 
     fn chaos_json(trips: &[u64], refusals: &[u64], shed: &[u64]) -> JsonValue {
@@ -482,8 +555,7 @@ mod tests {
     fn drift_snapshot(resolves: u64, resets: u64, epochs: u64) -> TelemetrySnapshot {
         let mut snap = TelemetrySnapshot::default();
         snap.counters.insert("drift.resolves".into(), resolves);
-        snap.counters
-            .insert("engine.overlay.resets".into(), resets);
+        snap.counters.insert("engine.overlay.resets".into(), resets);
         snap.counters.insert("drift.epochs".into(), epochs);
         snap
     }

@@ -57,7 +57,10 @@ pub fn discover(root: &Path) -> io::Result<Vec<(SourceFile, PathBuf)>> {
                     continue;
                 }
                 // The lint pass must not lint itself or its fixtures.
-                if path.strip_prefix(root).is_ok_and(|r| r == Path::new("crates/xtask")) {
+                if path
+                    .strip_prefix(root)
+                    .is_ok_and(|r| r == Path::new("crates/xtask"))
+                {
                     continue;
                 }
                 stack.push(path);

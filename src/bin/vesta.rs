@@ -13,6 +13,10 @@
 //!               writes the telemetry snapshot)
 //! vesta cluster --knowledge K.json --workload NAME     (type, nodes) extension
 //! vesta ground-truth --workload NAME [--objective ...] exhaustive oracle
+//! vesta serve --knowledge K.json [--addr HOST:PORT]    multi-tenant wire server
+//!             [--tenants a,b,c] [--journal-dir DIR]    (stdin: publish/metrics/quit)
+//! vesta client --addr HOST:PORT --workloads A,B,C      predict over vesta-wire/1
+//!              [--tenant NAME] [--metrics]
 //! ```
 
 use std::collections::HashMap;
@@ -36,6 +40,8 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&flags),
         "cluster" => cmd_cluster(&flags),
         "ground-truth" => cmd_ground_truth(&flags),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -82,7 +88,20 @@ commands:
   cluster       jointly select VM type and node count (--knowledge FILE,
                 --workload NAME, --objective time|budget|latency|throughput)
   ground-truth  exhaustive oracle ranking (--workload NAME, --objective,
-                --top N)";
+                --top N)
+  serve         run the multi-tenant prediction server (--knowledge FILE,
+                --addr HOST:PORT, default 127.0.0.1:7711; --tenants a,b,c
+                registers the snapshot under each name, default 'default';
+                --journal-dir DIR for per-tenant absorption journals).
+                Reads admin commands from stdin: 'publish <tenant>' drains
+                absorbed predictions into a new serving generation,
+                'metrics' prints the telemetry snapshot, 'quit' (or EOF)
+                shuts down cleanly
+  client        send predictions to a running server (--addr HOST:PORT,
+                --tenant NAME, --workloads A,B,C or --workload NAME;
+                supervision knobs as in batch mode: --deadline-ms N
+                --breaker-threshold N --max-in-flight N; --metrics also
+                fetches the server's vesta-telemetry/1 snapshot)";
 
 fn parse_flags(rest: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -443,23 +462,27 @@ fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), 
         return Err(format!("--batch file '{path}' names no workloads"));
     }
 
-    // Supervision knobs (all default off) plus the fault plan ride on the
-    // model config so every session spawned by the handle sees them.
+    // Supervision knobs (all default off) become a per-request
+    // `PredictOptions` override rather than a mutation of the trained
+    // model's config: the snapshot on disk is never edited to serve one
+    // batch.
     let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
         flags
             .get(key)
             .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{key} '{v}'")))
             .transpose()
     };
+    let mut options = PredictOptions::builder().supervised(true);
     if let Some(ms) = parse_u64("deadline-ms")? {
-        vesta.offline.config.supervisor.deadline_ms = ms;
+        options = options.deadline_ms(ms);
     }
     if let Some(n) = parse_u64("breaker-threshold")? {
-        vesta.offline.config.supervisor.breaker_threshold = n as u32;
+        options = options.breaker_threshold(n as u32);
     }
     if let Some(n) = parse_u64("max-in-flight")? {
-        vesta.offline.config.supervisor.max_in_flight = n as usize;
+        options = options.max_in_flight(n as usize);
     }
+    let options = options.build().map_err(|e| e.to_string())?;
     let mut plan = fault_plan_of(flags)?;
     if let Some(dyn_plan) = dynamic_plan_of(flags)? {
         let epoch = drift_epoch_of(flags)?;
@@ -490,8 +513,9 @@ fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), 
     }
     // vesta-lint: allow(wallclock-in-core, reason = "CLI status line reporting how long the batch took on this host; never feeds model state")
     let started = std::time::Instant::now();
-    let outcomes = knowledge.predict_batch_supervised(&workloads);
+    let response = knowledge.handle(PredictRequest::new(workloads.clone()).with_options(options));
     let elapsed = started.elapsed();
+    let outcomes = response.outcomes;
 
     println!(
         "{:<20} {:<9} {:<16} {:>10} {:>6} {:>9}",
@@ -534,7 +558,9 @@ fn cmd_predict_batch(flags: &HashMap<String, String>, path: &str) -> Result<(), 
     }
     let absorbed = knowledge.absorb_pending();
     let stats = knowledge.cache_stats();
-    let report = knowledge.supervisor_report();
+    // The response carries the report for whichever supervisor served the
+    // batch — the handle's own, or the ephemeral one a knob override built.
+    let report = response.report;
     let secs = elapsed.as_secs_f64().max(1e-9);
     println!(
         "\n{} requests in {:.2}s ({:.1} req/s), {} simulated runs",
@@ -624,4 +650,190 @@ fn cmd_ground_truth(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `vesta serve`: load one knowledge snapshot, register it under each
+/// requested tenant id and accept `vesta-wire/1` connections until stdin
+/// closes. Stdin doubles as the admin channel so a drain-and-swap publish
+/// can be driven without another socket.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let vesta = load(flags)?;
+    let snapshot_donor = vesta.into_knowledge().map_err(|e| e.to_string())?;
+    let tenants: Vec<String> = flags
+        .get("tenants")
+        .map(String::as_str)
+        .unwrap_or("default")
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect();
+    if tenants.is_empty() {
+        return Err("--tenants names no tenants".to_string());
+    }
+    let journal_dir = flags
+        .get("journal-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7711".to_string());
+
+    let mut server = Server::start(ServerConfig {
+        addr,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    for tenant in &tenants {
+        // Every tenant gets its own handle rebuilt from the shared
+        // snapshot, so one tenant's absorbed predictions never leak into
+        // another's model.
+        let knowledge = vesta_suite::core::Knowledge::from_snapshot(
+            snapshot_donor.to_snapshot(),
+            snapshot_donor.catalog().clone(),
+        )
+        .map_err(|e| e.to_string())?;
+        let journal = journal_dir.join(format!("vesta-served-{tenant}.journal"));
+        server
+            .add_tenant(tenant, knowledge, &journal)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "tenant '{tenant}' registered (journal: {})",
+            journal.display()
+        );
+    }
+    println!("vesta-served listening on {}", server.local_addr());
+    println!("admin: 'publish <tenant>' | 'metrics' | 'quit'");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+            Ok(0) => break, // EOF: drain and exit.
+            Ok(_) => {}
+            Err(e) => return Err(format!("read admin command: {e}")),
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [] => {}
+            ["quit"] | ["exit"] => break,
+            ["metrics"] => println!("{}", server.registry().snapshot().to_json()),
+            ["publish", tenant] => match server.publish(tenant) {
+                Ok(generation) => println!("tenant '{tenant}' now serving generation {generation}"),
+                Err(e) => eprintln!("publish '{tenant}': {e}"),
+            },
+            other => eprintln!("unknown admin command {other:?}"),
+        }
+    }
+    server.shutdown();
+    println!("server drained and stopped");
+    Ok(())
+}
+
+/// `vesta client`: one connection, one PREDICT (and optionally one
+/// METRICS) against a running `vesta serve`.
+fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").ok_or("missing --addr HOST:PORT")?;
+    let tenant = flags.get("tenant").map(String::as_str).unwrap_or("default");
+    let spec = flags
+        .get("workloads")
+        .or_else(|| flags.get("workload"))
+        .ok_or("missing --workloads A,B,C (or --workload NAME)")?;
+    let workloads: Vec<&str> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|w| !w.is_empty())
+        .collect();
+    if workloads.is_empty() {
+        return Err("--workloads names no workloads".to_string());
+    }
+
+    let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{key} '{v}'")))
+            .transpose()
+    };
+    let mut options = PredictOptions::builder().supervised(true);
+    if let Some(ms) = parse_u64("deadline-ms")? {
+        options = options.deadline_ms(ms);
+    }
+    if let Some(n) = parse_u64("breaker-threshold")? {
+        options = options.breaker_threshold(n as u32);
+    }
+    if let Some(n) = parse_u64("max-in-flight")? {
+        options = options.max_in_flight(n as usize);
+    }
+    let options = options.build().map_err(|e| e.to_string())?;
+
+    let mut client = VestaClient::connect(addr).map_err(|e| e.to_string())?;
+    // vesta-lint: allow(wallclock-in-core, reason = "CLI status line timing the remote call on this host; never feeds model state")
+    let started = std::time::Instant::now();
+    let reply = client
+        .predict(tenant, &workloads, options)
+        .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+
+    println!(
+        "tenant '{tenant}' @ generation {} ({} outcome(s) in {:.2}s)",
+        reply.generation,
+        reply.outcomes.len(),
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "{:<20} {:<9} {:>8} {:>10} {:>6} {:>9}",
+        "workload", "outcome", "best VM", "pred (s)", "refs", "converged"
+    );
+    let mut failures = 0usize;
+    for (name, outcome) in workloads.iter().zip(&reply.outcomes) {
+        match outcome {
+            vesta_suite::served::WireOutcome::Ok(p)
+            | vesta_suite::served::WireOutcome::Degraded { prediction: p, .. } => {
+                println!(
+                    "{:<20} {:<9} {:>8} {:>10.0} {:>6} {:>9}",
+                    name,
+                    outcome.label(),
+                    p.best_vm,
+                    p.predicted_time_s,
+                    p.reference_vms,
+                    p.converged
+                );
+                if let vesta_suite::served::WireOutcome::Degraded { reason, .. } = outcome {
+                    println!("{:<20} ^ degraded: {reason}", "");
+                }
+            }
+            vesta_suite::served::WireOutcome::Shed => {
+                println!("{:<20} {:<9} (admission control)", name, outcome.label());
+            }
+            vesta_suite::served::WireOutcome::Failed { error, .. } => {
+                println!("{:<20} {:<9} {error}", name, outcome.label());
+                failures += 1;
+            }
+        }
+    }
+    let report = reply.report;
+    println!(
+        "\noutcomes: {} ok, {} degraded, {} shed, {} failed ({} deadline); breakers: {} trip(s), \
+         {} open",
+        report.ok,
+        report.degraded,
+        report.shed,
+        report.failed,
+        report.deadline_hits,
+        report.breaker_trips,
+        report.open_breakers
+    );
+    if flags.contains_key("metrics") {
+        println!("\n{}", client.metrics().map_err(|e| e.to_string())?);
+    }
+    if failures == 0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "{failures} of {} request(s) failed",
+            reply.outcomes.len()
+        ))
+    }
 }

@@ -17,6 +17,8 @@
 //! * [`baselines`] — PARIS, Ernest and a CherryPick-style searcher.
 //! * [`obs`] — zero-dependency telemetry: metrics registry, structured
 //!   spans and the stable `vesta-telemetry/1` snapshot schema.
+//! * [`served`] — the multi-tenant prediction server and client behind
+//!   the `vesta-wire/1` framed TCP protocol.
 //!
 //! ```
 //! use vesta_suite::prelude::*;
@@ -32,8 +34,9 @@
 //! ```
 //!
 //! For many requests against one trained model, convert the façade into a
-//! shareable [`prelude::Knowledge`] handle and fan out with
-//! `predict_batch` (bit-identical to a sequential loop):
+//! shareable [`prelude::Knowledge`] handle and serve a
+//! [`prelude::PredictRequest`] through `Knowledge::handle` (the parallel
+//! fan-out is bit-identical to a sequential loop):
 //!
 //! ```
 //! use vesta_suite::prelude::*;
@@ -47,8 +50,8 @@
 //!     .into_knowledge()
 //!     .unwrap();
 //! let targets: Vec<Workload> = suite.target().into_iter().take(2).cloned().collect();
-//! let predictions = knowledge.predict_batch(&targets).unwrap();
-//! assert_eq!(predictions.len(), targets.len());
+//! let response = knowledge.handle(PredictRequest::new(targets.clone()));
+//! assert_eq!(response.outcomes.len(), targets.len());
 //! ```
 
 pub use vesta_baselines as baselines;
@@ -57,6 +60,7 @@ pub use vesta_core as core;
 pub use vesta_graph as graph;
 pub use vesta_ml as ml;
 pub use vesta_obs as obs;
+pub use vesta_served as served;
 pub use vesta_workloads as workloads;
 
 /// One-stop imports for the common flow.
@@ -70,10 +74,11 @@ pub mod prelude {
     };
     pub use vesta_core::{
         ground_truth_ranking, selection_error_pct, AbsorptionJournal, Deadline, Knowledge, Outcome,
-        Prediction, PredictionSession, RequestOutcome, SessionOverlay, Supervisor,
-        SupervisorConfig, SupervisorReport, Vesta, VestaConfig, VestaConfigBuilder,
-        WorkloadFingerprint,
+        PredictOptions, PredictOptionsBuilder, PredictRequest, PredictResponse, Prediction,
+        PredictionSession, RequestOutcome, SessionOverlay, Supervisor, SupervisorConfig,
+        SupervisorReport, Vesta, VestaConfig, VestaConfigBuilder, WorkloadFingerprint,
     };
     pub use vesta_graph::{Label, LabelSpace};
+    pub use vesta_served::{Server, ServerConfig, ServerError, VestaClient};
     pub use vesta_workloads::{AlgorithmKind, DatasetScale, Framework, Suite, Workload};
 }

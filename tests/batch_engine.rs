@@ -3,6 +3,11 @@
 //! permutations, Knowledge snapshot round-trips including the absorption
 //! overlay, and run-cache accounting.
 
+// The deprecated `predict*` shims are exercised deliberately: each one
+// now delegates to `Knowledge::handle`, so these tests double as
+// delegation coverage for the legacy surface.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -255,6 +260,90 @@ fn supervised_batch_with_supervision_off_is_bit_identical() {
     assert_eq!(report.ok, workloads.len() as u64);
     assert_eq!(report.shed + report.failed + report.degraded, 0);
     assert_eq!(report.breaker_trips, 0);
+}
+
+#[test]
+fn all_five_legacy_shims_are_bit_identical_to_handle() {
+    // The acceptance bar of the `handle` API redesign: every deprecated
+    // `predict*` entry point is a pure delegation shim, so its output is
+    // bit-for-bit what the equivalent `PredictRequest` produces.
+    let (suite, knowledge) = shared();
+    let workloads: Vec<Workload> = suite.target().into_iter().take(4).cloned().collect();
+    let single = &workloads[0];
+
+    let same_prediction = |a: &Prediction, b: &Prediction| {
+        assert_eq!(a.best_vm, b.best_vm);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.observed, b.observed);
+        assert_eq!(a.predicted_times.len(), b.predicted_times.len());
+        for ((va, ta), (vb, tb)) in a.predicted_times.iter().zip(&b.predicted_times) {
+            assert_eq!(va, vb);
+            assert_eq!(ta.to_bits(), tb.to_bits());
+        }
+    };
+    let same_outcomes = |a: &[RequestOutcome], b: &[RequestOutcome]| {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            match (&x.outcome, &y.outcome) {
+                (Outcome::Ok(p), Outcome::Ok(q)) => same_prediction(p, q),
+                (other_x, other_y) => assert_eq!(other_x.label(), other_y.label()),
+            }
+        }
+    };
+
+    // 1. predict == handle(single, sequential)
+    let options = PredictOptions::builder()
+        .sequential(true)
+        .build()
+        .expect("valid");
+    let via_handle = knowledge
+        .handle(PredictRequest::single(single.clone()).with_options(options.clone()))
+        .into_predictions()
+        .expect("handle serves");
+    let legacy = knowledge.predict(single).expect("legacy serves");
+    same_prediction(&legacy, &via_handle[0]);
+
+    // 2. predict_batch == handle(default options)
+    let via_handle = knowledge
+        .handle(PredictRequest::new(workloads.clone()))
+        .into_predictions()
+        .expect("handle serves");
+    let legacy = knowledge.predict_batch(&workloads).expect("legacy serves");
+    assert_eq!(legacy.len(), via_handle.len());
+    for (a, b) in legacy.iter().zip(&via_handle) {
+        same_prediction(a, b);
+    }
+
+    // 3. predict_sequential == handle(sequential)
+    let via_handle = knowledge
+        .handle(PredictRequest::new(workloads.clone()).with_options(options))
+        .into_predictions()
+        .expect("handle serves");
+    let legacy = knowledge
+        .predict_sequential(&workloads)
+        .expect("legacy serves");
+    for (a, b) in legacy.iter().zip(&via_handle) {
+        same_prediction(a, b);
+    }
+
+    // 4. predict_batch_supervised == handle(supervised)
+    let via_handle = knowledge
+        .handle(PredictRequest::new(workloads.clone()).with_options(PredictOptions::supervised()))
+        .outcomes;
+    let legacy = knowledge.predict_batch_supervised(&workloads);
+    same_outcomes(&legacy, &via_handle);
+
+    // 5. predict_sequential_supervised == handle(supervised + sequential)
+    let seq_supervised = PredictOptions::builder()
+        .supervised(true)
+        .sequential(true)
+        .build()
+        .expect("valid");
+    let via_handle = knowledge
+        .handle(PredictRequest::new(workloads.clone()).with_options(seq_supervised))
+        .outcomes;
+    let legacy = knowledge.predict_sequential_supervised(&workloads);
+    same_outcomes(&legacy, &via_handle);
 }
 
 #[test]

@@ -1,0 +1,241 @@
+//! End-to-end tests of the `vesta-served` wire server: client/server
+//! round-trips against a live TCP socket, typed error surfaces, HELLO
+//! version negotiation, the drain-and-swap publish protocol under
+//! concurrent load, and the `METRICS` verb's snapshot contract.
+
+use std::sync::OnceLock;
+
+use vesta_suite::prelude::*;
+use vesta_suite::served::wire::{self, FrameEvent, Request, Response, WIRE_VERSION};
+use vesta_suite::served::WireOutcome;
+
+/// Train once and share across tests — offline profiling dominates the
+/// wall clock, the serving layer itself is cheap.
+fn shared() -> &'static (Suite, Knowledge) {
+    static SHARED: OnceLock<(Suite, Knowledge)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let catalog = Catalog::aws_ec2();
+        let suite = Suite::paper();
+        let sources: Vec<&Workload> = suite.source_training().into_iter().take(4).collect();
+        let cfg = VestaConfig::fast()
+            .to_builder()
+            .offline_reps(1)
+            .build()
+            .expect("serving test config is valid");
+        let knowledge = Knowledge::train(catalog, &sources, cfg).expect("offline training");
+        (suite, knowledge)
+    })
+}
+
+/// A fresh handle restored from the shared snapshot, so tests never
+/// cross-contaminate each other's absorption state.
+fn fresh_knowledge() -> Knowledge {
+    let (_, knowledge) = shared();
+    Knowledge::from_snapshot(knowledge.to_snapshot(), knowledge.catalog().clone())
+        .expect("snapshot restores")
+}
+
+fn journal_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "vesta-serving-test-{}-{tag}.journal",
+        std::process::id()
+    ))
+}
+
+/// Target workload names for requests.
+fn names(n: usize) -> Vec<String> {
+    let (suite, _) = shared();
+    suite
+        .target()
+        .into_iter()
+        .take(n)
+        .map(|w| w.name().to_string())
+        .collect()
+}
+
+#[test]
+fn wire_round_trip_matches_the_local_handle_bit_exactly() {
+    let server = Server::start(ServerConfig::default()).expect("server starts");
+    server
+        .add_tenant("t", fresh_knowledge(), journal_path("roundtrip"))
+        .expect("tenant registers");
+
+    let local = fresh_knowledge();
+    let request_names = names(3);
+    let refs: Vec<&str> = request_names.iter().map(String::as_str).collect();
+
+    let mut client = VestaClient::connect(server.local_addr()).expect("client connects");
+    let reply = client
+        .predict("t", &refs, PredictOptions::supervised())
+        .expect("predict round-trips");
+    assert_eq!(reply.generation, 0);
+    assert_eq!(reply.outcomes.len(), refs.len());
+
+    let (suite, _) = shared();
+    let workloads: Vec<Workload> = request_names
+        .iter()
+        .map(|n| suite.by_name(n).expect("known workload").clone())
+        .collect();
+    let local_response =
+        local.handle(PredictRequest::new(workloads).with_options(PredictOptions::supervised()));
+    for (wire_outcome, local_outcome) in reply.outcomes.iter().zip(&local_response.outcomes) {
+        let p = match wire_outcome {
+            WireOutcome::Ok(p) => p,
+            other => panic!("unsupervised-knob request did not serve: {other:?}"),
+        };
+        let q = local_outcome
+            .outcome
+            .prediction()
+            .expect("local handle serves");
+        assert_eq!(p.best_vm as usize, q.best_vm.index());
+        // The serving layer must not perturb the prediction: the wire
+        // carries the exact f64 the engine computed.
+        assert_eq!(
+            p.predicted_time_s.to_bits(),
+            q.best_predicted_time().to_bits()
+        );
+        assert_eq!(p.reference_vms as usize, q.reference_vms);
+        assert_eq!(p.converged, q.converged);
+    }
+}
+
+#[test]
+fn unknown_tenant_and_workload_are_typed_errors() {
+    let server = Server::start(ServerConfig::default()).expect("server starts");
+    server
+        .add_tenant("known", fresh_knowledge(), journal_path("typed-errors"))
+        .expect("tenant registers");
+    let mut client = VestaClient::connect(server.local_addr()).expect("client connects");
+
+    let request_names = names(1);
+    let refs: Vec<&str> = request_names.iter().map(String::as_str).collect();
+    match client.predict("ghost", &refs, PredictOptions::default()) {
+        Err(ServerError::UnknownTenant(t)) => assert_eq!(t, "ghost"),
+        other => panic!("expected UnknownTenant, got {other:?}"),
+    }
+    match client.predict("known", &["no-such-workload"], PredictOptions::default()) {
+        Err(ServerError::UnknownWorkload(w)) => assert_eq!(w, "no-such-workload"),
+        other => panic!("expected UnknownWorkload, got {other:?}"),
+    }
+    // The connection survives typed errors: a valid request still serves.
+    let reply = client
+        .predict("known", &refs, PredictOptions::default())
+        .expect("connection still serves after errors");
+    assert_eq!(reply.outcomes.len(), 1);
+}
+
+#[test]
+fn hello_version_negotiation_rejects_a_future_client() {
+    let server = Server::start(ServerConfig::default()).expect("server starts");
+    server
+        .add_tenant("t", fresh_knowledge(), journal_path("version"))
+        .expect("tenant registers");
+
+    // Speak the framing by hand so the HELLO can claim a version the
+    // in-crate client never would.
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connects");
+    let frame = wire::encode_request(&Request::Hello {
+        version: WIRE_VERSION + 7,
+    });
+    wire::write_frame(&mut stream, &frame).expect("frame writes");
+    let payload = match wire::read_frame(&mut stream).expect("reply arrives") {
+        FrameEvent::Frame(p) => p,
+        other => panic!("expected a reply frame, got {other:?}"),
+    };
+    match wire::decode_response(&payload).expect("reply decodes") {
+        Response::Error(ServerError::UnsupportedVersion {
+            requested,
+            supported,
+        }) => {
+            assert_eq!(requested, WIRE_VERSION + 7);
+            assert_eq!(supported, WIRE_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    // The server hangs up after refusing the version.
+    match wire::read_frame(&mut stream) {
+        Ok(FrameEvent::Closed) => {}
+        other => panic!("expected the server to close, got {other:?}"),
+    }
+}
+
+#[test]
+fn publish_swaps_generations_atomically_under_live_load() {
+    let server = Server::start(ServerConfig::default()).expect("server starts");
+    server
+        .add_tenant("t", fresh_knowledge(), journal_path("drain"))
+        .expect("tenant registers");
+    let addr = server.local_addr();
+    let request_names = names(2);
+
+    // A client hammering the tenant while the main thread publishes
+    // twice. The drain protocol promise: every request is served by the
+    // old handle or the new one — generations only move forward, and no
+    // request fails because a publish was in flight.
+    let observed: Vec<u64> = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            let refs: Vec<&str> = request_names.iter().map(String::as_str).collect();
+            let mut client = VestaClient::connect(addr).expect("client connects");
+            let mut generations = Vec::new();
+            for _ in 0..12 {
+                let reply = client
+                    .predict("t", &refs, PredictOptions::supervised())
+                    .expect("predict round-trips during publish");
+                for outcome in &reply.outcomes {
+                    assert_ne!(outcome.label(), "failed", "request failed mid-publish");
+                }
+                generations.push(reply.generation);
+            }
+            generations
+        });
+        for expected in 1..=2u64 {
+            // Absorbed predictions from the live traffic may or may not
+            // have queued yet; the publish must succeed either way.
+            let generation = server.publish("t").expect("publish succeeds");
+            assert_eq!(generation, expected);
+        }
+        worker.join().expect("worker finishes")
+    });
+
+    assert!(
+        observed.windows(2).all(|w| w[0] <= w[1]),
+        "generations went backwards: {observed:?}"
+    );
+    assert!(
+        observed.iter().all(|g| *g <= 2),
+        "served an unpublished generation: {observed:?}"
+    );
+    // After both publishes, a fresh request sees the final generation.
+    let refs: Vec<&str> = request_names.iter().map(String::as_str).collect();
+    let mut client = VestaClient::connect(addr).expect("client connects");
+    let reply = client
+        .predict("t", &refs, PredictOptions::supervised())
+        .expect("predict round-trips after publish");
+    assert_eq!(reply.generation, 2);
+}
+
+#[test]
+fn metrics_verb_serves_the_telemetry_snapshot() {
+    let server = Server::start(ServerConfig::default()).expect("server starts");
+    server
+        .add_tenant("t", fresh_knowledge(), journal_path("metrics"))
+        .expect("tenant registers");
+    let mut client = VestaClient::connect(server.local_addr()).expect("client connects");
+
+    let request_names = names(2);
+    let refs: Vec<&str> = request_names.iter().map(String::as_str).collect();
+    client
+        .predict("t", &refs, PredictOptions::supervised())
+        .expect("predict round-trips");
+
+    let json = client.metrics().expect("METRICS round-trips");
+    let snapshot = vesta_suite::obs::TelemetrySnapshot::from_json(&json).expect("snapshot parses");
+    assert!(snapshot.counter("served.connections") >= 1);
+    assert!(snapshot.counter("served.requests") >= 1);
+    assert_eq!(snapshot.counter("served.workloads"), refs.len() as u64);
+    assert_eq!(
+        snapshot.counter("served.outcome.ok"),
+        snapshot.counter("served.tenant.t.ok"),
+        "per-tenant and aggregate outcome counters diverged"
+    );
+}

@@ -3,6 +3,11 @@
 //! reference draws, admission-control shedding, and — the crash story —
 //! journal-backed overlay recovery at arbitrary truncation points.
 
+// The deprecated `predict*` shims are exercised deliberately: each one
+// now delegates to `Knowledge::handle`, so these tests double as
+// delegation coverage for the legacy surface.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use std::sync::OnceLock;
 

@@ -3,6 +3,11 @@
 //! leaves predictions bit-identical, and the `vesta-telemetry/1` snapshot
 //! schema round-trips to a zero delta.
 
+// The deprecated `predict*` shims are exercised deliberately: each one
+// now delegates to `Knowledge::handle`, so these tests double as
+// delegation coverage for the legacy surface.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 
@@ -71,7 +76,9 @@ fn ops(seed: u64, len: usize) -> Vec<Op> {
 fn apply(registry: &MetricsRegistry, op: Op) {
     match op {
         Op::Count(i, v) => registry.counter(COUNTERS[i]).add(v),
-        Op::Record(i, v) => registry.histogram_with(HISTOGRAMS[i], &[1, 8, 64, 512]).record(v),
+        Op::Record(i, v) => registry
+            .histogram_with(HISTOGRAMS[i], &[1, 8, 64, 512])
+            .record(v),
     }
 }
 
@@ -180,6 +187,9 @@ fn snapshot_round_trips_through_json_to_zero_delta() {
     let json = snap.to_json();
     let parsed = TelemetrySnapshot::from_json(&json).expect("snapshot parses back");
     assert_eq!(parsed, snap);
-    assert!(parsed.delta(&snap).is_zero(), "round-trip delta must be zero");
+    assert!(
+        parsed.delta(&snap).is_zero(),
+        "round-trip delta must be zero"
+    );
     assert_eq!(parsed.to_json(), json, "serialization is byte-stable");
 }
