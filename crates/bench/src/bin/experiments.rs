@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! experiments [--quick] [--chaos] [--drift] [--throughput] [--serving]
-//!             [--telemetry]
+//!             [--serving-chaos] [--telemetry]
 //!             [all | table1 | table3 | table4 | table5 | fig1 |
 //!              fig2 | fig3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 |
 //!              fig13 | ablations | summary | learning | flink | resilience |
-//!              throughput | serving | chaos | chaos-dynamic | drift]...
+//!              throughput | serving | serving-chaos | chaos | chaos-dynamic |
+//!              drift]...
 //! ```
 //!
 //! `--chaos` / `--throughput` / `--serving` append the corresponding
 //! extension experiment to whatever else runs; `--drift` appends the
 //! dynamic-cloud pair (`drift` + `chaos-dynamic`). `--serving` starts a
 //! live `vesta-served` TCP server on a loopback port and drives it with
-//! the open-loop load generator. `--telemetry` attaches a shared metrics
+//! the open-loop load generator. `--serving-chaos` drives that server
+//! through the seeded `ChaosProxy` instead, across escalating network
+//! fault scenarios (lossy link, stall storm, overload shed, drain under
+//! load), asserting zero lost-or-duplicated absorptions throughout. `--telemetry` attaches a shared metrics
 //! registry to every serving handle the experiments build and writes the
 //! aggregate snapshot to `results/TELEMETRY.json`. Results print as
 //! aligned tables and are dumped to `results/<id>.json`.
@@ -28,6 +32,7 @@ fn main() {
     let drift = args.iter().any(|a| a == "--drift");
     let throughput = args.iter().any(|a| a == "--throughput");
     let serving = args.iter().any(|a| a == "--serving");
+    let serving_chaos = args.iter().any(|a| a == "--serving-chaos");
     let telemetry = args.iter().any(|a| a == "--telemetry");
     let mut ids: Vec<String> = args
         .into_iter()
@@ -37,6 +42,7 @@ fn main() {
                 && a != "--drift"
                 && a != "--throughput"
                 && a != "--serving"
+                && a != "--serving-chaos"
                 && a != "--telemetry"
         })
         .collect();
@@ -55,6 +61,9 @@ fn main() {
     }
     if serving && !ids.iter().any(|a| a == "serving") {
         ids.push("serving".to_string());
+    }
+    if serving_chaos && !ids.iter().any(|a| a == "serving-chaos") {
+        ids.push("serving-chaos".to_string());
     }
     if ids.is_empty() {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();

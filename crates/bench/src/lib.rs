@@ -41,6 +41,7 @@ pub mod learning;
 pub mod report;
 pub mod resilience;
 pub mod serving;
+pub mod serving_chaos;
 pub mod summary;
 pub mod tables;
 pub mod throughput;
@@ -78,6 +79,7 @@ pub fn run_experiment(ctx: &Context, id: &str) -> Option<ExperimentReport> {
         "resilience" => resilience::resilience(ctx),
         "throughput" => throughput::throughput(ctx),
         "serving" => serving::serving(ctx),
+        "serving-chaos" => serving_chaos::serving_chaos(ctx),
         "chaos" => chaos::chaos(ctx),
         "chaos-dynamic" => chaos::dynamic_chaos(ctx),
         "drift" => drift::drift(ctx),

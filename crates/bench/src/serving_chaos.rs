@@ -1,0 +1,630 @@
+//! Serving chaos harness (`BENCH_serving_chaos`): escalating network
+//! fault scenarios against a live [`vesta_served::Server`], driven
+//! through the seeded [`vesta_served::ChaosProxy`], with the resilient
+//! client's retry budget doing the surviving.
+//!
+//! Every scenario asserts the two invariants the resilience layer
+//! exists for:
+//!
+//! 1. **Zero lost-or-duplicated absorptions.** A workload the client saw
+//!    served (`ok`/`degraded`) must appear in the tenant's published
+//!    overlay exactly once. The server absorbing a prediction whose
+//!    reply the client never received (timeout, then retry) is fine —
+//!    the engine's workload-id dedupe folds the retry into the same
+//!    single absorption. Duplicates in the overlay are never fine.
+//! 2. **Bounded tail latency under chaos.** Per-request wall time —
+//!    retries, backoffs and reconnects included — stays under a
+//!    generous per-scenario ceiling, so the retry loop provably
+//!    terminates instead of spinning.
+//!
+//! The opening scenario is the transparency proof: a client behind a
+//! [`ChaosPlan::none`] proxy must receive replies byte-equal to a
+//! direct connection's (the codec's `PartialEq` on predictions is
+//! bit-exact over `f64`), with zero injections recorded.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use vesta_core::{Knowledge, PredictOptions};
+use vesta_served::{
+    ChaosPlan, ChaosProxy, ClientConfig, Server, ServerConfig, ServerError, VestaClient,
+};
+
+use crate::context::{Context, Fidelity};
+use crate::report::ExperimentReport;
+
+/// Per-request wall-time ceiling (ms) under every chaos scenario: wide
+/// enough for a full retry ladder on a loaded CI core, tight enough to
+/// prove the budget terminates.
+const P99_CEILING_MS: f64 = 30_000.0;
+
+/// One completed (or abandoned) request as a load worker saw it.
+struct Sample {
+    name: String,
+    label: &'static str,
+    latency_ms: f64,
+}
+
+/// What one scenario's load phase produced.
+struct LoadOutcome {
+    samples: Vec<Sample>,
+    /// Requests that exhausted the retry budget or died on a
+    /// deterministic error, with the rendered error.
+    failures: Vec<(String, String)>,
+}
+
+fn pctl(samples: &[f64], p: f64) -> f64 {
+    vesta_ml::stats::percentile(samples, p).unwrap_or(f64::NAN)
+}
+
+/// Fresh tenant knowledge for a scenario's server.
+fn tenant_knowledge(ctx: &Context) -> Knowledge {
+    let vesta = ctx.vesta();
+    Knowledge::from_snapshot(vesta.offline.to_snapshot(), ctx.catalog.clone())
+        .expect("snapshot restores")
+}
+
+fn journal_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "vesta-bench-serving-chaos-{}-{tag}.journal",
+        std::process::id()
+    ))
+}
+
+/// Closed-loop load: `workers` threads pull the next request index off a
+/// shared counter, each request served through its own resilient client
+/// (reconnects happen inside the retry loop). Requests cycle through
+/// `names`; failures are collected, not fatal — the audit decides what
+/// they mean.
+fn run_load(
+    addr: std::net::SocketAddr,
+    client_config: &ClientConfig,
+    tenant: &str,
+    names: &[String],
+    total: usize,
+    workers: usize,
+) -> LoadOutcome {
+    let clock = crate::Stopwatch::start();
+    let next = AtomicUsize::new(0);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(total));
+    let failures: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut client: Option<VestaClient> = None;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let name = &names[i % names.len()];
+                    let started_s = clock.elapsed_s();
+                    // (Re-)establish the client lazily so a connect
+                    // refusal burns this request, not the whole worker.
+                    if client.is_none() {
+                        match VestaClient::connect_with(addr, client_config.clone()) {
+                            Ok(c) => client = Some(c),
+                            Err(e) => {
+                                failures.lock().push((name.clone(), e.to_string()));
+                                continue;
+                            }
+                        }
+                    }
+                    let outcome = client
+                        .as_mut()
+                        .expect("client just ensured")
+                        .predict(tenant, &[name], PredictOptions::supervised());
+                    let latency_ms = (clock.elapsed_s() - started_s) * 1e3;
+                    match outcome {
+                        Ok(reply) => {
+                            assert_eq!(reply.outcomes.len(), 1, "one outcome per request");
+                            samples.lock().push(Sample {
+                                name: name.clone(),
+                                label: reply.outcomes[0].label(),
+                                latency_ms,
+                            });
+                        }
+                        Err(e) => {
+                            // The retry budget is spent (or the error is
+                            // deterministic); drop the client so the next
+                            // request starts on a fresh connection.
+                            client = None;
+                            failures.lock().push((name.clone(), e.to_string()));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    LoadOutcome {
+        samples: samples.into_inner(),
+        failures: failures.into_inner(),
+    }
+}
+
+/// The zero-lost / zero-duplicated audit for one tenant. `publish` the
+/// queued absorptions first so the overlay is the complete record, then
+/// check the client-served set against it and replay the journal from
+/// disk to prove crash recovery reproduces the live state.
+fn audit_absorptions(
+    ctx: &Context,
+    server: &Server,
+    tenant: &str,
+    outcome: &LoadOutcome,
+    scenario: &str,
+) -> (usize, usize) {
+    let absorbed = server
+        .tenant_absorbed_ids(tenant)
+        .expect("tenant registered");
+    let mut seen = std::collections::BTreeSet::new();
+    for id in &absorbed {
+        assert!(
+            seen.insert(*id),
+            "[{scenario}] workload id {id} absorbed twice for tenant '{tenant}'"
+        );
+    }
+    let mut lost = 0usize;
+    let mut served_unique = std::collections::BTreeSet::new();
+    for s in &outcome.samples {
+        if s.label != "ok" && s.label != "degraded" {
+            continue;
+        }
+        let id = ctx
+            .suite
+            .by_name(&s.name)
+            .expect("served workload exists in the suite")
+            .id;
+        served_unique.insert(id);
+        if !seen.contains(&id) {
+            lost += 1;
+        }
+    }
+    assert_eq!(
+        lost, 0,
+        "[{scenario}] {lost} served workload(s) missing from tenant '{tenant}' absorptions"
+    );
+    assert!(
+        server.check_recovery(tenant).expect("recovery replays"),
+        "[{scenario}] journal replay diverged from live state for tenant '{tenant}'"
+    );
+    (served_unique.len(), absorbed.len())
+}
+
+fn assert_p99_bounded(samples: &[Sample], scenario: &str) -> (f64, f64) {
+    let latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    let (p50, p99) = (pctl(&latencies, 50.0), pctl(&latencies, 99.0));
+    assert!(
+        latencies.is_empty() || p99 < P99_CEILING_MS,
+        "[{scenario}] p99 {p99:.0} ms breaches the {P99_CEILING_MS:.0} ms chaos ceiling"
+    );
+    (p50, p99)
+}
+
+/// The `BENCH_serving_chaos` experiment.
+pub fn serving_chaos(ctx: &Context) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "BENCH_serving_chaos",
+        "Wire serving path under seeded network chaos: transparency, lossy links, \
+         stall storms, overload shed, drain under load",
+        &[
+            "scenario", "requests", "served", "failed", "p50 ms", "p99 ms", "injections",
+            "absorbed",
+        ],
+    );
+    let quick = matches!(ctx.fidelity, Fidelity::Quick);
+    let names: Vec<String> = ctx
+        .suite
+        .target()
+        .into_iter()
+        .map(|w| w.name().to_string())
+        .collect();
+    assert!(!names.is_empty(), "target suite is non-empty");
+
+    bit_identity(ctx, &names, &mut report, quick);
+    lossy_network(ctx, &names, &mut report, quick);
+    stall_storm(ctx, &names, &mut report, quick);
+    overload_shed(ctx, &names, &mut report, quick);
+    drain_under_load(ctx, &names, &mut report, quick);
+
+    let scenarios: Vec<serde_json::Value> = report
+        .rows
+        .iter()
+        .map(|row| {
+            serde_json::json!({
+                "scenario": row[0],
+                "requests": row[1],
+                "served": row[2],
+                "failed": row[3],
+                "p50_ms": row[4],
+                "p99_ms": row[5],
+                "injections": row[6],
+                "absorbed": row[7],
+            })
+        })
+        .collect();
+    report.series = serde_json::json!({
+        "p99_ceiling_ms": P99_CEILING_MS,
+        "invariants": {
+            "lost_absorptions": 0,
+            "duplicated_absorptions": 0,
+            "none_plan_bit_identical": true,
+            "journal_replay_bit_identical": true,
+        },
+        "scenarios": scenarios,
+    });
+    report
+}
+
+/// Scenario 0 — the transparency proof: `ChaosPlan::none()` between
+/// client and server must be invisible. Replies via the proxy are
+/// compared for *equality* (bit-exact on predicted times) against the
+/// direct connection's, and the proxy must record zero injections.
+fn bit_identity(ctx: &Context, names: &[String], report: &mut ExperimentReport, quick: bool) {
+    let server = Server::start(ServerConfig::default()).expect("server binds");
+    server
+        .add_tenant("alpha", tenant_knowledge(ctx), journal_path("bitid"))
+        .expect("tenant registers");
+    let proxy =
+        ChaosProxy::start(server.local_addr(), ChaosPlan::none()).expect("none() proxy starts");
+
+    let requests = if quick { 4 } else { 8 };
+    let mut direct = VestaClient::connect(server.local_addr()).expect("direct client connects");
+    let mut proxied = VestaClient::connect(proxy.local_addr()).expect("proxied client connects");
+    for i in 0..requests {
+        let name = &names[i % names.len()];
+        let a = direct
+            .predict("alpha", &[name], PredictOptions::default())
+            .expect("direct predict");
+        let b = proxied
+            .predict("alpha", &[name], PredictOptions::default())
+            .expect("proxied predict");
+        assert_eq!(
+            a, b,
+            "reply through a none() chaos proxy diverged from the direct connection"
+        );
+    }
+    let proxied_metrics = proxied.metrics().expect("proxied METRICS");
+    vesta_obs::TelemetrySnapshot::from_json(&proxied_metrics)
+        .expect("METRICS snapshot through a none() proxy parses as vesta-telemetry/1");
+    let stats = proxy.stats();
+    assert_eq!(
+        stats.injections(),
+        0,
+        "none() proxy recorded injections: it is not inert"
+    );
+    assert!(stats.forwarded_bytes() > 0, "proxy forwarded nothing");
+    report.row(vec![
+        "bit-identity".into(),
+        (2 * requests).to_string(),
+        (2 * requests).to_string(),
+        "0".into(),
+        "-".into(),
+        "-".into(),
+        "0".into(),
+        "-".into(),
+    ]);
+    report.note(format!(
+        "bit-identity: {requests} request pairs byte-equal through a none() proxy \
+         ({} bytes pumped, 0 injections)",
+        stats.forwarded_bytes()
+    ));
+}
+
+/// Scenario 1 — lossy link: torn writes, corruption, delays and resets
+/// all at once. Individual requests may exhaust their budget (corrupted
+/// *headers* can decode as deterministic refusals), but served work must
+/// absorb exactly once and the tail must stay bounded.
+fn lossy_network(ctx: &Context, names: &[String], report: &mut ExperimentReport, quick: bool) {
+    let server = Server::start(ServerConfig {
+        idle_poll: Duration::from_millis(25),
+        progress_timeout: Duration::from_millis(750),
+        ..ServerConfig::default()
+    })
+    .expect("server binds");
+    server
+        .add_tenant("alpha", tenant_knowledge(ctx), journal_path("lossy"))
+        .expect("tenant registers");
+    let plan = ChaosPlan {
+        seed: 42,
+        delay_rate: 0.15,
+        delay_ms_max: 5,
+        torn_rate: 0.35,
+        torn_chunk: 7,
+        corrupt_rate: 0.08,
+        reset_rate: 0.03,
+        ..ChaosPlan::none()
+    };
+    let proxy = ChaosProxy::start(server.local_addr(), plan).expect("lossy proxy starts");
+    let client_config = ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(3),
+        write_timeout: Duration::from_secs(3),
+        retries: 8,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(100),
+        retry_seed: 0xC4A05,
+    };
+    let (total, workers) = if quick { (10, 2) } else { (20, 3) };
+    let outcome = run_load(
+        proxy.local_addr(),
+        &client_config,
+        "alpha",
+        names,
+        total,
+        workers,
+    );
+    let stats = proxy.stats();
+    assert!(
+        stats.injections() > 0,
+        "lossy plan injected nothing — the scenario tested a clean network"
+    );
+    assert!(
+        !outcome.samples.is_empty(),
+        "no request survived the lossy link; retry budget is not doing its job"
+    );
+    let (p50, p99) = assert_p99_bounded(&outcome.samples, "lossy");
+    server.publish("alpha").expect("post-load publish");
+    let (served_unique, absorbed) = audit_absorptions(ctx, &server, "alpha", &outcome, "lossy");
+    report.row(vec![
+        "lossy-network".into(),
+        total.to_string(),
+        outcome.samples.len().to_string(),
+        outcome.failures.len().to_string(),
+        format!("{p50:.0}"),
+        format!("{p99:.0}"),
+        stats.injections().to_string(),
+        absorbed.to_string(),
+    ]);
+    report.note(format!(
+        "lossy: {}/{total} served through {} injections (torn {}, corrupt {}, resets {}, \
+         delays {}); {served_unique} unique served workloads all absorbed exactly once",
+        outcome.samples.len(),
+        stats.injections(),
+        stats.torn_chunks(),
+        stats.corrupted_bytes(),
+        stats.resets(),
+        stats.delays(),
+    ));
+}
+
+/// Scenario 2 — stall storm: mid-frame silences longer than both the
+/// client's read deadline and the server's progress timeout. The client
+/// must convert hangs into typed timeouts and retry through; the server
+/// must reap its side of stalled frames instead of leaking threads.
+fn stall_storm(ctx: &Context, names: &[String], report: &mut ExperimentReport, quick: bool) {
+    let server = Server::start(ServerConfig {
+        idle_poll: Duration::from_millis(25),
+        progress_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    })
+    .expect("server binds");
+    server
+        .add_tenant("alpha", tenant_knowledge(ctx), journal_path("stall"))
+        .expect("tenant registers");
+    let plan = ChaosPlan {
+        seed: 7,
+        stall_rate: 0.25,
+        stall_ms: 4_000,
+        ..ChaosPlan::none()
+    };
+    let proxy = ChaosProxy::start(server.local_addr(), plan).expect("stall proxy starts");
+    let client_config = ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(3),
+        write_timeout: Duration::from_secs(3),
+        retries: 6,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        retry_seed: 0x57A11,
+    };
+    let (total, workers) = if quick { (8, 2) } else { (14, 3) };
+    let outcome = run_load(
+        proxy.local_addr(),
+        &client_config,
+        "alpha",
+        names,
+        total,
+        workers,
+    );
+    let stats = proxy.stats();
+    assert!(stats.stalls() > 0, "stall storm produced no stalls");
+    assert!(
+        !outcome.samples.is_empty(),
+        "no request survived the stall storm"
+    );
+    let (p50, p99) = assert_p99_bounded(&outcome.samples, "stall");
+    let snapshot = server.registry().snapshot();
+    let stall_kills = snapshot.counter("served.stall_kills");
+    let connections = snapshot.counter("served.connections");
+    assert!(
+        connections as usize > workers || stall_kills > 0,
+        "stalls happened but neither client reconnects nor server stall kills are visible"
+    );
+    server.publish("alpha").expect("post-load publish");
+    let (served_unique, absorbed) = audit_absorptions(ctx, &server, "alpha", &outcome, "stall");
+    report.row(vec![
+        "stall-storm".into(),
+        total.to_string(),
+        outcome.samples.len().to_string(),
+        outcome.failures.len().to_string(),
+        format!("{p50:.0}"),
+        format!("{p99:.0}"),
+        stats.injections().to_string(),
+        absorbed.to_string(),
+    ]);
+    report.note(format!(
+        "stall storm: {} mid-frame stalls, {stall_kills} server stall kill(s), \
+         {connections} connection(s) for {workers} workers; {served_unique} unique served \
+         workloads absorbed exactly once",
+        stats.stalls(),
+    ));
+}
+
+/// Scenario 3 — overload shed: the connection bound turns away arrivals
+/// with a typed `Overloaded` reply, single-shot clients see exactly that
+/// error, and a retrying client wins a slot once one frees up.
+fn overload_shed(ctx: &Context, names: &[String], report: &mut ExperimentReport, _quick: bool) {
+    let server = Server::start(ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server binds");
+    server
+        .add_tenant("alpha", tenant_knowledge(ctx), journal_path("overload"))
+        .expect("tenant registers");
+    let addr = server.local_addr();
+
+    // Squat both slots with live connections.
+    let squat_a = VestaClient::connect(addr).expect("squatter A connects");
+    let squat_b = VestaClient::connect(addr).expect("squatter B connects");
+
+    // A single-shot client must observe the typed shed, not a hang.
+    let single_shot = ClientConfig {
+        retries: 0,
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(3),
+        ..ClientConfig::default()
+    };
+    let err = VestaClient::connect_with(addr, single_shot).expect_err("third connection is shed");
+    assert!(
+        matches!(err, ServerError::Overloaded { limit: 2, .. }),
+        "expected a typed Overloaded shed, got: {err}"
+    );
+
+    // A retrying client parks in its backoff loop until a slot frees.
+    let patient = ClientConfig {
+        retries: 20,
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(5),
+        backoff_base: Duration::from_millis(25),
+        backoff_cap: Duration::from_millis(100),
+        ..ClientConfig::default()
+    };
+    let name = names[0].clone();
+    let outcome = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            let mut client = VestaClient::connect_with(addr, patient)?;
+            client.predict("alpha", &[name.as_str()], PredictOptions::supervised())
+        });
+        std::thread::sleep(Duration::from_millis(400));
+        drop(squat_a);
+        drop(squat_b);
+        worker.join().expect("overload worker panicked")
+    });
+    let reply = outcome.expect("patient client wins a freed slot");
+    assert_eq!(reply.outcomes.len(), 1);
+    let snapshot = server.registry().snapshot();
+    let sheds = snapshot.counter("served.overloaded");
+    assert!(sheds >= 1, "no shed recorded despite a full server");
+    server.publish("alpha").expect("post-load publish");
+    let load = LoadOutcome {
+        samples: vec![Sample {
+            name: name.clone(),
+            label: reply.outcomes[0].label(),
+            latency_ms: 0.0,
+        }],
+        failures: Vec::new(),
+    };
+    let (_, absorbed) = audit_absorptions(ctx, &server, "alpha", &load, "overload");
+    report.row(vec![
+        "overload-shed".into(),
+        "2".into(),
+        "1".into(),
+        "1".into(),
+        "-".into(),
+        "-".into(),
+        "0".into(),
+        absorbed.to_string(),
+    ]);
+    report.note(format!(
+        "overload: bound 2, {sheds} typed shed(s); single-shot client saw Overloaded, \
+         patient client served after slots freed"
+    ));
+}
+
+/// Scenario 4 — drain under load: live traffic, then a graceful drain.
+/// In-flight requests finish, journals flush, and the on-disk journal
+/// replays to exactly the final published state.
+fn drain_under_load(ctx: &Context, names: &[String], report: &mut ExperimentReport, quick: bool) {
+    let mut server = Server::start(ServerConfig::default()).expect("server binds");
+    server
+        .add_tenant("gamma", tenant_knowledge(ctx), journal_path("drain"))
+        .expect("tenant registers");
+    let addr = server.local_addr();
+    let client_config = ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        retries: 1,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(20),
+        retry_seed: 0xD12A1,
+    };
+    let (total, workers) = if quick { (10, 2) } else { (18, 3) };
+    let drain_report = {
+        let server = &mut server;
+        let names = &names;
+        let client_config = &client_config;
+        std::thread::scope(move |scope| {
+            let load = scope.spawn(move || {
+                run_load(addr, client_config, "gamma", names, total, workers)
+            });
+            // Let some requests land, then drain while the rest are live.
+            std::thread::sleep(Duration::from_millis(if quick { 600 } else { 1200 }));
+            let drained = server.drain().expect("drain completes");
+            (drained, load.join().expect("load workers panicked"))
+        })
+    };
+    let (drained, outcome) = drain_report;
+    assert_eq!(drained.tenants_flushed, 1, "one tenant flushes on drain");
+    assert!(
+        !outcome.samples.is_empty(),
+        "drain fired before any request was served"
+    );
+    // Post-drain failures are expected (the server is gone); what is not
+    // acceptable is losing work that was acknowledged as served.
+    let (served_unique, absorbed) = audit_absorptions(ctx, &server, "gamma", &outcome, "drain");
+    let snapshot = server.registry().snapshot();
+    assert!(
+        snapshot.counter("served.drain.completed") >= 1,
+        "drain completion not recorded in telemetry"
+    );
+    let (p50, p99) = assert_p99_bounded(&outcome.samples, "drain");
+    report.row(vec![
+        "drain-under-load".into(),
+        total.to_string(),
+        outcome.samples.len().to_string(),
+        outcome.failures.len().to_string(),
+        format!("{p50:.0}"),
+        format!("{p99:.0}"),
+        "0".into(),
+        absorbed.to_string(),
+    ]);
+    report.note(format!(
+        "drain under load: {} served before/during drain, {} post-drain refusals, \
+         {} absorption(s) flushed by drain, journal replay bit-identical \
+         ({served_unique} unique served workloads audited)",
+        outcome.samples.len(),
+        outcome.failures.len(),
+        drained.absorptions_flushed,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_chaos_report_is_complete() {
+        let ctx = Context::new(Fidelity::Quick);
+        let r = serving_chaos(&ctx);
+        assert_eq!(r.id, "BENCH_serving_chaos");
+        assert_eq!(r.rows.len(), 5, "five scenarios, five rows");
+        assert!(r.notes.iter().any(|n| n.contains("bit-identity")));
+        assert!(r.notes.iter().any(|n| n.contains("lossy")));
+        assert!(r.notes.iter().any(|n| n.contains("stall storm")));
+        assert!(r.notes.iter().any(|n| n.contains("overload")));
+        assert!(r.notes.iter().any(|n| n.contains("drain under load")));
+    }
+}

@@ -635,6 +635,7 @@ impl Knowledge {
         drained.sort_by_key(|r| r.workload_id);
         let overlay = self.overlay.read();
         let mut fresh_ids: Vec<u64> = Vec::new();
+        let before = drained.len();
         drained.retain(|r| {
             let fresh =
                 !overlay.absorbed.contains(&r.workload_id) && !fresh_ids.contains(&r.workload_id);
@@ -643,6 +644,11 @@ impl Knowledge {
             }
             fresh
         });
+        // The dedupe that makes retried PREDICTs idempotent; count it so
+        // a chaos run can *see* the contract holding.
+        self.telemetry
+            .absorb_deduped
+            .add((before - drained.len()) as u64);
         drained
     }
 
@@ -658,6 +664,7 @@ impl Knowledge {
         let mut added = 0;
         for rec in records {
             if next.absorbed.contains(&rec.workload_id) {
+                self.telemetry.absorb_deduped.inc();
                 continue;
             }
             next.absorbed.push(rec.workload_id);

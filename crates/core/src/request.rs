@@ -163,6 +163,26 @@ impl PredictOptionsBuilder {
 
 /// A batch of workloads plus the options to serve them under — the one
 /// argument of [`crate::Knowledge::handle`].
+///
+/// ## Idempotency (the retry contract)
+///
+/// Serving a request twice is observationally equivalent to serving it
+/// once, on both axes that matter to a retrying caller:
+///
+/// * **Prediction** — `handle` is a pure function of the handle's
+///   published state; replaying the same batch against the same
+///   generation returns bit-identical outcomes.
+/// * **Absorption** — served predictions queue into the overlay via
+///   [`crate::Knowledge::absorb`], and the publish path dedupes the
+///   queue *by workload id* against both the published overlay and the
+///   in-flight batch. A prediction absorbed twice (a client timed out,
+///   never saw the reply, and resent the request) folds in exactly once;
+///   the skipped copy bumps the `engine.absorb.deduped` counter.
+///
+/// This is why the wire protocol needs no request ids: retrying a
+/// `PREDICT` on a fresh connection is safe by construction, and the
+/// `vesta-served` client's bounded-retry loop leans on exactly this
+/// guarantee.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PredictRequest {
     /// The workloads to predict, answered in this order.

@@ -45,6 +45,11 @@ pub struct EngineTelemetry {
     /// `engine.absorb.queued` / `.published` and the live queue depth.
     pub(crate) absorb_queued: Arc<Counter>,
     pub(crate) absorb_published: Arc<Counter>,
+    /// `engine.absorb.deduped` — queued absorptions skipped because the
+    /// overlay (or an earlier record of the same batch) already held the
+    /// workload. Nonzero under client retries: the observable half of
+    /// the PREDICT idempotency contract.
+    pub(crate) absorb_deduped: Arc<Counter>,
     pub(crate) absorb_queue_depth: Arc<Gauge>,
     /// `supervisor.admitted` — requests past the admission gate.
     pub(crate) admitted: Arc<Counter>,
@@ -94,6 +99,7 @@ impl EngineTelemetry {
             fallback_misses: registry.counter("engine.cache.fallback.misses"),
             absorb_queued: registry.counter("engine.absorb.queued"),
             absorb_published: registry.counter("engine.absorb.published"),
+            absorb_deduped: registry.counter("engine.absorb.deduped"),
             absorb_queue_depth: registry.gauge("engine.absorb.queue_depth"),
             admitted: registry.counter("supervisor.admitted"),
             outcome_ok: registry.counter("supervisor.outcome.ok"),

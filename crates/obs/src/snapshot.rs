@@ -105,6 +105,25 @@ impl TelemetrySnapshot {
         self.gauges.get(name).copied().unwrap_or(0.0)
     }
 
+    /// All counters under a dotted prefix (`"served."`,
+    /// `"served.drain."`, …), in name order — the shape resilience
+    /// audits consume when they assert over a whole counter family
+    /// instead of one name.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sum of every counter under a dotted prefix.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters_with_prefix(prefix).map(|(_, v)| v).sum()
+    }
+
     /// Before/after difference: every counter and histogram of `self`
     /// minus its value in `baseline` (saturating; metrics only grow),
     /// every gauge as a signed difference. Names absent from `baseline`

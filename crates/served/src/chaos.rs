@@ -1,0 +1,561 @@
+//! Seeded, deterministic network chaos for the `vesta-wire/1` serving
+//! path: a TCP proxy that sits between a [`crate::VestaClient`] and a
+//! [`crate::Server`] and injects the failure modes a real network
+//! produces — latency, mid-frame stalls, torn (fragmented) writes,
+//! connection resets, and byte corruption.
+//!
+//! The discipline mirrors `vesta-cloud-sim`'s [`FaultPlan`] /
+//! `DynamicPlan`: every injection decision is drawn from an fnv1a-derived
+//! splitmix64 stream keyed by `(plan seed, connection index, direction)`,
+//! so two runs of the same scenario make the same *decisions* in the same
+//! order per connection, and [`ChaosPlan::none`] — every rate zero — is a
+//! pure byte pump, provably bit-identical to a direct connection (pinned
+//! by `tests/serving.rs`).
+//!
+//! What "deterministic" means here, precisely: the decision *stream* is
+//! seeded and reproducible, but the chunk boundaries it is applied to
+//! depend on kernel read timing. Chaos scenarios therefore assert
+//! *invariants* (zero lost absorptions, bounded retries), not byte-exact
+//! transcripts — exactly like the simulator's straggler model.
+//!
+//! [`FaultPlan`]: vesta_cloud_sim::fault::FaultPlan
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::ServerError;
+
+/// Injection rates and magnitudes for one proxied link. All `*_rate`
+/// fields are per-forwarded-chunk probabilities in `[0, 1]`; the default
+/// ([`ChaosPlan::none`]) injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed folded into every decision stream, so different chaos
+    /// universes can share one scenario.
+    pub seed: u64,
+    /// Probability a chunk is delayed before forwarding.
+    pub delay_rate: f64,
+    /// Upper bound (inclusive) of the injected delay, milliseconds;
+    /// the actual delay is drawn uniformly from `[1, delay_ms_max]`.
+    pub delay_ms_max: u64,
+    /// Probability a chunk is forwarded in two halves with a stall
+    /// between them — a *mid-frame* stall, since chunks usually split
+    /// inside a wire frame. This is the slow-loris generator.
+    pub stall_rate: f64,
+    /// Length of an injected stall, milliseconds.
+    pub stall_ms: u64,
+    /// Probability a chunk is forwarded as a sequence of tiny writes
+    /// (each flushed) instead of one — exercises every torn-read path in
+    /// the frame codec without breaking byte content.
+    pub torn_rate: f64,
+    /// Maximum bytes per torn sub-write (≥ 1 when `torn_rate > 0`).
+    pub torn_chunk: usize,
+    /// Probability the connection is reset (both sides shut down) instead
+    /// of forwarding the chunk.
+    pub reset_rate: f64,
+    /// Probability one bit of one byte of the chunk is flipped before
+    /// forwarding — must surface as a typed CRC/length error at the
+    /// receiving codec, never as phantom data.
+    pub corrupt_rate: f64,
+}
+
+impl ChaosPlan {
+    /// The no-chaos plan: every rate zero. Proxying under it is a pure
+    /// byte pump — bit-identical to a direct connection.
+    pub fn none() -> Self {
+        ChaosPlan {
+            seed: 0,
+            delay_rate: 0.0,
+            delay_ms_max: 5,
+            stall_rate: 0.0,
+            stall_ms: 100,
+            torn_rate: 0.0,
+            torn_chunk: 7,
+            reset_rate: 0.0,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    /// True when no injection can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.delay_rate == 0.0
+            && self.stall_rate == 0.0
+            && self.torn_rate == 0.0
+            && self.reset_rate == 0.0
+            && self.corrupt_rate == 0.0
+    }
+
+    /// Reject structurally invalid plans: rates outside `[0, 1]`, a
+    /// non-finite rate, or an active fault with a degenerate magnitude.
+    pub fn validate(&self) -> Result<(), ServerError> {
+        let rates = [
+            ("delay_rate", self.delay_rate),
+            ("stall_rate", self.stall_rate),
+            ("torn_rate", self.torn_rate),
+            ("reset_rate", self.reset_rate),
+            ("corrupt_rate", self.corrupt_rate),
+        ];
+        for (name, rate) in rates {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(ServerError::Malformed(format!(
+                    "chaos plan {name} {rate} outside [0, 1]"
+                )));
+            }
+        }
+        if self.delay_rate > 0.0 && self.delay_ms_max == 0 {
+            return Err(ServerError::Malformed(
+                "chaos plan delays enabled with delay_ms_max = 0".into(),
+            ));
+        }
+        if self.stall_rate > 0.0 && self.stall_ms == 0 {
+            return Err(ServerError::Malformed(
+                "chaos plan stalls enabled with stall_ms = 0".into(),
+            ));
+        }
+        if self.torn_rate > 0.0 && self.torn_chunk == 0 {
+            return Err(ServerError::Malformed(
+                "chaos plan torn writes enabled with torn_chunk = 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Injection counters, shared between the proxy and its observer. All
+/// loads are `Relaxed`: the stats are a monitoring surface, not a
+/// synchronization point.
+#[derive(Debug, Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    forwarded_bytes: AtomicU64,
+    delays: AtomicU64,
+    stalls: AtomicU64,
+    torn_chunks: AtomicU64,
+    resets: AtomicU64,
+    corrupted_bytes: AtomicU64,
+}
+
+/// A cheap cloneable handle onto a proxy's injection counters.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosStats(Arc<StatsInner>);
+
+impl ChaosStats {
+    /// Connections accepted by the proxy.
+    pub fn connections(&self) -> u64 {
+        self.0.connections.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes pumped (both directions).
+    pub fn forwarded_bytes(&self) -> u64 {
+        self.0.forwarded_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Chunks delayed.
+    pub fn delays(&self) -> u64 {
+        self.0.delays.load(Ordering::Relaxed)
+    }
+
+    /// Mid-chunk stalls injected.
+    pub fn stalls(&self) -> u64 {
+        self.0.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Chunks forwarded as torn sub-writes.
+    pub fn torn_chunks(&self) -> u64 {
+        self.0.torn_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Connections reset by the plan.
+    pub fn resets(&self) -> u64 {
+        self.0.resets.load(Ordering::Relaxed)
+    }
+
+    /// Bytes corrupted in flight.
+    pub fn corrupted_bytes(&self) -> u64 {
+        self.0.corrupted_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all injection events (everything except clean forwards).
+    pub fn injections(&self) -> u64 {
+        self.delays() + self.stalls() + self.torn_chunks() + self.resets() + self.corrupted_bytes()
+    }
+}
+
+/// fnv1a-64 over a byte string — the same derivation discipline the
+/// simulator and obs span IDs use for seeded sub-streams.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Splitmix64 decision stream; one per `(connection, direction)`.
+struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// Derive the stream for `conn`/`direction` under `seed`.
+    fn for_link(seed: u64, conn: u64, direction: &str) -> Self {
+        let mut key = Vec::with_capacity(direction.len() + 17);
+        key.extend_from_slice(b"chaos/");
+        key.extend_from_slice(&seed.to_le_bytes());
+        key.extend_from_slice(&conn.to_le_bytes());
+        key.extend_from_slice(direction.as_bytes());
+        ChaosRng(fnv1a(&key))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[1, max]` (returns 1 when `max` ≤ 1).
+    fn range1(&mut self, max: u64) -> u64 {
+        if max <= 1 {
+            1
+        } else {
+            1 + self.next() % max
+        }
+    }
+}
+
+/// A seeded chaos TCP proxy: listen on a loopback port, forward every
+/// accepted connection to `upstream`, and apply the plan's injections to
+/// each forwarded chunk in both directions.
+///
+/// Dropping the proxy (or calling [`ChaosProxy::shutdown`]) closes the
+/// listener and joins every pump thread; live proxied connections are
+/// reset, which the resilient client surfaces as a transient error.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stats: ChaosStats,
+}
+
+/// Poll interval pump threads use to notice shutdown while idle.
+const PUMP_POLL: Duration = Duration::from_millis(20);
+
+impl ChaosProxy {
+    /// Validate `plan`, bind a fresh loopback port and start proxying to
+    /// `upstream`.
+    pub fn start(upstream: SocketAddr, plan: ChaosPlan) -> Result<ChaosProxy, ServerError> {
+        plan.validate()?;
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| ServerError::Io(format!("chaos proxy bind: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| ServerError::Io(format!("chaos proxy local_addr: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pumps: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let stats = ChaosStats::default();
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let pumps = Arc::clone(&pumps);
+            let stats = stats.clone();
+            std::thread::Builder::new()
+                .name("vesta-chaos-accept".to_string())
+                .spawn(move || {
+                    accept_loop(&listener, upstream, &plan, &shutdown, &pumps, &stats);
+                })
+                .map_err(|e| ServerError::Io(format!("spawn chaos accept thread: {e}")))?
+        };
+        Ok(ChaosProxy {
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+            pumps,
+            stats,
+        })
+    }
+
+    /// The proxy's listening address — point the client here instead of
+    /// at the server.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live injection counters.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats.clone()
+    }
+
+    /// Stop accepting, reset live links and join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            // Self-connect to unblock accept().
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = accept.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.pumps.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    plan: &ChaosPlan,
+    shutdown: &Arc<AtomicBool>,
+    pumps: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stats: &ChaosStats,
+) {
+    let mut conn_index: u64 = 0;
+    loop {
+        let (client, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        stats.0.connections.fetch_add(1, Ordering::Relaxed);
+        let server = match TcpStream::connect(upstream) {
+            Ok(s) => s,
+            // Upstream refused (drained or dead): drop the client, which
+            // sees a reset — exactly what a dead backend looks like.
+            Err(_) => continue,
+        };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        for (src, dst, dir) in [
+            (&client, &server, "c2s"),
+            (&server, &client, "s2c"),
+        ] {
+            let (Ok(src), Ok(dst)) = (src.try_clone(), dst.try_clone()) else {
+                continue;
+            };
+            let rng = ChaosRng::for_link(plan.seed, conn_index, dir);
+            let plan = plan.clone();
+            let shutdown = Arc::clone(shutdown);
+            let stats = stats.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("vesta-chaos-{dir}"))
+                .spawn(move || pump(src, dst, &plan, rng, &shutdown, &stats));
+            if let Ok(handle) = spawned {
+                pumps.lock().push(handle);
+            }
+        }
+        conn_index += 1;
+        // Reap finished pump threads so a long chaos run does not hoard
+        // join handles.
+        pumps.lock().retain(|h| !h.is_finished());
+    }
+}
+
+/// Forward `src` → `dst` chunk by chunk, applying the plan's injections
+/// in a fixed decision order (reset, corrupt, delay, stall/torn) drawn
+/// from this link's seeded stream.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    plan: &ChaosPlan,
+    mut rng: ChaosRng,
+    shutdown: &AtomicBool,
+    stats: &ChaosStats,
+) {
+    let _ = src.set_read_timeout(Some(PUMP_POLL));
+    let mut buf = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                // Clean EOF: propagate the half-close and stop.
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => {
+                let _ = dst.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let chunk = &mut buf[..n];
+
+        if plan.reset_rate > 0.0 && rng.f64() < plan.reset_rate {
+            stats.0.resets.fetch_add(1, Ordering::Relaxed);
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        if plan.corrupt_rate > 0.0 && rng.f64() < plan.corrupt_rate {
+            let at = (rng.next() as usize) % chunk.len();
+            let bit = (rng.next() % 8) as u8;
+            chunk[at] ^= 1 << bit;
+            stats.0.corrupted_bytes.fetch_add(1, Ordering::Relaxed);
+        }
+        if plan.delay_rate > 0.0 && rng.f64() < plan.delay_rate {
+            stats.0.delays.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(rng.range1(plan.delay_ms_max)));
+        }
+
+        let write_failed = if plan.stall_rate > 0.0 && rng.f64() < plan.stall_rate {
+            // Mid-frame stall: half the chunk, silence, then the rest.
+            stats.0.stalls.fetch_add(1, Ordering::Relaxed);
+            let split = (chunk.len() / 2).max(1);
+            write_all(&mut dst, &chunk[..split]).is_err() || {
+                std::thread::sleep(Duration::from_millis(plan.stall_ms));
+                write_all(&mut dst, &chunk[split..]).is_err()
+            }
+        } else if plan.torn_rate > 0.0 && rng.f64() < plan.torn_rate {
+            stats.0.torn_chunks.fetch_add(1, Ordering::Relaxed);
+            chunk
+                .chunks(plan.torn_chunk.max(1))
+                .any(|piece| write_all(&mut dst, piece).is_err())
+        } else {
+            write_all(&mut dst, chunk).is_err()
+        };
+        if write_failed {
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        stats.0.forwarded_bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
+fn write_all(dst: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    dst.write_all(bytes)?;
+    dst.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_structurally_inert_and_valid() {
+        let plan = ChaosPlan::none();
+        assert!(plan.is_none());
+        plan.validate().expect("none() validates");
+    }
+
+    #[test]
+    fn invalid_plans_are_typed_errors() {
+        let mut plan = ChaosPlan::none();
+        plan.reset_rate = 1.5;
+        assert!(matches!(
+            plan.validate(),
+            Err(ServerError::Malformed(_))
+        ));
+        let mut plan = ChaosPlan::none();
+        plan.corrupt_rate = f64::NAN;
+        assert!(matches!(
+            plan.validate(),
+            Err(ServerError::Malformed(_))
+        ));
+        let mut plan = ChaosPlan::none();
+        plan.torn_rate = 0.5;
+        plan.torn_chunk = 0;
+        assert!(matches!(
+            plan.validate(),
+            Err(ServerError::Malformed(_))
+        ));
+        let mut plan = ChaosPlan::none();
+        plan.stall_rate = 0.1;
+        plan.stall_ms = 0;
+        assert!(matches!(
+            plan.validate(),
+            Err(ServerError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn decision_streams_are_seeded_and_link_disjoint() {
+        let mut a = ChaosRng::for_link(7, 0, "c2s");
+        let mut a2 = ChaosRng::for_link(7, 0, "c2s");
+        let mut b = ChaosRng::for_link(7, 0, "s2c");
+        let mut c = ChaosRng::for_link(7, 1, "c2s");
+        let draws_a: Vec<u64> = (0..16).map(|_| a.next()).collect();
+        let draws_a2: Vec<u64> = (0..16).map(|_| a2.next()).collect();
+        let draws_b: Vec<u64> = (0..16).map(|_| b.next()).collect();
+        let draws_c: Vec<u64> = (0..16).map(|_| c.next()).collect();
+        assert_eq!(draws_a, draws_a2, "same link, same stream");
+        assert_ne!(draws_a, draws_b, "directions draw disjoint streams");
+        assert_ne!(draws_a, draws_c, "connections draw disjoint streams");
+        for mut rng in [ChaosRng::for_link(7, 0, "c2s")] {
+            for _ in 0..256 {
+                let u = rng.f64();
+                assert!((0.0..1.0).contains(&u));
+            }
+        }
+    }
+
+    /// A none() proxy in front of a raw TCP echo must be a transparent
+    /// byte pump: what goes in comes out, byte for byte.
+    #[test]
+    fn none_proxy_echoes_bit_identically() {
+        let echo = TcpListener::bind("127.0.0.1:0").expect("echo binds");
+        let echo_addr = echo.local_addr().expect("echo addr");
+        let echo_thread = std::thread::spawn(move || {
+            let (mut sock, _) = echo.accept().expect("echo accepts");
+            let mut buf = [0u8; 1024];
+            loop {
+                match sock.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => {
+                        if sock.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+
+        let mut proxy = ChaosProxy::start(echo_addr, ChaosPlan::none()).expect("proxy starts");
+        let mut client = TcpStream::connect(proxy.local_addr()).expect("client connects");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        client.write_all(&payload).expect("writes");
+        let mut back = vec![0u8; payload.len()];
+        client.read_exact(&mut back).expect("echo returns");
+        assert_eq!(back, payload, "none() proxy altered bytes");
+        assert_eq!(proxy.stats().injections(), 0, "none() proxy injected");
+        drop(client);
+        proxy.shutdown();
+        let _ = echo_thread.join();
+    }
+}

@@ -1,41 +1,132 @@
 //! `VestaClient` — the in-crate `vesta-wire/1` client, sharing the
-//! server's codec byte-for-byte. One connection serves many requests;
-//! the constructor performs the HELLO version negotiation.
+//! server's codec byte-for-byte and hardened for real networks: every
+//! socket carries read/write deadlines (a dead peer surfaces as a typed
+//! [`ServerError::Timeout`], never a hung thread), and transient
+//! failures are retried on a fresh connection under a bounded budget
+//! with exponential backoff and decorrelated jitter.
+//!
+//! Retrying a `PREDICT` is safe by construction, not by hope: the
+//! engine's publish path dedupes absorbed predictions by workload id
+//! (see `vesta_core::PredictRequest`'s idempotency notes), so a reply
+//! the client lost to a timeout and then re-requested cannot double-count
+//! server-side. That contract is what licenses the retry loop below.
+//!
+//! After any transient error the client *always* discards the stream and
+//! reconnects before the next attempt: a framing error
+//! ([`ServerError::Truncated`] / [`ServerError::Checksum`]) means the
+//! byte stream is unsynchronized, and a timeout may leave a stale reply
+//! in flight that would otherwise be mistaken for the next one.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use vesta_core::PredictOptions;
 
-use crate::wire::{self, FrameEvent, PredictReply, Request, Response, WIRE_VERSION};
-use crate::ServerError;
+use crate::wire::{self, FrameEvent, FrameReadPolicy, PredictReply, Request, Response, WIRE_VERSION};
+use crate::{RetryAttempt, ServerError};
 
-/// A blocking client over one TCP connection.
+/// Deadlines and retry budget for a [`VestaClient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Per-request reply deadline: maximum silence (zero frame-progress
+    /// bytes) tolerated while waiting for a response.
+    pub read_timeout: Duration,
+    /// Deadline for pushing a request frame into the socket.
+    pub write_timeout: Duration,
+    /// Extra attempts after the first, spent only on transient errors
+    /// ([`ServerError::is_transient`]). `0` disables retrying entirely
+    /// and restores single-shot semantics.
+    pub retries: u32,
+    /// First backoff; later backoffs grow from it with decorrelated
+    /// jitter.
+    pub backoff_base: Duration,
+    /// Upper bound any single backoff is clamped to.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter stream, so a scenario's backoff schedule is
+    /// reproducible.
+    pub retry_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            retries: 2,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(1000),
+            retry_seed: 0x7E57_C11E_4715,
+        }
+    }
+}
+
+/// The splitmix64 output scrambler: a bijective avalanche over `u64`,
+/// used both to whiten the user-provided retry seed and to draw jitter
+/// values from the advancing Weyl-sequence state.
+fn splitmix64_scramble(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A blocking client over one TCP connection, reconnecting under the
+/// hood when its retry budget allows.
 #[derive(Debug)]
 pub struct VestaClient {
-    stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    jitter: u64,
 }
 
 impl VestaClient {
-    /// Connect and negotiate the wire version. Fails with
-    /// [`ServerError::UnsupportedVersion`] when the server speaks a
-    /// different `vesta-wire` revision.
+    /// Connect with [`ClientConfig::default`] deadlines and negotiate
+    /// the wire version. Fails with [`ServerError::UnsupportedVersion`]
+    /// when the server speaks a different `vesta-wire` revision.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<VestaClient, ServerError> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| ServerError::Io(format!("connect: {e}")))?;
-        let _ = stream.set_nodelay(true);
-        let mut client = VestaClient { stream };
-        match client.roundtrip(&Request::Hello {
-            version: WIRE_VERSION,
-        })? {
-            Response::HelloAck { .. } => Ok(client),
-            Response::Error(e) => Err(e),
-            other => Err(ServerError::Malformed(format!(
-                "unexpected reply to HELLO: {other:?}"
-            ))),
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect under explicit deadlines and retry budget.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<VestaClient, ServerError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| ServerError::Io(format!("resolve: {e}")))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(ServerError::Io("resolve: no addresses".to_string()));
         }
+        // Scramble the seed once so adjacent seeds (42 vs 43) start from
+        // fully decorrelated states, and never collapse distinct seeds
+        // together (`seed | 1` famously aliases 2k and 2k+1).
+        let jitter = splitmix64_scramble(config.retry_seed);
+        let mut client = VestaClient {
+            addrs,
+            config,
+            stream: None,
+            jitter,
+        };
+        // Dial eagerly (inside the retry budget) so `connect` keeps its
+        // historical contract: a returned client has already completed
+        // the HELLO negotiation.
+        client.with_retries(|c| c.ensure_connected().map(|_| ()))?;
+        Ok(client)
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
     }
 
     /// Serve `workloads` (suite names) for `tenant` under `options`.
+    /// Safe to retry: the server's publish path dedupes absorptions by
+    /// workload id.
     pub fn predict(
         &mut self,
         tenant: &str,
@@ -47,39 +138,252 @@ impl VestaClient {
             workloads: workloads.iter().map(|w| (*w).to_string()).collect(),
             options,
         };
-        match self.roundtrip(&request)? {
+        self.with_retries(|c| match c.roundtrip_once(&request)? {
             Response::Predict(reply) => Ok(reply),
             Response::Error(e) => Err(e),
             other => Err(ServerError::Malformed(format!(
                 "unexpected reply to PREDICT: {other:?}"
             ))),
-        }
+        })
     }
 
     /// Fetch the server's `vesta-telemetry/1` snapshot as JSON text.
     pub fn metrics(&mut self) -> Result<String, ServerError> {
-        match self.roundtrip(&Request::Metrics)? {
+        self.with_retries(|c| match c.roundtrip_once(&Request::Metrics)? {
             Response::Metrics { snapshot_json } => Ok(snapshot_json),
             Response::Error(e) => Err(e),
             other => Err(ServerError::Malformed(format!(
                 "unexpected reply to METRICS: {other:?}"
             ))),
+        })
+    }
+
+    /// Run `op` under the retry budget: transient failures burn an
+    /// attempt, force a reconnect, and back off with decorrelated
+    /// jitter; deterministic failures return immediately. When the
+    /// budget runs dry the caller gets the bare error for a single-shot
+    /// budget (`retries == 0`, historical semantics) and a
+    /// [`ServerError::RetryBudgetExhausted`] ledger otherwise.
+    fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, ServerError>,
+    ) -> Result<T, ServerError> {
+        let budget = self.config.retries;
+        let mut attempts: Vec<RetryAttempt> = Vec::new();
+        let mut prev_backoff = self.config.backoff_base.max(Duration::from_millis(1));
+        loop {
+            let attempt = attempts.len() as u32;
+            match op(self) {
+                Ok(value) => return Ok(value),
+                Err(error) => {
+                    let transient = error.is_transient();
+                    if transient {
+                        // The stream may be unsynchronized or carry a
+                        // stale reply; never reuse it across attempts.
+                        self.stream = None;
+                    }
+                    if !transient || attempt >= budget {
+                        attempts.push(RetryAttempt {
+                            attempt,
+                            error: error.to_string(),
+                            transient,
+                            backoff_ms: 0,
+                        });
+                        return Err(if !transient || budget == 0 {
+                            error
+                        } else {
+                            ServerError::RetryBudgetExhausted { attempts }
+                        });
+                    }
+                    let backoff = self.next_backoff(prev_backoff);
+                    attempts.push(RetryAttempt {
+                        attempt,
+                        error: error.to_string(),
+                        transient,
+                        backoff_ms: backoff.as_millis() as u64,
+                    });
+                    std::thread::sleep(backoff);
+                    prev_backoff = backoff;
+                }
+            }
         }
     }
 
-    fn roundtrip(&mut self, request: &Request) -> Result<Response, ServerError> {
+    /// Decorrelated jitter (the AWS-architecture scheme): draw uniformly
+    /// from `[base, 3 * previous]`, clamp to the cap. Grows roughly
+    /// exponentially while desynchronizing concurrent clients.
+    fn next_backoff(&mut self, prev: Duration) -> Duration {
+        // splitmix64 step over the client's seeded jitter state.
+        self.jitter = self.jitter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let draw = splitmix64_scramble(self.jitter);
+
+        let base = self.config.backoff_base.as_millis() as u64;
+        let cap = (self.config.backoff_cap.as_millis() as u64).max(1);
+        let hi = (prev.as_millis() as u64).saturating_mul(3).max(base + 1);
+        let span = hi - base;
+        let ms = (base + draw % span).min(cap).max(1);
+        Duration::from_millis(ms)
+    }
+
+    /// Return the live stream, dialing and re-negotiating HELLO first if
+    /// the previous attempt discarded it.
+    fn ensure_connected(&mut self) -> Result<(), ServerError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let mut last_err = ServerError::Io("connect: no addresses".to_string());
+        let mut stream = None;
+        for addr in &self.addrs {
+            match TcpStream::connect_timeout(addr, self.config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = ServerError::Io(format!("connect {addr}: {e}")),
+            }
+        }
+        let stream = stream.ok_or(last_err)?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(self.config.read_timeout))
+            .map_err(|e| ServerError::Io(format!("set read timeout: {e}")))?;
+        stream
+            .set_write_timeout(Some(self.config.write_timeout))
+            .map_err(|e| ServerError::Io(format!("set write timeout: {e}")))?;
+        self.stream = Some(stream);
+        match self.roundtrip_once(&Request::Hello {
+            version: WIRE_VERSION,
+        }) {
+            Ok(Response::HelloAck { .. }) => Ok(()),
+            Ok(Response::Error(e)) => {
+                self.stream = None;
+                Err(e)
+            }
+            Ok(other) => {
+                self.stream = None;
+                Err(ServerError::Malformed(format!(
+                    "unexpected reply to HELLO: {other:?}"
+                )))
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// One request/reply exchange on the live connection (establishing
+    /// it first if needed). The reply read runs under a
+    /// [`FrameReadPolicy`] that converts a full read-timeout window with
+    /// zero frame progress into a typed [`ServerError::Timeout`] — this
+    /// is the fix for the historical "client blocks forever on a dead
+    /// peer" hang.
+    fn roundtrip_once(&mut self, request: &Request) -> Result<Response, ServerError> {
+        self.ensure_connected()?;
+        let read_timeout = self.config.read_timeout;
+        let stream = match self.stream.as_mut() {
+            Some(stream) => stream,
+            None => return Err(ServerError::Io("connection lost before send".to_string())),
+        };
         let frame = wire::encode_request(request);
-        wire::write_frame(&mut self.stream, &frame)?;
-        match wire::read_frame(&mut self.stream)? {
+        wire::write_frame(stream, &frame)?;
+        let policy = FrameReadPolicy {
+            idle_event: false,
+            stall_ticks: 1,
+            tick_ms: read_timeout.as_millis() as u64,
+        };
+        match wire::read_frame_with(stream, policy)? {
             FrameEvent::Frame(payload) => wire::decode_response(&payload),
             FrameEvent::Closed => Err(ServerError::Io(
                 "server closed the connection mid-request".to_string(),
             )),
-            // The client never sets a read timeout, so a blocking read
-            // cannot report idle; treat it as an IO anomaly if it does.
+            // `idle_event` is off: a silent window surfaces as
+            // `ServerError::Timeout` from the policy, never as Idle.
             FrameEvent::Idle => Err(ServerError::Io(
-                "unexpected idle read on a blocking socket".to_string(),
+                "unexpected idle event with idle_event disabled".to_string(),
             )),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_has_deadlines_and_budget() {
+        let config = ClientConfig::default();
+        assert!(config.read_timeout > Duration::ZERO);
+        assert!(config.write_timeout > Duration::ZERO);
+        assert!(config.connect_timeout > Duration::ZERO);
+        assert!(config.retries >= 1);
+        assert!(config.backoff_cap >= config.backoff_base);
+    }
+
+    #[test]
+    fn backoff_is_seeded_jittered_and_capped() {
+        let config = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+            retry_seed: 42,
+            ..ClientConfig::default()
+        };
+        let mk = |seed| VestaClient {
+            addrs: vec!["127.0.0.1:1".parse().unwrap()],
+            config: ClientConfig {
+                retry_seed: seed,
+                ..config.clone()
+            },
+            stream: None,
+            jitter: splitmix64_scramble(seed),
+        };
+        let schedule = |mut c: VestaClient| {
+            let mut prev = c.config.backoff_base;
+            (0..8)
+                .map(|_| {
+                    prev = c.next_backoff(prev);
+                    prev
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = schedule(mk(42));
+        let b = schedule(mk(42));
+        let c = schedule(mk(43));
+        assert_eq!(a, b, "same seed, same backoff schedule");
+        assert_ne!(a, c, "different seeds decorrelate");
+        for d in &a {
+            assert!(*d >= Duration::from_millis(1));
+            assert!(*d <= Duration::from_millis(80), "cap violated: {d:?}");
+        }
+    }
+
+    #[test]
+    fn connect_to_dead_port_is_typed_not_hung() {
+        // Bind-then-drop gives a port with (very likely) no listener.
+        let port = {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap().port()
+        };
+        let config = ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            retries: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..ClientConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let err = VestaClient::connect_with(("127.0.0.1", port), config)
+            .expect_err("no listener must not yield a client");
+        assert!(
+            matches!(
+                err,
+                ServerError::Io(_) | ServerError::RetryBudgetExhausted { .. }
+            ),
+            "unexpected error shape: {err}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "connect failure took too long — deadline not applied"
+        );
     }
 }

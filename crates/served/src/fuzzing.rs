@@ -1,0 +1,98 @@
+//! Shared fuzz harness for the `vesta-wire/1` codec.
+//!
+//! The actual cargo-fuzz target (`fuzz/fuzz_targets/wire_codec.rs`) is a
+//! two-line wrapper around [`codec_fuzz_case`]; keeping the body here
+//! means the exact same property runs three ways:
+//!
+//! 1. under libFuzzer with coverage feedback (CI's `fuzz-smoke` job),
+//! 2. as a seeded in-tree smoke sweep (`tests/fuzz_smoke.rs`) on every
+//!    plain `cargo test`, and
+//! 3. under miri via the codec unit tests it leans on.
+//!
+//! The property is the codec's safety contract stated as code: arbitrary
+//! bytes may produce typed errors but never a panic, and anything that
+//! decodes cleanly must re-encode and decode back to the same value
+//! (round-trip stability — the guarantee the absorption-idempotency
+//! story rests on, since a retried request must mean the same thing).
+
+use std::io::Cursor;
+
+use crate::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameEvent,
+};
+
+/// Run every codec entry point over one arbitrary byte string. Panics
+/// (and therefore fails the fuzzer or the smoke test) only when a codec
+/// guarantee is broken; returns normally otherwise.
+pub fn codec_fuzz_case(data: &[u8]) {
+    if let Err(violation) = codec_properties(data) {
+        // vesta-lint: allow(panic-in-lib, reason = "this IS the fuzz oracle: a panic here is libFuzzer's (and the smoke sweep's) failure signal for a broken codec guarantee; production code never calls this module")
+        panic!("vesta-wire codec contract violated: {violation}");
+    }
+}
+
+/// The codec contract as a checkable property; `Err` describes the first
+/// violated guarantee.
+fn codec_properties(data: &[u8]) -> Result<(), String> {
+    // 1. Arbitrary bytes as a message payload: decoding may fail with a
+    //    typed error but must not panic, and a successful decode must
+    //    round-trip bit-stably through its encoder.
+    message_round_trips(data)?;
+
+    // 2. Arbitrary bytes as a frame stream: reading frames until the
+    //    stream errors or drains must never panic, and every payload a
+    //    frame yields must itself survive step 1's property.
+    let mut cursor = Cursor::new(data);
+    for _ in 0..4 {
+        match read_frame(&mut cursor) {
+            Ok(FrameEvent::Frame(payload)) => message_round_trips(&payload)?,
+            Ok(FrameEvent::Closed) | Ok(FrameEvent::Idle) | Err(_) => break,
+        }
+    }
+
+    // 3. Arbitrary bytes as a payload to *frame*: framing is total for
+    //    payloads under the cap, and a framed payload reads back intact.
+    if data.len() <= 1 << 16 {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, data)
+            .map_err(|e| format!("framing a small payload must be total: {e}"))?;
+        match read_frame(&mut Cursor::new(&framed)) {
+            Ok(FrameEvent::Frame(payload)) if payload == data => {}
+            Ok(FrameEvent::Frame(_)) => return Err("frame round-trip altered payload".to_string()),
+            Ok(FrameEvent::Closed) | Ok(FrameEvent::Idle) => {
+                return Err("own frame read back as closed/idle".to_string())
+            }
+            Err(e) => return Err(format!("own frame must read back: {e}")),
+        }
+    }
+    Ok(())
+}
+
+/// If `payload` decodes as a request and/or a response, its re-encoding
+/// must decode back to the identical value.
+fn message_round_trips(payload: &[u8]) -> Result<(), String> {
+    if let Ok(request) = decode_request(payload) {
+        match decode_request(&encode_request(&request)) {
+            Ok(again) if again == request => {}
+            Ok(again) => {
+                return Err(format!(
+                    "request round-trip not stable: {request:?} re-decoded as {again:?}"
+                ))
+            }
+            Err(e) => return Err(format!("re-encoded request must decode: {e}")),
+        }
+    }
+    if let Ok(response) = decode_response(payload) {
+        match decode_response(&encode_response(&response)) {
+            Ok(again) if again == response => {}
+            Ok(again) => {
+                return Err(format!(
+                    "response round-trip not stable: {response:?} re-decoded as {again:?}"
+                ))
+            }
+            Err(e) => return Err(format!("re-encoded response must decode: {e}")),
+        }
+    }
+    Ok(())
+}

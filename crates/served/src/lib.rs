@@ -40,16 +40,34 @@
 //! # }
 //! ```
 
+pub mod chaos;
 pub mod client;
+pub mod fuzzing;
 pub mod server;
 pub mod wire;
 
-pub use client::VestaClient;
-pub use server::{Server, ServerConfig};
+pub use chaos::{ChaosPlan, ChaosProxy, ChaosStats};
+pub use client::{ClientConfig, VestaClient};
+pub use server::{DrainReport, Server, ServerConfig};
 pub use wire::{
     FrameEvent, PredictReply, Request, Response, WireOutcome, WirePrediction, MAX_FRAME_LEN,
     WIRE_PROTOCOL, WIRE_VERSION,
 };
+
+/// One entry in the ledger a [`ServerError::RetryBudgetExhausted`] error
+/// carries: what each attempt saw and how long the client backed off
+/// before the next one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryAttempt {
+    /// 0-based attempt index.
+    pub attempt: u32,
+    /// Rendered error the attempt died with.
+    pub error: String,
+    /// Whether that error was classified retryable at the time.
+    pub transient: bool,
+    /// Backoff slept *after* this attempt, milliseconds (0 on the last).
+    pub backoff_ms: u64,
+}
 
 /// Everything that can go wrong on either side of the wire.
 ///
@@ -57,8 +75,12 @@ pub use wire::{
 /// [`ServerError::Oversize`], [`ServerError::Malformed`]) are typed —
 /// a corrupt frame can never panic the peer. Server-side refusals
 /// ([`ServerError::UnknownTenant`], [`ServerError::UnknownWorkload`],
-/// [`ServerError::UnsupportedVersion`]) round-trip through the `ERR` wire
+/// [`ServerError::UnsupportedVersion`], [`ServerError::Overloaded`],
+/// [`ServerError::RateLimited`]) round-trip through the `ERR` wire
 /// verb, so a client observes the same variant the server constructed.
+/// Client-local failures ([`ServerError::Timeout`],
+/// [`ServerError::RetryBudgetExhausted`]) have wire codes too, so a relay
+/// can forward them without flattening the type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ServerError {
@@ -99,16 +121,55 @@ pub enum ServerError {
         /// Human-readable description.
         message: String,
     },
+    /// A read or write deadline fired with the peer silent: no frame
+    /// progress for the configured window. The connection is dead to the
+    /// caller; reconnect-and-retry may succeed.
+    Timeout {
+        /// How long the caller waited without a byte of progress.
+        waited_ms: u64,
+    },
+    /// The server shed this connection at admission: its connection count
+    /// was at the configured bound. Transient by construction — retrying
+    /// after a backoff lands in a freed slot.
+    Overloaded {
+        /// Live connections when the shed happened.
+        active: u32,
+        /// The configured connection bound.
+        limit: u32,
+    },
+    /// The connection exceeded the server's per-connection frame-rate cap
+    /// and was dropped. Transient: a reconnecting client that paces
+    /// itself is served normally.
+    RateLimited {
+        /// The configured cap, frames per second.
+        limit: u32,
+    },
+    /// A client retry loop ran out of budget. Carries the full attempt
+    /// ledger so callers (and logs) can see every intermediate error and
+    /// backoff instead of only the last one.
+    RetryBudgetExhausted {
+        /// One entry per attempt, in order.
+        attempts: Vec<RetryAttempt>,
+    },
 }
 
 impl ServerError {
     /// True when the failure is a property of the environment at this
-    /// instant — a socket hiccup or a transient server-side error — so
-    /// retrying (a reconnect, a resend) may succeed. Framing and schema
-    /// violations are deterministic and retrying them is futile.
+    /// instant, so retrying (a reconnect, a resend) may succeed: socket
+    /// hiccups, timeouts, admission sheds, rate-limit drops, and wire
+    /// damage ([`ServerError::Truncated`], [`ServerError::Checksum`] —
+    /// a fresh connection re-sends the frame intact). Schema violations
+    /// ([`ServerError::Malformed`], version/tenant/workload refusals) are
+    /// deterministic and retrying them is futile, as is
+    /// [`ServerError::RetryBudgetExhausted`] itself: the budget is spent.
     pub fn is_transient(&self) -> bool {
         match self {
-            ServerError::Io(_) => true,
+            ServerError::Io(_)
+            | ServerError::Truncated
+            | ServerError::Checksum { .. }
+            | ServerError::Timeout { .. }
+            | ServerError::Overloaded { .. }
+            | ServerError::RateLimited { .. } => true,
             ServerError::Internal { transient, .. } => *transient,
             _ => false,
         }
@@ -139,6 +200,26 @@ impl std::fmt::Display for ServerError {
             ServerError::UnknownTenant(t) => write!(f, "unknown tenant '{t}'"),
             ServerError::UnknownWorkload(w) => write!(f, "unknown workload '{w}'"),
             ServerError::Internal { message, .. } => write!(f, "server error: {message}"),
+            ServerError::Timeout { waited_ms } => {
+                write!(f, "peer made no frame progress for {waited_ms} ms")
+            }
+            ServerError::Overloaded { active, limit } => write!(
+                f,
+                "server overloaded: {active} live connection(s) at the bound of {limit}"
+            ),
+            ServerError::RateLimited { limit } => {
+                write!(f, "connection exceeded the {limit} frames/s cap")
+            }
+            ServerError::RetryBudgetExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {} attempt(s): [", attempts.len())?;
+                for (i, a) in attempts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "#{} {}", a.attempt, a.error)?;
+                }
+                write!(f, "]")
+            }
         }
     }
 }

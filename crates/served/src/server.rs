@@ -1,6 +1,7 @@
 //! The multi-tenant prediction server: a thread-per-connection TCP
 //! listener over a tenant registry, with graceful drain-and-swap on
-//! overlay publish.
+//! overlay publish and overload protection at every resource the wire
+//! can exhaust.
 //!
 //! ## Tenant lifecycle
 //!
@@ -19,7 +20,7 @@
 //! flight finish on the handle they started with, requests arriving
 //! after the swap land on the recovered one.
 //!
-//! ## Drain protocol
+//! ## Drain protocol (publish)
 //!
 //! [`Server::publish`] (1) journals + publishes the live handle's
 //! pending absorptions, (2) rebuilds a fresh handle from the base
@@ -28,31 +29,75 @@
 //! [`KnowledgeSnapshot::same_state`] — aborting the swap on any
 //! divergence — and only then (4) swaps the `Arc` and bumps the
 //! tenant's generation. `served.drains` counts completed swaps.
+//!
+//! ## Overload protection
+//!
+//! Three independent bounds, each surfacing as a *typed* refusal the
+//! resilient client can classify (all three are
+//! [`ServerError::is_transient`]):
+//!
+//! * **Connection bound** — past [`ServerConfig::max_connections`] live
+//!   connections, new arrivals are shed at admission with a single
+//!   [`ServerError::Overloaded`] reply frame (`served.overloaded`); no
+//!   thread is spawned for them.
+//! * **Progress timeout** — a connection whose frame stops making byte
+//!   progress for [`ServerConfig::progress_timeout`] (a slow-loris
+//!   writer, a wedged peer) is killed with a typed
+//!   [`ServerError::Timeout`] reply (`served.stall_kills`).
+//! * **Frame-rate cap** — a connection pushing more than
+//!   [`ServerConfig::max_frames_per_sec`] frames sustained is dropped
+//!   with [`ServerError::RateLimited`] (`served.rate_limited`); a
+//!   token bucket of one second's depth absorbs bursts.
+//!
+//! ## Graceful drain (shutdown)
+//!
+//! [`Server::drain`] stops accepting, lets every in-flight request
+//! finish (connection loops exit at the next frame boundary), joins all
+//! threads, then journals + publishes every tenant's still-pending
+//! absorptions so the on-disk journals are a complete, replayable record
+//! of the server's final state. The returned [`DrainReport`] carries the
+//! accounting; `served.drain.*` counters mirror it.
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
-use vesta_core::{AbsorptionJournal, Knowledge, Outcome, PredictRequest};
+use vesta_core::{AbsorptionJournal, Knowledge, KnowledgeSnapshot, Outcome, PredictRequest};
 use vesta_obs::{Clock, MetricsRegistry};
 use vesta_workloads::Suite;
 
-use crate::wire::{self, FrameEvent, PredictReply, Request, Response, WireOutcome, WirePrediction};
+use crate::wire::{
+    self, FrameEvent, FrameReadPolicy, PredictReply, Request, Response, WireOutcome,
+    WirePrediction,
+};
 use crate::ServerError;
 
-/// How the server binds and paces its shutdown polling.
+/// How the server binds, paces its shutdown polling, and bounds the
+/// resources one peer can consume.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind; port 0 picks a free one.
     pub addr: String,
-    /// Read-timeout used by connection threads to poll the shutdown
-    /// flag between frames.
+    /// Read-timeout used by connection threads to poll the shutdown and
+    /// drain flags between frames — also the tick the progress timeout
+    /// is measured in.
     pub idle_poll: Duration,
+    /// Live-connection bound; arrivals past it are shed with a typed
+    /// [`ServerError::Overloaded`] reply. `0` means unbounded.
+    pub max_connections: u32,
+    /// Maximum time a frame may sit with zero byte progress before the
+    /// connection is killed as a slow-loris ([`ServerError::Timeout`]).
+    /// Rounded up to a whole number of `idle_poll` ticks.
+    pub progress_timeout: Duration,
+    /// Sustained per-connection frame-rate cap (token bucket with one
+    /// second of burst depth); violators are dropped with
+    /// [`ServerError::RateLimited`]. `0` means uncapped.
+    pub max_frames_per_sec: u32,
 }
 
 impl Default for ServerConfig {
@@ -60,8 +105,24 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             idle_poll: Duration::from_millis(50),
+            max_connections: 256,
+            progress_timeout: Duration::from_secs(5),
+            max_frames_per_sec: 0,
         }
     }
+}
+
+/// What [`Server::drain`] accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Connection threads joined after finishing their in-flight work.
+    pub connections_drained: usize,
+    /// Tenants whose journals were flushed.
+    pub tenants_flushed: usize,
+    /// Absorptions journaled + published by the final flush (absorptions
+    /// already published by earlier [`Server::publish`] calls do not
+    /// reappear here — the journal had them).
+    pub absorptions_flushed: usize,
 }
 
 /// One registered tenant: the serving generation and live handle under
@@ -83,11 +144,40 @@ struct Shared {
     suite: Suite,
     registry: Arc<MetricsRegistry>,
     shutdown: AtomicBool,
+    /// Drain differs from shutdown only in bookkeeping: both stop the
+    /// accept loop and end connection loops at the next frame boundary;
+    /// drain additionally flushes journals afterwards.
+    draining: AtomicBool,
+    /// Live connection count, bounded by `limits.max_connections`.
+    active: AtomicU32,
+    limits: Limits,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Limits {
+    max_connections: u32,
+    /// Progress timeout expressed in idle-poll ticks (0 = unbounded).
+    stall_ticks: u32,
+    tick_ms: u64,
+    max_frames_per_sec: u32,
 }
 
 impl Shared {
     fn count(&self, name: &str) {
         self.registry.counter(name).inc();
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Decrements the live-connection gauge however the connection ends.
+struct ActiveGuard(Arc<Shared>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -108,6 +198,14 @@ impl Server {
         let local_addr = listener
             .local_addr()
             .map_err(|e| ServerError::Io(format!("local_addr: {e}")))?;
+        let tick_ms = (config.idle_poll.as_millis() as u64).max(1);
+        let stall_ticks = if config.progress_timeout.is_zero() {
+            0
+        } else {
+            // Round up so the enforced timeout is never shorter than
+            // configured.
+            (((config.progress_timeout.as_millis() as u64) + tick_ms - 1) / tick_ms).max(1) as u32
+        };
         let shared = Arc::new(Shared {
             tenants: RwLock::new(BTreeMap::new()),
             suite: Suite::extended(),
@@ -115,6 +213,14 @@ impl Server {
             // are clock-independent (the engine's determinism contract).
             registry: Arc::new(MetricsRegistry::with_clock(Clock::Monotonic)),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active: AtomicU32::new(0),
+            limits: Limits {
+                max_connections: config.max_connections,
+                stall_ticks,
+                tick_ms,
+                max_frames_per_sec: config.max_frames_per_sec,
+            },
         });
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -191,6 +297,64 @@ impl Server {
         Some(generation)
     }
 
+    /// Live connections right now (the gauge the connection bound sheds
+    /// against).
+    pub fn active_connections(&self) -> u32 {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// The workload ids a tenant's published overlay has absorbed, in
+    /// absorption order. The ground truth the chaos harness audits its
+    /// zero-lost / zero-duplicated invariant against.
+    pub fn tenant_absorbed_ids(&self, id: &str) -> Option<Vec<u64>> {
+        let tenant = self.shared.tenants.read().get(id).cloned()?;
+        let live = Arc::clone(&tenant.live.read().1);
+        // Queued-but-unpublished absorptions count too: they are lost
+        // only if a drain/publish never happens, which the callers of
+        // this accessor do perform first.
+        Some(live.overlay().absorbed_ids().to_vec())
+    }
+
+    /// A tenant's journal path (for crash-recovery audits).
+    pub fn tenant_journal_path(&self, id: &str) -> Option<PathBuf> {
+        let tenant = self.shared.tenants.read().get(id).cloned()?;
+        Some(tenant.journal_path.clone())
+    }
+
+    /// Snapshot of a tenant's live handle.
+    pub fn tenant_live_snapshot(&self, id: &str) -> Option<KnowledgeSnapshot> {
+        let tenant = self.shared.tenants.read().get(id).cloned()?;
+        let live = Arc::clone(&tenant.live.read().1);
+        Some(live.to_snapshot())
+    }
+
+    /// Replay a tenant's base snapshot + journal from disk and check the
+    /// result is bit-identical to the live handle — the crash-recovery
+    /// audit the drain-consistency suite runs after [`Server::drain`] or
+    /// [`Server::publish`]. Only meaningful when the tenant has no
+    /// pending (unjournaled) absorptions; both of those entry points
+    /// guarantee that.
+    pub fn check_recovery(&self, id: &str) -> Result<bool, ServerError> {
+        let tenant = self
+            .shared
+            .tenants
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServerError::UnknownTenant(id.to_string()))?;
+        let live = Arc::clone(&tenant.live.read().1);
+        let recovered = Knowledge::recover(
+            tenant.base.to_snapshot(),
+            &tenant.journal_path,
+            live.catalog().clone(),
+        )
+        .map_err(|e| ServerError::Internal {
+            transient: false,
+            message: format!("recover tenant '{id}': {e}"),
+        })?;
+        Ok(recovered.to_snapshot().same_state(&live.to_snapshot()))
+    }
+
     /// Drain-and-swap publish for one tenant (see the module docs for
     /// the protocol). Returns the new generation.
     pub fn publish(&self, id: &str) -> Result<u64, ServerError> {
@@ -239,8 +403,71 @@ impl Server {
         Ok(generation)
     }
 
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// finish and its connection close at the next frame boundary, join
+    /// all threads, then journal + publish every tenant's still-pending
+    /// absorptions. After a drain the journals on disk are a complete
+    /// record: `Knowledge::recover(base, journal)` reproduces each
+    /// tenant's final published state bit-for-bit (auditable via
+    /// [`Server::check_recovery`]).
+    ///
+    /// The server stops serving permanently; calling it twice is safe
+    /// and the second call only re-flushes (finding nothing new).
+    pub fn drain(&mut self) -> Result<DrainReport, ServerError> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.count("served.drain.initiated");
+        if let Some(accept) = self.accept.take() {
+            // Self-connect to unblock the accept() call.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = accept.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.connections.lock());
+        let connections_drained = handles.len();
+        for h in handles {
+            let _ = h.join();
+        }
+        let tenants: Vec<(String, Arc<Tenant>)> = self
+            .shared
+            .tenants
+            .read()
+            .iter()
+            .map(|(id, t)| (id.clone(), Arc::clone(t)))
+            .collect();
+        let mut tenants_flushed = 0usize;
+        let mut absorptions_flushed = 0usize;
+        for (id, tenant) in tenants {
+            let live = Arc::clone(&tenant.live.read().1);
+            let flushed = {
+                let mut journal = tenant.journal.lock();
+                live.absorb_pending_journaled(&mut journal)
+                    .map_err(|e| ServerError::Internal {
+                        transient: true,
+                        message: format!("drain flush for tenant '{id}': {e}"),
+                    })?
+            };
+            tenants_flushed += 1;
+            absorptions_flushed += flushed;
+        }
+        self.shared
+            .registry
+            .counter("served.drain.connections")
+            .add(connections_drained as u64);
+        self.shared
+            .registry
+            .counter("served.drain.absorptions_flushed")
+            .add(absorptions_flushed as u64);
+        self.shared.count("served.drain.completed");
+        Ok(DrainReport {
+            connections_drained,
+            tenants_flushed,
+            absorptions_flushed,
+        })
+    }
+
     /// Stop accepting, wake the accept loop, and join every thread.
-    /// Idempotent; also runs on drop.
+    /// Idempotent; also runs on drop. Unlike [`Server::drain`] it does
+    /// not flush journals — pending absorptions die with the process,
+    /// which is exactly the crash the journal protocol tolerates.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
@@ -271,39 +498,137 @@ fn accept_loop(
         let (stream, _) = match listener.accept() {
             Ok(pair) => pair,
             Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.stopping() {
                     return;
                 }
                 continue;
             }
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.stopping() {
             return;
         }
+        let limit = shared.limits.max_connections;
+        if limit > 0 {
+            let active = shared.active.load(Ordering::SeqCst);
+            if active >= limit {
+                shed_overloaded(shared, stream, active, limit);
+                continue;
+            }
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let guard = ActiveGuard(Arc::clone(shared));
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(idle_poll));
-        let shared = Arc::clone(shared);
+        let shared_for_conn = Arc::clone(shared);
         let spawned = std::thread::Builder::new()
             .name("vesta-served-conn".to_string())
-            .spawn(move || serve_connection(&shared, stream));
+            .spawn(move || {
+                let _guard = guard;
+                serve_connection(&shared_for_conn, stream)
+            });
         match spawned {
-            Ok(handle) => connections.lock().push(handle),
+            Ok(handle) => {
+                let mut conns = connections.lock();
+                conns.push(handle);
+                // Reap finished threads so a long-lived server does not
+                // hoard join handles (shutdown/drain still join the rest).
+                conns.retain(|h| !h.is_finished());
+            }
             // Out of threads: drop the connection rather than the server.
             Err(_) => continue,
         }
     }
 }
 
+/// Shed one arrival at admission: consume the greeting frame already in
+/// flight, answer it with a single typed `Overloaded` reply, then
+/// half-close and wait briefly for the peer's FIN. Reading first matters:
+/// closing a socket with unread inbound bytes (the client's HELLO) sends
+/// an RST that destroys the queued reply before the client can read it,
+/// turning the typed shed into an opaque "broken pipe". Every step runs
+/// under a short deadline so a slow shed never stalls the accept loop.
+fn shed_overloaded(shared: &Arc<Shared>, mut stream: TcpStream, active: u32, limit: u32) {
+    shared.count("served.overloaded");
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let greeting = FrameReadPolicy {
+        idle_event: false,
+        stall_ticks: 1,
+        tick_ms: 250,
+    };
+    let _ = wire::read_frame_with(&mut stream, greeting);
+    let frame = wire::encode_response(&Response::Error(ServerError::Overloaded {
+        active,
+        limit,
+    }));
+    let _ = wire::write_frame(&mut stream, &frame);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Bounded wait (the 250 ms read deadline) for the peer to see the
+    // reply and close; a zero-byte read is its FIN.
+    let mut sink = [0u8; 16];
+    let _ = std::io::Read::read(&mut stream, &mut sink);
+}
+
+/// Per-connection token bucket enforcing the sustained frame-rate cap
+/// with one second of burst depth.
+struct FrameBudget {
+    rate: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl FrameBudget {
+    fn new(max_frames_per_sec: u32) -> Option<FrameBudget> {
+        (max_frames_per_sec > 0).then(|| FrameBudget {
+            rate: f64::from(max_frames_per_sec),
+            tokens: f64::from(max_frames_per_sec),
+            // vesta-lint: allow(wallclock-in-core, reason = "the frame-rate cap meters real inter-arrival time on the wire; prediction math stays deterministic — only connection admission depends on this read")
+            last: Instant::now(),
+        })
+    }
+
+    /// Account one frame; false when the cap is breached.
+    fn admit(&mut self) -> bool {
+        // vesta-lint: allow(wallclock-in-core, reason = "token-bucket refill is proportional to real elapsed wire time; this guards the socket, not the deterministic prediction path")
+        let now = Instant::now();
+        self.tokens = (self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate)
+            .min(self.rate);
+        self.last = now;
+        if self.tokens < 1.0 {
+            return false;
+        }
+        self.tokens -= 1.0;
+        true
+    }
+}
+
 fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     shared.count("served.connections");
+    let policy = FrameReadPolicy {
+        idle_event: true,
+        stall_ticks: shared.limits.stall_ticks,
+        tick_ms: shared.limits.tick_ms,
+    };
+    let mut budget = FrameBudget::new(shared.limits.max_frames_per_sec);
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.stopping() {
+            // Drain/shutdown between frames: in-flight work already
+            // finished, close at this frame boundary.
             return;
         }
-        let payload = match wire::read_frame(&mut stream) {
+        let payload = match wire::read_frame_with(&mut stream, policy) {
             Ok(FrameEvent::Frame(payload)) => payload,
             Ok(FrameEvent::Closed) => return,
             Ok(FrameEvent::Idle) => continue,
+            Err(e @ ServerError::Timeout { .. }) => {
+                // Slow-loris: mid-frame silence outlived the progress
+                // timeout. Typed reply, then kill the connection.
+                shared.count("served.stall_kills");
+                let frame = wire::encode_response(&Response::Error(e));
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let _ = wire::write_frame(&mut stream, &frame);
+                return;
+            }
             Err(e) => {
                 // Best-effort typed reply; the stream is unsynchronized
                 // after a framing error, so the connection ends here.
@@ -313,6 +638,16 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             }
         };
         shared.count("served.frames");
+        if let Some(b) = budget.as_mut() {
+            if !b.admit() {
+                shared.count("served.rate_limited");
+                let frame = wire::encode_response(&Response::Error(ServerError::RateLimited {
+                    limit: shared.limits.max_frames_per_sec,
+                }));
+                let _ = wire::write_frame(&mut stream, &frame);
+                return;
+            }
+        }
         let response = handle_payload(shared, &payload);
         let close = matches!(
             response,

@@ -51,6 +51,10 @@ const ERR_VERSION: u8 = 5;
 const ERR_TENANT: u8 = 6;
 const ERR_WORKLOAD: u8 = 7;
 const ERR_INTERNAL: u8 = 8;
+const ERR_TIMEOUT: u8 = 9;
+const ERR_OVERLOADED: u8 = 10;
+const ERR_RATE_LIMITED: u8 = 11;
+const ERR_RETRY_EXHAUSTED: u8 = 12;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,18 +213,32 @@ enum Fill {
     /// EOF after some bytes — the peer tore the stream mid-buffer.
     Partial,
     Idle,
+    /// The stall bound fired: `stall_ticks` consecutive read timeouts
+    /// passed without a single byte of progress.
+    Stalled,
 }
 
 /// Fill `buf` from `r`. `allow_idle` turns a timeout **before the first
-/// byte** into [`Fill::Idle`]; once a frame is in progress, timeouts keep
-/// the read looping so a slow writer cannot tear a frame.
-fn fill(r: &mut impl Read, buf: &mut [u8], allow_idle: bool) -> Result<Fill, ServerError> {
+/// byte** into [`Fill::Idle`]. `stall_ticks` bounds mid-buffer stalls:
+/// after that many *consecutive* zero-progress timeout ticks the fill
+/// reports [`Fill::Stalled`] (0 keeps the legacy behavior of looping
+/// forever, trusting the peer to eventually finish the frame).
+fn fill(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    allow_idle: bool,
+    stall_ticks: u32,
+) -> Result<Fill, ServerError> {
     let mut got = 0;
+    let mut idle_ticks = 0u32;
     while got < buf.len() {
         match r.read(&mut buf[got..]) {
             Ok(0) if got == 0 => return Ok(Fill::Eof),
             Ok(0) => return Ok(Fill::Partial),
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                idle_ticks = 0;
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -229,6 +247,10 @@ fn fill(r: &mut impl Read, buf: &mut [u8], allow_idle: bool) -> Result<Fill, Ser
             {
                 if got == 0 && allow_idle {
                     return Ok(Fill::Idle);
+                }
+                idle_ticks += 1;
+                if stall_ticks > 0 && idle_ticks >= stall_ticks {
+                    return Ok(Fill::Stalled);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -251,17 +273,70 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServerError
     w.flush().map_err(io)
 }
 
+/// How a [`read_frame_with`] call treats read-timeout ticks (the socket's
+/// `set_read_timeout` interval). The policy is what turns a silent or
+/// slow-loris peer into a typed error instead of a hung thread.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameReadPolicy {
+    /// `true`: a timeout tick **before the first header byte** yields
+    /// [`FrameEvent::Idle`] so the caller can poll (server shutdown
+    /// flag). `false`: pre-frame ticks count against `stall_ticks` like
+    /// any other — a caller that *expects* a reply wants a timeout, not
+    /// an idle event.
+    pub idle_event: bool,
+    /// Consecutive zero-progress timeout ticks tolerated once a frame is
+    /// in progress (and before it, when `idle_event` is `false`) before
+    /// the read dies with [`ServerError::Timeout`]. `0` = unbounded
+    /// (the legacy behavior — only safe against trusted peers).
+    pub stall_ticks: u32,
+    /// Length of one socket read-timeout tick in milliseconds; only used
+    /// to report the total stall in the [`ServerError::Timeout`].
+    pub tick_ms: u64,
+}
+
+impl FrameReadPolicy {
+    /// The legacy policy [`read_frame`] uses: idle events on, no stall
+    /// bound.
+    pub fn trusting() -> Self {
+        FrameReadPolicy {
+            idle_event: true,
+            stall_ticks: 0,
+            tick_ms: 0,
+        }
+    }
+
+    fn stall_error(&self) -> ServerError {
+        ServerError::Timeout {
+            waited_ms: self.tick_ms.saturating_mul(u64::from(self.stall_ticks)),
+        }
+    }
+}
+
 /// Read one frame. Clean EOF between frames is [`FrameEvent::Closed`];
 /// EOF mid-frame is [`ServerError::Truncated`]; a checksum mismatch is
 /// [`ServerError::Checksum`]. The declared length is validated against
-/// [`MAX_FRAME_LEN`] before any allocation.
+/// [`MAX_FRAME_LEN`] before any allocation. Timeout ticks follow the
+/// trusting policy: idle before a frame, looping forever inside one —
+/// use [`read_frame_with`] to bound stalls.
 pub fn read_frame(r: &mut impl Read) -> Result<FrameEvent, ServerError> {
+    read_frame_with(r, FrameReadPolicy::trusting())
+}
+
+/// [`read_frame`] under an explicit [`FrameReadPolicy`]: the serving path
+/// uses it to kill slow-loris connections (bounded mid-frame stall), the
+/// client to surface a dead peer as [`ServerError::Timeout`] instead of
+/// blocking forever.
+pub fn read_frame_with(
+    r: &mut impl Read,
+    policy: FrameReadPolicy,
+) -> Result<FrameEvent, ServerError> {
     let mut header = [0u8; 8];
-    match fill(r, &mut header, true)? {
+    match fill(r, &mut header, policy.idle_event, policy.stall_ticks)? {
         Fill::Done => {}
         Fill::Eof => return Ok(FrameEvent::Closed),
         Fill::Partial => return Err(ServerError::Truncated),
         Fill::Idle => return Ok(FrameEvent::Idle),
+        Fill::Stalled => return Err(policy.stall_error()),
     }
     let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
     let expected = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
@@ -269,9 +344,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<FrameEvent, ServerError> {
         return Err(ServerError::Oversize { len });
     }
     let mut payload = vec![0u8; len as usize];
-    match fill(r, &mut payload, false)? {
+    match fill(r, &mut payload, false, policy.stall_ticks)? {
         Fill::Done => {}
         Fill::Eof | Fill::Partial | Fill::Idle => return Err(ServerError::Truncated),
+        Fill::Stalled => return Err(policy.stall_error()),
     }
     let found = crc32(&payload);
     if found != expected {
@@ -601,6 +677,29 @@ fn put_error(buf: &mut Vec<u8>, e: &ServerError) {
             buf.push(*transient as u8);
             put_str(buf, message);
         }
+        ServerError::Timeout { waited_ms } => {
+            buf.push(ERR_TIMEOUT);
+            put_u64(buf, *waited_ms);
+        }
+        ServerError::Overloaded { active, limit } => {
+            buf.push(ERR_OVERLOADED);
+            put_u32(buf, *active);
+            put_u32(buf, *limit);
+        }
+        ServerError::RateLimited { limit } => {
+            buf.push(ERR_RATE_LIMITED);
+            put_u32(buf, *limit);
+        }
+        ServerError::RetryBudgetExhausted { attempts } => {
+            buf.push(ERR_RETRY_EXHAUSTED);
+            put_u32(buf, attempts.len() as u32);
+            for a in attempts {
+                put_u32(buf, a.attempt);
+                buf.push(a.transient as u8);
+                put_u64(buf, a.backoff_ms);
+                put_str(buf, &a.error);
+            }
+        }
     }
 }
 
@@ -624,6 +723,27 @@ fn read_error(c: &mut Cursor<'_>) -> Result<ServerError, ServerError> {
             transient: c.bool()?,
             message: c.str()?,
         },
+        ERR_TIMEOUT => ServerError::Timeout {
+            waited_ms: c.u64()?,
+        },
+        ERR_OVERLOADED => ServerError::Overloaded {
+            active: c.u32()?,
+            limit: c.u32()?,
+        },
+        ERR_RATE_LIMITED => ServerError::RateLimited { limit: c.u32()? },
+        ERR_RETRY_EXHAUSTED => {
+            let n = c.u32()? as usize;
+            let mut attempts = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                attempts.push(crate::RetryAttempt {
+                    attempt: c.u32()?,
+                    transient: c.bool()?,
+                    backoff_ms: c.u64()?,
+                    error: c.str()?,
+                });
+            }
+            ServerError::RetryBudgetExhausted { attempts }
+        }
         other => {
             return Err(ServerError::Malformed(format!(
                 "unknown error code {other}"
@@ -820,6 +940,28 @@ mod tests {
             ServerError::Internal {
                 transient: true,
                 message: "journal io".into(),
+            },
+            ServerError::Timeout { waited_ms: 1500 },
+            ServerError::Overloaded {
+                active: 64,
+                limit: 64,
+            },
+            ServerError::RateLimited { limit: 512 },
+            ServerError::RetryBudgetExhausted {
+                attempts: vec![
+                    crate::RetryAttempt {
+                        attempt: 0,
+                        error: "io: connection reset".into(),
+                        transient: true,
+                        backoff_ms: 25,
+                    },
+                    crate::RetryAttempt {
+                        attempt: 1,
+                        error: "peer made no frame progress for 200 ms".into(),
+                        transient: true,
+                        backoff_ms: 0,
+                    },
+                ],
             },
         ];
         for e in errors {

@@ -1,0 +1,138 @@
+//! Seeded smoke sweep of the shared codec fuzz harness.
+//!
+//! Runs [`vesta_served::fuzzing::codec_fuzz_case`] — the exact body the
+//! cargo-fuzz target wraps — over three deterministic corpora on every
+//! plain `cargo test`, so the codec's no-panic / round-trip-stability
+//! contract is exercised even where libFuzzer is unavailable:
+//!
+//! 1. raw splitmix64 byte strings of varied lengths,
+//! 2. well-formed frames and encoded messages (the happy paths), and
+//! 3. seeded single-byte mutations of those well-formed buffers (the
+//!    near-miss corpus where framing bugs actually live).
+
+use vesta_core::PredictOptions;
+use vesta_served::fuzzing::codec_fuzz_case;
+use vesta_served::wire::{self, Request, Response};
+use vesta_served::ServerError;
+
+/// Deterministic byte-string generator (splitmix64 over a fixed seed).
+struct ByteGen(u64);
+
+impl ByteGen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| (self.next_u64() & 0xFF) as u8).collect()
+    }
+}
+
+#[test]
+fn random_bytes_never_panic_the_codec() {
+    let mut generator = ByteGen(0xF0CC_5EED_0CDE_C0DE);
+    for round in 0..256u64 {
+        // Sweep lengths across the interesting boundaries: empty, tiny,
+        // around the 8-byte frame header, and into multi-frame sizes.
+        let len = match round % 8 {
+            0 => 0,
+            1 => 1,
+            2 => 7,
+            3 => 8,
+            4 => 9,
+            5 => 64,
+            6 => 512,
+            _ => (generator.next_u64() % 4096) as usize,
+        };
+        let data = generator.bytes(len);
+        codec_fuzz_case(&data);
+    }
+}
+
+/// Well-formed buffers the sweep mutates: every request verb, the
+/// response shapes with interesting payloads, each both bare and framed.
+fn seed_corpus() -> Vec<Vec<u8>> {
+    let requests = [
+        Request::Hello {
+            version: wire::WIRE_VERSION,
+        },
+        Request::Predict {
+            tenant: "alpha".to_string(),
+            workloads: vec!["Spark-kmeans".to_string(), "Hive-join".to_string()],
+            options: PredictOptions::default(),
+        },
+        Request::Metrics,
+    ];
+    let responses = [
+        Response::HelloAck {
+            version: wire::WIRE_VERSION,
+        },
+        Response::Metrics {
+            snapshot_json: "{\"schema\":\"vesta-telemetry/1\"}".to_string(),
+        },
+        Response::Error(ServerError::Overloaded {
+            active: 7,
+            limit: 4,
+        }),
+        Response::Error(ServerError::Timeout { waited_ms: 1234 }),
+    ];
+    let mut corpus = Vec::new();
+    for payload in requests
+        .iter()
+        .map(wire::encode_request)
+        .chain(responses.iter().map(wire::encode_response))
+    {
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &payload).expect("seed payload frames");
+        corpus.push(payload);
+        corpus.push(framed);
+    }
+    corpus
+}
+
+#[test]
+fn well_formed_buffers_survive_the_harness() {
+    for buffer in seed_corpus() {
+        codec_fuzz_case(&buffer);
+    }
+}
+
+#[test]
+fn mutated_well_formed_buffers_never_panic() {
+    let corpus = seed_corpus();
+    let mut generator = ByteGen(0x5EED_CAFE);
+    for buffer in &corpus {
+        for _ in 0..64 {
+            let mut mutated = buffer.clone();
+            match generator.next_u64() % 4 {
+                // Flip one bit somewhere.
+                0 if !mutated.is_empty() => {
+                    let at = (generator.next_u64() as usize) % mutated.len();
+                    mutated[at] ^= 1 << (generator.next_u64() % 8);
+                }
+                // Truncate to a prefix (torn frame).
+                1 if !mutated.is_empty() => {
+                    let keep = (generator.next_u64() as usize) % mutated.len();
+                    mutated.truncate(keep);
+                }
+                // Append random garbage (trailing bytes after a frame).
+                2 => {
+                    let extra_len = 1 + (generator.next_u64() as usize) % 16;
+                    let extra = generator.bytes(extra_len);
+                    mutated.extend_from_slice(&extra);
+                }
+                // Overwrite one byte.
+                _ if !mutated.is_empty() => {
+                    let at = (generator.next_u64() as usize) % mutated.len();
+                    mutated[at] = (generator.next_u64() & 0xFF) as u8;
+                }
+                _ => {}
+            }
+            codec_fuzz_case(&mutated);
+        }
+    }
+}

@@ -5,9 +5,9 @@
 //! cargo run -p vesta-xtask -- perf-check [--suite throughput|serving]
 //!                                        [--baseline <json>] [--current <json>]
 //!                                        [--tolerance <frac>]
-//! cargo run -p vesta-xtask -- telemetry-check [--ledger chaos|drift|both]
+//! cargo run -p vesta-xtask -- telemetry-check [--ledger chaos|drift|both|serving-chaos]
 //!                                             [--telemetry <json>] [--chaos <json>]
-//!                                             [--drift <json>]
+//!                                             [--drift <json>] [--serving-chaos <json>]
 //! ```
 //!
 //! `perf-check` gates p99 latency and the throughput series of a fresh
@@ -21,7 +21,11 @@
 //! the default), with the `results/BENCH_drift.json` drift summary
 //! (`--ledger drift`), or both. The ledger must match the run that
 //! produced the telemetry snapshot: `--ledger drift` pairs with
-//! `experiments --quick --drift --telemetry`.
+//! `experiments --quick --drift --telemetry`. `--ledger serving-chaos`
+//! gates `results/BENCH_serving_chaos.json` on its own recorded
+//! invariants (zero lost/duplicated absorptions, both bit-identity
+//! proofs, p99 under the report's ceiling, chaos actually fired) — no
+//! telemetry snapshot needed.
 //!
 //! Exit codes: 0 clean, 1 findings/regression/mismatch, 2 usage or I/O
 //! error.
@@ -55,8 +59,8 @@ commands:
                    [--suite throughput|serving] [--baseline <json>]
                    [--current <json>] [--tolerance <frac>]
   telemetry-check  cross-check TELEMETRY.json against an experiment ledger
-                   [--ledger chaos|drift|both] [--telemetry <json>]
-                   [--chaos <json>] [--drift <json>]";
+                   [--ledger chaos|drift|both|serving-chaos] [--telemetry <json>]
+                   [--chaos <json>] [--drift <json>] [--serving-chaos <json>]";
 
 fn cmd_lint(args: &[String]) -> ExitCode {
     let mut format_json = false;
@@ -198,8 +202,12 @@ fn cmd_telemetry_check(args: &[String]) -> ExitCode {
     let mut telemetry = workspace_root().join("results/TELEMETRY.json");
     let mut chaos = workspace_root().join("results/BENCH_chaos.json");
     let mut drift = workspace_root().join("results/BENCH_drift.json");
+    let mut serving_chaos = workspace_root().join("results/BENCH_serving_chaos.json");
     let mut ledger = "chaos".to_string();
-    let flags = match flag_values(args, &["--telemetry", "--chaos", "--drift", "--ledger"]) {
+    let flags = match flag_values(
+        args,
+        &["--telemetry", "--chaos", "--drift", "--serving-chaos", "--ledger"],
+    ) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("{e}\n{USAGE}");
@@ -211,16 +219,37 @@ fn cmd_telemetry_check(args: &[String]) -> ExitCode {
             "--telemetry" => telemetry = PathBuf::from(value),
             "--chaos" => chaos = PathBuf::from(value),
             "--drift" => drift = PathBuf::from(value),
+            "--serving-chaos" => serving_chaos = PathBuf::from(value),
             "--ledger" => ledger = value,
             _ => unreachable!("flag_values filtered"),
         }
+    }
+    // The serving-chaos ledger gates on its own recorded invariants and
+    // needs no telemetry snapshot, so it short-circuits here.
+    if ledger == "serving-chaos" {
+        return match vesta_xtask::perf::serving_chaos_check_files(&serving_chaos) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                }
+            }
+            Err(e) => {
+                eprintln!("vesta-xtask telemetry-check: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     let (check_chaos, check_drift) = match ledger.as_str() {
         "chaos" => (true, false),
         "drift" => (false, true),
         "both" => (true, true),
         other => {
-            eprintln!("--ledger takes `chaos`, `drift` or `both`, got `{other}`\n{USAGE}");
+            eprintln!(
+                "--ledger takes `chaos`, `drift`, `both` or `serving-chaos`, got `{other}`\n{USAGE}"
+            );
             return ExitCode::from(2);
         }
     };

@@ -378,6 +378,177 @@ pub fn drift_check_files(telemetry: &Path, drift: &Path) -> Result<TelemetryChec
     drift_check(&snapshot, &drift_doc)
 }
 
+/// One pass/fail assertion over the serving-chaos ledger.
+#[derive(Debug, Clone)]
+pub struct LedgerGate {
+    /// What the gate asserts.
+    pub name: String,
+    /// The observed value(s), rendered for the verdict line.
+    pub detail: String,
+    /// True when the assertion held.
+    pub ok: bool,
+}
+
+/// Result of one `--ledger serving-chaos` run.
+#[derive(Debug)]
+pub struct LedgerGateReport {
+    /// The individual gates, in check order.
+    pub gates: Vec<LedgerGate>,
+}
+
+impl LedgerGateReport {
+    /// True when every gate held.
+    pub fn is_clean(&self) -> bool {
+        self.gates.iter().all(|g| g.ok)
+    }
+
+    /// Human-readable summary, one line per gate.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for g in &self.gates {
+            out.push_str(&format!(
+                "{:<44} {:<28} {}\n",
+                g.name,
+                g.detail,
+                if g.ok { "ok" } else { "FAILED" }
+            ));
+        }
+        let failed = self.gates.iter().filter(|g| !g.ok).count();
+        out.push_str(&format!(
+            "serving-chaos-check: {} of {} gate(s) failed\n",
+            failed,
+            self.gates.len()
+        ));
+        out
+    }
+}
+
+/// The five scenarios `BENCH_serving_chaos.json` must carry, in the
+/// order the harness runs them.
+const SERVING_CHAOS_SCENARIOS: &[&str] = &[
+    "bit-identity",
+    "lossy-network",
+    "stall-storm",
+    "overload-shed",
+    "drain-under-load",
+];
+
+/// A scenario field that the harness writes as a stringified number, or
+/// `"-"` when the scenario has no such measurement.
+fn scenario_field(sc: &JsonValue, field: &str) -> Result<Option<f64>, String> {
+    let v = sc
+        .get(field)
+        .ok_or_else(|| format!("scenario is missing `{field}`"))?;
+    if let Some(n) = v.as_f64() {
+        return Ok(Some(n));
+    }
+    match v.as_str() {
+        Some("-") => Ok(None),
+        Some(s) => s
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| format!("scenario `{field}` = `{s}` is not numeric")),
+        None => Err(format!("scenario `{field}` is neither number nor string")),
+    }
+}
+
+/// Gate a `BENCH_serving_chaos.json` ledger: the five scenarios must all
+/// be present, the recorded invariants must hold (zero lost, zero
+/// duplicated absorptions; both bit-identity proofs true), every measured
+/// p99 must sit under the report's own ceiling, the transparency scenario
+/// must show zero injections and zero failures, and the two
+/// chaos-bearing scenarios must show the chaos actually fired.
+pub fn serving_chaos_check(doc: &JsonValue) -> Result<LedgerGateReport, String> {
+    let scenarios = doc
+        .get_path(&["series", "scenarios"])
+        .and_then(JsonValue::as_array)
+        .ok_or("serving-chaos report is missing `series.scenarios`")?;
+    let name_of = |sc: &JsonValue| -> Option<String> {
+        sc.get("scenario").and_then(JsonValue::as_str).map(String::from)
+    };
+    let mut gates = Vec::new();
+
+    let found: Vec<String> = scenarios.iter().filter_map(|s| name_of(s)).collect();
+    let complete = SERVING_CHAOS_SCENARIOS
+        .iter()
+        .all(|want| found.iter().filter(|have| have == want).count() == 1);
+    gates.push(LedgerGate {
+        name: "scenarios.complete".to_string(),
+        detail: found.join(","),
+        ok: complete && found.len() == SERVING_CHAOS_SCENARIOS.len(),
+    });
+
+    for (invariant, want_zero) in [
+        ("lost_absorptions", true),
+        ("duplicated_absorptions", true),
+    ] {
+        let v = doc
+            .get_path(&["series", "invariants", invariant])
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("report is missing numeric `series.invariants.{invariant}`"))?;
+        gates.push(LedgerGate {
+            name: format!("invariants.{invariant}"),
+            detail: format!("{v}"),
+            ok: !want_zero || v == 0.0,
+        });
+    }
+    for invariant in ["none_plan_bit_identical", "journal_replay_bit_identical"] {
+        let v = doc
+            .get_path(&["series", "invariants", invariant])
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| format!("report is missing boolean `series.invariants.{invariant}`"))?;
+        gates.push(LedgerGate {
+            name: format!("invariants.{invariant}"),
+            detail: format!("{v}"),
+            ok: v,
+        });
+    }
+
+    let ceiling = doc
+        .get_path(&["series", "p99_ceiling_ms"])
+        .and_then(JsonValue::as_f64)
+        .ok_or("report is missing numeric `series.p99_ceiling_ms`")?;
+    for sc in scenarios {
+        let name = name_of(sc).ok_or("scenario is missing `scenario`")?;
+        if let Some(p99) = scenario_field(sc, "p99_ms")? {
+            gates.push(LedgerGate {
+                name: format!("{name}.p99_under_ceiling"),
+                detail: format!("{p99:.0} ms <= {ceiling:.0} ms"),
+                ok: p99.is_finite() && p99 <= ceiling,
+            });
+        }
+        let injections = scenario_field(sc, "injections")?.unwrap_or(0.0);
+        match name.as_str() {
+            // The transparency proof: a none() plan must be inert and
+            // lossless.
+            "bit-identity" => {
+                let failed = scenario_field(sc, "failed")?.unwrap_or(f64::NAN);
+                gates.push(LedgerGate {
+                    name: "bit-identity.inert".to_string(),
+                    detail: format!("injections {injections}, failed {failed}"),
+                    ok: injections == 0.0 && failed == 0.0,
+                });
+            }
+            // The chaos-bearing scenarios: a ledger recording zero
+            // injections means the run silently tested a clean network.
+            "lossy-network" | "stall-storm" => {
+                gates.push(LedgerGate {
+                    name: format!("{name}.chaos_fired"),
+                    detail: format!("injections {injections}"),
+                    ok: injections > 0.0,
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(LedgerGateReport { gates })
+}
+
+/// File-reading front end for [`serving_chaos_check`].
+pub fn serving_chaos_check_files(ledger: &Path) -> Result<LedgerGateReport, String> {
+    serving_chaos_check(&read_json(ledger)?)
+}
+
 fn read_snapshot(telemetry: &Path) -> Result<TelemetrySnapshot, String> {
     let text =
         fs::read_to_string(telemetry).map_err(|e| format!("read {}: {e}", telemetry.display()))?;
@@ -584,5 +755,92 @@ mod tests {
     fn malformed_drift_report_errors() {
         let doc = parse(r#"{"series": {"epochs": []}}"#).expect("parses");
         assert!(drift_check(&TelemetrySnapshot::default(), &doc).is_err());
+    }
+
+    /// A healthy serving-chaos ledger, shaped exactly as the harness
+    /// writes it (numeric row values stringified, `-` for unmeasured).
+    fn serving_chaos_json(lost: u64, bit_identical: bool, stall_p99: &str) -> JsonValue {
+        parse(&format!(
+            r#"{{"id": "BENCH_serving_chaos", "series": {{
+                "p99_ceiling_ms": 30000,
+                "invariants": {{
+                    "lost_absorptions": {lost},
+                    "duplicated_absorptions": 0,
+                    "none_plan_bit_identical": {bit_identical},
+                    "journal_replay_bit_identical": true
+                }},
+                "scenarios": [
+                    {{"scenario": "bit-identity", "requests": "8", "served": "8",
+                      "failed": "0", "p50_ms": "-", "p99_ms": "-",
+                      "injections": "0", "absorbed": "-"}},
+                    {{"scenario": "lossy-network", "requests": "60", "served": "58",
+                      "failed": "2", "p50_ms": "12", "p99_ms": "2100",
+                      "injections": "41", "absorbed": "3"}},
+                    {{"scenario": "stall-storm", "requests": "42", "served": "40",
+                      "failed": "2", "p50_ms": "10", "p99_ms": "{stall_p99}",
+                      "injections": "9", "absorbed": "3"}},
+                    {{"scenario": "overload-shed", "requests": "2", "served": "1",
+                      "failed": "1", "p50_ms": "-", "p99_ms": "-",
+                      "injections": "0", "absorbed": "1"}},
+                    {{"scenario": "drain-under-load", "requests": "36", "served": "30",
+                      "failed": "6", "p50_ms": "11", "p99_ms": "800",
+                      "injections": "0", "absorbed": "3"}}
+                ]
+            }}}}"#
+        ))
+        .expect("serving-chaos doc parses")
+    }
+
+    #[test]
+    fn healthy_serving_chaos_ledger_passes() {
+        let r = serving_chaos_check(&serving_chaos_json(0, true, "4200")).expect("checks");
+        assert!(r.is_clean(), "{}", r.render());
+        // Completeness + 4 invariants + 3 measured p99s + inertness +
+        // two chaos-fired gates.
+        assert_eq!(r.gates.len(), 11);
+    }
+
+    #[test]
+    fn lost_absorption_fails_the_gate() {
+        let r = serving_chaos_check(&serving_chaos_json(1, true, "4200")).expect("checks");
+        assert!(!r.is_clean());
+        assert!(r.render().contains("invariants.lost_absorptions"));
+        assert!(r.render().contains("FAILED"));
+    }
+
+    #[test]
+    fn broken_transparency_proof_fails_the_gate() {
+        let r = serving_chaos_check(&serving_chaos_json(0, false, "4200")).expect("checks");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn p99_over_ceiling_fails_the_gate() {
+        let r = serving_chaos_check(&serving_chaos_json(0, true, "90000")).expect("checks");
+        assert!(!r.is_clean());
+        assert!(r.render().contains("stall-storm.p99_under_ceiling"));
+    }
+
+    #[test]
+    fn missing_scenario_fails_completeness() {
+        let doc = parse(
+            r#"{"series": {"p99_ceiling_ms": 30000,
+                "invariants": {"lost_absorptions": 0, "duplicated_absorptions": 0,
+                               "none_plan_bit_identical": true,
+                               "journal_replay_bit_identical": true},
+                "scenarios": [{"scenario": "bit-identity", "requests": "8",
+                               "served": "8", "failed": "0", "p50_ms": "-",
+                               "p99_ms": "-", "injections": "0", "absorbed": "-"}]}}"#,
+        )
+        .expect("parses");
+        let r = serving_chaos_check(&doc).expect("checks");
+        assert!(!r.is_clean());
+        assert!(r.render().contains("scenarios.complete"));
+    }
+
+    #[test]
+    fn malformed_serving_chaos_report_errors() {
+        let doc = parse(r#"{"series": {}}"#).expect("parses");
+        assert!(serving_chaos_check(&doc).is_err());
     }
 }

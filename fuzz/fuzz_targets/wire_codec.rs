@@ -1,0 +1,14 @@
+//! libFuzzer entry point for the `vesta-wire/1` codec.
+//!
+//! The property lives in `vesta_served::fuzzing::codec_fuzz_case` so the
+//! same body also runs as a seeded in-tree sweep on plain `cargo test`
+//! (`crates/served/tests/fuzz_smoke.rs`); this wrapper only adds the
+//! coverage-guided byte source.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    vesta_served::fuzzing::codec_fuzz_case(data);
+});

@@ -92,15 +92,22 @@ commands:
   serve         run the multi-tenant prediction server (--knowledge FILE,
                 --addr HOST:PORT, default 127.0.0.1:7711; --tenants a,b,c
                 registers the snapshot under each name, default 'default';
-                --journal-dir DIR for per-tenant absorption journals).
+                --journal-dir DIR for per-tenant absorption journals;
+                --max-connections N sheds arrivals past N live connections
+                with a typed Overloaded reply, --max-frames-per-sec N caps
+                each connection's sustained frame rate).
                 Reads admin commands from stdin: 'publish <tenant>' drains
                 absorbed predictions into a new serving generation,
                 'metrics' prints the telemetry snapshot, 'quit' (or EOF)
-                shuts down cleanly
+                drains gracefully: in-flight requests finish and every
+                tenant journal flushes before exit
   client        send predictions to a running server (--addr HOST:PORT,
                 --tenant NAME, --workloads A,B,C or --workload NAME;
                 supervision knobs as in batch mode: --deadline-ms N
-                --breaker-threshold N --max-in-flight N; --metrics also
+                --breaker-threshold N --max-in-flight N; resilience knobs:
+                --retries N bounded idempotent retry on transient errors,
+                --retry-backoff-ms N first backoff (decorrelated jitter),
+                --timeout-ms N connect/read/write deadlines; --metrics also
                 fetches the server's vesta-telemetry/1 snapshot)";
 
 fn parse_flags(rest: &[String]) -> HashMap<String, String> {
@@ -680,11 +687,23 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7711".to_string());
 
-    let mut server = Server::start(ServerConfig {
+    let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{key} '{v}'")))
+            .transpose()
+    };
+    let mut config = ServerConfig {
         addr,
         ..ServerConfig::default()
-    })
-    .map_err(|e| e.to_string())?;
+    };
+    if let Some(n) = parse_u64("max-connections")? {
+        config.max_connections = n as u32;
+    }
+    if let Some(n) = parse_u64("max-frames-per-sec")? {
+        config.max_frames_per_sec = n as u32;
+    }
+    let mut server = Server::start(config).map_err(|e| e.to_string())?;
     for tenant in &tenants {
         // Every tenant gets its own handle rebuilt from the shared
         // snapshot, so one tenant's absorbed predictions never leak into
@@ -727,8 +746,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             other => eprintln!("unknown admin command {other:?}"),
         }
     }
-    server.shutdown();
-    println!("server drained and stopped");
+    // Graceful drain: in-flight requests finish, every tenant's journal
+    // flushes, and the exit line reports what got persisted.
+    let drained = server.drain().map_err(|e| e.to_string())?;
+    println!(
+        "server drained and stopped ({} connection(s) finished, {} tenant journal(s) flushed, \
+         {} absorption(s) persisted)",
+        drained.connections_drained, drained.tenants_flushed, drained.absorptions_flushed
+    );
     Ok(())
 }
 
@@ -768,7 +793,24 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let options = options.build().map_err(|e| e.to_string())?;
 
-    let mut client = VestaClient::connect(addr).map_err(|e| e.to_string())?;
+    // Resilience knobs: every flag overrides one field of the client's
+    // default deadline/retry budget.
+    let mut client_config = vesta_suite::served::ClientConfig::default();
+    if let Some(n) = parse_u64("retries")? {
+        client_config.retries = n as u32;
+    }
+    if let Some(ms) = parse_u64("retry-backoff-ms")? {
+        client_config.backoff_base = std::time::Duration::from_millis(ms.max(1));
+        client_config.backoff_cap = client_config.backoff_cap.max(client_config.backoff_base);
+    }
+    if let Some(ms) = parse_u64("timeout-ms")? {
+        let timeout = std::time::Duration::from_millis(ms.max(1));
+        client_config.connect_timeout = timeout;
+        client_config.read_timeout = timeout;
+        client_config.write_timeout = timeout;
+    }
+
+    let mut client = VestaClient::connect_with(addr, client_config).map_err(|e| e.to_string())?;
     // vesta-lint: allow(wallclock-in-core, reason = "CLI status line timing the remote call on this host; never feeds model state")
     let started = std::time::Instant::now();
     let reply = client

@@ -79,6 +79,9 @@ pub mod prelude {
         SupervisorReport, Vesta, VestaConfig, VestaConfigBuilder, WorkloadFingerprint,
     };
     pub use vesta_graph::{Label, LabelSpace};
-    pub use vesta_served::{Server, ServerConfig, ServerError, VestaClient};
+    pub use vesta_served::{
+        ChaosPlan, ChaosProxy, ChaosStats, ClientConfig, DrainReport, Server, ServerConfig,
+        ServerError, VestaClient,
+    };
     pub use vesta_workloads::{AlgorithmKind, DatasetScale, Framework, Suite, Workload};
 }

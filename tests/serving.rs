@@ -1,9 +1,12 @@
 //! End-to-end tests of the `vesta-served` wire server: client/server
 //! round-trips against a live TCP socket, typed error surfaces, HELLO
 //! version negotiation, the drain-and-swap publish protocol under
-//! concurrent load, and the `METRICS` verb's snapshot contract.
+//! concurrent load, the `METRICS` verb's snapshot contract, and the
+//! resilience layer — chaos-proxy transparency, typed timeouts on a
+//! silent peer, overload shed, frame-rate caps and graceful drain.
 
 use std::sync::OnceLock;
+use std::time::Duration;
 
 use vesta_suite::prelude::*;
 use vesta_suite::served::wire::{self, FrameEvent, Request, Response, WIRE_VERSION};
@@ -237,5 +240,216 @@ fn metrics_verb_serves_the_telemetry_snapshot() {
         snapshot.counter("served.outcome.ok"),
         snapshot.counter("served.tenant.t.ok"),
         "per-tenant and aggregate outcome counters diverged"
+    );
+}
+
+/// The acceptance bar for the chaos layer: a `ChaosPlan::none()` proxy
+/// between client and server must be invisible — replies byte-equal to
+/// the direct connection's (predicted times compared as bit patterns via
+/// the codec's `PartialEq`), zero injections recorded.
+#[test]
+fn chaos_none_proxy_is_bit_identical_to_direct_connection() {
+    // Twin servers from the same knowledge snapshot: one reached
+    // directly, one only through the none() proxy. Each sees an
+    // identical request stream, so even the cumulative supervisor
+    // counters in the reply must match — the proxy is the only
+    // difference between the two paths.
+    let direct_server = Server::start(ServerConfig::default()).expect("direct server starts");
+    direct_server
+        .add_tenant("t", fresh_knowledge(), journal_path("chaos-none-direct"))
+        .expect("tenant registers");
+    let proxied_server = Server::start(ServerConfig::default()).expect("proxied server starts");
+    proxied_server
+        .add_tenant("t", fresh_knowledge(), journal_path("chaos-none-proxied"))
+        .expect("tenant registers");
+    let proxy = ChaosProxy::start(proxied_server.local_addr(), ChaosPlan::none())
+        .expect("none() proxy starts");
+
+    let mut direct =
+        VestaClient::connect(direct_server.local_addr()).expect("direct client connects");
+    let mut proxied = VestaClient::connect(proxy.local_addr()).expect("proxied client connects");
+    let request_names = names(3);
+    let refs: Vec<&str> = request_names.iter().map(String::as_str).collect();
+    for _ in 0..3 {
+        let a = direct
+            .predict("t", &refs, PredictOptions::supervised())
+            .expect("direct predict");
+        let b = proxied
+            .predict("t", &refs, PredictOptions::supervised())
+            .expect("proxied predict");
+        assert_eq!(a, b, "none() proxy perturbed a reply");
+    }
+    let stats = proxy.stats();
+    assert_eq!(stats.injections(), 0, "none() proxy injected faults");
+    assert!(stats.forwarded_bytes() > 0, "proxy pumped no bytes");
+}
+
+/// The historical hang: a peer that accepts and then goes silent. The
+/// hardened client must surface a typed `Timeout` within its read
+/// deadline instead of blocking forever.
+#[test]
+fn silent_peer_surfaces_as_typed_timeout() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("listener binds");
+    let addr = listener.local_addr().expect("local addr");
+    let sink = std::thread::spawn(move || {
+        // Accept and hold the socket open, never replying.
+        let held = listener.accept().ok();
+        std::thread::sleep(Duration::from_millis(1500));
+        drop(held);
+    });
+
+    let config = ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_millis(250),
+        write_timeout: Duration::from_millis(500),
+        retries: 0,
+        ..ClientConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let err = VestaClient::connect_with(addr, config).expect_err("silent peer must not handshake");
+    match err {
+        ServerError::Timeout { waited_ms } => assert!(waited_ms >= 250),
+        other => panic!("expected a typed Timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout fired far past the configured deadline"
+    );
+    sink.join().expect("sink thread exits");
+}
+
+/// Past the connection bound, arrivals get a typed `Overloaded` shed;
+/// once a slot frees, the same address serves again.
+#[test]
+fn overload_shed_is_typed_and_slots_recover() {
+    let server = Server::start(ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    server
+        .add_tenant("t", fresh_knowledge(), journal_path("overload"))
+        .expect("tenant registers");
+    let addr = server.local_addr();
+
+    let squatter = VestaClient::connect(addr).expect("squatter takes the only slot");
+    let single_shot = ClientConfig {
+        retries: 0,
+        read_timeout: Duration::from_secs(3),
+        ..ClientConfig::default()
+    };
+    let err =
+        VestaClient::connect_with(addr, single_shot.clone()).expect_err("second arrival is shed");
+    match err {
+        ServerError::Overloaded { active, limit } => {
+            assert_eq!(limit, 1);
+            assert!(active >= 1);
+        }
+        other => panic!("expected a typed Overloaded, got {other:?}"),
+    }
+    assert!(err.is_transient(), "Overloaded must be retryable");
+
+    drop(squatter);
+    // The freed slot may take a poll tick to release; a retrying client
+    // absorbs that.
+    let patient = ClientConfig {
+        retries: 10,
+        backoff_base: Duration::from_millis(20),
+        backoff_cap: Duration::from_millis(100),
+        ..ClientConfig::default()
+    };
+    let request_names = names(1);
+    let refs: Vec<&str> = request_names.iter().map(String::as_str).collect();
+    let mut client = VestaClient::connect_with(addr, patient).expect("freed slot admits");
+    let reply = client
+        .predict("t", &refs, PredictOptions::supervised())
+        .expect("predict serves after recovery");
+    assert_eq!(reply.outcomes.len(), 1);
+    assert!(
+        server.registry().snapshot().counter("served.overloaded") >= 1,
+        "shed not recorded in telemetry"
+    );
+}
+
+/// A connection exceeding the frame-rate cap is dropped with a typed
+/// `RateLimited`; a reconnecting client is served again.
+#[test]
+fn frame_rate_cap_drops_hot_connections_typed() {
+    let server = Server::start(ServerConfig {
+        max_frames_per_sec: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    server
+        .add_tenant("t", fresh_knowledge(), journal_path("rate-cap"))
+        .expect("tenant registers");
+
+    // The HELLO spends the single token; the immediate METRICS breaches
+    // the cap.
+    let single_shot = ClientConfig {
+        retries: 0,
+        read_timeout: Duration::from_secs(3),
+        ..ClientConfig::default()
+    };
+    let mut client =
+        VestaClient::connect_with(server.local_addr(), single_shot).expect("client connects");
+    let err = client.metrics().expect_err("second frame breaches the cap");
+    match err {
+        ServerError::RateLimited { limit } => assert_eq!(limit, 1),
+        other => panic!("expected a typed RateLimited, got {other:?}"),
+    }
+    assert!(err.is_transient(), "RateLimited must be retryable");
+    assert!(
+        server.registry().snapshot().counter("served.rate_limited") >= 1,
+        "rate-limit drop not recorded in telemetry"
+    );
+}
+
+/// Graceful drain: absorptions queued by live traffic flush to the
+/// journal, the journal replays to the live state bit-for-bit, and the
+/// drained server refuses new connections.
+#[test]
+fn drain_flushes_journals_and_recovery_is_bit_identical() {
+    let mut server = Server::start(ServerConfig::default()).expect("server starts");
+    server
+        .add_tenant("t", fresh_knowledge(), journal_path("graceful-drain"))
+        .expect("tenant registers");
+    let addr = server.local_addr();
+
+    let request_names = names(3);
+    let refs: Vec<&str> = request_names.iter().map(String::as_str).collect();
+    let mut client = VestaClient::connect(addr).expect("client connects");
+    let reply = client
+        .predict("t", &refs, PredictOptions::supervised())
+        .expect("predict round-trips");
+    let served = reply.count("ok") + reply.count("degraded");
+    assert!(served > 0, "nothing served before the drain");
+    drop(client);
+
+    let report = server.drain().expect("drain completes");
+    assert_eq!(report.tenants_flushed, 1);
+    assert!(
+        report.absorptions_flushed > 0,
+        "queued absorptions did not flush on drain"
+    );
+    assert!(
+        server.check_recovery("t").expect("journal replays"),
+        "post-drain journal replay diverged from the live state"
+    );
+    let absorbed = server.tenant_absorbed_ids("t").expect("tenant registered");
+    let unique: std::collections::BTreeSet<u64> = absorbed.iter().copied().collect();
+    assert_eq!(unique.len(), absorbed.len(), "duplicate absorptions");
+
+    // The drained server is gone: new connections fail fast and typed.
+    let single_shot = ClientConfig {
+        retries: 0,
+        connect_timeout: Duration::from_millis(500),
+        ..ClientConfig::default()
+    };
+    let err = VestaClient::connect_with(addr, single_shot)
+        .expect_err("drained server must refuse new connections");
+    assert!(
+        matches!(err, ServerError::Io(_) | ServerError::Timeout { .. }),
+        "unexpected post-drain error: {err}"
     );
 }
