@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [--quick] [--chaos] [--drift] [--throughput] [--serving]
 //!             [--serving-chaos] [--telemetry]
+//!             [--fault <spec>] [--drift-plan <spec>]
 //!             [all | table1 | table3 | table4 | table5 | fig1 |
 //!              fig2 | fig3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 |
 //!              fig13 | ablations | summary | learning | flink | resilience |
@@ -21,15 +22,57 @@
 //! registry to every serving handle the experiments build and writes the
 //! aggregate snapshot to `results/TELEMETRY.json`. Results print as
 //! aligned tables and are dumped to `results/<id>.json`.
+//!
+//! `--fault <spec>` / `--drift-plan <spec>` take the comma-separated
+//! `key=value` grammar of [`vesta_bench::cliflags`] (e.g.
+//! `--fault transient=0.12,burst=4@0.3:0.9`) and append a `custom`
+//! scenario to the `chaos` / `chaos-dynamic` experiment respectively —
+//! each flag also implies its experiment the way `--chaos` / `--drift`
+//! do. A malformed or out-of-range spec is a typed usage error, exit 2.
 
 use std::path::PathBuf;
+use vesta_bench::cliflags::{parse_drift_spec, parse_fault_spec};
 use vesta_bench::{run_experiment, Context, Fidelity, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Value flags first: pull `--fault <spec>` / `--drift-plan <spec>`
+    // (and `--flag=spec`) out, leaving the boolean flags and ids.
+    let mut fault_plan = None;
+    let mut drift_plan = None;
+    let mut rest: Vec<String> = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f == "--fault" || f == "--drift-plan" => {
+                (f.to_string(), Some(v.to_string()))
+            }
+            _ => (arg.clone(), None),
+        };
+        if flag != "--fault" && flag != "--drift-plan" {
+            rest.push(arg);
+            continue;
+        }
+        let Some(spec) = inline.or_else(|| it.next()) else {
+            eprintln!("{flag} needs a value (e.g. {flag} transient=0.12)");
+            std::process::exit(2);
+        };
+        let parsed = if flag == "--fault" {
+            parse_fault_spec(&spec).map(|p| fault_plan = Some(p))
+        } else {
+            parse_drift_spec(&spec).map(|p| drift_plan = Some(p))
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+    let args = rest;
+
     let quick = args.iter().any(|a| a == "--quick");
-    let chaos = args.iter().any(|a| a == "--chaos");
-    let drift = args.iter().any(|a| a == "--drift");
+    let chaos = args.iter().any(|a| a == "--chaos") || fault_plan.is_some();
+    let drift = args.iter().any(|a| a == "--drift") || drift_plan.is_some();
     let throughput = args.iter().any(|a| a == "--throughput");
     let serving = args.iter().any(|a| a == "--serving");
     let serving_chaos = args.iter().any(|a| a == "--serving-chaos");
@@ -80,6 +123,12 @@ fn main() {
     let mut ctx = Context::new(fidelity);
     if telemetry {
         ctx = ctx.with_telemetry();
+    }
+    if let Some(plan) = fault_plan {
+        ctx = ctx.with_fault_plan(plan);
+    }
+    if let Some(plan) = drift_plan {
+        ctx = ctx.with_drift_plan(plan);
     }
     let results_dir = PathBuf::from("results");
     let started = vesta_bench::Stopwatch::start();

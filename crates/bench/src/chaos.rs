@@ -190,8 +190,29 @@ pub fn chaos(ctx: &Context) -> ExperimentReport {
     workloads.extend(ctx.suite.source_testing().into_iter().cloned());
     let n = workloads.len();
 
+    let mut scenario_list = scenarios();
+    if let Some(plan) = &ctx.fault_override {
+        // CLI-supplied plan (`--fault <spec>`): same supervision settings
+        // as the built-in scenarios; bit-identity is asserted exactly when
+        // the plan cannot fail a run (the criterion documented on
+        // `Scenario::deterministic`).
+        scenario_list.push(Scenario {
+            name: "custom",
+            plan: plan.clone(),
+            supervisor: SupervisorConfig {
+                deadline_ms: 0,
+                breaker_threshold: 2,
+                breaker_probe_after: 2,
+                max_in_flight: 0,
+            },
+            deterministic: plan.transient_failure_rate <= 0.0
+                && plan.unavailable_rate <= 0.0
+                && !plan.burst_active(),
+        });
+    }
+
     let mut series_scenarios = Vec::new();
-    for sc in scenarios() {
+    for sc in scenario_list {
         // Sequential pass, one request at a time, for the latency
         // distribution under fault (and, for deterministic plans, the
         // reference the concurrent pass is checked against).
@@ -695,6 +716,53 @@ pub fn dynamic_chaos(ctx: &Context) -> ExperimentReport {
         "ok": ok, "degraded": degraded, "shed": shed, "failed": failed,
     });
 
+    let mut scenario_series = vec![spot_series, churn_series, diurnal_series, region_series];
+
+    // --- 5. custom (CLI `--drift-plan <spec>`) ---------------------------
+    if let Some(plan) = &ctx.drift_override {
+        let inj = dyn_injector(ctx, plan.clone());
+        let probe_epoch = plan.horizon_epochs / 2;
+        let base_fault = FaultPlan {
+            seed: CHAOS_FAULT_SEED,
+            ..FaultPlan::none()
+        };
+        let derived = inj.fault_plan_at(probe_epoch, &base_fault, catalog);
+        let handle = dyn_handle(
+            ctx,
+            derived.clone(),
+            SupervisorConfig {
+                deadline_ms: 0,
+                breaker_threshold: 2,
+                breaker_probe_after: 2,
+                max_in_flight: 0,
+            },
+        );
+        let outcomes = supervised_batch(&handle, &workloads);
+        let ledger = handle.supervisor_report();
+        assert_eq!(ledger.total(), n as u64, "custom: ledger leaked");
+        let (ok, degraded, shed, failed) = outcome_counts(&outcomes);
+        report.row(vec![
+            "custom".into(),
+            n.to_string(),
+            ok.to_string(),
+            degraded.to_string(),
+            shed.to_string(),
+            failed.to_string(),
+            ledger.breaker_trips.to_string(),
+            format!(
+                "CLI plan probed at epoch {probe_epoch}/{}: derived transient rate {:.3}",
+                plan.horizon_epochs, derived.transient_failure_rate
+            ),
+        ]);
+        scenario_series.push(serde_json::json!({
+            "name": "custom",
+            "probe_epoch": probe_epoch,
+            "derived_transient_rate": derived.transient_failure_rate,
+            "ok": ok, "degraded": degraded, "shed": shed, "failed": failed,
+            "breaker_trips": ledger.breaker_trips,
+        }));
+    }
+
     report.note(format!(
         "all four dynamic channels are pure functions of (seed {DYN_SEED:#x}, epoch, id): \
          reruns replay the identical schedule"
@@ -705,7 +773,7 @@ pub fn dynamic_chaos(ctx: &Context) -> ExperimentReport {
     );
     report.series = serde_json::json!({
         "requests": n,
-        "scenarios": [spot_series, churn_series, diurnal_series, region_series],
+        "scenarios": scenario_series,
     });
     report
 }

@@ -1,0 +1,512 @@
+//! Hand-rolled spec parsers behind the experiments CLI's `--fault` and
+//! `--drift-plan` value flags.
+//!
+//! Both flags take one comma-separated `key=value` spec naming only the
+//! knobs that differ from the all-off plan ([`FaultPlan::none`] /
+//! [`DynamicPlan::none`]); the bare word `none` (alone) names that plan
+//! explicitly. Multi-field knobs pack into one value with the same
+//! separators everywhere — `@` attaches a schedule, `:` a second rate,
+//! `x` a multiplier, `..` an epoch window:
+//!
+//! ```text
+//! --fault      seed=7,transient=0.12,straggler=0.05x3,burst=4@0.3:0.9
+//! --drift-plan horizon=48,spot=0.6@6,reclaim=0.6,churn=0.25@0..24
+//! ```
+//!
+//! | fault key    | value                      | plan fields                   |
+//! |--------------|----------------------------|-------------------------------|
+//! | `seed`       | `u64`                      | `seed`                        |
+//! | `transient`  | rate                       | `transient_failure_rate`      |
+//! | `unavailable`| rate                       | `unavailable_rate`            |
+//! | `straggler`  | rate[`x`slowdown]          | `straggler_rate`, `_slowdown` |
+//! | `dropout`    | rate                       | `sample_dropout_rate`         |
+//! | `corruption` | rate                       | `metric_corruption_rate`      |
+//! | `burst`      | len`@`window`:`fail        | the three `burst_*` knobs     |
+//!
+//! | drift key | value                        | plan fields                        |
+//! |-----------|------------------------------|------------------------------------|
+//! | `seed`    | `u64`                        | `seed`                             |
+//! | `horizon` | epochs                       | `horizon_epochs`                   |
+//! | `spot`    | vol[`@`window]               | `spot_volatility`, `_window_epochs`|
+//! | `reclaim` | rate                         | `reclaim_rate`                     |
+//! | `churn`   | rate`@`start`..`end          | `churn_rate`, `_start/_end_epoch`  |
+//! | `intro`   | rate                         | `intro_rate`                       |
+//! | `diurnal` | amp`@`period                 | `diurnal_amplitude`, `_period_…`   |
+//! | `jitter`  | cv                           | `arrival_jitter_cv`                |
+//! | `regions` | n[`:`divergence]             | `regions`, `region_divergence`     |
+//! | `drift`   | mag`@`onset`:`fraction       | the three `drift_*` knobs          |
+//!
+//! Syntax errors (unknown or duplicated keys, malformed numbers, bad
+//! shapes) surface as typed [`SpecError`]s; semantic range and
+//! cross-field rules are *not* re-stated here — the assembled plan goes
+//! through its own `validate()`, so a spec this module accepts is
+//! exactly a plan the simulator accepts. [`render_fault_spec`] /
+//! [`render_drift_spec`] invert the parsers: rendering any accepted plan
+//! and reparsing reproduces it (the fuzz harness in [`crate::fuzzing`]
+//! holds that round-trip over arbitrary input).
+
+use std::fmt;
+
+use vesta_cloud_sim::{DynamicPlan, FaultPlan};
+
+/// Why a spec string was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec was empty (or only separators).
+    Empty { flag: &'static str },
+    /// One `key=value` pair did not parse; `why` names the first problem.
+    Malformed {
+        flag: &'static str,
+        pair: String,
+        why: String,
+    },
+    /// The key is not part of this flag's grammar.
+    UnknownKey { flag: &'static str, key: String },
+    /// The same key appeared twice.
+    DuplicateKey { flag: &'static str, key: String },
+    /// The pairs parsed but the assembled plan failed its own
+    /// `validate()`; `why` is the simulator's error text.
+    Invalid { flag: &'static str, why: String },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty { flag } => {
+                write!(f, "{flag}: empty spec (use `none` for the all-off plan)")
+            }
+            SpecError::Malformed { flag, pair, why } => {
+                write!(f, "{flag}: bad pair `{pair}`: {why}")
+            }
+            SpecError::UnknownKey { flag, key } => write!(f, "{flag}: unknown key `{key}`"),
+            SpecError::DuplicateKey { flag, key } => {
+                write!(f, "{flag}: key `{key}` given twice")
+            }
+            SpecError::Invalid { flag, why } => write!(f, "{flag}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Split a spec into `(key, value)` pairs, rejecting empty segments and
+/// handling the standalone `none` shorthand (`Ok(None)` means "the
+/// caller's all-off plan").
+fn pairs<'a>(flag: &'static str, spec: &'a str) -> Result<Option<Vec<(&'a str, &'a str)>>, SpecError> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Err(SpecError::Empty { flag });
+    }
+    if spec == "none" {
+        return Ok(None);
+    }
+    let mut out = Vec::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for segment in spec.split(',') {
+        let segment = segment.trim();
+        if segment.is_empty() {
+            return Err(SpecError::Malformed {
+                flag,
+                pair: segment.to_string(),
+                why: "empty segment between commas".to_string(),
+            });
+        }
+        if segment == "none" {
+            return Err(SpecError::Malformed {
+                flag,
+                pair: segment.to_string(),
+                why: "`none` must stand alone".to_string(),
+            });
+        }
+        let Some((key, value)) = segment.split_once('=') else {
+            return Err(SpecError::Malformed {
+                flag,
+                pair: segment.to_string(),
+                why: "expected key=value".to_string(),
+            });
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if key.is_empty() || value.is_empty() {
+            return Err(SpecError::Malformed {
+                flag,
+                pair: segment.to_string(),
+                why: "key and value must both be non-empty".to_string(),
+            });
+        }
+        if seen.contains(&key) {
+            return Err(SpecError::DuplicateKey {
+                flag,
+                key: key.to_string(),
+            });
+        }
+        seen.push(key);
+        out.push((key, value));
+    }
+    Ok(Some(out))
+}
+
+fn num<T: std::str::FromStr>(
+    flag: &'static str,
+    pair: &str,
+    what: &str,
+    value: &str,
+) -> Result<T, SpecError>
+where
+    T::Err: fmt::Display,
+{
+    value.parse().map_err(|e| SpecError::Malformed {
+        flag,
+        pair: pair.to_string(),
+        why: format!("{what} `{value}`: {e}"),
+    })
+}
+
+/// Parse a `--fault` spec. `Ok` plans always satisfy
+/// `FaultPlan::validate()`.
+pub fn parse_fault_spec(spec: &str) -> Result<FaultPlan, SpecError> {
+    const FLAG: &str = "--fault";
+    let mut plan = FaultPlan::none();
+    let Some(pairs) = pairs(FLAG, spec)? else {
+        return Ok(plan);
+    };
+    for (key, value) in pairs {
+        let pair = format!("{key}={value}");
+        match key {
+            "seed" => plan.seed = num(FLAG, &pair, "seed", value)?,
+            "transient" => plan.transient_failure_rate = num(FLAG, &pair, "rate", value)?,
+            "unavailable" => plan.unavailable_rate = num(FLAG, &pair, "rate", value)?,
+            "dropout" => plan.sample_dropout_rate = num(FLAG, &pair, "rate", value)?,
+            "corruption" => plan.metric_corruption_rate = num(FLAG, &pair, "rate", value)?,
+            "straggler" => match value.split_once('x') {
+                Some((rate, slowdown)) => {
+                    plan.straggler_rate = num(FLAG, &pair, "rate", rate)?;
+                    plan.straggler_slowdown = num(FLAG, &pair, "slowdown", slowdown)?;
+                }
+                None => plan.straggler_rate = num(FLAG, &pair, "rate", value)?,
+            },
+            "burst" => {
+                let parts = value
+                    .split_once('@')
+                    .and_then(|(len, rest)| rest.split_once(':').map(|(w, f)| (len, w, f)));
+                let Some((len, window, fail)) = parts else {
+                    return Err(SpecError::Malformed {
+                        flag: FLAG,
+                        pair,
+                        why: "expected len@window:fail".to_string(),
+                    });
+                };
+                plan.burst_len = num(FLAG, &pair, "burst length", len)?;
+                plan.burst_window_rate = num(FLAG, &pair, "window rate", window)?;
+                plan.burst_failure_rate = num(FLAG, &pair, "failure rate", fail)?;
+            }
+            _ => {
+                return Err(SpecError::UnknownKey {
+                    flag: FLAG,
+                    key: key.to_string(),
+                })
+            }
+        }
+    }
+    plan.validate().map_err(|e| SpecError::Invalid {
+        flag: FLAG,
+        why: e.to_string(),
+    })?;
+    Ok(plan)
+}
+
+/// Parse a `--drift-plan` spec. `Ok` plans always satisfy
+/// `DynamicPlan::validate()`.
+pub fn parse_drift_spec(spec: &str) -> Result<DynamicPlan, SpecError> {
+    const FLAG: &str = "--drift-plan";
+    let mut plan = DynamicPlan::none();
+    let Some(pairs) = pairs(FLAG, spec)? else {
+        return Ok(plan);
+    };
+    for (key, value) in pairs {
+        let pair = format!("{key}={value}");
+        match key {
+            "seed" => plan.seed = num(FLAG, &pair, "seed", value)?,
+            "horizon" => plan.horizon_epochs = num(FLAG, &pair, "epochs", value)?,
+            "reclaim" => plan.reclaim_rate = num(FLAG, &pair, "rate", value)?,
+            "intro" => plan.intro_rate = num(FLAG, &pair, "rate", value)?,
+            "jitter" => plan.arrival_jitter_cv = num(FLAG, &pair, "cv", value)?,
+            "spot" => match value.split_once('@') {
+                Some((vol, window)) => {
+                    plan.spot_volatility = num(FLAG, &pair, "volatility", vol)?;
+                    plan.spot_window_epochs = num(FLAG, &pair, "window epochs", window)?;
+                }
+                None => plan.spot_volatility = num(FLAG, &pair, "volatility", value)?,
+            },
+            "churn" => {
+                let parts = value
+                    .split_once('@')
+                    .and_then(|(rate, win)| win.split_once("..").map(|(s, e)| (rate, s, e)));
+                let Some((rate, start, end)) = parts else {
+                    return Err(SpecError::Malformed {
+                        flag: FLAG,
+                        pair,
+                        why: "expected rate@start..end".to_string(),
+                    });
+                };
+                plan.churn_rate = num(FLAG, &pair, "rate", rate)?;
+                plan.churn_start_epoch = num(FLAG, &pair, "start epoch", start)?;
+                plan.churn_end_epoch = num(FLAG, &pair, "end epoch", end)?;
+            }
+            "diurnal" => {
+                let Some((amp, period)) = value.split_once('@') else {
+                    return Err(SpecError::Malformed {
+                        flag: FLAG,
+                        pair,
+                        why: "expected amplitude@period".to_string(),
+                    });
+                };
+                plan.diurnal_amplitude = num(FLAG, &pair, "amplitude", amp)?;
+                plan.diurnal_period_epochs = num(FLAG, &pair, "period epochs", period)?;
+            }
+            "regions" => match value.split_once(':') {
+                Some((n, div)) => {
+                    plan.regions = num(FLAG, &pair, "region count", n)?;
+                    plan.region_divergence = num(FLAG, &pair, "divergence", div)?;
+                }
+                None => plan.regions = num(FLAG, &pair, "region count", value)?,
+            },
+            "drift" => {
+                let parts = value
+                    .split_once('@')
+                    .and_then(|(mag, rest)| rest.split_once(':').map(|(o, f)| (mag, o, f)));
+                let Some((mag, onset, fraction)) = parts else {
+                    return Err(SpecError::Malformed {
+                        flag: FLAG,
+                        pair,
+                        why: "expected magnitude@onset:fraction".to_string(),
+                    });
+                };
+                plan.drift_magnitude = num(FLAG, &pair, "magnitude", mag)?;
+                plan.drift_onset_epoch = num(FLAG, &pair, "onset epoch", onset)?;
+                plan.drift_family_fraction = num(FLAG, &pair, "family fraction", fraction)?;
+            }
+            _ => {
+                return Err(SpecError::UnknownKey {
+                    flag: FLAG,
+                    key: key.to_string(),
+                })
+            }
+        }
+    }
+    plan.validate().map_err(|e| SpecError::Invalid {
+        flag: FLAG,
+        why: e.to_string(),
+    })?;
+    Ok(plan)
+}
+
+/// Canonical spec for `plan`: only non-default knobs, in grammar order.
+/// `parse_fault_spec(&render_fault_spec(&p)) == Ok(p)` for any plan the
+/// parser can produce.
+pub fn render_fault_spec(plan: &FaultPlan) -> String {
+    let base = FaultPlan::none();
+    let mut out: Vec<String> = Vec::new();
+    if plan.seed != base.seed {
+        out.push(format!("seed={}", plan.seed));
+    }
+    if plan.transient_failure_rate != base.transient_failure_rate {
+        out.push(format!("transient={}", plan.transient_failure_rate));
+    }
+    if plan.unavailable_rate != base.unavailable_rate {
+        out.push(format!("unavailable={}", plan.unavailable_rate));
+    }
+    if plan.straggler_rate != base.straggler_rate
+        || plan.straggler_slowdown != base.straggler_slowdown
+    {
+        if plan.straggler_slowdown == base.straggler_slowdown {
+            out.push(format!("straggler={}", plan.straggler_rate));
+        } else {
+            out.push(format!(
+                "straggler={}x{}",
+                plan.straggler_rate, plan.straggler_slowdown
+            ));
+        }
+    }
+    if plan.sample_dropout_rate != base.sample_dropout_rate {
+        out.push(format!("dropout={}", plan.sample_dropout_rate));
+    }
+    if plan.metric_corruption_rate != base.metric_corruption_rate {
+        out.push(format!("corruption={}", plan.metric_corruption_rate));
+    }
+    if plan.burst_len != base.burst_len
+        || plan.burst_window_rate != base.burst_window_rate
+        || plan.burst_failure_rate != base.burst_failure_rate
+    {
+        out.push(format!(
+            "burst={}@{}:{}",
+            plan.burst_len, plan.burst_window_rate, plan.burst_failure_rate
+        ));
+    }
+    if out.is_empty() {
+        "none".to_string()
+    } else {
+        out.join(",")
+    }
+}
+
+/// Canonical spec for `plan`; inverse of [`parse_drift_spec`] the same
+/// way [`render_fault_spec`] inverts [`parse_fault_spec`].
+pub fn render_drift_spec(plan: &DynamicPlan) -> String {
+    let base = DynamicPlan::none();
+    let mut out: Vec<String> = Vec::new();
+    if plan.seed != base.seed {
+        out.push(format!("seed={}", plan.seed));
+    }
+    if plan.horizon_epochs != base.horizon_epochs {
+        out.push(format!("horizon={}", plan.horizon_epochs));
+    }
+    if plan.spot_volatility != base.spot_volatility
+        || plan.spot_window_epochs != base.spot_window_epochs
+    {
+        if plan.spot_window_epochs == base.spot_window_epochs {
+            out.push(format!("spot={}", plan.spot_volatility));
+        } else {
+            out.push(format!(
+                "spot={}@{}",
+                plan.spot_volatility, plan.spot_window_epochs
+            ));
+        }
+    }
+    if plan.reclaim_rate != base.reclaim_rate {
+        out.push(format!("reclaim={}", plan.reclaim_rate));
+    }
+    if plan.churn_rate != base.churn_rate
+        || plan.churn_start_epoch != base.churn_start_epoch
+        || plan.churn_end_epoch != base.churn_end_epoch
+    {
+        out.push(format!(
+            "churn={}@{}..{}",
+            plan.churn_rate, plan.churn_start_epoch, plan.churn_end_epoch
+        ));
+    }
+    if plan.intro_rate != base.intro_rate {
+        out.push(format!("intro={}", plan.intro_rate));
+    }
+    if plan.diurnal_amplitude != base.diurnal_amplitude
+        || plan.diurnal_period_epochs != base.diurnal_period_epochs
+    {
+        out.push(format!(
+            "diurnal={}@{}",
+            plan.diurnal_amplitude, plan.diurnal_period_epochs
+        ));
+    }
+    if plan.arrival_jitter_cv != base.arrival_jitter_cv {
+        out.push(format!("jitter={}", plan.arrival_jitter_cv));
+    }
+    if plan.regions != base.regions || plan.region_divergence != base.region_divergence {
+        if plan.region_divergence == base.region_divergence {
+            out.push(format!("regions={}", plan.regions));
+        } else {
+            out.push(format!("regions={}:{}", plan.regions, plan.region_divergence));
+        }
+    }
+    if plan.drift_magnitude != base.drift_magnitude
+        || plan.drift_onset_epoch != base.drift_onset_epoch
+        || plan.drift_family_fraction != base.drift_family_fraction
+    {
+        out.push(format!(
+            "drift={}@{}:{}",
+            plan.drift_magnitude, plan.drift_onset_epoch, plan.drift_family_fraction
+        ));
+    }
+    if out.is_empty() {
+        "none".to_string()
+    } else {
+        out.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_and_empty_specs() {
+        assert_eq!(parse_fault_spec("none"), Ok(FaultPlan::none()));
+        assert_eq!(parse_drift_spec(" none "), Ok(DynamicPlan::none()));
+        assert!(matches!(
+            parse_fault_spec(""),
+            Err(SpecError::Empty { .. })
+        ));
+        assert!(matches!(
+            parse_fault_spec("none,seed=1"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_spec_round_trips_through_the_renderer() {
+        let spec = "seed=7,transient=0.12,unavailable=0.05,straggler=0.05x3,dropout=0.08,corruption=0.15,burst=4@0.3:0.9";
+        let plan = parse_fault_spec(spec).expect("valid spec");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.burst_len, 4);
+        assert_eq!(plan.straggler_slowdown, 3.0);
+        assert!(plan.burst_active());
+        let rendered = render_fault_spec(&plan);
+        assert_eq!(parse_fault_spec(&rendered), Ok(plan));
+        assert_eq!(render_fault_spec(&FaultPlan::none()), "none");
+    }
+
+    #[test]
+    fn drift_spec_round_trips_through_the_renderer() {
+        let spec = "seed=3,horizon=48,spot=0.6@6,reclaim=0.6,churn=0.25@0..24,intro=0.1,diurnal=0.4@24,jitter=0.5,regions=3:0.2,drift=2@30:0.5";
+        let plan = parse_drift_spec(spec).expect("valid spec");
+        assert_eq!(plan.horizon_epochs, 48);
+        assert_eq!(plan.churn_end_epoch, 24);
+        assert_eq!(plan.regions, 3);
+        assert_eq!(plan.drift_magnitude, 2.0);
+        let rendered = render_drift_spec(&plan);
+        assert_eq!(parse_drift_spec(&rendered), Ok(plan));
+        assert_eq!(render_drift_spec(&DynamicPlan::none()), "none");
+    }
+
+    #[test]
+    fn syntax_errors_are_typed() {
+        assert!(matches!(
+            parse_fault_spec("bogus=1"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            parse_fault_spec("seed=1,seed=2"),
+            Err(SpecError::DuplicateKey { .. })
+        ));
+        assert!(matches!(
+            parse_fault_spec("transient"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_fault_spec("transient=zero"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_fault_spec("burst=4@0.3"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_drift_spec("churn=0.2@5"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn semantic_errors_come_from_the_plan_validator() {
+        // Rate out of range.
+        let err = parse_fault_spec("transient=1.5").unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { .. }), "{err}");
+        // Slowdown below the simulator's floor.
+        assert!(parse_fault_spec("straggler=0.1x0.5").is_err());
+        // Cross-field rule: reclaim without spot volatility is inert.
+        let err = parse_drift_spec("horizon=48,reclaim=0.5").unwrap_err();
+        assert!(err.to_string().contains("spot_volatility"), "{err}");
+        // Cross-field rule: active knobs need a horizon.
+        assert!(parse_drift_spec("spot=0.5").is_err());
+        // Non-finite numbers are semantic rejections, not panics.
+        assert!(parse_fault_spec("transient=NaN").is_err());
+        assert!(parse_drift_spec("jitter=inf").is_err());
+    }
+}

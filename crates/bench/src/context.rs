@@ -6,7 +6,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 use vesta_baselines::{Ernest, ErnestConfig, Paris, ParisConfig};
-use vesta_cloud_sim::Catalog;
+use vesta_cloud_sim::{Catalog, DynamicPlan, FaultPlan};
 use vesta_core::{Vesta, VestaConfig};
 use vesta_obs::MetricsRegistry;
 use vesta_workloads::{Suite, Workload};
@@ -33,6 +33,12 @@ pub struct Context {
     /// when `--telemetry` is on; `None` leaves every handle on its
     /// private noop registry.
     pub telemetry: Option<Arc<MetricsRegistry>>,
+    /// Extra fault plan from the CLI's `--fault <spec>`; the chaos
+    /// experiment appends it as a `custom` scenario.
+    pub fault_override: Option<FaultPlan>,
+    /// Extra dynamic plan from the CLI's `--drift-plan <spec>`; the
+    /// dynamic-chaos experiment appends it as a `custom` scenario.
+    pub drift_override: Option<DynamicPlan>,
     vesta: Mutex<Option<Arc<Vesta>>>,
     paris: Mutex<Option<Arc<Paris>>>,
 }
@@ -45,6 +51,8 @@ impl Context {
             suite: Suite::paper(),
             fidelity,
             telemetry: None,
+            fault_override: None,
+            drift_override: None,
             vesta: Mutex::new(None),
             paris: Mutex::new(None),
         }
@@ -54,6 +62,20 @@ impl Context {
     /// handles attach them to this shared registry.
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = Some(Arc::new(MetricsRegistry::noop()));
+        self
+    }
+
+    /// Carry a CLI-supplied fault plan into the chaos experiment as an
+    /// extra `custom` scenario.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_override = Some(plan);
+        self
+    }
+
+    /// Carry a CLI-supplied dynamic plan into the dynamic-chaos
+    /// experiment as an extra `custom` scenario.
+    pub fn with_drift_plan(mut self, plan: DynamicPlan) -> Self {
+        self.drift_override = Some(plan);
         self
     }
 

@@ -1,0 +1,168 @@
+//! Shared fuzz-property bodies for the experiments CLI spec parsers and
+//! the supervised-vs-sequential differential oracle.
+//!
+//! The cargo-fuzz targets (`fuzz/fuzz_targets/cli_flags.rs`,
+//! `fuzz/fuzz_targets/differential_predict.rs`) are two-line wrappers
+//! around these functions; keeping the bodies here means the exact same
+//! properties run both under libFuzzer with coverage feedback (CI's
+//! `fuzz-smoke` job) and as seeded in-tree smoke sweeps
+//! (`tests/fuzz_smoke.rs`) on every plain `cargo test`.
+
+use std::sync::{Arc, OnceLock};
+
+use vesta_cloud_sim::{Catalog, FaultPlan};
+use vesta_core::{
+    Knowledge, PredictOptions, PredictRequest, RequestOutcome, SupervisorConfig, Vesta,
+};
+use vesta_workloads::Workload;
+
+use crate::cliflags::{
+    parse_drift_spec, parse_fault_spec, render_drift_spec, render_fault_spec,
+};
+use crate::{Context, Fidelity};
+
+/// Run both spec parsers over one arbitrary byte string.
+///
+/// The contract, as code:
+///
+/// 1. arbitrary input may produce a typed [`crate::cliflags::SpecError`]
+///    (whose `Display` is total) but never a panic;
+/// 2. any accepted plan satisfies its own simulator `validate()` — the
+///    parser cannot smuggle an out-of-range or structurally inert plan
+///    past the gate the experiments binary relies on;
+/// 3. rendering an accepted plan and reparsing reproduces it exactly
+///    (the canonical spec is a fixed point of the grammar).
+pub fn cli_flags_fuzz_case(data: &[u8]) {
+    let Ok(spec) = std::str::from_utf8(data) else {
+        return;
+    };
+    match parse_fault_spec(spec) {
+        Ok(plan) => {
+            plan.validate()
+                .expect("accepted fault plan must satisfy the simulator validator");
+            let rendered = render_fault_spec(&plan);
+            let again = parse_fault_spec(&rendered)
+                .unwrap_or_else(|e| panic!("canonical spec `{rendered}` rejected: {e}"));
+            assert_eq!(again, plan, "render/reparse altered the fault plan");
+        }
+        Err(e) => {
+            assert!(!e.to_string().is_empty(), "error display must be total");
+        }
+    }
+    match parse_drift_spec(spec) {
+        Ok(plan) => {
+            plan.validate()
+                .expect("accepted drift plan must satisfy the simulator validator");
+            let rendered = render_drift_spec(&plan);
+            let again = parse_drift_spec(&rendered)
+                .unwrap_or_else(|e| panic!("canonical spec `{rendered}` rejected: {e}"));
+            assert_eq!(again, plan, "render/reparse altered the drift plan");
+        }
+        Err(e) => {
+            assert!(!e.to_string().is_empty(), "error display must be total");
+        }
+    }
+}
+
+/// Trained-once fixture shared across differential cases: the quick
+/// offline model plus the 17 target + source-testing workloads.
+fn fixture() -> &'static (Arc<Vesta>, Vec<Workload>) {
+    static FIXTURE: OnceLock<(Arc<Vesta>, Vec<Workload>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ctx = Context::new(Fidelity::Quick);
+        let vesta = ctx.vesta();
+        let mut workloads: Vec<Workload> = ctx.suite.target().into_iter().cloned().collect();
+        workloads.extend(ctx.suite.source_testing().into_iter().cloned());
+        (vesta, workloads)
+    })
+}
+
+/// Fresh serving handle over the shared offline model, carrying `plan`.
+fn handle_with(plan: &FaultPlan) -> Knowledge {
+    let (vesta, _) = fixture();
+    let mut snapshot = vesta.offline.to_snapshot();
+    snapshot.config.fault_plan = plan.clone();
+    snapshot.config.supervisor = SupervisorConfig {
+        deadline_ms: 0, // wall-clock deadlines would make outcomes timing-dependent
+        breaker_threshold: 2,
+        breaker_probe_after: 2,
+        max_in_flight: 0,
+    };
+    Knowledge::from_snapshot(snapshot, Catalog::aws_ec2()).expect("differential handle restores")
+}
+
+/// Differential oracle: under any fault plan that cannot *fail* a run
+/// (breakers never trip, so no scheduling-dependent adaptation), the
+/// concurrent supervised engine must be bit-identical to a sequential
+/// loop over the same requests.
+///
+/// Fuzz input chooses the plan's seed, its dropout / corruption /
+/// straggler knobs, and which subset of workloads to serve. The fault
+/// *schedule* is a pure function of its arguments, so stragglers and
+/// dropped or NaN-poisoned samples are deterministic; dropout and
+/// corruption are additionally clamped to the magnitudes the chaos
+/// experiment proves deterministic (≤ 0.125 / ≤ 0.25), keeping
+/// every-sample-dropped run failures — the one channel that could trip
+/// breakers and so reintroduce scheduling dependence — out of reach.
+pub fn differential_predict_fuzz_case(data: &[u8]) {
+    let b = |i: usize| data.get(i).copied().unwrap_or(0);
+    let plan = FaultPlan {
+        seed: u64::from_le_bytes([b(0), b(1), b(2), b(3), b(4), b(5), b(6), b(7)]),
+        sample_dropout_rate: b(8) as f64 / 2048.0,
+        metric_corruption_rate: b(9) as f64 / 1024.0,
+        straggler_rate: b(10) as f64 / 255.0,
+        straggler_slowdown: 1.0 + b(11) as f64 / 16.0,
+        ..FaultPlan::none()
+    };
+    plan.validate().expect("derived plans stay in range");
+
+    let (_, workloads) = fixture();
+    let n = 1 + (b(12) as usize) % 3;
+    let subset: Vec<Workload> = (0..n)
+        .map(|i| workloads[(b(13 + i) as usize) % workloads.len()].clone())
+        .collect();
+
+    let batch = handle_with(&plan)
+        .handle(PredictRequest::new(subset.clone()).with_options(PredictOptions::supervised()))
+        .outcomes;
+    let sequential_options = PredictOptions {
+        supervised: true,
+        sequential: true,
+        supervisor: None,
+    };
+    let sequential = handle_with(&plan)
+        .handle(PredictRequest::new(subset).with_options(sequential_options))
+        .outcomes;
+
+    assert_bit_identical(&batch, &sequential);
+}
+
+/// Outcome-class and prediction bit-equality between two passes.
+fn assert_bit_identical(a: &[RequestOutcome], b: &[RequestOutcome]) {
+    assert_eq!(a.len(), b.len(), "outcome count diverged");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.outcome.label(),
+            y.outcome.label(),
+            "outcome class diverged on workload {}",
+            x.workload_id
+        );
+        if let (Some(p), Some(q)) = (x.outcome.prediction(), y.outcome.prediction()) {
+            assert_eq!(p.best_vm, q.best_vm, "best VM diverged");
+            assert_eq!(p.observed, q.observed, "observed runs diverged");
+            assert_eq!(
+                p.predicted_times.len(),
+                q.predicted_times.len(),
+                "curve length diverged"
+            );
+            for ((va, ta), (vb, tb)) in p.predicted_times.iter().zip(&q.predicted_times) {
+                assert_eq!(va, vb, "curve VM diverged");
+                assert_eq!(
+                    ta.to_bits(),
+                    tb.to_bits(),
+                    "predicted time not bit-identical for vm {va:?}"
+                );
+            }
+        }
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod cliflags;
 pub mod context;
 pub mod drift;
 pub mod eval;
@@ -37,6 +38,7 @@ pub mod figs_effectiveness;
 pub mod figs_motivation;
 pub mod figs_practical;
 pub mod flink;
+pub mod fuzzing;
 pub mod learning;
 pub mod report;
 pub mod resilience;

@@ -1,0 +1,121 @@
+//! Seeded smoke sweeps of the CLI spec-parser and differential-prediction
+//! fuzz harnesses.
+//!
+//! Runs [`vesta_bench::fuzzing::cli_flags_fuzz_case`] and
+//! [`vesta_bench::fuzzing::differential_predict_fuzz_case`] — the exact
+//! bodies the cargo-fuzz targets wrap — over deterministic corpora on
+//! every plain `cargo test`, so the no-panic / validate / round-trip and
+//! supervised-vs-sequential bit-identity contracts are exercised even
+//! where libFuzzer is unavailable.
+
+use vesta_bench::fuzzing::{cli_flags_fuzz_case, differential_predict_fuzz_case};
+
+/// Deterministic byte-string generator (splitmix64 over a fixed seed).
+struct ByteGen(u64);
+
+impl ByteGen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| (self.next_u64() & 0xFF) as u8).collect()
+    }
+
+    /// Spec-biased bytes: grammar characters show up often enough for
+    /// random strings to get past the first split.
+    fn specish(&mut self, len: usize) -> Vec<u8> {
+        const ALPHABET: &[u8] = b"=,@:.x0123456789-+eEseedtransintbuhorzcmjgf none";
+        (0..len)
+            .map(|_| ALPHABET[(self.next_u64() as usize) % ALPHABET.len()])
+            .collect()
+    }
+}
+
+/// Well-formed specs the sweep mutates — the near-miss corpus where
+/// parser bugs actually live. Mirrored under `fuzz/corpus/cli_flags/`.
+fn seed_corpus() -> Vec<&'static [u8]> {
+    vec![
+        b"none",
+        b"seed=7,transient=0.12,straggler=0.05x3,burst=4@0.3:0.9",
+        b"dropout=0.08,corruption=0.15",
+        b"unavailable=0.05,transient=0.12",
+        b"horizon=48,spot=0.6@6,reclaim=0.6,churn=0.25@0..24",
+        b"seed=3,horizon=48,diurnal=0.4@24,jitter=0.5,regions=3:0.2",
+        b"horizon=48,drift=2@30:0.5",
+        b"seed=18446744073709551615,transient=1,burst=0@0:0",
+    ]
+}
+
+#[test]
+fn random_bytes_never_panic_the_parsers() {
+    let mut generator = ByteGen(0xC11F_1A65_EED5);
+    for round in 0..256u64 {
+        let len = match round % 5 {
+            0 => 0,
+            1 => 1,
+            2 => 24,
+            3 => 96,
+            _ => (generator.next_u64() % 512) as usize,
+        };
+        let data = generator.bytes(len);
+        cli_flags_fuzz_case(&data);
+        let data = generator.specish(len);
+        cli_flags_fuzz_case(&data);
+    }
+}
+
+#[test]
+fn well_formed_and_mutated_specs_survive_the_harness() {
+    let mut generator = ByteGen(0x5EED_CAFE_4);
+    for spec in seed_corpus() {
+        cli_flags_fuzz_case(spec);
+        for _ in 0..64 {
+            let mut mutated = spec.to_vec();
+            match generator.next_u64() % 4 {
+                0 => {
+                    let at = (generator.next_u64() as usize) % mutated.len();
+                    mutated[at] ^= 1 << (generator.next_u64() % 8);
+                }
+                1 => {
+                    let keep = (generator.next_u64() as usize) % mutated.len();
+                    mutated.truncate(keep);
+                }
+                2 => {
+                    let n = 1 + (generator.next_u64() as usize) % 8;
+                    let extra = generator.bytes(n);
+                    mutated.extend_from_slice(&extra);
+                }
+                _ => {
+                    let at = (generator.next_u64() as usize) % mutated.len();
+                    mutated[at] = (generator.next_u64() & 0xFF) as u8;
+                }
+            }
+            cli_flags_fuzz_case(&mutated);
+        }
+    }
+}
+
+/// A handful of differential cases: one model training (shared fixture),
+/// then supervised-vs-sequential bit-identity under derived fault plans —
+/// the all-zero plan, single-knob plans, and mixed ones. Mirrored under
+/// `fuzz/corpus/differential_predict/`.
+#[test]
+fn differential_prediction_is_bit_identical_under_derived_plans() {
+    // Byte layout: [0..8) seed, 8 dropout, 9 corruption, 10 straggler
+    // rate, 11 straggler slowdown, 12 subset size, 13.. subset picks.
+    let cases: [&[u8]; 5] = [
+        b"",
+        &[0xC4, 0xA0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2],
+        &[1, 2, 3, 4, 5, 6, 7, 8, 255, 0, 0, 0, 1, 5, 6, 7],
+        &[9, 9, 9, 9, 9, 9, 9, 9, 0, 255, 255, 48, 2, 11, 3, 14],
+        &[7, 0, 0, 0, 0, 0, 0, 0, 128, 128, 64, 16, 2, 0, 9, 4],
+    ];
+    for case in cases {
+        differential_predict_fuzz_case(case);
+    }
+}

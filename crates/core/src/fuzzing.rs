@@ -1,0 +1,105 @@
+//! Shared fuzz harness for the absorption-journal codec — the
+//! hand-rolled binary record format plus its length/CRC-32 framing.
+//!
+//! The cargo-fuzz target (`fuzz/fuzz_targets/journal_codec.rs`) is a
+//! two-line wrapper around [`journal_codec_fuzz_case`]; keeping the body
+//! here means the exact same property runs both under libFuzzer with
+//! coverage feedback (CI's `fuzz-smoke` job) and as a seeded in-tree
+//! smoke sweep (`tests/fuzz_smoke.rs`) on every plain `cargo test`.
+//!
+//! The property is the codec's crash-consistency contract stated as code:
+//!
+//! 1. [`JournalRecord::decode`] accepts arbitrary bytes without panicking,
+//!    and anything it accepts re-encodes and decodes back to the *same*
+//!    record (idempotence). Note decode is deliberately not injective on
+//!    payload bytes — duplicate curve-point keys deduplicate into the
+//!    `BTreeMap` — so the contract is record-level, not byte-level.
+//! 2. The frame scanner (`decode_frames`, the pure core of
+//!    [`crate::AbsorptionJournal::replay`]) accepts arbitrary bytes
+//!    without panicking, and re-framing whatever it recovered
+//!    (`encode_frames`, the pure core of `append`) scans back to the
+//!    identical records: one recovery pass canonicalizes.
+//! 3. Trailing garbage after well-formed frames never corrupts the
+//!    already-scanned prefix, and truncating a well-formed stream at any
+//!    point recovers a *prefix* of its records — a torn final write loses
+//!    at most the batch being written, never an earlier one.
+
+use crate::supervisor::{decode_frames, encode_frames, JournalRecord};
+
+/// Run the journal codec over one arbitrary byte string. Panics (failing
+/// the fuzzer or the smoke sweep) only when a codec guarantee is broken;
+/// returns normally otherwise.
+pub fn journal_codec_fuzz_case(data: &[u8]) {
+    if let Err(violation) = journal_properties(data) {
+        // vesta-lint: allow(panic-in-lib, reason = "this IS the fuzz oracle: a panic here is libFuzzer's (and the smoke sweep's) failure signal for a broken codec guarantee; production code never calls this module")
+        panic!("journal codec contract violated: {violation}");
+    }
+}
+
+/// The codec contract as a checkable property; `Err` describes the first
+/// violated guarantee.
+fn journal_properties(data: &[u8]) -> Result<(), String> {
+    // Records carry raw f64 bit patterns (NaN included), so derived
+    // `PartialEq` is the wrong equality here; every comparison below runs
+    // on canonical re-encodings, which are bit-exact and deterministic.
+
+    // --- record layer -----------------------------------------------------
+    if let Some(rec) = JournalRecord::decode(data) {
+        let payload = rec.encode();
+        match JournalRecord::decode(&payload) {
+            Some(again) if again.encode() == payload => {}
+            Some(again) => {
+                return Err(format!(
+                    "re-encode altered the record: {rec:?} -> {again:?}"
+                ));
+            }
+            None => return Err(format!("encode produced an undecodable payload for {rec:?}")),
+        }
+    }
+
+    // --- frame layer ------------------------------------------------------
+    let records = decode_frames(data);
+    let framed = encode_frames(&records);
+    if encode_frames(&decode_frames(&framed)) != framed {
+        return Err("one recovery pass must canonicalize the stream".to_string());
+    }
+
+    // Trailing garbage after valid frames: the scanner walks the valid
+    // prefix first, so the recovered list must *start with* the original
+    // records (the garbage may happen to contain further valid frames).
+    let mut with_tail = framed.clone();
+    with_tail.extend_from_slice(data);
+    let extended = decode_frames(&with_tail);
+    if extended.len() < records.len()
+        || encode_frames(&extended[..records.len()]) != framed
+    {
+        return Err("trailing garbage corrupted the already-valid prefix".to_string());
+    }
+
+    // Torn tail: cutting the canonical stream anywhere recovers a prefix.
+    if !framed.is_empty() {
+        let cut = derive_index(data) % framed.len();
+        let torn = decode_frames(&framed[..cut]);
+        if torn.len() > records.len()
+            || encode_frames(&torn) != encode_frames(&records[..torn.len()])
+        {
+            return Err(format!(
+                "truncation at {cut}/{} must recover a record prefix, got {} of {}",
+                framed.len(),
+                torn.len(),
+                records.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic index derived from the input so the torn-tail probe
+/// varies across the corpus without consuming an RNG.
+fn derive_index(data: &[u8]) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data.iter().take(32) {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h as usize
+}

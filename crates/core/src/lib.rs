@@ -33,6 +33,7 @@ pub mod config;
 pub mod drift;
 pub mod engine;
 pub mod explain;
+pub mod fuzzing;
 pub mod offline;
 pub mod online;
 pub mod request;

@@ -142,7 +142,7 @@ impl Deadline {
         }
         if let Some(at) = inner.expires_at {
             // vesta-lint: allow(wallclock-in-core, reason = "enforcement half of Deadline::after; only wall-clock deadlines carry expires_at, deterministic ones use the check counter")
-            if Instant::now() >= at {
+            if Instant::now() >= at { // vesta-mutants: skip(reason = "one-tick wall-clock boundary; >= vs > differs only when now() lands exactly on the deadline instant")
                 return true;
             }
         }
@@ -712,8 +712,8 @@ impl JournalRecord {
     ///
     /// Floats are stored as IEEE-754 bit patterns, so encode/decode is
     /// exact (NaN included) and byte-deterministic for identical records.
-    fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(16 + 32 * self.edges.len());
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + 32 * self.edges.len()); // vesta-mutants: skip(reason = "allocation capacity hint; any finite value is behaviorally identical")
         buf.extend_from_slice(&self.workload_id.to_le_bytes());
         buf.extend_from_slice(&(self.edges.len() as u32).to_le_bytes());
         for (vm, label, w) in &self.edges {
@@ -739,7 +739,7 @@ impl JournalRecord {
     /// Inverse of [`JournalRecord::encode`]. `None` when the payload is
     /// truncated, has trailing bytes, or a count field overruns it —
     /// replay treats that as a corrupt record even if the CRC matched.
-    fn decode(bytes: &[u8]) -> Option<JournalRecord> {
+    pub(crate) fn decode(bytes: &[u8]) -> Option<JournalRecord> {
         struct Cursor<'a>(&'a [u8]);
         impl Cursor<'_> {
             fn take(&mut self, n: usize) -> Option<&[u8]> {
@@ -763,7 +763,7 @@ impl JournalRecord {
         let mut c = Cursor(bytes);
         let workload_id = c.u64()?;
         let n_edges = c.u32()? as usize;
-        let mut edges = Vec::with_capacity(n_edges.min(bytes.len() / 32));
+        let mut edges = Vec::with_capacity(n_edges.min(bytes.len() / 32)); // vesta-mutants: skip(reason = "capacity clamp hint; the loop bound is n_edges either way")
         for _ in 0..n_edges {
             let vm = c.u64()?;
             let label = vesta_graph::Label {
@@ -774,7 +774,7 @@ impl JournalRecord {
             edges.push((vm, label, w));
         }
         let n_labels = c.u32()? as usize;
-        let mut labels = Vec::with_capacity(n_labels.min(bytes.len() / 16));
+        let mut labels = Vec::with_capacity(n_labels.min(bytes.len() / 16)); // vesta-mutants: skip(reason = "capacity clamp hint; the loop bound is n_labels either way")
         for _ in 0..n_labels {
             labels.push(vesta_graph::Label {
                 feature: c.u64()? as usize,
@@ -816,7 +816,64 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// Largest payload the replay will trust; anything bigger is treated as a
 /// torn/corrupt length field.
-const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024; // vesta-mutants: skip(reason = "corruption-tolerance bound; shifting the 64 MiB cap is not observable without a >64 MiB record on disk")
+
+/// Frame `records` exactly as [`AbsorptionJournal::append`] writes them:
+/// each payload prefixed with its little-endian length and CRC-32. Pure —
+/// split out of `append` so the codec can be property-tested (and fuzzed,
+/// via [`crate::fuzzing`]) without touching a file.
+pub(crate) fn encode_frames(records: &[JournalRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for rec in records {
+        let payload = rec.encode();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+    buf
+}
+
+/// Scan `bytes` for complete, checksummed frames in append order, stopping
+/// at the first short, oversized, checksum-failing or unparsable record.
+/// Pure inverse of [`encode_frames`] on well-formed input;
+/// [`AbsorptionJournal::replay`] reads the file and delegates here.
+pub(crate) fn decode_frames(bytes: &[u8]) -> Vec<JournalRecord> {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= 8 {
+        // The loop guard proves 8 bytes remain; a slice-length mismatch
+        // here is unreachable, and treating it as trailing corruption
+        // keeps the decoder panic-free.
+        let (Ok(len_bytes), Ok(crc_bytes)) = (
+            <[u8; 4]>::try_from(&bytes[at..at + 4]),
+            <[u8; 4]>::try_from(&bytes[at + 4..at + 8]),
+        ) else {
+            break;
+        };
+        let len = u32::from_le_bytes(len_bytes);
+        let crc = u32::from_le_bytes(crc_bytes);
+        if len > MAX_RECORD_LEN { // vesta-mutants: skip(reason = "> vs >= differs only for a record of exactly 64 MiB; not constructible in unit tests")
+            break; // corrupt length field
+        }
+        let start = at + 8;
+        let Some(end) = start
+            .checked_add(len as usize)
+            .filter(|&e| e <= bytes.len())
+        else {
+            break; // torn payload
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            break; // corrupt payload
+        }
+        let Some(rec) = JournalRecord::decode(payload) else {
+            break; // checksummed but unparsable: treat as corrupt
+        };
+        records.push(rec);
+        at = end;
+    }
+    records
+}
 
 /// Append-only absorption log. Each record is framed as
 ///
@@ -865,13 +922,7 @@ impl AbsorptionJournal {
     /// bytes are durably queued — callers publish the matching overlay
     /// *after* this returns.
     pub fn append(&mut self, records: &[JournalRecord]) -> Result<(), VestaError> {
-        let mut buf = Vec::new();
-        for rec in records {
-            let payload = rec.encode();
-            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            buf.extend_from_slice(&crc32(&payload).to_le_bytes());
-            buf.extend_from_slice(&payload);
-        }
+        let buf = encode_frames(records);
         self.file
             .write_all(&buf)
             .and_then(|()| self.file.flush())
@@ -900,41 +951,7 @@ impl AbsorptionJournal {
                 )))
             }
         }
-        let mut records = Vec::new();
-        let mut at = 0usize;
-        while bytes.len() - at >= 8 {
-            // The loop guard proves 8 bytes remain; a slice-length mismatch
-            // here is unreachable, and treating it as trailing corruption
-            // keeps the decoder panic-free.
-            let (Ok(len_bytes), Ok(crc_bytes)) = (
-                <[u8; 4]>::try_from(&bytes[at..at + 4]),
-                <[u8; 4]>::try_from(&bytes[at + 4..at + 8]),
-            ) else {
-                break;
-            };
-            let len = u32::from_le_bytes(len_bytes);
-            let crc = u32::from_le_bytes(crc_bytes);
-            if len > MAX_RECORD_LEN {
-                break; // corrupt length field
-            }
-            let start = at + 8;
-            let Some(end) = start
-                .checked_add(len as usize)
-                .filter(|&e| e <= bytes.len())
-            else {
-                break; // torn payload
-            };
-            let payload = &bytes[start..end];
-            if crc32(payload) != crc {
-                break; // corrupt payload
-            }
-            let Some(rec) = JournalRecord::decode(payload) else {
-                break; // checksummed but unparsable: treat as corrupt
-            };
-            records.push(rec);
-            at = end;
-        }
-        Ok(records)
+        Ok(decode_frames(&bytes))
     }
 }
 
@@ -1232,5 +1249,98 @@ mod tests {
         // Missing file replays as empty.
         std::fs::remove_file(&path).unwrap();
         assert!(AbsorptionJournal::replay(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn config_defaults_encode_the_probe_budget() {
+        assert_eq!(default_probe_after(), 2);
+        assert_eq!(SupervisorConfig::default().breaker_probe_after, 2);
+    }
+
+    #[test]
+    fn probe_budget_of_one_probes_on_the_first_admission() {
+        let table = BreakerTable::new(1, 1, 1);
+        table.record_failure(0);
+        assert_eq!(table.trips(), 1);
+        assert_eq!(table.open_now(), 1, "tripped breaker counts as open");
+        assert_eq!(table.admit(0), BreakerDecision::Probe, "skip budget of one");
+    }
+
+    #[test]
+    fn enabled_breakers_surface_through_supervisor_and_report() {
+        let cfg = SupervisorConfig {
+            breaker_threshold: 1,
+            ..SupervisorConfig::default()
+        };
+        let sup = Supervisor::new(cfg, 2);
+        let table = sup.breakers().expect("threshold > 0 enables breakers");
+        table.record_failure(1);
+        let r = sup.report();
+        assert_eq!(r.breaker_trips, 1);
+        assert_eq!(r.open_breakers, 1);
+    }
+
+    #[test]
+    fn report_total_sums_every_class() {
+        let r = SupervisorReport {
+            ok: 1,
+            degraded: 2,
+            shed: 4,
+            failed: 8,
+            ..SupervisorReport::default()
+        };
+        assert_eq!(r.total(), 15);
+    }
+
+    fn sample_prediction(workload_id: u64) -> Prediction {
+        use vesta_cloud_sim::VmTypeId;
+        Prediction {
+            workload_id,
+            best_vm: VmTypeId::new(0),
+            predicted_times: BTreeMap::new(),
+            candidates: Vec::new(),
+            observed: Vec::new(),
+            reference_vms: 0,
+            converged: true,
+            trained_from_scratch: false,
+            source_affinities: Vec::new(),
+            observed_density: 1.0,
+            target_labels: Vec::new(),
+            failed_reference_vms: Vec::new(),
+            extra_reference_runs: 0,
+            breaker_substitutions: 0,
+        }
+    }
+
+    #[test]
+    fn outcome_accessors_classify_service_results() {
+        let failed = Outcome::Failed {
+            error: VestaError::NoKnowledge("w".into()),
+        };
+        assert!(failed.is_failed());
+        assert!(failed.prediction().is_none());
+        assert!(!Outcome::Shed.is_failed());
+        let ok = Outcome::Ok(sample_prediction(9));
+        assert!(!ok.is_failed());
+        assert_eq!(ok.prediction().map(|p| p.workload_id), Some(9));
+        let degraded = Outcome::Degraded {
+            prediction: sample_prediction(7),
+            reason: "fallback".into(),
+        };
+        assert!(!degraded.is_failed());
+        assert_eq!(degraded.prediction().map(|p| p.workload_id), Some(7));
+    }
+
+    #[test]
+    fn attach_telemetry_mirrors_breaker_transitions() {
+        let cfg = SupervisorConfig {
+            breaker_threshold: 1,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = Supervisor::new(cfg, 2);
+        let telemetry = EngineTelemetry::noop();
+        sup.attach_telemetry(&telemetry);
+        sup.breakers().unwrap().record_failure(0);
+        assert_eq!(telemetry.breaker_trips.get(), 1, "trip mirrored on attach");
     }
 }

@@ -1,0 +1,109 @@
+//! Shared fuzz harness for the hand-rolled JSON reader and the
+//! `vesta-telemetry/1` snapshot codec.
+//!
+//! The cargo-fuzz target (`fuzz/fuzz_targets/obs_json.rs`) is a two-line
+//! wrapper around [`json_fuzz_case`]; keeping the body here means the
+//! exact same property runs both under libFuzzer with coverage feedback
+//! (CI's `fuzz-smoke` job) and as a seeded in-tree smoke sweep
+//! (`tests/fuzz_smoke.rs`) on every plain `cargo test`.
+//!
+//! The property is the parser's safety contract stated as code:
+//!
+//! 1. arbitrary bytes may produce a typed [`crate::json::JsonError`] but
+//!    never a panic — and in particular deeply-nested input must come
+//!    back as [`crate::json::JsonError::TooDeep`], not recurse the stack
+//!    into an abort;
+//! 2. anything that parses must re-render through the writer and parse
+//!    back to the same tree (exactly, when every number is finite;
+//!    non-finite numbers degrade to `null` and must be *stable* from the
+//!    first re-render onward);
+//! 3. [`crate::TelemetrySnapshot::from_json`] never panics, and a
+//!    snapshot it accepts serializes byte-stably: render → parse →
+//!    render reproduces the first rendering exactly.
+
+use crate::json::{parse, JsonError, JsonValue};
+use crate::TelemetrySnapshot;
+
+/// Run every JSON entry point over one arbitrary byte string. Panics
+/// (failing the fuzzer or the smoke sweep) only when a parser guarantee
+/// is broken; returns normally otherwise.
+pub fn json_fuzz_case(data: &[u8]) {
+    if let Err(violation) = json_properties(data) {
+        // vesta-lint: allow(panic-in-lib, reason = "this IS the fuzz oracle: a panic here is libFuzzer's (and the smoke sweep's) failure signal for a broken parser guarantee; production code never calls this module")
+        panic!("obs json contract violated: {violation}");
+    }
+}
+
+/// The parser contract as a checkable property; `Err` describes the
+/// first violated guarantee.
+fn json_properties(data: &[u8]) -> Result<(), String> {
+    // Non-UTF-8 input cannot even reach the parser's signature.
+    let Ok(text) = std::str::from_utf8(data) else {
+        return Ok(());
+    };
+
+    match parse(text) {
+        Ok(v) => value_round_trips(&v)?,
+        Err(JsonError::TooDeep { limit, .. }) => {
+            // Reaching this arm at all is the guarantee: the parser
+            // returned a value instead of overflowing its stack.
+            if limit == 0 {
+                return Err("TooDeep must carry the real depth cap".to_string());
+            }
+        }
+        // A syntax rejection is a typed rejection, which is all this
+        // property asks of a failure.
+        Err(JsonError::Syntax { .. }) => {}
+    }
+
+    snapshot_round_trips(text)?;
+    Ok(())
+}
+
+/// A parsed tree re-renders (compact and pretty) into text the parser
+/// accepts again; equal exactly when all numbers are finite, and stable
+/// under a second cycle always.
+fn value_round_trips(v: &JsonValue) -> Result<(), String> {
+    for rendered in [v.to_json(), v.to_json_pretty()] {
+        let again = parse(&rendered)
+            .map_err(|e| format!("writer output must reparse: {e} in {rendered:?}"))?;
+        if all_finite(v) && again != *v {
+            return Err(format!("round-trip altered a finite tree: {v:?} -> {again:?}"));
+        }
+        // Non-finite numbers degraded to null; from here the rendering
+        // must be a fixed point.
+        let stable = parse(&again.to_json())
+            .map_err(|e| format!("second-cycle output must reparse: {e}"))?;
+        if stable.to_json() != again.to_json() {
+            return Err("rendering must stabilize after one cycle".to_string());
+        }
+    }
+    Ok(())
+}
+
+fn all_finite(v: &JsonValue) -> bool {
+    match v {
+        JsonValue::Num(n) => n.is_finite(),
+        JsonValue::Array(items) => items.iter().all(all_finite),
+        JsonValue::Object(entries) => entries.iter().all(|(_, v)| all_finite(v)),
+        JsonValue::Null | JsonValue::Bool(_) | JsonValue::Str(_) => true,
+    }
+}
+
+/// `TelemetrySnapshot::from_json` on arbitrary text: a typed error or a
+/// snapshot whose serialization is byte-stable across a full cycle.
+fn snapshot_round_trips(text: &str) -> Result<(), String> {
+    let Ok(snap) = TelemetrySnapshot::from_json(text) else {
+        return Ok(());
+    };
+    let first = snap.to_json();
+    let reparsed = TelemetrySnapshot::from_json(&first)
+        .map_err(|e| format!("own serialization must parse back: {e}"))?;
+    let second = reparsed.to_json();
+    if first != second {
+        return Err(format!(
+            "snapshot serialization not byte-stable:\n{first}\nvs\n{second}"
+        ));
+    }
+    Ok(())
+}

@@ -170,10 +170,65 @@ fn push_number(out: &mut String, v: f64) {
 }
 
 /// Nesting depth cap: beyond this the input is hostile, not telemetry.
+/// The recursive-descent `value` would otherwise translate input bytes
+/// into stack frames one-for-one, and a few hundred KB of `[[[[…` is a
+/// stack overflow — an abort, not an `Err`.
 const MAX_DEPTH: usize = 128;
 
+/// Typed parse failure. Every variant carries the byte offset the parser
+/// stopped at, so fuzzers and telemetry plumbing can assert on the shape
+/// of a rejection instead of grepping a rendered string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JsonError {
+    /// Nesting exceeded [`MAX_DEPTH`]: adversarial input, not telemetry.
+    /// Returned as a value precisely so deep documents cannot convert
+    /// parser recursion into a stack overflow abort.
+    TooDeep { at: usize, limit: usize },
+    /// Any other malformed-document rejection.
+    Syntax { at: usize, detail: String },
+}
+
+impl JsonError {
+    /// Byte offset the parser stopped at.
+    pub fn at(&self) -> usize {
+        match self {
+            JsonError::TooDeep { at, .. } | JsonError::Syntax { at, .. } => *at,
+        }
+    }
+
+    /// Malformed input never heals on retry: always `false`. Present so
+    /// retry/shed policy can branch on the type like every other error
+    /// in the workspace.
+    pub fn is_transient(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::TooDeep { at, limit } => {
+                write!(f, "json parse error at byte {at}: nesting deeper than {limit}")
+            }
+            JsonError::Syntax { at, detail } => {
+                write!(f, "json parse error at byte {at}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Legacy shim: callers that thread `Result<_, String>` keep working.
+impl From<JsonError> for String {
+    fn from(e: JsonError) -> String {
+        e.to_string()
+    }
+}
+
 /// Parse one JSON document (trailing whitespace allowed, nothing else).
-pub fn parse(text: &str) -> Result<JsonValue, String> {
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -193,8 +248,11 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    fn err(&self, msg: &str) -> String {
-        format!("json parse error at byte {}: {msg}", self.pos)
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::Syntax {
+            at: self.pos,
+            detail: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -213,7 +271,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect_byte(&mut self, want: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, want: u8) -> Result<(), JsonError> {
         if self.bump() == Some(want) {
             Ok(())
         } else {
@@ -222,7 +280,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
         let end = self.pos + word.len();
         if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
             self.pos = end;
@@ -232,9 +290,12 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
         if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
+            return Err(JsonError::TooDeep {
+                at: self.pos,
+                limit: MAX_DEPTH,
+            });
         }
         match self.peek() {
             Some(b'{') => self.object(depth),
@@ -249,7 +310,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self, depth: usize) -> Result<JsonValue, String> {
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
         self.expect_byte(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
@@ -277,7 +338,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self, depth: usize) -> Result<JsonValue, String> {
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
         self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -300,7 +361,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
@@ -324,7 +385,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn escape(&mut self, out: &mut String) -> Result<(), String> {
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonError> {
         match self.bump() {
             Some(b'"') => out.push('"'),
             Some(b'\\') => out.push('\\'),
@@ -357,7 +418,7 @@ impl<'a> Parser<'a> {
         Ok(())
     }
 
-    fn hex4(&mut self) -> Result<u32, String> {
+    fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
             let d = match self.bump() {
@@ -371,7 +432,7 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
-    fn number(&mut self) -> Result<JsonValue, String> {
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -468,9 +529,33 @@ mod tests {
     }
 
     #[test]
-    fn depth_is_bounded() {
+    fn depth_is_bounded_with_a_typed_error() {
         let deep = format!("{}1{}", "[".repeat(400), "]".repeat(400));
-        assert!(parse(&deep).is_err());
+        match parse(&deep) {
+            Err(JsonError::TooDeep { at, limit }) => {
+                assert_eq!(limit, MAX_DEPTH);
+                // The parser stops where nesting first crosses the cap.
+                assert_eq!(at, MAX_DEPTH + 1);
+            }
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // Objects recurse through the same guard.
+        let deep_obj = "{\"k\":".repeat(400) + "1" + &"}".repeat(400);
+        assert!(matches!(
+            parse(&deep_obj),
+            Err(JsonError::TooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_are_typed_and_never_transient() {
+        let e = parse("{\"a\" 1}").expect_err("malformed");
+        assert!(matches!(e, JsonError::Syntax { .. }));
+        assert!(!e.is_transient());
+        assert_eq!(e.at(), 5);
+        assert!(e.to_string().contains("byte 5"));
+        // The legacy String shim renders identically.
+        assert_eq!(String::from(e.clone()), e.to_string());
     }
 
     #[test]

@@ -22,12 +22,13 @@
 //! `Arc`s resolved once at registration, never per event.
 
 pub mod clock;
+pub mod fuzzing;
 pub mod json;
 pub mod metrics;
 pub mod snapshot;
 
 pub use clock::{Clock, Stopclock};
-pub use json::JsonValue;
+pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, SpanGuard};
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot, TELEMETRY_SCHEMA};
 

@@ -1,0 +1,148 @@
+//! Seeded smoke sweep of the shared JSON fuzz harness.
+//!
+//! Runs [`vesta_obs::fuzzing::json_fuzz_case`] — the exact body the
+//! cargo-fuzz target wraps — over deterministic corpora on every plain
+//! `cargo test`, so the parser's no-panic / round-trip / depth-cap
+//! contract is exercised even where libFuzzer is unavailable:
+//!
+//! 1. raw splitmix64 byte strings of varied lengths,
+//! 2. well-formed documents (telemetry snapshots among them), and
+//! 3. seeded single-byte mutations of those well-formed buffers (the
+//!    near-miss corpus where parser bugs actually live),
+//! 4. adversarial deep nesting, proving the depth cap returns a typed
+//!    error instead of overflowing the stack.
+
+use vesta_obs::fuzzing::json_fuzz_case;
+use vesta_obs::json::{parse, JsonError};
+
+/// Deterministic byte-string generator (splitmix64 over a fixed seed).
+struct ByteGen(u64);
+
+impl ByteGen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| (self.next_u64() & 0xFF) as u8).collect()
+    }
+
+    /// ASCII-biased bytes: JSON structure characters show up often
+    /// enough for random strings to get past the first byte.
+    fn jsonish(&mut self, len: usize) -> Vec<u8> {
+        const ALPHABET: &[u8] = b"{}[]\",:.0123456789eE+-truefalsn \\u\n\t";
+        (0..len)
+            .map(|_| ALPHABET[(self.next_u64() as usize) % ALPHABET.len()])
+            .collect()
+    }
+}
+
+#[test]
+fn random_bytes_never_panic_the_parser() {
+    let mut generator = ByteGen(0x0B5_1EED_0F_1507);
+    for round in 0..256u64 {
+        let len = match round % 6 {
+            0 => 0,
+            1 => 1,
+            2 => 16,
+            3 => 128,
+            4 => 1024,
+            _ => (generator.next_u64() % 4096) as usize,
+        };
+        let data = generator.bytes(len);
+        json_fuzz_case(&data);
+        let data = generator.jsonish(len);
+        json_fuzz_case(&data);
+    }
+}
+
+/// Well-formed documents the sweep mutates, including a telemetry
+/// snapshot so `TelemetrySnapshot::from_json` sees its happy path.
+fn seed_corpus() -> Vec<Vec<u8>> {
+    [
+        r#"null"#,
+        r#"[1, 2.5, -3e-2, "x", true, null]"#,
+        r#"{"series": {"latency_ms": {"p99": 12.5, "samples": [1, 2, 3]}}, "ok": false}"#,
+        r#""a\nb\u00e9 \ud83d\ude00""#,
+        r#"{"schema": "vesta-telemetry/1",
+           "counters": {"engine.requests": 34},
+           "gauges": {"cmf.objective.last": 0.0123},
+           "histograms": {"cmf.epochs": {"bounds": [1, 2, 4],
+                                         "buckets": [0, 1, 2, 1],
+                                         "count": 4, "sum": 11, "max": 7}}}"#,
+        r#"{"schema": "vesta-telemetry/1", "counters": {}, "gauges": {"g": null}}"#,
+        r#"[1e999, -1e999, 9007199254740993]"#,
+    ]
+    .into_iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect()
+}
+
+#[test]
+fn well_formed_documents_survive_the_harness() {
+    for buffer in seed_corpus() {
+        json_fuzz_case(&buffer);
+    }
+}
+
+#[test]
+fn mutated_well_formed_documents_never_panic() {
+    let corpus = seed_corpus();
+    let mut generator = ByteGen(0x5EED_CAFE_2);
+    for buffer in &corpus {
+        for _ in 0..64 {
+            let mut mutated = buffer.clone();
+            match generator.next_u64() % 4 {
+                // Flip one bit somewhere.
+                0 if !mutated.is_empty() => {
+                    let at = (generator.next_u64() as usize) % mutated.len();
+                    mutated[at] ^= 1 << (generator.next_u64() % 8);
+                }
+                // Truncate to a prefix (torn document).
+                1 if !mutated.is_empty() => {
+                    let keep = (generator.next_u64() as usize) % mutated.len();
+                    mutated.truncate(keep);
+                }
+                // Append trailing garbage.
+                2 => {
+                    let extra_len = 1 + (generator.next_u64() as usize) % 16;
+                    let extra = generator.bytes(extra_len);
+                    mutated.extend_from_slice(&extra);
+                }
+                // Overwrite one byte.
+                _ if !mutated.is_empty() => {
+                    let at = (generator.next_u64() as usize) % mutated.len();
+                    mutated[at] = (generator.next_u64() & 0xFF) as u8;
+                }
+                _ => {}
+            }
+            json_fuzz_case(&mutated);
+        }
+    }
+}
+
+/// The regression shape for the depth cap: before the `MAX_DEPTH` guard,
+/// this input overflowed the parser's stack (an abort no test harness
+/// can catch); now it must come back as a typed `TooDeep` error. The
+/// same bytes are committed as `fuzz/corpus/obs_json/deep-nesting`.
+#[test]
+fn adversarial_nesting_returns_too_deep_instead_of_overflowing() {
+    for unit in ["[", "{\"k\":"] {
+        for depth in [129usize, 400, 20_000] {
+            let closer = match unit {
+                "[" => "]",
+                _ => "}",
+            };
+            let deep = format!("{}1{}", unit.repeat(depth), closer.repeat(depth));
+            json_fuzz_case(deep.as_bytes());
+            assert!(
+                matches!(parse(&deep), Err(JsonError::TooDeep { .. })),
+                "depth {depth} must be a typed rejection"
+            );
+        }
+    }
+}

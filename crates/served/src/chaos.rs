@@ -303,6 +303,7 @@ impl ChaosProxy {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
             // Self-connect to unblock accept().
+            // vesta-lint: allow(swallowed-result, reason = "wakeup poke at the accept loop; if the connect fails the listener is already gone, which is the goal state")
             let _ = TcpStream::connect(self.local_addr);
             let _ = accept.join();
         }

@@ -418,6 +418,7 @@ impl Server {
         self.shared.count("served.drain.initiated");
         if let Some(accept) = self.accept.take() {
             // Self-connect to unblock the accept() call.
+            // vesta-lint: allow(swallowed-result, reason = "wakeup poke at the accept loop; if the connect fails the listener is already gone, which is the goal state")
             let _ = TcpStream::connect(self.local_addr);
             let _ = accept.join();
         }
@@ -472,6 +473,7 @@ impl Server {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
             // Self-connect to unblock the accept() call.
+            // vesta-lint: allow(swallowed-result, reason = "wakeup poke at the accept loop; if the connect fails the listener is already gone, which is the goal state")
             let _ = TcpStream::connect(self.local_addr);
             let _ = accept.join();
         }
@@ -556,11 +558,13 @@ fn shed_overloaded(shared: &Arc<Shared>, mut stream: TcpStream, active: u32, lim
         stall_ticks: 1,
         tick_ms: 250,
     };
+    // vesta-lint: allow(swallowed-result, reason = "shed path: the greeting read only drains in-flight bytes so the RST doesn't destroy the queued reply; any read error just means there is nothing to drain")
     let _ = wire::read_frame_with(&mut stream, greeting);
     let frame = wire::encode_response(&Response::Error(ServerError::Overloaded {
         active,
         limit,
     }));
+    // vesta-lint: allow(swallowed-result, reason = "best-effort typed goodbye on a connection being shed; if the write fails the peer sees a plain close, which is the fallback outcome anyway")
     let _ = wire::write_frame(&mut stream, &frame);
     let _ = stream.shutdown(std::net::Shutdown::Write);
     // Bounded wait (the 250 ms read deadline) for the peer to see the
@@ -626,6 +630,7 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 shared.count("served.stall_kills");
                 let frame = wire::encode_response(&Response::Error(e));
                 let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                // vesta-lint: allow(swallowed-result, reason = "best-effort typed reply to a stalled peer already being disconnected; a failed write changes nothing about the close")
                 let _ = wire::write_frame(&mut stream, &frame);
                 return;
             }
@@ -633,6 +638,7 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 // Best-effort typed reply; the stream is unsynchronized
                 // after a framing error, so the connection ends here.
                 let frame = wire::encode_response(&Response::Error(e));
+                // vesta-lint: allow(swallowed-result, reason = "the stream is unsynchronized after a framing error; this reply is purely advisory and the connection closes either way")
                 let _ = wire::write_frame(&mut stream, &frame);
                 return;
             }
@@ -644,6 +650,7 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 let frame = wire::encode_response(&Response::Error(ServerError::RateLimited {
                     limit: shared.limits.max_frames_per_sec,
                 }));
+                // vesta-lint: allow(swallowed-result, reason = "best-effort typed reply before killing a rate-capped connection; the kill is the enforcement, the reply is courtesy")
                 let _ = wire::write_frame(&mut stream, &frame);
                 return;
             }

@@ -50,7 +50,8 @@ impl Token {
     }
 }
 
-/// A comment that mentions `vesta-lint` (all other comments are dropped).
+/// A comment that mentions `vesta-lint` or `vesta-mutants` (all other
+/// comments are dropped).
 #[derive(Debug, Clone)]
 pub struct LintComment {
     /// 1-based line the comment starts on.
@@ -59,7 +60,7 @@ pub struct LintComment {
     pub text: String,
 }
 
-/// Lex `src` into tokens plus any `vesta-lint` comments.
+/// Lex `src` into tokens plus any `vesta-lint`/`vesta-mutants` comments.
 pub fn lex(src: &str) -> (Vec<Token>, Vec<LintComment>) {
     Lexer::new(src).run()
 }
@@ -171,7 +172,7 @@ impl<'a> Lexer<'a> {
         // `chars` indices equal byte indices only for ASCII sources, so
         // re-slice through the char vector to stay correct on UTF-8.
         let text: String = self.chars[start..end].iter().collect();
-        if text.contains("vesta-lint") {
+        if text.contains("vesta-lint") || text.contains("vesta-mutants") {
             let body = text
                 .trim_start_matches('/')
                 .trim_start_matches('*')

@@ -13,6 +13,7 @@
 
 pub mod lexer;
 pub mod lints;
+pub mod mutants;
 pub mod perf;
 pub mod workspace;
 
@@ -190,6 +191,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let mut lexed = Vec::with_capacity(files.len());
     let mut hash_names: BTreeMap<String, lints::HashNames> = BTreeMap::new();
     let mut transient_impls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut result_fns: BTreeMap<String, lints::ResultFns> = BTreeMap::new();
     for (file, abs) in &files {
         let src = fs::read_to_string(abs)?;
         let (tokens, comments) = lexer::lex(&src);
@@ -201,12 +203,17 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             &tokens,
             transient_impls.entry(file.krate.clone()).or_default(),
         );
+        result_fns
+            .entry(file.krate.clone())
+            .or_default()
+            .collect(&tokens);
         lexed.push((file, tokens, comments));
     }
 
     // Pass 2: run the catalogue and resolve allows.
     let empty_names = lints::HashNames::default();
     let empty_impls = BTreeSet::new();
+    let empty_result_fns = lints::ResultFns::default();
     let mut findings = Vec::new();
     let mut allows_honored = 0usize;
     for (file, tokens, comments) in &lexed {
@@ -217,6 +224,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             test_regions: &regions,
             hash_names: hash_names.get(&file.krate).unwrap_or(&empty_names),
             transient_impls: transient_impls.get(&file.krate).unwrap_or(&empty_impls),
+            result_fns: result_fns.get(&file.krate).unwrap_or(&empty_result_fns),
         };
         let raw = lints::run_file(&ctx);
         let (allows, mut invalid) = parse_directives(file, comments);

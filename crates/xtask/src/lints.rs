@@ -11,13 +11,14 @@ use crate::workspace::{FileRole, SourceFile};
 use std::collections::BTreeSet;
 
 /// Machine name of every lint, in catalogue order.
-pub const LINT_NAMES: [&str; 7] = [
+pub const LINT_NAMES: [&str; 8] = [
     "nondeterministic-map",
     "unseeded-rng",
     "float-total-order",
     "panic-in-lib",
     "wallclock-in-core",
     "error-hygiene",
+    "swallowed-result",
     "invalid-allow",
 ];
 
@@ -127,6 +128,56 @@ impl HashNames {
     }
 }
 
+/// Function names declared with a `Result`-bearing return type somewhere
+/// in a crate. Like [`HashNames`], an over-approximation: a false
+/// positive costs one justified allow, a false negative silently drops
+/// an error on the floor.
+#[derive(Debug, Default)]
+pub struct ResultFns {
+    names: BTreeSet<String>,
+}
+
+impl ResultFns {
+    /// Scan one file for `fn name(…) -> … Result …` signatures (free
+    /// functions, methods and trait declarations alike) and fold the
+    /// names in.
+    pub fn collect(&mut self, tokens: &[Token]) {
+        let mut i = 0;
+        while i < tokens.len() {
+            if tokens[i].is_ident("fn") {
+                if let Some(name) = tokens.get(i + 1).and_then(|t| t.ident()) {
+                    let mut j = i + 2;
+                    let mut after_arrow = false;
+                    while j < tokens.len() {
+                        match &tokens[j].kind {
+                            Kind::Punct('{') | Kind::Punct(';') => break,
+                            Kind::Punct('-')
+                                if tokens.get(j + 1).is_some_and(|t| t.is_punct('>')) =>
+                            {
+                                after_arrow = true;
+                                j += 2;
+                                continue;
+                            }
+                            Kind::Ident(id) if after_arrow && id == "where" => break,
+                            Kind::Ident(id) if after_arrow && id == "Result" => {
+                                self.names.insert(name.to_string());
+                                break;
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+}
+
 /// Context handed to each lint for one file.
 pub struct FileCtx<'a> {
     pub file: &'a SourceFile,
@@ -137,6 +188,8 @@ pub struct FileCtx<'a> {
     pub hash_names: &'a HashNames,
     /// Per-crate names of `impl` targets that define `fn is_transient`.
     pub transient_impls: &'a BTreeSet<String>,
+    /// Per-crate names of functions whose return type mentions `Result`.
+    pub result_fns: &'a ResultFns,
 }
 
 impl FileCtx<'_> {
@@ -245,6 +298,7 @@ pub fn run_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
     panic_in_lib(ctx, &mut findings);
     wallclock_in_core(ctx, &mut findings);
     error_hygiene(ctx, &mut findings);
+    swallowed_result(ctx, &mut findings);
     findings
 }
 
@@ -579,6 +633,72 @@ fn error_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// **swallowed-result** — in library code, `let _ = <expr>` must not
+/// discard a call to a crate function whose return type mentions
+/// `Result`: a swallowed `Err` is an error path that silently vanishes
+/// (the historical silent-peer hang rode exactly this shape). Keyed on
+/// the per-crate [`ResultFns`] set, so std calls (`set_nodelay`,
+/// `remove_dir_all`) and infallible `write!`-to-`String` macros are out
+/// of scope; deliberate best-effort discards carry a reasoned allow.
+fn swallowed_result(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.file.krate == "bench" || ctx.file.role != FileRole::Lib {
+        return;
+    }
+    let toks = ctx.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let is_discard = toks[i].is_ident("let")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='));
+        if is_discard && !ctx.in_test_region(i) {
+            // Walk the discarded expression (to the `;` closing the
+            // statement) and flag the first call whose callee is a known
+            // Result-returning crate function.
+            let mut j = i + 3;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    Kind::Punct('(') | Kind::Punct('[') | Kind::Punct('{') => depth += 1,
+                    Kind::Punct(')') | Kind::Punct(']') | Kind::Punct('}') => depth -= 1,
+                    Kind::Punct(';') if depth <= 0 => break,
+                    Kind::Ident(name)
+                        if toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+                            && ctx.result_fns.contains(name) =>
+                    {
+                        out.push(ctx.finding(
+                            j,
+                            "swallowed-result",
+                            format!(
+                                "`let _ = …` discards the `Result` of `{name}`; handle or \
+                                 propagate the error, or justify the discard with an allow"
+                            ),
+                        ));
+                        // One finding per statement; skip to its end.
+                        while j < toks.len() && !(toks[j].is_punct(';') && depth <= 0) {
+                            match &toks[j].kind {
+                                Kind::Punct('(') | Kind::Punct('[') | Kind::Punct('{') => {
+                                    depth += 1
+                                }
+                                Kind::Punct(')') | Kind::Punct(']') | Kind::Punct('}') => {
+                                    depth -= 1
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
 /// Collect, per crate, the names of `impl` targets whose block defines
 /// `fn is_transient` (e.g. `impl SimError { … fn is_transient … }`).
 pub fn collect_transient_impls(tokens: &[Token], into: &mut BTreeSet<String>) {
@@ -628,6 +748,8 @@ mod tests {
         hash_names.collect(&tokens);
         let mut transient = BTreeSet::new();
         collect_transient_impls(&tokens, &mut transient);
+        let mut result_fns = ResultFns::default();
+        result_fns.collect(&tokens);
         let regions = test_regions(&tokens);
         let file = ctx_file(krate, role);
         let ctx = FileCtx {
@@ -636,6 +758,7 @@ mod tests {
             test_regions: &regions,
             hash_names: &hash_names,
             transient_impls: &transient,
+            result_fns: &result_fns,
         };
         run_file(&ctx)
     }
@@ -707,6 +830,70 @@ mod tests {
             impl FooError { pub fn is_transient(&self) -> bool { false } }
         ";
         assert!(run(src, "graph", FileRole::Lib).is_empty());
+    }
+
+    #[test]
+    fn swallowed_crate_result_is_flagged() {
+        let src = "
+            pub fn send(x: u8) -> Result<(), String> { Err(format!(\"{x}\")) }
+            pub fn fire_and_forget(x: u8) { let _ = send(x); }
+        ";
+        let f = run(src, "core", FileRole::Lib);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "swallowed-result");
+        assert!(f[0].message.contains("send"));
+    }
+
+    #[test]
+    fn swallowed_method_call_is_flagged() {
+        let src = "
+            struct S;
+            impl S { fn flush_all(&self) -> io::Result<()> { Ok(()) } }
+            pub fn teardown(s: &S) { let _ = s.flush_all(); }
+        ";
+        let f = run(src, "served", FileRole::Lib);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "swallowed-result");
+    }
+
+    #[test]
+    fn swallows_of_non_result_calls_and_std_macros_are_clean() {
+        let src = "
+            pub fn count(x: u8) -> u8 { x }
+            pub fn ok(out: &mut String, x: u8) {
+                let _ = count(x);
+                let _ = write!(out, \"{x}\");
+            }
+        ";
+        assert!(run(src, "core", FileRole::Lib).is_empty());
+    }
+
+    #[test]
+    fn swallowed_result_in_tests_and_binds_are_clean() {
+        let src = "
+            pub fn send(x: u8) -> Result<(), String> { Err(format!(\"{x}\")) }
+            pub fn bound(x: u8) { let _ignored = send(x); let r = send(x); drop(r); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let _ = super::send(1); }
+            }
+        ";
+        assert!(run(src, "core", FileRole::Lib).is_empty());
+    }
+
+    #[test]
+    fn result_fn_collection_sees_trait_decls_and_io_results() {
+        let mut fns = ResultFns::default();
+        let (tokens, _) = lex("
+            trait T { fn try_it(&self) -> Result<u8, E>; }
+            fn plain() -> u8 { 0 }
+            fn io_ish() -> std::io::Result<()> { Ok(()) }
+        ");
+        fns.collect(&tokens);
+        assert!(fns.contains("try_it"));
+        assert!(fns.contains("io_ish"));
+        assert!(!fns.contains("plain"));
     }
 
     #[test]

@@ -41,6 +41,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "lint" => cmd_lint(&args[1..]),
+        "mutants" => cmd_mutants(&args[1..]),
         "perf-check" => cmd_perf_check(&args[1..]),
         "telemetry-check" => cmd_telemetry_check(&args[1..]),
         other => {
@@ -55,6 +56,13 @@ const USAGE: &str = "usage: vesta-xtask <command> [flags]
 commands:
   lint             run the invariant lint pass
                    [--format json|human] [--root <path>]
+  mutants          mutation-test ml::cmf and core::supervisor
+                   [--root <path>] [--list] [--check] [--exhaustive]
+                   [--threshold <frac>] [--file <rel>]...
+                   [--out <json>] [--ledger <json>]
+                   default: run the sweep and write results/MUTANTS.json;
+                   --list prints discovered mutants without running;
+                   --check validates the committed ledger offline (no cargo)
   perf-check       gate a fresh benchmark report against its baseline
                    [--suite throughput|serving] [--baseline <json>]
                    [--current <json>] [--tolerance <frac>]
@@ -109,6 +117,107 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("vesta-xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_mutants(args: &[String]) -> ExitCode {
+    use vesta_xtask::mutants;
+
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    let mut check = false;
+    let mut opts = mutants::SweepOptions::default();
+    let mut out: Option<PathBuf> = None;
+    let mut ledger: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                list = true;
+                i += 1;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            "--exhaustive" => {
+                opts.exhaustive = true;
+                i += 1;
+            }
+            flag @ ("--root" | "--threshold" | "--file" | "--out" | "--ledger") => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("{flag} takes a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match flag {
+                    "--root" => root = Some(PathBuf::from(value)),
+                    "--threshold" => match value.parse::<f64>() {
+                        Ok(t) if (0.0..=1.0).contains(&t) => opts.threshold = t,
+                        _ => {
+                            eprintln!("--threshold takes a fraction in [0, 1], got `{value}`");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--file" => opts.only_files.push(value.clone()),
+                    "--out" => out = Some(PathBuf::from(value)),
+                    "--ledger" => ledger = Some(PathBuf::from(value)),
+                    _ => unreachable!("matched above"),
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let targets = mutants::default_targets();
+
+    if check {
+        let ledger = ledger.unwrap_or_else(|| root.join("results/MUTANTS.json"));
+        return match mutants::check_ledger(&root, &ledger) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("vesta-xtask mutants --check: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    if list {
+        return match mutants::render_list(&root, &targets, opts.exhaustive) {
+            Ok(table) => {
+                print!("{table}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("vesta-xtask mutants --list: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    match mutants::run_sweep(&root, &targets, &opts) {
+        Ok(result) => {
+            let out = out.unwrap_or_else(|| root.join("results/MUTANTS.json"));
+            if let Err(e) = std::fs::write(&out, result.render_json()) {
+                eprintln!("vesta-xtask mutants: write {}: {e}", out.display());
+                return ExitCode::from(2);
+            }
+            print!("{}", result.render_summary());
+            println!("ledger written to {}", out.display());
+            if result.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("vesta-xtask mutants: {e}");
             ExitCode::from(2)
         }
     }

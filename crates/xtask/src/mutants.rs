@@ -1,0 +1,1605 @@
+//! `vesta-xtask mutants` — a zero-dependency mutation-testing engine.
+//!
+//! Reuses the invariant pass's lexer ([`crate::lexer`]) to discover
+//! mutation sites by token pattern, applies each mutant to a temp
+//! checkout of the workspace, runs that target's scoped test command, and
+//! classifies every mutant as caught / survived / timeout / unviable /
+//! skipped. The full per-mutant ledger lands in `results/MUTANTS.json`;
+//! `mutants --check` re-validates the committed ledger offline (file
+//! hashes, site set, statuses, score) so CI can gate on it without
+//! re-running the sweep.
+//!
+//! ## Mutation operators
+//!
+//! * `cmp-swap`   — `<` ↔ `<=`, `>` ↔ `>=`, `==` ↔ `!=` (boundary shifts)
+//! * `arith-swap` — `+` ↔ `-`, `*` ↔ `/`
+//! * `logic-swap` — `&&` ↔ `||`
+//! * `const-perturb` — integer literal `n` → `n + 1`
+//! * `fn-stub`    — replace a fn body with its default value
+//!   (`{}`, `{ false }`, `{ 0 }`, `{ 0.0 }`, `{ Ok(()) }`, `{ None }`, …)
+//!
+//! Operator sites are *line-granular* by default: the first eligible
+//! operator/constant site on each line is mutated (fn stubs are a
+//! separate class and always generated). This keeps sweep time and
+//! triage load proportional to line count, not expression density;
+//! `--exhaustive` lifts the cap. Binary operators are only recognized
+//! with whitespace on both sides — the convention `rustfmt` enforces —
+//! which cleanly excludes generics (`Vec<f64>`), arrows (`->`), unary
+//! minus/deref and compound assignment.
+//!
+//! ## Escape hatch
+//!
+//! `// vesta-mutants: skip(reason = "…")` on a site's line or the line
+//! above excludes it from execution (status `skipped`) but keeps it in
+//! the ledger, mirroring the lint pass's `vesta-lint: allow` syntax. A
+//! reason is required; a reasonless skip fails discovery. Skipped sites
+//! count *against* the score — the gate bounds how much of the mutation
+//! surface may be waived:
+//!
+//! ```text
+//! score = (caught + timeout) / (caught + timeout + survived + skipped)
+//! ```
+//!
+//! Unviable mutants (the mutated tree fails to compile) measure nothing
+//! about test strength and are excluded from the denominator. Test
+//! regions (`#[cfg(test)]` / `#[test]`, via [`crate::lints::test_regions`])
+//! are never mutated: mutating an assertion proves nothing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Read as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use vesta_obs::json::JsonValue;
+
+use crate::lexer::{self, Kind, Token};
+use crate::lints;
+
+/// Ledger schema tag.
+pub const SCHEMA: &str = "vesta-mutants/1";
+
+/// Default minimum mutation score for `--check`.
+pub const DEFAULT_THRESHOLD: f64 = 0.8;
+
+/// Default per-mutant test timeout floor (seconds); the effective timeout
+/// is `max(3 × baseline, floor)`. A run past it is classified `timeout`
+/// (an infinite-loop mutant *is* caught behavior).
+pub const DEFAULT_TIMEOUT_FLOOR_SECS: u64 = 60;
+
+/// One file under mutation plus the scoped command that must kill its
+/// mutants.
+#[derive(Debug, Clone)]
+pub struct MutationTarget {
+    /// Workspace-relative path of the file to mutate.
+    pub file: String,
+    /// Package the file belongs to (recorded in the ledger).
+    pub package: String,
+    /// `cargo` arguments of the scoped test command, e.g.
+    /// `["test", "-p", "vesta-ml", "--lib"]`.
+    pub test_args: Vec<String>,
+}
+
+/// The two files the committed ledger covers: the CMF learning core and
+/// the serving supervisor, each killed by its crate's `--lib` tests.
+pub fn default_targets() -> Vec<MutationTarget> {
+    let t = |file: &str, package: &str| MutationTarget {
+        file: file.to_string(),
+        package: package.to_string(),
+        test_args: ["test", "-p", package, "--lib"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    vec![
+        t("crates/ml/src/cmf.rs", "vesta-ml"),
+        t("crates/core/src/supervisor.rs", "vesta-core"),
+    ]
+}
+
+/// One discovered mutant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mutant {
+    /// Stable id, `"<file-stem>-<NNN>"` in (line, col) order.
+    pub id: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the mutated site.
+    pub line: u32,
+    /// 1-based column of the mutated site.
+    pub col: u32,
+    /// Operator class (`cmp-swap`, `arith-swap`, `logic-swap`,
+    /// `const-perturb`, `fn-stub`).
+    pub op: &'static str,
+    /// Source text being replaced.
+    pub original: String,
+    /// Replacement text.
+    pub replacement: String,
+    /// Byte range of `original` within the file.
+    pub span: (usize, usize),
+    /// `Some(reason)` when a `vesta-mutants: skip` directive covers the
+    /// site.
+    pub skip_reason: Option<String>,
+}
+
+impl Mutant {
+    /// `"original -> replacement"`, truncated for table display.
+    pub fn describe(&self) -> String {
+        let clip = |s: &str| -> String {
+            let mut c: String = s.chars().take(28).collect();
+            if c.len() < s.len() {
+                c.push('…');
+            }
+            c.replace('\n', "\\n")
+        };
+        format!("{} -> {}", clip(&self.original), clip(&self.replacement))
+    }
+}
+
+/// What the sweep concluded about one mutant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutantStatus {
+    /// The scoped tests failed — the mutant was killed.
+    Caught,
+    /// The scoped tests passed — a gap in the suite.
+    Survived,
+    /// The scoped tests ran past the timeout; counted as caught.
+    Timeout,
+    /// The mutated tree failed to compile; excluded from the score.
+    Unviable,
+    /// Excluded by a `vesta-mutants: skip(reason = …)` directive.
+    Skipped,
+}
+
+impl MutantStatus {
+    /// Stable ledger label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MutantStatus::Caught => "caught",
+            MutantStatus::Survived => "survived",
+            MutantStatus::Timeout => "timeout",
+            MutantStatus::Unviable => "unviable",
+            MutantStatus::Skipped => "skipped",
+        }
+    }
+
+    /// Inverse of [`MutantStatus::label`].
+    pub fn from_label(s: &str) -> Option<MutantStatus> {
+        Some(match s {
+            "caught" => MutantStatus::Caught,
+            "survived" => MutantStatus::Survived,
+            "timeout" => MutantStatus::Timeout,
+            "unviable" => MutantStatus::Unviable,
+            "skipped" => MutantStatus::Skipped,
+            _ => return None,
+        })
+    }
+}
+
+/// A classified mutant: discovery output plus its sweep status.
+#[derive(Debug, Clone)]
+pub struct MutantResult {
+    /// The mutant.
+    pub mutant: Mutant,
+    /// Its fate.
+    pub status: MutantStatus,
+    /// Skip reason or a one-line note from the runner.
+    pub note: String,
+}
+
+/// Aggregate counts and the gated score.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MutantSummary {
+    /// Mutants generated (all statuses).
+    pub total: usize,
+    /// Killed by a failing test run.
+    pub caught: usize,
+    /// Test run passed under the mutant.
+    pub survived: usize,
+    /// Test run exceeded the timeout (counted as caught in the score).
+    pub timeout: usize,
+    /// Mutated tree failed to compile.
+    pub unviable: usize,
+    /// Waived by skip directives.
+    pub skipped: usize,
+    /// `(caught + timeout) / (caught + timeout + survived + skipped)`;
+    /// 1.0 when the denominator is zero.
+    pub score: f64,
+}
+
+impl MutantSummary {
+    /// Tally `results` into a summary.
+    pub fn tally(results: &[MutantResult]) -> MutantSummary {
+        let mut s = MutantSummary {
+            total: results.len(),
+            ..Default::default()
+        };
+        for r in results {
+            match r.status {
+                MutantStatus::Caught => s.caught += 1,
+                MutantStatus::Survived => s.survived += 1,
+                MutantStatus::Timeout => s.timeout += 1,
+                MutantStatus::Unviable => s.unviable += 1,
+                MutantStatus::Skipped => s.skipped += 1,
+            }
+        }
+        let killed = s.caught + s.timeout;
+        let denom = killed + s.survived + s.skipped;
+        s.score = if denom == 0 {
+            1.0
+        } else {
+            killed as f64 / denom as f64
+        };
+        s
+    }
+}
+
+/// Everything `MUTANTS.json` records.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    /// Score the `--check` gate enforces.
+    pub threshold: f64,
+    /// Whether discovery ran site-exhaustive (vs line-granular).
+    pub exhaustive: bool,
+    /// `(target, fnv1a64 hex hash of the file at sweep time)`.
+    pub targets: Vec<(MutationTarget, String)>,
+    /// Per-mutant results in (file, line, col, op) order.
+    pub results: Vec<MutantResult>,
+    /// Aggregates.
+    pub summary: MutantSummary,
+}
+
+// ---------------------------------------------------------------------------
+// Discovery
+// ---------------------------------------------------------------------------
+
+/// A parsed `vesta-mutants: skip(reason = "…")` directive. Covers its own
+/// line and the next (same rule as `vesta-lint: allow`).
+#[derive(Debug)]
+struct SkipDirective {
+    line: u32,
+    reason: String,
+}
+
+fn parse_skip_directives(
+    file: &str,
+    comments: &[lexer::LintComment],
+) -> Result<Vec<SkipDirective>, String> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("vesta-mutants:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let reason = rest
+            .strip_prefix("skip(")
+            .and_then(|r| r.strip_suffix(')'))
+            .and_then(|r| r.trim().strip_prefix("reason"))
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim)
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.strip_suffix('"'))
+            .map(str::trim)
+            .unwrap_or_default();
+        if reason.is_empty() {
+            return Err(format!(
+                "{file}:{}: malformed mutants directive `{rest}`; expected \
+                 `vesta-mutants: skip(reason = \"…\")` with a non-empty reason",
+                c.line
+            ));
+        }
+        out.push(SkipDirective {
+            line: c.line,
+            reason: reason.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Byte offset of 1-based `(line, col)` (col counted in chars).
+fn byte_offset(src: &str, line: u32, col: u32) -> Option<usize> {
+    let (mut cur_line, mut cur_col) = (1u32, 1u32);
+    for (i, ch) in src.char_indices() {
+        if cur_line == line && cur_col == col {
+            return Some(i);
+        }
+        if ch == '\n' {
+            cur_line += 1;
+            cur_col = 1;
+        } else {
+            cur_col += 1;
+        }
+    }
+    (cur_line == line && cur_col == col).then_some(src.len())
+}
+
+fn char_before(src: &str, at: usize) -> Option<char> {
+    src[..at].chars().next_back()
+}
+
+fn char_at(src: &str, at: usize) -> Option<char> {
+    src[at..].chars().next()
+}
+
+/// Whitespace on both sides of `[start, end)` — the binary-operator
+/// context `rustfmt` guarantees.
+fn spaced(src: &str, start: usize, end: usize) -> bool {
+    char_before(src, start).is_some_and(char::is_whitespace)
+        && char_at(src, end).is_some_and(char::is_whitespace)
+}
+
+fn in_test_region(regions: &[(usize, usize)], token_idx: usize) -> bool {
+    regions.iter().any(|&(s, e)| token_idx >= s && token_idx < e)
+}
+
+/// A site candidate before line-granularity and id assignment.
+struct Candidate {
+    line: u32,
+    col: u32,
+    op: &'static str,
+    original: String,
+    replacement: String,
+    span: (usize, usize),
+}
+
+/// Single-char punct of `tokens[i]`, if any.
+fn punct(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(&Kind::Punct(c)) => Some(c),
+        _ => None,
+    }
+}
+
+/// True when `tokens[i + 1]` is the punct `c` immediately adjacent (same
+/// line, next column) — how the lexer delivers `==`, `&&`, `->`, …
+fn adjacent(tokens: &[Token], i: usize, c: char) -> bool {
+    punct(tokens, i + 1) == Some(c)
+        && tokens[i + 1].line == tokens[i].line
+        && tokens[i + 1].col == tokens[i].col + 1
+}
+
+fn operator_candidates(src: &str, tokens: &[Token], regions: &[(usize, usize)]) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let Some(c) = punct(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if in_test_region(regions, i) {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        // Two-char operators first; the pair is consumed together.
+        let pair: Option<(&str, &str, &'static str)> = match c {
+            '=' if adjacent(tokens, i, '=') => Some(("==", "!=", "cmp-swap")),
+            '!' if adjacent(tokens, i, '=') => Some(("!=", "==", "cmp-swap")),
+            '<' if adjacent(tokens, i, '=') => Some(("<=", "<", "cmp-swap")),
+            '>' if adjacent(tokens, i, '=') => Some((">=", ">", "cmp-swap")),
+            '&' if adjacent(tokens, i, '&') => Some(("&&", "||", "logic-swap")),
+            '|' if adjacent(tokens, i, '|') => Some(("||", "&&", "logic-swap")),
+            _ => None,
+        };
+        if let Some((orig, repl, op)) = pair {
+            if let Some(start) = byte_offset(src, t.line, t.col) {
+                let end = start + orig.len();
+                if spaced(src, start, end) && &src[start..end] == orig {
+                    out.push(Candidate {
+                        line: t.line,
+                        col: t.col,
+                        op,
+                        original: orig.to_string(),
+                        replacement: repl.to_string(),
+                        span: (start, end),
+                    });
+                }
+            }
+            i += 2;
+            continue;
+        }
+        // Compound assignment (`+=`, `-=`, `*=`, `/=`, `<<=`, …) and
+        // arrows are never mutated: skip the operator char when `=` or
+        // `>` follows immediately.
+        let single: Option<(&str, &str, &'static str)> = match c {
+            _ if adjacent(tokens, i, '=') || adjacent(tokens, i, '>') => None,
+            '<' if !adjacent(tokens, i, '<') => Some(("<", "<=", "cmp-swap")),
+            '>' => Some((">", ">=", "cmp-swap")),
+            '+' if !adjacent(tokens, i, '+') => Some(("+", "-", "arith-swap")),
+            '-' if !adjacent(tokens, i, '-') => Some(("-", "+", "arith-swap")),
+            '*' => Some(("*", "/", "arith-swap")),
+            '/' if !adjacent(tokens, i, '/') => Some(("/", "*", "arith-swap")),
+            _ => None,
+        };
+        if let Some((orig, repl, op)) = single {
+            if let Some(start) = byte_offset(src, t.line, t.col) {
+                let end = start + 1;
+                if spaced(src, start, end) {
+                    out.push(Candidate {
+                        line: t.line,
+                        col: t.col,
+                        op,
+                        original: orig.to_string(),
+                        replacement: repl.to_string(),
+                        span: (start, end),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Integer-literal perturbation sites: plain decimal literals become
+/// `value + 1`. Floats, hex/octal/binary literals, string/char literals
+/// and tuple indices (`pair.0`) are excluded.
+fn const_candidates(src: &str, tokens: &[Token], regions: &[(usize, usize)]) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Lit || in_test_region(regions, i) {
+            continue;
+        }
+        let Some(start) = byte_offset(src, t.line, t.col) else {
+            continue;
+        };
+        // The lexer drops literal text; re-read it from the span. Only
+        // plain decimal integers qualify.
+        if char_before(src, start) == Some('.') {
+            continue; // tuple index / method on a float's fraction
+        }
+        let rest = &src[start..];
+        let digits: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '_')
+            .collect();
+        if digits.is_empty() || !digits.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue; // string/char/raw literal
+        }
+        let after = rest[digits.len()..].chars().next();
+        if matches!(after, Some('.')) {
+            continue; // float
+        }
+        if matches!(after, Some(c) if c.is_ascii_alphabetic())
+            && !matches!(after, Some('u') | Some('i'))
+        {
+            continue; // `0x…`, `0b…`, `1e9`, float suffixes
+        }
+        let Ok(value) = digits.replace('_', "").parse::<u128>() else {
+            continue;
+        };
+        let suffix_len = rest[digits.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .map(char::len_utf8)
+            .sum::<usize>();
+        let original = &rest[..digits.len() + suffix_len];
+        let suffix = &rest[digits.len()..digits.len() + suffix_len];
+        out.push(Candidate {
+            line: t.line,
+            col: t.col,
+            op: "const-perturb",
+            original: original.to_string(),
+            replacement: format!("{}{}", value + 1, suffix),
+            span: (start, start + original.len()),
+        });
+    }
+    out
+}
+
+/// The stub body for a return type spelled by `ret` tokens, if the type
+/// has an obvious default. `None` (no stub) for types we cannot default
+/// confidently — a wrong guess only produces unviable noise.
+fn stub_body(ret: &[&str]) -> Option<&'static str> {
+    match ret {
+        [] => Some("{}"),
+        ["bool"] => Some("{ false }"),
+        ["f64"] | ["f32"] => Some("{ 0.0 }"),
+        ["usize"] | ["u8"] | ["u16"] | ["u32"] | ["u64"] | ["u128"] | ["isize"] | ["i8"]
+        | ["i16"] | ["i32"] | ["i64"] | ["i128"] => Some("{ 0 }"),
+        ["String"] => Some("{ String::new() }"),
+        ["Result", "<", "(", ")", ",", ..] => Some("{ Ok(()) }"),
+        ["Option", "<", ..] => Some("{ None }"),
+        ["Vec", "<", ..] => Some("{ Vec::new() }"),
+        _ => None,
+    }
+}
+
+/// Fn-body stub sites: each non-test `fn` with a confidently-defaultable
+/// return type gets one mutant replacing its whole body.
+fn stub_candidates(src: &str, tokens: &[Token], regions: &[(usize, usize)]) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") || in_test_region(regions, i) {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        let Some(name) = name_tok.ident() else {
+            i += 1;
+            continue;
+        };
+        // Find the parameter list and skip it (depth-matched parens).
+        let mut j = i + 2;
+        while j < tokens.len() && !tokens[j].is_punct('(') {
+            if tokens[j].is_punct('{') || tokens[j].is_punct(';') {
+                break; // not a normal fn shape; bail
+            }
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            if tokens[j].is_punct('(') {
+                depth += 1;
+            } else if tokens[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        // Collect return-type tokens between `->` and the body `{` (or a
+        // trait declaration's `;`, which has no body to stub).
+        let mut ret: Vec<String> = Vec::new();
+        let mut k = j + 1;
+        let has_arrow = punct(tokens, k) == Some('-') && adjacent(tokens, k, '>');
+        if has_arrow {
+            k += 2;
+        }
+        let mut body_open = None;
+        while k < tokens.len() {
+            if tokens[k].is_punct('{') {
+                body_open = Some(k);
+                break;
+            }
+            if tokens[k].is_punct(';') || tokens[k].is_ident("where") {
+                break;
+            }
+            ret.push(match &tokens[k].kind {
+                Kind::Ident(s) => s.clone(),
+                Kind::Punct(c) => c.to_string(),
+                Kind::Lit => "<lit>".to_string(),
+            });
+            k += 1;
+        }
+        let Some(open) = body_open else {
+            i += 1;
+            continue;
+        };
+        let ret_strs: Vec<&str> = ret.iter().map(String::as_str).collect();
+        let Some(stub) = stub_body(&ret_strs) else {
+            i = open + 1;
+            continue;
+        };
+        // Match the body braces to find the span to replace.
+        let mut depth = 0i32;
+        let mut close = None;
+        for (idx, t) in tokens.iter().enumerate().skip(open) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(idx);
+                    break;
+                }
+            }
+        }
+        let Some(close) = close else {
+            i += 1;
+            continue;
+        };
+        let (Some(start), Some(end)) = (
+            byte_offset(src, tokens[open].line, tokens[open].col),
+            byte_offset(src, tokens[close].line, tokens[close].col),
+        ) else {
+            i = close + 1;
+            continue;
+        };
+        let end = end + 1; // include the closing brace
+        out.push(Candidate {
+            line: tokens[i].line,
+            col: tokens[i].col,
+            op: "fn-stub",
+            original: format!("fn {name} body"),
+            replacement: stub.to_string(),
+            span: (start, end),
+        });
+        // Continue *inside* the body: nested fns are rare but legal.
+        i = open + 1;
+    }
+    out
+}
+
+/// Discover every mutant of `src` (a file at workspace-relative `rel`).
+/// Line-granular unless `exhaustive`: operator/constant sites collapse to
+/// the first per line; fn stubs are always kept.
+pub fn discover_file(rel: &str, src: &str, exhaustive: bool) -> Result<Vec<Mutant>, String> {
+    let (tokens, comments) = lexer::lex(src);
+    let regions = lints::test_regions(&tokens);
+    let skips = parse_skip_directives(rel, &comments)?;
+
+    let mut sites = operator_candidates(src, &tokens, &regions);
+    sites.extend(const_candidates(src, &tokens, &regions));
+    sites.sort_by_key(|c| (c.line, c.col));
+    if !exhaustive {
+        let mut last_line = 0u32;
+        sites.retain(|c| {
+            let keep = c.line != last_line;
+            if keep {
+                last_line = c.line;
+            }
+            keep
+        });
+    }
+    sites.extend(stub_candidates(src, &tokens, &regions));
+    sites.sort_by_key(|c| (c.line, c.col, c.op));
+
+    let stem = Path::new(rel)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("file");
+    Ok(sites
+        .into_iter()
+        .enumerate()
+        .map(|(n, c)| {
+            let skip_reason = skips
+                .iter()
+                .find(|d| c.line == d.line || c.line == d.line + 1)
+                .map(|d| d.reason.clone());
+            Mutant {
+                id: format!("{stem}-{:03}", n + 1),
+                file: rel.to_string(),
+                line: c.line,
+                col: c.col,
+                op: c.op,
+                original: c.original,
+                replacement: c.replacement,
+                span: c.span,
+                skip_reason,
+            }
+        })
+        .collect())
+}
+
+/// `src` with `mutant` applied.
+pub fn apply_mutant(src: &str, mutant: &Mutant) -> String {
+    let (start, end) = mutant.span;
+    let mut out = String::with_capacity(src.len() + mutant.replacement.len());
+    out.push_str(&src[..start]);
+    out.push_str(&mutant.replacement);
+    out.push_str(&src[end..]);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit over the file bytes, rendered `fnv1a64:<16 hex>`. Cheap,
+/// dependency-free, and plenty for staleness detection (not security).
+pub fn file_fingerprint(bytes: &[u8]) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a64:{h:016x}")
+}
+
+// ---------------------------------------------------------------------------
+// Sweep runner
+// ---------------------------------------------------------------------------
+
+/// Knobs of [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Site-exhaustive discovery instead of line-granular.
+    pub exhaustive: bool,
+    /// Score threshold recorded in the ledger and enforced by `--check`.
+    pub threshold: f64,
+    /// Per-mutant timeout floor in seconds (effective timeout is
+    /// `max(3 × baseline, floor)`).
+    pub timeout_floor_secs: u64,
+    /// Restrict the sweep to targets whose file is in this list (empty =
+    /// all targets).
+    pub only_files: Vec<String>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            exhaustive: false,
+            threshold: DEFAULT_THRESHOLD,
+            timeout_floor_secs: DEFAULT_TIMEOUT_FLOOR_SECS,
+            only_files: Vec::new(),
+        }
+    }
+}
+
+/// Copy the tree at `from` into `to`, skipping VCS metadata and build
+/// artifacts. The sweep mutates the copy, never the real tree.
+fn copy_tree(from: &Path, to: &Path) -> Result<(), String> {
+    let err = |e: std::io::Error, p: &Path| format!("copy {}: {e}", p.display());
+    fs::create_dir_all(to).map_err(|e| err(e, to))?;
+    let entries = fs::read_dir(from).map_err(|e| err(e, from))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| err(e, from))?;
+        let name = entry.file_name();
+        if matches!(
+            name.to_str(),
+            Some(".git") | Some("target") | Some("node_modules")
+        ) {
+            continue;
+        }
+        let src = entry.path();
+        let dst = to.join(&name);
+        let ty = entry.file_type().map_err(|e| err(e, &src))?;
+        if ty.is_dir() {
+            copy_tree(&src, &dst)?;
+        } else if ty.is_file() {
+            fs::copy(&src, &dst).map_err(|e| err(e, &src))?;
+        }
+        // Symlinks are dropped: nothing the sweep builds follows them.
+    }
+    Ok(())
+}
+
+/// Outcome of one scoped test invocation.
+enum RunVerdict {
+    Pass(Duration),
+    Fail { compile_error: bool },
+    TimedOut,
+}
+
+/// Classify a finished test run from its exit status and stderr. Split
+/// out (and pure) so the compile-vs-test failure heuristic is unit
+/// testable without spawning cargo.
+fn classify_output(success: bool, stderr: &str) -> RunVerdict {
+    if success {
+        RunVerdict::Pass(Duration::ZERO)
+    } else {
+        let compile_error = stderr.contains("error[E")
+            || stderr.contains("error: could not compile")
+            || stderr.contains("error: expected");
+        RunVerdict::Fail { compile_error }
+    }
+}
+
+/// SIGKILL the whole process group of `pid`. A timed-out `cargo test`
+/// has a grandchild test binary spinning in the mutant's infinite loop;
+/// killing only cargo would orphan it — and the orphan holds the stderr
+/// pipe open, which would block the reader thread forever.
+#[cfg(unix)]
+fn kill_group(pid: u32) {
+    // vesta-lint: allow(swallowed-result, reason = "group kill is best-effort; the direct child.kill() fallback still reaps cargo itself")
+    let _ = std::process::Command::new("kill")
+        .args(["-9", "--", &format!("-{pid}")])
+        .status();
+}
+
+#[cfg(not(unix))]
+fn kill_group(_pid: u32) {}
+
+/// Run `cargo <args>` in `dir` with a hard timeout. Stdout/stderr are
+/// captured; the child (and its process group) is killed on timeout.
+fn run_cargo(dir: &Path, args: &[String], target_dir: &Path, timeout: Duration) -> RunVerdict {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let started = Instant::now();
+    let mut command = std::process::Command::new(cargo);
+    command
+        .args(args)
+        .current_dir(dir)
+        .env("CARGO_TARGET_DIR", target_dir)
+        .env("CARGO_TERM_COLOR", "never")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped());
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::CommandExt;
+        command.process_group(0);
+    }
+    let spawned = command.spawn();
+    let mut child = match spawned {
+        Ok(c) => c,
+        Err(_) => {
+            return RunVerdict::Fail {
+                compile_error: false,
+            }
+        }
+    };
+    // Drain stderr on a thread so a chatty build cannot dead-lock the
+    // pipe while we poll for exit.
+    let mut stderr_pipe = child.stderr.take();
+    let reader = std::thread::spawn(move || {
+        let mut buf = String::new();
+        if let Some(pipe) = stderr_pipe.as_mut() {
+            // vesta-lint: allow(swallowed-result, reason = "best-effort capture: a broken stderr pipe just yields an empty classification buffer")
+            let _ = pipe.read_to_string(&mut buf);
+        }
+        buf
+    });
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                let stderr = reader.join().unwrap_or_default();
+                return match classify_output(status.success(), &stderr) {
+                    RunVerdict::Pass(_) => RunVerdict::Pass(started.elapsed()),
+                    v => v,
+                };
+            }
+            Ok(None) => {
+                if started.elapsed() > timeout {
+                    kill_group(child.id());
+                    // vesta-lint: allow(swallowed-result, reason = "kill on an already-dead child races benignly; the follow-up wait reaps either way")
+                    let _ = child.kill();
+                    // vesta-lint: allow(swallowed-result, reason = "reaping after kill; the verdict is TimedOut regardless of the wait result")
+                    let _ = child.wait();
+                    drop(reader.join());
+                    return RunVerdict::TimedOut;
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            Err(_) => {
+                drop(reader.join());
+                return RunVerdict::Fail {
+                    compile_error: false,
+                };
+            }
+        }
+    }
+}
+
+/// Run the full mutation sweep for `targets` over the workspace at
+/// `root`. Returns the ledger; the caller decides where to write it.
+pub fn run_sweep(
+    root: &Path,
+    targets: &[MutationTarget],
+    opts: &SweepOptions,
+) -> Result<Ledger, String> {
+    let selected: Vec<&MutationTarget> = targets
+        .iter()
+        .filter(|t| opts.only_files.is_empty() || opts.only_files.contains(&t.file))
+        .collect();
+    if selected.is_empty() {
+        return Err("no targets selected (check --file filters)".to_string());
+    }
+
+    // One temp checkout for the whole sweep; each mutant rewrites one
+    // file and restores it, so the shared incremental target dir stays
+    // warm across mutants.
+    let scratch = std::env::temp_dir().join(format!("vesta-mutants-{}", std::process::id()));
+    // vesta-lint: allow(swallowed-result, reason = "pre-clean of a stale scratch dir; a failure surfaces in the copy_tree right after")
+    let _ = fs::remove_dir_all(&scratch);
+    let checkout = scratch.join("checkout");
+    let target_dir = scratch.join("target");
+    copy_tree(root, &checkout)?;
+
+    let mut ledger_targets = Vec::new();
+    let mut results: Vec<MutantResult> = Vec::new();
+    for target in &selected {
+        let abs = root.join(&target.file);
+        let bytes =
+            fs::read(&abs).map_err(|e| format!("read target {}: {e}", abs.display()))?;
+        let src = String::from_utf8(bytes.clone())
+            .map_err(|_| format!("target {} is not UTF-8", abs.display()))?;
+        ledger_targets.push(((*target).clone(), file_fingerprint(&bytes)));
+        let mutants = discover_file(&target.file, &src, opts.exhaustive)?;
+
+        // Baseline: the unmutated tree must pass, and its duration sets
+        // the timeout.
+        eprintln!(
+            "mutants: baseline `cargo {}` for {} ({} mutants)…",
+            target.test_args.join(" "),
+            target.file,
+            mutants.len()
+        );
+        let baseline = match run_cargo(
+            &checkout,
+            &target.test_args,
+            &target_dir,
+            Duration::from_secs(20 * 60),
+        ) {
+            RunVerdict::Pass(t) => t,
+            RunVerdict::TimedOut => {
+                return Err(format!("baseline for {} timed out", target.file))
+            }
+            RunVerdict::Fail { .. } => {
+                return Err(format!(
+                    "baseline `cargo {}` fails on the unmutated tree; fix the tests first",
+                    target.test_args.join(" ")
+                ))
+            }
+        };
+        let timeout = (baseline * 3).max(Duration::from_secs(opts.timeout_floor_secs));
+
+        let mutated_path = checkout.join(&target.file);
+        for m in mutants {
+            let (status, note) = if let Some(reason) = &m.skip_reason {
+                (MutantStatus::Skipped, reason.clone())
+            } else {
+                let mutated = apply_mutant(&src, &m);
+                fs::write(&mutated_path, &mutated)
+                    .map_err(|e| format!("write mutant {}: {e}", m.id))?;
+                let verdict = run_cargo(&checkout, &target.test_args, &target_dir, timeout);
+                fs::write(&mutated_path, &src)
+                    .map_err(|e| format!("restore {}: {e}", target.file))?;
+                match verdict {
+                    RunVerdict::Pass(_) => (
+                        MutantStatus::Survived,
+                        "tests passed under the mutant".to_string(),
+                    ),
+                    RunVerdict::TimedOut => (
+                        MutantStatus::Timeout,
+                        format!("no verdict within {}s", timeout.as_secs()),
+                    ),
+                    RunVerdict::Fail {
+                        compile_error: true,
+                    } => (MutantStatus::Unviable, "mutant does not compile".to_string()),
+                    RunVerdict::Fail {
+                        compile_error: false,
+                    } => (MutantStatus::Caught, "killed by scoped tests".to_string()),
+                }
+            };
+            eprintln!(
+                "mutants: {} {}:{}:{} {} [{}] {}",
+                m.id,
+                m.file,
+                m.line,
+                m.col,
+                m.op,
+                status.label(),
+                m.describe()
+            );
+            results.push(MutantResult {
+                mutant: m,
+                status,
+                note,
+            });
+        }
+    }
+    // vesta-lint: allow(swallowed-result, reason = "scratch cleanup is best-effort; the OS temp dir reaps leftovers")
+    let _ = fs::remove_dir_all(&scratch);
+
+    let summary = MutantSummary::tally(&results);
+    Ok(Ledger {
+        threshold: opts.threshold,
+        exhaustive: opts.exhaustive,
+        targets: ledger_targets,
+        results,
+        summary,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Ledger serialization
+// ---------------------------------------------------------------------------
+
+impl Ledger {
+    /// Render the ledger as the pretty `MUTANTS.json` document.
+    pub fn render_json(&self) -> String {
+        let num = |n: usize| JsonValue::Num(n as f64);
+        let targets = self
+            .targets
+            .iter()
+            .map(|(t, hash)| {
+                JsonValue::Object(vec![
+                    ("file".into(), JsonValue::Str(t.file.clone())),
+                    ("package".into(), JsonValue::Str(t.package.clone())),
+                    (
+                        "test_cmd".into(),
+                        JsonValue::Str(format!("cargo {}", t.test_args.join(" "))),
+                    ),
+                    ("hash".into(), JsonValue::Str(hash.clone())),
+                ])
+            })
+            .collect();
+        let mutants = self
+            .results
+            .iter()
+            .map(|r| {
+                JsonValue::Object(vec![
+                    ("id".into(), JsonValue::Str(r.mutant.id.clone())),
+                    ("file".into(), JsonValue::Str(r.mutant.file.clone())),
+                    ("line".into(), num(r.mutant.line as usize)),
+                    ("col".into(), num(r.mutant.col as usize)),
+                    ("op".into(), JsonValue::Str(r.mutant.op.to_string())),
+                    ("replace".into(), JsonValue::Str(r.mutant.describe())),
+                    (
+                        "status".into(),
+                        JsonValue::Str(r.status.label().to_string()),
+                    ),
+                    ("note".into(), JsonValue::Str(r.note.clone())),
+                ])
+            })
+            .collect();
+        let summary = JsonValue::Object(vec![
+            ("total".into(), num(self.summary.total)),
+            ("caught".into(), num(self.summary.caught)),
+            ("survived".into(), num(self.summary.survived)),
+            ("timeout".into(), num(self.summary.timeout)),
+            ("unviable".into(), num(self.summary.unviable)),
+            ("skipped".into(), num(self.summary.skipped)),
+            (
+                "score".into(),
+                JsonValue::Num((self.summary.score * 1e4).round() / 1e4),
+            ),
+        ]);
+        JsonValue::Object(vec![
+            ("schema".into(), JsonValue::Str(SCHEMA.to_string())),
+            ("threshold".into(), JsonValue::Num(self.threshold)),
+            ("exhaustive".into(), JsonValue::Bool(self.exhaustive)),
+            ("targets".into(), JsonValue::Array(targets)),
+            ("summary".into(), summary),
+            ("mutants".into(), JsonValue::Array(mutants)),
+        ])
+        .to_json_pretty()
+    }
+
+    /// Human summary table.
+    pub fn render_summary(&self) -> String {
+        let s = &self.summary;
+        let mut out = String::new();
+        for (t, hash) in &self.targets {
+            let _ = writeln!(out, "target {} ({}) {}", t.file, t.package, hash);
+        }
+        let _ = writeln!(
+            out,
+            "mutants: {} total | {} caught + {} timeout / {} survived / {} skipped / {} unviable",
+            s.total, s.caught, s.timeout, s.survived, s.skipped, s.unviable
+        );
+        let _ = writeln!(
+            out,
+            "score: {:.1}% (threshold {:.0}%)",
+            s.score * 100.0,
+            self.threshold * 100.0
+        );
+        out
+    }
+
+    /// True when the sweep meets the gate: no survivors and score at or
+    /// above threshold.
+    pub fn is_clean(&self) -> bool {
+        self.summary.survived == 0 && self.summary.score + 1e-9 >= self.threshold
+    }
+}
+
+fn field<'a>(obj: &'a JsonValue, key: &str, ctx: &str) -> Result<&'a JsonValue, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("ledger {ctx}: missing `{key}`"))
+}
+
+fn str_field(obj: &JsonValue, key: &str, ctx: &str) -> Result<String, String> {
+    field(obj, key, ctx)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("ledger {ctx}: `{key}` must be a string"))
+}
+
+fn num_field(obj: &JsonValue, key: &str, ctx: &str) -> Result<f64, String> {
+    field(obj, key, ctx)?
+        .as_f64()
+        .filter(|n| n.is_finite())
+        .ok_or_else(|| format!("ledger {ctx}: `{key}` must be a number"))
+}
+
+/// Parsed essentials of a committed ledger (what `--check` validates).
+#[derive(Debug)]
+pub struct ParsedLedger {
+    /// Gate threshold recorded at sweep time.
+    pub threshold: f64,
+    /// Discovery granularity recorded at sweep time.
+    pub exhaustive: bool,
+    /// `(file, package, hash)` per target.
+    pub targets: Vec<(String, String, String)>,
+    /// `(file, line, col, op, status)` per mutant.
+    pub mutants: Vec<(String, u32, u32, String, MutantStatus)>,
+    /// Committed summary block, re-derived during `--check`.
+    pub summary: MutantSummary,
+}
+
+/// Parse `MUTANTS.json` text.
+pub fn parse_ledger(text: &str) -> Result<ParsedLedger, String> {
+    let doc = vesta_obs::json::parse(text).map_err(|e| format!("ledger: {e}"))?;
+    let schema = str_field(&doc, "schema", "root")?;
+    if schema != SCHEMA {
+        return Err(format!("ledger schema `{schema}`, expected `{SCHEMA}`"));
+    }
+    let threshold = num_field(&doc, "threshold", "root")?;
+    let exhaustive = field(&doc, "exhaustive", "root")?
+        .as_bool()
+        .ok_or("ledger root: `exhaustive` must be a bool")?;
+    let mut targets = Vec::new();
+    for t in field(&doc, "targets", "root")?
+        .as_array()
+        .ok_or("ledger root: `targets` must be an array")?
+    {
+        targets.push((
+            str_field(t, "file", "target")?,
+            str_field(t, "package", "target")?,
+            str_field(t, "hash", "target")?,
+        ));
+    }
+    let mut mutants = Vec::new();
+    for m in field(&doc, "mutants", "root")?
+        .as_array()
+        .ok_or("ledger root: `mutants` must be an array")?
+    {
+        let status_str = str_field(m, "status", "mutant")?;
+        let status = MutantStatus::from_label(&status_str)
+            .ok_or_else(|| format!("ledger mutant: unknown status `{status_str}`"))?;
+        mutants.push((
+            str_field(m, "file", "mutant")?,
+            num_field(m, "line", "mutant")? as u32,
+            num_field(m, "col", "mutant")? as u32,
+            str_field(m, "op", "mutant")?,
+            status,
+        ));
+    }
+    let s = field(&doc, "summary", "root")?;
+    let summary = MutantSummary {
+        total: num_field(s, "total", "summary")? as usize,
+        caught: num_field(s, "caught", "summary")? as usize,
+        survived: num_field(s, "survived", "summary")? as usize,
+        timeout: num_field(s, "timeout", "summary")? as usize,
+        unviable: num_field(s, "unviable", "summary")? as usize,
+        skipped: num_field(s, "skipped", "summary")? as usize,
+        score: num_field(s, "score", "summary")?,
+    };
+    Ok(ParsedLedger {
+        threshold,
+        exhaustive,
+        targets,
+        mutants,
+        summary,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The --check gate
+// ---------------------------------------------------------------------------
+
+/// Validate the committed ledger at `ledger_path` against the tree at
+/// `root`, offline: no cargo runs. Checks, in order —
+///
+/// 1. the ledger parses and carries the current schema;
+/// 2. every target file's fingerprint matches the ledger (stale ledgers
+///    after edits to a target file fail loudly);
+/// 3. re-running discovery reproduces exactly the ledger's site set, and
+///    `skipped` statuses line up 1:1 with in-source skip directives;
+/// 4. zero mutants are `survived`;
+/// 5. the recomputed score matches the committed summary and meets the
+///    ledger's threshold.
+///
+/// Returns a human report; `Err` carries the first violation.
+pub fn check_ledger(root: &Path, ledger_path: &Path) -> Result<String, String> {
+    let text = fs::read_to_string(ledger_path)
+        .map_err(|e| format!("read {}: {e}", ledger_path.display()))?;
+    let ledger = parse_ledger(&text)?;
+
+    let mut discovered: BTreeMap<(String, u32, u32, String), Option<String>> = BTreeMap::new();
+    for (file, _package, hash) in &ledger.targets {
+        let abs = root.join(file);
+        let bytes = fs::read(&abs).map_err(|e| format!("read target {}: {e}", abs.display()))?;
+        let now = file_fingerprint(&bytes);
+        if &now != hash {
+            return Err(format!(
+                "{file} changed since the ledger was generated ({hash} -> {now}); \
+                 re-run `vesta-xtask mutants` and commit the fresh MUTANTS.json"
+            ));
+        }
+        let src = String::from_utf8(bytes).map_err(|_| format!("{file} is not UTF-8"))?;
+        for m in discover_file(file, &src, ledger.exhaustive)? {
+            discovered.insert((m.file, m.line, m.col, m.op.to_string()), m.skip_reason);
+        }
+    }
+
+    let mut ledger_sites = BTreeMap::new();
+    for (file, line, col, op, status) in &ledger.mutants {
+        ledger_sites.insert((file.clone(), *line, *col, op.clone()), *status);
+    }
+    for key in discovered.keys() {
+        if !ledger_sites.contains_key(key) {
+            return Err(format!(
+                "discovered mutant {}:{}:{} {} is missing from the ledger; re-run the sweep",
+                key.0, key.1, key.2, key.3
+            ));
+        }
+    }
+    for (key, status) in &ledger_sites {
+        let Some(skip) = discovered.get(key) else {
+            return Err(format!(
+                "ledger mutant {}:{}:{} {} no longer discoverable; re-run the sweep",
+                key.0, key.1, key.2, key.3
+            ));
+        };
+        match (status, skip) {
+            (MutantStatus::Skipped, None) => {
+                return Err(format!(
+                    "{}:{} is `skipped` in the ledger but carries no \
+                     `vesta-mutants: skip(reason = …)` directive",
+                    key.0, key.1
+                ))
+            }
+            (s, Some(_)) if *s != MutantStatus::Skipped => {
+                return Err(format!(
+                    "{}:{} carries a skip directive but the ledger ran it ({}); re-run the sweep",
+                    key.0,
+                    key.1,
+                    s.label()
+                ))
+            }
+            _ => {}
+        }
+    }
+
+    if let Some((file, line, col, op, _)) = ledger
+        .mutants
+        .iter()
+        .find(|(.., status)| *status == MutantStatus::Survived)
+    {
+        return Err(format!(
+            "surviving mutant at {file}:{line}:{col} ({op}); kill it with a test \
+             or justify a `vesta-mutants: skip(reason = …)`"
+        ));
+    }
+
+    let mut recount = MutantSummary {
+        total: ledger.mutants.len(),
+        ..Default::default()
+    };
+    for (.., status) in &ledger.mutants {
+        match status {
+            MutantStatus::Caught => recount.caught += 1,
+            MutantStatus::Survived => recount.survived += 1,
+            MutantStatus::Timeout => recount.timeout += 1,
+            MutantStatus::Unviable => recount.unviable += 1,
+            MutantStatus::Skipped => recount.skipped += 1,
+        }
+    }
+    let killed = recount.caught + recount.timeout;
+    let denom = killed + recount.survived + recount.skipped;
+    let score = if denom == 0 {
+        1.0
+    } else {
+        killed as f64 / denom as f64
+    };
+    let committed = ledger.summary;
+    if committed.total != recount.total
+        || committed.caught != recount.caught
+        || committed.survived != recount.survived
+        || committed.timeout != recount.timeout
+        || committed.unviable != recount.unviable
+        || committed.skipped != recount.skipped
+        || (committed.score - score).abs() > 1e-3
+    {
+        return Err(format!(
+            "ledger summary disagrees with its own mutant list \
+             (committed score {:.4}, recomputed {score:.4}); re-run the sweep",
+            committed.score
+        ));
+    }
+    if score + 1e-9 < ledger.threshold {
+        return Err(format!(
+            "mutation score {:.1}% below threshold {:.1}%",
+            score * 100.0,
+            ledger.threshold * 100.0
+        ));
+    }
+
+    Ok(format!(
+        "mutants-check: {} sites across {} target(s); {} caught + {} timeout, \
+         {} skipped, {} unviable; score {:.1}% >= {:.0}% — ok\n",
+        recount.total,
+        ledger.targets.len(),
+        recount.caught,
+        recount.timeout,
+        recount.skipped,
+        recount.unviable,
+        score * 100.0,
+        ledger.threshold * 100.0
+    ))
+}
+
+/// Render the `--list` table of discovered mutants (no cargo runs).
+pub fn render_list(root: &Path, targets: &[MutationTarget], exhaustive: bool) -> Result<String, String> {
+    let mut out = String::new();
+    let mut total = 0usize;
+    for t in targets {
+        let abs = root.join(&t.file);
+        let src = fs::read_to_string(&abs)
+            .map_err(|e| format!("read target {}: {e}", abs.display()))?;
+        let mutants = discover_file(&t.file, &src, exhaustive)?;
+        for m in &mutants {
+            let skip = match &m.skip_reason {
+                Some(r) => format!(" [skip: {r}]"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{}\t{}:{}:{}\t{}\t{}{}",
+                m.id,
+                m.file,
+                m.line,
+                m.col,
+                m.op,
+                m.describe(),
+                skip
+            );
+        }
+        total += mutants.len();
+    }
+    let _ = writeln!(out, "{total} mutant(s) across {} target(s)", targets.len());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn discover(src: &str) -> Vec<Mutant> {
+        discover_file("crates/demo/src/lib.rs", src, false).unwrap()
+    }
+
+    fn ops_at(mutants: &[Mutant], line: u32) -> Vec<&str> {
+        mutants
+            .iter()
+            .filter(|m| m.line == line)
+            .map(|m| m.op)
+            .collect()
+    }
+
+    #[test]
+    fn comparison_and_logic_swaps_are_discovered() {
+        let src = "pub fn f(a: u32, b: u32) -> bool {\n    let lo = a <= b;\n    let hi = a > b;\n    lo && hi\n}\n";
+        let ms = discover(src);
+        assert_eq!(ops_at(&ms, 2), vec!["cmp-swap"]);
+        assert_eq!(ops_at(&ms, 3), vec!["cmp-swap"]);
+        assert_eq!(ops_at(&ms, 4), vec!["logic-swap"]);
+        let le = ms.iter().find(|m| m.line == 2).unwrap();
+        assert_eq!((le.original.as_str(), le.replacement.as_str()), ("<=", "<"));
+        // The fn-stub for `-> bool` rides along.
+        assert!(ms.iter().any(|m| m.op == "fn-stub" && m.replacement == "{ false }"));
+    }
+
+    #[test]
+    fn generics_arrows_and_compound_assignment_are_not_sites() {
+        let src = "pub fn f(v: Vec<u32>) -> Option<u32> {\n    let mut acc = 0u32;\n    acc += 1;\n    v.first().copied().map(|x| x.wrapping_add(acc))\n}\n";
+        let ms = discover(src);
+        // No operator mutants at all: `Vec<u32>`, `->`, `+=` and closure
+        // pipes are all excluded contexts. Only the const 0u32 / 1 sites
+        // and the Option stub remain.
+        assert!(ms.iter().all(|m| m.op != "cmp-swap" && m.op != "arith-swap"));
+        assert!(ms.iter().any(|m| m.op == "fn-stub" && m.replacement == "{ None }"));
+    }
+
+    #[test]
+    fn const_perturbation_hits_plain_integers_only() {
+        let src = "pub fn f(x: f64) -> f64 {\n    let cap = 120;\n    let scale = 0.75;\n    let mask = 0xFF;\n    x * scale + cap as f64 + mask as f64\n}\n";
+        let ms = discover(src);
+        let consts: Vec<&Mutant> = ms.iter().filter(|m| m.op == "const-perturb").collect();
+        assert_eq!(consts.len(), 1, "{consts:?}");
+        assert_eq!(consts[0].original, "120");
+        assert_eq!(consts[0].replacement, "121");
+        assert_eq!(consts[0].line, 2);
+    }
+
+    #[test]
+    fn suffixed_integers_keep_their_suffix() {
+        let src = "pub fn f() {\n    let a = 7u32;\n    assert_ne!(a, 0);\n}\n";
+        let ms = discover(src);
+        let c = ms.iter().find(|m| m.op == "const-perturb").unwrap();
+        assert_eq!((c.original.as_str(), c.replacement.as_str()), ("7u32", "8u32"));
+    }
+
+    #[test]
+    fn line_granular_keeps_first_site_exhaustive_keeps_all() {
+        let src = "pub fn f(a: f64, b: f64, c: f64) -> f64 {\n    a * b + c * c\n}\n";
+        let line = |ms: &[Mutant]| {
+            ms.iter()
+                .filter(|m| m.line == 2 && m.op == "arith-swap")
+                .count()
+        };
+        let granular = discover(src);
+        assert_eq!(line(&granular), 1);
+        let all = discover_file("crates/demo/src/lib.rs", src, true).unwrap();
+        assert_eq!(line(&all), 3);
+    }
+
+    #[test]
+    fn test_regions_are_never_mutated() {
+        let src = "pub fn f(a: u32) -> u32 {\n    a + 1\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        assert_eq!(super::f(1), 2);\n        assert!(1 + 1 == 2);\n    }\n}\n";
+        let ms = discover(src);
+        assert!(ms.iter().all(|m| m.line <= 3), "{ms:?}");
+    }
+
+    #[test]
+    fn skip_directive_marks_sites_and_requires_reason() {
+        let src = "pub fn f(a: u32) -> u32 {\n    // vesta-mutants: skip(reason = \"documented tuning constant\")\n    a + 3\n}\n";
+        let ms = discover(src);
+        let site = ms.iter().find(|m| m.line == 3).unwrap();
+        assert_eq!(site.skip_reason.as_deref(), Some("documented tuning constant"));
+        // The fn line is NOT covered by a directive two lines up.
+        let stub = ms.iter().find(|m| m.op == "fn-stub").unwrap();
+        assert!(stub.skip_reason.is_none());
+
+        let bad = "pub fn f() {\n    // vesta-mutants: skip\n}\n";
+        assert!(discover_file("x.rs", bad, false).is_err());
+        let no_reason = "pub fn f() {\n    // vesta-mutants: skip(reason = \"\")\n}\n";
+        assert!(discover_file("x.rs", no_reason, false).is_err());
+    }
+
+    #[test]
+    fn apply_splices_the_span_exactly() {
+        let src = "fn f(a: u32, b: u32) -> bool {\n    a < b\n}\n";
+        let ms = discover(src);
+        let lt = ms.iter().find(|m| m.op == "cmp-swap").unwrap();
+        let mutated = apply_mutant(src, lt);
+        assert!(mutated.contains("a <= b"), "{mutated}");
+        assert_eq!(mutated.len(), src.len() + 1);
+    }
+
+    #[test]
+    fn fn_stub_replaces_whole_body() {
+        let src = "pub fn g(n: u64) -> u64 {\n    let mut s = 0;\n    for i in 0..n {\n        s += i;\n    }\n    s\n}\n";
+        let ms = discover(src);
+        let stub = ms.iter().find(|m| m.op == "fn-stub").unwrap();
+        let mutated = apply_mutant(src, stub);
+        assert_eq!(mutated, "pub fn g(n: u64) -> u64 { 0 }\n");
+    }
+
+    #[test]
+    fn unit_and_result_unit_fns_get_stubs_unknown_types_do_not() {
+        let src = "pub fn a(x: &mut Vec<u32>) {\n    x.push(1);\n}\npub fn b() -> Result<(), String> {\n    Err(\"nope\".into())\n}\npub fn c() -> std::time::Duration {\n    std::time::Duration::ZERO\n}\n";
+        let ms = discover(src);
+        let stubs: Vec<&Mutant> = ms.iter().filter(|m| m.op == "fn-stub").collect();
+        assert_eq!(stubs.len(), 2, "{stubs:?}");
+        assert_eq!(stubs[0].replacement, "{}");
+        assert_eq!(stubs[1].replacement, "{ Ok(()) }");
+    }
+
+    #[test]
+    fn ids_are_stable_and_ordered() {
+        let src = "pub fn f(a: u32, b: u32) -> bool {\n    a < b\n}\n";
+        let ms = discover(src);
+        assert!(ms.iter().enumerate().all(|(i, m)| {
+            m.id == format!("lib-{:03}", i + 1)
+        }));
+        let again = discover(src);
+        assert_eq!(ms, again);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = file_fingerprint(b"hello");
+        assert_eq!(a, file_fingerprint(b"hello"));
+        assert_ne!(a, file_fingerprint(b"hellp"));
+        assert!(a.starts_with("fnv1a64:"));
+        assert_eq!(a.len(), "fnv1a64:".len() + 16);
+    }
+
+    #[test]
+    fn classify_distinguishes_compile_errors_from_test_failures() {
+        assert!(matches!(
+            classify_output(false, "error[E0308]: mismatched types"),
+            RunVerdict::Fail { compile_error: true }
+        ));
+        assert!(matches!(
+            classify_output(false, "error: could not compile `demo`"),
+            RunVerdict::Fail { compile_error: true }
+        ));
+        assert!(matches!(
+            classify_output(false, "test t ... FAILED\nfailures:\n    t"),
+            RunVerdict::Fail { compile_error: false }
+        ));
+        assert!(matches!(classify_output(true, ""), RunVerdict::Pass(_)));
+    }
+
+    #[test]
+    fn summary_score_counts_timeouts_as_caught_and_skips_against() {
+        let m = |status| MutantResult {
+            mutant: Mutant {
+                id: "x-001".into(),
+                file: "f.rs".into(),
+                line: 1,
+                col: 1,
+                op: "cmp-swap",
+                original: "<".into(),
+                replacement: "<=".into(),
+                span: (0, 1),
+                skip_reason: None,
+            },
+            status,
+            note: String::new(),
+        };
+        let results = vec![
+            m(MutantStatus::Caught),
+            m(MutantStatus::Caught),
+            m(MutantStatus::Timeout),
+            m(MutantStatus::Skipped),
+            m(MutantStatus::Unviable),
+        ];
+        let s = MutantSummary::tally(&results);
+        assert_eq!((s.caught, s.timeout, s.skipped, s.unviable), (2, 1, 1, 1));
+        // (2 + 1) / (2 + 1 + 0 + 1): unviable excluded from the denominator.
+        assert!((s.score - 0.75).abs() < 1e-12);
+        assert_eq!(MutantSummary::tally(&[]).score, 1.0);
+    }
+
+    #[test]
+    fn ledger_json_round_trips_through_parse() {
+        let mutant = Mutant {
+            id: "lib-001".into(),
+            file: "crates/demo/src/lib.rs".into(),
+            line: 2,
+            col: 7,
+            op: "cmp-swap",
+            original: "<".into(),
+            replacement: "<=".into(),
+            span: (30, 31),
+            skip_reason: None,
+        };
+        let ledger = Ledger {
+            threshold: 0.8,
+            exhaustive: false,
+            targets: vec![(
+                MutationTarget {
+                    file: "crates/demo/src/lib.rs".into(),
+                    package: "demo".into(),
+                    test_args: vec!["test".into(), "-p".into(), "demo".into()],
+                },
+                file_fingerprint(b"demo"),
+            )],
+            results: vec![MutantResult {
+                mutant,
+                status: MutantStatus::Caught,
+                note: "killed by scoped tests".into(),
+            }],
+            summary: MutantSummary {
+                total: 1,
+                caught: 1,
+                score: 1.0,
+                ..Default::default()
+            },
+        };
+        let text = ledger.render_json();
+        let parsed = parse_ledger(&text).unwrap();
+        assert_eq!(parsed.threshold, 0.8);
+        assert!(!parsed.exhaustive);
+        assert_eq!(parsed.targets.len(), 1);
+        assert_eq!(
+            parsed.mutants,
+            vec![(
+                "crates/demo/src/lib.rs".to_string(),
+                2,
+                7,
+                "cmp-swap".to_string(),
+                MutantStatus::Caught
+            )]
+        );
+        assert_eq!(parsed.summary.caught, 1);
+        assert!(parsed.summary.score >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn parse_ledger_rejects_foreign_schemas_and_bad_statuses() {
+        assert!(parse_ledger("{\"schema\": \"other/9\"}").is_err());
+        let bad_status = "{\"schema\": \"vesta-mutants/1\", \"threshold\": 0.8, \
+             \"exhaustive\": false, \"targets\": [], \"summary\": {\"total\": 0, \
+             \"caught\": 0, \"survived\": 0, \"timeout\": 0, \"unviable\": 0, \
+             \"skipped\": 0, \"score\": 1}, \"mutants\": [{\"file\": \"f\", \
+             \"line\": 1, \"col\": 1, \"op\": \"cmp-swap\", \"status\": \"vibing\"}]}";
+        let err = parse_ledger(bad_status).unwrap_err();
+        assert!(err.contains("unknown status"), "{err}");
+    }
+}

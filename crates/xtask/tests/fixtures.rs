@@ -88,6 +88,15 @@ fn error_hygiene_fixture_reports_both_requirements() {
     assert!(messages.iter().any(|m| m.contains("is_transient")));
 }
 
+/// Discarded crate `Result`s are findings; bound lets, non-Result
+/// calls, std calls, test code and the justified allow are not.
+#[test]
+fn swallowed_result_fixture() {
+    let report = assert_matches_snapshot("swallowed-result");
+    assert!(report.findings.iter().all(|f| f.lint == "swallowed-result"));
+    assert_eq!(report.allows_honored, 1);
+}
+
 #[test]
 fn allow_without_reason_is_rejected_and_suppresses_nothing() {
     let report = assert_matches_snapshot("allow-no-reason");

@@ -1,0 +1,101 @@
+//! Planted mutation-testing fixture for `vesta-xtask mutants`.
+//!
+//! Every function here has a *known* fate under the engine's operators
+//! and this crate's `--lib` tests; `crates/xtask/tests/mutants.rs`
+//! asserts the sweep reproduces exactly that ledger:
+//!
+//! * [`triangle`]   — every mutant caught (boundary, arithmetic,
+//!   constants, stub);
+//! * [`countdown`]  — `n - 1` → `n + 1` never terminates and must be
+//!   classified `timeout`; everything else caught;
+//! * [`in_window`]  — one comparison, one boundary and one logic swap on
+//!   separate lines, all caught by the half-open-interval tests;
+//! * [`pick_larger`]— `>=` → `>` only differs on ties, where both sides
+//!   are equal: a genuinely equivalent mutant that *survives*;
+//! * [`hint`]       — sites waived by `vesta-mutants: skip` directives.
+
+/// Sum of `1..=n`.
+pub fn triangle(n: u64) -> u64 {
+    let mut acc = 0;
+    let mut i = 1;
+    while i <= n {
+        acc = acc + i;
+        i += 1;
+    }
+    acc
+}
+
+/// Number of decrements to reach zero.
+pub fn countdown(mut n: u64) -> u64 {
+    let mut steps = 0;
+    while n > 0 {
+        n = n - 1;
+        steps += 1;
+    }
+    steps
+}
+
+/// True when `x` lies in the half-open window `[lo, hi)`. Written as
+/// three statements so the two comparison swaps and the logic swap land
+/// on separate lines (one mutant per line under line-granular discovery).
+pub fn in_window(x: i64, lo: i64, hi: i64) -> bool {
+    let lower_ok = lo <= x;
+    let upper_ok = x < hi;
+    lower_ok && upper_ok
+}
+
+/// The larger of two values; ties return the first argument.
+pub fn pick_larger(a: i64, b: i64) -> i64 {
+    if a >= b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Buffer capacity hint. Both the stub and the constant are waived: any
+/// positive value is behaviorally valid, so no test can kill them.
+// vesta-mutants: skip(reason = "capacity hint; any positive value is valid")
+pub fn hint() -> usize {
+    // vesta-mutants: skip(reason = "capacity hint; any positive value is valid")
+    32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_sums_the_first_n_integers() {
+        assert_eq!(triangle(0), 0);
+        assert_eq!(triangle(1), 1);
+        assert_eq!(triangle(3), 6);
+        assert_eq!(triangle(10), 55);
+    }
+
+    #[test]
+    fn countdown_counts_every_decrement() {
+        assert_eq!(countdown(0), 0);
+        assert_eq!(countdown(4), 4);
+    }
+
+    #[test]
+    fn in_window_is_half_open() {
+        assert!(in_window(2, 2, 5), "x == lo is inside");
+        assert!(in_window(4, 2, 5));
+        assert!(!in_window(5, 2, 5), "x == hi is outside");
+        assert!(!in_window(1, 2, 5));
+    }
+
+    #[test]
+    fn pick_larger_prefers_the_larger_value() {
+        assert_eq!(pick_larger(3, 9), 9);
+        assert_eq!(pick_larger(9, 3), 9);
+        assert_eq!(pick_larger(5, 5), 5);
+    }
+
+    #[test]
+    fn hint_is_positive() {
+        assert!(hint() > 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Fixture: `let _ =` discards of crate `Result` calls are findings in
+//! library code; bound lets, non-Result calls, std calls, test code and
+//! justified allows are not.
+
+pub fn append(x: u8) -> Result<(), String> {
+    Err(format!("{x}"))
+}
+
+pub fn cheap(x: u8) -> u8 {
+    x
+}
+
+pub fn swallowed_free_call() {
+    let _ = append(1);
+}
+
+pub struct Journal;
+
+impl Journal {
+    pub fn flush_frames(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+pub fn swallowed_method_call(j: &Journal) {
+    let _ = j.flush_frames();
+}
+
+pub fn clean_shapes(j: &Journal, out: &mut String) {
+    // Bound to a name: visible to the reader, not a silent swallow.
+    let _kept = append(2);
+    // Non-Result crate call.
+    let _ = cheap(3);
+    // Std call outside the per-crate Result set.
+    let _ = std::fs::remove_file("nope");
+    // Infallible write!-to-String macro.
+    let _ = write_to(out);
+    // vesta-lint: allow(swallowed-result, reason = "best-effort teardown flush; the connection is already closing")
+    let _ = j.flush_frames();
+}
+
+fn write_to(out: &mut String) -> usize {
+    out.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn swallows_in_tests_are_fine() {
+        let _ = super::append(9);
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end exercise of the mutation-testing engine against the
+//! planted fixture (`tests/fixtures/mutants-fixture`), with real `cargo
+//! test` runs per mutant.
+//!
+//! The fixture plants one known fate per site — caught boundary and
+//! arithmetic swaps, a `timeout` infinite loop, one genuinely equivalent
+//! surviving mutant (`pick_larger`'s `>=` at equality) and two
+//! directive-waived skips — and this test asserts the sweep reproduces
+//! exactly that ledger, that `--check` refuses the survivor, and that a
+//! reasoned `vesta-mutants: skip` flips the same tree to a passing gate.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use vesta_xtask::mutants::{self, MutationTarget, SweepOptions};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mutants-fixture")
+}
+
+fn fixture_target() -> MutationTarget {
+    MutationTarget {
+        file: "src/lib.rs".to_string(),
+        package: "mutants-fixture".to_string(),
+        test_args: vec!["test".to_string(), "--lib".to_string()],
+    }
+}
+
+/// Recursive copy (the fixture is a handful of files).
+fn copy_dir(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &dst);
+        } else {
+            fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+#[test]
+fn sweep_reproduces_the_planted_ledger_and_check_gates_on_it() {
+    let opts = SweepOptions {
+        // Small floor so the planted infinite loop resolves quickly; the
+        // effective timeout is still 3× the measured baseline.
+        timeout_floor_secs: 8,
+        ..SweepOptions::default()
+    };
+    let ledger = mutants::run_sweep(&fixture_dir(), &[fixture_target()], &opts)
+        .expect("sweep over the fixture");
+
+    let got: Vec<(u32, &str, &str)> = ledger
+        .results
+        .iter()
+        .map(|r| (r.mutant.line, r.mutant.op, r.status.label()))
+        .collect();
+    let expected = vec![
+        // triangle: everything dies.
+        (18, "fn-stub", "caught"),       // body -> { 0 }
+        (19, "const-perturb", "caught"), // acc init 0 -> 1
+        (20, "const-perturb", "caught"), // i init 1 -> 2
+        (21, "cmp-swap", "caught"),      // i <= n -> i < n
+        (22, "arith-swap", "caught"),    // acc + i -> acc - i (underflow)
+        (23, "const-perturb", "caught"), // i += 1 -> i += 2
+        // countdown: `n - 1 -> n + 1` never terminates.
+        (29, "fn-stub", "caught"),
+        (30, "const-perturb", "caught"),
+        (31, "cmp-swap", "caught"), // n > 0 -> n >= 0 (underflow at zero)
+        (32, "arith-swap", "timeout"),
+        (33, "const-perturb", "caught"),
+        // in_window: one swap per line, all caught at the boundaries.
+        (41, "fn-stub", "caught"),
+        (42, "cmp-swap", "caught"),
+        (43, "cmp-swap", "caught"),
+        (44, "logic-swap", "caught"),
+        // pick_larger: `>=` -> `>` only differs on ties — equivalent.
+        (48, "fn-stub", "caught"),
+        (49, "cmp-swap", "survived"),
+        // hint: both sites waived by directives.
+        (59, "fn-stub", "skipped"),
+        (61, "const-perturb", "skipped"),
+    ];
+    assert_eq!(got, expected, "ledger:\n{}", ledger.render_json());
+
+    let s = ledger.summary;
+    assert_eq!(
+        (s.total, s.caught, s.timeout, s.survived, s.unviable, s.skipped),
+        (19, 15, 1, 1, 0, 2)
+    );
+    assert!((s.score - 16.0 / 19.0).abs() < 1e-9, "score {}", s.score);
+    assert!(!ledger.is_clean(), "a survivor must fail the gate");
+
+    // The written ledger round-trips, and `--check` refuses the survivor
+    // even though the raw score (84.2%) clears the threshold.
+    let scratch =
+        std::env::temp_dir().join(format!("vesta-mutants-fixture-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    fs::create_dir_all(&scratch).unwrap();
+    let ledger_path = scratch.join("MUTANTS.json");
+    fs::write(&ledger_path, ledger.render_json()).unwrap();
+    let err = mutants::check_ledger(&fixture_dir(), &ledger_path)
+        .expect_err("check must fail while a mutant survives");
+    assert!(err.contains("surviving mutant"), "{err}");
+    assert!(err.contains("src/lib.rs:49"), "{err}");
+
+    // A stale ledger (target edited after the sweep) must also fail, on
+    // the fingerprint — before any site-set comparison.
+    let patched_root = scratch.join("patched");
+    copy_dir(&fixture_dir(), &patched_root);
+    let lib = patched_root.join("src/lib.rs");
+    let src = fs::read_to_string(&lib).unwrap();
+    let patched = src.replace(
+        "if a >= b {",
+        "if a >= b { // vesta-mutants: skip(reason = \"ties are equal either way; >= vs > is behaviorally identical\")",
+    );
+    assert_ne!(src, patched, "the anchor line must exist");
+    fs::write(&lib, &patched).unwrap();
+    let err = mutants::check_ledger(&patched_root, &ledger_path)
+        .expect_err("check must notice the edited target");
+    assert!(err.contains("changed since the ledger"), "{err}");
+
+    // Re-sweeping the patched tree waives the equivalent mutant with a
+    // reason; zero survivors and 16/19 clears the 80% gate.
+    let target = MutationTarget {
+        file: "src/lib.rs".to_string(),
+        ..fixture_target()
+    };
+    let ledger2 = mutants::run_sweep(&patched_root, &[target], &opts)
+        .expect("sweep over the patched fixture");
+    let s2 = ledger2.summary;
+    assert_eq!(
+        (s2.total, s2.caught, s2.timeout, s2.survived, s2.unviable, s2.skipped),
+        (19, 15, 1, 0, 0, 3)
+    );
+    assert!(ledger2.is_clean());
+    fs::write(&ledger_path, ledger2.render_json()).unwrap();
+    let report = mutants::check_ledger(&patched_root, &ledger_path)
+        .expect("check must pass with the survivor waived");
+    assert!(report.contains("ok"), "{report}");
+
+    let _ = fs::remove_dir_all(&scratch);
+}
+
+/// Discovery over the real mutation targets (no cargo runs). Skipped
+/// quietly when the crates are absent (e.g. a partial checkout).
+#[test]
+fn discovery_over_the_real_targets_is_line_granular_and_stable() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    for target in mutants::default_targets() {
+        let path = root.join(&target.file);
+        let Ok(src) = fs::read_to_string(&path) else {
+            eprintln!("skipping {}: not present in this checkout", target.file);
+            continue;
+        };
+        let granular = mutants::discover_file(&target.file, &src, false)
+            .expect("real targets must carry only well-formed directives");
+        assert!(
+            granular.len() >= 20,
+            "{} yielded only {} mutants",
+            target.file,
+            granular.len()
+        );
+        // Line-granularity: at most one operator/constant mutant per line.
+        let mut op_lines = std::collections::BTreeSet::new();
+        for m in granular.iter().filter(|m| m.op != "fn-stub") {
+            assert!(
+                op_lines.insert(m.line),
+                "{}:{} has two operator mutants",
+                m.file,
+                m.line
+            );
+        }
+        // Exhaustive discovery is a superset, and both are deterministic.
+        let exhaustive = mutants::discover_file(&target.file, &src, true).unwrap();
+        assert!(exhaustive.len() >= granular.len());
+        let again = mutants::discover_file(&target.file, &src, false).unwrap();
+        assert_eq!(granular, again);
+    }
+}

@@ -1,0 +1,7 @@
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    vesta_core::fuzzing::journal_codec_fuzz_case(data);
+});
